@@ -1,0 +1,88 @@
+"""Ablation I: bottleneck migration (§5.1.2).
+
+"Other parameters that we observed include the response time of each
+module ... This enables us to observe how the bottleneck moves as the
+parameter values change."
+
+Using the per-station utilization probes, this bench shows *where* each
+configuration saturates:
+
+* Conf I — the co-located DBMS is pinned at ~100 % even with no updates;
+* Conf II (Table 2) — the shared DBMS utilization climbs with the update
+  rate and crosses saturation at ⟨12,12,12,12⟩;
+* Conf II (Table 3) — the bottleneck is not the DBMS at all but the
+  per-node data-cache station;
+* Conf III — the DBMS is the only hot component, and everything in the
+  user path (web cache) stays cold.
+"""
+
+import pytest
+
+from repro.sim.configs import (
+    DataCacheMode,
+    simulate_config1,
+    simulate_config2,
+    simulate_config3,
+)
+from repro.sim.workload import NO_UPDATES, UPDATES_5, UPDATES_12
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def probes(bench_model):
+    data = {}
+    for label, rate in (("0", NO_UPDATES), ("20", UPDATES_5), ("48", UPDATES_12)):
+        for config, run in (
+            ("c1", lambda r, p: simulate_config1(r, bench_model, probe=p)),
+            ("c2", lambda r, p: simulate_config2(
+                r, bench_model, DataCacheMode.NEGLIGIBLE, probe=p)),
+            ("c2x", lambda r, p: simulate_config2(
+                r, bench_model, DataCacheMode.LOCAL_DBMS, probe=p)),
+            ("c3", lambda r, p: simulate_config3(r, bench_model, probe=p)),
+        ):
+            probe = {}
+            run(rate, probe)
+            data[(config, label)] = probe
+    return data
+
+
+def test_probe_collection(benchmark, bench_model, probes):
+    probe = {}
+    benchmark.pedantic(
+        lambda: simulate_config3(UPDATES_12, bench_model, probe=probe),
+        rounds=1, iterations=1,
+    )
+    lines = []
+    for (config, rate), values in sorted(probes.items()):
+        rendered = "  ".join(
+            f"{name}={value:5.2f}" for name, value in sorted(values.items())
+        )
+        lines.append(f"{config:4s} @ {rate:>2s} upd/s: {rendered}")
+    emit("Ablation I — station utilizations (bottleneck migration)", lines)
+
+
+class TestBottleneckLocations:
+    def test_conf1_db_saturated_always(self, probes):
+        for rate in ("0", "20", "48"):
+            assert probes[("c1", rate)]["db"] > 0.95
+
+    def test_conf2_db_utilization_climbs_with_updates(self, probes):
+        utils = [probes[("c2", rate)]["db"] for rate in ("0", "20", "48")]
+        assert utils == sorted(utils)
+        assert utils[0] < 0.95  # healthy without updates
+        assert utils[-1] > 0.95  # saturated at the top rate
+
+    def test_table3_bottleneck_is_the_cache_not_the_db(self, probes):
+        probe = probes[("c2x", "0")]
+        assert probe["data_cache"] > 0.95
+        assert probe["db"] < probe["data_cache"]
+
+    def test_conf3_user_path_stays_cold(self, probes):
+        for rate in ("0", "20", "48"):
+            assert probes[("c3", rate)]["web_cache"] < 0.3
+            assert probes[("c3", rate)]["workers"] < 0.5
+
+    def test_conf3_db_cooler_than_conf2(self, probes):
+        for rate in ("0", "20"):
+            assert probes[("c3", rate)]["db"] <= probes[("c2", rate)]["db"] + 0.02

@@ -1,0 +1,78 @@
+"""Substrate microbenchmarks: the SQL engine on the paper's schema.
+
+Confirms the cost ordering the experiments rely on: the heavy page's
+select-join really costs more than the medium select, which costs more
+than the light select — and index maintenance keeps DML cheap.
+"""
+
+import pytest
+
+from repro.db import Database
+from repro.sql.parser import parse_statement
+from repro.sim.workload import (
+    HEAVY_QUERY,
+    LIGHT_QUERY,
+    MEDIUM_QUERY,
+    build_paper_schema_sql,
+)
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def paper_db():
+    db = Database()
+    for statement in build_paper_schema_sql(small_rows=500, large_rows=2500):
+        db.execute(statement)
+    return db
+
+
+def test_parse_throughput(benchmark):
+    sql = (
+        "SELECT car.maker, car.model, mileage.epa FROM car, mileage "
+        "WHERE car.model = mileage.model AND car.price < 23000 "
+        "ORDER BY car.price DESC LIMIT 10"
+    )
+    benchmark(lambda: parse_statement(sql))
+
+
+def test_light_query(benchmark, paper_db):
+    result = benchmark(lambda: paper_db.execute(LIGHT_QUERY, (3,)))
+    assert result.rowcount == 50
+
+
+def test_medium_query(benchmark, paper_db):
+    result = benchmark(lambda: paper_db.execute(MEDIUM_QUERY, (3,)))
+    assert result.rowcount == 250
+
+
+def test_heavy_query(benchmark, paper_db):
+    result = benchmark(lambda: paper_db.execute(HEAVY_QUERY, (3,)))
+    assert result.rowcount == 50 * 250  # every (small, large) pair for attr 3
+
+def test_insert_with_indexes(benchmark, paper_db):
+    counter = [10_000_000]
+
+    def insert():
+        counter[0] += 1
+        return paper_db.execute(
+            f"INSERT INTO small_items VALUES ({counter[0]}, 3, 3)"
+        )
+
+    benchmark(insert)
+
+
+def test_cost_ordering():
+    # Fresh database: the insert benchmark above mutates the shared one.
+    db = Database()
+    for statement in build_paper_schema_sql(small_rows=500, large_rows=2500):
+        db.execute(statement)
+    light = db.execute(LIGHT_QUERY, (3,))
+    medium = db.execute(MEDIUM_QUERY, (3,))
+    heavy = db.execute(HEAVY_QUERY, (3,))
+    emit("Engine micro — work units per page class", [
+        f"light  : {light.work_units:7d}",
+        f"medium : {medium.work_units:7d}",
+        f"heavy  : {heavy.work_units:7d}",
+    ])
+    assert light.work_units < medium.work_units < heavy.work_units

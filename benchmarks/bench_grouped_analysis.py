@@ -1,0 +1,115 @@
+"""Ablation H: per-instance vs type-level grouped independence checking.
+
+Paper §4.1.2: the invalidator groups related instances and processes them
+together.  With N instances of one query type, the grouped checker does
+the structural decomposition once instead of N times; this bench measures
+the end-to-end speedup on a realistic registry (few types, many
+instances), and verifies the verdicts agree.
+"""
+
+import pytest
+
+from repro.db.log import ChangeKind, UpdateRecord
+from repro.core.invalidator.analysis import IndependenceChecker
+from repro.core.invalidator.grouping import GroupedChecker
+from repro.core.invalidator.registration import QueryTypeRegistry
+
+from conftest import emit
+
+
+def build_registry(instances_per_type=50):
+    registry = QueryTypeRegistry()
+    for i in range(instances_per_type):
+        registry.observe_instance(
+            f"SELECT * FROM car WHERE price < {10000 + 100 * i}", f"a{i}"
+        )
+        registry.observe_instance(
+            "SELECT car.maker FROM car, mileage "
+            f"WHERE car.model = mileage.model AND mileage.epa > {10 + i % 30}",
+            f"b{i}",
+        )
+        registry.observe_instance(
+            f"SELECT * FROM car WHERE maker = 'm{i % 5}' AND price < {9000 + i}",
+            f"c{i}",
+        )
+    return registry
+
+
+def update_records(count=40):
+    return [
+        UpdateRecord(
+            lsn=i + 1,
+            timestamp=float(i),
+            table="car",
+            kind=ChangeKind.INSERT,
+            values=(f"m{i % 5}", f"model{i}", 9500 + 200 * i),
+            columns=("maker", "model", "price"),
+        )
+        for i in range(count)
+    ]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_registry(), update_records()
+
+
+def run_per_instance(registry, records):
+    checker = IndependenceChecker()
+    outcomes = []
+    for instance in registry.instances():
+        for record in records:
+            outcomes.append(checker.check(instance.statement, record).kind)
+    return outcomes
+
+
+def run_grouped(registry, records):
+    checker = GroupedChecker()
+    outcomes = []
+    for instance in registry.instances():
+        for record in records:
+            outcomes.append(checker.check_instance(instance, record).kind)
+    return outcomes
+
+
+def test_per_instance_checker(benchmark, workload):
+    registry, records = workload
+    benchmark(lambda: run_per_instance(registry, records))
+
+
+def test_grouped_checker(benchmark, workload):
+    registry, records = workload
+    benchmark(lambda: run_grouped(registry, records))
+
+
+def test_grouped_equals_per_instance(workload):
+    registry, records = workload
+    plain = run_per_instance(registry, records)
+    grouped = run_grouped(registry, records)
+    assert plain == grouped
+    emit("Ablation H — grouped vs per-instance checking", [
+        f"pairs checked : {len(plain)}",
+        f"query types   : {len(registry.types())}",
+        f"instances     : {len(registry)}",
+        "(timings: see the pytest-benchmark table)",
+    ])
+
+
+def test_grouped_is_faster(workload):
+    import time
+
+    registry, records = workload
+
+    def timed(fn):
+        start = time.perf_counter()
+        fn(registry, records)
+        return time.perf_counter() - start
+
+    plain = min(timed(run_per_instance) for _ in range(3))
+    grouped = min(timed(run_grouped) for _ in range(3))
+    emit("Ablation H — wall time", [
+        f"per-instance : {1000 * plain:7.1f} ms",
+        f"grouped      : {1000 * grouped:7.1f} ms",
+        f"speedup      : {plain / grouped:5.2f}x",
+    ])
+    assert grouped < plain

@@ -1,0 +1,73 @@
+"""Ablation C: sensitivity of Configurations II/III to the cache hit ratio.
+
+The paper fixed hit_ratio at 70 % (§5.2.4/§5.2.5).  This sweep shows how
+the expected response of both caching configurations scales with the hit
+ratio, and that Conf III's advantage holds across the range — i.e. the
+headline result is not an artifact of the 0.7 operating point.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.configs import (
+    ConfigurationModel,
+    DataCacheMode,
+    simulate_config2,
+    simulate_config3,
+)
+from repro.sim.workload import UPDATES_12
+
+from conftest import emit
+
+
+HIT_RATIOS = [0.3, 0.5, 0.7, 0.9]
+
+
+def sweep(bench_model):
+    rows = []
+    for hit_ratio in HIT_RATIOS:
+        model = dataclasses.replace(bench_model, hit_ratio=hit_ratio)
+        conf2 = simulate_config2(UPDATES_12, model, DataCacheMode.NEGLIGIBLE)
+        conf3 = simulate_config3(UPDATES_12, model)
+        rows.append((hit_ratio, conf2.exp_resp_ms, conf3.exp_resp_ms))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def sweep_rows(bench_model):
+    return sweep(bench_model)
+
+
+def test_hit_ratio_sweep(benchmark, bench_model, sweep_rows):
+    model = dataclasses.replace(bench_model, hit_ratio=0.5)
+    benchmark.pedantic(
+        lambda: simulate_config3(UPDATES_12, model), rounds=1, iterations=1
+    )
+    emit(
+        "Ablation C — expected response vs hit ratio (48 updates/s)",
+        (
+            f"hit_ratio={ratio:.1f}: Conf II={conf2:8.0f}ms  Conf III={conf3:8.0f}ms"
+            for ratio, conf2, conf3 in sweep_rows
+        ),
+    )
+
+
+def test_conf3_wins_across_the_range(sweep_rows):
+    for _ratio, conf2, conf3 in sweep_rows:
+        assert conf3 < conf2
+
+
+def test_response_falls_as_hit_ratio_rises(sweep_rows):
+    conf3_values = [conf3 for _r, _c2, conf3 in sweep_rows]
+    assert conf3_values == sorted(conf3_values, reverse=True)
+    conf2_values = [conf2 for _r, conf2, _c3 in sweep_rows]
+    assert conf2_values == sorted(conf2_values, reverse=True)
+
+
+def test_low_hit_ratio_approaches_saturation(sweep_rows):
+    """At 30% hits the single DBMS absorbs 21 queries/s plus updates —
+    responses must be far above the 90% point."""
+    low = sweep_rows[0]
+    high = sweep_rows[-1]
+    assert low[2] > 3 * high[2]

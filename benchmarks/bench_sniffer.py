@@ -1,0 +1,125 @@
+"""Ablation E: sniffer overhead (§2.4's "sniffer is not a bottleneck").
+
+Measures (a) the per-request cost added by the request/query loggers on a
+live application server, and (b) the request-to-query mapper's throughput
+as the log batch grows.
+"""
+
+import pytest
+
+from repro.db import Database
+from repro.db.wrapper import QueryLog, QueryLogRecord
+from repro.web.appserver import ApplicationServer
+from repro.web.http import HttpRequest
+from repro.core.qiurl import QIURLMap
+from repro.core.sniffer import (
+    RequestLog,
+    RequestLogRecord,
+    RequestToQueryMapper,
+    Sniffer,
+)
+
+from conftest import emit
+from helpers import car_servlets, make_car_db
+
+
+def make_server(instrumented: bool):
+    db = make_car_db()
+    server = ApplicationServer("as0", db)
+    for servlet in car_servlets():
+        server.register(servlet)
+    sniffer = Sniffer([server]) if instrumented else None
+    return server, sniffer
+
+
+REQUESTS = [HttpRequest.from_url(f"/catalog?max_price={10000 + i}") for i in range(50)]
+
+
+def serve_all(server):
+    for request in REQUESTS:
+        server.handle(request)
+
+
+def test_request_path_overhead(benchmark):
+    """Instrumented vs bare request path: the wrappers must be cheap."""
+    import time
+
+    bare, _ = make_server(instrumented=False)
+    start = time.perf_counter()
+    for _ in range(5):
+        serve_all(bare)
+    bare_time = time.perf_counter() - start
+
+    instrumented, _sniffer = make_server(instrumented=True)
+    result = benchmark.pedantic(
+        lambda: serve_all(instrumented), rounds=5, iterations=1
+    )
+    instrumented_time = 5 * benchmark.stats.stats.mean * len(REQUESTS) / len(REQUESTS)
+    emit("Ablation E — request-path overhead", [
+        f"bare         : {1000 * bare_time / 5:7.2f} ms per 50 requests",
+        f"instrumented : {1000 * benchmark.stats.stats.mean:7.2f} ms per 50 requests",
+    ])
+    # "The web server has a lot more to do to serve a request than the
+    # sniffer": well under 3x even in this tiny in-memory setting.
+    assert benchmark.stats.stats.mean < 3 * (bare_time / 5)
+
+
+def synthetic_logs(num_requests: int, queries_per_request: int):
+    requests = RequestLog()
+    queries = QueryLog()
+    clock = 0.0
+    qid = 0
+    for rid in range(num_requests):
+        receive = clock
+        for q in range(queries_per_request):
+            qid += 1
+            queries.append(
+                QueryLogRecord(
+                    qid,
+                    f"SELECT * FROM car WHERE price < {rid * 100 + q}",
+                    clock + 0.1,
+                    clock + 0.2,
+                    rows_returned=1,
+                )
+            )
+            clock += 0.3
+        requests.append(
+            RequestLogRecord(
+                rid, "catalog", f"url{rid}", f"/catalog?r={rid}", "", "",
+                receive, clock + 0.1, cacheable=True,
+            )
+        )
+        clock += 0.5
+    return requests, queries
+
+
+@pytest.mark.parametrize("batch", [100, 1000, 5000], ids=lambda n: f"requests={n}")
+def test_mapper_throughput(benchmark, batch):
+    def run():
+        requests, queries = synthetic_logs(batch, queries_per_request=2)
+        mapper = RequestToQueryMapper(QIURLMap())
+        return mapper.run([requests], [queries])
+
+    written = benchmark(run)
+    assert written == batch * 2
+
+
+def test_mapper_scales_roughly_linearly():
+    """Doubling the batch must not quadruple the mapping time (the
+    interval join is sort + bounded scan, not all-pairs)."""
+    import time
+
+    def timed(batch):
+        requests, queries = synthetic_logs(batch, queries_per_request=2)
+        mapper = RequestToQueryMapper(QIURLMap())
+        start = time.perf_counter()
+        mapper.run([requests], [queries])
+        return time.perf_counter() - start
+
+    small = min(timed(1000) for _ in range(3))
+    large = min(timed(4000) for _ in range(3))
+    emit("Ablation E — mapper scaling", [
+        f"1000 requests: {1000 * small:7.2f} ms",
+        f"4000 requests: {1000 * large:7.2f} ms",
+    ])
+    assert large < 10 * small

@@ -1,0 +1,59 @@
+"""Regenerate Table 3: the middle-tier cache as a local DBMS.
+
+Paper reference (ms): Conf II jumps to exp 52632 / 48845 / 48953 — worse
+than Conf I's 40775 — because every cache access now pays a connection to
+a local database that competes for the node's resources (§5.3.2).  Confs I
+and III repeat their Table 2 behaviour.
+"""
+
+import pytest
+
+from repro.sim.configs import DataCacheMode, simulate_config2
+from repro.sim.runner import ExperimentRunner
+from repro.sim.workload import NO_UPDATES
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def table3_rows(bench_model):
+    return ExperimentRunner(bench_model).table3()
+
+
+def test_table3_rows(benchmark, bench_model, table3_rows):
+    benchmark.pedantic(
+        lambda: simulate_config2(NO_UPDATES, bench_model, DataCacheMode.LOCAL_DBMS),
+        rounds=1, iterations=1,
+    )
+    emit("Table 3 (70% hit ratio, local-DBMS middle-tier cache)",
+         (row.render() for row in table3_rows))
+
+    conf1 = [r for r in table3_rows if r.configuration == "Conf I"]
+    conf2 = [r for r in table3_rows if r.configuration == "Conf II"]
+    conf3 = [r for r in table3_rows if r.configuration == "Conf III"]
+
+    # Shape 4: Conf II with a local-DBMS cache is the worst option —
+    # comparable to or worse than no caching at all.
+    for row in conf2:
+        assert row.exp_resp_ms > 0.8 * conf1[0].exp_resp_ms
+        assert row.exp_resp_ms > 10 * conf3[0].exp_resp_ms
+
+    # §5.3.2: even *hits* are slow — the cache itself is the bottleneck.
+    assert all(row.hit_resp_ms > 1000 for row in conf2)
+
+    # Conf III is unchanged between the tables (it has no data cache).
+    assert conf3[0].exp_resp_ms < 1000
+
+
+def test_contrast_between_tables(benchmark, bench_model):
+    """The whole point of Table 3: only the cache-access cost changed."""
+    negligible = benchmark.pedantic(
+        lambda: simulate_config2(NO_UPDATES, bench_model, DataCacheMode.NEGLIGIBLE),
+        rounds=1, iterations=1,
+    )
+    local = simulate_config2(NO_UPDATES, bench_model, DataCacheMode.LOCAL_DBMS)
+    emit("Conf II: negligible vs local-DBMS cache access", [
+        f"negligible : exp={negligible.exp_resp_ms:8.0f}ms hit={negligible.hit_resp_ms:8.0f}ms",
+        f"local DBMS : exp={local.exp_resp_ms:8.0f}ms hit={local.hit_resp_ms:8.0f}ms",
+    ])
+    assert local.exp_resp_ms > 10 * negligible.exp_resp_ms

@@ -1,0 +1,118 @@
+"""Ablation F: time-based expiry vs CachePortal invalidation (§1).
+
+The paper's introduction argues against the then-state-of-the-art
+(Oracle9i-style periodic refresh): *"this results in a significant amount
+of unnecessary computation overhead ... furthermore, even with such a
+periodic refresh rate, web pages in the cache can not be guaranteed to be
+up-to-date."*
+
+This ablation runs the same request/update workload against a live
+Configuration III site under three cache policies and counts:
+
+* **stale serves** — cache hits whose body differs from what the current
+  database state would generate (the correctness cost), and
+* **regenerations** — origin page builds (the computation cost).
+
+Policies: short TTL (fresh-ish but wasteful), long TTL (cheap but stale),
+and CachePortal invalidation (the paper's claim: fresh *and* cheap).
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.web import Configuration, build_site
+from repro.web.cache import WebCache
+from repro.web.http import HttpRequest
+from repro.core import CachePortal
+
+from conftest import emit
+from helpers import car_servlets, make_car_db
+
+
+URLS = [f"/catalog?max_price={12000 + 2000 * i}" for i in range(8)]
+TICKS = 60
+REQUESTS_PER_TICK = 12
+UPDATE_EVERY = 4  # one DB update every 4 ticks
+
+
+def fresh_body(site, url):
+    return site.balancer.servers[0].handle(HttpRequest.from_url(url)).body
+
+
+def run_policy(ttl, use_invalidation, seed=11):
+    rng = random.Random(seed)
+    clock_value = itertools.count()
+    now = [0.0]
+    db = make_car_db()
+    site = build_site(
+        Configuration.WEB_CACHE, car_servlets(), database=db, num_servers=2
+    )
+    site.web_cache = WebCache(capacity=256, default_ttl=ttl, clock=lambda: now[0])
+    portal = CachePortal(site)
+
+    stale_serves = 0
+    next_price = 13000
+    for tick in range(TICKS):
+        now[0] = float(tick)
+        if tick and tick % UPDATE_EVERY == 0:
+            db.execute(f"INSERT INTO car VALUES ('Kia', 'gen{tick}', {next_price})")
+            next_price += 1500
+            if use_invalidation:
+                portal.run_invalidation_cycle()
+        for _ in range(REQUESTS_PER_TICK):
+            url = rng.choice(URLS)
+            served = site.get(url).body
+            if served != fresh_body(site, url):
+                stale_serves += 1
+        if use_invalidation:
+            portal.run_invalidation_cycle()
+    regenerations = site.stats.page_cache_misses
+    return stale_serves, regenerations
+
+
+@pytest.fixture(scope="module")
+def policy_results():
+    return {
+        "ttl=2": run_policy(ttl=2.0, use_invalidation=False),
+        "ttl=16": run_policy(ttl=16.0, use_invalidation=False),
+        "cacheportal": run_policy(ttl=None, use_invalidation=True),
+    }
+
+
+def test_policy_comparison(benchmark, policy_results):
+    benchmark.pedantic(
+        lambda: run_policy(ttl=None, use_invalidation=True), rounds=1, iterations=1
+    )
+    total = TICKS * REQUESTS_PER_TICK
+    emit("Ablation F — TTL refresh vs CachePortal invalidation", [
+        f"{name:12s}: stale serves={stale:4d}/{total}  regenerations={regen:4d}"
+        for name, (stale, regen) in policy_results.items()
+    ])
+
+
+def test_cacheportal_never_stale(policy_results):
+    stale, _regen = policy_results["cacheportal"]
+    assert stale == 0
+
+
+def test_ttl_serves_stale_pages(policy_results):
+    """Any finite TTL admits staleness under this update stream."""
+    assert policy_results["ttl=2"][0] > 0
+    assert policy_results["ttl=16"][0] > 0
+
+
+def test_longer_ttl_more_staleness_fewer_regenerations(policy_results):
+    short_stale, short_regen = policy_results["ttl=2"]
+    long_stale, long_regen = policy_results["ttl=16"]
+    assert long_stale > short_stale
+    assert long_regen < short_regen
+
+
+def test_cacheportal_cheaper_than_fresh_ttl(policy_results):
+    """At zero staleness, CachePortal regenerates less than the short-TTL
+    policy — precision invalidation only rebuilds affected pages."""
+    _stale, portal_regen = policy_results["cacheportal"]
+    _short_stale, short_regen = policy_results["ttl=2"]
+    assert portal_regen < short_regen

@@ -1,0 +1,31 @@
+"""Benchmark fixtures: shared simulation model and result printing."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
+
+from repro.sim.configs import ConfigurationModel
+
+
+#: One shared model: full 120 s runs, matching EXPERIMENTS.md numbers.
+#: Override with REPRO_BENCH_DURATION for quick passes.
+BENCH_DURATION = float(os.environ.get("REPRO_BENCH_DURATION", "120"))
+
+
+@pytest.fixture(scope="session")
+def bench_model() -> ConfigurationModel:
+    return ConfigurationModel(
+        duration=BENCH_DURATION, warmup=min(10.0, BENCH_DURATION / 10)
+    )
+
+
+def emit(title: str, lines) -> None:
+    """Print a result block that survives pytest's capture (via stderr)."""
+    out = ["", f"=== {title} ==="]
+    out += list(lines)
+    print("\n".join(out), file=sys.stderr)

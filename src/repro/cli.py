@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``table2`` / ``table3`` — regenerate the paper's evaluation tables on
+  the discrete-event simulator;
+* ``sweep`` — expected response vs request rate for Configs II/III (the
+  scalability view behind the paper's 30 req/s operating point);
+* ``demo`` — the quickstart loop: cache, hit, update, invalidate;
+* ``example41`` — the paper's Example 4.1 decision walkthrough;
+* ``serve`` — run a CachePortal site as a real HTTP server via wsgiref.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.sim.configs import ConfigurationModel
+
+
+def _model_from_args(args: argparse.Namespace) -> ConfigurationModel:
+    return ConfigurationModel(
+        duration=args.duration,
+        warmup=min(10.0, args.duration / 10),
+        seed=args.seed,
+        requests_per_second=getattr(args, "rate", 30.0),
+    )
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    from repro.sim.runner import run_table2
+
+    run_table2(_model_from_args(args))
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    from repro.sim.runner import run_table3
+
+    run_table3(_model_from_args(args))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.sim.configs import (
+        DataCacheMode,
+        simulate_config2,
+        simulate_config3,
+    )
+    from repro.sim.workload import UPDATES_5
+
+    base = _model_from_args(args)
+    print("Expected response (ms) vs request rate, <5,5,5,5> updates/s")
+    print(f"{'req/s':>6s} {'Conf II':>10s} {'Conf III':>10s}")
+    for rate in args.rates:
+        model = dataclasses.replace(base, requests_per_second=rate)
+        conf2 = simulate_config2(UPDATES_5, model, DataCacheMode.NEGLIGIBLE)
+        conf3 = simulate_config3(UPDATES_5, model)
+        print(f"{rate:6.0f} {conf2.exp_resp_ms:10.0f} {conf3.exp_resp_ms:10.0f}")
+    return 0
+
+
+def _run_demo() -> int:
+    from repro import CachePortal, Configuration, Database, KeySpec, build_site
+    from repro.web import QueryPageServlet
+    from repro.web.servlet import QueryBinding
+
+    db = Database()
+    db.execute("CREATE TABLE product (name TEXT, price INT)")
+    db.execute("INSERT INTO product VALUES ('phone', 800), ('desk', 300)")
+    servlet = QueryPageServlet(
+        name="catalog",
+        path="/catalog",
+        queries=[
+            (
+                "SELECT name, price FROM product WHERE price < ?",
+                [QueryBinding("get", "max_price", int)],
+            )
+        ],
+        key_spec=KeySpec.make(get_keys=["max_price"]),
+    )
+    site = build_site(Configuration.WEB_CACHE, [servlet], database=db)
+    portal = CachePortal(site)
+    url = "/catalog?max_price=1000"
+    site.get(url)
+    print("request 1: MISS (generated and cached)")
+    site.get(url)
+    print(f"request 2: {'HIT' if site.stats.page_cache_hits else 'MISS'}")
+    db.execute("INSERT INTO product VALUES ('tablet', 450)")
+    report = portal.run_invalidation_cycle()
+    print(f"update    : {report.urls_ejected} page(s) ejected")
+    body = site.get(url).body
+    print(f"request 3: regenerated ({'tablet' in body and 'tablet visible'})")
+    return 0
+
+
+def _run_example41() -> int:
+    # Reuse the packaged walkthrough logic without importing examples/.
+    from repro.db import Database
+    from repro.db.log import ChangeKind, UpdateRecord
+    from repro.sql.parser import parse_statement
+    from repro.core.invalidator.analysis import IndependenceChecker
+
+    db = Database()
+    db.execute("CREATE TABLE car (maker TEXT, model TEXT, price INT)")
+    db.execute("CREATE TABLE mileage (model TEXT, epa INT)")
+    db.execute("INSERT INTO mileage VALUES ('Avalon', 28)")
+    query1 = parse_statement(
+        "SELECT car.maker, car.model, car.price, mileage.epa FROM car, mileage "
+        "WHERE car.model = mileage.model AND car.price < 23000"
+    )
+    checker = IndependenceChecker()
+    for maker, model, price in [
+        ("Toyota", "Avalon", 25000),
+        ("Toyota", "Avalon", 20000),
+        ("Kia", "Rio", 15000),
+    ]:
+        record = UpdateRecord(
+            1, 0.0, "car", ChangeKind.INSERT,
+            (maker, model, price), ("maker", "model", "price"),
+        )
+        verdict = checker.check(query1, record)
+        line = f"insert ({maker}, {model}, {price}): {verdict.kind.value}"
+        if verdict.polling_query is not None:
+            impacted = bool(db.execute(verdict.polling_query).rows[0][0])
+            line += f" → poll: {verdict.polling_sql} → {'STALE' if impacted else 'fresh'}"
+        print(line)
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from wsgiref.simple_server import make_server
+
+    from repro import CachePortal, Configuration, Database, KeySpec, build_site
+    from repro.web import QueryPageServlet
+    from repro.web.servlet import QueryBinding
+    from repro.web.wsgi import SiteWSGIApp
+
+    db = Database()
+    db.execute("CREATE TABLE product (name TEXT, price INT)")
+    db.execute("INSERT INTO product VALUES ('phone', 800), ('desk', 300)")
+    servlet = QueryPageServlet(
+        name="catalog",
+        path="/catalog",
+        queries=[
+            (
+                "SELECT name, price FROM product WHERE price < ?",
+                [QueryBinding("get", "max_price", int, default=10**9)],
+            )
+        ],
+        key_spec=KeySpec.make(get_keys=["max_price"]),
+    )
+    site = build_site(Configuration.WEB_CACHE, [servlet], database=db)
+    CachePortal(site)
+    app = SiteWSGIApp(site)
+    server = make_server(args.host, args.port, app)
+    print(f"serving on http://{args.host or 'localhost'}:{args.port}/catalog")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CachePortal reproduction (SIGMOD 2001)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_sim_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--duration", type=float, default=120.0,
+                       help="simulated seconds (default 120)")
+        p.add_argument("--seed", type=int, default=7)
+
+    p_table2 = sub.add_parser("table2", help="regenerate Table 2")
+    add_sim_args(p_table2)
+    p_table2.set_defaults(func=cmd_table2)
+
+    p_table3 = sub.add_parser("table3", help="regenerate Table 3")
+    add_sim_args(p_table3)
+    p_table3.set_defaults(func=cmd_table3)
+
+    p_sweep = sub.add_parser("sweep", help="response vs request rate")
+    add_sim_args(p_sweep)
+    p_sweep.add_argument(
+        "--rates", type=float, nargs="+", default=[15, 30, 45, 60]
+    )
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_demo = sub.add_parser("demo", help="cache/hit/invalidate walkthrough")
+    p_demo.set_defaults(func=lambda args: _run_demo())
+
+    p_e41 = sub.add_parser("example41", help="paper Example 4.1 decisions")
+    p_e41.set_defaults(func=lambda args: _run_example41())
+
+    p_serve = sub.add_parser("serve", help="serve a demo site over HTTP (wsgiref)")
+    p_serve.add_argument("--host", default="")
+    p_serve.add_argument("--port", type=int, default=8000)
+    p_serve.set_defaults(func=_run_serve)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

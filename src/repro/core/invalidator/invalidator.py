@@ -1,0 +1,381 @@
+"""The invalidator orchestrator and the two baseline invalidators.
+
+:class:`Invalidator` wires the paper's sub-modules into the cycle shown in
+Figure 11: pull the update log into Δ tables, run the independence check
+for every (live query instance, change) pair, schedule polling queries
+within the budget, and send ``Cache-Control: eject`` messages for every
+affected page.
+
+:class:`TriggerInvalidator` and :class:`MatViewInvalidator` implement the
+two alternatives the paper rejects (§4, first two paragraphs): DB triggers
+firing synchronously inside each update, and materialized views with
+change detection.  Both are functionally correct; the benchmarks show
+their cost lands on the DBMS, which is the paper's argument.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.db.engine import Database
+from repro.db.log import ChangeKind, UpdateRecord
+from repro.db.matview import MaterializedViewManager
+from repro.web.cache import WebCache
+from repro.core.qiurl import QIURLMap
+from repro.core.invalidator.analysis import IndependenceChecker, Verdict, VerdictKind
+from repro.core.invalidator.generator import InvalidationMessageGenerator
+from repro.core.invalidator.infomgmt import InformationManager
+from repro.core.invalidator.policies import InvalidationPolicy, PolicyEngine
+from repro.core.invalidator.registration import (
+    QueryInstance,
+    QueryTypeRegistry,
+    RegistrationModule,
+)
+from repro.core.invalidator.scheduler import InvalidationScheduler, PollCandidate
+from repro.core.invalidator.updates import UpdateProcessor
+
+
+@dataclass
+class InvalidationReport:
+    """Per-cycle outcome summary."""
+
+    records_processed: int = 0
+    duplicate_records_skipped: int = 0
+    #: True when the update log was truncated past the cursor: the cycle
+    #: could not know what changed and flushed every watched page (the
+    #: safety valve for an invalidator that fell behind a bounded log).
+    updates_lost: bool = False
+    pairs_checked: int = 0
+    unaffected: int = 0
+    affected: int = 0
+    polls_requested: int = 0
+    polls_executed: int = 0
+    polls_impacted: int = 0
+    over_invalidated: int = 0
+    urls_ejected: int = 0
+    pages_removed: int = 0
+    polling_work_units: int = 0
+
+    @property
+    def precision_saved(self) -> int:
+        """Pairs resolved without touching the cache: pure wins of the
+        independence check."""
+        return self.unaffected
+
+
+@dataclass
+class _PollTask:
+    instance: QueryInstance
+    verdict: Verdict
+
+
+class Invalidator:
+    """The CachePortal invalidator (paper §4)."""
+
+    def __init__(
+        self,
+        database: Database,
+        caches: Sequence[WebCache],
+        qiurl_map: QIURLMap,
+        policy: Optional[InvalidationPolicy] = None,
+        polling_budget: Optional[int] = None,
+        use_data_cache: bool = False,
+        grouped_analysis: bool = True,
+        servlet_deadline: Optional[Callable[[str], float]] = None,
+    ) -> None:
+        self.database = database
+        self.registry = QueryTypeRegistry()
+        self.registration = RegistrationModule(self.registry)
+        self.policy_engine = PolicyEngine(policy)
+        self.updates = UpdateProcessor(database)
+        self.checker = IndependenceChecker()
+        self.grouped_analysis = grouped_analysis
+        # Type-level grouped checking (§4.1.2): structural analysis done
+        # once per query type, shared by all its instances.
+        from repro.core.invalidator.grouping import GroupedChecker
+
+        self.grouped_checker = GroupedChecker()
+        self.scheduler = InvalidationScheduler(polling_budget=polling_budget)
+        self.infomgmt = InformationManager(
+            database, self.policy_engine, use_data_cache=use_data_cache
+        )
+        self.polling = self.infomgmt.polling_generator()
+        self.messages = InvalidationMessageGenerator(caches)
+        self.qiurl_map = qiurl_map
+        #: Resolver: servlet name → temporal sensitivity in ms (§3.1).
+        #: Poll candidates inherit the *tightest* deadline among the
+        #: servlets whose pages they feed.
+        self.servlet_deadline = servlet_deadline
+        self.cycles_run = 0
+        self.last_report: Optional[InvalidationReport] = None
+
+    # -- registration entry points --------------------------------------------------
+
+    def register_query_type(self, template_sql: str, name: Optional[str] = None):
+        """Offline registration of a known query type (§4.1.1)."""
+        return self.registration.register_query_type(template_sql, name)
+
+    def ingest_qiurl_rows(self) -> int:
+        """Online discovery: pull new QI/URL rows into the registry (§4.1.2)."""
+        return self.registration.scan(self.qiurl_map.read_new())
+
+    def _deadline_for(self, instance: QueryInstance) -> float:
+        deadline = instance.query_type.deadline_ms
+        if self.servlet_deadline is not None:
+            for servlet in instance.servlets:
+                try:
+                    deadline = min(deadline, self.servlet_deadline(servlet))
+                except Exception:
+                    continue  # unknown servlet: keep the type default
+        return deadline
+
+    def servlet_cacheable(self, servlet) -> bool:
+        """Feedback hook for the sniffer's request logger."""
+        return self.policy_engine.servlet_cacheable(servlet.name)
+
+    # -- the invalidation cycle ---------------------------------------------------------
+
+    def run_cycle(self) -> InvalidationReport:
+        """One full invalidation cycle (Figure 11, arrows (A)-(C))."""
+        import time as _time
+
+        cycle_start = _time.perf_counter()
+
+        def elapsed_ms() -> float:
+            """Time from the synchronization point to this invalidation —
+            the per-type latency statistic of §4.1.1 (item 4)."""
+            return 1000.0 * (_time.perf_counter() - cycle_start)
+
+        self.cycles_run += 1
+        report = InvalidationReport()
+        self.ingest_qiurl_rows()
+        deltas, lost = self.updates.pull_or_lose()
+        if lost:
+            # The bounded log wrapped past our cursor: the missed changes
+            # are unknowable, so every watched page must be ejected.
+            report.updates_lost = True
+            all_urls = sorted(
+                {url for instance in self.registry.instances() for url in instance.urls}
+            )
+            outcomes = self.messages.invalidate(all_urls)
+            report.urls_ejected = len(outcomes)
+            report.pages_removed = sum(o.pages_removed for o in outcomes)
+            for url in all_urls:
+                self.qiurl_map.drop_url(url)
+                self.registry.drop_url(url)
+            self.last_report = report
+            return report
+        report.records_processed = len(deltas)
+        if deltas.is_empty():
+            self.last_report = report
+            return report
+        self.infomgmt.on_cycle_deltas(set(deltas.tables()))
+
+        urls_to_eject: Set[str] = set()
+        doomed_instances: Set[int] = set()
+        poll_tasks: List[_PollTask] = []
+
+        for table in deltas.tables():
+            # §4.2.1: related updates are processed as a group — identical
+            # change records (same kind, same tuple) yield identical
+            # verdicts for every instance, so only the first is checked.
+            records = []
+            seen_records = set()
+            for record in deltas.changes_for(table):
+                key = (record.kind, record.values, record.columns)
+                if key in seen_records:
+                    report.duplicate_records_skipped += 1
+                    continue
+                seen_records.add(key)
+                records.append(record)
+            for instance in self.registry.instances_touching(table):
+                if instance.instance_id in doomed_instances:
+                    continue
+                stats = instance.query_type.stats
+                for record in records:
+                    report.pairs_checked += 1
+                    stats.updates_seen += 1
+                    if self.grouped_analysis:
+                        verdict = self.grouped_checker.check_instance(
+                            instance, record
+                        )
+                    else:
+                        verdict = self.checker.check(instance.statement, record)
+                    if verdict.kind is VerdictKind.UNAFFECTED:
+                        report.unaffected += 1
+                        continue
+                    if verdict.kind is VerdictKind.AFFECTED:
+                        report.affected += 1
+                        stats.record_invalidation(elapsed=elapsed_ms())
+                        urls_to_eject.update(instance.urls)
+                        doomed_instances.add(instance.instance_id)
+                        break
+                    report.polls_requested += 1
+                    poll_tasks.append(_PollTask(instance, verdict))
+
+        # Budgeted polling (§4.2.2): what we cannot afford to check, we
+        # over-invalidate.
+        candidates = [
+            PollCandidate(
+                key=index,
+                priority=task.instance.query_type.priority,
+                cost=task.instance.query_type.cost,
+                urls_at_stake=len(task.instance.urls),
+                deadline_ms=self._deadline_for(task.instance),
+            )
+            for index, task in enumerate(poll_tasks)
+        ]
+        schedule = self.scheduler.schedule(candidates)
+        self.polling.begin_cycle()
+        for candidate in schedule.to_poll:
+            task = poll_tasks[candidate.key]
+            if task.instance.instance_id in doomed_instances:
+                continue
+            work_before = self.polling.stats.total_work_units
+            impacted = self.infomgmt.poll_with_caching(
+                self.polling, task.verdict.polling_query
+            )
+            report.polls_executed += 1
+            query_type = task.instance.query_type
+            query_type.stats.polling_queries_issued += 1
+            # Self-tuning cost estimate (§4.1.1 item 4): an exponential
+            # moving average of measured polling work feeds the
+            # scheduler's cost-budget decisions in later cycles.
+            poll_work = self.polling.stats.total_work_units - work_before
+            if poll_work > 0:
+                query_type.cost = 0.8 * query_type.cost + 0.2 * poll_work
+            if impacted:
+                report.polls_impacted += 1
+                task.instance.query_type.stats.record_invalidation(
+                    elapsed=elapsed_ms()
+                )
+                urls_to_eject.update(task.instance.urls)
+                doomed_instances.add(task.instance.instance_id)
+        for candidate in schedule.over_invalidate:
+            task = poll_tasks[candidate.key]
+            if task.instance.instance_id in doomed_instances:
+                continue
+            report.over_invalidated += 1
+            task.instance.query_type.stats.record_invalidation(
+                elapsed=elapsed_ms()
+            )
+            urls_to_eject.update(task.instance.urls)
+            doomed_instances.add(task.instance.instance_id)
+
+        outcomes = self.messages.invalidate(sorted(urls_to_eject))
+        report.urls_ejected = len(outcomes)
+        report.pages_removed = sum(outcome.pages_removed for outcome in outcomes)
+        report.polling_work_units = self.polling.stats.total_work_units
+        for url in urls_to_eject:
+            self.qiurl_map.drop_url(url)
+            self.registry.drop_url(url)
+
+        # Policy discovery runs at the end of each cycle (§4.1.4).
+        self.policy_engine.discover(self.registry)
+        self.last_report = report
+        return report
+
+
+class TriggerInvalidator:
+    """Baseline: invalidation via database triggers (§4, paragraph 1).
+
+    A trigger per (table, change kind) runs the same independence check
+    synchronously inside every DML statement.  Needed polling queries are
+    issued inline against the DBMS — the database pays for everything,
+    including keeping the table of cached pages.
+    """
+
+    def __init__(self, database: Database, caches: Sequence[WebCache]) -> None:
+        self.database = database
+        self.registry = QueryTypeRegistry()
+        self.checker = IndependenceChecker()
+        self.messages = InvalidationMessageGenerator(caches)
+        self.pages_ejected = 0
+        self.checks_performed = 0
+        self.polls_issued = 0
+        self.db_work_units = 0
+        self._installed = False
+
+    def watch(self, sql: str, url_key: str) -> None:
+        """Declare that ``url_key`` depends on query instance ``sql``."""
+        self.registry.observe_instance(sql, url_key)
+        self._ensure_triggers()
+
+    def _ensure_triggers(self) -> None:
+        if self._installed:
+            return
+        for table in self.database.table_names():
+            for kind in (ChangeKind.INSERT, ChangeKind.DELETE):
+                self.database.triggers.register(
+                    f"cacheportal-{table}-{kind.value}",
+                    table,
+                    kind,
+                    self._on_change,
+                )
+        self._installed = True
+
+    def _on_change(self, record: UpdateRecord) -> None:
+        ejected: Set[str] = set()
+        for instance in self.registry.instances_touching(record.table):
+            self.checks_performed += 1
+            verdict = self.checker.check(instance.statement, record)
+            if verdict.kind is VerdictKind.UNAFFECTED:
+                continue
+            if verdict.kind is VerdictKind.NEEDS_POLLING:
+                self.polls_issued += 1
+                result = self.database.execute(verdict.polling_query)
+                self.db_work_units += result.work_units
+                if not (result.rows and result.rows[0][0]):
+                    continue
+            ejected.update(instance.urls)
+        if ejected:
+            outcomes = self.messages.invalidate(sorted(ejected))
+            self.pages_ejected += sum(o.pages_removed for o in outcomes)
+            for url in ejected:
+                self.registry.drop_url(url)
+
+
+class MatViewInvalidator:
+    """Baseline: invalidation via materialized views (§4, paragraph 2).
+
+    One materialized view per watched query instance; a change in the view
+    contents ejects the dependent pages.  Expressive — the view *is* the
+    query — but every base-table change recomputes every dependent view,
+    inside the update path.
+    """
+
+    def __init__(self, database: Database, caches: Sequence[WebCache]) -> None:
+        self.database = database
+        self.views = MaterializedViewManager(database)
+        self.messages = InvalidationMessageGenerator(caches)
+        self._urls_by_view: Dict[str, Set[str]] = {}
+        self._view_by_sql: Dict[str, str] = {}
+        self._ids = itertools.count(1)
+        self.pages_ejected = 0
+        self.views.on_view_change(self._on_view_change)
+
+    def watch(self, sql: str, url_key: str) -> None:
+        view_name = self._view_by_sql.get(sql)
+        if view_name is None:
+            view_name = f"cacheportal_view_{next(self._ids)}"
+            self.views.define(view_name, sql)
+            self._view_by_sql[sql] = view_name
+            self._urls_by_view[view_name] = set()
+        self._urls_by_view[view_name].add(url_key)
+
+    @property
+    def maintenance_work(self) -> int:
+        """Total DB work spent keeping the views fresh."""
+        return sum(
+            self.views.get(name).maintenance_work for name in self.views.names()
+        )
+
+    def _on_view_change(self, view) -> None:
+        urls = self._urls_by_view.get(view.name, set())
+        if not urls:
+            return
+        outcomes = self.messages.invalidate(sorted(urls))
+        self.pages_ejected += sum(o.pages_removed for o in outcomes)
+        self._urls_by_view[view.name] = set()

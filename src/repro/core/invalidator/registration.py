@@ -1,0 +1,250 @@
+"""Query-type registration and discovery (paper §4.1.1–4.1.2).
+
+Query *types* are parameterized SELECT templates (``... WHERE price <
+$1``); query *instances* are bound executions of a type, each carrying the
+set of page URLs generated from it.  Grouping instances under their type
+is the key scalability device: the per-type analysis (which tables, which
+conjuncts, which residuals) is done once and shared by every instance.
+
+Types enter the registry two ways:
+
+* **registration** (offline): a domain expert declares the templates the
+  application uses, optionally with a friendly name;
+* **discovery** (online): the registration module scans new QI/URL rows,
+  parameterizes each unseen instance, and creates its type on the fly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import RegistrationError
+from repro.sql import ast
+from repro.sql.analysis import alias_map, referenced_tables
+from repro.sql.params import Value, parameterize
+from repro.sql.parser import parse_statement
+from repro.core.qiurl import QIURLEntry
+
+
+@dataclass
+class QueryTypeStats:
+    """Self-tuning statistics per query type (§4.1.1 item 4).
+
+    Times are in the invalidator's clock units; frequencies are counts
+    since registration (rates are derived by callers who know the elapsed
+    time).
+    """
+
+    instances_seen: int = 0
+    updates_seen: int = 0
+    invalidations: int = 0
+    polling_queries_issued: int = 0
+    total_invalidation_time: float = 0.0
+    max_invalidation_time: float = 0.0
+
+    @property
+    def average_invalidation_time(self) -> float:
+        if not self.invalidations:
+            return 0.0
+        return self.total_invalidation_time / self.invalidations
+
+    @property
+    def invalidation_ratio(self) -> float:
+        """Invalidated instances per update seen (the §4.1.4 heuristic)."""
+        if not self.updates_seen:
+            return 0.0
+        return self.invalidations / self.updates_seen
+
+    def record_invalidation(self, elapsed: float) -> None:
+        self.invalidations += 1
+        self.total_invalidation_time += elapsed
+        self.max_invalidation_time = max(self.max_invalidation_time, elapsed)
+
+
+@dataclass
+class QueryType:
+    """One registered query type."""
+
+    type_id: int
+    name: str
+    signature: str  # canonical parameterized SQL — the registry key
+    template: ast.Select
+    tables: Set[str]
+    aliases: Dict[str, str]  # binding → base table
+    stats: QueryTypeStats = field(default_factory=QueryTypeStats)
+    cacheable: bool = True  # flipped by policy discovery
+
+    #: Cost/priority/deadline assigned by the registration module
+    #: (§4.1.4 last paragraph); consumed by the scheduler.
+    cost: float = 1.0
+    priority: int = 0
+    deadline_ms: float = 1000.0
+
+
+@dataclass
+class QueryInstance:
+    """One bound instance of a query type, with its dependent pages."""
+
+    instance_id: int
+    query_type: QueryType
+    sql: str  # canonical bound SQL
+    bindings: Tuple[Value, ...]
+    statement: ast.Select
+    urls: Set[str] = field(default_factory=set)
+    #: Names of the servlets whose pages this instance feeds — used to
+    #: derive invalidation deadlines from servlet temporal sensitivity.
+    servlets: Set[str] = field(default_factory=set)
+    registered_at: float = 0.0
+
+
+class QueryTypeRegistry:
+    """Type and instance store with per-table indexes."""
+
+    def __init__(self) -> None:
+        self._types_by_signature: Dict[str, QueryType] = {}
+        self._types_by_name: Dict[str, QueryType] = {}
+        self._instances_by_sql: Dict[str, QueryInstance] = {}
+        self._instances_by_table: Dict[str, Set[str]] = {}
+        self._type_ids = itertools.count(1)
+        self._instance_ids = itertools.count(1)
+
+    # -- types ---------------------------------------------------------------
+
+    def register_type(self, template_sql: str, name: Optional[str] = None) -> QueryType:
+        """Register a query type from its parameterized SQL template."""
+        statement = parse_statement(template_sql)
+        if not isinstance(statement, (ast.Select, ast.Union)):
+            raise RegistrationError("query types must be SELECT statements")
+        # Canonicalize through the parameterizer: a template that still
+        # contains literals gets them lifted into parameters, matching how
+        # discovered instances will look.
+        canonical = parameterize(statement)
+        return self._ensure_type(canonical.template, canonical.signature, name)
+
+    def _ensure_type(
+        self, template, signature: str, name: Optional[str] = None
+    ) -> QueryType:
+        existing = self._types_by_signature.get(signature)
+        if existing is not None:
+            if name and existing.name != name and name not in self._types_by_name:
+                self._types_by_name[name] = existing
+            return existing
+        type_id = next(self._type_ids)
+        query_type = QueryType(
+            type_id=type_id,
+            name=name or f"QT{type_id}",
+            signature=signature,
+            template=template,
+            tables=referenced_tables(template),
+            aliases=alias_map(template) if isinstance(template, ast.Select) else {},
+        )
+        self._types_by_signature[signature] = query_type
+        if query_type.name in self._types_by_name:
+            raise RegistrationError(f"query type name {query_type.name!r} in use")
+        self._types_by_name[query_type.name] = query_type
+        return query_type
+
+    def type_by_name(self, name: str) -> QueryType:
+        query_type = self._types_by_name.get(name)
+        if query_type is None:
+            raise RegistrationError(f"no query type named {name!r}")
+        return query_type
+
+    def types(self) -> List[QueryType]:
+        return sorted(self._types_by_signature.values(), key=lambda t: t.type_id)
+
+    # -- instances --------------------------------------------------------------
+
+    def observe_instance(
+        self,
+        sql: str,
+        url_key: str,
+        observed_at: float = 0.0,
+        servlet: Optional[str] = None,
+    ) -> QueryInstance:
+        """Record one (query instance, URL) observation from the QI/URL map.
+
+        Discovers the instance's type if unseen (§4.1.2), then attaches
+        the URL to the instance's dependent-page set.
+        """
+        instance = self._instances_by_sql.get(sql)
+        if instance is None:
+            statement = parse_statement(sql)
+            if not isinstance(statement, (ast.Select, ast.Union)):
+                raise RegistrationError("query instances must be SELECTs")
+            canonical = parameterize(statement)
+            query_type = self._ensure_type(canonical.template, canonical.signature)
+            query_type.stats.instances_seen += 1
+            instance = QueryInstance(
+                instance_id=next(self._instance_ids),
+                query_type=query_type,
+                sql=sql,
+                bindings=canonical.bindings,
+                statement=statement,
+                registered_at=observed_at,
+            )
+            self._instances_by_sql[sql] = instance
+            for table in query_type.tables:
+                self._instances_by_table.setdefault(table, set()).add(sql)
+        instance.urls.add(url_key)
+        if servlet is not None:
+            instance.servlets.add(servlet)
+        return instance
+
+    def instances(self) -> List[QueryInstance]:
+        return sorted(
+            self._instances_by_sql.values(), key=lambda i: i.instance_id
+        )
+
+    def instances_touching(self, table: str) -> List[QueryInstance]:
+        """All live instances whose type references ``table``."""
+        sqls = self._instances_by_table.get(table.lower(), set())
+        return [self._instances_by_sql[sql] for sql in sorted(sqls)]
+
+    def drop_url(self, url_key: str) -> int:
+        """Detach a page from all instances; drop orphaned instances.
+
+        Called after a page is ejected: its QI/URL rows are gone, so
+        instances that fed only that page no longer need watching.
+        """
+        dropped = 0
+        for sql, instance in list(self._instances_by_sql.items()):
+            if url_key in instance.urls:
+                instance.urls.discard(url_key)
+                if not instance.urls:
+                    del self._instances_by_sql[sql]
+                    for table in instance.query_type.tables:
+                        self._instances_by_table.get(table, set()).discard(sql)
+                    dropped += 1
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._instances_by_sql)
+
+
+class RegistrationModule:
+    """The registration module: feeds QI/URL rows into the registry (§4.1).
+
+    In its *offline* mode, :meth:`register_query_type` (and hard-coded
+    policies via the policy engine) are called by the administrator.  In
+    its *online* mode, :meth:`scan` consumes new QI/URL rows, discovering
+    types and instances.
+    """
+
+    def __init__(self, registry: QueryTypeRegistry) -> None:
+        self.registry = registry
+        self.rows_scanned = 0
+
+    def register_query_type(self, template_sql: str, name: Optional[str] = None) -> QueryType:
+        return self.registry.register_type(template_sql, name)
+
+    def scan(self, rows: List[QIURLEntry]) -> int:
+        """Process new QI/URL rows; returns how many were ingested."""
+        for row in rows:
+            self.registry.observe_instance(
+                row.sql, row.url_key, row.mapped_at, servlet=row.servlet
+            )
+        self.rows_scanned += len(rows)
+        return len(rows)

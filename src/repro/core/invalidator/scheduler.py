@@ -1,0 +1,100 @@
+"""Schedule generation: deadlines and the polling budget (§4.2.2).
+
+The invalidator must function in real time, so the number of polling
+queries it may issue per cycle is limited.  The scheduler orders the
+candidate polls — most valuable first — and cuts the list at the budget.
+Candidates that miss the cut are *over-invalidated*: their pages are
+ejected without polling.  This is precisely the paper's trade-off between
+polling amount and invalidation quality: a small budget keeps the DBMS
+load down but drives the invalidation rate (and hence cache-miss rate) up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PollCandidate:
+    """One pending polling decision.
+
+    Attributes:
+        key: opaque identity for the caller to correlate results.
+        priority: higher first (from the query type's registration).
+        cost: estimated work units for the polling query.
+        urls_at_stake: pages that will be needlessly ejected if the poll
+            is skipped; the scheduler protects the largest stakes first.
+        deadline_ms: freshness requirement of the most sensitive servlet
+            involved (tighter deadlines get scheduled earlier).
+    """
+
+    key: object
+    priority: int = 0
+    cost: float = 1.0
+    urls_at_stake: int = 1
+    deadline_ms: float = 1000.0
+
+
+@dataclass
+class Schedule:
+    """Scheduler output: the polls to run and the ones to over-invalidate."""
+
+    to_poll: List[PollCandidate] = field(default_factory=list)
+    over_invalidate: List[PollCandidate] = field(default_factory=list)
+
+    @property
+    def planned_cost(self) -> float:
+        return sum(candidate.cost for candidate in self.to_poll)
+
+
+class InvalidationScheduler:
+    """Budgeted selection of polling queries.
+
+    Args:
+        polling_budget: maximum polling queries per cycle (None = unlimited).
+        cost_budget: optional cap on summed poll cost per cycle.
+    """
+
+    def __init__(
+        self,
+        polling_budget: Optional[int] = None,
+        cost_budget: Optional[float] = None,
+    ) -> None:
+        self.polling_budget = polling_budget
+        self.cost_budget = cost_budget
+        self.cycles = 0
+        self.total_scheduled = 0
+        self.total_over_invalidated = 0
+
+    def schedule(self, candidates: List[PollCandidate]) -> Schedule:
+        """Split candidates into polls-to-run and over-invalidations.
+
+        Ordering: higher priority first, then more URLs at stake (skipping
+        them hurts the hit ratio most), then tighter deadline, then lower
+        cost.  The order is deterministic for reproducible experiments.
+        """
+        self.cycles += 1
+        ranked = sorted(
+            candidates,
+            key=lambda c: (-c.priority, -c.urls_at_stake, c.deadline_ms, c.cost),
+        )
+        schedule = Schedule()
+        spent_cost = 0.0
+        for candidate in ranked:
+            over_count_budget = (
+                self.polling_budget is not None
+                and len(schedule.to_poll) >= self.polling_budget
+            )
+            over_cost_budget = (
+                self.cost_budget is not None
+                and spent_cost + candidate.cost > self.cost_budget
+            )
+            if over_count_budget or over_cost_budget:
+                schedule.over_invalidate.append(candidate)
+            else:
+                schedule.to_poll.append(candidate)
+                spent_cost += candidate.cost
+        self.total_scheduled += len(schedule.to_poll)
+        self.total_over_invalidated += len(schedule.over_invalidate)
+        return schedule

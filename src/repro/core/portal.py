@@ -1,0 +1,166 @@
+"""The CachePortal facade: install sniffer + invalidator on a site.
+
+One call wires the whole architecture of Figure 7 onto an existing
+Configuration-III site — without modifying its servlets, servers, or
+database:
+
+* every servlet is wrapped by a request logger,
+* every application server's driver is wrapped by a query logger,
+* the request-to-query mapper produces the QI/URL map,
+* the invalidator watches the update log and ejects affected pages.
+
+Typical use::
+
+    site = build_site(Configuration.WEB_CACHE, servlets, database=db)
+    portal = CachePortal(site)
+    site.get("/catalog?maker=Toyota")       # page generated and cached
+    db.execute("INSERT INTO car VALUES (...)")
+    portal.run_invalidation_cycle()         # stale pages ejected
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from repro.errors import CachePortalError
+from repro.web.site import Configuration, Site
+from repro.core.sniffer import Sniffer
+from repro.core.invalidator import InvalidationPolicy, InvalidationReport, Invalidator
+
+
+class CachePortal:
+    """Deploys CachePortal on a web-cache (Configuration III) site.
+
+    Args:
+        site: the site to instrument; must have a web cache.
+        policy: invalidation-policy thresholds (optional).
+        polling_budget: max polling queries per invalidation cycle;
+            ``None`` means unbounded (best invalidation quality).
+        max_staleness_ms: staleness bound the deployment guarantees;
+            servlets with tighter temporal sensitivity stay uncacheable.
+        use_data_cache: direct polling queries to an invalidator-side
+            data cache instead of the origin DBMS (§2.4).
+        clock: shared time source for logs; defaults to a logical counter.
+    """
+
+    def __init__(
+        self,
+        site: Site,
+        policy: Optional[InvalidationPolicy] = None,
+        polling_budget: Optional[int] = None,
+        max_staleness_ms: float = 1000.0,
+        use_data_cache: bool = False,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if site.configuration is not Configuration.WEB_CACHE or site.web_cache is None:
+            raise CachePortalError(
+                "CachePortal requires a Configuration III site (web cache)"
+            )
+        self.site = site
+        self._logical = itertools.count()
+        self.clock = clock or (lambda: float(next(self._logical)))
+
+        # The sniffer needs the invalidator's cacheability feedback, and
+        # the invalidator needs the sniffer's QI/URL map; break the cycle
+        # with a late-bound veto.
+        self.sniffer = Sniffer(
+            site.app_servers,
+            clock=self.clock,
+            max_staleness_ms=max_staleness_ms,
+            cacheability_veto=lambda servlet: self.invalidator.servlet_cacheable(
+                servlet
+            ),
+        )
+        self.invalidator = Invalidator(
+            database=site.database,
+            caches=[site.web_cache],
+            qiurl_map=self.sniffer.qiurl_map,
+            policy=policy,
+            polling_budget=polling_budget,
+            use_data_cache=use_data_cache,
+            servlet_deadline=self._servlet_deadline,
+        )
+
+    def _servlet_deadline(self, servlet_name: str) -> float:
+        """Temporal sensitivity of a servlet, for poll scheduling (§3.1)."""
+        servlet = self.site.app_servers[0].servlets.by_name(servlet_name)
+        return servlet.temporal_sensitivity_ms
+
+    # -- operations -----------------------------------------------------------
+
+    def uninstall(self) -> None:
+        """Tear CachePortal down, restoring the site to its bare state.
+
+        Servlet and driver wrappers are removed, so responses go back to
+        ``no-cache`` and nothing is logged.  Already-cached pages are
+        flushed — without an invalidator watching them they would go
+        stale silently.  Idempotent.
+        """
+        self.sniffer.uninstall()
+        self.site.web_cache.clear()
+
+    def run_sniffer(self) -> int:
+        """One mapping round: drain logs into the QI/URL map."""
+        return self.sniffer.run_mapper()
+
+    def run_invalidation_cycle(self) -> InvalidationReport:
+        """One synchronization point: map logs, pull Δs, eject stale pages.
+
+        The sniffer's mapper always runs first so that every page cached
+        before this instant has its QI/URL rows visible to the
+        invalidator — the safety property tests rely on this ordering.
+        """
+        self.run_sniffer()
+        return self.invalidator.run_cycle()
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def qiurl_map(self):
+        return self.sniffer.qiurl_map
+
+    def register_query_type(self, template_sql: str, name: Optional[str] = None):
+        """Expose offline query-type registration (§4.1.1)."""
+        return self.invalidator.register_query_type(template_sql, name)
+
+    def status(self) -> dict:
+        """Operational snapshot of every component, for dashboards/logs."""
+        cache = self.site.web_cache
+        invalidator = self.invalidator
+        last = invalidator.last_report
+        return {
+            "cache": {
+                "pages": len(cache),
+                "capacity": cache.capacity,
+                "hits": cache.stats.hits,
+                "misses": cache.stats.misses,
+                "hit_ratio": round(cache.stats.hit_ratio, 4),
+                "ejects": cache.stats.ejects,
+                "evictions": cache.stats.evictions,
+            },
+            "sniffer": {
+                "requests_mapped": self.sniffer.mapper.requests_mapped,
+                "pairs_written": self.sniffer.mapper.pairs_written,
+                "map_rows": len(self.qiurl_map),
+            },
+            "invalidator": {
+                "cycles_run": invalidator.cycles_run,
+                "query_types": len(invalidator.registry.types()),
+                "query_instances": len(invalidator.registry),
+                "polls_issued": invalidator.polling.stats.issued,
+                "polls_coalesced": invalidator.polling.stats.coalesced,
+                "poll_cache_hits": invalidator.polling.stats.cache_hits,
+                "over_invalidated_total": invalidator.scheduler.total_over_invalidated,
+                "last_cycle": None
+                if last is None
+                else {
+                    "records": last.records_processed,
+                    "pairs_checked": last.pairs_checked,
+                    "unaffected": last.unaffected,
+                    "affected": last.affected,
+                    "polls_executed": last.polls_executed,
+                    "urls_ejected": last.urls_ejected,
+                },
+            },
+        }

@@ -1,0 +1,101 @@
+"""The QI/URL map: query instances ↔ page URLs (paper §2.4).
+
+Each row associates one query instance (a bound SELECT, stored as
+canonical SQL text) with one page URL that was generated using its
+results, plus the request metadata the invalidator needs.  The map is the
+hand-off point between the sniffer (producer) and the invalidator
+(consumer); the two sides are asynchronous, so the map supports cursors.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class QIURLEntry:
+    """One row of the QI/URL map.
+
+    Attributes:
+        entry_id: unique row id.
+        sql: canonical text of the bound query instance.
+        url_key: the page identifier (host + keyed parameters).
+        servlet: name of the servlet that generated the page.
+        mapped_at: when the sniffer created this row.
+    """
+
+    entry_id: int
+    sql: str
+    url_key: str
+    servlet: str
+    mapped_at: float
+
+
+class QIURLMap:
+    """Append-mostly store of QI/URL rows with de-duplication.
+
+    Rows are unique per (sql, url_key): re-generating the same page from
+    the same query refreshes nothing.  Consumers read new rows through
+    :meth:`read_new`, which tracks a per-map cursor (the invalidator is
+    the only consumer in practice).
+    """
+
+    def __init__(self) -> None:
+        self._rows: List[QIURLEntry] = []
+        self._by_pair: Dict[Tuple[str, str], QIURLEntry] = {}
+        self._by_url: Dict[str, Set[Tuple[str, str]]] = {}
+        self._ids = itertools.count(1)
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._by_pair)
+
+    def add(
+        self, sql: str, url_key: str, servlet: str, mapped_at: float = 0.0
+    ) -> Optional[QIURLEntry]:
+        """Add one row; returns None when the (sql, url) pair already exists."""
+        pair = (sql, url_key)
+        if pair in self._by_pair:
+            return None
+        entry = QIURLEntry(
+            entry_id=next(self._ids),
+            sql=sql,
+            url_key=url_key,
+            servlet=servlet,
+            mapped_at=mapped_at,
+        )
+        self._rows.append(entry)
+        self._by_pair[pair] = entry
+        self._by_url.setdefault(url_key, set()).add(pair)
+        return entry
+
+    def read_new(self) -> List[QIURLEntry]:
+        """Rows appended since the previous call (the consumer cursor)."""
+        new_rows = self._rows[self._cursor :]
+        self._cursor = len(self._rows)
+        # Skip rows that were dropped after being appended.
+        return [row for row in new_rows if (row.sql, row.url_key) in self._by_pair]
+
+    def urls(self) -> List[str]:
+        return sorted(self._by_url)
+
+    def entries_for_url(self, url_key: str) -> List[QIURLEntry]:
+        pairs = self._by_url.get(url_key, set())
+        return [self._by_pair[pair] for pair in pairs]
+
+    def drop_url(self, url_key: str) -> int:
+        """Remove every row for a page (called after the page is ejected).
+
+        The next time the page is generated and cached, the sniffer maps
+        it afresh; keeping dead rows would only grow the invalidator's
+        working set.
+        """
+        pairs = self._by_url.pop(url_key, set())
+        for pair in pairs:
+            del self._by_pair[pair]
+        return len(pairs)
+
+    def all_entries(self) -> List[QIURLEntry]:
+        return [row for row in self._rows if (row.sql, row.url_key) in self._by_pair]

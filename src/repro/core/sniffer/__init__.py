@@ -1,0 +1,31 @@
+"""The sniffer module (paper §3).
+
+Three loosely coupled parts:
+
+* :class:`~repro.core.sniffer.request_logger.RequestLoggingServlet` — the
+  servlet wrapper that logs HTTP requests with receive/delivery stamps and
+  rewrites ``no-cache`` into the CachePortal-cacheable header;
+* the query logger — :class:`repro.db.wrapper.LoggingDriver`, re-exported
+  here, wrapping the database driver;
+* :class:`~repro.core.sniffer.mapper.RequestToQueryMapper` — joins the two
+  logs on time intervals into the QI/URL map.
+
+:class:`~repro.core.sniffer.sniffer.Sniffer` bundles the three.
+"""
+
+from repro.db.wrapper import LoggingDriver, QueryLog, QueryLogRecord
+from repro.core.sniffer.logs import RequestLog, RequestLogRecord
+from repro.core.sniffer.request_logger import RequestLoggingServlet
+from repro.core.sniffer.mapper import RequestToQueryMapper
+from repro.core.sniffer.sniffer import Sniffer
+
+__all__ = [
+    "LoggingDriver",
+    "QueryLog",
+    "QueryLogRecord",
+    "RequestLog",
+    "RequestLogRecord",
+    "RequestLoggingServlet",
+    "RequestToQueryMapper",
+    "Sniffer",
+]

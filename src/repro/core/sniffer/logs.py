@@ -1,0 +1,59 @@
+"""Request-log records and store (paper §3.1).
+
+The request logger stores, per request: a unique id, the request string
+(page name + GET parameters), the cookie string, the post string, and the
+receive/delivery timestamps — the five items listed in the paper.
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class RequestLogRecord:
+    """One logged HTTP request, as captured by the servlet wrapper."""
+
+    request_id: int
+    servlet: str
+    url_key: str
+    request_string: str  # page name + GET parameters
+    cookie_string: str
+    post_string: str
+    receive_time: float
+    delivery_time: float
+    cacheable: bool
+
+    @property
+    def interval(self) -> tuple:
+        """The request's service interval [receive, delivery]."""
+        return (self.receive_time, self.delivery_time)
+
+
+def encode_params(params: dict) -> str:
+    """Deterministic (sorted) urlencoding used for log strings."""
+    return urllib.parse.urlencode(sorted(params.items()))
+
+
+class RequestLog:
+    """Append-only store of request records."""
+
+    def __init__(self) -> None:
+        self._records: List[RequestLogRecord] = []
+
+    def append(self, record: RequestLogRecord) -> None:
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def all(self) -> List[RequestLogRecord]:
+        return list(self._records)
+
+    def drain(self) -> List[RequestLogRecord]:
+        """Return and clear all records (periodic log shipping)."""
+        records = self._records
+        self._records = []
+        return records

@@ -1,0 +1,86 @@
+"""The request-to-query mapper (paper §3.3).
+
+For every request interval — between the receive and delivery times of a
+requested page in the request log — the mapper finds all queries processed
+during the corresponding interval in the query log and writes the pairs
+into the QI/URL map.
+
+The interval join is deliberately conservative: with concurrent requests
+on one server, a query can fall inside more than one request interval and
+is then mapped to each of them.  Over-mapping is safe (at worst an extra
+page is invalidated later); under-mapping would leave stale pages cached.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.db.wrapper import QueryLog, QueryLogRecord
+from repro.core.qiurl import QIURLMap
+from repro.core.sniffer.logs import RequestLog, RequestLogRecord
+
+
+class RequestToQueryMapper:
+    """Joins request and query logs into a :class:`QIURLMap`."""
+
+    def __init__(self, qiurl_map: QIURLMap) -> None:
+        self.qiurl_map = qiurl_map
+        self.requests_mapped = 0
+        self.pairs_written = 0
+
+    def run(
+        self, request_logs: List[RequestLog], query_logs: List[QueryLog]
+    ) -> int:
+        """Process and drain all pending log records; returns pairs written.
+
+        The mapper runs at regular intervals on fetched logs (§2.4); each
+        run consumes the records accumulated since the last one.  Request
+        and query logs must come from the same server pairing, in the same
+        order, so intervals compare on a common clock.
+        """
+        written = 0
+        for request_log, query_log in zip(request_logs, query_logs):
+            requests = request_log.drain()
+            queries = query_log.drain()
+            written += self._map_batch(requests, queries)
+        return written
+
+    def _map_batch(
+        self, requests: List[RequestLogRecord], queries: List[QueryLogRecord]
+    ) -> int:
+        # Sort queries once; scan per request with binary-search bounds.
+        queries = sorted(queries, key=lambda record: record.receive_time)
+        receive_times = [record.receive_time for record in queries]
+        written = 0
+        for request in requests:
+            self.requests_mapped += 1
+            if not request.cacheable:
+                # Non-cacheable pages are never in a cache, so the
+                # invalidator has nothing to do for them.
+                continue
+            start, end = request.interval
+            low = _bisect_left(receive_times, start)
+            index = low
+            while index < len(queries) and queries[index].receive_time <= end:
+                entry = self.qiurl_map.add(
+                    sql=queries[index].sql,
+                    url_key=request.url_key,
+                    servlet=request.servlet,
+                    mapped_at=request.delivery_time,
+                )
+                if entry is not None:
+                    written += 1
+                index += 1
+        self.pairs_written += written
+        return written
+
+
+def _bisect_left(values: List[float], target: float) -> int:
+    low, high = 0, len(values)
+    while low < high:
+        middle = (low + high) // 2
+        if values[middle] < target:
+            low = middle + 1
+        else:
+            high = middle
+    return low

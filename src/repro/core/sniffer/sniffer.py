@@ -1,0 +1,102 @@
+"""The assembled sniffer: request loggers + query loggers + mapper.
+
+One :class:`Sniffer` instruments one site: it wraps every servlet on every
+application server with a :class:`RequestLoggingServlet`, re-points each
+server's connection pool at a :class:`LoggingDriver`, and owns the mapper
+that turns the collected logs into the QI/URL map.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, List, Optional
+
+from repro.db.dbapi import register_driver
+from repro.db.wrapper import LoggingDriver
+from repro.web.appserver import ApplicationServer
+from repro.web.servlet import Servlet
+from repro.core.qiurl import QIURLMap
+from repro.core.sniffer.logs import RequestLog
+from repro.core.sniffer.mapper import RequestToQueryMapper
+from repro.core.sniffer.request_logger import RequestLoggingServlet
+
+
+class Sniffer:
+    """Installs and runs CachePortal's observation side on a set of servers.
+
+    Args:
+        app_servers: the application servers to instrument.
+        clock: shared time source for both logs (request/query intervals
+            must be comparable).
+        max_staleness_ms: forwarded to the request loggers.
+        cacheability_veto: the invalidator's feedback hook (§3.1).
+    """
+
+    _instances = itertools.count(1)
+
+    def __init__(
+        self,
+        app_servers: List[ApplicationServer],
+        clock: Optional[Callable[[], float]] = None,
+        max_staleness_ms: float = 1000.0,
+        cacheability_veto: Optional[Callable[[Servlet], bool]] = None,
+    ) -> None:
+        self.app_servers = list(app_servers)
+        self._logical = itertools.count()
+        self.clock = clock or (lambda: float(next(self._logical)))
+        self.qiurl_map = QIURLMap()
+        self.mapper = RequestToQueryMapper(self.qiurl_map)
+        self.request_logs: List[RequestLog] = []
+        self.query_loggers: List[LoggingDriver] = []
+        self._original_driver_urls: List[str] = [
+            server.driver_url for server in self.app_servers
+        ]
+        self.installed = True
+        instance = next(self._instances)
+
+        for index, app_server in enumerate(self.app_servers):
+            request_log = RequestLog()
+            self.request_logs.append(request_log)
+            app_server.servlets.wrap_all(
+                lambda servlet, log=request_log: RequestLoggingServlet(
+                    servlet,
+                    log,
+                    clock=self.clock,
+                    max_staleness_ms=max_staleness_ms,
+                    cacheability_veto=cacheability_veto,
+                )
+            )
+            query_logger = LoggingDriver(clock=self.clock)
+            self.query_loggers.append(query_logger)
+            driver_name = f"cacheportal-{instance}-{index}"
+            register_driver(driver_name, query_logger)
+            app_server.set_driver_url(f"repro:{driver_name}:")
+
+    def run_mapper(self) -> int:
+        """One mapping round over the logs gathered so far.
+
+        Returns the number of new QI/URL pairs written.  Called
+        periodically (the paper's invalidator "fetches the logs from the
+        appropriate servers at regular intervals").
+        """
+        return self.mapper.run(
+            self.request_logs, [logger.log for logger in self.query_loggers]
+        )
+
+    def uninstall(self) -> None:
+        """Remove the wrappers: unwrap every servlet, restore drivers.
+
+        The flip side of non-invasive deployment — tearing CachePortal
+        down leaves the site exactly as it was (dynamic pages revert to
+        ``no-cache``).  Idempotent.
+        """
+        if not self.installed:
+            return
+        for app_server, original_url in zip(
+            self.app_servers, self._original_driver_urls
+        ):
+            app_server.servlets.wrap_all(
+                lambda servlet: getattr(servlet, "inner", servlet)
+            )
+            app_server.set_driver_url(original_url)
+        self.installed = False

@@ -1,0 +1,31 @@
+"""In-memory relational database engine.
+
+This package is the "Oracle 8i" stand-in of the reproduction: a complete
+(if small) SQL engine with a catalog, heap tables, secondary indexes, a
+planner/executor pair, an update log with Δ⁺/Δ⁻ extraction, row-level
+triggers, materialized views, and a PEP-249-style driver (the "JDBC"
+analogue) that the CachePortal sniffer wraps.
+"""
+
+from repro.db.engine import Database, StatementResult
+from repro.db.schema import Column, TableSchema
+from repro.db.types import SqlType
+from repro.db.log import DeltaTables, UpdateLog, UpdateRecord
+from repro.db.dbapi import Connection, Cursor, connect
+from repro.db.wrapper import LoggingDriver, QueryLogRecord
+
+__all__ = [
+    "Column",
+    "Connection",
+    "Cursor",
+    "Database",
+    "DeltaTables",
+    "LoggingDriver",
+    "QueryLogRecord",
+    "SqlType",
+    "StatementResult",
+    "TableSchema",
+    "UpdateLog",
+    "UpdateRecord",
+    "connect",
+]

@@ -1,0 +1,245 @@
+"""PEP-249-flavoured driver interface — the reproduction's "JDBC".
+
+Application servlets never touch :class:`~repro.db.engine.Database`
+directly; they open a :class:`Connection` through :func:`connect` (or
+through a connection pool, see :class:`ConnectionPool`) and run statements
+on a :class:`Cursor`.  This indirection is what makes the sniffer's
+query-logger wrapper (:mod:`repro.db.wrapper`) non-invasive: it slots in
+as just another driver.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import InterfaceError
+from repro.db.engine import Database, StatementResult
+from repro.db.types import Value
+
+Row = Tuple[Value, ...]
+
+
+class Cursor:
+    """Statement execution handle, PEP-249 style."""
+
+    def __init__(self, connection: "Connection") -> None:
+        self._connection = connection
+        self._result: Optional[StatementResult] = None
+        self._fetch_position = 0
+        self._closed = False
+        self.arraysize = 1
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def description(self) -> Optional[List[Tuple[str, None, None, None, None, None, None]]]:
+        """Column metadata of the last SELECT, or None."""
+        if self._result is None or not self._result.columns:
+            return None
+        return [(name, None, None, None, None, None, None) for name in self._result.columns]
+
+    @property
+    def rowcount(self) -> int:
+        if self._result is None:
+            return -1
+        return self._result.rowcount
+
+    @property
+    def last_result(self) -> Optional[StatementResult]:
+        """The full engine result, including work counters (extension)."""
+        return self._result
+
+    # -- execution --------------------------------------------------------------
+
+    def execute(self, sql: str, params: Optional[Sequence[Value]] = None) -> "Cursor":
+        self._check_open()
+        self._result = self._connection._run(sql, params)
+        self._fetch_position = 0
+        return self
+
+    def executemany(
+        self, sql: str, param_sets: Sequence[Sequence[Value]]
+    ) -> "Cursor":
+        self._check_open()
+        for params in param_sets:
+            self.execute(sql, params)
+        return self
+
+    # -- fetching ----------------------------------------------------------------
+
+    def fetchone(self) -> Optional[Row]:
+        rows = self._rows()
+        if self._fetch_position >= len(rows):
+            return None
+        row = rows[self._fetch_position]
+        self._fetch_position += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> List[Row]:
+        rows = self._rows()
+        count = size if size is not None else self.arraysize
+        chunk = rows[self._fetch_position : self._fetch_position + count]
+        self._fetch_position += len(chunk)
+        return chunk
+
+    def fetchall(self) -> List[Row]:
+        rows = self._rows()
+        chunk = rows[self._fetch_position :]
+        self._fetch_position = len(rows)
+        return chunk
+
+    def __iter__(self):
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def close(self) -> None:
+        self._closed = True
+        self._result = None
+
+    def _rows(self) -> List[Row]:
+        self._check_open()
+        if self._result is None:
+            raise InterfaceError("no statement has been executed on this cursor")
+        return self._result.rows
+
+    def _check_open(self) -> None:
+        if self._closed or self._connection.closed:
+            raise InterfaceError("cursor is closed")
+
+
+class Connection:
+    """A session against one database, possibly via a wrapping driver."""
+
+    def __init__(self, database: Database, driver: Optional["Driver"] = None) -> None:
+        self._database = database
+        self._driver = driver
+        self.closed = False
+
+    def cursor(self) -> Cursor:
+        if self.closed:
+            raise InterfaceError("connection is closed")
+        return Cursor(self)
+
+    def execute(self, sql: str, params: Optional[Sequence[Value]] = None) -> Cursor:
+        """Shortcut: open a cursor and execute on it."""
+        return self.cursor().execute(sql, params)
+
+    def close(self) -> None:
+        self.closed = True
+
+    def begin(self) -> None:
+        """Open a transaction on the underlying database."""
+        self._database.begin()
+
+    def commit(self) -> None:
+        """Publish the open transaction; a no-op in auto-commit mode."""
+        self._database.commit()
+
+    def rollback(self) -> None:
+        """Undo the open transaction.
+
+        Raises:
+            InterfaceError: when no transaction is open (the engine
+                auto-commits individual statements).
+        """
+        if not self._database.in_transaction:
+            raise InterfaceError("no open transaction to roll back")
+        self._database.rollback()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _run(self, sql: str, params: Optional[Sequence[Value]]) -> StatementResult:
+        if self.closed:
+            raise InterfaceError("connection is closed")
+        if self._driver is not None:
+            return self._driver.run(self._database, sql, params)
+        return self._database.execute(sql, params)
+
+
+class Driver:
+    """Extension point for drivers that intercept statement execution.
+
+    The base driver executes directly; :class:`repro.db.wrapper.LoggingDriver`
+    overrides :meth:`run` to record queries first.
+    """
+
+    def run(
+        self, database: Database, sql: str, params: Optional[Sequence[Value]]
+    ) -> StatementResult:
+        return database.execute(sql, params)
+
+
+#: Registry of named drivers, addressed via connect() URLs.
+_DRIVERS: Dict[str, Driver] = {"native": Driver()}
+
+
+def register_driver(name: str, driver: Driver) -> None:
+    """Make ``driver`` addressable as ``repro:<name>:`` in connect URLs."""
+    _DRIVERS[name] = driver
+
+
+def connect(database: Database, url: str = "repro:native:") -> Connection:
+    """Open a connection to ``database``.
+
+    The URL selects the driver, mirroring JDBC's
+    ``jdbc:weblogic:oracle``-style chaining: ``repro:<driver>:``.  The
+    CachePortal deployment passes ``repro:cacheportal:`` after registering
+    its logging wrapper, leaving application code untouched.
+    """
+    parts = url.split(":")
+    if len(parts) < 2 or parts[0] != "repro":
+        raise InterfaceError(f"malformed database URL {url!r}")
+    driver_name = parts[1] or "native"
+    driver = _DRIVERS.get(driver_name)
+    if driver is None:
+        raise InterfaceError(f"no driver registered under {driver_name!r}")
+    return Connection(database, driver)
+
+
+class ConnectionPool:
+    """A named group of identical connections (BEA-style JDBC pool).
+
+    The pool exists mostly for fidelity with the paper's description of
+    how servlets reach the database; it also gives the simulator a place
+    to model connection-establishment cost.
+    """
+
+    def __init__(self, name: str, database: Database, size: int = 4,
+                 url: str = "repro:native:") -> None:
+        if size < 1:
+            raise InterfaceError("pool size must be positive")
+        self.name = name
+        self._database = database
+        self._url = url
+        self._idle: List[Connection] = [connect(database, url) for _ in range(size)]
+        self._loaned = 0
+        self.acquisitions = 0
+
+    @property
+    def size(self) -> int:
+        return len(self._idle) + self._loaned
+
+    def acquire(self) -> Connection:
+        """Borrow a connection; grows the pool when all are loaned out."""
+        self.acquisitions += 1
+        if self._idle:
+            connection = self._idle.pop()
+        else:
+            connection = connect(self._database, self._url)
+        self._loaned += 1
+        return connection
+
+    def release(self, connection: Connection) -> None:
+        if connection.closed:
+            connection = connect(self._database, self._url)
+        self._loaned = max(0, self._loaned - 1)
+        self._idle.append(connection)

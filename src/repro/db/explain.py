@@ -1,0 +1,119 @@
+"""EXPLAIN: render a SELECT's physical plan as an indented tree.
+
+``EXPLAIN SELECT ...`` returns one row per plan node instead of running
+the query — the standard tool for verifying that an index is actually
+used or that a join was upgraded to a hash join.  The output is stable
+text, so tests can assert on plan shapes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sql import ast
+from repro.sql.printer import to_sql
+from repro.db import planner as plan
+
+
+def _describe(node: plan.PlanNode) -> str:
+    if isinstance(node, plan.TableScan):
+        if not node.table:
+            return "ConstantRow"
+        label = f"TableScan({node.table}"
+        if node.binding != node.table:
+            label += f" AS {node.binding}"
+        return label + ")"
+    if isinstance(node, plan.IndexEqLookup):
+        return (
+            f"IndexEqLookup({node.table}.{node.column} = {to_sql(node.value)} "
+            f"USING {node.index_name})"
+        )
+    if isinstance(node, plan.IndexRangeScan):
+        bounds = []
+        if node.low is not None:
+            op = ">" if node.low_open else ">="
+            bounds.append(f"{node.column} {op} {to_sql(node.low)}")
+        if node.high is not None:
+            op = "<" if node.high_open else "<="
+            bounds.append(f"{node.column} {op} {to_sql(node.high)}")
+        return (
+            f"IndexRangeScan({node.table}: {' AND '.join(bounds)} "
+            f"USING {node.index_name})"
+        )
+    if isinstance(node, plan.Filter):
+        return f"Filter({to_sql(node.predicate)})"
+    if isinstance(node, plan.NestedLoopJoin):
+        condition = to_sql(node.on) if node.on is not None else "TRUE"
+        return f"NestedLoopJoin(on {condition})"
+    if isinstance(node, plan.HashJoin):
+        label = f"HashJoin({to_sql(node.left_key)} = {to_sql(node.right_key)}"
+        if node.residual is not None:
+            label += f", residual {to_sql(node.residual)}"
+        return label + ")"
+    if isinstance(node, plan.LeftOuterJoin):
+        condition = to_sql(node.on) if node.on is not None else "TRUE"
+        return f"LeftOuterJoin(on {condition})"
+    if isinstance(node, plan.Project):
+        items = ", ".join(
+            to_sql(item.expr) + (f" AS {item.alias}" if item.alias else "")
+            for item in node.items
+        )
+        return f"Project({items})"
+    if isinstance(node, plan.Aggregate):
+        keys = ", ".join(to_sql(expr) for expr in node.group_by) or "<global>"
+        return f"Aggregate(group by {keys})"
+    if isinstance(node, plan.Sort):
+        keys = ", ".join(
+            to_sql(item.expr) + (" DESC" if item.descending else "")
+            for item in node.keys
+        )
+        return f"Sort({keys})"
+    if isinstance(node, plan.Distinct):
+        return "Distinct"
+    if isinstance(node, plan.Limit):
+        parts = []
+        if node.limit is not None:
+            parts.append(f"limit {node.limit}")
+        if node.offset is not None:
+            parts.append(f"offset {node.offset}")
+        return f"Limit({', '.join(parts)})"
+    return type(node).__name__
+
+
+def _children(node: plan.PlanNode) -> List[plan.PlanNode]:
+    if isinstance(node, (plan.NestedLoopJoin, plan.HashJoin, plan.LeftOuterJoin)):
+        return [node.left, node.right]
+    child = getattr(node, "child", None)
+    return [child] if child is not None else []
+
+
+def render_plan(node: plan.PlanNode) -> List[str]:
+    """Depth-first indented description, one line per plan node."""
+    lines: List[str] = []
+
+    def visit(current: plan.PlanNode, depth: int) -> None:
+        lines.append("  " * depth + _describe(current))
+        for child in _children(current):
+            visit(child, depth + 1)
+
+    visit(node, 0)
+    return lines
+
+
+def explain(database, statement: ast.Statement) -> List[str]:
+    """Plan ``statement`` against ``database`` and render the tree.
+
+    UNIONs render each part's plan under a ``Union`` header.  Subqueries
+    are resolved (executed) first, exactly as real execution would, so
+    the plan shows what the outer query will actually run.
+    """
+    if isinstance(statement, ast.Union):
+        lines = [f"Union({'ALL' if all(statement.all_flags) else 'DISTINCT'})"]
+        for part in statement.parts:
+            lines.extend("  " + line for line in explain(database, part))
+        return lines
+    from repro.db.subquery import SubqueryResolver
+
+    resolved = SubqueryResolver(database).resolve_select(statement)
+    tree = database._planner.plan(resolved)
+    return render_plan(tree)

@@ -1,0 +1,280 @@
+"""Expression evaluation over executor rows.
+
+The executor represents an intermediate row as a flat tuple of values and a
+:class:`Scope` describing which (binding, column) pair lives at which
+offset.  ``evaluate`` walks an AST expression against such a row using SQL
+three-valued logic: comparisons involving NULL yield NULL, and a WHERE
+clause passes a row only when its predicate evaluates to exactly TRUE.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CatalogError, ExecutionError
+from repro.sql import ast
+from repro.db.types import Value, like_match, sql_compare, sql_equal
+
+
+class Scope:
+    """Column-name resolution for a flat executor row.
+
+    A scope is built from an ordered list of (binding, column_names)
+    pairs.  Offsets are assigned left to right, so a combined row for
+    ``car, mileage`` is ``car's columns ++ mileage's columns``.
+    """
+
+    def __init__(self, parts: Sequence[Tuple[str, Sequence[str]]]) -> None:
+        self.parts = [
+            (binding.lower(), [column.lower() for column in columns])
+            for binding, columns in parts
+        ]
+        self._qualified: Dict[Tuple[str, str], int] = {}
+        self._unqualified: Dict[str, List[int]] = {}
+        offset = 0
+        for binding, columns in self.parts:
+            for column in columns:
+                self._qualified[(binding, column)] = offset
+                self._unqualified.setdefault(column, []).append(offset)
+                offset += 1
+        self.width = offset
+
+    def resolve(self, table: Optional[str], column: str) -> int:
+        """Offset of ``table.column`` (or bare ``column``) in the row."""
+        column = column.lower()
+        if table is not None:
+            key = (table.lower(), column)
+            if key not in self._qualified:
+                raise CatalogError(f"unknown column {table}.{column}")
+            return self._qualified[key]
+        offsets = self._unqualified.get(column)
+        if not offsets:
+            raise CatalogError(f"unknown column {column!r}")
+        if len(offsets) > 1:
+            raise CatalogError(f"ambiguous column {column!r}")
+        return offsets[0]
+
+    def star_offsets(self, table: Optional[str] = None) -> List[int]:
+        """Offsets covered by ``*`` or ``table.*``."""
+        if table is None:
+            return list(range(self.width))
+        table = table.lower()
+        offsets: List[int] = []
+        position = 0
+        for binding, columns in self.parts:
+            if binding == table:
+                offsets.extend(range(position, position + len(columns)))
+            position += len(columns)
+        if not offsets:
+            raise CatalogError(f"unknown table {table!r} in select list")
+        return offsets
+
+    def column_labels(self) -> List[str]:
+        """Qualified labels for every offset, e.g. ``['car.maker', ...]``."""
+        labels: List[str] = []
+        for binding, columns in self.parts:
+            labels.extend(f"{binding}.{column}" for column in columns)
+        return labels
+
+
+_SCALAR_FUNCTIONS = {
+    "LENGTH": lambda args: None if args[0] is None else len(str(args[0])),
+    "UPPER": lambda args: None if args[0] is None else str(args[0]).upper(),
+    "LOWER": lambda args: None if args[0] is None else str(args[0]).lower(),
+    "ABS": lambda args: None if args[0] is None else abs(args[0]),
+    "COALESCE": lambda args: next((a for a in args if a is not None), None),
+}
+
+
+def evaluate(
+    expr: ast.Expr,
+    row: Sequence[Value],
+    scope: Scope,
+    computed: Optional[Dict[ast.Expr, Value]] = None,
+) -> Value:
+    """Evaluate ``expr`` against one row.
+
+    ``computed`` maps pre-computed sub-expressions (aggregates) to their
+    values; it is consulted before structural evaluation so that HAVING
+    and post-GROUP-BY select items can reference aggregate results.
+    """
+    if computed is not None and expr in computed:
+        return computed[expr]
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.ColumnRef):
+        return row[scope.resolve(expr.table, expr.column)]
+    if isinstance(expr, ast.Parameter):
+        raise ExecutionError("unbound parameter reached the executor")
+    if isinstance(expr, ast.Binary):
+        return _binary(expr, row, scope, computed)
+    if isinstance(expr, ast.Unary):
+        return _unary(expr, row, scope, computed)
+    if isinstance(expr, ast.Between):
+        value = evaluate(expr.expr, row, scope, computed)
+        low = evaluate(expr.low, row, scope, computed)
+        high = evaluate(expr.high, row, scope, computed)
+        low_cmp = sql_compare(value, low)
+        high_cmp = sql_compare(value, high)
+        if low_cmp is None or high_cmp is None:
+            return None
+        inside = low_cmp >= 0 and high_cmp <= 0
+        return (not inside) if expr.negated else inside
+    if isinstance(expr, ast.InList):
+        return _in_list(expr, row, scope, computed)
+    if isinstance(expr, ast.IsNull):
+        value = evaluate(expr.expr, row, scope, computed)
+        result = value is None
+        return (not result) if expr.negated else result
+    if isinstance(expr, ast.FunctionCall):
+        if expr.is_aggregate:
+            raise ExecutionError(
+                f"aggregate {expr.name} outside GROUP BY evaluation"
+            )
+        handler = _SCALAR_FUNCTIONS.get(expr.name)
+        if handler is None:
+            raise ExecutionError(f"unknown function {expr.name}")
+        args = [evaluate(arg, row, scope, computed) for arg in expr.args]
+        return handler(args)
+    if isinstance(expr, ast.Case):
+        for cond, value in expr.whens:
+            if evaluate(cond, row, scope, computed) is True:
+                return evaluate(value, row, scope, computed)
+        if expr.default is not None:
+            return evaluate(expr.default, row, scope, computed)
+        return None
+    if isinstance(expr, ast.Star):
+        raise ExecutionError("'*' is only valid in a select list or COUNT(*)")
+    raise ExecutionError(f"cannot evaluate expression {expr!r}")
+
+
+def _binary(
+    expr: ast.Binary,
+    row: Sequence[Value],
+    scope: Scope,
+    computed: Optional[Dict[ast.Expr, Value]],
+) -> Value:
+    op = expr.op
+    if op is ast.BinaryOp.AND:
+        left = evaluate(expr.left, row, scope, computed)
+        if left is False:
+            return False
+        right = evaluate(expr.right, row, scope, computed)
+        if right is False:
+            return False
+        if left is None or right is None:
+            return None
+        return _truthy(left) and _truthy(right)
+    if op is ast.BinaryOp.OR:
+        left = evaluate(expr.left, row, scope, computed)
+        if left is True or (left is not None and _truthy(left)):
+            return True
+        right = evaluate(expr.right, row, scope, computed)
+        if right is True or (right is not None and _truthy(right)):
+            return True
+        if left is None or right is None:
+            return None
+        return False
+    left = evaluate(expr.left, row, scope, computed)
+    right = evaluate(expr.right, row, scope, computed)
+    if op is ast.BinaryOp.LIKE:
+        return like_match(left, right)
+    if op in ast.COMPARISONS:
+        cmp = sql_compare(left, right)
+        if cmp is None:
+            return None
+        if op is ast.BinaryOp.EQ:
+            return cmp == 0
+        if op is ast.BinaryOp.NE:
+            return cmp != 0
+        if op is ast.BinaryOp.LT:
+            return cmp < 0
+        if op is ast.BinaryOp.LE:
+            return cmp <= 0
+        if op is ast.BinaryOp.GT:
+            return cmp > 0
+        return cmp >= 0  # GE
+    if left is None or right is None:
+        return None
+    if op is ast.BinaryOp.CONCAT:
+        return f"{left}{right}"
+    try:
+        if op is ast.BinaryOp.ADD:
+            return left + right
+        if op is ast.BinaryOp.SUB:
+            return left - right
+        if op is ast.BinaryOp.MUL:
+            return left * right
+        if op is ast.BinaryOp.DIV:
+            if right == 0:
+                return None  # SQL: division by zero yields NULL here
+            result = left / right
+            if isinstance(left, int) and isinstance(right, int) and left % right == 0:
+                return left // right
+            return result
+        if op is ast.BinaryOp.MOD:
+            if right == 0:
+                return None
+            return left % right
+    except TypeError as exc:
+        raise ExecutionError(f"type error in {op.value}: {exc}") from exc
+    raise ExecutionError(f"unsupported binary operator {op}")
+
+
+def _unary(
+    expr: ast.Unary,
+    row: Sequence[Value],
+    scope: Scope,
+    computed: Optional[Dict[ast.Expr, Value]],
+) -> Value:
+    value = evaluate(expr.operand, row, scope, computed)
+    if expr.op is ast.UnaryOp.NOT:
+        if value is None:
+            return None
+        return not _truthy(value)
+    if value is None:
+        return None
+    if expr.op is ast.UnaryOp.NEG:
+        return -value
+    return +value
+
+
+def _in_list(
+    expr: ast.InList,
+    row: Sequence[Value],
+    scope: Scope,
+    computed: Optional[Dict[ast.Expr, Value]],
+) -> Value:
+    value = evaluate(expr.expr, row, scope, computed)
+    if value is None:
+        return None
+    saw_null = False
+    for item in expr.items:
+        candidate = evaluate(item, row, scope, computed)
+        equal = sql_equal(value, candidate)
+        if equal is None:
+            saw_null = True
+        elif equal:
+            return False if expr.negated else True
+    if saw_null:
+        return None
+    return True if expr.negated else False
+
+
+def _truthy(value: Value) -> bool:
+    """SQL truthiness of a non-NULL value."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    return bool(value)
+
+
+def passes(predicate: Optional[ast.Expr], row: Sequence[Value], scope: Scope) -> bool:
+    """WHERE semantics: a row passes only when the predicate is TRUE."""
+    if predicate is None:
+        return True
+    value = evaluate(predicate, row, scope)
+    if value is None:
+        return False
+    return _truthy(value)

@@ -1,0 +1,167 @@
+"""Database update log and Δ-table extraction.
+
+Every committed modification appends an :class:`UpdateRecord`.  The
+CachePortal invalidator pulls the tail of this log at each synchronization
+point and groups it into per-relation delta tables — Δ⁺R (insertions) and
+Δ⁻R (deletions) — exactly as described in paper §4.2.1.  An SQL UPDATE
+contributes one deletion (the old image) and one insertion (the new image).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.db.types import Value
+
+Row = Tuple[Value, ...]
+
+
+class ChangeKind(enum.Enum):
+    INSERT = "insert"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """One logged change to one row.
+
+    Attributes:
+        lsn: log sequence number, strictly increasing.
+        timestamp: logical or wall-clock time of the change.
+        table: lower-case table name.
+        kind: insert or delete (updates log one of each).
+        values: full row image (new image for inserts, old for deletes).
+        columns: lower-case column names, parallel to ``values``.
+    """
+
+    lsn: int
+    timestamp: float
+    table: str
+    kind: ChangeKind
+    values: Row
+    columns: Tuple[str, ...]
+
+    def as_dict(self) -> Dict[str, Value]:
+        return dict(zip(self.columns, self.values))
+
+
+@dataclass
+class DeltaTables:
+    """Per-relation Δ⁺ / Δ⁻ tables for one synchronization window."""
+
+    insertions: Dict[str, List[UpdateRecord]] = field(default_factory=dict)
+    deletions: Dict[str, List[UpdateRecord]] = field(default_factory=dict)
+    first_lsn: Optional[int] = None
+    last_lsn: Optional[int] = None
+
+    def add(self, record: UpdateRecord) -> None:
+        target = (
+            self.insertions if record.kind is ChangeKind.INSERT else self.deletions
+        )
+        target.setdefault(record.table, []).append(record)
+        if self.first_lsn is None:
+            self.first_lsn = record.lsn
+        self.last_lsn = record.lsn
+
+    def tables(self) -> List[str]:
+        """All relations with at least one change, sorted for determinism."""
+        return sorted(set(self.insertions) | set(self.deletions))
+
+    def changes_for(self, table: str) -> List[UpdateRecord]:
+        """All changes to one relation, insertions then deletions, LSN order."""
+        combined = self.insertions.get(table, []) + self.deletions.get(table, [])
+        combined.sort(key=lambda record: record.lsn)
+        return combined
+
+    def __len__(self) -> int:
+        return sum(len(records) for records in self.insertions.values()) + sum(
+            len(records) for records in self.deletions.values()
+        )
+
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+
+class UpdateLog:
+    """Append-only update log with cursor-based reads.
+
+    Readers (the invalidator, data-cache synchronizers, replicas) each keep
+    their own LSN cursor; the log itself is shared and never rewritten.
+    A ``capacity`` bound discards the oldest records — readers that fall
+    behind a truncation raise, mirroring a real redo-log wrap.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._records: List[UpdateRecord] = []
+        self._next_lsn = 1
+        self._truncated_before = 1  # lowest LSN still retained
+        self.capacity = capacity
+
+    def append(
+        self,
+        table: str,
+        kind: ChangeKind,
+        values: Sequence[Value],
+        columns: Sequence[str],
+        timestamp: float,
+    ) -> UpdateRecord:
+        record = UpdateRecord(
+            lsn=self._next_lsn,
+            timestamp=timestamp,
+            table=table.lower(),
+            kind=kind,
+            values=tuple(values),
+            columns=tuple(column.lower() for column in columns),
+        )
+        self._next_lsn += 1
+        self._records.append(record)
+        if self.capacity is not None and len(self._records) > self.capacity:
+            dropped = len(self._records) - self.capacity
+            self._records = self._records[dropped:]
+            self._truncated_before = self._records[0].lsn
+        return record
+
+    @property
+    def head_lsn(self) -> int:
+        """LSN that the *next* appended record will receive."""
+        return self._next_lsn
+
+    def fast_forward(self, lsn: int) -> None:
+        """Advance an *empty* log so its next record gets LSN ``lsn``.
+
+        Used when restoring a snapshot: LSNs stay monotone across
+        save/load cycles and no phantom records appear.
+        """
+        if self._records:
+            raise ValueError("fast_forward requires an empty log")
+        if lsn > self._next_lsn:
+            self._next_lsn = lsn
+            self._truncated_before = lsn
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def read_since(self, lsn: int) -> List[UpdateRecord]:
+        """All records with LSN > ``lsn``, oldest first.
+
+        Raises:
+            ValueError: when records after ``lsn`` have been truncated away.
+        """
+        if lsn + 1 < self._truncated_before:
+            raise ValueError(
+                f"log truncated: records after lsn {lsn} are no longer "
+                f"available (oldest retained: {self._truncated_before})"
+            )
+        # Records are LSN-ordered; binary search would work, but logs are
+        # short-lived between syncs so a scan from a computed offset is fine.
+        offset = max(0, lsn + 1 - self._truncated_before)
+        return self._records[offset:]
+
+    def deltas_since(self, lsn: int) -> DeltaTables:
+        """Build Δ⁺/Δ⁻ tables from every record after ``lsn``."""
+        deltas = DeltaTables()
+        for record in self.read_since(lsn):
+            deltas.add(record)
+        return deltas

@@ -1,0 +1,578 @@
+"""Logical planning for SELECT statements.
+
+The planner turns a parsed :class:`~repro.sql.ast.Select` into a small tree
+of plan nodes.  The interesting decision is access-path selection: a
+conjunct of the form ``table.column = constant`` (or a range comparison)
+is absorbed into an index lookup when a matching index exists; everything
+else stays in a filter above the join.
+
+Joins are planned left to right.  An equi-join conjunct connecting the
+accumulated left side to the next table upgrades the nested-loop join to a
+hash join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CatalogError
+from repro.sql import ast
+from repro.sql.analysis import conjuncts
+
+# ---------------------------------------------------------------------------
+# Plan nodes
+# ---------------------------------------------------------------------------
+
+
+class PlanNode:
+    """Marker base class for plan nodes."""
+
+    __slots__ = ()
+
+
+@dataclass
+class TableScan(PlanNode):
+    """Full scan of a base table under a binding name."""
+
+    table: str
+    binding: str
+
+
+@dataclass
+class IndexEqLookup(PlanNode):
+    """Equality probe into an index: ``binding.column = value_expr``."""
+
+    table: str
+    binding: str
+    index_name: str
+    column: str
+    value: ast.Expr  # constant expression (no column refs)
+
+
+@dataclass
+class IndexRangeScan(PlanNode):
+    """Range probe into a sorted index."""
+
+    table: str
+    binding: str
+    index_name: str
+    column: str
+    low: Optional[ast.Expr] = None
+    high: Optional[ast.Expr] = None
+    low_open: bool = False
+    high_open: bool = False
+
+
+@dataclass
+class Filter(PlanNode):
+    child: PlanNode
+    predicate: ast.Expr
+
+
+@dataclass
+class NestedLoopJoin(PlanNode):
+    """Inner join; ``on`` may be None for a pure cross product."""
+
+    left: PlanNode
+    right: PlanNode
+    on: Optional[ast.Expr] = None
+
+
+@dataclass
+class HashJoin(PlanNode):
+    """Equi-join: build on ``right_key``, probe with ``left_key``."""
+
+    left: PlanNode
+    right: PlanNode
+    left_key: ast.Expr
+    right_key: ast.Expr
+    residual: Optional[ast.Expr] = None
+
+
+@dataclass
+class LeftOuterJoin(PlanNode):
+    left: PlanNode
+    right: PlanNode
+    on: Optional[ast.Expr] = None
+
+
+@dataclass
+class Project(PlanNode):
+    child: PlanNode
+    items: Tuple[ast.SelectItem, ...]
+
+
+@dataclass
+class Aggregate(PlanNode):
+    child: PlanNode
+    group_by: Tuple[ast.Expr, ...]
+    items: Tuple[ast.SelectItem, ...]
+    having: Optional[ast.Expr] = None
+
+
+@dataclass
+class Sort(PlanNode):
+    child: PlanNode
+    keys: Tuple[ast.OrderItem, ...]
+
+
+@dataclass
+class Distinct(PlanNode):
+    child: PlanNode
+
+
+@dataclass
+class Limit(PlanNode):
+    child: PlanNode
+    limit: Optional[int]
+    offset: Optional[int]
+
+
+# ---------------------------------------------------------------------------
+# Catalog protocol
+# ---------------------------------------------------------------------------
+
+
+class CatalogView:
+    """What the planner needs to know about the database.
+
+    Implemented by :class:`repro.db.engine.Database`; factored out so the
+    planner stays independently testable.
+    """
+
+    def table_columns(self, table: str) -> List[str]:  # pragma: no cover
+        raise NotImplementedError
+
+    def equality_index(self, table: str, column: str) -> Optional[str]:  # pragma: no cover
+        raise NotImplementedError
+
+    def range_index(self, table: str, column: str) -> Optional[str]:  # pragma: no cover
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Planner
+# ---------------------------------------------------------------------------
+
+
+def _is_constant(expr: ast.Expr) -> bool:
+    """True when the expression references no columns (safe to pre-evaluate)."""
+    return not any(isinstance(node, ast.ColumnRef) for node in ast.walk(expr))
+
+
+def _columns_bindings(expr: ast.Expr) -> List[Optional[str]]:
+    return [
+        node.table.lower() if node.table else None
+        for node in ast.walk(expr)
+        if isinstance(node, ast.ColumnRef)
+    ]
+
+
+@dataclass
+class _Conjunct:
+    """A WHERE/ON conjunct annotated with the bindings it references."""
+
+    expr: ast.Expr
+    bindings: frozenset  # of binding names; unqualified refs recorded as None
+    consumed: bool = False
+
+
+class Planner:
+    """Plans one SELECT against a catalog."""
+
+    def __init__(self, catalog: CatalogView) -> None:
+        self.catalog = catalog
+
+    def plan(self, stmt: ast.Select) -> PlanNode:
+        if not stmt.sources:
+            return self._plan_sourceless(stmt)
+        binding_to_table = self._collect_bindings(stmt)
+        where_conjuncts = [
+            _Conjunct(expr, frozenset(_columns_bindings(expr)))
+            for expr in conjuncts(stmt.where)
+        ]
+        # Resolve unqualified single-source references up front so that the
+        # index selector can use them.
+        if len(binding_to_table) == 1:
+            only_binding = next(iter(binding_to_table))
+            where_conjuncts = [
+                _Conjunct(
+                    conj.expr,
+                    frozenset(
+                        only_binding if b is None else b for b in conj.bindings
+                    ),
+                )
+                for conj in where_conjuncts
+            ]
+
+        node: Optional[PlanNode] = None
+        joined: List[str] = []
+        for source in stmt.sources:
+            source_node, source_bindings = self._plan_source(
+                source, binding_to_table, where_conjuncts, joined
+            )
+            if node is None:
+                node = source_node
+            else:
+                node = self._join(node, joined, source_node, source_bindings, where_conjuncts)
+            joined.extend(source_bindings)
+
+        # Remaining conjuncts become a filter on top.
+        remaining = [conj.expr for conj in where_conjuncts if not conj.consumed]
+        for predicate in remaining:
+            node = Filter(node, predicate)
+
+        return self._finish(stmt, node)
+
+    # -- pieces -------------------------------------------------------------
+
+    def _plan_sourceless(self, stmt: ast.Select) -> PlanNode:
+        """``SELECT 1 + 1`` style statements: a single empty row."""
+        node: PlanNode = Project(TableScan("", ""), stmt.items)
+        if stmt.where is not None:
+            node = Filter(node, stmt.where)
+        return self._finish(stmt, node, skip_project=True)
+
+    def _collect_bindings(self, stmt: ast.Select) -> Dict[str, str]:
+        mapping: Dict[str, str] = {}
+
+        def visit(source: ast.FromSource) -> None:
+            if isinstance(source, ast.TableRef):
+                binding = source.binding.lower()
+                if binding in mapping:
+                    raise CatalogError(f"duplicate table binding {binding!r}")
+                mapping[binding] = source.name.lower()
+            else:
+                visit(source.left)
+                visit(source.right)
+
+        for source in stmt.sources:
+            visit(source)
+        return mapping
+
+    def _plan_source(
+        self,
+        source: ast.FromSource,
+        binding_to_table: Dict[str, str],
+        where_conjuncts: List[_Conjunct],
+        already_joined: List[str],
+    ) -> Tuple[PlanNode, List[str]]:
+        if isinstance(source, ast.TableRef):
+            binding = source.binding.lower()
+            node = self._access_path(source.name.lower(), binding, where_conjuncts)
+            return node, [binding]
+        # Explicit join tree.
+        left_node, left_bindings = self._plan_source(
+            source.left, binding_to_table, where_conjuncts, already_joined
+        )
+        right_node, right_bindings = self._plan_source(
+            source.right, binding_to_table, where_conjuncts, already_joined
+        )
+        if source.kind is ast.JoinKind.LEFT:
+            node: PlanNode = LeftOuterJoin(left_node, right_node, source.on)
+        elif source.kind is ast.JoinKind.CROSS:
+            node = NestedLoopJoin(left_node, right_node, None)
+        else:
+            node = self._inner_join_node(left_node, left_bindings, right_node, right_bindings, source.on)
+        return node, left_bindings + right_bindings
+
+    def _inner_join_node(
+        self,
+        left: PlanNode,
+        left_bindings: List[str],
+        right: PlanNode,
+        right_bindings: List[str],
+        on: Optional[ast.Expr],
+    ) -> PlanNode:
+        """Upgrade an ON equi-join to a hash join when possible."""
+        if on is None:
+            return NestedLoopJoin(left, right, None)
+        parts = conjuncts(on)
+        left_set = set(left_bindings)
+        right_set = set(right_bindings)
+        for index, part in enumerate(parts):
+            keys = self._equi_join_keys(part, left_set, right_set)
+            if keys is not None:
+                left_key, right_key = keys
+                residual_parts = parts[:index] + parts[index + 1 :]
+                residual = _conjoin(residual_parts)
+                return HashJoin(left, right, left_key, right_key, residual)
+        return NestedLoopJoin(left, right, on)
+
+    def _equi_join_keys(
+        self, part: ast.Expr, left_bindings: set, right_bindings: set
+    ) -> Optional[Tuple[ast.Expr, ast.Expr]]:
+        if not (isinstance(part, ast.Binary) and part.op is ast.BinaryOp.EQ):
+            return None
+        left_refs = set(_columns_bindings(part.left))
+        right_refs = set(_columns_bindings(part.right))
+        if not left_refs or not right_refs:
+            return None
+        if None in left_refs or None in right_refs:
+            return None
+        if left_refs <= left_bindings and right_refs <= right_bindings:
+            return part.left, part.right
+        if left_refs <= right_bindings and right_refs <= left_bindings:
+            return part.right, part.left
+        return None
+
+    def _join(
+        self,
+        left: PlanNode,
+        left_bindings: List[str],
+        right: PlanNode,
+        right_bindings: List[str],
+        where_conjuncts: List[_Conjunct],
+    ) -> PlanNode:
+        """Join comma-separated sources, mining WHERE for equi-join keys."""
+        left_set = set(left_bindings)
+        right_set = set(right_bindings)
+        for conj in where_conjuncts:
+            if conj.consumed:
+                continue
+            if None in conj.bindings:
+                continue
+            keys = self._equi_join_keys(conj.expr, left_set, right_set)
+            if keys is not None:
+                conj.consumed = True
+                return HashJoin(left, right, keys[0], keys[1], None)
+        return NestedLoopJoin(left, right, None)
+
+    def _access_path(
+        self, table: str, binding: str, where_conjuncts: List[_Conjunct]
+    ) -> PlanNode:
+        """Pick an index access path for one base table, if available."""
+        # Equality first: cheapest.
+        for conj in where_conjuncts:
+            if conj.consumed or conj.bindings != frozenset({binding}):
+                continue
+            probe = self._match_equality(table, binding, conj.expr)
+            if probe is not None:
+                conj.consumed = True
+                return probe
+        # Then a range scan.
+        for conj in where_conjuncts:
+            if conj.consumed or conj.bindings != frozenset({binding}):
+                continue
+            probe = self._match_range(table, binding, conj.expr)
+            if probe is not None:
+                conj.consumed = True
+                return probe
+        return TableScan(table, binding)
+
+    def _match_equality(
+        self, table: str, binding: str, expr: ast.Expr
+    ) -> Optional[IndexEqLookup]:
+        if not (isinstance(expr, ast.Binary) and expr.op is ast.BinaryOp.EQ):
+            return None
+        column, value = _column_and_constant(expr)
+        if column is None:
+            return None
+        index_name = self.catalog.equality_index(table, column.column.lower())
+        if index_name is None:
+            return None
+        return IndexEqLookup(table, binding, index_name, column.column.lower(), value)
+
+    def _match_range(
+        self, table: str, binding: str, expr: ast.Expr
+    ) -> Optional[IndexRangeScan]:
+        if isinstance(expr, ast.Between) and not expr.negated:
+            if isinstance(expr.expr, ast.ColumnRef) and _is_constant(expr.low) and _is_constant(expr.high):
+                column = expr.expr.column.lower()
+                index_name = self.catalog.range_index(table, column)
+                if index_name is not None:
+                    return IndexRangeScan(
+                        table, binding, index_name, column, expr.low, expr.high
+                    )
+            return None
+        if not (isinstance(expr, ast.Binary) and expr.op in ast.COMPARISONS):
+            return None
+        if expr.op in (ast.BinaryOp.EQ, ast.BinaryOp.NE):
+            return None
+        column, value = _column_and_constant(expr)
+        if column is None:
+            return None
+        op = expr.op
+        # Normalize to "column op constant".
+        if not isinstance(expr.left, ast.ColumnRef):
+            op = ast.FLIPPED[op]
+        index_name = self.catalog.range_index(table, column.column.lower())
+        if index_name is None:
+            return None
+        node = IndexRangeScan(table, binding, index_name, column.column.lower())
+        if op is ast.BinaryOp.LT:
+            node.high, node.high_open = value, True
+        elif op is ast.BinaryOp.LE:
+            node.high, node.high_open = value, False
+        elif op is ast.BinaryOp.GT:
+            node.low, node.low_open = value, True
+        else:  # GE
+            node.low, node.low_open = value, False
+        return node
+
+    def _finish(
+        self, stmt: ast.Select, node: PlanNode, skip_project: bool = False
+    ) -> PlanNode:
+        has_aggregates = stmt.group_by or any(
+            isinstance(sub, ast.FunctionCall) and sub.is_aggregate
+            for item in stmt.items
+            for sub in ast.walk(item.expr)
+        )
+        if has_aggregates:
+            _validate_grouping(stmt)
+            node = Aggregate(node, stmt.group_by, stmt.items, stmt.having)
+            if stmt.order_by:
+                node = Sort(node, _rewrite_order_for_output(stmt.order_by, stmt.items))
+        else:
+            # Sort below the projection so ORDER BY can reference source
+            # columns that are not in the select list; select-list aliases
+            # are substituted by their defining expressions first.
+            if stmt.order_by and not skip_project:
+                node = Sort(node, _substitute_aliases(stmt.order_by, stmt.items))
+            if not skip_project:
+                node = Project(node, stmt.items)
+            if stmt.order_by and skip_project:
+                node = Sort(node, stmt.order_by)
+        if stmt.distinct:
+            node = Distinct(node)
+        if stmt.limit is not None or stmt.offset is not None:
+            node = Limit(node, stmt.limit, stmt.offset)
+        return node
+
+
+def _column_and_constant(
+    expr: ast.Binary,
+) -> Tuple[Optional[ast.ColumnRef], Optional[ast.Expr]]:
+    """Decompose ``col <op> const`` or ``const <op> col``."""
+    if isinstance(expr.left, ast.ColumnRef) and _is_constant(expr.right):
+        return expr.left, expr.right
+    if isinstance(expr.right, ast.ColumnRef) and _is_constant(expr.left):
+        return expr.right, expr.left
+    return None, None
+
+
+def _ungrouped_column_refs(expr: ast.Expr):
+    """Column references in ``expr`` that sit outside aggregate calls."""
+    if isinstance(expr, ast.ColumnRef):
+        yield expr
+        return
+    if isinstance(expr, ast.FunctionCall) and expr.is_aggregate:
+        return  # anything inside an aggregate is fine
+    if isinstance(expr, ast.Binary):
+        yield from _ungrouped_column_refs(expr.left)
+        yield from _ungrouped_column_refs(expr.right)
+    elif isinstance(expr, ast.Unary):
+        yield from _ungrouped_column_refs(expr.operand)
+    elif isinstance(expr, ast.Between):
+        for part in (expr.expr, expr.low, expr.high):
+            yield from _ungrouped_column_refs(part)
+    elif isinstance(expr, ast.InList):
+        yield from _ungrouped_column_refs(expr.expr)
+        for item in expr.items:
+            yield from _ungrouped_column_refs(item)
+    elif isinstance(expr, ast.IsNull):
+        yield from _ungrouped_column_refs(expr.expr)
+    elif isinstance(expr, ast.FunctionCall):
+        for arg in expr.args:
+            yield from _ungrouped_column_refs(arg)
+    elif isinstance(expr, ast.Case):
+        for cond, value in expr.whens:
+            yield from _ungrouped_column_refs(cond)
+            yield from _ungrouped_column_refs(value)
+        if expr.default is not None:
+            yield from _ungrouped_column_refs(expr.default)
+
+
+def _validate_grouping(stmt: ast.Select) -> None:
+    """Reject select/having columns that are neither grouped nor aggregated.
+
+    Standard SQL semantics: in an aggregate query, a bare column must be
+    (part of) a GROUP BY key.  Our executor evaluates such items against
+    an arbitrary group sample, so letting them through would return
+    well-formed but *wrong* answers — an error is the honest outcome.
+    """
+    from repro.errors import ExecutionError
+
+    grouped = set()
+    grouped_bare = set()
+    for expr in stmt.group_by:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.ColumnRef):
+                grouped.add(node.key())
+                grouped_bare.add(node.column.lower())
+    sources = [item.expr for item in stmt.items]
+    if stmt.having is not None:
+        sources.append(stmt.having)
+    for source in sources:
+        if isinstance(source, ast.Star):
+            raise ExecutionError("'*' is not allowed in an aggregate query")
+        for ref in _ungrouped_column_refs(source):
+            # Accept either an exact (qualified) match or a bare-name
+            # match: "GROUP BY maker" legitimizes both maker and
+            # car.maker when the name is unambiguous.
+            if ref.key() not in grouped and ref.column.lower() not in grouped_bare:
+                raise ExecutionError(
+                    f"column {ref.key()!r} must appear in GROUP BY or inside "
+                    f"an aggregate function"
+                )
+
+
+def _substitute_aliases(
+    order_by: Tuple[ast.OrderItem, ...], items: Tuple[ast.SelectItem, ...]
+) -> Tuple[ast.OrderItem, ...]:
+    """Replace select-list aliases in ORDER BY with their expressions.
+
+    Used when the sort runs *below* the projection: ``ORDER BY p`` where
+    ``p`` aliases ``price * 2`` sorts by the underlying expression.
+    """
+    aliases = {
+        item.alias.lower(): item.expr for item in items if item.alias is not None
+    }
+    rewritten = []
+    for order in order_by:
+        expr = order.expr
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            expr = aliases.get(expr.column.lower(), expr)
+        rewritten.append(ast.OrderItem(expr, order.descending))
+    return tuple(rewritten)
+
+
+def _rewrite_order_for_output(
+    order_by: Tuple[ast.OrderItem, ...], items: Tuple[ast.SelectItem, ...]
+) -> Tuple[ast.OrderItem, ...]:
+    """Rewrite ORDER BY keys to reference aggregate-output columns.
+
+    Used when the sort runs *above* an Aggregate node: the only columns
+    visible are the produced select items, so a key that structurally
+    matches a select item becomes a reference to that output column.
+    """
+    from repro.db.executor import _default_label  # local import: avoid cycle
+
+    rewritten = []
+    for order in order_by:
+        expr = order.expr
+        replaced = None
+        for item in items:
+            label = item.alias or _default_label(item.expr)
+            if expr == item.expr:
+                replaced = ast.ColumnRef(label)
+                break
+            if (
+                isinstance(expr, ast.ColumnRef)
+                and expr.table is None
+                and expr.column.lower() == label.lower()
+            ):
+                replaced = ast.ColumnRef(label)
+                break
+        rewritten.append(ast.OrderItem(replaced or expr, order.descending))
+    return tuple(rewritten)
+
+
+def _conjoin(parts: Sequence[ast.Expr]) -> Optional[ast.Expr]:
+    if not parts:
+        return None
+    combined = parts[0]
+    for part in parts[1:]:
+        combined = ast.Binary(ast.BinaryOp.AND, combined, part)
+    return combined

@@ -1,0 +1,100 @@
+"""Table schemas and column metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CatalogError, ConstraintError, TypeMismatchError
+from repro.db.types import SqlType, Value, coerce
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table schema."""
+
+    name: str
+    sql_type: SqlType
+    primary_key: bool = False
+    unique: bool = False
+    not_null: bool = False
+
+    @property
+    def lower_name(self) -> str:
+        return self.name.lower()
+
+
+class TableSchema:
+    """Ordered column list with name→position lookup and row validation."""
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        if not columns:
+            raise CatalogError(f"table {name!r} must have at least one column")
+        self.name = name
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        self._positions: Dict[str, int] = {}
+        for position, column in enumerate(self.columns):
+            key = column.lower_name
+            if key in self._positions:
+                raise CatalogError(
+                    f"duplicate column {column.name!r} in table {name!r}"
+                )
+            self._positions[key] = position
+        primaries = [c for c in self.columns if c.primary_key]
+        if len(primaries) > 1:
+            raise CatalogError(f"table {name!r} has multiple primary keys")
+        self.primary_key: Optional[Column] = primaries[0] if primaries else None
+
+    @property
+    def lower_name(self) -> str:
+        return self.name.lower()
+
+    @property
+    def column_names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._positions
+
+    def position(self, name: str) -> int:
+        """Index of the column named ``name`` (case-insensitive)."""
+        try:
+            return self._positions[name.lower()]
+        except KeyError as exc:
+            raise CatalogError(
+                f"no column {name!r} in table {self.name!r}"
+            ) from exc
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.position(name)]
+
+    def validate_row(self, values: Sequence[Value]) -> Tuple[Value, ...]:
+        """Coerce and constraint-check one row, returning the stored tuple."""
+        if len(values) != len(self.columns):
+            raise ConstraintError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        row: List[Value] = []
+        for column, value in zip(self.columns, values):
+            try:
+                coerced = coerce(value, column.sql_type)
+            except TypeMismatchError as exc:
+                raise TypeMismatchError(
+                    f"column {self.name}.{column.name}: {exc}"
+                ) from exc
+            if coerced is None and (column.not_null or column.primary_key):
+                raise ConstraintError(
+                    f"column {self.name}.{column.name} does not accept NULL"
+                )
+            row.append(coerced)
+        return tuple(row)
+
+    def row_dict(self, values: Sequence[Value]) -> Dict[str, Value]:
+        """Map lower-case column names to values for one row."""
+        return {
+            column.lower_name: value for column, value in zip(self.columns, values)
+        }

@@ -1,0 +1,112 @@
+"""Heap table storage with stable row identifiers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConstraintError
+from repro.db.schema import TableSchema
+from repro.db.types import Value
+
+Row = Tuple[Value, ...]
+
+
+class HeapTable:
+    """A bag of rows keyed by monotonically increasing row ids.
+
+    Row ids are never reused, which gives indexes and the update log a
+    stable handle on rows across deletions.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: Dict[int, Row] = {}
+        self._next_rowid = 1
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Iterator[Tuple[int, Row]]:
+        """Iterate (rowid, row) pairs in insertion order."""
+        return iter(self._rows.items())
+
+    def get(self, rowid: int) -> Optional[Row]:
+        return self._rows.get(rowid)
+
+    def insert(self, values: Sequence[Value]) -> Tuple[int, Row]:
+        """Validate and store one row; returns (rowid, stored row)."""
+        row = self.schema.validate_row(values)
+        self._check_unique(row, exclude_rowid=None)
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        self._rows[rowid] = row
+        return rowid, row
+
+    def delete(self, rowid: int) -> Row:
+        """Remove and return the row with ``rowid``."""
+        try:
+            return self._rows.pop(rowid)
+        except KeyError as exc:
+            raise ConstraintError(
+                f"table {self.schema.name!r} has no row id {rowid}"
+            ) from exc
+
+    def restore(self, rowid: int, values: Sequence[Value]) -> Row:
+        """Re-insert a previously deleted row under its original rowid.
+
+        Used by transaction rollback: index entries reference rowids, so
+        undoing a delete must bring the same identity back.
+        """
+        if rowid in self._rows:
+            raise ConstraintError(
+                f"table {self.schema.name!r} already has row id {rowid}"
+            )
+        row = self.schema.validate_row(values)
+        self._rows[rowid] = row
+        return row
+
+    def update(self, rowid: int, values: Sequence[Value]) -> Tuple[Row, Row]:
+        """Replace the row with ``rowid``; returns (old row, new row)."""
+        if rowid not in self._rows:
+            raise ConstraintError(
+                f"table {self.schema.name!r} has no row id {rowid}"
+            )
+        new_row = self.schema.validate_row(values)
+        self._check_unique(new_row, exclude_rowid=rowid)
+        old_row = self._rows[rowid]
+        self._rows[rowid] = new_row
+        return old_row, new_row
+
+    def _check_unique(self, row: Row, exclude_rowid: Optional[int]) -> None:
+        """Enforce PRIMARY KEY / UNIQUE column constraints.
+
+        A linear scan is acceptable here because unique columns are rare in
+        the workloads and tables are modest; unique *indexes* (see
+        :mod:`repro.db.index`) provide the fast path when declared.
+        """
+        positions = [
+            index
+            for index, column in enumerate(self.schema.columns)
+            if column.primary_key or column.unique
+        ]
+        if not positions:
+            return
+        for position in positions:
+            value = row[position]
+            if value is None:
+                continue  # NULLs never collide, as in standard SQL
+            for rowid, existing in self._rows.items():
+                if rowid == exclude_rowid:
+                    continue
+                if existing[position] == value:
+                    column = self.schema.columns[position]
+                    raise ConstraintError(
+                        f"duplicate value {value!r} for unique column "
+                        f"{self.schema.name}.{column.name}"
+                    )
+
+    def clear(self) -> List[Row]:
+        """Delete every row, returning the removed rows."""
+        removed = list(self._rows.values())
+        self._rows.clear()
+        return removed

@@ -1,0 +1,108 @@
+"""Transactions: atomic multi-statement updates with rollback.
+
+The engine auto-commits by default.  An explicit transaction defers the
+*publication* of changes — update-log records, trigger firings, and
+change-listener notifications (materialized-view refreshes) — until
+COMMIT, and undoes the heap and index mutations on ROLLBACK.
+
+This matters directly to CachePortal: the invalidator reads the update
+log, so
+
+* uncommitted changes never cause invalidation (they are not in the log
+  yet), and
+* rolled-back transactions never cause invalidation at all,
+
+mirroring how a real redo log only exposes committed work.  Reads inside
+the transaction *do* see its own writes (read-your-writes), as the heap
+is mutated in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import DatabaseError
+from repro.db.log import ChangeKind
+from repro.db.types import Value
+
+Row = Tuple[Value, ...]
+
+
+class TransactionError(DatabaseError):
+    """Raised on transaction misuse (nested begin, commit without begin)."""
+
+
+@dataclass
+class _PendingChange:
+    """One buffered change: its log payload plus its undo action."""
+
+    table: str
+    kind: ChangeKind
+    values: Row
+    columns: Tuple[str, ...]
+    undo: Callable[[], None]
+
+
+class Transaction:
+    """Mutable state of one open transaction."""
+
+    def __init__(self) -> None:
+        self.changes: List[_PendingChange] = []
+        self.closed = False
+
+    def record(
+        self,
+        table: str,
+        kind: ChangeKind,
+        values: Row,
+        columns: Tuple[str, ...],
+        undo: Callable[[], None],
+    ) -> None:
+        self.changes.append(_PendingChange(table, kind, values, columns, undo))
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+
+class TransactionManager:
+    """Owns the engine's (single) open transaction.
+
+    The engine is single-sessioned, like the rest of this in-memory
+    stack: one transaction may be open at a time, and statements executed
+    while it is open join it automatically.
+    """
+
+    def __init__(self) -> None:
+        self.current: Optional[Transaction] = None
+        self.committed = 0
+        self.rolled_back = 0
+
+    @property
+    def active(self) -> bool:
+        return self.current is not None
+
+    def begin(self) -> Transaction:
+        if self.current is not None:
+            raise TransactionError("a transaction is already open")
+        self.current = Transaction()
+        return self.current
+
+    def take_for_commit(self) -> Transaction:
+        if self.current is None:
+            raise TransactionError("no open transaction to commit")
+        transaction, self.current = self.current, None
+        transaction.closed = True
+        self.committed += 1
+        return transaction
+
+    def rollback(self) -> int:
+        """Undo every buffered change, newest first; returns the count."""
+        if self.current is None:
+            raise TransactionError("no open transaction to roll back")
+        transaction, self.current = self.current, None
+        transaction.closed = True
+        for change in reversed(transaction.changes):
+            change.undo()
+        self.rolled_back += 1
+        return len(transaction.changes)

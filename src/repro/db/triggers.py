@@ -1,0 +1,72 @@
+"""Row-level triggers.
+
+Triggers are one of the two *baseline* invalidation mechanisms the paper
+argues against (§4, first paragraph): embedding update-sensitive triggers
+in the DBMS that emit invalidation messages.  We implement them faithfully
+so the benchmarks can quantify the trigger-management burden the paper
+predicts.
+
+A trigger fires synchronously inside the DML statement that caused it, so
+its cost is charged to the database — exactly the property that makes the
+approach expensive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.db.log import ChangeKind, UpdateRecord
+
+TriggerCallback = Callable[[UpdateRecord], None]
+
+
+@dataclass
+class Trigger:
+    """A registered trigger on one table and one event kind."""
+
+    name: str
+    table: str
+    kind: ChangeKind
+    callback: TriggerCallback
+    fire_count: int = 0
+
+
+class TriggerManager:
+    """Registry and dispatcher for row-level triggers."""
+
+    def __init__(self) -> None:
+        self._triggers: Dict[str, List[Trigger]] = {}
+        self._by_name: Dict[str, Trigger] = {}
+        self.total_fires = 0
+
+    def register(
+        self, name: str, table: str, kind: ChangeKind, callback: TriggerCallback
+    ) -> Trigger:
+        """Register ``callback`` to run after each ``kind`` change to ``table``."""
+        if name in self._by_name:
+            raise ValueError(f"trigger {name!r} already registered")
+        trigger = Trigger(name, table.lower(), kind, callback)
+        self._triggers.setdefault(trigger.table, []).append(trigger)
+        self._by_name[name] = trigger
+        return trigger
+
+    def unregister(self, name: str) -> None:
+        trigger = self._by_name.pop(name, None)
+        if trigger is None:
+            return
+        self._triggers[trigger.table].remove(trigger)
+
+    def count_for(self, table: str) -> int:
+        return len(self._triggers.get(table.lower(), []))
+
+    def fire(self, record: UpdateRecord) -> int:
+        """Dispatch one change record; returns the number of triggers fired."""
+        fired = 0
+        for trigger in self._triggers.get(record.table, ()):
+            if trigger.kind is record.kind:
+                trigger.callback(record)
+                trigger.fire_count += 1
+                fired += 1
+        self.total_fires += fired
+        return fired

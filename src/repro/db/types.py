@@ -1,0 +1,159 @@
+"""SQL value model: types, coercion, and three-valued comparison logic."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Union
+
+from repro.errors import TypeMismatchError
+
+Value = Union[int, float, str, bool, None]
+
+
+class SqlType(enum.Enum):
+    """Column types supported by the engine."""
+
+    INT = "INT"
+    REAL = "REAL"
+    TEXT = "TEXT"
+
+    @classmethod
+    def from_name(cls, name: str) -> "SqlType":
+        try:
+            return cls[name.upper()]
+        except KeyError as exc:
+            raise TypeMismatchError(f"unknown SQL type {name!r}") from exc
+
+
+def coerce(value: Value, sql_type: SqlType) -> Value:
+    """Coerce a Python value to the given SQL type, or raise.
+
+    NULL passes through every type.  Booleans are stored as INT 0/1,
+    matching common SQL practice.  Numeric widening (INT → REAL) is
+    allowed; narrowing is allowed only when lossless.
+    """
+    if value is None:
+        return None
+    if sql_type is SqlType.INT:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise TypeMismatchError(f"cannot store {value!r} in an INT column")
+    if sql_type is SqlType.REAL:
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise TypeMismatchError(f"cannot store {value!r} in a REAL column")
+    if sql_type is SqlType.TEXT:
+        if isinstance(value, str):
+            return value
+        raise TypeMismatchError(f"cannot store {value!r} in a TEXT column")
+    raise TypeMismatchError(f"unsupported SQL type {sql_type!r}")
+
+
+def compatible(left: Value, right: Value) -> bool:
+    """True when two non-NULL values can be compared meaningfully."""
+    if left is None or right is None:
+        return True
+    numeric = (int, float, bool)
+    if isinstance(left, numeric) and isinstance(right, numeric):
+        return True
+    return isinstance(left, str) and isinstance(right, str)
+
+
+def sql_compare(left: Value, right: Value) -> Optional[int]:
+    """SQL comparison: -1 / 0 / +1, or None when either side is NULL.
+
+    Cross-type comparison between numbers and strings orders numbers
+    first (deterministic total order, mirroring SQLite's affinity order)
+    so that ORDER BY never fails.
+    """
+    if left is None or right is None:
+        return None
+    numeric = (int, float, bool)
+    left_is_num = isinstance(left, numeric)
+    right_is_num = isinstance(right, numeric)
+    if left_is_num and right_is_num:
+        lf, rf = float(left), float(right)
+        if lf < rf:
+            return -1
+        if lf > rf:
+            return 1
+        return 0
+    if left_is_num != right_is_num:
+        return -1 if left_is_num else 1
+    if left < right:  # both strings
+        return -1
+    if left > right:
+        return 1
+    return 0
+
+
+def sql_equal(left: Value, right: Value) -> Optional[bool]:
+    """SQL equality with NULL propagation."""
+    cmp = sql_compare(left, right)
+    if cmp is None:
+        return None
+    return cmp == 0
+
+
+class SortKey:
+    """Wrapper giving values a NULLs-first total order usable by sort()."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Value) -> None:
+        self.value = value
+
+    def __lt__(self, other: "SortKey") -> bool:
+        if self.value is None:
+            return other.value is not None
+        if other.value is None:
+            return False
+        return sql_compare(self.value, other.value) == -1
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SortKey):
+            return NotImplemented
+        if self.value is None or other.value is None:
+            return self.value is None and other.value is None
+        return sql_compare(self.value, other.value) == 0
+
+
+def like_match(text: Value, pattern: Value) -> Optional[bool]:
+    """SQL LIKE with ``%`` and ``_`` wildcards; NULL-propagating.
+
+    Matching is case-sensitive, as in most SQL dialects' default collation.
+    """
+    if text is None or pattern is None:
+        return None
+    if not isinstance(text, str) or not isinstance(pattern, str):
+        return False
+    return _like(text, 0, pattern, 0)
+
+
+def _like(text: str, ti: int, pattern: str, pi: int) -> bool:
+    while pi < len(pattern):
+        ch = pattern[pi]
+        if ch == "%":
+            # Collapse consecutive %.
+            while pi < len(pattern) and pattern[pi] == "%":
+                pi += 1
+            if pi == len(pattern):
+                return True
+            for start in range(ti, len(text) + 1):
+                if _like(text, start, pattern, pi):
+                    return True
+            return False
+        if ti >= len(text):
+            return False
+        if ch == "_" or ch == text[ti]:
+            ti += 1
+            pi += 1
+        else:
+            return False
+    return ti == len(text)

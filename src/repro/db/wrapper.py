@@ -1,0 +1,118 @@
+"""The sniffer's query logger: a wrapper driver around the real driver.
+
+Paper §3.2: *"the query logger works as a wrapper around the JDBC drivers
+... it is possible to log all queries that go through JDBC drivers,
+independent of how they are generated."*
+
+:class:`LoggingDriver` decorates any :class:`repro.db.dbapi.Driver`.  For
+every statement it records the SQL text, the bound parameters, and the two
+timestamps the request-to-query mapper needs — query receive time and
+result delivery time.  Only SELECTs are logged (updates are visible to the
+invalidator through the database update log instead).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.sql import ast
+from repro.sql.printer import to_sql
+from repro.db.dbapi import Driver
+from repro.db.engine import Database, StatementResult
+from repro.db.types import Value
+
+
+@dataclass(frozen=True)
+class QueryLogRecord:
+    """One logged query instance.
+
+    Attributes:
+        query_id: unique id of this log entry.
+        sql: canonical SQL text of the *bound* statement (a query instance).
+        receive_time: when the driver received the statement.
+        delivery_time: when the results were handed back.
+        rows_returned: result-set size (kept as a tuning statistic).
+    """
+
+    query_id: int
+    sql: str
+    receive_time: float
+    delivery_time: float
+    rows_returned: int
+
+
+class QueryLog:
+    """Append-only store of :class:`QueryLogRecord` with window reads."""
+
+    def __init__(self) -> None:
+        self._records: List[QueryLogRecord] = []
+
+    def append(self, record: QueryLogRecord) -> None:
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def all(self) -> List[QueryLogRecord]:
+        return list(self._records)
+
+    def in_interval(self, start: float, end: float) -> List[QueryLogRecord]:
+        """Queries whose receive time falls inside [start, end].
+
+        This is the access pattern of the request-to-query mapper (§3.3):
+        find all queries processed during one request's service interval.
+        """
+        return [
+            record
+            for record in self._records
+            if start <= record.receive_time <= end
+        ]
+
+    def drain(self) -> List[QueryLogRecord]:
+        """Return and clear all records (used by periodic log shipping)."""
+        records = self._records
+        self._records = []
+        return records
+
+
+class LoggingDriver(Driver):
+    """Driver decorator that records every SELECT that passes through it.
+
+    Args:
+        inner: the wrapped driver (defaults to the native driver).
+        clock: time source for the receive/delivery stamps; injected by
+            tests and the simulator.
+    """
+
+    def __init__(
+        self,
+        inner: Optional[Driver] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.inner = inner or Driver()
+        self.log = QueryLog()
+        self._ids = itertools.count(1)
+        self._logical = itertools.count()
+        self.clock = clock or (lambda: float(next(self._logical)))
+
+    def run(
+        self, database: Database, sql: str, params: Optional[Sequence[Value]]
+    ) -> StatementResult:
+        receive_time = self.clock()
+        result = self.inner.run(database, sql, params)
+        delivery_time = self.clock()
+        if isinstance(result.statement, (ast.Select, ast.Union)):
+            # Log the bound instance so the invalidator sees real constants.
+            statement = result.statement
+            self.log.append(
+                QueryLogRecord(
+                    query_id=next(self._ids),
+                    sql=to_sql(statement),
+                    receive_time=receive_time,
+                    delivery_time=delivery_time,
+                    rows_returned=result.rowcount,
+                )
+            )
+        return result

@@ -1,0 +1,50 @@
+"""Discrete-event simulation of the paper's evaluation testbed.
+
+The paper ran a *hybrid* experiment: real servers where timing mattered,
+simulated generators where control mattered.  Our substrate is inverted —
+the components are real (they execute queries and cache pages) while the
+*timing* is simulated: a process-based discrete-event kernel
+(:mod:`events`), queueing stations for the contended resources
+(:mod:`resources`), a calibrated cost model (:mod:`latency`), the paper's
+workload generators (:mod:`workload`), and end-to-end models of the three
+site configurations (:mod:`configs`) whose measured response times
+reproduce Tables 2 and 3.
+"""
+
+from repro.sim.events import Event, Process, Simulator
+from repro.sim.resources import Resource, Station
+from repro.sim.latency import CostModel
+from repro.sim.workload import PageClass, RequestGenerator, UpdateGenerator, UpdateRate
+from repro.sim.metrics import ClassBreakdown, ResponseStats, TableRow
+from repro.sim.configs import (
+    ConfigurationModel,
+    DataCacheMode,
+    simulate_config1,
+    simulate_config2,
+    simulate_config3,
+)
+from repro.sim.runner import ExperimentRunner, run_table2, run_table3
+
+__all__ = [
+    "ClassBreakdown",
+    "ConfigurationModel",
+    "CostModel",
+    "DataCacheMode",
+    "Event",
+    "ExperimentRunner",
+    "PageClass",
+    "Process",
+    "RequestGenerator",
+    "Resource",
+    "ResponseStats",
+    "Simulator",
+    "Station",
+    "TableRow",
+    "UpdateGenerator",
+    "UpdateRate",
+    "run_table2",
+    "run_table3",
+    "simulate_config1",
+    "simulate_config2",
+    "simulate_config3",
+]

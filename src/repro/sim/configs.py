@@ -1,0 +1,361 @@
+"""End-to-end timing models of the three site configurations (§5.3).
+
+Each ``simulate_configN`` function builds the stations of that
+architecture, replays the paper's request and update streams through them,
+and returns the measured :class:`~repro.sim.metrics.ResponseStats`.
+
+The three architectures differ exactly where the paper says they do:
+
+* **Config I** — each node co-hosts web server, app server, *and* DBMS
+  (``colocated_db_factor``); every request reaches a database; updates
+  are applied to all replicas (replication cost).
+* **Config II** — one dedicated DBMS; per-node data caches absorb 70 % of
+  queries; hit traffic still crosses the shared network, which also
+  carries the update stream and the cache-synchronization queries.
+* **Config III** — one dedicated DBMS; the web page cache sits *in front
+  of* the load balancer, outside the shared network, so hits are immune
+  to update traffic; the invalidator's polling query hits the DBMS once
+  per second.  Invalidation churn concentrates the cache on small hot
+  pages, so the mean cached payload — and with it the hit time — falls
+  as the update rate rises (``CostModel.hit_shrink_rate``), reproducing
+  the paper's falling 114→73→47 ms hit column.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.sim.events import Simulator
+from repro.sim.latency import CostModel
+from repro.sim.metrics import ResponseStats
+from repro.sim.resources import Resource, Station
+from repro.sim.workload import (
+    PageClass,
+    RequestGenerator,
+    UpdateGenerator,
+    UpdateRate,
+)
+
+
+class DataCacheMode(enum.Enum):
+    """The two Configuration-II variants of Tables 2 and 3."""
+
+    NEGLIGIBLE = "negligible"  # in-memory access (Table 2)
+    LOCAL_DBMS = "local-dbms"  # connection to a local DBMS (Table 3)
+
+
+@dataclass
+class ConfigurationModel:
+    """Shared experiment knobs."""
+
+    cost: CostModel = field(default_factory=CostModel)
+    num_servers: int = 4
+    hit_ratio: float = 0.7
+    duration: float = 120.0
+    warmup: float = 10.0
+    seed: int = 7
+    #: Total request arrival rate; split evenly over the three page
+    #: classes (the paper ran 30/s = 10 light + 10 medium + 10 heavy).
+    requests_per_second: float = 30.0
+
+    def request_stream(self):
+        return RequestGenerator(
+            rate_per_class=self.requests_per_second / 3.0,
+            duration=self.duration,
+            seed=self.seed,
+        ).arrivals()
+
+    def update_stream(self, rate: UpdateRate):
+        return UpdateGenerator(
+            rate, duration=self.duration, seed=self.seed + 1
+        ).arrivals()
+
+
+# ---------------------------------------------------------------------------
+# Configuration I — replication
+# ---------------------------------------------------------------------------
+
+
+def simulate_config1(
+    update_rate: UpdateRate,
+    model: Optional[ConfigurationModel] = None,
+    probe: Optional[Dict[str, float]] = None,
+) -> ResponseStats:
+    """Replicated web servers, each with its own co-located DBMS.
+
+    ``probe``, when given, is filled with time-averaged utilizations per
+    station — the paper's §5.1.2 "observe how the bottleneck moves".
+    """
+    model = model or ConfigurationModel()
+    cost = model.cost
+    sim = Simulator()
+    stats = ResponseStats(warmup=model.warmup)
+    rng = np.random.default_rng(model.seed + 2)
+
+    network = Station(sim, cost.network_capacity, "network")
+    workers = [
+        Resource(sim, cost.app_workers, f"workers{i}") for i in range(model.num_servers)
+    ]
+    databases = [
+        Station(sim, cost.db_capacity, f"db{i}") for i in range(model.num_servers)
+    ]
+
+    def request_flow(page_class: PageClass, server: int):
+        start = sim.now
+        yield from network.serve(cost.network_message_time)
+        yield workers[server].acquire()
+        db_sojourn = yield from databases[server].serve(
+            cost.db_time(page_class, colocated=True)
+        )
+        yield sim.timeout(cost.app_assembly_time)
+        workers[server].release()
+        yield from network.serve(
+            cost.network_message_time * cost.network_page_factor
+        )
+        stats.record(start, page_class, hit=False,
+                     response=sim.now - start, db_time=db_sojourn)
+
+    def update_flow():
+        # The update arrives once over the network, then every replica
+        # applies it (database replication cost, §1.1).
+        yield from network.serve(
+            cost.network_message_time * cost.update_message_factor
+        )
+        for database in databases:
+            sim.process(_apply_update(database))
+
+    def _apply_update(database: Station):
+        yield from database.serve(cost.update_time(colocated=True))
+
+    def driver():
+        arrivals = model.request_stream()
+        server_cycle = 0
+        previous = 0.0
+        for arrival in arrivals:
+            yield sim.timeout(arrival.at - previous)
+            previous = arrival.at
+            sim.process(request_flow(arrival.page_class, server_cycle))
+            server_cycle = (server_cycle + 1) % model.num_servers
+
+    def update_driver():
+        previous = 0.0
+        for arrival in model.update_stream(update_rate):
+            yield sim.timeout(arrival.at - previous)
+            previous = arrival.at
+            sim.process(update_flow())
+
+    sim.process(driver())
+    sim.process(update_driver())
+    sim.run(until=model.duration)
+    if probe is not None:
+        probe["db"] = sum(d.utilization() for d in databases) / len(databases)
+        probe["network"] = network.utilization()
+        probe["workers"] = sum(w.utilization() for w in workers) / len(workers)
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# Configuration II — middle-tier data caches
+# ---------------------------------------------------------------------------
+
+
+def simulate_config2(
+    update_rate: UpdateRate,
+    model: Optional[ConfigurationModel] = None,
+    mode: DataCacheMode = DataCacheMode.NEGLIGIBLE,
+    probe: Optional[Dict[str, float]] = None,
+) -> ResponseStats:
+    """One shared DBMS plus per-server middle-tier data caches."""
+    model = model or ConfigurationModel()
+    cost = model.cost
+    sim = Simulator()
+    stats = ResponseStats(warmup=model.warmup)
+    rng = np.random.default_rng(model.seed + 2)
+
+    network = Station(sim, cost.network_capacity, "network")
+    database = Station(sim, cost.db_capacity, "db")
+    workers = [
+        Resource(sim, cost.app_workers, f"workers{i}") for i in range(model.num_servers)
+    ]
+    # In the LOCAL_DBMS mode each cache is a single-connection local
+    # database sharing the node (§5.3.2); in the NEGLIGIBLE mode access is
+    # an in-memory lookup and needs no station.
+    cache_stations = [
+        Station(sim, cost.data_cache_capacity, f"dcache{i}")
+        for i in range(model.num_servers)
+    ]
+
+    def request_flow(page_class: PageClass, server: int):
+        start = sim.now
+        yield from network.serve(cost.network_message_time)
+        yield workers[server].acquire()
+        is_hit = bool(rng.random() < model.hit_ratio)
+        if is_hit:
+            if mode is DataCacheMode.LOCAL_DBMS:
+                db_sojourn = yield from cache_stations[server].serve(
+                    cost.data_cache_connection_time
+                )
+            else:
+                yield sim.timeout(cost.data_cache_access_time)
+                db_sojourn = cost.data_cache_access_time
+        else:
+            # Query travels over the shared network to the DBMS and back.
+            yield from network.serve(cost.network_message_time)
+            db_sojourn = yield from database.serve(
+                cost.db_time(page_class, colocated=False)
+            )
+            yield from network.serve(cost.network_message_time)
+        yield sim.timeout(cost.app_assembly_time)
+        workers[server].release()
+        yield from network.serve(
+            cost.network_message_time * cost.network_page_factor
+        )
+        stats.record(start, page_class, hit=is_hit,
+                     response=sim.now - start, db_time=db_sojourn)
+
+    def update_flow():
+        yield from network.serve(
+            cost.network_message_time * cost.update_message_factor
+        )
+        yield from database.serve(cost.update_time(colocated=False))
+
+    def sync_flow():
+        # One "fetch the update list" query per cache per interval.
+        while sim.now < model.duration:
+            yield sim.timeout(cost.sync_interval)
+            for _cache in range(model.num_servers):
+                sim.process(_one_sync())
+
+    def _one_sync():
+        yield from network.serve(cost.network_message_time)
+        yield from database.serve(cost.sync_query_time)
+        yield from network.serve(cost.network_message_time)
+
+    def driver():
+        server_cycle = 0
+        previous = 0.0
+        for arrival in model.request_stream():
+            yield sim.timeout(arrival.at - previous)
+            previous = arrival.at
+            sim.process(request_flow(arrival.page_class, server_cycle))
+            server_cycle = (server_cycle + 1) % model.num_servers
+
+    def update_driver():
+        previous = 0.0
+        for arrival in model.update_stream(update_rate):
+            yield sim.timeout(arrival.at - previous)
+            previous = arrival.at
+            sim.process(update_flow())
+
+    sim.process(driver())
+    sim.process(update_driver())
+    sim.process(sync_flow())
+    sim.run(until=model.duration)
+    if probe is not None:
+        probe["db"] = database.utilization()
+        probe["network"] = network.utilization()
+        probe["workers"] = sum(w.utilization() for w in workers) / len(workers)
+        probe["data_cache"] = (
+            sum(c.utilization() for c in cache_stations) / len(cache_stations)
+        )
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# Configuration III — dynamic web-page cache (CachePortal)
+# ---------------------------------------------------------------------------
+
+
+def simulate_config3(
+    update_rate: UpdateRate,
+    model: Optional[ConfigurationModel] = None,
+    probe: Optional[Dict[str, float]] = None,
+) -> ResponseStats:
+    """One shared DBMS plus a front web-page cache managed by CachePortal."""
+    model = model or ConfigurationModel()
+    cost = model.cost
+    sim = Simulator()
+    stats = ResponseStats(warmup=model.warmup)
+    rng = np.random.default_rng(model.seed + 2)
+
+    network = Station(sim, cost.network_capacity, "network")
+    database = Station(sim, cost.db_capacity, "db")
+    workers = [
+        Resource(sim, cost.app_workers, f"workers{i}") for i in range(model.num_servers)
+    ]
+    web_cache = Station(sim, cost.web_cache_capacity, "webcache")
+
+    def request_flow(page_class: PageClass, server: int):
+        start = sim.now
+        is_hit = bool(rng.random() < model.hit_ratio)
+        if is_hit:
+            # Served straight from the cache, outside the site network —
+            # this is why Conf III hits are immune to update traffic.
+            yield from web_cache.serve(
+                cost.cache_hit_time(page_class, update_rate.total)
+            )
+            stats.record(start, page_class, hit=True,
+                         response=sim.now - start, db_time=0.0)
+            return
+        yield from network.serve(cost.network_message_time)
+        yield workers[server].acquire()
+        yield from network.serve(cost.network_message_time)
+        db_sojourn = yield from database.serve(
+            cost.db_time(page_class, colocated=False)
+        )
+        yield from network.serve(cost.network_message_time)
+        yield sim.timeout(cost.app_assembly_time)
+        workers[server].release()
+        yield from network.serve(
+            cost.network_message_time * cost.network_page_factor
+        )
+        stats.record(start, page_class, hit=False,
+                     response=sim.now - start, db_time=db_sojourn)
+
+    def update_flow():
+        yield from network.serve(
+            cost.network_message_time * cost.update_message_factor
+        )
+        yield from database.serve(cost.update_time(colocated=False))
+
+    def polling_flow():
+        # The invalidator polls its data cache and issues one consolidated
+        # "list of recent updates" query to the DBMS each second (§5.2.4).
+        while sim.now < model.duration:
+            yield sim.timeout(cost.sync_interval)
+            sim.process(_one_poll())
+
+    def _one_poll():
+        yield from network.serve(cost.network_message_time)
+        yield from database.serve(cost.polling_query_time)
+
+    def driver():
+        server_cycle = 0
+        previous = 0.0
+        for arrival in model.request_stream():
+            yield sim.timeout(arrival.at - previous)
+            previous = arrival.at
+            sim.process(request_flow(arrival.page_class, server_cycle))
+            server_cycle = (server_cycle + 1) % model.num_servers
+
+    def update_driver():
+        previous = 0.0
+        for arrival in model.update_stream(update_rate):
+            yield sim.timeout(arrival.at - previous)
+            previous = arrival.at
+            sim.process(update_flow())
+
+    sim.process(driver())
+    sim.process(update_driver())
+    sim.process(polling_flow())
+    sim.run(until=model.duration)
+    if probe is not None:
+        probe["db"] = database.utilization()
+        probe["network"] = network.utilization()
+        probe["workers"] = sum(w.utilization() for w in workers) / len(workers)
+        probe["web_cache"] = web_cache.utilization()
+    return stats

@@ -1,0 +1,144 @@
+"""A small process-based discrete-event simulation kernel.
+
+Processes are Python generators that yield :class:`Event` objects; the
+kernel resumes a process when the event it waits on triggers.  The design
+follows SimPy's core ideas in ~150 lines — enough for queueing models of
+servers, networks, and caches.
+
+Example::
+
+    sim = Simulator()
+
+    def customer():
+        yield sim.timeout(1.0)
+        print("served at", sim.now)
+
+    sim.process(customer())
+    sim.run(until=10.0)
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class Event:
+    """A one-shot occurrence processes can wait on."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event now; waiting processes resume this instant."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for callback in self._callbacks:
+            self.sim._schedule(self.sim.now, callback, self)
+        self._callbacks = []
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.triggered:
+            self.sim._schedule(self.sim.now, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay."""
+
+    def __init__(self, sim: "Simulator", delay: float) -> None:
+        super().__init__(sim)
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        sim._schedule(sim.now + delay, self._fire, None)
+
+    def _fire(self, _arg: Any) -> None:
+        self.succeed()
+
+
+class Process(Event):
+    """A running generator; itself an event that triggers on return."""
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator) -> None:
+        super().__init__(sim)
+        self._generator = generator
+        sim._schedule(sim.now, self._resume, None)
+
+    def _resume(self, event: Optional[Event]) -> None:
+        try:
+            value = event.value if isinstance(event, Event) else None
+            target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {target!r}; processes must yield Events"
+            )
+        target.add_callback(self._resume)
+
+
+class Simulator:
+    """The event loop: a time-ordered heap of scheduled callbacks."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, Callable[[Any], None], Any]] = []
+        self._sequence = itertools.count()
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _schedule(self, at: float, callback: Callable[[Any], None], arg: Any) -> None:
+        if at < self.now:
+            raise SimulationError(f"cannot schedule in the past ({at} < {self.now})")
+        heapq.heappush(self._heap, (at, next(self._sequence), callback, arg))
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(self, delay)
+
+    def process(self, generator: ProcessGenerator) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or simulated time reaches ``until``."""
+        while self._heap:
+            at, _seq, callback, arg = self._heap[0]
+            if until is not None and at > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            self.now = at
+            callback(arg)
+        if until is not None:
+            self.now = until
+
+    def step(self) -> bool:
+        """Process one scheduled callback; returns False when idle."""
+        if not self._heap:
+            return False
+        at, _seq, callback, arg = heapq.heappop(self._heap)
+        self.now = at
+        callback(arg)
+        return True
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,124 @@
+"""The cost model: service times for every contended resource.
+
+All times are in **seconds** and are calibrated so that the simulated
+testbed lands in the same regime as the paper's 200 MHz/768 MB testbed
+under 30 requests/second:
+
+* Configuration I co-locates the DBMS with the web/application server on
+  each node, so every database operation pays ``colocated_db_factor`` —
+  with 7.5 req/s per replica this pushes the replica DBMS past
+  saturation; the worker pool (held for the whole request, including the
+  database wait) then starves, reproducing the paper's split of
+  tens-of-seconds responses between the DBMS and the app/web servers.
+* Configurations II/III use one dedicated DBMS that only sees cache
+  misses (30 % of 30 req/s), keeping it busy-but-stable; update streams
+  push its utilization past 1, reproducing the growth of miss times with
+  update rate.
+* The Table-3 variant charges each middle-tier cache access a local-DBMS
+  connection setup on a single-connection station, which saturates and
+  drags the whole node down via the shared worker pool (§5.3.2).
+
+The calibration targets are the *shapes* of Tables 2 and 3, not the
+absolute milliseconds; see EXPERIMENTS.md for the side-by-side numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.sim.workload import PageClass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Every constant of the simulated testbed, in one place."""
+
+    # -- database ------------------------------------------------------------
+    #: Query service time per page class on the dedicated DBMS (seconds).
+    db_query_time: Dict[PageClass, float] = field(
+        default_factory=lambda: {
+            PageClass.LIGHT: 0.030,
+            PageClass.MEDIUM: 0.080,
+            PageClass.HEAVY: 0.175,
+        }
+    )
+    #: One update statement (insert or delete) on the dedicated DBMS.
+    db_update_time: float = 0.004
+    #: Slow-down factor when the DBMS shares its node with the web and
+    #: application server (Configuration I).
+    colocated_db_factor: float = 1.8
+    #: Concurrent queries the DBMS can run (CPU-bound in the paper's era).
+    db_capacity: int = 1
+
+    # -- application / web server ------------------------------------------------
+    #: Page assembly time at the application server (result → HTML).
+    app_assembly_time: float = 0.012
+    #: Worker threads per web/application server; a worker is *held* for
+    #: the whole request, including the database wait — the resource-
+    #: starvation coupling the paper calls out in §5.3.1.
+    app_workers: int = 32
+
+    # -- network --------------------------------------------------------------
+    #: Per-message transit on the shared site network.
+    network_message_time: float = 0.003
+    #: Concurrent message slots (link bandwidth model).
+    network_capacity: int = 1
+    #: Extra transit for a full generated page (larger payload).
+    network_page_factor: float = 2.0
+    #: Extra transit for an update message (carries tuple data).
+    update_message_factor: float = 3.0
+
+    # -- web page cache (Configuration III) --------------------------------------
+    #: Serving a cached page, per page class (payload-size dependent).
+    web_cache_hit_time: Dict[PageClass, float] = field(
+        default_factory=lambda: {
+            PageClass.LIGHT: 0.012,
+            PageClass.MEDIUM: 0.030,
+            PageClass.HEAVY: 0.052,
+        }
+    )
+    #: Concurrent transfers the cache node sustains.
+    web_cache_capacity: int = 8
+    #: Cached-payload shrink rate: invalidation under update load keeps
+    #: the freshest (small, hot) pages cached, so the mean served-page
+    #: size falls.  Effective hit time = base · exp(-rate · updates/s).
+    #: This reproduces the falling hit column of the paper's Conf III
+    #: (114 → 73 → 47 ms) without perturbing the miss mix.
+    hit_shrink_rate: float = 0.008
+
+    # -- middle-tier data cache (Configuration II) -----------------------------------
+    #: Table 2 regime: in-memory access, negligible processing.
+    data_cache_access_time: float = 0.002
+    #: Table 3 regime: connection establishment to the local DBMS that
+    #: implements the cache (per §5.3.2 the query itself is free, the
+    #: connection is not).
+    data_cache_connection_time: float = 0.350
+    #: Concurrent connections the local cache DBMS accepts.
+    data_cache_capacity: int = 1
+
+    # -- synchronization / invalidation traffic --------------------------------------
+    #: One synchronization query (fetch the recent-updates list).
+    sync_query_time: float = 0.010
+    #: Interval between synchronization rounds (the paper used 1 s).
+    sync_interval: float = 1.0
+    #: One invalidator polling query against the DBMS (Conf III); the
+    #: paper simulated this as one query per second fetching the updates.
+    polling_query_time: float = 0.010
+
+    def db_time(self, page_class: PageClass, colocated: bool) -> float:
+        base = self.db_query_time[page_class]
+        return base * self.colocated_db_factor if colocated else base
+
+    def update_time(self, colocated: bool) -> float:
+        return (
+            self.db_update_time * self.colocated_db_factor
+            if colocated
+            else self.db_update_time
+        )
+
+    def cache_hit_time(self, page_class: PageClass, updates_per_second: float) -> float:
+        """Web-cache serve time under the payload-shrink effect."""
+        shrink = math.exp(-self.hit_shrink_rate * updates_per_second)
+        return self.web_cache_hit_time[page_class] * shrink

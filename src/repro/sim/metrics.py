@@ -1,0 +1,169 @@
+"""Response-time collection and the paper's table-row format."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.workload import PageClass
+
+
+@dataclass(frozen=True)
+class ResponseSample:
+    """One completed request."""
+
+    at: float
+    page_class: PageClass
+    hit: bool
+    response: float  # seconds, end-to-end
+    db_time: float  # seconds spent at the DB (or data-cache) station
+
+
+@dataclass
+class ClassBreakdown:
+    """Mean response per page class (diagnostics beyond the paper's tables)."""
+
+    means: Dict[PageClass, float] = field(default_factory=dict)
+    counts: Dict[PageClass, int] = field(default_factory=dict)
+
+
+class ResponseStats:
+    """Accumulates samples and produces the Table 2/3 aggregates.
+
+    Samples inside the warm-up window are discarded, mirroring standard
+    measurement practice (the paper reports steady-state-ish averages).
+    """
+
+    def __init__(self, warmup: float = 5.0) -> None:
+        self.warmup = warmup
+        self.samples: List[ResponseSample] = []
+
+    def record(
+        self,
+        at: float,
+        page_class: PageClass,
+        hit: bool,
+        response: float,
+        db_time: float,
+    ) -> None:
+        if at < self.warmup:
+            return
+        self.samples.append(ResponseSample(at, page_class, hit, response, db_time))
+
+    # -- aggregates (milliseconds, like the paper's tables) ------------------------
+
+    @staticmethod
+    def _mean_ms(values: List[float]) -> Optional[float]:
+        if not values:
+            return None
+        return 1000.0 * sum(values) / len(values)
+
+    @property
+    def miss_db_ms(self) -> Optional[float]:
+        return self._mean_ms([s.db_time for s in self.samples if not s.hit])
+
+    @property
+    def miss_resp_ms(self) -> Optional[float]:
+        return self._mean_ms([s.response for s in self.samples if not s.hit])
+
+    @property
+    def hit_resp_ms(self) -> Optional[float]:
+        return self._mean_ms([s.response for s in self.samples if s.hit])
+
+    @property
+    def exp_resp_ms(self) -> Optional[float]:
+        return self._mean_ms([s.response for s in self.samples])
+
+    @property
+    def hit_ratio(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(1 for s in self.samples if s.hit) / len(self.samples)
+
+    def percentile_ms(self, q: float, hits: Optional[bool] = None) -> Optional[float]:
+        """The q-th percentile (0 < q < 100) of response times, in ms.
+
+        ``hits`` filters to hits (True), misses (False), or all (None).
+        """
+        values = sorted(
+            s.response for s in self.samples if hits is None or s.hit == hits
+        )
+        if not values:
+            return None
+        if not 0.0 < q < 100.0:
+            raise ValueError(f"percentile must be in (0, 100), got {q}")
+        # Nearest-rank with linear interpolation (numpy's default method).
+        position = (q / 100.0) * (len(values) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(values) - 1)
+        fraction = position - lower
+        return 1000.0 * (values[lower] * (1 - fraction) + values[upper] * fraction)
+
+    @property
+    def p50_ms(self) -> Optional[float]:
+        return self.percentile_ms(50.0)
+
+    @property
+    def p95_ms(self) -> Optional[float]:
+        return self.percentile_ms(95.0)
+
+    @property
+    def completed(self) -> int:
+        return len(self.samples)
+
+    def breakdown(self, hits: Optional[bool] = None) -> ClassBreakdown:
+        """Per-class mean responses, optionally filtered to hits/misses."""
+        result = ClassBreakdown()
+        for page_class in PageClass:
+            values = [
+                s.response
+                for s in self.samples
+                if s.page_class is page_class and (hits is None or s.hit == hits)
+            ]
+            result.counts[page_class] = len(values)
+            if values:
+                result.means[page_class] = 1000.0 * sum(values) / len(values)
+        return result
+
+
+@dataclass
+class TableRow:
+    """One cell-group of Table 2/3: a configuration under one update load."""
+
+    configuration: str
+    update_label: str
+    miss_db_ms: Optional[float]
+    miss_resp_ms: Optional[float]
+    hit_resp_ms: Optional[float]
+    exp_resp_ms: Optional[float]
+    hit_ratio: float
+    completed: int
+
+    @staticmethod
+    def _fmt(value: Optional[float]) -> str:
+        return "N/A" if value is None else f"{value:8.0f}"
+
+    def render(self) -> str:
+        return (
+            f"{self.configuration:10s} {self.update_label:18s} "
+            f"miss-db={self._fmt(self.miss_db_ms)}  "
+            f"miss={self._fmt(self.miss_resp_ms)}  "
+            f"hit={self._fmt(self.hit_resp_ms)}  "
+            f"exp={self._fmt(self.exp_resp_ms)}  "
+            f"(hit ratio {self.hit_ratio:.2f}, n={self.completed})"
+        )
+
+    @classmethod
+    def from_stats(
+        cls, configuration: str, update_label: str, stats: ResponseStats
+    ) -> "TableRow":
+        return cls(
+            configuration=configuration,
+            update_label=update_label,
+            miss_db_ms=stats.miss_db_ms,
+            miss_resp_ms=stats.miss_resp_ms,
+            hit_resp_ms=stats.hit_resp_ms,
+            exp_resp_ms=stats.exp_resp_ms,
+            hit_ratio=stats.hit_ratio,
+            completed=stats.completed,
+        )

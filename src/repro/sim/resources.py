@@ -1,0 +1,124 @@
+"""Queueing resources for the simulation: FIFO stations with capacity.
+
+A :class:`Resource` is a counted semaphore with a FIFO wait queue — the
+model for worker pools, database CPUs, and network links.  A
+:class:`Station` wraps a resource with the common acquire→hold→release
+pattern and collects the statistics the experiment tables need
+(utilization, queue length, sojourn times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, Generator, List, Optional
+
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, Simulator
+
+
+class Resource:
+    """Counted FIFO resource: ``capacity`` concurrent holders."""
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError("resource capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+        # Statistics.
+        self.total_acquisitions = 0
+        self._busy_integral = 0.0
+        self._queue_integral = 0.0
+        self._last_change = 0.0
+
+    def _account(self) -> None:
+        elapsed = self.sim.now - self._last_change
+        self._busy_integral += self.in_use * elapsed
+        self._queue_integral += len(self._waiters) * elapsed
+        self._last_change = self.sim.now
+
+    def acquire(self) -> Event:
+        """Request one unit; the returned event triggers when granted."""
+        self._account()
+        event = self.sim.event()
+        if self.in_use < self.capacity and not self._waiters:
+            self.in_use += 1
+            self.total_acquisitions += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return one unit, waking the next waiter if any."""
+        self._account()
+        if self.in_use <= 0:
+            raise SimulationError(f"release on idle resource {self.name!r}")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            self.total_acquisitions += 1
+            waiter.succeed()  # capacity transfers directly to the waiter
+        else:
+            self.in_use -= 1
+
+    # -- statistics -------------------------------------------------------------
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Time-averaged fraction of capacity in use."""
+        self._account()
+        window = elapsed if elapsed is not None else self.sim.now
+        if window <= 0:
+            return 0.0
+        return self._busy_integral / (window * self.capacity)
+
+    def mean_queue_length(self, elapsed: Optional[float] = None) -> float:
+        self._account()
+        window = elapsed if elapsed is not None else self.sim.now
+        if window <= 0:
+            return 0.0
+        return self._queue_integral / window
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+
+class Station(Resource):
+    """A service station: acquire, hold for a service time, release.
+
+    Use from a process::
+
+        yield from station.serve(0.05)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "") -> None:
+        super().__init__(sim, capacity, name)
+        self.jobs_completed = 0
+        self.total_sojourn = 0.0
+        self.total_service = 0.0
+
+    def serve(self, service_time: float) -> Generator[Event, None, float]:
+        """Process-helper: queue for the station, hold, release.
+
+        Returns the sojourn time (wait + service) so callers can break
+        response times into components.
+        """
+        arrived = self.sim.now
+        yield self.acquire()
+        yield self.sim.timeout(service_time)
+        self.release()
+        sojourn = self.sim.now - arrived
+        self.jobs_completed += 1
+        self.total_sojourn += sojourn
+        self.total_service += service_time
+        return sojourn
+
+    @property
+    def mean_sojourn(self) -> float:
+        if not self.jobs_completed:
+            return 0.0
+        return self.total_sojourn / self.jobs_completed

@@ -1,0 +1,85 @@
+"""Experiment runner: regenerate Tables 2 and 3."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.configs import (
+    ConfigurationModel,
+    DataCacheMode,
+    simulate_config1,
+    simulate_config2,
+    simulate_config3,
+)
+from repro.sim.metrics import ResponseStats, TableRow
+from repro.sim.workload import PAPER_UPDATE_RATES, UpdateRate
+
+
+@dataclass
+class ExperimentRunner:
+    """Runs the three configurations across the paper's update loads."""
+
+    model: ConfigurationModel = field(default_factory=ConfigurationModel)
+
+    def run_config(
+        self,
+        name: str,
+        simulate: Callable[[UpdateRate, ConfigurationModel], ResponseStats],
+        update_rates: Tuple[UpdateRate, ...] = PAPER_UPDATE_RATES,
+    ) -> List[TableRow]:
+        rows = []
+        for rate in update_rates:
+            stats = simulate(rate, self.model)
+            rows.append(TableRow.from_stats(name, rate.label(), stats))
+        return rows
+
+    def table2(self) -> List[TableRow]:
+        """Table 2: negligible middle-tier cache access in Config II."""
+        rows: List[TableRow] = []
+        rows += self.run_config("Conf I", simulate_config1)
+        rows += self.run_config(
+            "Conf II",
+            lambda rate, model: simulate_config2(
+                rate, model, mode=DataCacheMode.NEGLIGIBLE
+            ),
+        )
+        rows += self.run_config("Conf III", simulate_config3)
+        return rows
+
+    def table3(self) -> List[TableRow]:
+        """Table 3: the middle-tier cache is a local DBMS in Config II."""
+        rows: List[TableRow] = []
+        rows += self.run_config("Conf I", simulate_config1)
+        rows += self.run_config(
+            "Conf II",
+            lambda rate, model: simulate_config2(
+                rate, model, mode=DataCacheMode.LOCAL_DBMS
+            ),
+        )
+        rows += self.run_config("Conf III", simulate_config3)
+        return rows
+
+
+def _render(title: str, rows: List[TableRow]) -> str:
+    lines = [title, "-" * len(title)]
+    lines += [row.render() for row in rows]
+    return "\n".join(lines)
+
+
+def run_table2(model: Optional[ConfigurationModel] = None, echo: bool = True) -> List[TableRow]:
+    """Regenerate Table 2; prints the rows when ``echo``."""
+    runner = ExperimentRunner(model or ConfigurationModel())
+    rows = runner.table2()
+    if echo:
+        print(_render("Table 2 — 70% hit ratio, negligible middle-tier access", rows))
+    return rows
+
+
+def run_table3(model: Optional[ConfigurationModel] = None, echo: bool = True) -> List[TableRow]:
+    """Regenerate Table 3; prints the rows when ``echo``."""
+    runner = ExperimentRunner(model or ConfigurationModel())
+    rows = runner.table3()
+    if echo:
+        print(_render("Table 3 — 70% hit ratio, local-DBMS middle-tier cache", rows))
+    return rows

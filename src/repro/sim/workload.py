@@ -1,0 +1,165 @@
+"""Workload generators: the paper's request and update streams (§5.2).
+
+* Requests arrive Poisson at 30/second — 10 light-, 10 medium-, and
+  10 heavy-page requests per second.  A light page selects from the small
+  (500-tuple) table, a medium page from the large (2500-tuple) table, and
+  a heavy page runs the select-join over both; selectivity 0.1 throughout.
+* Updates arrive as ⟨ins₁, del₁, ins₂, del₂⟩ per second: the paper ran
+  no-updates, ⟨5,5,5,5⟩, and ⟨12,12,12,12⟩.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+class PageClass(enum.Enum):
+    """The three dynamically generated page kinds of the test application."""
+
+    LIGHT = "light"
+    MEDIUM = "medium"
+    HEAVY = "heavy"
+
+    @property
+    def weight(self) -> float:
+        """Relative result-payload weight (used by cache-serve times)."""
+        return {"light": 1.0, "medium": 2.5, "heavy": 4.0}[self.value]
+
+
+@dataclass(frozen=True)
+class UpdateRate:
+    """⟨ins₁, del₁, ins₂, del₂⟩ — per-table insert/delete rates (per second)."""
+
+    ins1: float = 0.0
+    del1: float = 0.0
+    ins2: float = 0.0
+    del2: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.ins1 + self.del1 + self.ins2 + self.del2
+
+    def label(self) -> str:
+        if self.total == 0:
+            return "No Updates"
+        return f"<{self.ins1:g}, {self.del1:g}, {self.ins2:g}, {self.del2:g}>"
+
+
+#: The three update loads of Tables 2 and 3.
+NO_UPDATES = UpdateRate()
+UPDATES_5 = UpdateRate(5, 5, 5, 5)
+UPDATES_12 = UpdateRate(12, 12, 12, 12)
+PAPER_UPDATE_RATES: Tuple[UpdateRate, ...] = (NO_UPDATES, UPDATES_5, UPDATES_12)
+
+
+@dataclass(frozen=True)
+class RequestArrival:
+    """One scheduled page request."""
+
+    at: float
+    page_class: PageClass
+
+
+@dataclass(frozen=True)
+class UpdateArrival:
+    """One scheduled update statement (an insert or delete on one table)."""
+
+    at: float
+    table_index: int  # 1 (small) or 2 (large)
+    is_insert: bool
+
+
+class RequestGenerator:
+    """Poisson request stream: ``rate_per_class`` arrivals/s per class."""
+
+    def __init__(
+        self,
+        rate_per_class: float = 10.0,
+        duration: float = 60.0,
+        seed: int = 7,
+    ) -> None:
+        self.rate_per_class = rate_per_class
+        self.duration = duration
+        self.rng = np.random.default_rng(seed)
+
+    def arrivals(self) -> List[RequestArrival]:
+        """All request arrivals within the run, time-ordered."""
+        events: List[RequestArrival] = []
+        for page_class in PageClass:
+            now = 0.0
+            while True:
+                now += self.rng.exponential(1.0 / self.rate_per_class)
+                if now >= self.duration:
+                    break
+                events.append(RequestArrival(now, page_class))
+        events.sort(key=lambda arrival: arrival.at)
+        return events
+
+
+class UpdateGenerator:
+    """Poisson update stream following an :class:`UpdateRate`."""
+
+    def __init__(self, rate: UpdateRate, duration: float = 60.0, seed: int = 11) -> None:
+        self.rate = rate
+        self.duration = duration
+        self.rng = np.random.default_rng(seed)
+
+    def arrivals(self) -> List[UpdateArrival]:
+        events: List[UpdateArrival] = []
+        streams = (
+            (self.rate.ins1, 1, True),
+            (self.rate.del1, 1, False),
+            (self.rate.ins2, 2, True),
+            (self.rate.del2, 2, False),
+        )
+        for rate, table_index, is_insert in streams:
+            if rate <= 0:
+                continue
+            now = 0.0
+            while True:
+                now += self.rng.exponential(1.0 / rate)
+                if now >= self.duration:
+                    break
+                events.append(UpdateArrival(now, table_index, is_insert))
+        events.sort(key=lambda arrival: arrival.at)
+        return events
+
+
+def build_paper_schema_sql(small_rows: int = 500, large_rows: int = 2500,
+                           join_values: int = 10) -> List[str]:
+    """DDL + DML recreating the paper's test database (§5.2.1).
+
+    Two tables sharing a join attribute with ``join_values`` uniformly
+    distributed values; numeric payload columns sized so that selectivity
+    0.1 predicates are easy to write (``payload % 10 = k``).
+    """
+    statements = [
+        "CREATE TABLE small_items (id INT PRIMARY KEY, join_attr INT, payload INT)",
+        "CREATE TABLE large_items (id INT PRIMARY KEY, join_attr INT, payload INT)",
+        "CREATE INDEX idx_small_join ON small_items (join_attr)",
+        "CREATE INDEX idx_large_join ON large_items (join_attr)",
+    ]
+    small_values = ", ".join(
+        f"({i}, {i % join_values}, {i % 10})" for i in range(small_rows)
+    )
+    large_values = ", ".join(
+        f"({i}, {i % join_values}, {i % 10})" for i in range(large_rows)
+    )
+    statements.append(f"INSERT INTO small_items VALUES {small_values}")
+    statements.append(f"INSERT INTO large_items VALUES {large_values}")
+    return statements
+
+
+#: The three page queries (selectivity 0.1 each: one of ten payload values /
+#: one of ten join values).
+LIGHT_QUERY = "SELECT * FROM small_items WHERE payload = ?"
+MEDIUM_QUERY = "SELECT * FROM large_items WHERE payload = ?"
+HEAVY_QUERY = (
+    "SELECT small_items.id, large_items.id FROM small_items, large_items "
+    "WHERE small_items.join_attr = large_items.join_attr "
+    "AND small_items.join_attr = ?"
+)

@@ -1,0 +1,42 @@
+"""SQL frontend: lexer, parser, AST, printer, and query-type analysis.
+
+This package implements a from-scratch SQL dialect sufficient for the
+CachePortal workloads: SELECT with joins, predicates, aggregates, ORDER BY
+and LIMIT; INSERT, UPDATE, DELETE; CREATE/DROP TABLE and CREATE INDEX.
+
+The two pieces that are specific to the paper live in :mod:`repro.sql.params`
+(parameterizing query instances into query types — §4.1.2 "query type
+discovery") and :mod:`repro.sql.analysis` (conjunct extraction and
+satisfiability helpers used by the invalidator's independence check — §4.2).
+"""
+
+from repro.sql.lexer import Lexer, tokenize
+from repro.sql.parser import Parser, parse_expression, parse_statement
+from repro.sql.printer import to_sql
+from repro.sql.params import (
+    ParameterizedQuery,
+    bind_parameters,
+    parameterize,
+)
+from repro.sql.analysis import (
+    conjuncts,
+    query_signature,
+    referenced_columns,
+    referenced_tables,
+)
+
+__all__ = [
+    "Lexer",
+    "Parser",
+    "ParameterizedQuery",
+    "bind_parameters",
+    "conjuncts",
+    "parameterize",
+    "parse_expression",
+    "parse_statement",
+    "query_signature",
+    "referenced_columns",
+    "referenced_tables",
+    "to_sql",
+    "tokenize",
+]

@@ -1,0 +1,205 @@
+"""Static analysis helpers over SQL ASTs.
+
+These utilities back the invalidator's independence check (paper §4.2):
+splitting WHERE clauses into conjuncts, discovering which tables and
+columns a query touches, and building alias maps so that conditions can be
+attributed to base tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.sql import ast
+from repro.sql.params import parameterize
+from repro.sql.printer import to_sql
+
+
+def conjuncts(expr: Optional[ast.Expr]) -> List[ast.Expr]:
+    """Split ``expr`` at top-level ANDs into a flat list of conjuncts.
+
+    ``None`` (no WHERE clause) yields the empty list, i.e. "no conditions".
+    """
+    if expr is None:
+        return []
+    result: List[ast.Expr] = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Binary) and node.op is ast.BinaryOp.AND:
+            stack.append(node.right)
+            stack.append(node.left)
+        else:
+            result.append(node)
+    # The stack discipline above yields left-to-right order already, but a
+    # final reverse keeps the implementation honest if that changes.
+    return result
+
+
+def disjuncts(expr: Optional[ast.Expr]) -> List[ast.Expr]:
+    """Split ``expr`` at top-level ORs into a flat list of disjuncts."""
+    if expr is None:
+        return []
+    result: List[ast.Expr] = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Binary) and node.op is ast.BinaryOp.OR:
+            stack.append(node.right)
+            stack.append(node.left)
+        else:
+            result.append(node)
+    return result
+
+
+def conjoin(parts: List[ast.Expr]) -> Optional[ast.Expr]:
+    """Combine expressions with AND; the empty list means "always true"."""
+    if not parts:
+        return None
+    combined = parts[0]
+    for part in parts[1:]:
+        combined = ast.Binary(ast.BinaryOp.AND, combined, part)
+    return combined
+
+
+def _collect_sources(source: ast.FromSource, refs: List[ast.TableRef]) -> None:
+    if isinstance(source, ast.TableRef):
+        refs.append(source)
+    else:
+        _collect_sources(source.left, refs)
+        _collect_sources(source.right, refs)
+
+
+def table_refs(stmt: ast.Select) -> List[ast.TableRef]:
+    """All table references in FROM, in source order."""
+    refs: List[ast.TableRef] = []
+    for source in stmt.sources:
+        _collect_sources(source, refs)
+    return refs
+
+
+def alias_map(stmt: ast.Select) -> Dict[str, str]:
+    """Map of visible binding name (lower-case) → base table name (lower-case)."""
+    mapping: Dict[str, str] = {}
+    for ref in table_refs(stmt):
+        mapping[ref.binding.lower()] = ref.name.lower()
+    return mapping
+
+
+def referenced_tables(stmt: ast.Statement) -> Set[str]:
+    """Base table names (lower-case) a statement reads or writes.
+
+    For SELECTs this includes tables referenced only inside subqueries —
+    the invalidator's dependency tracking must see through EXISTS/IN.
+    """
+    if isinstance(stmt, ast.Select):
+        tables = {ref.name.lower() for ref in table_refs(stmt)}
+        for expr in ast._select_expressions(stmt):
+            for node in ast.subqueries(expr):
+                tables |= referenced_tables(node.query)
+        return tables
+    if isinstance(stmt, ast.Union):
+        tables: Set[str] = set()
+        for part in stmt.parts:
+            tables |= referenced_tables(part)
+        return tables
+    if isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
+        return {stmt.table.lower()}
+    if isinstance(stmt, (ast.CreateTable, ast.DropTable)):
+        return {stmt.table.lower()}
+    if isinstance(stmt, ast.CreateIndex):
+        return {stmt.table.lower()}
+    return set()
+
+
+def referenced_columns(
+    expr: Optional[ast.Expr], aliases: Optional[Dict[str, str]] = None
+) -> Set[Tuple[Optional[str], str]]:
+    """(table, column) pairs referenced in ``expr``, all lower-case.
+
+    When ``aliases`` is given, alias qualifiers are resolved to base table
+    names.  Unqualified columns appear with table ``None``.
+    """
+    columns: Set[Tuple[Optional[str], str]] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.ColumnRef):
+            table = node.table.lower() if node.table else None
+            if table is not None and aliases is not None:
+                table = aliases.get(table, table)
+            columns.add((table, node.column.lower()))
+    return columns
+
+
+def join_on_conditions(stmt: ast.Select) -> List[ast.Expr]:
+    """All ON conditions from explicit joins, flattened into conjuncts."""
+    conditions: List[ast.Expr] = []
+
+    def visit(source: ast.FromSource) -> None:
+        if isinstance(source, ast.Join):
+            visit(source.left)
+            visit(source.right)
+            if source.on is not None:
+                conditions.extend(conjuncts(source.on))
+
+    for source in stmt.sources:
+        visit(source)
+    return conditions
+
+
+def all_conditions(stmt: ast.Select) -> List[ast.Expr]:
+    """WHERE conjuncts plus all explicit-join ON conjuncts."""
+    return conjuncts(stmt.where) + join_on_conditions(stmt)
+
+
+def tables_of_condition(
+    condition: ast.Expr, aliases: Dict[str, str]
+) -> Set[str]:
+    """Which base tables a single condition mentions.
+
+    Unqualified column references are ambiguous without a schema; they are
+    mapped through ``aliases`` only when the query has a single source, in
+    which case they unambiguously belong to it.
+    """
+    tables: Set[str] = set()
+    unqualified = False
+    for table, _column in referenced_columns(condition, aliases):
+        if table is None:
+            unqualified = True
+        else:
+            tables.add(table)
+    if unqualified and len(set(aliases.values())) == 1:
+        tables.update(aliases.values())
+    elif unqualified:
+        # Conservatively attribute to every source table.
+        tables.update(aliases.values())
+    return tables
+
+
+def has_parameters(expr: Optional[ast.Expr]) -> bool:
+    """True when the expression still contains unbound parameters."""
+    return any(isinstance(node, ast.Parameter) for node in ast.walk(expr))
+
+
+def query_signature(stmt: ast.Select) -> str:
+    """Canonical query-type signature: parameterized template SQL text.
+
+    Two query instances that differ only in their constants map to the same
+    signature, which is the key used by the invalidator's registration
+    module (§4.1).
+    """
+    return parameterize(stmt).signature
+
+
+def statement_kind(stmt: ast.Statement) -> str:
+    """Short lower-case tag for logging: 'select', 'insert', ..."""
+    return type(stmt).__name__.lower()
+
+
+def is_read_only(stmt: ast.Statement) -> bool:
+    """True for statements that cannot modify table contents."""
+    return isinstance(stmt, ast.Select)
+
+
+def normalized_sql(stmt: ast.Statement) -> str:
+    """Round-trip a statement through the printer for canonical text."""
+    return to_sql(stmt)

@@ -1,0 +1,181 @@
+"""Hand-written SQL tokenizer.
+
+The lexer is deliberately simple and fast: a single left-to-right pass with
+greedy longest-match for multi-character operators.  It supports:
+
+* identifiers (``car``, ``Car.model``, quoted ``"order"``),
+* integer and floating point literals (``42``, ``3.14``, ``1e6``),
+* single-quoted string literals with ``''`` escaping,
+* positional parameters ``$1``/``$2`` and anonymous ``?`` placeholders,
+* ``--`` line comments and ``/* ... */`` block comments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.errors import LexerError
+from repro.sql.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    PUNCTUATION,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenKind,
+)
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_part(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+class Lexer:
+    """Tokenizes a SQL source string.
+
+    Usage::
+
+        tokens = Lexer("SELECT * FROM car").tokens()
+    """
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+
+    def tokens(self) -> List[Token]:
+        """Tokenize the full input and return tokens ending with EOF."""
+        return list(self._iter_tokens())
+
+    def _iter_tokens(self) -> Iterator[Token]:
+        src = self.source
+        length = len(src)
+        while True:
+            self._skip_trivia()
+            if self.pos >= length:
+                yield Token(TokenKind.EOF, "", self.pos)
+                return
+            start = self.pos
+            ch = src[start]
+            if _is_ident_start(ch):
+                yield self._lex_word(start)
+            elif ch.isdigit():
+                yield self._lex_number(start)
+            elif ch == "'":
+                yield self._lex_string(start)
+            elif ch == '"':
+                yield self._lex_quoted_identifier(start)
+            elif ch == "$":
+                yield self._lex_parameter(start)
+            elif ch == "?":
+                self.pos += 1
+                yield Token(TokenKind.PARAMETER, "?", start)
+            elif src.startswith(MULTI_CHAR_OPERATORS, start):
+                for op in MULTI_CHAR_OPERATORS:
+                    if src.startswith(op, start):
+                        self.pos += len(op)
+                        yield Token(TokenKind.OPERATOR, op, start)
+                        break
+            elif ch in SINGLE_CHAR_OPERATORS:
+                self.pos += 1
+                yield Token(TokenKind.OPERATOR, ch, start)
+            elif ch in PUNCTUATION:
+                self.pos += 1
+                yield Token(TokenKind.PUNCT, ch, start)
+            else:
+                raise LexerError(f"unexpected character {ch!r}", start)
+
+    def _skip_trivia(self) -> None:
+        """Advance past whitespace and comments."""
+        src = self.source
+        length = len(src)
+        while self.pos < length:
+            ch = src[self.pos]
+            if ch.isspace():
+                self.pos += 1
+            elif src.startswith("--", self.pos):
+                newline = src.find("\n", self.pos)
+                self.pos = length if newline < 0 else newline + 1
+            elif src.startswith("/*", self.pos):
+                end = src.find("*/", self.pos + 2)
+                if end < 0:
+                    raise LexerError("unterminated block comment", self.pos)
+                self.pos = end + 2
+            else:
+                return
+
+    def _lex_word(self, start: int) -> Token:
+        src = self.source
+        end = start + 1
+        while end < len(src) and _is_ident_part(src[end]):
+            end += 1
+        self.pos = end
+        word = src[start:end]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            return Token(TokenKind.KEYWORD, upper, start)
+        return Token(TokenKind.IDENTIFIER, word, start)
+
+    def _lex_quoted_identifier(self, start: int) -> Token:
+        src = self.source
+        end = src.find('"', start + 1)
+        if end < 0:
+            raise LexerError("unterminated quoted identifier", start)
+        self.pos = end + 1
+        return Token(TokenKind.IDENTIFIER, src[start + 1 : end], start)
+
+    def _lex_number(self, start: int) -> Token:
+        src = self.source
+        length = len(src)
+        end = start
+        while end < length and src[end].isdigit():
+            end += 1
+        if end < length and src[end] == "." and end + 1 < length and src[end + 1].isdigit():
+            end += 1
+            while end < length and src[end].isdigit():
+                end += 1
+        if end < length and src[end] in "eE":
+            exp = end + 1
+            if exp < length and src[exp] in "+-":
+                exp += 1
+            if exp < length and src[exp].isdigit():
+                end = exp
+                while end < length and src[end].isdigit():
+                    end += 1
+        self.pos = end
+        return Token(TokenKind.NUMBER, src[start:end], start)
+
+    def _lex_string(self, start: int) -> Token:
+        src = self.source
+        length = len(src)
+        pos = start + 1
+        parts: List[str] = []
+        while pos < length:
+            ch = src[pos]
+            if ch == "'":
+                if pos + 1 < length and src[pos + 1] == "'":
+                    parts.append("'")
+                    pos += 2
+                    continue
+                self.pos = pos + 1
+                return Token(TokenKind.STRING, "".join(parts), start)
+            parts.append(ch)
+            pos += 1
+        raise LexerError("unterminated string literal", start)
+
+    def _lex_parameter(self, start: int) -> Token:
+        src = self.source
+        end = start + 1
+        while end < len(src) and src[end].isdigit():
+            end += 1
+        if end == start + 1:
+            raise LexerError("expected digits after '$'", start)
+        self.pos = end
+        return Token(TokenKind.PARAMETER, src[start:end], start)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: tokenize ``source`` into a token list."""
+    return Lexer(source).tokens()

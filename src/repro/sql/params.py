@@ -1,0 +1,306 @@
+"""Query-instance ↔ query-type conversion (paper §2.3.2 and §4.1.2).
+
+A *query instance* is a fully bound SELECT as issued by the application
+server, e.g.::
+
+    SELECT * FROM car WHERE car.price < 25000
+
+Its *query type* replaces the constants that vary across instances with
+positional parameters::
+
+    SELECT * FROM car WHERE car.price < $1        -- bindings: (25000,)
+
+The invalidator registers query types once and keeps one binding tuple per
+instance, which is what makes grouping "related instances" (§4.1.2)
+possible: two instances of the same type share all analysis work.
+
+Only literals inside the WHERE/HAVING clauses and join ON conditions are
+parameterized; constants in the select list are part of the page structure,
+not of the data selection, and stay inline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.errors import ExecutionError, SQLError
+from repro.sql import ast
+from repro.sql.printer import to_sql
+
+Value = Union[int, float, str, bool, None]
+
+
+@dataclass(frozen=True)
+class ParameterizedQuery:
+    """A query type plus the bindings extracted from one instance.
+
+    Attributes:
+        template: the SELECT with :class:`~repro.sql.ast.Parameter` nodes.
+        bindings: constants extracted, ordered by parameter index.
+        signature: canonical SQL text of the template — the query-type key.
+    """
+
+    template: Union[ast.Select, "ast.Union"]
+    bindings: Tuple[Value, ...]
+    signature: str
+
+
+class _Extractor:
+    """Rewrites literals to parameters while collecting their values."""
+
+    def __init__(self) -> None:
+        self.bindings: List[Value] = []
+
+    def rewrite(self, node: ast.Expr) -> ast.Expr:
+        if isinstance(node, ast.Literal):
+            self.bindings.append(node.value)
+            return ast.Parameter(len(self.bindings))
+        if isinstance(node, ast.Binary):
+            return ast.Binary(node.op, self.rewrite(node.left), self.rewrite(node.right))
+        if isinstance(node, ast.Unary):
+            return ast.Unary(node.op, self.rewrite(node.operand))
+        if isinstance(node, ast.Between):
+            return ast.Between(
+                self.rewrite(node.expr),
+                self.rewrite(node.low),
+                self.rewrite(node.high),
+                node.negated,
+            )
+        if isinstance(node, ast.InList):
+            return ast.InList(
+                self.rewrite(node.expr),
+                tuple(self.rewrite(item) for item in node.items),
+                node.negated,
+            )
+        if isinstance(node, ast.IsNull):
+            return ast.IsNull(self.rewrite(node.expr), node.negated)
+        if isinstance(node, ast.FunctionCall):
+            return ast.FunctionCall(
+                node.name, tuple(self.rewrite(arg) for arg in node.args), node.distinct
+            )
+        if isinstance(node, ast.Case):
+            whens = tuple(
+                (self.rewrite(cond), self.rewrite(value)) for cond, value in node.whens
+            )
+            default = self.rewrite(node.default) if node.default is not None else None
+            return ast.Case(whens, default)
+        if isinstance(node, ast.Exists):
+            return ast.Exists(
+                _rewrite_select_conditions(node.query, self.rewrite), node.negated
+            )
+        if isinstance(node, ast.InSelect):
+            return ast.InSelect(
+                self.rewrite(node.expr),
+                _rewrite_select_conditions(node.query, self.rewrite),
+                node.negated,
+            )
+        if isinstance(node, ast.ScalarSubquery):
+            return ast.ScalarSubquery(
+                _rewrite_select_conditions(node.query, self.rewrite)
+            )
+        # ColumnRef, Parameter, Star: nothing to extract.
+        return node
+
+
+def _rewrite_source(source: ast.FromSource, rewrite: Callable[[ast.Expr], ast.Expr]) -> ast.FromSource:
+    if isinstance(source, ast.TableRef):
+        return source
+    on = rewrite(source.on) if source.on is not None else None
+    return ast.Join(
+        source.kind,
+        _rewrite_source(source.left, rewrite),
+        _rewrite_source(source.right, rewrite),
+        on,
+    )
+
+
+def _rewrite_select_conditions(
+    stmt: ast.Select, rewrite: Callable[[ast.Expr], ast.Expr]
+) -> ast.Select:
+    """Rewrite a (sub)query's WHERE/HAVING/ON with ``rewrite``.
+
+    The select list and grouping keys stay untouched — like top-level
+    parameterization, only data-selection constants are lifted.
+    """
+    where = rewrite(stmt.where) if stmt.where is not None else None
+    having = rewrite(stmt.having) if stmt.having is not None else None
+    sources = tuple(_rewrite_source(source, rewrite) for source in stmt.sources)
+    return ast.Select(
+        items=stmt.items,
+        sources=sources,
+        where=where,
+        group_by=stmt.group_by,
+        having=having,
+        order_by=stmt.order_by,
+        limit=stmt.limit,
+        offset=stmt.offset,
+        distinct=stmt.distinct,
+    )
+
+
+def parameterize(stmt) -> ParameterizedQuery:
+    """Turn a bound SELECT (or UNION) into its query type plus bindings."""
+    if isinstance(stmt, ast.Union):
+        extractor = _Extractor()
+        parts = tuple(
+            _rewrite_select_conditions(part, extractor.rewrite) for part in stmt.parts
+        )
+        template = ast.Union(
+            parts, stmt.all_flags, stmt.order_by, stmt.limit, stmt.offset
+        )
+        return ParameterizedQuery(
+            template=template,
+            bindings=tuple(extractor.bindings),
+            signature=to_sql(template),
+        )
+    extractor = _Extractor()
+    where = extractor.rewrite(stmt.where) if stmt.where is not None else None
+    having = extractor.rewrite(stmt.having) if stmt.having is not None else None
+    sources = tuple(_rewrite_source(source, extractor.rewrite) for source in stmt.sources)
+    template = ast.Select(
+        items=stmt.items,
+        sources=sources,
+        where=where,
+        group_by=stmt.group_by,
+        having=having,
+        order_by=stmt.order_by,
+        limit=stmt.limit,
+        offset=stmt.offset,
+        distinct=stmt.distinct,
+    )
+    return ParameterizedQuery(
+        template=template,
+        bindings=tuple(extractor.bindings),
+        signature=to_sql(template),
+    )
+
+
+class _Binder:
+    """Substitutes parameters with their bound values."""
+
+    def __init__(self, bindings: Tuple[Value, ...]) -> None:
+        self.bindings = bindings
+        self._anonymous_next = 0
+
+    def rewrite(self, node: ast.Expr) -> ast.Expr:
+        if isinstance(node, ast.Parameter):
+            if node.index is None:
+                index = self._anonymous_next
+                self._anonymous_next += 1
+            else:
+                index = node.index - 1
+            if index < 0 or index >= len(self.bindings):
+                raise ExecutionError(
+                    f"parameter ${index + 1} has no binding "
+                    f"(got {len(self.bindings)} values)"
+                )
+            return ast.Literal(self.bindings[index])
+        if isinstance(node, ast.Binary):
+            return ast.Binary(node.op, self.rewrite(node.left), self.rewrite(node.right))
+        if isinstance(node, ast.Unary):
+            return ast.Unary(node.op, self.rewrite(node.operand))
+        if isinstance(node, ast.Between):
+            return ast.Between(
+                self.rewrite(node.expr),
+                self.rewrite(node.low),
+                self.rewrite(node.high),
+                node.negated,
+            )
+        if isinstance(node, ast.InList):
+            return ast.InList(
+                self.rewrite(node.expr),
+                tuple(self.rewrite(item) for item in node.items),
+                node.negated,
+            )
+        if isinstance(node, ast.IsNull):
+            return ast.IsNull(self.rewrite(node.expr), node.negated)
+        if isinstance(node, ast.FunctionCall):
+            return ast.FunctionCall(
+                node.name, tuple(self.rewrite(arg) for arg in node.args), node.distinct
+            )
+        if isinstance(node, ast.Case):
+            whens = tuple(
+                (self.rewrite(cond), self.rewrite(value)) for cond, value in node.whens
+            )
+            default = self.rewrite(node.default) if node.default is not None else None
+            return ast.Case(whens, default)
+        if isinstance(node, ast.Exists):
+            return ast.Exists(
+                _rewrite_select_conditions(node.query, self.rewrite), node.negated
+            )
+        if isinstance(node, ast.InSelect):
+            return ast.InSelect(
+                self.rewrite(node.expr),
+                _rewrite_select_conditions(node.query, self.rewrite),
+                node.negated,
+            )
+        if isinstance(node, ast.ScalarSubquery):
+            return ast.ScalarSubquery(
+                _rewrite_select_conditions(node.query, self.rewrite)
+            )
+        return node
+
+
+def _bind_select(stmt: ast.Select, binder: "_Binder") -> ast.Select:
+    where = binder.rewrite(stmt.where) if stmt.where is not None else None
+    having = binder.rewrite(stmt.having) if stmt.having is not None else None
+    sources = tuple(_rewrite_source(source, binder.rewrite) for source in stmt.sources)
+    items = tuple(
+        ast.SelectItem(binder.rewrite(item.expr), item.alias) for item in stmt.items
+    )
+    group_by = tuple(binder.rewrite(expr) for expr in stmt.group_by)
+    order_by = tuple(
+        ast.OrderItem(binder.rewrite(item.expr), item.descending)
+        for item in stmt.order_by
+    )
+    return ast.Select(
+        items=items,
+        sources=sources,
+        where=where,
+        group_by=group_by,
+        having=having,
+        order_by=order_by,
+        limit=stmt.limit,
+        offset=stmt.offset,
+        distinct=stmt.distinct,
+    )
+
+
+def bind_expression(expr: Optional[ast.Expr], bindings: Tuple[Value, ...]) -> Optional[ast.Expr]:
+    """Substitute the parameters of a bare expression with ``bindings``."""
+    if expr is None:
+        return None
+    return _Binder(bindings).rewrite(expr)
+
+
+def bind_parameters(stmt: ast.Statement, bindings: Tuple[Value, ...]) -> ast.Statement:
+    """Substitute all parameters in ``stmt`` with the given ``bindings``.
+
+    Anonymous ``?`` placeholders consume bindings left to right; ``$n``
+    placeholders index into ``bindings`` directly (1-based).  Mixing both
+    styles in one statement is allowed but rarely wise.
+    """
+    binder = _Binder(tuple(bindings))
+    if isinstance(stmt, ast.Select):
+        return _bind_select(stmt, binder)
+    if isinstance(stmt, ast.Union):
+        parts = tuple(_bind_select(part, binder) for part in stmt.parts)
+        return ast.Union(
+            parts, stmt.all_flags, stmt.order_by, stmt.limit, stmt.offset
+        )
+    if isinstance(stmt, ast.Insert):
+        rows = tuple(
+            tuple(binder.rewrite(value) for value in row) for row in stmt.rows
+        )
+        return ast.Insert(stmt.table, stmt.columns, rows)
+    if isinstance(stmt, ast.Update):
+        assignments = tuple(
+            (column, binder.rewrite(value)) for column, value in stmt.assignments
+        )
+        where = binder.rewrite(stmt.where) if stmt.where is not None else None
+        return ast.Update(stmt.table, assignments, where)
+    if isinstance(stmt, ast.Delete):
+        where = binder.rewrite(stmt.where) if stmt.where is not None else None
+        return ast.Delete(stmt.table, where)
+    raise SQLError(f"cannot bind parameters in {type(stmt).__name__}")

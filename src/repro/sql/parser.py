@@ -1,0 +1,643 @@
+"""Recursive-descent parser for the SQL dialect.
+
+Grammar (informal)::
+
+    statement   := select | insert | update | delete
+                 | create_table | create_index | drop_table
+    select      := SELECT [DISTINCT] items FROM sources
+                   [WHERE expr] [GROUP BY exprs [HAVING expr]]
+                   [ORDER BY order_items] [LIMIT n [OFFSET m]]
+    expr        := or_expr
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := NOT not_expr | predicate
+    predicate   := additive [comparison | BETWEEN | IN | LIKE | IS NULL]
+    additive    := multiplicative ((+|-|'||') multiplicative)*
+    multiplicative := unary ((*|/|%) unary)*
+    unary       := [-|+] primary
+    primary     := literal | parameter | column | function | '(' expr ')'
+                 | CASE ... END
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import Token, TokenKind
+
+_COMPARISON_OPS = {
+    "=": ast.BinaryOp.EQ,
+    "<>": ast.BinaryOp.NE,
+    "!=": ast.BinaryOp.NE,
+    "<": ast.BinaryOp.LT,
+    "<=": ast.BinaryOp.LE,
+    ">": ast.BinaryOp.GT,
+    ">=": ast.BinaryOp.GE,
+}
+
+_ADDITIVE_OPS = {
+    "+": ast.BinaryOp.ADD,
+    "-": ast.BinaryOp.SUB,
+    "||": ast.BinaryOp.CONCAT,
+}
+
+_MULTIPLICATIVE_OPS = {
+    "*": ast.BinaryOp.MUL,
+    "/": ast.BinaryOp.DIV,
+    "%": ast.BinaryOp.MOD,
+}
+
+_TYPE_KEYWORDS = {"INT": "INT", "INTEGER": "INT", "REAL": "REAL", "TEXT": "TEXT"}
+
+_FUNCTION_KEYWORDS = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+class Parser:
+    """Parses one SQL statement (or a bare expression) from source text."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.tokens: List[Token] = tokenize(source)
+        self.pos = 0
+        self._anonymous_params = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def _check(self, kind: TokenKind, value: Optional[str] = None) -> bool:
+        return self._peek().matches(kind, value)
+
+    def _accept(self, kind: TokenKind, value: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, value: Optional[str] = None) -> Token:
+        token = self._accept(kind, value)
+        if token is None:
+            actual = self._peek()
+            wanted = value or kind.value
+            raise ParseError(
+                f"expected {wanted}, found {actual.value or 'end of input'!r} "
+                f"at offset {actual.position} in {self.source!r}"
+            )
+        return token
+
+    def _keyword(self, word: str) -> bool:
+        return self._accept(TokenKind.KEYWORD, word) is not None
+
+    # -- entry points -------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        """Parse a single statement and require end of input (``;`` allowed)."""
+        statement = self._statement()
+        self._accept(TokenKind.PUNCT, ";")
+        self._expect(TokenKind.EOF)
+        return statement
+
+    def parse_expression(self) -> ast.Expr:
+        """Parse a bare expression and require end of input."""
+        expr = self._expr()
+        self._expect(TokenKind.EOF)
+        return expr
+
+    # -- statements ---------------------------------------------------------
+
+    def _statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.kind is not TokenKind.KEYWORD:
+            raise ParseError(f"expected a statement, found {token.value!r}")
+        if token.value == "SELECT":
+            return self._select()
+        if token.value == "INSERT":
+            return self._insert()
+        if token.value == "UPDATE":
+            return self._update()
+        if token.value == "DELETE":
+            return self._delete()
+        if token.value == "CREATE":
+            return self._create()
+        if token.value == "DROP":
+            return self._drop()
+        if token.value == "EXPLAIN":
+            self._advance()
+            return ast.Explain(self._select())
+        if token.value == "BEGIN":
+            self._advance()
+            self._keyword("TRANSACTION")
+            return ast.BeginTransaction()
+        if token.value == "COMMIT":
+            self._advance()
+            self._keyword("TRANSACTION")
+            return ast.CommitTransaction()
+        if token.value == "ROLLBACK":
+            self._advance()
+            self._keyword("TRANSACTION")
+            return ast.RollbackTransaction()
+        raise ParseError(f"unsupported statement starting with {token.value}")
+
+    def _select(self) -> ast.Statement:
+        """A possibly-compound select: cores joined by UNION [ALL], with
+        one trailing ORDER BY / LIMIT applying to the whole."""
+        parts = [self._select_core()]
+        all_flags: List[bool] = []
+        while self._keyword("UNION"):
+            all_flags.append(self._keyword("ALL"))
+            parts.append(self._select_core())
+        order_by, limit, offset = self._select_tail()
+        if len(parts) == 1:
+            core = parts[0]
+            if order_by or limit is not None or offset is not None:
+                return ast.Select(
+                    items=core.items,
+                    sources=core.sources,
+                    where=core.where,
+                    group_by=core.group_by,
+                    having=core.having,
+                    order_by=order_by,
+                    limit=limit,
+                    offset=offset,
+                    distinct=core.distinct,
+                )
+            return core
+        return ast.Union(
+            parts=tuple(parts),
+            all_flags=tuple(all_flags),
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+        )
+
+    def _select_core(self) -> ast.Select:
+        """One SELECT without its trailing ORDER BY / LIMIT."""
+        self._expect(TokenKind.KEYWORD, "SELECT")
+        distinct = self._keyword("DISTINCT")
+        if not distinct:
+            self._keyword("ALL")
+        items = [self._select_item()]
+        while self._accept(TokenKind.PUNCT, ","):
+            items.append(self._select_item())
+
+        sources: Tuple[ast.FromSource, ...] = ()
+        if self._keyword("FROM"):
+            sources = tuple(self._from_sources())
+
+        where = self._expr() if self._keyword("WHERE") else None
+
+        group_by: Tuple[ast.Expr, ...] = ()
+        having = None
+        if self._keyword("GROUP"):
+            self._expect(TokenKind.KEYWORD, "BY")
+            exprs = [self._expr()]
+            while self._accept(TokenKind.PUNCT, ","):
+                exprs.append(self._expr())
+            group_by = tuple(exprs)
+            if self._keyword("HAVING"):
+                having = self._expr()
+
+        return ast.Select(
+            items=tuple(items),
+            sources=sources,
+            where=where,
+            group_by=group_by,
+            having=having,
+            distinct=distinct,
+        )
+
+    def _select_tail(self):
+        order_by: Tuple[ast.OrderItem, ...] = ()
+        if self._keyword("ORDER"):
+            self._expect(TokenKind.KEYWORD, "BY")
+            order_items = [self._order_item()]
+            while self._accept(TokenKind.PUNCT, ","):
+                order_items.append(self._order_item())
+            order_by = tuple(order_items)
+        limit = offset = None
+        if self._keyword("LIMIT"):
+            limit = self._integer()
+            if self._keyword("OFFSET"):
+                offset = self._integer()
+        return order_by, limit, offset
+
+    def _parenthesized_select(self) -> ast.Select:
+        """``( SELECT ... )`` — a subquery; tail clauses are allowed."""
+        self._expect(TokenKind.PUNCT, "(")
+        core = self._select_core()
+        order_by, limit, offset = self._select_tail()
+        self._expect(TokenKind.PUNCT, ")")
+        if order_by or limit is not None or offset is not None:
+            core = ast.Select(
+                items=core.items,
+                sources=core.sources,
+                where=core.where,
+                group_by=core.group_by,
+                having=core.having,
+                order_by=order_by,
+                limit=limit,
+                offset=offset,
+                distinct=core.distinct,
+            )
+        return core
+
+    def _select_item(self) -> ast.SelectItem:
+        if self._check(TokenKind.OPERATOR, "*"):
+            self._advance()
+            return ast.SelectItem(ast.Star())
+        # table.* form
+        if (
+            self._check(TokenKind.IDENTIFIER)
+            and self._peek(1).matches(TokenKind.PUNCT, ".")
+            and self._peek(2).matches(TokenKind.OPERATOR, "*")
+        ):
+            table = self._advance().value
+            self._advance()  # .
+            self._advance()  # *
+            return ast.SelectItem(ast.Star(table=table))
+        expr = self._expr()
+        alias = None
+        if self._keyword("AS"):
+            alias = self._expect(TokenKind.IDENTIFIER).value
+        elif self._check(TokenKind.IDENTIFIER):
+            alias = self._advance().value
+        return ast.SelectItem(expr, alias)
+
+    def _order_item(self) -> ast.OrderItem:
+        expr = self._expr()
+        descending = False
+        if self._keyword("DESC"):
+            descending = True
+        else:
+            self._keyword("ASC")
+        return ast.OrderItem(expr, descending)
+
+    def _from_sources(self) -> List[ast.FromSource]:
+        sources = [self._join_chain()]
+        while self._accept(TokenKind.PUNCT, ","):
+            sources.append(self._join_chain())
+        return sources
+
+    def _join_chain(self) -> ast.FromSource:
+        left: ast.FromSource = self._table_ref()
+        while True:
+            if self._keyword("CROSS"):
+                self._expect(TokenKind.KEYWORD, "JOIN")
+                right = self._table_ref()
+                left = ast.Join(ast.JoinKind.CROSS, left, right)
+                continue
+            kind = None
+            if self._keyword("INNER"):
+                kind = ast.JoinKind.INNER
+            elif self._keyword("LEFT"):
+                self._keyword("OUTER")
+                kind = ast.JoinKind.LEFT
+            elif self._check(TokenKind.KEYWORD, "JOIN"):
+                kind = ast.JoinKind.INNER
+            if kind is None:
+                return left
+            self._expect(TokenKind.KEYWORD, "JOIN")
+            right = self._table_ref()
+            self._expect(TokenKind.KEYWORD, "ON")
+            on = self._expr()
+            left = ast.Join(kind, left, right, on)
+
+    def _table_ref(self) -> ast.TableRef:
+        name = self._expect(TokenKind.IDENTIFIER).value
+        alias = None
+        if self._keyword("AS"):
+            alias = self._expect(TokenKind.IDENTIFIER).value
+        elif self._check(TokenKind.IDENTIFIER):
+            alias = self._advance().value
+        return ast.TableRef(name, alias)
+
+    def _insert(self) -> ast.Insert:
+        self._expect(TokenKind.KEYWORD, "INSERT")
+        self._expect(TokenKind.KEYWORD, "INTO")
+        table = self._expect(TokenKind.IDENTIFIER).value
+        columns: Tuple[str, ...] = ()
+        if self._accept(TokenKind.PUNCT, "("):
+            names = [self._expect(TokenKind.IDENTIFIER).value]
+            while self._accept(TokenKind.PUNCT, ","):
+                names.append(self._expect(TokenKind.IDENTIFIER).value)
+            self._expect(TokenKind.PUNCT, ")")
+            columns = tuple(names)
+        self._expect(TokenKind.KEYWORD, "VALUES")
+        rows = [self._value_row()]
+        while self._accept(TokenKind.PUNCT, ","):
+            rows.append(self._value_row())
+        return ast.Insert(table, columns, tuple(rows))
+
+    def _value_row(self) -> Tuple[ast.Expr, ...]:
+        self._expect(TokenKind.PUNCT, "(")
+        values = [self._expr()]
+        while self._accept(TokenKind.PUNCT, ","):
+            values.append(self._expr())
+        self._expect(TokenKind.PUNCT, ")")
+        return tuple(values)
+
+    def _update(self) -> ast.Update:
+        self._expect(TokenKind.KEYWORD, "UPDATE")
+        table = self._expect(TokenKind.IDENTIFIER).value
+        self._expect(TokenKind.KEYWORD, "SET")
+        assignments = [self._assignment()]
+        while self._accept(TokenKind.PUNCT, ","):
+            assignments.append(self._assignment())
+        where = self._expr() if self._keyword("WHERE") else None
+        return ast.Update(table, tuple(assignments), where)
+
+    def _assignment(self) -> Tuple[str, ast.Expr]:
+        column = self._expect(TokenKind.IDENTIFIER).value
+        self._expect(TokenKind.OPERATOR, "=")
+        return column, self._expr()
+
+    def _delete(self) -> ast.Delete:
+        self._expect(TokenKind.KEYWORD, "DELETE")
+        self._expect(TokenKind.KEYWORD, "FROM")
+        table = self._expect(TokenKind.IDENTIFIER).value
+        where = self._expr() if self._keyword("WHERE") else None
+        return ast.Delete(table, where)
+
+    def _create(self) -> ast.Statement:
+        self._expect(TokenKind.KEYWORD, "CREATE")
+        unique = self._keyword("UNIQUE")
+        if self._keyword("INDEX"):
+            name = self._expect(TokenKind.IDENTIFIER).value
+            self._expect(TokenKind.KEYWORD, "ON")
+            table = self._expect(TokenKind.IDENTIFIER).value
+            self._expect(TokenKind.PUNCT, "(")
+            columns = [self._expect(TokenKind.IDENTIFIER).value]
+            while self._accept(TokenKind.PUNCT, ","):
+                columns.append(self._expect(TokenKind.IDENTIFIER).value)
+            self._expect(TokenKind.PUNCT, ")")
+            return ast.CreateIndex(name, table, tuple(columns), unique)
+        if unique:
+            raise ParseError("UNIQUE is only supported for CREATE INDEX")
+        self._expect(TokenKind.KEYWORD, "TABLE")
+        if_not_exists = False
+        if self._keyword("IF"):
+            self._expect(TokenKind.KEYWORD, "NOT")
+            self._expect(TokenKind.KEYWORD, "EXISTS")
+            if_not_exists = True
+        table = self._expect(TokenKind.IDENTIFIER).value
+        self._expect(TokenKind.PUNCT, "(")
+        columns = [self._column_def()]
+        while self._accept(TokenKind.PUNCT, ","):
+            columns.append(self._column_def())
+        self._expect(TokenKind.PUNCT, ")")
+        return ast.CreateTable(table, tuple(columns), if_not_exists)
+
+    def _column_def(self) -> ast.ColumnDef:
+        name = self._expect(TokenKind.IDENTIFIER).value
+        type_token = self._peek()
+        if type_token.kind is not TokenKind.KEYWORD or type_token.value not in _TYPE_KEYWORDS:
+            raise ParseError(
+                f"expected a column type (INT, REAL, TEXT), found {type_token.value!r}"
+            )
+        self._advance()
+        type_name = _TYPE_KEYWORDS[type_token.value]
+        primary = unique = not_null = False
+        while True:
+            if self._keyword("PRIMARY"):
+                self._expect(TokenKind.KEYWORD, "KEY")
+                primary = True
+            elif self._keyword("UNIQUE"):
+                unique = True
+            elif self._check(TokenKind.KEYWORD, "NOT") and self._peek(1).matches(
+                TokenKind.KEYWORD, "NULL"
+            ):
+                self._advance()
+                self._advance()
+                not_null = True
+            else:
+                break
+        return ast.ColumnDef(name, type_name, primary, unique, not_null)
+
+    def _drop(self) -> ast.DropTable:
+        self._expect(TokenKind.KEYWORD, "DROP")
+        self._expect(TokenKind.KEYWORD, "TABLE")
+        if_exists = False
+        if self._keyword("IF"):
+            self._expect(TokenKind.KEYWORD, "EXISTS")
+            if_exists = True
+        table = self._expect(TokenKind.IDENTIFIER).value
+        return ast.DropTable(table, if_exists)
+
+    # -- expressions --------------------------------------------------------
+
+    def _expr(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        left = self._and_expr()
+        while self._keyword("OR"):
+            right = self._and_expr()
+            left = ast.Binary(ast.BinaryOp.OR, left, right)
+        return left
+
+    def _and_expr(self) -> ast.Expr:
+        left = self._not_expr()
+        while self._keyword("AND"):
+            right = self._not_expr()
+            left = ast.Binary(ast.BinaryOp.AND, left, right)
+        return left
+
+    def _not_expr(self) -> ast.Expr:
+        if self._keyword("NOT"):
+            return ast.Unary(ast.UnaryOp.NOT, self._not_expr())
+        return self._predicate()
+
+    def _predicate(self) -> ast.Expr:
+        left = self._additive()
+        token = self._peek()
+        if token.kind is TokenKind.OPERATOR and token.value in _COMPARISON_OPS:
+            self._advance()
+            right = self._additive()
+            return ast.Binary(_COMPARISON_OPS[token.value], left, right)
+        negated = False
+        if self._check(TokenKind.KEYWORD, "NOT") and self._peek(1).kind is TokenKind.KEYWORD and self._peek(1).value in (
+            "BETWEEN",
+            "IN",
+            "LIKE",
+        ):
+            self._advance()
+            negated = True
+        if self._keyword("BETWEEN"):
+            low = self._additive()
+            self._expect(TokenKind.KEYWORD, "AND")
+            high = self._additive()
+            return ast.Between(left, low, high, negated)
+        if self._keyword("IN"):
+            if self._peek(1).matches(TokenKind.KEYWORD, "SELECT"):
+                query = self._parenthesized_select()
+                return ast.InSelect(left, query, negated)
+            self._expect(TokenKind.PUNCT, "(")
+            items = [self._expr()]
+            while self._accept(TokenKind.PUNCT, ","):
+                items.append(self._expr())
+            self._expect(TokenKind.PUNCT, ")")
+            return ast.InList(left, tuple(items), negated)
+        if self._keyword("LIKE"):
+            pattern = self._additive()
+            like = ast.Binary(ast.BinaryOp.LIKE, left, pattern)
+            if negated:
+                return ast.Unary(ast.UnaryOp.NOT, like)
+            return like
+        if negated:
+            raise ParseError("expected BETWEEN, IN, or LIKE after NOT")
+        if self._keyword("IS"):
+            is_negated = self._keyword("NOT")
+            self._expect(TokenKind.KEYWORD, "NULL")
+            return ast.IsNull(left, is_negated)
+        return left
+
+    def _additive(self) -> ast.Expr:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.OPERATOR and token.value in _ADDITIVE_OPS:
+                self._advance()
+                right = self._multiplicative()
+                left = ast.Binary(_ADDITIVE_OPS[token.value], left, right)
+            else:
+                return left
+
+    def _multiplicative(self) -> ast.Expr:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.OPERATOR and token.value in _MULTIPLICATIVE_OPS:
+                self._advance()
+                right = self._unary()
+                left = ast.Binary(_MULTIPLICATIVE_OPS[token.value], left, right)
+            else:
+                return left
+
+    def _unary(self) -> ast.Expr:
+        if self._accept(TokenKind.OPERATOR, "-"):
+            return ast.Unary(ast.UnaryOp.NEG, self._unary())
+        if self._accept(TokenKind.OPERATOR, "+"):
+            return ast.Unary(ast.UnaryOp.POS, self._unary())
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            text = token.value
+            if "." in text or "e" in text or "E" in text:
+                return ast.Literal(float(text))
+            return ast.Literal(int(text))
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.kind is TokenKind.PARAMETER:
+            self._advance()
+            if token.value == "?":
+                self._anonymous_params += 1
+                return ast.Parameter(None)
+            return ast.Parameter(int(token.value[1:]))
+        if token.kind is TokenKind.KEYWORD:
+            if token.value == "NULL":
+                self._advance()
+                return ast.Literal(None)
+            if token.value == "TRUE":
+                self._advance()
+                return ast.Literal(True)
+            if token.value == "FALSE":
+                self._advance()
+                return ast.Literal(False)
+            if token.value in _FUNCTION_KEYWORDS:
+                return self._function_call(token.value)
+            if token.value == "CASE":
+                return self._case()
+            if token.value == "EXISTS":
+                self._advance()
+                return ast.Exists(self._parenthesized_select())
+        if token.kind is TokenKind.IDENTIFIER:
+            return self._column_or_function()
+        if self._check(TokenKind.PUNCT, "(") and self._peek(1).matches(
+            TokenKind.KEYWORD, "SELECT"
+        ):
+            return ast.ScalarSubquery(self._parenthesized_select())
+        if self._accept(TokenKind.PUNCT, "("):
+            expr = self._expr()
+            self._expect(TokenKind.PUNCT, ")")
+            return expr
+        raise ParseError(
+            f"unexpected token {token.value or 'end of input'!r} at offset "
+            f"{token.position} in {self.source!r}"
+        )
+
+    def _function_call(self, name: str) -> ast.FunctionCall:
+        self._advance()  # function keyword
+        self._expect(TokenKind.PUNCT, "(")
+        distinct = self._keyword("DISTINCT")
+        if self._check(TokenKind.OPERATOR, "*"):
+            self._advance()
+            args: Tuple[ast.Expr, ...] = (ast.Star(),)
+        else:
+            arg_list = [self._expr()]
+            while self._accept(TokenKind.PUNCT, ","):
+                arg_list.append(self._expr())
+            args = tuple(arg_list)
+        self._expect(TokenKind.PUNCT, ")")
+        return ast.FunctionCall(name, args, distinct)
+
+    def _column_or_function(self) -> ast.Expr:
+        name = self._advance().value
+        if self._check(TokenKind.PUNCT, "("):
+            # A non-aggregate function call, e.g. LENGTH(x).
+            self._advance()
+            args: List[ast.Expr] = []
+            if not self._check(TokenKind.PUNCT, ")"):
+                args.append(self._expr())
+                while self._accept(TokenKind.PUNCT, ","):
+                    args.append(self._expr())
+            self._expect(TokenKind.PUNCT, ")")
+            return ast.FunctionCall(name.upper(), tuple(args))
+        if self._accept(TokenKind.PUNCT, "."):
+            column = self._expect(TokenKind.IDENTIFIER).value
+            return ast.ColumnRef(column, table=name)
+        return ast.ColumnRef(name)
+
+    def _case(self) -> ast.Case:
+        self._expect(TokenKind.KEYWORD, "CASE")
+        whens: List[Tuple[ast.Expr, ast.Expr]] = []
+        while self._keyword("WHEN"):
+            cond = self._expr()
+            self._expect(TokenKind.KEYWORD, "THEN")
+            value = self._expr()
+            whens.append((cond, value))
+        if not whens:
+            raise ParseError("CASE requires at least one WHEN branch")
+        default = self._expr() if self._keyword("ELSE") else None
+        self._expect(TokenKind.KEYWORD, "END")
+        return ast.Case(tuple(whens), default)
+
+    def _integer(self) -> int:
+        token = self._expect(TokenKind.NUMBER)
+        try:
+            return int(token.value)
+        except ValueError as exc:
+            raise ParseError(f"expected an integer, found {token.value!r}") from exc
+
+
+def parse_statement(source: str) -> ast.Statement:
+    """Parse a single SQL statement from ``source``."""
+    return Parser(source).parse_statement()
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse a bare SQL expression from ``source``."""
+    return Parser(source).parse_expression()

@@ -1,0 +1,268 @@
+"""Render AST nodes back to canonical SQL text.
+
+The printer produces deterministic output (keywords upper-case, minimal
+whitespace, literals normalized) so that two structurally identical
+statements print identically.  The sniffer and invalidator rely on this to
+key their maps by SQL text.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.sql import ast
+
+# Binding powers used to decide where parentheses are required.
+_PRECEDENCE = {
+    ast.BinaryOp.OR: 1,
+    ast.BinaryOp.AND: 2,
+    ast.BinaryOp.EQ: 4,
+    ast.BinaryOp.NE: 4,
+    ast.BinaryOp.LT: 4,
+    ast.BinaryOp.LE: 4,
+    ast.BinaryOp.GT: 4,
+    ast.BinaryOp.GE: 4,
+    ast.BinaryOp.LIKE: 4,
+    ast.BinaryOp.ADD: 5,
+    ast.BinaryOp.SUB: 5,
+    ast.BinaryOp.CONCAT: 5,
+    ast.BinaryOp.MUL: 6,
+    ast.BinaryOp.DIV: 6,
+    ast.BinaryOp.MOD: 6,
+}
+
+
+def _literal(value: Union[int, float, str, bool, None]) -> str:
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _expr(node: ast.Expr, parent_precedence: int = 0) -> str:
+    if isinstance(node, ast.Literal):
+        return _literal(node.value)
+    if isinstance(node, ast.ColumnRef):
+        if node.table:
+            return f"{node.table}.{node.column}"
+        return node.column
+    if isinstance(node, ast.Parameter):
+        return "?" if node.index is None else f"${node.index}"
+    if isinstance(node, ast.Star):
+        return f"{node.table}.*" if node.table else "*"
+    if isinstance(node, ast.Binary):
+        precedence = _PRECEDENCE[node.op]
+        # Comparisons and LIKE are non-associative: a nested comparison on
+        # either side must be parenthesized to survive a re-parse.
+        non_associative = node.op in ast.COMPARISONS or node.op is ast.BinaryOp.LIKE
+        left = _expr(node.left, precedence + 1 if non_associative else precedence)
+        right = _expr(node.right, precedence + 1)
+        text = f"{left} {node.op.value} {right}"
+        if precedence < parent_precedence:
+            return f"({text})"
+        return text
+    if isinstance(node, ast.Unary):
+        operand = _expr(node.operand, 7)
+        if node.op is ast.UnaryOp.NOT:
+            text = f"NOT {operand}"
+            return f"({text})" if parent_precedence > 3 else text
+        return f"{node.op.value}{operand}"
+    if isinstance(node, ast.Between):
+        negation = "NOT " if node.negated else ""
+        text = (
+            f"{_expr(node.expr, 5)} {negation}BETWEEN "
+            f"{_expr(node.low, 5)} AND {_expr(node.high, 5)}"
+        )
+        return f"({text})" if parent_precedence >= 4 else text
+    if isinstance(node, ast.InList):
+        negation = "NOT " if node.negated else ""
+        items = ", ".join(_expr(item) for item in node.items)
+        text = f"{_expr(node.expr, 5)} {negation}IN ({items})"
+        return f"({text})" if parent_precedence >= 4 else text
+    if isinstance(node, ast.IsNull):
+        negation = "NOT " if node.negated else ""
+        text = f"{_expr(node.expr, 5)} IS {negation}NULL"
+        return f"({text})" if parent_precedence >= 4 else text
+    if isinstance(node, ast.FunctionCall):
+        distinct = "DISTINCT " if node.distinct else ""
+        args = ", ".join(_expr(arg) for arg in node.args)
+        return f"{node.name}({distinct}{args})"
+    if isinstance(node, ast.Case):
+        parts = ["CASE"]
+        for cond, value in node.whens:
+            parts.append(f"WHEN {_expr(cond)} THEN {_expr(value)}")
+        if node.default is not None:
+            parts.append(f"ELSE {_expr(node.default)}")
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(node, ast.Exists):
+        negation = "NOT " if node.negated else ""
+        text = f"{negation}EXISTS ({_select(node.query)})"
+        return f"({text})" if parent_precedence >= 4 else text
+    if isinstance(node, ast.InSelect):
+        negation = "NOT " if node.negated else ""
+        text = f"{_expr(node.expr, 5)} {negation}IN ({_select(node.query)})"
+        return f"({text})" if parent_precedence >= 4 else text
+    if isinstance(node, ast.ScalarSubquery):
+        return f"({_select(node.query)})"
+    raise TypeError(f"cannot print expression node {node!r}")
+
+
+def _table_ref(ref: ast.TableRef) -> str:
+    if ref.alias:
+        return f"{ref.name} AS {ref.alias}"
+    return ref.name
+
+
+def _from_source(source: ast.FromSource) -> str:
+    if isinstance(source, ast.TableRef):
+        return _table_ref(source)
+    left = _from_source(source.left)
+    right = _from_source(source.right)
+    if source.kind is ast.JoinKind.CROSS:
+        return f"{left} CROSS JOIN {right}"
+    keyword = "JOIN" if source.kind is ast.JoinKind.INNER else "LEFT JOIN"
+    return f"{left} {keyword} {right} ON {_expr(source.on)}"
+
+
+def _select(stmt: ast.Select) -> str:
+    parts = ["SELECT"]
+    if stmt.distinct:
+        parts.append("DISTINCT")
+    items = []
+    for item in stmt.items:
+        text = _expr(item.expr)
+        if item.alias:
+            text += f" AS {item.alias}"
+        items.append(text)
+    parts.append(", ".join(items))
+    if stmt.sources:
+        parts.append("FROM")
+        parts.append(", ".join(_from_source(source) for source in stmt.sources))
+    if stmt.where is not None:
+        parts.append(f"WHERE {_expr(stmt.where)}")
+    if stmt.group_by:
+        parts.append("GROUP BY " + ", ".join(_expr(e) for e in stmt.group_by))
+    if stmt.having is not None:
+        parts.append(f"HAVING {_expr(stmt.having)}")
+    if stmt.order_by:
+        rendered = []
+        for item in stmt.order_by:
+            text = _expr(item.expr)
+            if item.descending:
+                text += " DESC"
+            rendered.append(text)
+        parts.append("ORDER BY " + ", ".join(rendered))
+    if stmt.limit is not None:
+        parts.append(f"LIMIT {stmt.limit}")
+        if stmt.offset is not None:
+            parts.append(f"OFFSET {stmt.offset}")
+    return " ".join(parts)
+
+
+def _insert(stmt: ast.Insert) -> str:
+    parts = [f"INSERT INTO {stmt.table}"]
+    if stmt.columns:
+        parts.append("(" + ", ".join(stmt.columns) + ")")
+    rows = ", ".join(
+        "(" + ", ".join(_expr(value) for value in row) + ")" for row in stmt.rows
+    )
+    parts.append(f"VALUES {rows}")
+    return " ".join(parts)
+
+
+def _update(stmt: ast.Update) -> str:
+    assignments = ", ".join(f"{col} = {_expr(value)}" for col, value in stmt.assignments)
+    text = f"UPDATE {stmt.table} SET {assignments}"
+    if stmt.where is not None:
+        text += f" WHERE {_expr(stmt.where)}"
+    return text
+
+
+def _delete(stmt: ast.Delete) -> str:
+    text = f"DELETE FROM {stmt.table}"
+    if stmt.where is not None:
+        text += f" WHERE {_expr(stmt.where)}"
+    return text
+
+
+def _create_table(stmt: ast.CreateTable) -> str:
+    columns = []
+    for col in stmt.columns:
+        text = f"{col.name} {col.type_name}"
+        if col.primary_key:
+            text += " PRIMARY KEY"
+        if col.unique:
+            text += " UNIQUE"
+        if col.not_null:
+            text += " NOT NULL"
+        columns.append(text)
+    exists = "IF NOT EXISTS " if stmt.if_not_exists else ""
+    return f"CREATE TABLE {exists}{stmt.table} (" + ", ".join(columns) + ")"
+
+
+def _create_index(stmt: ast.CreateIndex) -> str:
+    unique = "UNIQUE " if stmt.unique else ""
+    columns = ", ".join(stmt.columns)
+    return f"CREATE {unique}INDEX {stmt.name} ON {stmt.table} ({columns})"
+
+
+def _union(stmt: ast.Union) -> str:
+    parts = [_select(stmt.parts[0])]
+    for all_flag, select in zip(stmt.all_flags, stmt.parts[1:]):
+        parts.append("UNION ALL" if all_flag else "UNION")
+        parts.append(_select(select))
+    text = " ".join(parts)
+    if stmt.order_by:
+        rendered = []
+        for item in stmt.order_by:
+            piece = _expr(item.expr)
+            if item.descending:
+                piece += " DESC"
+            rendered.append(piece)
+        text += " ORDER BY " + ", ".join(rendered)
+    if stmt.limit is not None:
+        text += f" LIMIT {stmt.limit}"
+        if stmt.offset is not None:
+            text += f" OFFSET {stmt.offset}"
+    return text
+
+
+def to_sql(node: Union[ast.Statement, ast.Expr]) -> str:
+    """Render a statement or expression node as canonical SQL text."""
+    if isinstance(node, ast.Select):
+        return _select(node)
+    if isinstance(node, ast.Union):
+        return _union(node)
+    if isinstance(node, ast.Insert):
+        return _insert(node)
+    if isinstance(node, ast.Update):
+        return _update(node)
+    if isinstance(node, ast.Delete):
+        return _delete(node)
+    if isinstance(node, ast.CreateTable):
+        return _create_table(node)
+    if isinstance(node, ast.CreateIndex):
+        return _create_index(node)
+    if isinstance(node, ast.DropTable):
+        exists = "IF EXISTS " if node.if_exists else ""
+        return f"DROP TABLE {exists}{node.table}"
+    if isinstance(node, ast.Explain):
+        return f"EXPLAIN {to_sql(node.statement)}"
+    if isinstance(node, ast.BeginTransaction):
+        return "BEGIN TRANSACTION"
+    if isinstance(node, ast.CommitTransaction):
+        return "COMMIT TRANSACTION"
+    if isinstance(node, ast.RollbackTransaction):
+        return "ROLLBACK TRANSACTION"
+    if isinstance(node, ast.Expr):
+        return _expr(node)
+    raise TypeError(f"cannot print node {node!r}")

@@ -1,0 +1,125 @@
+"""Token model for the SQL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    """Classification of a lexeme produced by the lexer."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    PARAMETER = "parameter"  # $1, $2, ... or ? placeholders
+    EOF = "eof"
+
+
+#: Reserved words recognized by the parser.  Matching is case-insensitive;
+#: keywords are stored upper-case in the token value.
+KEYWORDS = frozenset(
+    {
+        "ALL",
+        "AND",
+        "AS",
+        "ASC",
+        "AVG",
+        "BEGIN",
+        "BETWEEN",
+        "BY",
+        "CASE",
+        "COMMIT",
+        "COUNT",
+        "CREATE",
+        "CROSS",
+        "DELETE",
+        "DESC",
+        "DISTINCT",
+        "DROP",
+        "ELSE",
+        "END",
+        "EXISTS",
+        "EXPLAIN",
+        "FALSE",
+        "FROM",
+        "GROUP",
+        "HAVING",
+        "IF",
+        "IN",
+        "INDEX",
+        "INNER",
+        "INSERT",
+        "INT",
+        "INTEGER",
+        "INTO",
+        "IS",
+        "JOIN",
+        "KEY",
+        "LEFT",
+        "LIKE",
+        "LIMIT",
+        "MAX",
+        "MIN",
+        "NOT",
+        "NULL",
+        "OFFSET",
+        "ON",
+        "OR",
+        "ORDER",
+        "OUTER",
+        "PRIMARY",
+        "REAL",
+        "ROLLBACK",
+        "SELECT",
+        "SET",
+        "SUM",
+        "TABLE",
+        "TEXT",
+        "THEN",
+        "TRANSACTION",
+        "TRUE",
+        "UNION",
+        "UNIQUE",
+        "UPDATE",
+        "VALUES",
+        "WHEN",
+        "WHERE",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer can greedily match.
+MULTI_CHAR_OPERATORS = ("<>", "<=", ">=", "!=", "||")
+
+#: Single-character operators.
+SINGLE_CHAR_OPERATORS = frozenset("+-*/%<>=")
+
+#: Punctuation characters that stand alone.
+PUNCTUATION = frozenset("(),.;")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexeme.
+
+    Attributes:
+        kind: the token classification.
+        value: normalized text (keywords upper-cased, strings unquoted).
+        position: zero-based offset of the first character in the source.
+    """
+
+    kind: TokenKind
+    value: str
+    position: int
+
+    def matches(self, kind: TokenKind, value: str | None = None) -> bool:
+        """Return True when the token has ``kind`` (and ``value``, if given)."""
+        if self.kind is not kind:
+            return False
+        return value is None or self.value == value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.value!r}, @{self.position})"

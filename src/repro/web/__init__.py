@@ -1,0 +1,39 @@
+"""Web tier: HTTP model, servlet container, caches, and site assembly.
+
+This package is the "BEA WebLogic + NetCache" stand-in: an application
+server hosting servlets that query the database through the driver layer,
+a web server in front of it, a URL-keyed web page cache honouring the
+``Cache-Control: eject`` extension, a middle-tier data cache (for the
+paper's Configuration II), and a load balancer.
+"""
+
+from repro.web.http import CacheControl, HttpRequest, HttpResponse
+from repro.web.urlkey import KeySpec, page_key
+from repro.web.servlet import QueryPageServlet, Servlet, ServletRegistry
+from repro.web.appserver import ApplicationServer
+from repro.web.webserver import WebServer
+from repro.web.cache import CacheEntry, WebCache
+from repro.web.datacache import DataCache, DataCacheDriver
+from repro.web.balancer import LoadBalancer
+from repro.web.site import Configuration, Site, build_site
+
+__all__ = [
+    "ApplicationServer",
+    "CacheControl",
+    "CacheEntry",
+    "Configuration",
+    "DataCache",
+    "DataCacheDriver",
+    "HttpRequest",
+    "HttpResponse",
+    "KeySpec",
+    "LoadBalancer",
+    "QueryPageServlet",
+    "Servlet",
+    "ServletRegistry",
+    "Site",
+    "WebCache",
+    "WebServer",
+    "build_site",
+    "page_key",
+]

@@ -1,0 +1,66 @@
+"""Application server: servlet dispatch with database connectivity."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import HttpError, RoutingError
+from repro.db.dbapi import Connection, ConnectionPool
+from repro.db.engine import Database
+from repro.web.http import CacheControl, HttpRequest, HttpResponse
+from repro.web.servlet import Servlet, ServletRegistry
+
+
+class ApplicationServer:
+    """Hosts servlets and routes requests to them.
+
+    Servlets obtain database access through the server's connection pool,
+    which is built over a driver URL — exactly the seam where the
+    CachePortal query logger installs itself (§3.2): deploying the portal
+    simply switches the URL from ``repro:native:`` to the wrapper's name.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        database: Database,
+        driver_url: str = "repro:native:",
+        pool_size: int = 4,
+    ) -> None:
+        self.name = name
+        self.database = database
+        self.driver_url = driver_url
+        self.servlets = ServletRegistry()
+        self.pool = ConnectionPool(f"{name}-pool", database, pool_size, driver_url)
+        self.requests_served = 0
+        self.errors = 0
+
+    def register(self, servlet: Servlet) -> None:
+        self.servlets.register(servlet)
+
+    def set_driver_url(self, driver_url: str) -> None:
+        """Re-point the pool at a different driver (e.g. the query logger)."""
+        self.driver_url = driver_url
+        self.pool = ConnectionPool(
+            f"{self.name}-pool", self.database, self.pool.size, driver_url
+        )
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Dispatch one request to its servlet and return the page."""
+        self.requests_served += 1
+        try:
+            servlet = self.servlets.route(request.path)
+        except RoutingError as exc:
+            self.errors += 1
+            return HttpResponse(status=404, body=str(exc))
+        connection = self.pool.acquire()
+        try:
+            response = servlet.service(request, connection)
+        except HttpError as exc:
+            self.errors += 1
+            response = HttpResponse(
+                status=exc.status, body=str(exc), cache_control=CacheControl.no_cache()
+            )
+        finally:
+            self.pool.release(connection)
+        return response

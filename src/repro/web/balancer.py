@@ -1,0 +1,47 @@
+"""Traffic load balancer (the Cisco LocalDirector stand-in)."""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Sequence
+
+from repro.errors import WebError
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.webserver import WebServer
+
+
+class BalancingPolicy(enum.Enum):
+    ROUND_ROBIN = "round-robin"
+    LEAST_CONNECTIONS = "least-connections"
+
+
+class LoadBalancer:
+    """Distributes requests over a farm of web servers."""
+
+    def __init__(
+        self,
+        servers: Sequence[WebServer],
+        policy: BalancingPolicy = BalancingPolicy.ROUND_ROBIN,
+    ) -> None:
+        if not servers:
+            raise WebError("load balancer needs at least one server")
+        self.servers: List[WebServer] = list(servers)
+        self.policy = policy
+        self._next = 0
+        self.dispatched = 0
+
+    def pick(self) -> WebServer:
+        """Choose the server for the next request under the policy."""
+        if self.policy is BalancingPolicy.ROUND_ROBIN:
+            server = self.servers[self._next % len(self.servers)]
+            self._next += 1
+            return server
+        # Least connections: fewest in-flight requests, ties by order.
+        return min(self.servers, key=lambda server: server.in_flight)
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        self.dispatched += 1
+        return self.pick().handle(request)
+
+    def per_server_counts(self) -> List[int]:
+        return [server.requests_received for server in self.servers]

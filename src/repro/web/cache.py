@@ -1,0 +1,163 @@
+"""The dynamic web-page cache (paper Configuration III).
+
+A URL-keyed LRU store of generated pages that honours the CachePortal
+protocol:
+
+* only responses whose Cache-Control marks them CachePortal-cacheable are
+  stored (``private, owner="cacheportal"``, or plainly public);
+* an incoming request carrying ``Cache-Control: eject`` removes the page —
+  this is the invalidation message of §4.2.4;
+* optional TTL expiry stands in for the time-based refresh of products
+  like Oracle9i web cache, used by the ablation benches for comparison.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.web.http import CacheControl, HttpRequest, HttpResponse
+
+
+@dataclass
+class CacheEntry:
+    """One cached page."""
+
+    url_key: str
+    response: HttpResponse
+    stored_at: float
+    expires_at: Optional[float] = None
+    hits: int = 0
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    ejects: int = 0
+    evictions: int = 0
+    expirations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class WebCache:
+    """LRU page cache with the eject protocol.
+
+    Args:
+        capacity: maximum number of cached pages (the paper's
+            ``cache_size`` parameter).
+        default_ttl: optional expiry in seconds; ``None`` disables
+            time-based invalidation (CachePortal relies on ejects).
+        clock: time source, injected by the simulator.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        default_ttl: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self.default_ttl = default_ttl
+        self._clock = clock or (lambda: 0.0)
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, url_key: str) -> bool:
+        return url_key in self._entries
+
+    def keys(self) -> List[str]:
+        return list(self._entries)
+
+    # -- lookups ----------------------------------------------------------------
+
+    def get(self, url_key: str) -> Optional[HttpResponse]:
+        """Fetch a page, honouring expiry; None on miss."""
+        entry = self._entries.get(url_key)
+        now = self._clock()
+        if entry is not None and entry.expires_at is not None and now >= entry.expires_at:
+            del self._entries[url_key]
+            self.stats.expirations += 1
+            entry = None
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        entry.hits += 1
+        self.stats.hits += 1
+        self._entries.move_to_end(url_key)
+        return entry.response
+
+    # -- stores -------------------------------------------------------------------
+
+    def put(
+        self, url_key: str, response: HttpResponse, ttl: Optional[float] = None
+    ) -> bool:
+        """Store a page if its headers permit; returns True when stored."""
+        if not response.ok:
+            return False
+        if not response.cache_control.is_cacheable_by_portal:
+            return False
+        now = self._clock()
+        effective_ttl = ttl if ttl is not None else self.default_ttl
+        max_age = response.cache_control.max_age
+        if max_age is not None:
+            effective_ttl = max_age if effective_ttl is None else min(effective_ttl, max_age)
+        entry = CacheEntry(
+            url_key=url_key,
+            response=response,
+            stored_at=now,
+            expires_at=None if effective_ttl is None else now + effective_ttl,
+        )
+        if url_key in self._entries:
+            self._entries.move_to_end(url_key)
+        self._entries[url_key] = entry
+        self.stats.stores += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return True
+
+    # -- invalidation ----------------------------------------------------------------
+
+    def eject(self, url_key: str) -> bool:
+        """Remove one page; returns True when it was present."""
+        if url_key in self._entries:
+            del self._entries[url_key]
+            self.stats.ejects += 1
+            return True
+        return False
+
+    def eject_many(self, url_keys: Iterable[str]) -> int:
+        return sum(1 for key in url_keys if self.eject(key))
+
+    def handle_message(self, request: HttpRequest, url_key: str) -> bool:
+        """Process a cache-control message addressed to this cache.
+
+        Currently only ``Cache-Control: eject`` is meaningful; other
+        messages are ignored (the cache is not an origin server).
+        """
+        control = request.cache_control
+        if control is not None and control.has("eject"):
+            return self.eject(url_key)
+        return False
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,213 @@
+"""Servlets: the application code that generates dynamic pages.
+
+A :class:`Servlet` maps one URL path to page-generation logic with access
+to a database connection.  Per the paper (§3.1), each servlet carries
+metadata the sniffer and invalidator use:
+
+* which GET/POST/cookie parameters are cache keys (:class:`KeySpec`),
+* its *temporal sensitivity* — how stale (in milliseconds) its pages may
+  get before they must not be cached at all,
+* its *error sensitivity* — tolerance for serving slightly stale data.
+
+:class:`QueryPageServlet` is the declarative workhorse used throughout the
+examples and benchmarks: a parameterized SQL template whose parameters are
+filled from request parameters, rendered as an HTML table.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import HttpError, RoutingError
+from repro.db.dbapi import Connection
+from repro.web.http import CacheControl, HttpRequest, HttpResponse
+from repro.web.urlkey import ALL_GET, KeySpec
+
+
+class Servlet:
+    """Base class for page-generating application code.
+
+    Args:
+        name: unique servlet name (the sniffer's servlet id).
+        path: URL path this servlet serves, e.g. ``/catalog``.
+        key_spec: which request parameters identify the page.
+        temporal_sensitivity_ms: maximum acceptable staleness; servlets
+            more sensitive than the invalidation cycle can honour are
+            marked non-cacheable by the request logger.
+        error_sensitivity: 0.0 (tolerant) .. 1.0 (must never be stale).
+        cacheable: static hint; ``False`` forces no-cache responses.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        path: str,
+        key_spec: KeySpec = ALL_GET,
+        temporal_sensitivity_ms: float = 1000.0,
+        error_sensitivity: float = 0.5,
+        cacheable: bool = True,
+    ) -> None:
+        self.name = name
+        self.path = path
+        self.key_spec = key_spec
+        self.temporal_sensitivity_ms = temporal_sensitivity_ms
+        self.error_sensitivity = error_sensitivity
+        self.cacheable = cacheable
+
+    def service(self, request: HttpRequest, connection: Connection) -> HttpResponse:
+        """Generate the page.  Subclasses must override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r} path={self.path!r}>"
+
+
+@dataclass(frozen=True)
+class QueryBinding:
+    """How one SQL template parameter is filled from the request.
+
+    ``source`` is one of ``get``, ``post``, ``cookie``; ``name`` is the
+    parameter name; ``convert`` coerces the string (e.g. ``int``).
+    """
+
+    source: str
+    name: str
+    convert: Callable[[str], object] = str
+    default: Optional[object] = None
+
+
+class QueryPageServlet(Servlet):
+    """Servlet defined by SQL templates plus request-parameter bindings.
+
+    Example::
+
+        QueryPageServlet(
+            name="catalog",
+            path="/catalog",
+            queries=[("SELECT * FROM car WHERE price < ?",
+                      [QueryBinding("get", "max_price", int)])],
+        )
+    """
+
+    def __init__(
+        self,
+        name: str,
+        path: str,
+        queries: Sequence[Tuple[str, Sequence[QueryBinding]]],
+        title: Optional[str] = None,
+        **kwargs: object,
+    ) -> None:
+        super().__init__(name, path, **kwargs)
+        self.queries = [(sql, list(bindings)) for sql, bindings in queries]
+        self.title = title or name
+
+    def service(self, request: HttpRequest, connection: Connection) -> HttpResponse:
+        sections: List[str] = []
+        total_work = 0
+        queries_issued = 0
+        for sql, bindings in self.queries:
+            params = [self._bind(request, binding) for binding in bindings]
+            cursor = connection.execute(sql, params or None)
+            rows = cursor.fetchall()
+            columns = [entry[0] for entry in cursor.description or []]
+            if cursor.last_result is not None:
+                total_work += cursor.last_result.work_units
+            queries_issued += 1
+            sections.append(self._render_table(columns, rows))
+        body = (
+            f"<html><head><title>{html.escape(self.title)}</title></head>"
+            f"<body><h1>{html.escape(self.title)}</h1>"
+            + "".join(sections)
+            + "</body></html>"
+        )
+        response = HttpResponse(
+            status=200,
+            body=body,
+            cache_control=(
+                CacheControl.no_cache()
+                if not self.cacheable
+                else CacheControl.no_cache()  # rewritten by the request logger
+            ),
+        )
+        response.db_work = total_work
+        response.queries_issued = queries_issued
+        return response
+
+    def _bind(self, request: HttpRequest, binding: QueryBinding) -> object:
+        params = {
+            "get": request.get_params,
+            "post": request.post_params,
+            "cookie": request.cookies,
+        }.get(binding.source)
+        if params is None:
+            raise HttpError(500, f"unknown binding source {binding.source!r}")
+        raw = params.get(binding.name)
+        if raw is None:
+            if binding.default is not None:
+                return binding.default
+            raise HttpError(
+                400, f"missing required parameter {binding.name!r} ({binding.source})"
+            )
+        try:
+            return binding.convert(raw)
+        except (TypeError, ValueError) as exc:
+            raise HttpError(
+                400, f"bad value for parameter {binding.name!r}: {raw!r}"
+            ) from exc
+
+    @staticmethod
+    def _render_table(columns: List[str], rows: List[Tuple]) -> str:
+        header = "".join(f"<th>{html.escape(str(c))}</th>" for c in columns)
+        body_rows = "".join(
+            "<tr>" + "".join(f"<td>{html.escape(str(v))}</td>" for v in row) + "</tr>"
+            for row in rows
+        )
+        return f"<table><tr>{header}</tr>{body_rows}</table>"
+
+
+class ServletRegistry:
+    """Path → servlet routing table with a wrapping hook.
+
+    The sniffer's request logger installs itself by calling
+    :meth:`wrap_all` with a decorator — "we implement the request logger
+    to work as a wrapper around the application servlets" (§3.1).
+    """
+
+    def __init__(self) -> None:
+        self._by_path: Dict[str, Servlet] = {}
+        self._by_name: Dict[str, Servlet] = {}
+
+    def register(self, servlet: Servlet) -> None:
+        if servlet.path in self._by_path:
+            raise RoutingError(f"path {servlet.path!r} already has a servlet")
+        if servlet.name in self._by_name:
+            raise RoutingError(f"servlet name {servlet.name!r} already registered")
+        self._by_path[servlet.path] = servlet
+        self._by_name[servlet.name] = servlet
+
+    def route(self, path: str) -> Servlet:
+        servlet = self._by_path.get(path)
+        if servlet is None:
+            raise RoutingError(f"no servlet registered for path {path!r}")
+        return servlet
+
+    def by_name(self, name: str) -> Servlet:
+        servlet = self._by_name.get(name)
+        if servlet is None:
+            raise RoutingError(f"no servlet named {name!r}")
+        return servlet
+
+    def names(self) -> List[str]:
+        return sorted(self._by_name)
+
+    def all(self) -> List[Servlet]:
+        return list(self._by_path.values())
+
+    def wrap_all(self, wrapper: Callable[[Servlet], Servlet]) -> None:
+        """Replace every servlet with ``wrapper(servlet)``, keeping routes."""
+        for path, servlet in list(self._by_path.items()):
+            wrapped = wrapper(servlet)
+            self._by_path[path] = wrapped
+            self._by_name[servlet.name] = wrapped

@@ -1,0 +1,204 @@
+"""Site assembly: the three architectures of the paper's evaluation.
+
+* :attr:`Configuration.REPLICATED` (Config I) — N web/app servers, each
+  with its own replicated database; updates are applied to every replica.
+* :attr:`Configuration.DATA_CACHE` (Config II) — one shared database, a
+  middle-tier data cache per application server.
+* :attr:`Configuration.WEB_CACHE` (Config III) — one shared database and a
+  dynamic web-page cache in front of the load balancer (the CachePortal
+  deployment).
+
+:func:`build_site` wires servers, caches, and databases into a
+:class:`Site` whose :meth:`Site.get` entry point behaves like a browser
+request arriving at the site, and whose :meth:`Site.update` mirrors the
+paper's backend update stream (Figure 5, arrow ``Upd``).
+
+These sites are *functional* models — every request really routes, every
+query really executes, every cached page really gets stored and ejected.
+Timing behaviour is the business of :mod:`repro.sim`, which reuses the
+same components under a discrete-event clock.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import RoutingError, WebError
+from repro.db.engine import Database, StatementResult
+from repro.db.dbapi import register_driver
+from repro.web.appserver import ApplicationServer
+from repro.web.balancer import BalancingPolicy, LoadBalancer
+from repro.web.cache import WebCache
+from repro.web.datacache import DataCache, DataCacheDriver
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.servlet import Servlet
+from repro.web.urlkey import page_key
+from repro.web.webserver import WebServer
+
+
+class Configuration(enum.Enum):
+    """The three site architectures compared in the paper."""
+
+    REPLICATED = "replicated"  # Configuration I
+    DATA_CACHE = "data-cache"  # Configuration II
+    WEB_CACHE = "web-cache"  # Configuration III
+
+
+@dataclass
+class SiteStats:
+    requests: int = 0
+    page_cache_hits: int = 0
+    page_cache_misses: int = 0
+    updates_applied: int = 0
+
+
+class Site:
+    """A fully wired web site under one of the three configurations."""
+
+    def __init__(
+        self,
+        configuration: Configuration,
+        balancer: LoadBalancer,
+        databases: Sequence[Database],
+        web_cache: Optional[WebCache] = None,
+        data_caches: Sequence[DataCache] = (),
+    ) -> None:
+        self.configuration = configuration
+        self.balancer = balancer
+        self.databases = list(databases)
+        self.web_cache = web_cache
+        self.data_caches = list(data_caches)
+        self.stats = SiteStats()
+
+    # -- convenience accessors ---------------------------------------------------
+
+    @property
+    def database(self) -> Database:
+        """The primary database (the only one outside Config I)."""
+        return self.databases[0]
+
+    @property
+    def app_servers(self) -> List[ApplicationServer]:
+        return [server.app_server for server in self.balancer.servers]
+
+    def servlet_for(self, path: str) -> Servlet:
+        return self.app_servers[0].servlets.route(path)
+
+    # -- request path ---------------------------------------------------------------
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Process one request, going through the page cache when present."""
+        self.stats.requests += 1
+        if self.web_cache is None:
+            return self.balancer.handle(request)
+        try:
+            servlet = self.servlet_for(request.path)
+        except RoutingError:
+            # Unknown path: let the app server produce the 404 response.
+            return self.balancer.handle(request)
+        key = page_key(request, servlet.key_spec)
+        cached = self.web_cache.get(key)
+        if cached is not None:
+            self.stats.page_cache_hits += 1
+            return cached
+        self.stats.page_cache_misses += 1
+        response = self.balancer.handle(request)
+        self.web_cache.put(key, response)
+        return response
+
+    def get(
+        self,
+        url: str,
+        cookies: Optional[Dict[str, str]] = None,
+        post_params: Optional[Dict[str, str]] = None,
+    ) -> HttpResponse:
+        """Browser-style entry point: ``site.get('/catalog?maker=Toyota')``."""
+        request = HttpRequest.from_url(url, cookies=cookies, post_params=post_params)
+        if post_params:
+            request.method = "POST"
+        return self.handle(request)
+
+    # -- update path -----------------------------------------------------------------
+
+    def update(self, sql: str, params: Optional[Sequence] = None) -> List[StatementResult]:
+        """Apply a backend update.
+
+        Config I applies it to every replica (the replication/
+        synchronization cost); the other configurations touch the single
+        shared database.
+        """
+        self.stats.updates_applied += 1
+        return [database.execute(sql, params) for database in self.databases]
+
+    def synchronize_data_caches(self) -> int:
+        """Config II: run one synchronization round on every data cache."""
+        return sum(cache.synchronize() for cache in self.data_caches)
+
+
+def build_site(
+    configuration: Configuration,
+    servlets: Sequence[Servlet],
+    database: Optional[Database] = None,
+    database_factory: Optional[Callable[[], Database]] = None,
+    num_servers: int = 4,
+    web_cache_capacity: int = 1024,
+    data_cache_capacity: int = 4096,
+    balancing: BalancingPolicy = BalancingPolicy.ROUND_ROBIN,
+    clock: Optional[Callable[[], float]] = None,
+) -> Site:
+    """Assemble a :class:`Site` for one of the three configurations.
+
+    Args:
+        configuration: which architecture to build.
+        servlets: the application; shared by all servers.
+        database: the shared database (Configs II/III).
+        database_factory: builds one database replica per server (Config I).
+        num_servers: size of the web-server farm (the paper used 4).
+        web_cache_capacity: page-cache size for Config III.
+        data_cache_capacity: per-server result-cache size for Config II.
+        clock: time source for caches (the simulator injects its own).
+    """
+    if num_servers < 1:
+        raise WebError("a site needs at least one server")
+
+    if configuration is Configuration.REPLICATED:
+        if database_factory is None:
+            raise WebError("Config I needs database_factory to build replicas")
+        databases = [database_factory() for _ in range(num_servers)]
+    else:
+        if database is None:
+            raise WebError("Configs II/III need the shared database")
+        databases = [database]
+
+    web_servers: List[WebServer] = []
+    data_caches: List[DataCache] = []
+    for index in range(num_servers):
+        server_db = databases[index] if configuration is Configuration.REPLICATED else databases[0]
+        driver_url = "repro:native:"
+        if configuration is Configuration.DATA_CACHE:
+            cache = DataCache(server_db, capacity=data_cache_capacity)
+            data_caches.append(cache)
+            driver_name = f"datacache-{id(cache)}"
+            register_driver(driver_name, DataCacheDriver(cache))
+            driver_url = f"repro:{driver_name}:"
+        app_server = ApplicationServer(
+            name=f"as{index}", database=server_db, driver_url=driver_url
+        )
+        for servlet in servlets:
+            app_server.register(servlet)
+        web_servers.append(WebServer(name=f"ws{index}", app_server=app_server))
+
+    balancer = LoadBalancer(web_servers, balancing)
+    web_cache = None
+    if configuration is Configuration.WEB_CACHE:
+        web_cache = WebCache(capacity=web_cache_capacity, clock=clock)
+
+    return Site(
+        configuration=configuration,
+        balancer=balancer,
+        databases=databases,
+        web_cache=web_cache,
+        data_caches=data_caches,
+    )

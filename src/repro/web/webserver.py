@@ -1,0 +1,30 @@
+"""Web server: the HTTP front of one application server.
+
+Functionally thin — in this architecture the web server forwards dynamic
+requests to its application server — but kept as a separate component for
+fidelity with the paper's data-flow (Figure 5, arrows (1)-(2) and (5)-(6))
+and as the attachment point for per-server statistics.
+"""
+
+from __future__ import annotations
+
+from repro.web.appserver import ApplicationServer
+from repro.web.http import HttpRequest, HttpResponse
+
+
+class WebServer:
+    """Receives HTTP requests and passes them to the application server."""
+
+    def __init__(self, name: str, app_server: ApplicationServer) -> None:
+        self.name = name
+        self.app_server = app_server
+        self.requests_received = 0
+        self.in_flight = 0
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        self.requests_received += 1
+        self.in_flight += 1
+        try:
+            return self.app_server.handle(request)
+        finally:
+            self.in_flight -= 1

@@ -1,0 +1,29 @@
+"""Shared fixtures: the paper's example schema and site builders."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Make tests/helpers.py importable from test modules in subdirectories.
+sys.path.insert(0, os.path.dirname(__file__))
+
+from helpers import car_servlets, make_car_db  # noqa: E402
+
+from repro.web import Configuration, build_site  # noqa: E402
+
+
+@pytest.fixture
+def car_db():
+    """The Car/Mileage database of paper Example 4.1."""
+    return make_car_db()
+
+
+@pytest.fixture
+def web_cache_site(car_db):
+    """A Configuration III site over the car database."""
+    return build_site(
+        Configuration.WEB_CACHE, car_servlets(), database=car_db, num_servers=2
+    )

@@ -1,0 +1,122 @@
+"""Tests for the trigger-based and matview-based baseline invalidators."""
+
+import pytest
+
+from repro.web.cache import WebCache
+from repro.web.http import CacheControl, HttpResponse
+from repro.core.invalidator import MatViewInvalidator, TriggerInvalidator
+
+from helpers import make_car_db
+
+
+def cacheable():
+    return HttpResponse(body="page", cache_control=CacheControl.cacheportal_private())
+
+
+JOIN_SQL = (
+    "SELECT car.maker FROM car, mileage "
+    "WHERE car.model = mileage.model AND mileage.epa > 30"
+)
+
+
+class TestTriggerInvalidator:
+    def setup_one(self):
+        db = make_car_db()
+        cache = WebCache()
+        invalidator = TriggerInvalidator(db, [cache])
+        cache.put("u1", cacheable())
+        invalidator.watch("SELECT * FROM car WHERE price < 20000", "u1")
+        return db, cache, invalidator
+
+    def test_synchronous_ejection(self):
+        db, cache, invalidator = self.setup_one()
+        db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 14000)")
+        # No cycle needed: the trigger fired inside the INSERT.
+        assert "u1" not in cache
+        assert invalidator.pages_ejected == 1
+
+    def test_unaffected_update_keeps_page(self):
+        db, cache, invalidator = self.setup_one()
+        db.execute("INSERT INTO car VALUES ('Rolls', 'Ghost', 400000)")
+        assert "u1" in cache
+
+    def test_join_polling_inline(self):
+        db = make_car_db()
+        cache = WebCache()
+        invalidator = TriggerInvalidator(db, [cache])
+        cache.put("u1", cacheable())
+        invalidator.watch(JOIN_SQL, "u1")
+        db.execute("INSERT INTO car VALUES ('Rolls', 'Ghost', 400000)")
+        assert invalidator.polls_issued == 1
+        assert "u1" in cache
+        db.execute("INSERT INTO mileage VALUES ('Ghost', 99)")
+        assert "u1" not in cache
+
+    def test_db_burden_accounted(self):
+        db = make_car_db()
+        cache = WebCache()
+        invalidator = TriggerInvalidator(db, [cache])
+        cache.put("u1", cacheable())
+        invalidator.watch(JOIN_SQL, "u1")
+        db.execute("INSERT INTO car VALUES ('Rolls', 'Ghost', 400000)")
+        assert invalidator.db_work_units > 0
+        assert invalidator.checks_performed >= 1
+
+    def test_triggers_installed_per_table_and_kind(self):
+        db, cache, invalidator = self.setup_one()
+        # 2 tables x 2 kinds
+        assert db.triggers.count_for("car") == 2
+        assert db.triggers.count_for("mileage") == 2
+
+    def test_delete_also_triggers(self):
+        db, cache, invalidator = self.setup_one()
+        db.execute("DELETE FROM car WHERE model = 'Civic'")
+        assert "u1" not in cache
+
+
+class TestMatViewInvalidator:
+    def setup_one(self):
+        db = make_car_db()
+        cache = WebCache()
+        invalidator = MatViewInvalidator(db, [cache])
+        cache.put("u1", cacheable())
+        invalidator.watch("SELECT * FROM car WHERE price < 20000", "u1")
+        return db, cache, invalidator
+
+    def test_view_change_ejects(self):
+        db, cache, invalidator = self.setup_one()
+        db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 14000)")
+        assert "u1" not in cache
+        assert invalidator.pages_ejected == 1
+
+    def test_no_view_change_keeps_page(self):
+        db, cache, invalidator = self.setup_one()
+        db.execute("INSERT INTO car VALUES ('Rolls', 'Ghost', 400000)")
+        assert "u1" in cache
+
+    def test_join_view_exact(self):
+        """Matviews are exact: a joining insert ejects, a dangling one not."""
+        db = make_car_db()
+        cache = WebCache()
+        invalidator = MatViewInvalidator(db, [cache])
+        cache.put("u1", cacheable())
+        invalidator.watch(JOIN_SQL, "u1")
+        db.execute("INSERT INTO car VALUES ('Rolls', 'Ghost', 400000)")
+        assert "u1" in cache  # Ghost has no qualifying mileage row
+        db.execute("INSERT INTO mileage VALUES ('Ghost', 99)")
+        assert "u1" not in cache
+
+    def test_maintenance_cost_grows_with_updates(self):
+        db, cache, invalidator = self.setup_one()
+        work_before = invalidator.maintenance_work
+        for i in range(5):
+            db.execute(f"INSERT INTO car VALUES ('M{i}', 'X{i}', 500000)")
+        assert invalidator.maintenance_work > work_before
+
+    def test_shared_view_for_same_sql(self):
+        db, cache, invalidator = self.setup_one()
+        cache.put("u2", cacheable())
+        invalidator.watch("SELECT * FROM car WHERE price < 20000", "u2")
+        assert len(invalidator.views.names()) == 1
+        db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 14000)")
+        assert "u1" not in cache and "u2" not in cache

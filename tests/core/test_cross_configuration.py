@@ -1,0 +1,83 @@
+"""Cross-configuration equivalence: all three architectures serve the
+same content once synchronized.
+
+The paper compares the configurations on *performance*; functionally they
+must be interchangeable — same requests, same bodies — provided each one's
+freshness mechanism has run (replica updates for Conf I, data-cache sync
+for Conf II, an invalidation cycle for Conf III).
+"""
+
+import pytest
+
+from repro.web import Configuration, build_site
+from repro.core import CachePortal
+
+from helpers import car_servlets, make_car_db
+
+
+URLS = [
+    "/catalog?max_price=21000",
+    "/catalog?max_price=99999",
+    "/efficient?min_epa=20",
+    "/efficient?min_epa=30",
+]
+
+UPDATE_ROUNDS = [
+    ["INSERT INTO car VALUES ('Kia', 'Rio', 14000)",
+     "INSERT INTO mileage VALUES ('Rio', 45)"],
+    ["DELETE FROM car WHERE model = 'Civic'"],
+    ["UPDATE car SET price = 19000 WHERE model = 'Avalon'",
+     "DELETE FROM mileage WHERE epa < 20"],
+]
+
+
+def build_all():
+    conf1 = build_site(
+        Configuration.REPLICATED, car_servlets(),
+        database_factory=make_car_db, num_servers=2,
+    )
+    conf2 = build_site(
+        Configuration.DATA_CACHE, car_servlets(), database=make_car_db(),
+        num_servers=2,
+    )
+    conf3 = build_site(
+        Configuration.WEB_CACHE, car_servlets(), database=make_car_db(),
+        num_servers=2,
+    )
+    portal = CachePortal(conf3)
+    return conf1, conf2, conf3, portal
+
+
+def synchronize(conf1, conf2, conf3, portal):
+    conf2.synchronize_data_caches()
+    portal.run_invalidation_cycle()
+
+
+class TestCrossConfigurationEquivalence:
+    def test_bodies_agree_through_update_rounds(self):
+        conf1, conf2, conf3, portal = build_all()
+        # Warm every path (and the Conf III cache) once.
+        for url in URLS:
+            bodies = {site.get(url).body for site in (conf1, conf2, conf3)}
+            assert len(bodies) == 1, f"initial disagreement at {url}"
+        for round_number, statements in enumerate(UPDATE_ROUNDS):
+            for sql in statements:
+                conf1.update(sql)   # applies to every replica
+                conf2.update(sql)
+                conf3.update(sql)
+            synchronize(conf1, conf2, conf3, portal)
+            for url in URLS:
+                bodies = {site.get(url).body for site in (conf1, conf2, conf3)}
+                assert len(bodies) == 1, (
+                    f"disagreement at {url} after round {round_number}"
+                )
+
+    def test_conf3_serves_hits_while_agreeing(self):
+        conf1, conf2, conf3, portal = build_all()
+        for url in URLS:
+            conf3.get(url)
+        for url in URLS:
+            conf3.get(url)
+        assert conf3.stats.page_cache_hits == len(URLS)
+        for url in URLS:
+            assert conf3.get(url).body == conf1.get(url).body

@@ -1,0 +1,265 @@
+"""Tests for the independence checker — the heart of the invalidator.
+
+Includes a faithful rendition of paper Example 4.1.
+"""
+
+import pytest
+
+from repro.db.log import ChangeKind, UpdateRecord
+from repro.sql.parser import parse_statement
+from repro.core.invalidator.analysis import (
+    IndependenceChecker,
+    Verdict,
+    VerdictKind,
+)
+
+
+CHECKER = IndependenceChecker()
+
+
+def insert(table, **values):
+    return UpdateRecord(
+        lsn=1,
+        timestamp=0.0,
+        table=table,
+        kind=ChangeKind.INSERT,
+        values=tuple(values.values()),
+        columns=tuple(values.keys()),
+    )
+
+
+def delete(table, **values):
+    return UpdateRecord(
+        lsn=1,
+        timestamp=0.0,
+        table=table,
+        kind=ChangeKind.DELETE,
+        values=tuple(values.values()),
+        columns=tuple(values.keys()),
+    )
+
+
+def check(sql, record):
+    return CHECKER.check(parse_statement(sql), record)
+
+
+class TestExample41:
+    """Paper Example 4.1, verbatim.
+
+    Query1: SELECT car.maker, car.model, car.price, mileage.EPA
+            FROM car, mileage
+            WHERE car.model = mileage.model AND car.price < 23000
+    """
+
+    QUERY1 = (
+        "SELECT car.maker, car.model, car.price, mileage.epa "
+        "FROM car, mileage "
+        "WHERE car.model = mileage.model AND car.price < 23000"
+    )
+
+    def test_eclipse_insert_needs_no_information(self):
+        """(Mitsubishi, Eclipse, 20000): price < 23000 holds, join unknown →
+        the paper checks Mileage via a polling query."""
+        verdict = check(
+            self.QUERY1, insert("car", maker="Mitsubishi", model="Eclipse", price=20000)
+        )
+        assert verdict.kind is VerdictKind.NEEDS_POLLING
+
+    def test_avalon_insert_fails_local_condition(self):
+        """(Toyota, Avalon, 25000): 25000 < 23000 is false — provably
+        unaffected without any polling."""
+        verdict = check(
+            self.QUERY1, insert("car", maker="Toyota", model="Avalon", price=25000)
+        )
+        assert verdict.kind is VerdictKind.UNAFFECTED
+
+    def test_polling_query_matches_paper(self):
+        """The generated PollQuery probes Mileage for the inserted model."""
+        verdict = check(
+            self.QUERY1, insert("car", maker="Toyota", model="Avalon", price=20000)
+        )
+        sql = verdict.polling_sql
+        assert "FROM mileage" in sql
+        assert "'Avalon'" in sql
+        assert "COUNT(*)" in sql
+        assert "car" not in sql.split("FROM")[1]  # car is fully substituted
+
+    def test_mileage_insert_polls_car(self):
+        verdict = check(self.QUERY1, insert("mileage", model="Rio", epa=40))
+        assert verdict.kind is VerdictKind.NEEDS_POLLING
+        assert "FROM car" in verdict.polling_sql
+        assert "'Rio'" in verdict.polling_sql
+        assert "23000" in verdict.polling_sql  # car's local condition included
+
+
+class TestSingleTableQueries:
+    SQL = "SELECT * FROM car WHERE price < 20000"
+
+    def test_matching_insert_affects(self):
+        verdict = check(self.SQL, insert("car", maker="Kia", model="Rio", price=14000))
+        assert verdict.kind is VerdictKind.AFFECTED
+
+    def test_non_matching_insert_unaffected(self):
+        verdict = check(self.SQL, insert("car", maker="BMW", model="M5", price=72000))
+        assert verdict.kind is VerdictKind.UNAFFECTED
+
+    def test_matching_delete_affects(self):
+        verdict = check(self.SQL, delete("car", maker="Kia", model="Rio", price=14000))
+        assert verdict.kind is VerdictKind.AFFECTED
+
+    def test_other_table_unaffected(self):
+        verdict = check(self.SQL, insert("mileage", model="Rio", epa=40))
+        assert verdict.kind is VerdictKind.UNAFFECTED
+        assert "not referenced" in verdict.reason
+
+    def test_boundary_value(self):
+        verdict = check(self.SQL, insert("car", maker="K", model="R", price=20000))
+        assert verdict.kind is VerdictKind.UNAFFECTED  # strict <
+        verdict = check(self.SQL, insert("car", maker="K", model="R", price=19999))
+        assert verdict.kind is VerdictKind.AFFECTED
+
+    def test_null_value_fails_condition(self):
+        """A NULL price cannot satisfy price < 20000: unaffected."""
+        verdict = check(self.SQL, insert("car", maker="K", model="R", price=None))
+        assert verdict.kind is VerdictKind.UNAFFECTED
+
+    def test_no_where_clause_always_affected(self):
+        verdict = check(
+            "SELECT * FROM car", insert("car", maker="K", model="R", price=1)
+        )
+        assert verdict.kind is VerdictKind.AFFECTED
+
+    def test_multiple_conjuncts_all_must_hold(self):
+        sql = "SELECT * FROM car WHERE price < 20000 AND maker = 'Kia'"
+        affected = check(sql, insert("car", maker="Kia", model="Rio", price=14000))
+        assert affected.kind is VerdictKind.AFFECTED
+        wrong_maker = check(sql, insert("car", maker="VW", model="Golf", price=14000))
+        assert wrong_maker.kind is VerdictKind.UNAFFECTED
+
+    def test_disjunction_evaluated_on_tuple(self):
+        sql = "SELECT * FROM car WHERE price < 10000 OR maker = 'Kia'"
+        verdict = check(sql, insert("car", maker="Kia", model="Rio", price=50000))
+        assert verdict.kind is VerdictKind.AFFECTED
+        verdict = check(sql, insert("car", maker="VW", model="Golf", price=50000))
+        assert verdict.kind is VerdictKind.UNAFFECTED
+
+    def test_in_and_between(self):
+        sql = "SELECT * FROM car WHERE maker IN ('Kia', 'VW') AND price BETWEEN 1 AND 9"
+        hit = check(sql, insert("car", maker="VW", model="x", price=5))
+        assert hit.kind is VerdictKind.AFFECTED
+        miss = check(sql, insert("car", maker="VW", model="x", price=10))
+        assert miss.kind is VerdictKind.UNAFFECTED
+
+    def test_like_condition(self):
+        sql = "SELECT * FROM car WHERE model LIKE 'Ri%'"
+        assert check(sql, insert("car", maker="K", model="Rio", price=1)).kind is VerdictKind.AFFECTED
+        assert check(sql, insert("car", maker="K", model="M5", price=1)).kind is VerdictKind.UNAFFECTED
+
+    def test_unqualified_columns_resolved(self):
+        sql = "SELECT maker FROM car WHERE price < 100"
+        assert check(sql, insert("car", maker="K", model="R", price=50)).kind is VerdictKind.AFFECTED
+
+    def test_aggregates_affected_by_matching_change(self):
+        sql = "SELECT COUNT(*) FROM car WHERE price < 20000"
+        verdict = check(sql, insert("car", maker="K", model="R", price=1))
+        assert verdict.kind is VerdictKind.AFFECTED
+
+
+class TestJoinQueries:
+    SQL = (
+        "SELECT car.maker FROM car, mileage "
+        "WHERE car.model = mileage.model AND mileage.epa > 30"
+    )
+
+    def test_car_insert_polls_mileage(self):
+        verdict = check(self.SQL, insert("car", maker="K", model="Rio", price=1))
+        assert verdict.kind is VerdictKind.NEEDS_POLLING
+        assert "epa > 30" in verdict.polling_sql
+
+    def test_mileage_insert_failing_local_condition_unaffected(self):
+        verdict = check(self.SQL, insert("mileage", model="Rio", epa=10))
+        assert verdict.kind is VerdictKind.UNAFFECTED
+
+    def test_mileage_insert_passing_local_condition_polls(self):
+        verdict = check(self.SQL, insert("mileage", model="Rio", epa=40))
+        assert verdict.kind is VerdictKind.NEEDS_POLLING
+        assert "'Rio'" in verdict.polling_sql
+
+    def test_explicit_join_syntax(self):
+        sql = (
+            "SELECT car.maker FROM car JOIN mileage ON car.model = mileage.model "
+            "WHERE mileage.epa > 30"
+        )
+        verdict = check(sql, insert("mileage", model="Rio", epa=10))
+        assert verdict.kind is VerdictKind.UNAFFECTED
+
+    def test_aliased_join(self):
+        sql = (
+            "SELECT c.maker FROM car c, mileage m "
+            "WHERE c.model = m.model AND c.price < 100"
+        )
+        verdict = check(sql, insert("car", maker="K", model="R", price=200))
+        assert verdict.kind is VerdictKind.UNAFFECTED
+        verdict = check(sql, insert("car", maker="K", model="R", price=50))
+        assert verdict.kind is VerdictKind.NEEDS_POLLING
+
+    def test_join_without_residual_polls_other_table(self):
+        """A pure cross product: any other-table row makes it visible."""
+        sql = "SELECT * FROM car, mileage"
+        verdict = check(sql, insert("car", maker="K", model="R", price=1))
+        assert verdict.kind is VerdictKind.NEEDS_POLLING
+        assert "FROM mileage" in verdict.polling_sql
+
+    def test_self_join_checks_both_roles(self):
+        sql = (
+            "SELECT a.model FROM car a, car b "
+            "WHERE a.price < b.price AND a.maker = 'Kia'"
+        )
+        verdict = check(sql, insert("car", maker="VW", model="Golf", price=100))
+        # As binding `a` the tuple fails maker='Kia', but as binding `b`
+        # it can still join: must poll (or worse), never UNAFFECTED.
+        assert verdict.kind is not VerdictKind.UNAFFECTED
+
+    def test_three_table_polling_query_covers_rest(self):
+        sql = (
+            "SELECT * FROM car, mileage, dealer "
+            "WHERE car.model = mileage.model AND mileage.model = dealer.model"
+        )
+        verdict = check(sql, insert("car", maker="K", model="Rio", price=1))
+        assert verdict.kind is VerdictKind.NEEDS_POLLING
+        poll = verdict.polling_sql
+        assert "mileage" in poll and "dealer" in poll
+
+
+class TestConservativeCases:
+    def test_left_join_is_conservative(self):
+        sql = "SELECT * FROM car LEFT JOIN mileage ON car.model = mileage.model"
+        verdict = check(sql, insert("mileage", model="Rio", epa=40))
+        assert verdict.kind is VerdictKind.AFFECTED
+
+    def test_update_record_pair_behaves_like_insert_plus_delete(self):
+        """An SQL UPDATE logs delete(old)+insert(new); each is checked
+        independently, so a row moving across the predicate boundary
+        triggers invalidation."""
+        sql = "SELECT * FROM car WHERE price < 20000"
+        old = delete("car", maker="K", model="R", price=25000)
+        new = insert("car", maker="K", model="R", price=15000)
+        assert check(sql, old).kind is VerdictKind.UNAFFECTED
+        assert check(sql, new).kind is VerdictKind.AFFECTED
+
+    def test_constant_false_condition_never_affected(self):
+        sql = "SELECT * FROM car WHERE 1 = 2"
+        verdict = check(sql, insert("car", maker="K", model="R", price=1))
+        assert verdict.kind is VerdictKind.UNAFFECTED
+
+    def test_constant_true_condition_ignored(self):
+        sql = "SELECT * FROM car WHERE 1 = 1 AND price < 100"
+        verdict = check(sql, insert("car", maker="K", model="R", price=50))
+        assert verdict.kind is VerdictKind.AFFECTED
+
+    def test_column_not_in_record_is_conservative(self):
+        """A record missing a referenced column cannot rule anything out."""
+        sql = "SELECT * FROM car WHERE price < 100"
+        record = insert("car", maker="K")  # no price column in the record
+        verdict = check(sql, record)
+        assert verdict.kind is VerdictKind.AFFECTED

@@ -1,0 +1,110 @@
+"""Tests for polling-query execution, coalescing, and the scheduler."""
+
+import pytest
+
+from repro.sql.parser import parse_statement
+from repro.core.invalidator.polling import PollingQueryGenerator
+from repro.core.invalidator.scheduler import InvalidationScheduler, PollCandidate
+
+
+def poll_query(text):
+    return parse_statement(text)
+
+
+class TestPollingGenerator:
+    def test_positive_result(self, car_db):
+        generator = PollingQueryGenerator(car_db)
+        generator.begin_cycle()
+        query = poll_query("SELECT COUNT(*) FROM mileage WHERE model = 'Avalon'")
+        assert generator.poll(query) is True
+
+    def test_negative_result(self, car_db):
+        generator = PollingQueryGenerator(car_db)
+        generator.begin_cycle()
+        query = poll_query("SELECT COUNT(*) FROM mileage WHERE model = 'Nope'")
+        assert generator.poll(query) is False
+
+    def test_coalescing_within_cycle(self, car_db):
+        generator = PollingQueryGenerator(car_db)
+        generator.begin_cycle()
+        query = poll_query("SELECT COUNT(*) FROM mileage WHERE model = 'Avalon'")
+        generator.poll(query)
+        generator.poll(query)
+        assert generator.stats.issued == 1
+        assert generator.stats.coalesced == 1
+
+    def test_new_cycle_resets_coalescing(self, car_db):
+        generator = PollingQueryGenerator(car_db)
+        generator.begin_cycle()
+        query = poll_query("SELECT COUNT(*) FROM mileage WHERE model = 'Avalon'")
+        generator.poll(query)
+        generator.begin_cycle()
+        generator.poll(query)
+        assert generator.stats.issued == 2
+
+    def test_work_units_accumulate(self, car_db):
+        generator = PollingQueryGenerator(car_db)
+        generator.begin_cycle()
+        generator.poll(poll_query("SELECT COUNT(*) FROM mileage"))
+        assert generator.stats.total_work_units > 0
+
+
+class TestScheduler:
+    def candidates(self, n, **kwargs):
+        return [PollCandidate(key=i, **kwargs) for i in range(n)]
+
+    def test_unlimited_budget_polls_everything(self):
+        scheduler = InvalidationScheduler()
+        schedule = scheduler.schedule(self.candidates(10))
+        assert len(schedule.to_poll) == 10
+        assert schedule.over_invalidate == []
+
+    def test_count_budget_cuts(self):
+        scheduler = InvalidationScheduler(polling_budget=3)
+        schedule = scheduler.schedule(self.candidates(10))
+        assert len(schedule.to_poll) == 3
+        assert len(schedule.over_invalidate) == 7
+
+    def test_priority_ordering(self):
+        scheduler = InvalidationScheduler(polling_budget=1)
+        low = PollCandidate(key="low", priority=0)
+        high = PollCandidate(key="high", priority=5)
+        schedule = scheduler.schedule([low, high])
+        assert schedule.to_poll[0].key == "high"
+
+    def test_urls_at_stake_ordering(self):
+        scheduler = InvalidationScheduler(polling_budget=1)
+        small = PollCandidate(key="small", urls_at_stake=1)
+        big = PollCandidate(key="big", urls_at_stake=10)
+        schedule = scheduler.schedule([small, big])
+        assert schedule.to_poll[0].key == "big"
+
+    def test_deadline_ordering(self):
+        scheduler = InvalidationScheduler(polling_budget=1)
+        slow = PollCandidate(key="slow", deadline_ms=5000)
+        urgent = PollCandidate(key="urgent", deadline_ms=100)
+        schedule = scheduler.schedule([slow, urgent])
+        assert schedule.to_poll[0].key == "urgent"
+
+    def test_cost_budget(self):
+        scheduler = InvalidationScheduler(cost_budget=2.5)
+        schedule = scheduler.schedule(self.candidates(5, cost=1.0))
+        assert len(schedule.to_poll) == 2
+        assert schedule.planned_cost == 2.0
+
+    def test_counters(self):
+        scheduler = InvalidationScheduler(polling_budget=1)
+        scheduler.schedule(self.candidates(3))
+        scheduler.schedule(self.candidates(2))
+        assert scheduler.cycles == 2
+        assert scheduler.total_scheduled == 2
+        assert scheduler.total_over_invalidated == 3
+
+    def test_deterministic_order(self):
+        scheduler = InvalidationScheduler(polling_budget=2)
+        candidates = [
+            PollCandidate(key=i, priority=i % 2, urls_at_stake=i) for i in range(6)
+        ]
+        first = scheduler.schedule(list(candidates))
+        second = scheduler.schedule(list(candidates))
+        assert [c.key for c in first.to_poll] == [c.key for c in second.to_poll]

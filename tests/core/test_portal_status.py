@@ -1,0 +1,82 @@
+"""Tests for the portal status API and update-record deduplication."""
+
+import pytest
+
+from repro.web import Configuration, build_site
+from repro.core import CachePortal
+
+from helpers import car_servlets, make_car_db
+
+
+@pytest.fixture
+def deployed():
+    site = build_site(
+        Configuration.WEB_CACHE, car_servlets(), database=make_car_db(), num_servers=2
+    )
+    return site, CachePortal(site)
+
+
+class TestStatus:
+    def test_initial_status(self, deployed):
+        site, portal = deployed
+        status = portal.status()
+        assert status["cache"]["pages"] == 0
+        assert status["sniffer"]["map_rows"] == 0
+        assert status["invalidator"]["cycles_run"] == 0
+        assert status["invalidator"]["last_cycle"] is None
+
+    def test_status_after_activity(self, deployed):
+        site, portal = deployed
+        site.get("/catalog?max_price=30000")
+        site.get("/catalog?max_price=30000")
+        site.database.execute("INSERT INTO car VALUES ('Kia', 'Rio', 14000)")
+        portal.run_invalidation_cycle()
+        status = portal.status()
+        assert status["cache"]["hits"] == 1
+        assert status["sniffer"]["requests_mapped"] == 1
+        assert status["invalidator"]["cycles_run"] == 1
+        assert status["invalidator"]["last_cycle"]["urls_ejected"] == 1
+
+    def test_status_is_json_serializable(self, deployed):
+        import json
+
+        _site, portal = deployed
+        json.dumps(portal.status())
+
+
+class TestUpdateDeduplication:
+    def test_identical_records_checked_once(self, deployed):
+        site, portal = deployed
+        site.get("/catalog?max_price=30000")
+        portal.run_sniffer()
+        # Four identical inserts: one check, three skipped as duplicates.
+        for _ in range(4):
+            site.database.execute("INSERT INTO car VALUES ('Kia', 'Rio', 14000)")
+        report = portal.run_invalidation_cycle()
+        assert report.records_processed == 4
+        assert report.duplicate_records_skipped == 3
+        assert report.pairs_checked == 1
+        assert report.urls_ejected == 1
+
+    def test_distinct_records_all_checked(self, deployed):
+        site, portal = deployed
+        site.get("/catalog?max_price=1")  # a page no insert below affects
+        portal.run_sniffer()
+        site.database.execute("INSERT INTO car VALUES ('A', 'X1', 50000)")
+        site.database.execute("INSERT INTO car VALUES ('B', 'X2', 60000)")
+        report = portal.run_invalidation_cycle()
+        assert report.duplicate_records_skipped == 0
+        assert report.pairs_checked == 2
+
+    def test_insert_and_delete_of_same_tuple_not_merged(self, deployed):
+        """Insert+delete of one tuple are different kinds: both checked.
+        (Net-effect cancellation would be unsafe — a page may have been
+        generated from the transient state.)"""
+        site, portal = deployed
+        site.get("/catalog?max_price=30000")
+        portal.run_sniffer()
+        site.database.execute("INSERT INTO car VALUES ('Kia', 'Rio', 14000)")
+        site.database.execute("DELETE FROM car WHERE model = 'Rio'")
+        report = portal.run_invalidation_cycle()
+        assert report.duplicate_records_skipped == 0
+        assert report.records_processed == 2

@@ -1,0 +1,92 @@
+"""Tests for the QI/URL map."""
+
+from repro.core.qiurl import QIURLMap
+
+
+SQL_A = "SELECT * FROM car WHERE price < 100"
+SQL_B = "SELECT * FROM mileage WHERE epa > 30"
+
+
+class TestAdd:
+    def test_add_returns_entry(self):
+        m = QIURLMap()
+        entry = m.add(SQL_A, "url1", "catalog", mapped_at=1.0)
+        assert entry.sql == SQL_A
+        assert entry.url_key == "url1"
+        assert entry.servlet == "catalog"
+
+    def test_duplicate_pair_ignored(self):
+        m = QIURLMap()
+        m.add(SQL_A, "url1", "catalog")
+        assert m.add(SQL_A, "url1", "catalog") is None
+        assert len(m) == 1
+
+    def test_same_sql_different_urls(self):
+        m = QIURLMap()
+        m.add(SQL_A, "url1", "catalog")
+        m.add(SQL_A, "url2", "catalog")
+        assert len(m) == 2
+
+    def test_entry_ids_unique(self):
+        m = QIURLMap()
+        a = m.add(SQL_A, "url1", "s")
+        b = m.add(SQL_B, "url2", "s")
+        assert a.entry_id != b.entry_id
+
+
+class TestReadNew:
+    def test_cursor_semantics(self):
+        m = QIURLMap()
+        m.add(SQL_A, "url1", "s")
+        assert len(m.read_new()) == 1
+        assert m.read_new() == []
+        m.add(SQL_B, "url2", "s")
+        assert [e.sql for e in m.read_new()] == [SQL_B]
+
+    def test_dropped_rows_not_delivered(self):
+        m = QIURLMap()
+        m.add(SQL_A, "url1", "s")
+        m.drop_url("url1")
+        assert m.read_new() == []
+
+
+class TestUrls:
+    def test_urls_sorted(self):
+        m = QIURLMap()
+        m.add(SQL_A, "b", "s")
+        m.add(SQL_B, "a", "s")
+        assert m.urls() == ["a", "b"]
+
+    def test_entries_for_url(self):
+        m = QIURLMap()
+        m.add(SQL_A, "url1", "s")
+        m.add(SQL_B, "url1", "s")
+        m.add(SQL_A, "url2", "s")
+        assert len(m.entries_for_url("url1")) == 2
+
+    def test_drop_url(self):
+        m = QIURLMap()
+        m.add(SQL_A, "url1", "s")
+        m.add(SQL_B, "url1", "s")
+        m.add(SQL_A, "url2", "s")
+        assert m.drop_url("url1") == 2
+        assert len(m) == 1
+        assert m.entries_for_url("url1") == []
+
+    def test_drop_missing_url(self):
+        assert QIURLMap().drop_url("nope") == 0
+
+    def test_readd_after_drop(self):
+        m = QIURLMap()
+        m.add(SQL_A, "url1", "s")
+        m.read_new()
+        m.drop_url("url1")
+        m.add(SQL_A, "url1", "s")
+        assert len(m.read_new()) == 1
+
+    def test_all_entries_excludes_dropped(self):
+        m = QIURLMap()
+        m.add(SQL_A, "url1", "s")
+        m.add(SQL_B, "url2", "s")
+        m.drop_url("url1")
+        assert [e.url_key for e in m.all_entries()] == ["url2"]

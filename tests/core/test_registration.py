@@ -1,0 +1,119 @@
+"""Tests for query-type registration and discovery (§4.1)."""
+
+import pytest
+
+from repro.errors import RegistrationError
+from repro.core.qiurl import QIURLMap
+from repro.core.invalidator.registration import (
+    QueryTypeRegistry,
+    RegistrationModule,
+)
+
+
+class TestOfflineRegistration:
+    def test_register_template(self):
+        registry = QueryTypeRegistry()
+        qt = registry.register_type("SELECT * FROM car WHERE price < $1", "cheap")
+        assert qt.name == "cheap"
+        assert qt.tables == {"car"}
+        assert "$1" in qt.signature
+
+    def test_template_with_literals_canonicalized(self):
+        registry = QueryTypeRegistry()
+        a = registry.register_type("SELECT * FROM car WHERE price < 100")
+        b = registry.register_type("SELECT * FROM car WHERE price < $1")
+        assert a is b
+
+    def test_duplicate_registration_returns_same_type(self):
+        registry = QueryTypeRegistry()
+        a = registry.register_type("SELECT * FROM car WHERE price < $1", "t1")
+        b = registry.register_type("SELECT * FROM car WHERE price < $1")
+        assert a is b
+
+    def test_non_select_rejected(self):
+        registry = QueryTypeRegistry()
+        with pytest.raises(RegistrationError):
+            registry.register_type("DELETE FROM car")
+
+    def test_type_by_name(self):
+        registry = QueryTypeRegistry()
+        registry.register_type("SELECT * FROM car WHERE price < $1", "cheap")
+        assert registry.type_by_name("cheap").name == "cheap"
+        with pytest.raises(RegistrationError):
+            registry.type_by_name("other")
+
+    def test_aliases_recorded(self):
+        registry = QueryTypeRegistry()
+        qt = registry.register_type(
+            "SELECT * FROM car c, mileage m WHERE c.model = m.model"
+        )
+        assert qt.aliases == {"c": "car", "m": "mileage"}
+
+
+class TestInstanceDiscovery:
+    def test_new_instance_discovers_type(self):
+        registry = QueryTypeRegistry()
+        instance = registry.observe_instance(
+            "SELECT * FROM car WHERE price < 100", "url1"
+        )
+        assert instance.bindings == (100,)
+        assert instance.query_type.signature.endswith("$1")
+        assert instance.urls == {"url1"}
+
+    def test_instances_of_same_type_grouped(self):
+        registry = QueryTypeRegistry()
+        a = registry.observe_instance("SELECT * FROM car WHERE price < 100", "u1")
+        b = registry.observe_instance("SELECT * FROM car WHERE price < 200", "u2")
+        assert a.query_type is b.query_type
+        assert a.query_type.stats.instances_seen == 2
+
+    def test_same_instance_accumulates_urls(self):
+        registry = QueryTypeRegistry()
+        registry.observe_instance("SELECT * FROM car WHERE price < 100", "u1")
+        instance = registry.observe_instance(
+            "SELECT * FROM car WHERE price < 100", "u2"
+        )
+        assert instance.urls == {"u1", "u2"}
+        assert len(registry) == 1
+
+    def test_pre_registered_type_adopted_by_instances(self):
+        registry = QueryTypeRegistry()
+        qt = registry.register_type("SELECT * FROM car WHERE price < $1", "cheap")
+        instance = registry.observe_instance(
+            "SELECT * FROM car WHERE price < 500", "u1"
+        )
+        assert instance.query_type is qt
+
+    def test_instances_touching_index(self):
+        registry = QueryTypeRegistry()
+        registry.observe_instance("SELECT * FROM car WHERE price < 100", "u1")
+        registry.observe_instance("SELECT * FROM mileage WHERE epa > 30", "u2")
+        registry.observe_instance(
+            "SELECT * FROM car, mileage WHERE car.model = mileage.model", "u3"
+        )
+        assert len(registry.instances_touching("car")) == 2
+        assert len(registry.instances_touching("mileage")) == 2
+        assert registry.instances_touching("dealer") == []
+
+    def test_drop_url_removes_orphans(self):
+        registry = QueryTypeRegistry()
+        registry.observe_instance("SELECT * FROM car WHERE price < 100", "u1")
+        registry.observe_instance("SELECT * FROM car WHERE price < 200", "u1")
+        registry.observe_instance("SELECT * FROM car WHERE price < 200", "u2")
+        dropped = registry.drop_url("u1")
+        assert dropped == 1  # the <100 instance fed only u1
+        assert len(registry) == 1
+        assert registry.instances_touching("car")[0].urls == {"u2"}
+
+
+class TestRegistrationModule:
+    def test_scan_ingests_rows(self):
+        registry = QueryTypeRegistry()
+        module = RegistrationModule(registry)
+        qiurl = QIURLMap()
+        qiurl.add("SELECT * FROM car WHERE price < 100", "u1", "catalog")
+        qiurl.add("SELECT * FROM car WHERE price < 200", "u2", "catalog")
+        count = module.scan(qiurl.read_new())
+        assert count == 2
+        assert len(registry) == 2
+        assert module.rows_scanned == 2

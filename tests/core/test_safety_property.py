@@ -1,0 +1,151 @@
+"""Property-based safety test: CachePortal never leaves a stale page cached.
+
+The invariant (the whole point of the system): after an invalidation
+cycle, every page still in the web cache is byte-identical to what the
+application would generate from the current database state.
+
+Hypothesis drives random interleavings of page requests, database
+updates, and invalidation cycles against a live Configuration III site.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.db import connect
+from repro.web import Configuration, build_site
+from repro.web.http import HttpRequest
+from repro.web.urlkey import page_key
+from repro.core import CachePortal
+
+from repro.web import KeySpec, QueryPageServlet
+from repro.web.servlet import QueryBinding
+
+from helpers import car_servlets, make_car_db
+
+
+def all_servlets():
+    """The standard pair plus a subquery page and a union page — the
+    conservative invalidation paths must uphold the same guarantee."""
+    extra = [
+        QueryPageServlet(
+            name="sub",
+            path="/sub",
+            queries=[
+                (
+                    "SELECT maker FROM car WHERE model IN "
+                    "(SELECT model FROM mileage WHERE epa > ?)",
+                    [QueryBinding("get", "min_epa", int)],
+                )
+            ],
+            key_spec=KeySpec.make(get_keys=["min_epa"]),
+        ),
+        QueryPageServlet(
+            name="all_models",
+            path="/all_models",
+            queries=[
+                ("SELECT model FROM car UNION SELECT model FROM mileage", [])
+            ],
+            key_spec=KeySpec.make(get_keys=[]),
+        ),
+    ]
+    return car_servlets() + extra
+
+
+URLS = [
+    "/catalog?max_price=15000",
+    "/catalog?max_price=21000",
+    "/catalog?max_price=99999",
+    "/efficient?min_epa=20",
+    "/efficient?min_epa=30",
+    "/sub?min_epa=25",
+    "/all_models",
+]
+
+UPDATES = [
+    "INSERT INTO car VALUES ('Kia', 'Rio', 14000)",
+    "INSERT INTO car VALUES ('VW', 'Golf', 19500)",
+    "INSERT INTO mileage VALUES ('Rio', 45)",
+    "INSERT INTO mileage VALUES ('Golf', 31)",
+    "DELETE FROM car WHERE model = 'Civic'",
+    "DELETE FROM car WHERE price > 50000",
+    "DELETE FROM mileage WHERE epa < 20",
+    "UPDATE car SET price = price - 2000 WHERE maker = 'Toyota'",
+    "UPDATE mileage SET epa = epa + 10 WHERE model = 'Eclipse'",
+]
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("get"), st.sampled_from(URLS)),
+        st.tuples(st.just("update"), st.sampled_from(range(len(UPDATES)))),
+        st.tuples(st.just("cycle"), st.none()),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def _fresh_body(site, url):
+    """Regenerate a page directly at an app server, bypassing the cache."""
+    request = HttpRequest.from_url(url)
+    return site.balancer.servers[0].handle(request).body
+
+
+@given(_ops)
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_cache_never_stale_after_cycle(ops):
+    site = build_site(
+        Configuration.WEB_CACHE, all_servlets(), database=make_car_db(), num_servers=2
+    )
+    portal = CachePortal(site)
+    url_by_key = {}
+    for kind, arg in ops:
+        if kind == "get":
+            site.get(arg)
+            servlet = site.servlet_for(HttpRequest.from_url(arg).path)
+            url_by_key[page_key(HttpRequest.from_url(arg), servlet.key_spec)] = arg
+        elif kind == "update":
+            site.database.execute(UPDATES[arg])
+        else:
+            portal.run_invalidation_cycle()
+
+    # Final cycle, then check the invariant over everything still cached.
+    portal.run_invalidation_cycle()
+    for key in site.web_cache.keys():
+        cached = site.web_cache.get(key)
+        url = url_by_key[key]
+        assert cached.body == _fresh_body(site, url), (
+            f"stale page for {url} after {ops}"
+        )
+
+
+@given(_ops)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_responses_always_match_database_state(ops):
+    """Stronger end-user property: every response served through the site
+    (hit or miss) matches the database state as of the last cycle, i.e. a
+    hit is never staler than one cycle."""
+    site = build_site(
+        Configuration.WEB_CACHE, all_servlets(), database=make_car_db(), num_servers=2
+    )
+    portal = CachePortal(site)
+    pending_updates = False
+    for kind, arg in ops:
+        if kind == "get":
+            response = site.get(arg)
+            if not pending_updates:
+                # No updates since the last cycle: the served page must
+                # equal a fresh regeneration exactly.
+                assert response.body == _fresh_body(site, arg)
+        elif kind == "update":
+            site.database.execute(UPDATES[arg])
+            pending_updates = True
+        else:
+            portal.run_invalidation_cycle()
+            pending_updates = False

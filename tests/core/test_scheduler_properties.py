@@ -1,0 +1,69 @@
+"""Property tests for the invalidation scheduler."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.invalidator.scheduler import InvalidationScheduler, PollCandidate
+
+
+_candidates = st.lists(
+    st.builds(
+        PollCandidate,
+        key=st.integers(0, 10000),
+        priority=st.integers(-5, 5),
+        cost=st.floats(min_value=0.1, max_value=10.0),
+        urls_at_stake=st.integers(0, 50),
+        deadline_ms=st.floats(min_value=1.0, max_value=10000.0),
+    ),
+    max_size=40,
+)
+
+
+class TestSchedulerProperties:
+    @given(_candidates, st.one_of(st.none(), st.integers(0, 40)))
+    @settings(max_examples=150, deadline=None)
+    def test_partition_is_exact(self, candidates, budget):
+        """Every candidate lands in exactly one bucket; none is lost."""
+        schedule = InvalidationScheduler(polling_budget=budget).schedule(
+            list(candidates)
+        )
+        combined = schedule.to_poll + schedule.over_invalidate
+        assert sorted(map(id, combined)) == sorted(map(id, candidates))
+
+    @given(_candidates, st.integers(0, 40))
+    @settings(max_examples=150, deadline=None)
+    def test_budget_respected(self, candidates, budget):
+        schedule = InvalidationScheduler(polling_budget=budget).schedule(
+            list(candidates)
+        )
+        assert len(schedule.to_poll) <= budget
+
+    @given(_candidates, st.floats(min_value=0.1, max_value=50.0))
+    @settings(max_examples=150, deadline=None)
+    def test_cost_budget_respected(self, candidates, cost_budget):
+        schedule = InvalidationScheduler(cost_budget=cost_budget).schedule(
+            list(candidates)
+        )
+        assert schedule.planned_cost <= cost_budget + 1e-9
+
+    @given(_candidates, st.integers(1, 40))
+    @settings(max_examples=100, deadline=None)
+    def test_no_scheduled_candidate_outranked_by_a_skipped_one(
+        self, candidates, budget
+    ):
+        """The count budget always keeps the best-ranked candidates."""
+        schedule = InvalidationScheduler(polling_budget=budget).schedule(
+            list(candidates)
+        )
+
+        def rank(candidate):
+            return (
+                -candidate.priority,
+                -candidate.urls_at_stake,
+                candidate.deadline_ms,
+                candidate.cost,
+            )
+
+        if schedule.to_poll and schedule.over_invalidate:
+            worst_scheduled = max(rank(c) for c in schedule.to_poll)
+            best_skipped = min(rank(c) for c in schedule.over_invalidate)
+            assert worst_scheduled <= best_skipped

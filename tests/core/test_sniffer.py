@@ -1,0 +1,231 @@
+"""Tests for the sniffer: request logger, mapper, and assembly."""
+
+import itertools
+
+import pytest
+
+from repro.db import connect
+from repro.db.wrapper import QueryLog, QueryLogRecord
+from repro.core.qiurl import QIURLMap
+from repro.core.sniffer import (
+    RequestLog,
+    RequestLogRecord,
+    RequestLoggingServlet,
+    RequestToQueryMapper,
+    Sniffer,
+)
+from repro.web.appserver import ApplicationServer
+from repro.web.http import HttpRequest
+
+from helpers import car_servlets, make_car_db
+
+
+class TestRequestLoggingServlet:
+    def wrap(self, servlet, log=None, **kwargs):
+        if log is None:
+            log = RequestLog()
+        return RequestLoggingServlet(servlet, log, **kwargs)
+
+    def test_logs_request_fields(self, car_db):
+        log = RequestLog()
+        wrapped = self.wrap(car_servlets()[0], log)
+        wrapped.service(
+            HttpRequest.from_url("/catalog?max_price=21000"), connect(car_db)
+        )
+        record = log.all()[0]
+        assert record.servlet == "catalog"
+        assert "max_price=21000" in record.request_string
+        assert record.receive_time < record.delivery_time
+        assert record.cacheable
+
+    def test_rewrites_no_cache_header(self, car_db):
+        wrapped = self.wrap(car_servlets()[0])
+        response = wrapped.service(
+            HttpRequest.from_url("/catalog?max_price=21000"), connect(car_db)
+        )
+        assert response.cache_control.is_cacheable_by_portal
+        assert response.cache_control.get("owner") == "cacheportal"
+
+    def test_temporally_sensitive_servlet_stays_uncacheable(self, car_db):
+        servlet = car_servlets()[0]
+        servlet.temporal_sensitivity_ms = 10.0  # fresher than the cycle
+        log = RequestLog()
+        wrapped = self.wrap(servlet, log, max_staleness_ms=1000.0)
+        response = wrapped.service(
+            HttpRequest.from_url("/catalog?max_price=21000"), connect(car_db)
+        )
+        assert not response.cache_control.is_cacheable_by_portal
+        assert not log.all()[0].cacheable
+
+    def test_statically_uncacheable_servlet(self, car_db):
+        servlet = car_servlets()[0]
+        servlet.cacheable = False
+        wrapped = self.wrap(servlet)
+        response = wrapped.service(
+            HttpRequest.from_url("/catalog?max_price=21000"), connect(car_db)
+        )
+        assert not response.cache_control.is_cacheable_by_portal
+
+    def test_veto_consulted(self, car_db):
+        wrapped = self.wrap(
+            car_servlets()[0], cacheability_veto=lambda servlet: False
+        )
+        response = wrapped.service(
+            HttpRequest.from_url("/catalog?max_price=21000"), connect(car_db)
+        )
+        assert not response.cache_control.is_cacheable_by_portal
+
+    def test_metadata_propagated(self, car_db):
+        inner = car_servlets()[0]
+        wrapped = self.wrap(inner)
+        assert wrapped.name == inner.name
+        assert wrapped.path == inner.path
+        assert wrapped.key_spec == inner.key_spec
+
+    def test_cookie_and_post_strings(self, car_db):
+        log = RequestLog()
+        wrapped = self.wrap(car_servlets()[0], log)
+        wrapped.service(
+            HttpRequest.from_url(
+                "/catalog?max_price=21000",
+                cookies={"s": "1"},
+                post_params={"p": "2"},
+            ),
+            connect(car_db),
+        )
+        record = log.all()[0]
+        assert record.cookie_string == "s=1"
+        assert record.post_string == "p=2"
+
+
+def _query_record(query_id, sql, receive, deliver):
+    return QueryLogRecord(query_id, sql, receive, deliver, rows_returned=0)
+
+
+def _request_record(request_id, url, receive, deliver, cacheable=True):
+    return RequestLogRecord(
+        request_id, "catalog", url, url, "", "", receive, deliver, cacheable
+    )
+
+
+class TestMapper:
+    def test_query_inside_interval_mapped(self):
+        m = QIURLMap()
+        mapper = RequestToQueryMapper(m)
+        requests, queries = RequestLog(), QueryLog()
+        requests.append(_request_record(1, "url1", 0.0, 10.0))
+        queries.append(_query_record(1, "SELECT 1", 5.0, 6.0))
+        mapper.run([requests], [queries])
+        assert len(m) == 1
+        assert m.all_entries()[0].url_key == "url1"
+
+    def test_query_outside_interval_not_mapped(self):
+        m = QIURLMap()
+        mapper = RequestToQueryMapper(m)
+        requests, queries = RequestLog(), QueryLog()
+        requests.append(_request_record(1, "url1", 0.0, 10.0))
+        queries.append(_query_record(1, "SELECT 1", 11.0, 12.0))
+        mapper.run([requests], [queries])
+        assert len(m) == 0
+
+    def test_boundary_inclusive(self):
+        m = QIURLMap()
+        mapper = RequestToQueryMapper(m)
+        requests, queries = RequestLog(), QueryLog()
+        requests.append(_request_record(1, "url1", 5.0, 10.0))
+        queries.append(_query_record(1, "SELECT 1", 5.0, 5.5))
+        queries.append(_query_record(2, "SELECT 2", 10.0, 10.5))
+        mapper.run([requests], [queries])
+        assert len(m) == 2
+
+    def test_overlapping_requests_both_mapped(self):
+        """Conservative over-mapping under concurrency (safety over precision)."""
+        m = QIURLMap()
+        mapper = RequestToQueryMapper(m)
+        requests, queries = RequestLog(), QueryLog()
+        requests.append(_request_record(1, "url1", 0.0, 10.0))
+        requests.append(_request_record(2, "url2", 5.0, 15.0))
+        queries.append(_query_record(1, "SELECT 1", 7.0, 8.0))
+        mapper.run([requests], [queries])
+        assert len(m) == 2
+
+    def test_non_cacheable_requests_skipped(self):
+        m = QIURLMap()
+        mapper = RequestToQueryMapper(m)
+        requests, queries = RequestLog(), QueryLog()
+        requests.append(_request_record(1, "url1", 0.0, 10.0, cacheable=False))
+        queries.append(_query_record(1, "SELECT 1", 5.0, 6.0))
+        mapper.run([requests], [queries])
+        assert len(m) == 0
+
+    def test_logs_drained(self):
+        m = QIURLMap()
+        mapper = RequestToQueryMapper(m)
+        requests, queries = RequestLog(), QueryLog()
+        requests.append(_request_record(1, "url1", 0.0, 10.0))
+        queries.append(_query_record(1, "SELECT 1", 5.0, 6.0))
+        mapper.run([requests], [queries])
+        assert len(requests) == 0
+        assert len(queries) == 0
+        mapper.run([requests], [queries])  # second run: nothing to do
+        assert len(m) == 1
+
+    def test_pairs_written_counter(self):
+        m = QIURLMap()
+        mapper = RequestToQueryMapper(m)
+        requests, queries = RequestLog(), QueryLog()
+        requests.append(_request_record(1, "url1", 0.0, 10.0))
+        queries.append(_query_record(1, "SELECT 1", 1.0, 2.0))
+        queries.append(_query_record(2, "SELECT 2", 3.0, 4.0))
+        written = mapper.run([requests], [queries])
+        assert written == 2
+        assert mapper.pairs_written == 2
+
+
+class TestSnifferAssembly:
+    def make_server(self):
+        db = make_car_db()
+        server = ApplicationServer("as0", db)
+        for servlet in car_servlets():
+            server.register(servlet)
+        return db, server
+
+    def test_wraps_servlets_and_driver(self):
+        db, server = self.make_server()
+        sniffer = Sniffer([server])
+        response = server.handle(HttpRequest.from_url("/catalog?max_price=21000"))
+        assert response.cache_control.is_cacheable_by_portal
+        assert len(sniffer.request_logs[0]) == 1
+        assert len(sniffer.query_loggers[0].log) == 1
+
+    def test_mapper_builds_map(self):
+        db, server = self.make_server()
+        sniffer = Sniffer([server])
+        server.handle(HttpRequest.from_url("/catalog?max_price=21000"))
+        written = sniffer.run_mapper()
+        assert written == 1
+        entry = sniffer.qiurl_map.all_entries()[0]
+        assert "21000" in entry.sql
+        assert "max_price=21000" in entry.url_key
+
+    def test_multiple_servers_independent_logs(self):
+        db1, server1 = self.make_server()
+        db2, server2 = self.make_server()
+        sniffer = Sniffer([server1, server2])
+        server1.handle(HttpRequest.from_url("/catalog?max_price=1000"))
+        server2.handle(HttpRequest.from_url("/efficient?min_epa=30"))
+        sniffer.run_mapper()
+        assert len(sniffer.qiurl_map) == 2
+
+    def test_clock_shared_between_logs(self):
+        db, server = self.make_server()
+        times = itertools.count(100)
+        sniffer = Sniffer([server], clock=lambda: float(next(times)))
+        server.handle(HttpRequest.from_url("/catalog?max_price=21000"))
+        request_record = sniffer.request_logs[0].all()[0]
+        query_record = sniffer.query_loggers[0].log.all()[0]
+        assert (
+            request_record.receive_time
+            <= query_record.receive_time
+            <= request_record.delivery_time
+        )

@@ -1,0 +1,73 @@
+"""Tests: CachePortal deployment is fully reversible (non-invasiveness)."""
+
+import pytest
+
+from repro.web import Configuration, build_site
+from repro.web.servlet import QueryPageServlet
+from repro.core import CachePortal
+
+from helpers import car_servlets, make_car_db
+
+
+@pytest.fixture
+def deployed():
+    site = build_site(
+        Configuration.WEB_CACHE, car_servlets(), database=make_car_db(), num_servers=2
+    )
+    return site, CachePortal(site)
+
+
+class TestUninstall:
+    def test_servlets_unwrapped(self, deployed):
+        site, portal = deployed
+        portal.uninstall()
+        for app_server in site.app_servers:
+            for servlet in app_server.servlets.all():
+                assert isinstance(servlet, QueryPageServlet)
+
+    def test_responses_revert_to_no_cache(self, deployed):
+        site, portal = deployed
+        site.get("/catalog?max_price=21000")
+        assert len(site.web_cache) == 1
+        portal.uninstall()
+        response = site.get("/catalog?max_price=21000")
+        assert not response.cache_control.is_cacheable_by_portal
+        assert len(site.web_cache) == 0  # flushed and nothing re-cached
+
+    def test_no_logging_after_uninstall(self, deployed):
+        site, portal = deployed
+        portal.uninstall()
+        site.get("/catalog?max_price=21000")
+        assert all(len(log) == 0 for log in portal.sniffer.request_logs)
+        assert all(len(logger.log) == 0 for logger in portal.sniffer.query_loggers)
+
+    def test_cached_pages_flushed(self, deployed):
+        """No stale-page risk post-uninstall: the cache is emptied."""
+        site, portal = deployed
+        site.get("/catalog?max_price=21000")
+        portal.uninstall()
+        site.database.execute("INSERT INTO car VALUES ('Kia', 'Rio', 14000)")
+        fresh = site.get("/catalog?max_price=21000")
+        assert "Rio" in fresh.body  # regenerated, never served stale
+
+    def test_idempotent(self, deployed):
+        site, portal = deployed
+        portal.uninstall()
+        portal.uninstall()  # no error
+
+    def test_site_fully_functional_after_uninstall(self, deployed):
+        site, portal = deployed
+        portal.uninstall()
+        assert site.get("/catalog?max_price=21000").ok
+        assert site.get("/efficient?min_epa=30").ok
+        assert site.get("/missing").status == 404
+
+    def test_reinstall_after_uninstall(self, deployed):
+        site, portal = deployed
+        portal.uninstall()
+        portal2 = CachePortal(site)
+        site.get("/catalog?max_price=21000")
+        assert len(site.web_cache) == 1
+        site.database.execute("INSERT INTO car VALUES ('Kia', 'Rio', 14000)")
+        report = portal2.run_invalidation_cycle()
+        assert report.urls_ejected == 1

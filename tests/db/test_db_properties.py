@@ -1,0 +1,117 @@
+"""Property-based tests on the engine's core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db import Database
+
+
+def fresh_db(rows):
+    db = Database()
+    db.execute("CREATE TABLE t (a INT, b INT, s TEXT)")
+    for a, b, s in rows:
+        db.execute("INSERT INTO t VALUES (?, ?, ?)", (a, b, s))
+    return db
+
+
+_row = st.tuples(
+    st.one_of(st.integers(-50, 50), st.none()),
+    st.integers(-50, 50),
+    st.sampled_from(["x", "y", "zz", "abc"]),
+)
+_rows = st.lists(_row, max_size=30)
+
+
+class TestScanEquivalence:
+    @given(_rows, st.integers(-60, 60))
+    @settings(max_examples=100, deadline=None)
+    def test_index_scan_equals_full_scan_equality(self, rows, probe):
+        """An indexed equality lookup returns exactly the scan's rows."""
+        plain = fresh_db(rows)
+        indexed = fresh_db(rows)
+        indexed.execute("CREATE INDEX idx_a ON t (a)")
+        sql = "SELECT * FROM t WHERE a = ?"
+        assert sorted(plain.query(sql, (probe,)), key=repr) == sorted(
+            indexed.query(sql, (probe,)), key=repr
+        )
+
+    @given(_rows, st.integers(-60, 60), st.integers(-60, 60))
+    @settings(max_examples=100, deadline=None)
+    def test_index_scan_equals_full_scan_range(self, rows, low, high):
+        plain = fresh_db(rows)
+        indexed = fresh_db(rows)
+        indexed.execute("CREATE INDEX idx_a ON t (a)")
+        sql = "SELECT * FROM t WHERE a BETWEEN ? AND ?"
+        assert sorted(plain.query(sql, (low, high)), key=repr) == sorted(
+            indexed.query(sql, (low, high)), key=repr
+        )
+
+    @given(_rows, st.integers(-60, 60))
+    @settings(max_examples=60, deadline=None)
+    def test_index_survives_deletions(self, rows, probe):
+        indexed = fresh_db(rows)
+        indexed.execute("CREATE INDEX idx_a ON t (a)")
+        indexed.execute("DELETE FROM t WHERE b < 0")
+        plain = fresh_db(rows)
+        plain.execute("DELETE FROM t WHERE b < 0")
+        sql = "SELECT * FROM t WHERE a = ?"
+        assert sorted(plain.query(sql, (probe,)), key=repr) == sorted(
+            indexed.query(sql, (probe,)), key=repr
+        )
+
+
+class TestPredicateSemantics:
+    @given(_rows, st.integers(-60, 60))
+    @settings(max_examples=100, deadline=None)
+    def test_where_matches_python_reference(self, rows, threshold):
+        """Engine filtering equals a reference Python filter (NULL fails)."""
+        db = fresh_db(rows)
+        got = db.query("SELECT a, b, s FROM t WHERE a > ?", (threshold,))
+        expected = [row for row in rows if row[0] is not None and row[0] > threshold]
+        assert sorted(got, key=repr) == sorted(expected, key=repr)
+
+    @given(_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_complement_partition(self, rows):
+        """a > 0, a <= 0, and a IS NULL partition the table exactly."""
+        db = fresh_db(rows)
+        positive = db.query("SELECT * FROM t WHERE a > 0")
+        non_positive = db.query("SELECT * FROM t WHERE a <= 0")
+        nulls = db.query("SELECT * FROM t WHERE a IS NULL")
+        assert len(positive) + len(non_positive) + len(nulls) == len(rows)
+
+    @given(_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_count_matches_len(self, rows):
+        db = fresh_db(rows)
+        assert db.query("SELECT COUNT(*) FROM t") == [(len(rows),)]
+
+    @given(_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_order_by_is_sorted_nulls_first(self, rows):
+        db = fresh_db(rows)
+        got = [row[0] for row in db.query("SELECT a FROM t ORDER BY a")]
+        nulls = [value for value in got if value is None]
+        rest = [value for value in got if value is not None]
+        assert got == nulls + sorted(rest)
+
+
+class TestDmlLogConsistency:
+    @given(_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_log_replays_to_table_state(self, rows):
+        """Replaying Δ⁺ minus Δ⁻ from LSN 0 reconstructs the multiset."""
+        db = fresh_db(rows)
+        db.execute("DELETE FROM t WHERE b > 25")
+        db.execute("UPDATE t SET b = 0 WHERE b < -25")
+        deltas = db.update_log.deltas_since(0)
+        counts = {}
+        for record in deltas.insertions.get("t", []):
+            counts[record.values] = counts.get(record.values, 0) + 1
+        for record in deltas.deletions.get("t", []):
+            counts[record.values] = counts.get(record.values, 0) - 1
+        replayed = sorted(
+            (values for values, count in counts.items() for _ in range(count)),
+            key=repr,
+        )
+        actual = sorted(db.query("SELECT * FROM t"), key=repr)
+        assert replayed == actual

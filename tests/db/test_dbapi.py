@@ -1,0 +1,213 @@
+"""Tests for the DB-API layer and the logging driver wrapper."""
+
+import pytest
+
+from repro.errors import InterfaceError
+from repro.db import Database, connect
+from repro.db.dbapi import ConnectionPool, Driver, register_driver
+from repro.db.wrapper import LoggingDriver
+
+
+class TestConnectionCursor:
+    def test_fetchall(self, car_db):
+        cursor = connect(car_db).execute("SELECT maker FROM car ORDER BY maker")
+        rows = cursor.fetchall()
+        assert rows[0] == ("BMW",)
+        assert cursor.fetchall() == []  # exhausted
+
+    def test_fetchone(self, car_db):
+        cursor = connect(car_db).execute("SELECT COUNT(*) FROM car")
+        assert cursor.fetchone() == (4,)
+        assert cursor.fetchone() is None
+
+    def test_fetchmany(self, car_db):
+        cursor = connect(car_db).execute("SELECT * FROM car")
+        assert len(cursor.fetchmany(3)) == 3
+        assert len(cursor.fetchmany(3)) == 1
+
+    def test_fetchmany_default_arraysize(self, car_db):
+        cursor = connect(car_db).execute("SELECT * FROM car")
+        assert len(cursor.fetchmany()) == 1
+
+    def test_iteration(self, car_db):
+        cursor = connect(car_db).execute("SELECT model FROM car")
+        assert len(list(cursor)) == 4
+
+    def test_description(self, car_db):
+        cursor = connect(car_db).execute("SELECT maker, price FROM car")
+        assert [d[0] for d in cursor.description] == ["maker", "price"]
+
+    def test_rowcount_dml(self, car_db):
+        cursor = connect(car_db).execute("DELETE FROM car WHERE price > 50000")
+        assert cursor.rowcount == 1
+
+    def test_rowcount_before_execute(self, car_db):
+        assert connect(car_db).cursor().rowcount == -1
+
+    def test_parameters(self, car_db):
+        cursor = connect(car_db).execute(
+            "SELECT model FROM car WHERE price < ?", (21000,)
+        )
+        assert len(cursor.fetchall()) == 2
+
+    def test_executemany(self, car_db):
+        connection = connect(car_db)
+        connection.cursor().executemany(
+            "INSERT INTO car VALUES (?, ?, ?)",
+            [("Kia", "Rio", 1), ("VW", "Golf", 2)],
+        )
+        assert len(car_db.query("SELECT * FROM car")) == 6
+
+    def test_closed_cursor_raises(self, car_db):
+        cursor = connect(car_db).execute("SELECT 1")
+        cursor.close()
+        with pytest.raises(InterfaceError):
+            cursor.fetchall()
+
+    def test_closed_connection_raises(self, car_db):
+        connection = connect(car_db)
+        connection.close()
+        with pytest.raises(InterfaceError):
+            connection.cursor()
+
+    def test_context_manager(self, car_db):
+        with connect(car_db) as connection:
+            connection.execute("SELECT 1")
+        assert connection.closed
+
+    def test_fetch_before_execute_raises(self, car_db):
+        with pytest.raises(InterfaceError):
+            connect(car_db).cursor().fetchall()
+
+    def test_rollback_unsupported(self, car_db):
+        with pytest.raises(InterfaceError):
+            connect(car_db).rollback()
+
+    def test_commit_is_noop(self, car_db):
+        connect(car_db).commit()
+
+
+class TestDriverUrls:
+    def test_default_url(self, car_db):
+        assert connect(car_db, "repro:native:") is not None
+
+    def test_malformed_url(self, car_db):
+        with pytest.raises(InterfaceError):
+            connect(car_db, "jdbc:oracle:thin")
+
+    def test_unknown_driver(self, car_db):
+        with pytest.raises(InterfaceError):
+            connect(car_db, "repro:missing-driver:")
+
+    def test_registered_driver_used(self, car_db):
+        calls = []
+
+        class SpyDriver(Driver):
+            def run(self, database, sql, params):
+                calls.append(sql)
+                return super().run(database, sql, params)
+
+        register_driver("spy-test", SpyDriver())
+        connect(car_db, "repro:spy-test:").execute("SELECT 1")
+        assert calls == ["SELECT 1"]
+
+
+class TestConnectionPool:
+    def test_acquire_release_cycle(self, car_db):
+        pool = ConnectionPool("p", car_db, size=2)
+        a = pool.acquire()
+        b = pool.acquire()
+        pool.release(a)
+        pool.release(b)
+        assert pool.size == 2
+
+    def test_pool_grows_when_exhausted(self, car_db):
+        pool = ConnectionPool("p", car_db, size=1)
+        a = pool.acquire()
+        b = pool.acquire()  # grows
+        assert a is not b
+
+    def test_released_closed_connection_replaced(self, car_db):
+        pool = ConnectionPool("p", car_db, size=1)
+        connection = pool.acquire()
+        connection.close()
+        pool.release(connection)
+        fresh = pool.acquire()
+        fresh.execute("SELECT 1")  # usable
+
+    def test_bad_size(self, car_db):
+        with pytest.raises(InterfaceError):
+            ConnectionPool("p", car_db, size=0)
+
+
+class TestLoggingDriver:
+    def make(self, car_db):
+        driver = LoggingDriver()
+        register_driver("qlog-test", driver)
+        return driver, connect(car_db, "repro:qlog-test:")
+
+    def test_selects_logged_with_bound_sql(self, car_db):
+        driver, connection = self.make(car_db)
+        connection.execute("SELECT model FROM car WHERE price < ?", (21000,))
+        records = driver.log.all()
+        assert len(records) == 1
+        assert "21000" in records[0].sql
+        assert "?" not in records[0].sql
+
+    def test_dml_not_logged(self, car_db):
+        driver, connection = self.make(car_db)
+        connection.execute("INSERT INTO car VALUES ('Kia', 'Rio', 1)")
+        assert len(driver.log) == 0
+
+    def test_timestamps_ordered(self, car_db):
+        driver, connection = self.make(car_db)
+        connection.execute("SELECT 1")
+        record = driver.log.all()[0]
+        assert record.receive_time < record.delivery_time
+
+    def test_rows_returned_recorded(self, car_db):
+        driver, connection = self.make(car_db)
+        connection.execute("SELECT * FROM car")
+        assert driver.log.all()[0].rows_returned == 4
+
+    def test_interval_query(self, car_db):
+        driver, connection = self.make(car_db)
+        connection.execute("SELECT 1")
+        connection.execute("SELECT 2")
+        records = driver.log.all()
+        window = driver.log.in_interval(records[1].receive_time, records[1].delivery_time)
+        assert [r.sql for r in window] == ["SELECT 2"]
+
+    def test_drain(self, car_db):
+        driver, connection = self.make(car_db)
+        connection.execute("SELECT 1")
+        assert len(driver.log.drain()) == 1
+        assert len(driver.log) == 0
+
+    def test_results_pass_through_unchanged(self, car_db):
+        driver, connection = self.make(car_db)
+        rows = connection.execute("SELECT COUNT(*) FROM car").fetchall()
+        assert rows == [(4,)]
+
+    def test_query_ids_unique(self, car_db):
+        driver, connection = self.make(car_db)
+        connection.execute("SELECT 1")
+        connection.execute("SELECT 2")
+        ids = [r.query_id for r in driver.log.all()]
+        assert len(set(ids)) == 2
+
+    def test_union_queries_logged(self, car_db):
+        """Regression: UNION queries must reach the QI/URL map too —
+        unlogged read queries mean invisibly stale pages."""
+        driver, connection = self.make(car_db)
+        connection.execute("SELECT model FROM car UNION SELECT model FROM mileage")
+        records = driver.log.all()
+        assert len(records) == 1
+        assert "UNION" in records[0].sql
+
+    def test_subquery_queries_logged_with_text(self, car_db):
+        driver, connection = self.make(car_db)
+        connection.execute(
+            "SELECT maker FROM car WHERE model IN (SELECT model FROM mileage)"
+        )
+        assert "IN (SELECT" in driver.log.all()[0].sql

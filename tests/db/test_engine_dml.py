@@ -1,0 +1,182 @@
+"""DML and DDL execution tests, including update-log behaviour."""
+
+import pytest
+
+from repro.errors import CatalogError, ConstraintError, ExecutionError
+from repro.db import Database
+from repro.db.log import ChangeKind
+
+
+class TestCreateDrop:
+    def test_create_and_query(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INT)")
+        assert db.query("SELECT * FROM t") == []
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INT)")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE t (x INT)")
+
+    def test_if_not_exists(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INT)")
+        db.execute("CREATE TABLE IF NOT EXISTS t (x INT)")
+
+    def test_drop(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INT)")
+        db.execute("DROP TABLE t")
+        with pytest.raises(CatalogError):
+            db.query("SELECT * FROM t")
+
+    def test_drop_missing(self):
+        db = Database()
+        with pytest.raises(CatalogError):
+            db.execute("DROP TABLE t")
+        db.execute("DROP TABLE IF EXISTS t")  # no error
+
+    def test_drop_removes_indexes(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INT)")
+        db.execute("CREATE INDEX idx ON t (x)")
+        db.execute("DROP TABLE t")
+        with pytest.raises(CatalogError):
+            db.index("idx")
+
+
+class TestInsert:
+    def test_insert_rowcount(self, car_db):
+        result = car_db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 1), ('VW', 'Golf', 2)")
+        assert result.rowcount == 2
+
+    def test_insert_with_column_list(self, car_db):
+        car_db.execute("INSERT INTO car (model, maker) VALUES ('Rio', 'Kia')")
+        assert car_db.query("SELECT price FROM car WHERE model = 'Rio'") == [(None,)]
+
+    def test_insert_arity_mismatch(self, car_db):
+        with pytest.raises((ConstraintError, ExecutionError)):
+            car_db.execute("INSERT INTO car (maker) VALUES ('Kia', 'extra')")
+
+    def test_insert_type_checked(self, car_db):
+        from repro.errors import TypeMismatchError
+
+        with pytest.raises(TypeMismatchError):
+            car_db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 'cheap')")
+
+    def test_insert_expression_values(self, car_db):
+        car_db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 7000 * 2)")
+        assert car_db.query("SELECT price FROM car WHERE model = 'Rio'") == [(14000,)]
+
+    def test_insert_maintains_indexes(self, car_db):
+        car_db.execute("CREATE INDEX idx_price ON car (price)")
+        car_db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 14000)")
+        result = car_db.execute("SELECT * FROM car WHERE price = 14000")
+        assert result.index_probes == 1
+        assert len(result.rows) == 1
+
+
+class TestUpdate:
+    def test_update_rowcount(self, car_db):
+        result = car_db.execute("UPDATE car SET price = price + 1 WHERE price < 21000")
+        assert result.rowcount == 2
+
+    def test_update_all(self, car_db):
+        car_db.execute("UPDATE car SET price = 0")
+        assert car_db.query("SELECT DISTINCT price FROM car") == [(0,)]
+
+    def test_update_uses_old_values_in_rhs(self, car_db):
+        car_db.execute("UPDATE car SET price = price * 2 WHERE model = 'Civic'")
+        assert car_db.query("SELECT price FROM car WHERE model = 'Civic'") == [(36000,)]
+
+    def test_update_maintains_indexes(self, car_db):
+        car_db.execute("CREATE INDEX idx_price ON car (price)")
+        car_db.execute("UPDATE car SET price = 99999 WHERE model = 'Civic'")
+        result = car_db.execute("SELECT model FROM car WHERE price = 99999")
+        assert result.rows == [("Civic",)]
+        assert car_db.execute("SELECT * FROM car WHERE price = 18000").rows == []
+
+    def test_update_logs_delete_then_insert(self, car_db):
+        start = car_db.update_log.head_lsn
+        car_db.execute("UPDATE car SET price = 1 WHERE model = 'Civic'")
+        records = car_db.update_log.read_since(start - 1)
+        assert [r.kind for r in records] == [ChangeKind.DELETE, ChangeKind.INSERT]
+        assert records[0].values[2] == 18000  # old image
+        assert records[1].values[2] == 1  # new image
+
+
+class TestDelete:
+    def test_delete_rowcount(self, car_db):
+        result = car_db.execute("DELETE FROM car WHERE maker = 'BMW'")
+        assert result.rowcount == 1
+        assert len(car_db.query("SELECT * FROM car")) == 3
+
+    def test_delete_all(self, car_db):
+        car_db.execute("DELETE FROM car")
+        assert car_db.query("SELECT * FROM car") == []
+
+    def test_delete_maintains_indexes(self, car_db):
+        car_db.execute("CREATE INDEX idx_model ON car (model)")
+        car_db.execute("DELETE FROM car WHERE model = 'Civic'")
+        assert car_db.execute("SELECT * FROM car WHERE model = 'Civic'").rows == []
+
+
+class TestUpdateLog:
+    def test_inserts_logged(self, car_db):
+        start = car_db.update_log.head_lsn
+        car_db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 1)")
+        records = car_db.update_log.read_since(start - 1)
+        assert len(records) == 1
+        assert records[0].kind is ChangeKind.INSERT
+        assert records[0].table == "car"
+        assert records[0].as_dict()["model"] == "Rio"
+
+    def test_deletes_logged_with_old_image(self, car_db):
+        start = car_db.update_log.head_lsn
+        car_db.execute("DELETE FROM car WHERE model = 'M5'")
+        record = car_db.update_log.read_since(start - 1)[0]
+        assert record.kind is ChangeKind.DELETE
+        assert record.as_dict()["price"] == 72000
+
+    def test_lsns_strictly_increase(self, car_db):
+        car_db.execute("INSERT INTO car VALUES ('A', 'B', 1)")
+        car_db.execute("DELETE FROM car WHERE model = 'B'")
+        lsns = [r.lsn for r in car_db.update_log.read_since(0)]
+        assert lsns == sorted(lsns)
+        assert len(set(lsns)) == len(lsns)
+
+    def test_selects_not_logged(self, car_db):
+        before = len(car_db.update_log)
+        car_db.query("SELECT * FROM car")
+        assert len(car_db.update_log) == before
+
+    def test_deltas_group_by_table_and_kind(self, car_db):
+        start = car_db.update_log.head_lsn - 1
+        car_db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 1)")
+        car_db.execute("DELETE FROM mileage WHERE model = 'M5'")
+        deltas = car_db.update_log.deltas_since(start)
+        assert deltas.tables() == ["car", "mileage"]
+        assert len(deltas.insertions["car"]) == 1
+        assert len(deltas.deletions["mileage"]) == 1
+
+    def test_parameterized_dml(self, car_db):
+        car_db.execute("INSERT INTO car VALUES (?, ?, ?)", ("Kia", "Rio", 14000))
+        assert car_db.query(
+            "SELECT maker FROM car WHERE model = ?", ("Rio",)
+        ) == [("Kia",)]
+
+
+class TestWorkAccounting:
+    def test_heavier_queries_cost_more(self, car_db):
+        light = car_db.execute("SELECT * FROM mileage WHERE epa = 28")
+        heavy = car_db.execute(
+            "SELECT * FROM car, mileage WHERE car.model = mileage.model"
+        )
+        assert heavy.work_units > light.work_units
+
+    def test_statement_counter(self, car_db):
+        before = car_db.statements_executed
+        car_db.query("SELECT 1")
+        car_db.query("SELECT 2")
+        assert car_db.statements_executed == before + 2

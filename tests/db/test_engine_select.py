@@ -1,0 +1,248 @@
+"""SELECT execution tests against the engine."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.db import Database
+
+
+@pytest.fixture
+def db(car_db):
+    return car_db
+
+
+class TestBasicSelect:
+    def test_select_star(self, db):
+        result = db.execute("SELECT * FROM car")
+        assert result.columns == ["maker", "model", "price"]
+        assert len(result.rows) == 4
+
+    def test_projection(self, db):
+        rows = db.query("SELECT maker FROM car WHERE model = 'Civic'")
+        assert rows == [("Honda",)]
+
+    def test_expression_projection(self, db):
+        rows = db.query("SELECT price / 1000 FROM car WHERE model = 'Avalon'")
+        assert rows == [(25,)]
+
+    def test_alias_in_output(self, db):
+        result = db.execute("SELECT price AS cost FROM car LIMIT 1")
+        assert result.columns == ["cost"]
+
+    def test_where_filtering(self, db):
+        rows = db.query("SELECT model FROM car WHERE price < 21000")
+        assert {row[0] for row in rows} == {"Eclipse", "Civic"}
+
+    def test_unknown_table(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("SELECT * FROM nonexistent")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("SELECT color FROM car")
+
+    def test_sourceless_select(self, db):
+        assert db.query("SELECT 2 + 3") == [(5,)]
+
+    def test_case_insensitive_table_name(self, db):
+        assert len(db.query("SELECT * FROM CAR")) == 4
+
+    def test_distinct(self, db):
+        db.execute("INSERT INTO car VALUES ('Honda', 'Accord', 22000)")
+        rows = db.query("SELECT DISTINCT maker FROM car")
+        assert len(rows) == 4  # Toyota, Mitsubishi, Honda, BMW
+
+
+class TestJoins:
+    def test_comma_join_with_condition(self, db):
+        rows = db.query(
+            "SELECT car.maker, mileage.epa FROM car, mileage "
+            "WHERE car.model = mileage.model AND mileage.epa > 26"
+        )
+        assert sorted(rows) == [("Honda", 35), ("Toyota", 28)]
+
+    def test_explicit_join(self, db):
+        rows = db.query(
+            "SELECT car.maker FROM car JOIN mileage ON car.model = mileage.model "
+            "WHERE mileage.epa > 30"
+        )
+        assert rows == [("Honda",)]
+
+    def test_join_with_aliases(self, db):
+        rows = db.query(
+            "SELECT c.maker FROM car c JOIN mileage m ON c.model = m.model "
+            "WHERE m.epa = 16"
+        )
+        assert rows == [("BMW",)]
+
+    def test_left_join_keeps_unmatched(self, db):
+        db.execute("INSERT INTO car VALUES ('Tesla', 'Model3', 40000)")
+        rows = db.query(
+            "SELECT c.model, m.epa FROM car c LEFT JOIN mileage m "
+            "ON c.model = m.model WHERE m.epa IS NULL"
+        )
+        assert rows == [("Model3", None)]
+
+    def test_cross_join_cardinality(self, db):
+        rows = db.query("SELECT * FROM car CROSS JOIN mileage")
+        assert len(rows) == 16
+
+    def test_self_join(self, db):
+        rows = db.query(
+            "SELECT a.model, b.model FROM car a, car b "
+            "WHERE a.price < b.price AND a.maker = b.maker"
+        )
+        assert rows == []
+
+    def test_three_way_join(self, db):
+        db.execute("CREATE TABLE dealer (model TEXT, city TEXT)")
+        db.execute("INSERT INTO dealer VALUES ('Civic', 'SJ'), ('Avalon', 'SF')")
+        rows = db.query(
+            "SELECT car.maker, dealer.city FROM car, mileage, dealer "
+            "WHERE car.model = mileage.model AND mileage.model = dealer.model "
+            "AND mileage.epa > 30"
+        )
+        assert rows == [("Honda", "SJ")]
+
+    def test_null_join_keys_never_match(self, db):
+        db.execute("CREATE TABLE t1 (k TEXT)")
+        db.execute("CREATE TABLE t2 (k TEXT)")
+        db.execute("INSERT INTO t1 VALUES (NULL), ('a')")
+        db.execute("INSERT INTO t2 VALUES (NULL), ('a')")
+        rows = db.query("SELECT * FROM t1, t2 WHERE t1.k = t2.k")
+        assert rows == [("a", "a")]
+
+
+class TestAggregates:
+    def test_count_star(self, db):
+        assert db.query("SELECT COUNT(*) FROM car") == [(4,)]
+
+    def test_count_column_skips_nulls(self, db):
+        db.execute("INSERT INTO car VALUES ('X', 'Y', NULL)")
+        assert db.query("SELECT COUNT(price) FROM car") == [(4,)]
+
+    def test_sum_avg_min_max(self, db):
+        rows = db.query(
+            "SELECT SUM(price), AVG(price), MIN(price), MAX(price) FROM car"
+        )
+        assert rows == [(135000, 33750.0, 18000, 72000)]
+
+    def test_aggregate_on_empty_input(self, db):
+        rows = db.query("SELECT COUNT(*), SUM(price) FROM car WHERE price > 1000000")
+        assert rows == [(0, None)]
+
+    def test_group_by(self, db):
+        db.execute("INSERT INTO car VALUES ('Honda', 'Accord', 22000)")
+        rows = db.query(
+            "SELECT maker, COUNT(*) FROM car GROUP BY maker ORDER BY maker"
+        )
+        assert ("Honda", 2) in rows
+        assert len(rows) == 4
+
+    def test_group_by_with_having(self, db):
+        db.execute("INSERT INTO car VALUES ('Honda', 'Accord', 22000)")
+        rows = db.query(
+            "SELECT maker FROM car GROUP BY maker HAVING COUNT(*) > 1"
+        )
+        assert rows == [("Honda",)]
+
+    def test_count_distinct(self, db):
+        db.execute("INSERT INTO car VALUES ('Honda', 'Accord', 18000)")
+        assert db.query("SELECT COUNT(DISTINCT price) FROM car") == [(4,)]
+
+    def test_group_by_empty_input_yields_no_groups(self, db):
+        rows = db.query(
+            "SELECT maker, COUNT(*) FROM car WHERE price > 1000000 GROUP BY maker"
+        )
+        assert rows == []
+
+    def test_aggregate_expression(self, db):
+        rows = db.query("SELECT MAX(price) - MIN(price) FROM car")
+        assert rows == [(54000,)]
+
+
+class TestOrderLimit:
+    def test_order_by_asc(self, db):
+        rows = db.query("SELECT model FROM car ORDER BY price")
+        assert rows[0] == ("Civic",)
+        assert rows[-1] == ("M5",)
+
+    def test_order_by_desc(self, db):
+        rows = db.query("SELECT model FROM car ORDER BY price DESC")
+        assert rows[0] == ("M5",)
+
+    def test_order_by_column_not_in_select(self, db):
+        rows = db.query("SELECT maker FROM car ORDER BY price")
+        assert rows[0] == ("Honda",)
+
+    def test_order_by_alias(self, db):
+        rows = db.query("SELECT price * 2 AS double FROM car ORDER BY double DESC")
+        assert rows[0] == (144000,)
+
+    def test_order_by_aggregate_alias(self, db):
+        rows = db.query(
+            "SELECT maker, COUNT(*) AS n FROM car GROUP BY maker ORDER BY n DESC, maker"
+        )
+        assert len(rows) == 4
+
+    def test_order_nulls_first(self, db):
+        db.execute("INSERT INTO car VALUES ('X', 'Y', NULL)")
+        rows = db.query("SELECT price FROM car ORDER BY price")
+        assert rows[0] == (None,)
+
+    def test_limit(self, db):
+        assert len(db.query("SELECT * FROM car LIMIT 2")) == 2
+
+    def test_limit_offset(self, db):
+        all_rows = db.query("SELECT model FROM car ORDER BY price")
+        page = db.query("SELECT model FROM car ORDER BY price LIMIT 2 OFFSET 1")
+        assert page == all_rows[1:3]
+
+    def test_limit_zero(self, db):
+        assert db.query("SELECT * FROM car LIMIT 0") == []
+
+    def test_multi_key_order(self, db):
+        db.execute("INSERT INTO car VALUES ('Honda', 'Accord', 18000)")
+        rows = db.query("SELECT maker, model FROM car ORDER BY price, model")
+        assert rows[0] == ("Honda", "Accord")
+        assert rows[1] == ("Honda", "Civic")
+
+
+class TestIndexUsage:
+    def test_equality_index_used(self, db):
+        db.execute("CREATE INDEX idx_model ON car (model)")
+        result = db.execute("SELECT * FROM car WHERE model = 'Civic'")
+        assert result.index_probes == 1
+        assert result.rows_examined == 1
+        assert result.rows[0][0] == "Honda"
+
+    def test_range_index_used(self, db):
+        db.execute("CREATE INDEX idx_price ON car (price)")
+        result = db.execute("SELECT * FROM car WHERE price < 21000")
+        assert result.index_probes == 1
+        assert result.rows_examined == 2
+
+    def test_index_and_residual_filter(self, db):
+        db.execute("CREATE INDEX idx_price ON car (price)")
+        result = db.execute(
+            "SELECT * FROM car WHERE price < 21000 AND maker = 'Honda'"
+        )
+        assert result.index_probes == 1
+        assert len(result.rows) == 1
+
+    def test_results_identical_with_and_without_index(self, db):
+        before = sorted(db.query("SELECT * FROM car WHERE price >= 20000"))
+        db.execute("CREATE INDEX idx_price ON car (price)")
+        after = sorted(db.query("SELECT * FROM car WHERE price >= 20000"))
+        assert before == after
+
+    def test_full_scan_counts_all_rows(self, db):
+        result = db.execute("SELECT * FROM car WHERE maker = 'Honda'")
+        assert result.index_probes == 0
+        assert result.rows_examined == 4
+
+    def test_between_uses_range_index(self, db):
+        db.execute("CREATE INDEX idx_price ON car (price)")
+        result = db.execute("SELECT * FROM car WHERE price BETWEEN 18000 AND 20000")
+        assert result.index_probes == 1
+        assert len(result.rows) == 2

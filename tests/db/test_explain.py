@@ -1,0 +1,100 @@
+"""Tests for EXPLAIN plan rendering."""
+
+import pytest
+
+from repro.db import Database
+
+
+def plan_of(db, sql):
+    return [row[0] for row in db.query(f"EXPLAIN {sql}")]
+
+
+class TestExplain:
+    def test_full_scan(self, car_db):
+        lines = plan_of(car_db, "SELECT * FROM car")
+        assert lines[0].startswith("Project")
+        assert "TableScan(car)" in lines[1]
+
+    def test_filter_shown(self, car_db):
+        lines = plan_of(car_db, "SELECT * FROM car WHERE maker = 'Kia'")
+        assert any("Filter(maker = 'Kia')" in line for line in lines)
+
+    def test_index_lookup_shown(self, car_db):
+        car_db.execute("CREATE INDEX idx_model ON car (model)")
+        lines = plan_of(car_db, "SELECT * FROM car WHERE model = 'Civic'")
+        assert any("IndexEqLookup" in line and "idx_model" in line for line in lines)
+        assert not any("TableScan(car)" in line for line in lines)
+
+    def test_range_scan_shown(self, car_db):
+        car_db.execute("CREATE INDEX idx_price ON car (price)")
+        lines = plan_of(car_db, "SELECT * FROM car WHERE price BETWEEN 1 AND 9")
+        assert any("IndexRangeScan" in line for line in lines)
+
+    def test_hash_join_shown(self, car_db):
+        lines = plan_of(
+            car_db,
+            "SELECT car.maker FROM car, mileage WHERE car.model = mileage.model",
+        )
+        assert any("HashJoin(car.model = mileage.model)" in line for line in lines)
+
+    def test_nested_loop_for_cross_product(self, car_db):
+        lines = plan_of(car_db, "SELECT * FROM car, mileage")
+        assert any("NestedLoopJoin" in line for line in lines)
+
+    def test_left_join_shown(self, car_db):
+        lines = plan_of(
+            car_db,
+            "SELECT * FROM car LEFT JOIN mileage ON car.model = mileage.model",
+        )
+        assert any("LeftOuterJoin" in line for line in lines)
+
+    def test_aggregate_and_sort_and_limit(self, car_db):
+        lines = plan_of(
+            car_db,
+            "SELECT maker, COUNT(*) AS n FROM car GROUP BY maker "
+            "ORDER BY n DESC LIMIT 2",
+        )
+        text = "\n".join(lines)
+        assert "Aggregate(group by maker)" in text
+        assert "Sort(" in text
+        assert "Limit(limit 2)" in text
+
+    def test_distinct_shown(self, car_db):
+        lines = plan_of(car_db, "SELECT DISTINCT maker FROM car")
+        assert any("Distinct" in line for line in lines)
+
+    def test_union_renders_each_part(self, car_db):
+        lines = plan_of(
+            car_db, "SELECT model FROM car UNION SELECT model FROM mileage"
+        )
+        assert lines[0].startswith("Union(DISTINCT)")
+        assert sum("TableScan" in line for line in lines) == 2
+
+    def test_indentation_reflects_tree(self, car_db):
+        lines = plan_of(car_db, "SELECT * FROM car WHERE maker = 'Kia'")
+        assert not lines[0].startswith(" ")
+        assert lines[1].startswith("  ")
+
+    def test_explain_does_not_execute(self, car_db):
+        before = len(car_db.query("SELECT * FROM car"))
+        car_db.query("EXPLAIN SELECT * FROM car")
+        assert len(car_db.query("SELECT * FROM car")) == before
+
+    def test_alias_shown_in_scan(self, car_db):
+        lines = plan_of(car_db, "SELECT c.maker FROM car c")
+        assert any("TableScan(car AS c)" in line for line in lines)
+
+    def test_subqueries_resolved_before_planning(self, car_db):
+        """EXPLAIN shows the outer plan with the subquery already folded
+        into its value — what execution will actually run."""
+        lines = plan_of(
+            car_db,
+            "SELECT * FROM car WHERE model IN (SELECT model FROM mileage WHERE epa > 999)",
+        )
+        assert any("Filter(model IN ())" in line for line in lines)
+
+    def test_explain_round_trips_through_printer(self, car_db):
+        from repro.sql import parse_statement, to_sql
+
+        stmt = parse_statement("EXPLAIN SELECT * FROM car")
+        assert parse_statement(to_sql(stmt)) == stmt

@@ -1,0 +1,167 @@
+"""Tests for expression evaluation: scopes and three-valued logic."""
+
+import pytest
+
+from repro.errors import CatalogError, ExecutionError
+from repro.sql.parser import parse_expression
+from repro.db.expr import Scope, evaluate, passes
+
+
+CAR_SCOPE = Scope([("car", ["maker", "model", "price"])])
+JOIN_SCOPE = Scope([("car", ["maker", "model", "price"]), ("mileage", ["model", "epa"])])
+ROW = ("Toyota", "Avalon", 25000)
+JOIN_ROW = ("Toyota", "Avalon", 25000, "Avalon", 28)
+
+
+def ev(text, row=ROW, scope=CAR_SCOPE):
+    return evaluate(parse_expression(text), row, scope)
+
+
+class TestScope:
+    def test_qualified_resolution(self):
+        assert CAR_SCOPE.resolve("car", "price") == 2
+
+    def test_unqualified_resolution(self):
+        assert CAR_SCOPE.resolve(None, "maker") == 0
+
+    def test_case_insensitive(self):
+        assert CAR_SCOPE.resolve("CAR", "PRICE") == 2
+
+    def test_unknown_column(self):
+        with pytest.raises(CatalogError):
+            CAR_SCOPE.resolve(None, "color")
+
+    def test_ambiguous_unqualified(self):
+        with pytest.raises(CatalogError, match="ambiguous"):
+            JOIN_SCOPE.resolve(None, "model")
+
+    def test_star_offsets(self):
+        assert JOIN_SCOPE.star_offsets() == [0, 1, 2, 3, 4]
+        assert JOIN_SCOPE.star_offsets("mileage") == [3, 4]
+
+    def test_star_unknown_table(self):
+        with pytest.raises(CatalogError):
+            JOIN_SCOPE.star_offsets("nope")
+
+    def test_column_labels(self):
+        assert CAR_SCOPE.column_labels() == ["car.maker", "car.model", "car.price"]
+
+
+class TestEvaluation:
+    def test_column_lookup(self):
+        assert ev("car.price") == 25000
+
+    def test_arithmetic(self):
+        assert ev("price / 1000 + 5") == 30
+        assert ev("price * 2") == 50000
+
+    def test_division_semantics(self):
+        assert ev("7 / 2") == 3.5
+        assert ev("8 / 2") == 4
+        assert ev("1 / 0") is None  # engine yields NULL on division by zero
+
+    def test_comparisons(self):
+        assert ev("price > 20000") is True
+        assert ev("price < 20000") is False
+        assert ev("maker = 'Toyota'") is True
+
+    def test_concat(self):
+        assert ev("maker || ' ' || model") == "Toyota Avalon"
+
+    def test_between(self):
+        assert ev("price BETWEEN 20000 AND 30000") is True
+        assert ev("price NOT BETWEEN 20000 AND 30000") is False
+
+    def test_in_list(self):
+        assert ev("maker IN ('Honda', 'Toyota')") is True
+        assert ev("maker NOT IN ('Honda')") is True
+
+    def test_like(self):
+        assert ev("maker LIKE 'To%'") is True
+
+    def test_case(self):
+        assert ev("CASE WHEN price > 20000 THEN 'lux' ELSE 'cheap' END") == "lux"
+
+    def test_scalar_functions(self):
+        assert ev("LENGTH(maker)") == 6
+        assert ev("UPPER(maker)") == "TOYOTA"
+        assert ev("LOWER(maker)") == "toyota"
+        assert ev("ABS(0 - 5)") == 5
+        assert ev("COALESCE(NULL, maker)") == "Toyota"
+
+    def test_unknown_function(self):
+        with pytest.raises(ExecutionError):
+            ev("FROBNICATE(price)")
+
+    def test_aggregate_outside_group_by_rejected(self):
+        with pytest.raises(ExecutionError):
+            ev("COUNT(*)")
+
+    def test_unbound_parameter_rejected(self):
+        with pytest.raises(ExecutionError):
+            ev("price < $1")
+
+    def test_join_scope(self):
+        value = evaluate(
+            parse_expression("car.model = mileage.model"), JOIN_ROW, JOIN_SCOPE
+        )
+        assert value is True
+
+
+class TestThreeValuedLogic:
+    NULL_ROW = (None, "Avalon", None)
+
+    def test_null_comparison_is_null(self):
+        assert ev("price > 100", self.NULL_ROW) is None
+
+    def test_null_and_false_is_false(self):
+        assert ev("price > 100 AND model = 'nope'", self.NULL_ROW) is False
+
+    def test_false_and_null_short_circuit(self):
+        assert ev("model = 'nope' AND price > 100", self.NULL_ROW) is False
+
+    def test_null_and_true_is_null(self):
+        assert ev("price > 100 AND model = 'Avalon'", self.NULL_ROW) is None
+
+    def test_null_or_true_is_true(self):
+        assert ev("price > 100 OR model = 'Avalon'", self.NULL_ROW) is True
+
+    def test_null_or_false_is_null(self):
+        assert ev("price > 100 OR model = 'nope'", self.NULL_ROW) is None
+
+    def test_not_null_is_null(self):
+        assert ev("NOT price > 100", self.NULL_ROW) is None
+
+    def test_is_null(self):
+        assert ev("price IS NULL", self.NULL_ROW) is True
+        assert ev("price IS NOT NULL", self.NULL_ROW) is False
+
+    def test_in_with_null_member(self):
+        assert ev("price IN (1, NULL)", ROW) is None
+        assert ev("25000 IN (25000, NULL)", ROW) is True
+
+    def test_null_in_list(self):
+        assert ev("price IN (1, 2)", self.NULL_ROW) is None
+
+    def test_arithmetic_null_propagation(self):
+        assert ev("price + 1", self.NULL_ROW) is None
+        assert ev("-price", self.NULL_ROW) is None
+
+
+class TestPasses:
+    def test_none_predicate_passes(self):
+        assert passes(None, ROW, CAR_SCOPE)
+
+    def test_true_passes(self):
+        assert passes(parse_expression("price > 0"), ROW, CAR_SCOPE)
+
+    def test_false_fails(self):
+        assert not passes(parse_expression("price < 0"), ROW, CAR_SCOPE)
+
+    def test_null_fails(self):
+        null_row = (None, None, None)
+        assert not passes(parse_expression("price > 0"), null_row, CAR_SCOPE)
+
+    def test_nonzero_number_is_truthy(self):
+        assert passes(parse_expression("1"), ROW, CAR_SCOPE)
+        assert not passes(parse_expression("0"), ROW, CAR_SCOPE)

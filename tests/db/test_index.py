@@ -1,0 +1,120 @@
+"""Tests for hash and sorted secondary indexes."""
+
+import pytest
+
+from repro.errors import ConstraintError
+from repro.db.index import HashIndex, SortedIndex
+from repro.db.schema import Column, TableSchema
+from repro.db.types import SqlType
+
+
+def schema():
+    return TableSchema(
+        "t",
+        [Column("a", SqlType.INT), Column("b", SqlType.TEXT)],
+    )
+
+
+class TestHashIndex:
+    def test_lookup(self):
+        index = HashIndex("idx", schema(), ["a"])
+        index.add(1, (5, "x"))
+        index.add(2, (5, "y"))
+        index.add(3, (7, "z"))
+        assert index.lookup((5,)) == {1, 2}
+        assert index.lookup((7,)) == {3}
+        assert index.lookup((9,)) == set()
+
+    def test_remove(self):
+        index = HashIndex("idx", schema(), ["a"])
+        index.add(1, (5, "x"))
+        index.remove(1, (5, "x"))
+        assert index.lookup((5,)) == set()
+        assert len(index) == 0
+
+    def test_remove_absent_is_noop(self):
+        index = HashIndex("idx", schema(), ["a"])
+        index.remove(1, (5, "x"))
+
+    def test_replace(self):
+        index = HashIndex("idx", schema(), ["a"])
+        index.add(1, (5, "x"))
+        index.replace(1, (5, "x"), (6, "x"))
+        assert index.lookup((5,)) == set()
+        assert index.lookup((6,)) == {1}
+
+    def test_multi_column_key(self):
+        index = HashIndex("idx", schema(), ["a", "b"])
+        index.add(1, (5, "x"))
+        assert index.lookup((5, "x")) == {1}
+        assert index.lookup((5, "y")) == set()
+
+    def test_unique_violation(self):
+        index = HashIndex("idx", schema(), ["a"], unique=True)
+        index.add(1, (5, "x"))
+        with pytest.raises(ConstraintError):
+            index.add(2, (5, "y"))
+
+    def test_unique_allows_nulls(self):
+        index = HashIndex("idx", schema(), ["a"], unique=True)
+        index.add(1, (None, "x"))
+        index.add(2, (None, "y"))
+
+
+class TestSortedIndex:
+    def build(self):
+        index = SortedIndex("idx", schema(), ["a"])
+        for rowid, value in enumerate([5, 3, 8, 3, None, 10], start=1):
+            index.add(rowid, (value, "p"))
+        return index
+
+    def test_requires_single_column(self):
+        with pytest.raises(ConstraintError):
+            SortedIndex("idx", schema(), ["a", "b"])
+
+    def test_equality_lookup(self):
+        index = self.build()
+        assert index.lookup((3,)) == {2, 4}
+        assert index.lookup((99,)) == set()
+
+    def test_range_closed(self):
+        index = self.build()
+        assert index.range_lookup(low=3, high=8) == {1, 2, 3, 4}
+
+    def test_range_open_bounds(self):
+        index = self.build()
+        assert index.range_lookup(low=3, high=8, low_open=True) == {1, 3}
+        assert index.range_lookup(low=3, high=8, high_open=True) == {1, 2, 4}
+
+    def test_range_unbounded_low_skips_nulls(self):
+        index = self.build()
+        assert index.range_lookup(high=5) == {1, 2, 4}
+
+    def test_range_unbounded_high(self):
+        index = self.build()
+        assert index.range_lookup(low=8) == {3, 6}
+
+    def test_remove_specific_rowid_among_duplicates(self):
+        index = self.build()
+        index.remove(2, (3, "p"))
+        assert index.lookup((3,)) == {4}
+
+    def test_remove_null_entry(self):
+        index = self.build()
+        index.remove(5, (None, "p"))
+        assert len(index) == 5
+
+    def test_items_in_order(self):
+        index = self.build()
+        values = [value for value, _rid in index.items()]
+        assert values == [None, 3, 3, 5, 8, 10]
+
+    def test_unique_violation(self):
+        index = SortedIndex("idx", schema(), ["a"], unique=True)
+        index.add(1, (5, "x"))
+        with pytest.raises(ConstraintError):
+            index.add(2, (5, "y"))
+
+    def test_empty_range(self):
+        index = SortedIndex("idx", schema(), ["a"])
+        assert index.range_lookup(low=1, high=10) == set()

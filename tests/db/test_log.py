@@ -1,0 +1,92 @@
+"""Tests for the update log and delta tables in isolation."""
+
+import pytest
+
+from repro.db.log import ChangeKind, DeltaTables, UpdateLog, UpdateRecord
+
+
+def record(lsn=1, table="car", kind=ChangeKind.INSERT, values=("a",), columns=("x",)):
+    return UpdateRecord(lsn, float(lsn), table, kind, values, columns)
+
+
+class TestUpdateLog:
+    def test_append_assigns_lsns(self):
+        log = UpdateLog()
+        r1 = log.append("car", ChangeKind.INSERT, ("a",), ("x",), 0.0)
+        r2 = log.append("car", ChangeKind.DELETE, ("a",), ("x",), 1.0)
+        assert r2.lsn == r1.lsn + 1
+
+    def test_read_since(self):
+        log = UpdateLog()
+        r1 = log.append("car", ChangeKind.INSERT, ("a",), ("x",), 0.0)
+        r2 = log.append("car", ChangeKind.INSERT, ("b",), ("x",), 1.0)
+        assert [r.lsn for r in log.read_since(0)] == [r1.lsn, r2.lsn]
+        assert [r.lsn for r in log.read_since(r1.lsn)] == [r2.lsn]
+        assert log.read_since(r2.lsn) == []
+
+    def test_table_and_columns_lowercased(self):
+        log = UpdateLog()
+        r = log.append("Car", ChangeKind.INSERT, ("a",), ("Maker",), 0.0)
+        assert r.table == "car"
+        assert r.columns == ("maker",)
+
+    def test_capacity_truncation(self):
+        log = UpdateLog(capacity=2)
+        for i in range(5):
+            log.append("t", ChangeKind.INSERT, (i,), ("x",), float(i))
+        assert len(log) == 2
+        # Retained records are LSN 4 and 5, holding values 3 and 4.
+        assert [r.values[0] for r in log.read_since(3)] == [3, 4]
+        assert [r.values[0] for r in log.read_since(4)] == [4]
+
+    def test_reading_truncated_region_raises(self):
+        log = UpdateLog(capacity=2)
+        for i in range(5):
+            log.append("t", ChangeKind.INSERT, (i,), ("x",), float(i))
+        with pytest.raises(ValueError, match="truncated"):
+            log.read_since(0)
+
+    def test_head_lsn(self):
+        log = UpdateLog()
+        assert log.head_lsn == 1
+        log.append("t", ChangeKind.INSERT, (1,), ("x",), 0.0)
+        assert log.head_lsn == 2
+
+
+class TestDeltaTables:
+    def test_add_routes_by_kind(self):
+        deltas = DeltaTables()
+        deltas.add(record(1, kind=ChangeKind.INSERT))
+        deltas.add(record(2, kind=ChangeKind.DELETE))
+        assert len(deltas.insertions["car"]) == 1
+        assert len(deltas.deletions["car"]) == 1
+        assert len(deltas) == 2
+
+    def test_tables_sorted(self):
+        deltas = DeltaTables()
+        deltas.add(record(1, table="zebra"))
+        deltas.add(record(2, table="apple"))
+        assert deltas.tables() == ["apple", "zebra"]
+
+    def test_changes_for_in_lsn_order(self):
+        deltas = DeltaTables()
+        deltas.add(record(3, kind=ChangeKind.DELETE))
+        deltas.add(record(1, kind=ChangeKind.INSERT))
+        deltas.add(record(2, kind=ChangeKind.INSERT))
+        assert [r.lsn for r in deltas.changes_for("car")] == [1, 2, 3]
+
+    def test_lsn_bounds(self):
+        deltas = DeltaTables()
+        deltas.add(record(5))
+        deltas.add(record(9))
+        assert deltas.first_lsn == 5
+        assert deltas.last_lsn == 9
+
+    def test_empty(self):
+        deltas = DeltaTables()
+        assert deltas.is_empty()
+        assert deltas.tables() == []
+
+    def test_as_dict(self):
+        r = record(values=("Kia", 14000), columns=("maker", "price"))
+        assert r.as_dict() == {"maker": "Kia", "price": 14000}

@@ -1,0 +1,152 @@
+"""Tests for table schemas and heap storage."""
+
+import pytest
+
+from repro.errors import CatalogError, ConstraintError, TypeMismatchError
+from repro.db.schema import Column, TableSchema
+from repro.db.table import HeapTable
+from repro.db.types import SqlType
+
+
+def car_schema() -> TableSchema:
+    return TableSchema(
+        "car",
+        [
+            Column("maker", SqlType.TEXT),
+            Column("model", SqlType.TEXT, primary_key=True),
+            Column("price", SqlType.INT),
+        ],
+    )
+
+
+class TestSchema:
+    def test_positions_case_insensitive(self):
+        schema = car_schema()
+        assert schema.position("MAKER") == 0
+        assert schema.position("Price") == 2
+
+    def test_unknown_column(self):
+        with pytest.raises(CatalogError):
+            car_schema().position("color")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [Column("x", SqlType.INT), Column("X", SqlType.INT)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [])
+
+    def test_multiple_primary_keys_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema(
+                "t",
+                [
+                    Column("a", SqlType.INT, primary_key=True),
+                    Column("b", SqlType.INT, primary_key=True),
+                ],
+            )
+
+    def test_primary_key_property(self):
+        assert car_schema().primary_key.name == "model"
+
+    def test_validate_row_coerces(self):
+        row = car_schema().validate_row(["Kia", "Rio", 14000.0])
+        assert row == ("Kia", "Rio", 14000)
+
+    def test_validate_row_wrong_arity(self):
+        with pytest.raises(ConstraintError):
+            car_schema().validate_row(["Kia", "Rio"])
+
+    def test_validate_row_type_error_names_column(self):
+        with pytest.raises(TypeMismatchError, match="car.price"):
+            car_schema().validate_row(["Kia", "Rio", "cheap"])
+
+    def test_primary_key_rejects_null(self):
+        with pytest.raises(ConstraintError):
+            car_schema().validate_row(["Kia", None, 1])
+
+    def test_not_null(self):
+        schema = TableSchema("t", [Column("x", SqlType.INT, not_null=True)])
+        with pytest.raises(ConstraintError):
+            schema.validate_row([None])
+
+    def test_row_dict(self):
+        assert car_schema().row_dict(("Kia", "Rio", 1)) == {
+            "maker": "Kia",
+            "model": "Rio",
+            "price": 1,
+        }
+
+
+class TestHeapTable:
+    def test_insert_returns_increasing_rowids(self):
+        table = HeapTable(car_schema())
+        rid1, _ = table.insert(["Kia", "Rio", 1])
+        rid2, _ = table.insert(["VW", "Golf", 2])
+        assert rid2 > rid1
+
+    def test_rowids_not_reused_after_delete(self):
+        table = HeapTable(car_schema())
+        rid1, _ = table.insert(["Kia", "Rio", 1])
+        table.delete(rid1)
+        rid2, _ = table.insert(["VW", "Golf", 2])
+        assert rid2 > rid1
+
+    def test_get(self):
+        table = HeapTable(car_schema())
+        rid, row = table.insert(["Kia", "Rio", 1])
+        assert table.get(rid) == row
+        assert table.get(999) is None
+
+    def test_delete_returns_row(self):
+        table = HeapTable(car_schema())
+        rid, row = table.insert(["Kia", "Rio", 1])
+        assert table.delete(rid) == row
+        assert len(table) == 0
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(ConstraintError):
+            HeapTable(car_schema()).delete(1)
+
+    def test_update_returns_both_images(self):
+        table = HeapTable(car_schema())
+        rid, _ = table.insert(["Kia", "Rio", 1])
+        old, new = table.update(rid, ["Kia", "Rio", 2])
+        assert old[2] == 1 and new[2] == 2
+
+    def test_update_missing_raises(self):
+        with pytest.raises(ConstraintError):
+            HeapTable(car_schema()).update(1, ["a", "b", 1])
+
+    def test_unique_constraint_on_insert(self):
+        table = HeapTable(car_schema())
+        table.insert(["Kia", "Rio", 1])
+        with pytest.raises(ConstraintError, match="model"):
+            table.insert(["VW", "Rio", 2])
+
+    def test_unique_allows_self_update(self):
+        table = HeapTable(car_schema())
+        rid, _ = table.insert(["Kia", "Rio", 1])
+        table.update(rid, ["Kia", "Rio", 99])  # same key, same row: fine
+
+    def test_unique_ignores_nulls(self):
+        schema = TableSchema("t", [Column("x", SqlType.INT, unique=True)])
+        table = HeapTable(schema)
+        table.insert([None])
+        table.insert([None])  # NULLs never collide
+        assert len(table) == 2
+
+    def test_rows_iteration_order(self):
+        table = HeapTable(car_schema())
+        table.insert(["a", "m1", 1])
+        table.insert(["b", "m2", 2])
+        rows = [row for _rid, row in table.rows()]
+        assert [row[0] for row in rows] == ["a", "b"]
+
+    def test_clear(self):
+        table = HeapTable(car_schema())
+        table.insert(["a", "m1", 1])
+        removed = table.clear()
+        assert len(removed) == 1
+        assert len(table) == 0

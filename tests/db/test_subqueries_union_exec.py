@@ -1,0 +1,175 @@
+"""Engine execution tests for subqueries and UNION."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.db import Database
+
+
+class TestInSelect:
+    def test_in_select(self, car_db):
+        rows = car_db.query(
+            "SELECT maker FROM car WHERE model IN "
+            "(SELECT model FROM mileage WHERE epa > 30)"
+        )
+        assert rows == [("Honda",)]
+
+    def test_not_in_select(self, car_db):
+        car_db.execute("DELETE FROM mileage WHERE model = 'M5'")
+        rows = car_db.query(
+            "SELECT maker FROM car WHERE model NOT IN (SELECT model FROM mileage)"
+        )
+        assert rows == [("BMW",)]
+
+    def test_empty_subquery_in_is_false(self, car_db):
+        rows = car_db.query(
+            "SELECT * FROM car WHERE model IN "
+            "(SELECT model FROM mileage WHERE epa > 999)"
+        )
+        assert rows == []
+
+    def test_empty_subquery_not_in_is_true(self, car_db):
+        rows = car_db.query(
+            "SELECT COUNT(*) FROM car WHERE model NOT IN "
+            "(SELECT model FROM mileage WHERE epa > 999)"
+        )
+        assert rows == [(4,)]
+
+    def test_null_in_subquery_results(self, car_db):
+        """NULL members in the IN-set give SQL's three-valued behaviour."""
+        car_db.execute("INSERT INTO mileage VALUES (NULL, 50)")
+        rows = car_db.query(
+            "SELECT COUNT(*) FROM car WHERE model NOT IN (SELECT model FROM mileage)"
+        )
+        # Every comparison against the NULL member is unknown: no row
+        # satisfies NOT IN.
+        assert rows == [(0,)]
+
+
+class TestExists:
+    def test_exists_true(self, car_db):
+        rows = car_db.query(
+            "SELECT COUNT(*) FROM car WHERE EXISTS "
+            "(SELECT * FROM mileage WHERE epa > 30)"
+        )
+        assert rows == [(4,)]
+
+    def test_exists_false(self, car_db):
+        rows = car_db.query(
+            "SELECT COUNT(*) FROM car WHERE EXISTS "
+            "(SELECT * FROM mileage WHERE epa > 999)"
+        )
+        assert rows == [(0,)]
+
+    def test_not_exists(self, car_db):
+        rows = car_db.query(
+            "SELECT COUNT(*) FROM car WHERE NOT EXISTS "
+            "(SELECT * FROM mileage WHERE epa > 999)"
+        )
+        assert rows == [(4,)]
+
+
+class TestScalarSubquery:
+    def test_in_where(self, car_db):
+        rows = car_db.query(
+            "SELECT maker FROM car WHERE price = (SELECT MAX(price) FROM car)"
+        )
+        assert rows == [("BMW",)]
+
+    def test_in_select_list(self, car_db):
+        rows = car_db.query("SELECT maker, (SELECT MAX(epa) FROM mileage) FROM car LIMIT 1")
+        assert rows[0][1] == 35
+
+    def test_empty_scalar_is_null(self, car_db):
+        rows = car_db.query(
+            "SELECT COUNT(*) FROM car WHERE price > "
+            "(SELECT price FROM car WHERE maker = 'Nobody')"
+        )
+        assert rows == [(0,)]  # NULL comparison fails everywhere
+
+    def test_multi_row_scalar_rejected(self, car_db):
+        with pytest.raises(ExecutionError, match="more than one row"):
+            car_db.query("SELECT * FROM car WHERE price = (SELECT price FROM car)")
+
+    def test_nested_subqueries(self, car_db):
+        rows = car_db.query(
+            "SELECT maker FROM car WHERE model IN "
+            "(SELECT model FROM mileage WHERE epa > (SELECT AVG(epa) FROM mileage))"
+        )
+        assert sorted(rows) == [("Honda",), ("Toyota",)]
+
+    def test_correlated_rejected(self, car_db):
+        with pytest.raises(ExecutionError, match="correlated"):
+            car_db.query(
+                "SELECT * FROM car WHERE EXISTS "
+                "(SELECT * FROM mileage WHERE mileage.model = car.model)"
+            )
+
+    def test_correlated_unqualified_rejected(self, car_db):
+        with pytest.raises(ExecutionError, match="correlated"):
+            car_db.query(
+                "SELECT * FROM car WHERE EXISTS "
+                "(SELECT * FROM mileage WHERE price > 5)"  # price is car's
+            )
+
+    def test_subquery_work_charged_to_statement(self, car_db):
+        plain = car_db.execute("SELECT * FROM car")
+        with_subquery = car_db.execute(
+            "SELECT * FROM car WHERE price < (SELECT MAX(price) FROM car)"
+        )
+        assert with_subquery.rows_examined > plain.rows_examined
+
+
+class TestUnion:
+    def test_union_dedupes(self, car_db):
+        rows = car_db.query(
+            "SELECT model FROM car UNION SELECT model FROM mileage"
+        )
+        assert len(rows) == 4  # same four models in both tables
+
+    def test_union_all_keeps_duplicates(self, car_db):
+        rows = car_db.query(
+            "SELECT model FROM car UNION ALL SELECT model FROM mileage"
+        )
+        assert len(rows) == 8
+
+    def test_union_distinct_across_parts(self, car_db):
+        rows = car_db.query(
+            "SELECT 'x' UNION SELECT 'x' UNION SELECT 'y'"
+        )
+        assert sorted(rows) == [("x",), ("y",)]
+
+    def test_union_order_by_and_limit(self, car_db):
+        rows = car_db.query(
+            "SELECT model FROM car UNION SELECT model FROM mileage "
+            "ORDER BY model DESC LIMIT 2"
+        )
+        assert rows == [("M5",), ("Eclipse",)]
+
+    def test_union_offset(self, car_db):
+        all_rows = car_db.query(
+            "SELECT model FROM car UNION SELECT model FROM mileage ORDER BY model"
+        )
+        page = car_db.query(
+            "SELECT model FROM car UNION SELECT model FROM mileage "
+            "ORDER BY model LIMIT 2 OFFSET 1"
+        )
+        assert page == all_rows[1:3]
+
+    def test_column_count_mismatch(self, car_db):
+        with pytest.raises(ExecutionError, match="columns"):
+            car_db.query("SELECT model, price FROM car UNION SELECT model FROM mileage")
+
+    def test_mixed_union_semantics(self, car_db):
+        """UNION dedupes what came before it; a later UNION ALL appends."""
+        rows = car_db.query(
+            "SELECT 'a' UNION SELECT 'a' UNION ALL SELECT 'a'"
+        )
+        assert len(rows) == 2
+
+    def test_union_with_subquery_part(self, car_db):
+        rows = car_db.query(
+            "SELECT model FROM car WHERE model IN (SELECT model FROM mileage WHERE epa > 30) "
+            "UNION SELECT model FROM car WHERE price > 70000"
+        )
+        assert sorted(rows) == [("Civic",), ("M5",)]

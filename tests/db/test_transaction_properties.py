@@ -1,0 +1,88 @@
+"""Property tests: transaction rollback restores state exactly."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db import Database
+
+
+def fresh_db(indexed):
+    db = Database()
+    db.execute("CREATE TABLE t (a INT, b TEXT)")
+    if indexed:
+        db.execute("CREATE INDEX idx_a ON t (a)")
+    for i in range(8):
+        db.execute(f"INSERT INTO t VALUES ({i}, 'seed{i}')")
+    return db
+
+
+_op = st.one_of(
+    st.tuples(st.just("insert"), st.integers(-20, 20), st.sampled_from("xyz")),
+    st.tuples(st.just("delete_lt"), st.integers(-20, 20), st.none()),
+    st.tuples(st.just("update"), st.integers(-20, 20), st.sampled_from("pq")),
+)
+
+
+def apply_op(db, op):
+    kind, number, text = op
+    if kind == "insert":
+        db.execute("INSERT INTO t VALUES (?, ?)", (number, text))
+    elif kind == "delete_lt":
+        db.execute("DELETE FROM t WHERE a < ?", (number,))
+    else:
+        db.execute("UPDATE t SET b = ? WHERE a >= ?", (text, number))
+
+
+def full_state(db):
+    return sorted(db.query("SELECT a, b FROM t"), key=repr)
+
+
+def indexed_lookup(db, probe):
+    return sorted(db.query("SELECT * FROM t WHERE a = ?", (probe,)), key=repr)
+
+
+class TestRollbackRestoresState:
+    @given(ops=st.lists(_op, min_size=1, max_size=12), indexed=st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_rollback_is_identity(self, ops, indexed):
+        db = fresh_db(indexed)
+        before = full_state(db)
+        log_head = db.update_log.head_lsn
+        db.begin()
+        for op in ops:
+            apply_op(db, op)
+        db.rollback()
+        assert full_state(db) == before
+        assert db.update_log.head_lsn == log_head
+
+    @given(ops=st.lists(_op, min_size=1, max_size=10), probe=st.integers(-20, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_indexes_consistent_after_rollback(self, ops, probe):
+        db = fresh_db(indexed=True)
+        reference = fresh_db(indexed=False)
+        db.begin()
+        for op in ops:
+            apply_op(db, op)
+        db.rollback()
+        assert indexed_lookup(db, probe) == indexed_lookup(reference, probe)
+
+    @given(ops=st.lists(_op, min_size=1, max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_commit_equals_autocommit(self, ops):
+        """Running ops in a transaction then committing leaves the same
+        table state and the same published delta tables as auto-commit."""
+        txn_db = fresh_db(indexed=False)
+        auto_db = fresh_db(indexed=False)
+        start = txn_db.update_log.head_lsn - 1
+        txn_db.begin()
+        for op in ops:
+            apply_op(txn_db, op)
+            apply_op(auto_db, op)
+        txn_db.commit()
+        assert full_state(txn_db) == full_state(auto_db)
+        txn_records = [
+            (r.kind, r.values) for r in txn_db.update_log.read_since(start)
+        ]
+        auto_records = [
+            (r.kind, r.values) for r in auto_db.update_log.read_since(start)
+        ]
+        assert txn_records == auto_records

@@ -1,0 +1,163 @@
+"""Tests for the two baseline mechanisms: triggers and materialized views."""
+
+import pytest
+
+from repro.db import Database
+from repro.db.log import ChangeKind
+from repro.db.matview import MaterializedViewManager
+from repro.errors import CatalogError
+
+
+class TestTriggers:
+    def test_insert_trigger_fires(self, car_db):
+        fired = []
+        car_db.triggers.register(
+            "t1", "car", ChangeKind.INSERT, lambda record: fired.append(record)
+        )
+        car_db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 1)")
+        assert len(fired) == 1
+        assert fired[0].as_dict()["model"] == "Rio"
+
+    def test_delete_trigger_fires(self, car_db):
+        fired = []
+        car_db.triggers.register(
+            "t1", "car", ChangeKind.DELETE, lambda record: fired.append(record)
+        )
+        car_db.execute("DELETE FROM car WHERE maker = 'BMW'")
+        assert len(fired) == 1
+
+    def test_trigger_kind_filtering(self, car_db):
+        fired = []
+        car_db.triggers.register(
+            "t1", "car", ChangeKind.DELETE, lambda record: fired.append(record)
+        )
+        car_db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 1)")
+        assert fired == []
+
+    def test_update_fires_both_kinds(self, car_db):
+        events = []
+        car_db.triggers.register(
+            "ti", "car", ChangeKind.INSERT, lambda r: events.append("ins")
+        )
+        car_db.triggers.register(
+            "td", "car", ChangeKind.DELETE, lambda r: events.append("del")
+        )
+        car_db.execute("UPDATE car SET price = 1 WHERE maker = 'BMW'")
+        assert events == ["del", "ins"]
+
+    def test_trigger_table_filtering(self, car_db):
+        fired = []
+        car_db.triggers.register(
+            "t1", "mileage", ChangeKind.INSERT, lambda record: fired.append(record)
+        )
+        car_db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 1)")
+        assert fired == []
+
+    def test_duplicate_name_rejected(self, car_db):
+        car_db.triggers.register("t1", "car", ChangeKind.INSERT, lambda r: None)
+        with pytest.raises(ValueError):
+            car_db.triggers.register("t1", "car", ChangeKind.DELETE, lambda r: None)
+
+    def test_unregister(self, car_db):
+        fired = []
+        car_db.triggers.register(
+            "t1", "car", ChangeKind.INSERT, lambda record: fired.append(record)
+        )
+        car_db.triggers.unregister("t1")
+        car_db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 1)")
+        assert fired == []
+
+    def test_fire_counts(self, car_db):
+        trigger = car_db.triggers.register(
+            "t1", "car", ChangeKind.INSERT, lambda r: None
+        )
+        car_db.execute("INSERT INTO car VALUES ('A', 'B', 1), ('C', 'D', 2)")
+        assert trigger.fire_count == 2
+        assert car_db.triggers.total_fires == 2
+
+    def test_result_reports_triggers_fired(self, car_db):
+        car_db.triggers.register("t1", "car", ChangeKind.INSERT, lambda r: None)
+        result = car_db.execute("INSERT INTO car VALUES ('A', 'B', 1)")
+        assert result.triggers_fired == 1
+
+
+class TestMaterializedViews:
+    def test_initial_fill(self, car_db):
+        manager = MaterializedViewManager(car_db)
+        view = manager.define("cheap", "SELECT model FROM car WHERE price < 21000")
+        assert sorted(view.rows) == [("Civic",), ("Eclipse",)]
+        assert view.change_count == 0
+
+    def test_must_be_select(self, car_db):
+        manager = MaterializedViewManager(car_db)
+        with pytest.raises(CatalogError):
+            manager.define("bad", "DELETE FROM car")
+
+    def test_refresh_on_relevant_insert(self, car_db):
+        manager = MaterializedViewManager(car_db)
+        view = manager.define("cheap", "SELECT model FROM car WHERE price < 21000")
+        car_db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 14000)")
+        assert ("Rio",) in view.rows
+        assert view.change_count == 1
+
+    def test_irrelevant_insert_refreshes_without_change(self, car_db):
+        manager = MaterializedViewManager(car_db)
+        view = manager.define("cheap", "SELECT model FROM car WHERE price < 21000")
+        car_db.execute("INSERT INTO car VALUES ('Rolls', 'Ghost', 400000)")
+        assert view.change_count == 0
+        assert view.refresh_count == 2  # initial + the (no-op) refresh
+
+    def test_unrelated_table_does_not_refresh(self, car_db):
+        manager = MaterializedViewManager(car_db)
+        view = manager.define("cheap", "SELECT model FROM car WHERE price < 21000")
+        car_db.execute("INSERT INTO mileage VALUES ('Ghost', 12)")
+        assert view.refresh_count == 1
+
+    def test_join_view_watches_both_tables(self, car_db):
+        manager = MaterializedViewManager(car_db)
+        view = manager.define(
+            "eff",
+            "SELECT car.model FROM car, mileage "
+            "WHERE car.model = mileage.model AND mileage.epa > 30",
+        )
+        car_db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 14000)")
+        car_db.execute("INSERT INTO mileage VALUES ('Rio', 40)")
+        assert ("Rio",) in view.rows
+        assert view.change_count == 1  # only the mileage insert changed it
+
+    def test_change_listener(self, car_db):
+        manager = MaterializedViewManager(car_db)
+        manager.define("cheap", "SELECT model FROM car WHERE price < 21000")
+        changed = []
+        manager.on_view_change(lambda view: changed.append(view.name))
+        car_db.execute("DELETE FROM car WHERE model = 'Civic'")
+        assert changed == ["cheap"]
+
+    def test_maintenance_work_accumulates(self, car_db):
+        manager = MaterializedViewManager(car_db)
+        view = manager.define("cheap", "SELECT model FROM car WHERE price < 21000")
+        work_before = view.maintenance_work
+        car_db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 14000)")
+        assert view.maintenance_work > work_before
+
+    def test_drop(self, car_db):
+        manager = MaterializedViewManager(car_db)
+        view = manager.define("cheap", "SELECT model FROM car WHERE price < 21000")
+        manager.drop("cheap")
+        car_db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 14000)")
+        assert view.refresh_count == 1
+        with pytest.raises(CatalogError):
+            manager.get("cheap")
+
+    def test_duplicate_name(self, car_db):
+        manager = MaterializedViewManager(car_db)
+        manager.define("v", "SELECT * FROM car")
+        with pytest.raises(CatalogError):
+            manager.define("v", "SELECT * FROM mileage")
+
+    def test_close_detaches(self, car_db):
+        manager = MaterializedViewManager(car_db)
+        view = manager.define("cheap", "SELECT model FROM car WHERE price < 21000")
+        manager.close()
+        car_db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 14000)")
+        assert view.refresh_count == 1

@@ -1,0 +1,153 @@
+"""Tests for the SQL value model."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.db.types import (
+    SortKey,
+    SqlType,
+    coerce,
+    compatible,
+    like_match,
+    sql_compare,
+    sql_equal,
+)
+
+
+class TestCoerce:
+    def test_null_passes_all_types(self):
+        for sql_type in SqlType:
+            assert coerce(None, sql_type) is None
+
+    def test_int(self):
+        assert coerce(5, SqlType.INT) == 5
+
+    def test_bool_to_int(self):
+        assert coerce(True, SqlType.INT) == 1
+        assert coerce(False, SqlType.INT) == 0
+
+    def test_lossless_float_to_int(self):
+        assert coerce(5.0, SqlType.INT) == 5
+
+    def test_lossy_float_to_int_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(5.5, SqlType.INT)
+
+    def test_string_to_int_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("5", SqlType.INT)
+
+    def test_int_widens_to_real(self):
+        result = coerce(5, SqlType.REAL)
+        assert result == 5.0
+        assert isinstance(result, float)
+
+    def test_string_to_real_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("x", SqlType.REAL)
+
+    def test_text(self):
+        assert coerce("hello", SqlType.TEXT) == "hello"
+
+    def test_number_to_text_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(5, SqlType.TEXT)
+
+    def test_from_name(self):
+        assert SqlType.from_name("int") is SqlType.INT
+        assert SqlType.from_name("TEXT") is SqlType.TEXT
+
+    def test_from_bad_name(self):
+        with pytest.raises(TypeMismatchError):
+            SqlType.from_name("BLOB")
+
+
+class TestCompare:
+    def test_null_propagates(self):
+        assert sql_compare(None, 1) is None
+        assert sql_compare(1, None) is None
+        assert sql_compare(None, None) is None
+
+    def test_numeric(self):
+        assert sql_compare(1, 2) == -1
+        assert sql_compare(2, 1) == 1
+        assert sql_compare(2, 2) == 0
+
+    def test_int_float_mix(self):
+        assert sql_compare(1, 1.0) == 0
+        assert sql_compare(1, 1.5) == -1
+
+    def test_strings(self):
+        assert sql_compare("a", "b") == -1
+        assert sql_compare("b", "b") == 0
+
+    def test_cross_type_numbers_first(self):
+        assert sql_compare(999999, "a") == -1
+        assert sql_compare("a", 0) == 1
+
+    def test_sql_equal(self):
+        assert sql_equal(1, 1) is True
+        assert sql_equal(1, 2) is False
+        assert sql_equal(None, 1) is None
+
+    def test_compatible(self):
+        assert compatible(1, 2.0)
+        assert compatible("a", "b")
+        assert compatible(None, "x")
+        assert not compatible(1, "x")
+
+
+class TestSortKey:
+    def test_nulls_first(self):
+        assert SortKey(None) < SortKey(0)
+        assert not (SortKey(0) < SortKey(None))
+
+    def test_null_equals_null(self):
+        assert SortKey(None) == SortKey(None)
+
+    def test_ordering(self):
+        keys = sorted([SortKey(3), SortKey(None), SortKey(1), SortKey("a")])
+        assert keys[0].value is None
+        assert keys[1].value == 1
+        assert keys[-1].value == "a"
+
+
+class TestLike:
+    def test_exact(self):
+        assert like_match("abc", "abc") is True
+        assert like_match("abc", "abd") is False
+
+    def test_percent_suffix(self):
+        assert like_match("Toyota", "To%") is True
+        assert like_match("Honda", "To%") is False
+
+    def test_percent_prefix(self):
+        assert like_match("Toyota", "%ta") is True
+
+    def test_percent_middle(self):
+        assert like_match("Toyota", "T%a") is True
+
+    def test_percent_matches_empty(self):
+        assert like_match("ab", "a%b") is True
+
+    def test_underscore(self):
+        assert like_match("cat", "c_t") is True
+        assert like_match("cart", "c_t") is False
+
+    def test_consecutive_percents(self):
+        assert like_match("abc", "a%%c") is True
+
+    def test_null_propagates(self):
+        assert like_match(None, "a%") is None
+        assert like_match("a", None) is None
+
+    def test_case_sensitive(self):
+        assert like_match("Toyota", "to%") is False
+
+    def test_only_percent(self):
+        assert like_match("", "%") is True
+        assert like_match("anything", "%") is True
+
+    def test_empty_pattern(self):
+        assert like_match("", "") is True
+        assert like_match("a", "") is False

@@ -1,0 +1,54 @@
+"""Shared test helpers (importable from any test module)."""
+
+from __future__ import annotations
+
+from repro.db import Database
+from repro.web import KeySpec, QueryPageServlet
+from repro.web.servlet import QueryBinding
+
+
+def make_car_db() -> Database:
+    """The Car/Mileage database of paper Example 4.1."""
+    db = Database()
+    db.execute("CREATE TABLE car (maker TEXT, model TEXT, price INT)")
+    db.execute("CREATE TABLE mileage (model TEXT, epa INT)")
+    db.execute(
+        "INSERT INTO car VALUES "
+        "('Toyota','Avalon',25000),('Mitsubishi','Eclipse',20000),"
+        "('Honda','Civic',18000),('BMW','M5',72000)"
+    )
+    db.execute(
+        "INSERT INTO mileage VALUES "
+        "('Avalon',28),('Eclipse',25),('Civic',35),('M5',16)"
+    )
+    return db
+
+
+def car_servlets():
+    """Two servlets: a single-table catalog page and a join page."""
+    return [
+        QueryPageServlet(
+            name="catalog",
+            path="/catalog",
+            queries=[
+                (
+                    "SELECT maker, model, price FROM car WHERE price < ?",
+                    [QueryBinding("get", "max_price", int)],
+                )
+            ],
+            key_spec=KeySpec.make(get_keys=["max_price"]),
+        ),
+        QueryPageServlet(
+            name="efficient",
+            path="/efficient",
+            queries=[
+                (
+                    "SELECT car.maker, car.model, mileage.epa "
+                    "FROM car, mileage "
+                    "WHERE car.model = mileage.model AND mileage.epa > ?",
+                    [QueryBinding("get", "min_epa", int)],
+                )
+            ],
+            key_spec=KeySpec.make(get_keys=["min_epa"]),
+        ),
+    ]

@@ -1,0 +1,184 @@
+"""Configuration simulations + the paper's qualitative shape claims.
+
+These tests run the full DES at a reduced duration (fast, same regimes)
+and assert the four shapes the reproduction must preserve:
+
+1. Conf I is an order of magnitude slower than Confs II/III and degrades
+   with update rate (§5.3.1, Table 2 left block).
+2. Conf III beats Conf II in expected response, with the gap growing as
+   updates rise (§5.3.1, "20% less at ~50 updates/s").
+3. Conf III's hit time falls with update rate while Conf II's rises
+   (Table 2 hit columns: 114→73→47 vs 119→145→179).
+4. With a local-DBMS middle-tier cache, Conf II becomes the *worst*
+   option, behind even Conf I (§5.3.2, Table 3).
+"""
+
+import pytest
+
+from repro.sim.configs import (
+    ConfigurationModel,
+    DataCacheMode,
+    simulate_config1,
+    simulate_config2,
+    simulate_config3,
+)
+from repro.sim.runner import ExperimentRunner, run_table2, run_table3
+from repro.sim.workload import NO_UPDATES, UPDATES_5, UPDATES_12
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ConfigurationModel(duration=60.0, warmup=8.0, seed=7)
+
+
+@pytest.fixture(scope="module")
+def results(model):
+    """One simulation per (config, rate); shared across the shape tests."""
+    data = {}
+    for rate in (NO_UPDATES, UPDATES_5, UPDATES_12):
+        data[("c1", rate.total)] = simulate_config1(rate, model)
+        data[("c2", rate.total)] = simulate_config2(
+            rate, model, mode=DataCacheMode.NEGLIGIBLE
+        )
+        data[("c2x", rate.total)] = simulate_config2(
+            rate, model, mode=DataCacheMode.LOCAL_DBMS
+        )
+        data[("c3", rate.total)] = simulate_config3(rate, model)
+    return data
+
+
+class TestBasicSanity:
+    def test_config1_all_misses(self, results):
+        stats = results[("c1", 0)]
+        assert stats.hit_ratio == 0.0
+        assert stats.completed > 500
+
+    def test_config23_hit_ratio_near_seventy_percent(self, results):
+        for key in (("c2", 0), ("c3", 0)):
+            assert results[key].hit_ratio == pytest.approx(0.70, abs=0.05)
+
+    def test_miss_includes_db_time(self, results):
+        stats = results[("c3", 0)]
+        assert stats.miss_db_ms < stats.miss_resp_ms
+
+    def test_deterministic_given_seed(self, model):
+        a = simulate_config3(UPDATES_5, model)
+        b = simulate_config3(UPDATES_5, model)
+        assert a.exp_resp_ms == b.exp_resp_ms
+
+
+class TestShape1ConfigOneCollapses:
+    def test_order_of_magnitude_worse(self, results):
+        c1 = results[("c1", 0)].exp_resp_ms
+        c2 = results[("c2", 0)].exp_resp_ms
+        c3 = results[("c3", 0)].exp_resp_ms
+        assert c1 > 10 * c2
+        assert c1 > 10 * c3
+
+    def test_tens_of_seconds_regime(self, results):
+        assert results[("c1", 0)].exp_resp_ms > 3000
+
+    def test_degrades_with_updates(self, results):
+        assert (
+            results[("c1", 0)].exp_resp_ms
+            < results[("c1", 20)].exp_resp_ms
+            < results[("c1", 48)].exp_resp_ms
+        )
+
+    def test_db_share_substantial(self, results):
+        """Roughly a third of Conf I's time is spent at the DBMS."""
+        stats = results[("c1", 0)]
+        share = stats.miss_db_ms / stats.miss_resp_ms
+        assert 0.15 < share < 0.7
+
+
+class TestShape2ConfThreeWins:
+    def test_conf3_beats_conf2_at_every_rate(self, results):
+        for rate in (0, 20, 48):
+            assert (
+                results[("c3", rate)].exp_resp_ms
+                < results[("c2", rate)].exp_resp_ms
+            )
+
+    def test_gap_grows_with_update_rate(self, results):
+        def gap(rate):
+            c2 = results[("c2", rate)].exp_resp_ms
+            c3 = results[("c3", rate)].exp_resp_ms
+            return (c2 - c3) / c2
+
+        assert gap(48) > gap(0)
+
+    def test_gap_at_high_rate_at_least_ten_percent(self, results):
+        c2 = results[("c2", 48)].exp_resp_ms
+        c3 = results[("c3", 48)].exp_resp_ms
+        assert (c2 - c3) / c2 > 0.10
+
+    def test_conf3_miss_db_below_conf2(self, results):
+        """Less shared-network pressure → cheaper DB access on misses."""
+        for rate in (0, 20, 48):
+            assert (
+                results[("c3", rate)].miss_db_ms
+                <= results[("c2", rate)].miss_db_ms
+            )
+
+
+class TestShape3HitTimeDirections:
+    def test_conf3_hits_fall_with_updates(self, results):
+        assert (
+            results[("c3", 0)].hit_resp_ms
+            > results[("c3", 20)].hit_resp_ms
+            > results[("c3", 48)].hit_resp_ms
+        )
+
+    def test_conf2_hits_rise_with_updates(self, results):
+        assert (
+            results[("c2", 0)].hit_resp_ms
+            < results[("c2", 20)].hit_resp_ms
+            < results[("c2", 48)].hit_resp_ms
+        )
+
+    def test_conf3_hit_beats_conf2_under_heavy_updates(self, results):
+        assert results[("c3", 48)].hit_resp_ms < results[("c2", 48)].hit_resp_ms
+
+
+class TestShape4LocalDbmsCacheIsWorst:
+    def test_conf2_local_dbms_worse_than_conf1(self, results):
+        assert (
+            results[("c2x", 0)].exp_resp_ms > results[("c1", 0)].exp_resp_ms * 0.8
+        )
+
+    def test_conf2_local_dbms_catastrophic_vs_conf3(self, results):
+        assert results[("c2x", 0)].exp_resp_ms > 10 * results[("c3", 0)].exp_resp_ms
+
+    def test_hits_slower_than_misses_would_suggest(self, results):
+        """§5.3.2: the race for cache resources makes even hits slow."""
+        stats = results[("c2x", 0)]
+        assert stats.hit_resp_ms > 1000
+
+    def test_table2_variant_unaffected(self, results):
+        """The NEGLIGIBLE mode keeps Conf II competitive — the contrast
+        between Tables 2 and 3 is entirely the cache-access cost."""
+        assert results[("c2", 0)].exp_resp_ms < results[("c2x", 0)].exp_resp_ms / 10
+
+
+class TestRunner:
+    def test_table2_rows(self, model):
+        rows = ExperimentRunner(model).table2()
+        assert len(rows) == 9
+        labels = {row.configuration for row in rows}
+        assert labels == {"Conf I", "Conf II", "Conf III"}
+
+    def test_table3_rows(self, model):
+        rows = ExperimentRunner(model).table3()
+        assert len(rows) == 9
+
+    def test_conf1_has_no_hit_column(self, model):
+        rows = ExperimentRunner(model).table2()
+        conf1 = [row for row in rows if row.configuration == "Conf I"]
+        assert all(row.hit_resp_ms is None for row in conf1)
+
+    def test_run_table_helpers(self, model, capsys):
+        run_table2(model)
+        output = capsys.readouterr().out
+        assert "Table 2" in output
+        assert output.count("Conf") >= 9

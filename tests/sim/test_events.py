@@ -1,0 +1,160 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Simulator
+
+
+class TestTimeouts:
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        times = []
+
+        def proc():
+            yield sim.timeout(5.0)
+            times.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert times == [5.0]
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_zero_timeout_fires_immediately(self):
+        sim = Simulator()
+        fired = []
+
+        def proc():
+            yield sim.timeout(0.0)
+            fired.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert fired == [0.0]
+
+    def test_fifo_order_at_same_instant(self):
+        sim = Simulator()
+        order = []
+
+        def proc(tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        sim.process(proc("a"))
+        sim.process(proc("b"))
+        sim.run()
+        assert order == ["a", "b"]
+
+
+class TestRunControl:
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(100.0)
+
+        sim.process(proc())
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+        assert sim.pending == 1
+
+    def test_run_until_with_empty_heap_sets_time(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_step(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+            yield sim.timeout(1.0)
+
+        sim.process(proc())
+        assert sim.step()  # start the process
+        assert sim.step()  # first timeout
+        assert sim.now == 1.0
+
+
+class TestEvents:
+    def test_manual_event(self):
+        sim = Simulator()
+        event = sim.event()
+        got = []
+
+        def waiter():
+            value = yield event
+            got.append(value)
+
+        def firer():
+            yield sim.timeout(3.0)
+            event.succeed("payload")
+
+        sim.process(waiter())
+        sim.process(firer())
+        sim.run()
+        assert got == ["payload"]
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_wait_on_already_triggered_event(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed("x")
+        got = []
+
+        def waiter():
+            value = yield event
+            got.append(value)
+
+        sim.process(waiter())
+        sim.run()
+        assert got == ["x"]
+
+    def test_process_is_an_event(self):
+        sim = Simulator()
+        results = []
+
+        def child():
+            yield sim.timeout(2.0)
+            return "done"
+
+        def parent():
+            value = yield sim.process(child())
+            results.append((sim.now, value))
+
+        sim.process(parent())
+        sim.run()
+        assert results == [(2.0, "done")]
+
+    def test_yielding_non_event_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_many_processes(self):
+        sim = Simulator()
+        done = []
+
+        def proc(i):
+            yield sim.timeout(float(i))
+            done.append(i)
+
+        for i in range(100):
+            sim.process(proc(i))
+        sim.run()
+        assert done == list(range(100))

@@ -1,0 +1,54 @@
+"""Tests for the percentile extensions to ResponseStats."""
+
+import pytest
+
+from repro.sim.metrics import ResponseStats
+from repro.sim.workload import PageClass
+
+
+def stats_with(values, hits=None):
+    stats = ResponseStats(warmup=0.0)
+    for index, value in enumerate(values):
+        hit = hits[index] if hits is not None else False
+        stats.record(1.0 + index, PageClass.LIGHT, hit, value, 0.0)
+    return stats
+
+
+class TestPercentiles:
+    def test_median_odd(self):
+        stats = stats_with([0.1, 0.2, 0.3])
+        assert stats.p50_ms == pytest.approx(200.0)
+
+    def test_median_interpolated(self):
+        stats = stats_with([0.1, 0.2, 0.3, 0.4])
+        assert stats.p50_ms == pytest.approx(250.0)
+
+    def test_p95(self):
+        values = [i / 100 for i in range(1, 101)]
+        stats = stats_with(values)
+        assert stats.p95_ms == pytest.approx(950.5, abs=1.0)
+
+    def test_percentile_ordering(self):
+        stats = stats_with([0.05, 0.5, 0.1, 0.9, 0.2])
+        assert stats.percentile_ms(10) <= stats.p50_ms <= stats.p95_ms
+
+    def test_filtered_by_hits(self):
+        stats = stats_with([0.1, 1.0, 0.2, 2.0], hits=[True, False, True, False])
+        assert stats.percentile_ms(50, hits=True) == pytest.approx(150.0)
+        assert stats.percentile_ms(50, hits=False) == pytest.approx(1500.0)
+
+    def test_empty_returns_none(self):
+        assert ResponseStats().p50_ms is None
+        assert stats_with([0.1]).percentile_ms(50, hits=True) is None
+
+    def test_invalid_quantile(self):
+        stats = stats_with([0.1])
+        with pytest.raises(ValueError):
+            stats.percentile_ms(0.0)
+        with pytest.raises(ValueError):
+            stats.percentile_ms(100.0)
+
+    def test_single_sample(self):
+        stats = stats_with([0.25])
+        assert stats.p50_ms == pytest.approx(250.0)
+        assert stats.p95_ms == pytest.approx(250.0)

@@ -1,0 +1,169 @@
+"""Tests for queueing resources and stations."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Simulator
+from repro.sim.resources import Resource, Station
+
+
+class TestResource:
+    def test_capacity_respected(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        log = []
+
+        def proc(tag, hold):
+            yield resource.acquire()
+            log.append((tag, "in", sim.now))
+            yield sim.timeout(hold)
+            resource.release()
+            log.append((tag, "out", sim.now))
+
+        sim.process(proc("a", 5.0))
+        sim.process(proc("b", 5.0))
+        sim.run()
+        assert ("b", "in", 5.0) in log  # b waited for a
+
+    def test_fifo_grant_order(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        grants = []
+
+        def proc(tag):
+            yield resource.acquire()
+            grants.append(tag)
+            yield sim.timeout(1.0)
+            resource.release()
+
+        for tag in "abc":
+            sim.process(proc(tag))
+        sim.run()
+        assert grants == ["a", "b", "c"]
+
+    def test_parallel_capacity(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=2)
+        done = []
+
+        def proc(tag):
+            yield resource.acquire()
+            yield sim.timeout(5.0)
+            resource.release()
+            done.append((tag, sim.now))
+
+        for tag in "abc":
+            sim.process(proc(tag))
+        sim.run()
+        assert done == [("a", 5.0), ("b", 5.0), ("c", 10.0)]
+
+    def test_release_idle_raises(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_bad_capacity(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), capacity=0)
+
+    def test_utilization_tracking(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+
+        def proc():
+            yield resource.acquire()
+            yield sim.timeout(5.0)
+            resource.release()
+
+        sim.process(proc())
+        sim.run(until=10.0)
+        assert resource.utilization() == pytest.approx(0.5)
+
+    def test_queue_length(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+
+        def holder():
+            yield resource.acquire()
+            yield sim.timeout(10.0)
+            resource.release()
+
+        def waiter():
+            yield resource.acquire()
+            resource.release()
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.run(until=5.0)
+        assert resource.queue_length == 1
+
+
+class TestStation:
+    def test_serve_returns_sojourn(self):
+        sim = Simulator()
+        station = Station(sim, capacity=1)
+        sojourns = []
+
+        def proc():
+            sojourn = yield from station.serve(2.0)
+            sojourns.append(sojourn)
+
+        sim.process(proc())
+        sim.run()
+        assert sojourns == [2.0]
+
+    def test_sojourn_includes_queueing(self):
+        sim = Simulator()
+        station = Station(sim, capacity=1)
+        sojourns = {}
+
+        def proc(tag):
+            sojourn = yield from station.serve(3.0)
+            sojourns[tag] = sojourn
+
+        sim.process(proc("a"))
+        sim.process(proc("b"))
+        sim.run()
+        assert sojourns["a"] == 3.0
+        assert sojourns["b"] == 6.0  # 3 waiting + 3 service
+
+    def test_stats(self):
+        sim = Simulator()
+        station = Station(sim, capacity=1)
+
+        def proc():
+            yield from station.serve(1.0)
+            yield from station.serve(2.0)
+
+        sim.process(proc())
+        sim.run()
+        assert station.jobs_completed == 2
+        assert station.total_service == 3.0
+        assert station.mean_sojourn == 1.5
+
+    def test_mean_sojourn_empty(self):
+        assert Station(Simulator(), 1).mean_sojourn == 0.0
+
+    def test_mm1_queueing_delay_grows_with_load(self):
+        """Sanity: higher arrival rate → larger mean sojourn (queueing)."""
+
+        def run(interarrival):
+            sim = Simulator()
+            station = Station(sim, capacity=1)
+
+            def arrivals():
+                for _ in range(200):
+                    sim.process(one())
+                    yield sim.timeout(interarrival)
+
+            def one():
+                yield from station.serve(0.09)
+
+            sim.process(arrivals())
+            sim.run()
+            return station.mean_sojourn
+
+        lightly_loaded = run(interarrival=0.5)
+        heavily_loaded = run(interarrival=0.08)  # arrival rate > service rate
+        assert heavily_loaded > lightly_loaded

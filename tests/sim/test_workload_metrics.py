@@ -1,0 +1,184 @@
+"""Tests for workload generators, the cost model, and metrics."""
+
+import pytest
+
+from repro.db import Database
+from repro.sim.latency import CostModel
+from repro.sim.metrics import ResponseStats, TableRow
+from repro.sim.workload import (
+    HEAVY_QUERY,
+    LIGHT_QUERY,
+    MEDIUM_QUERY,
+    NO_UPDATES,
+    PAPER_UPDATE_RATES,
+    UPDATES_5,
+    UPDATES_12,
+    PageClass,
+    RequestGenerator,
+    UpdateGenerator,
+    UpdateRate,
+    build_paper_schema_sql,
+)
+
+
+class TestRequestGenerator:
+    def test_rate_approximated(self):
+        arrivals = RequestGenerator(rate_per_class=10.0, duration=60.0, seed=1).arrivals()
+        # 3 classes x 10/s x 60s = 1800 expected
+        assert 1500 < len(arrivals) < 2100
+
+    def test_class_mix_balanced(self):
+        arrivals = RequestGenerator(duration=60.0, seed=2).arrivals()
+        counts = {page_class: 0 for page_class in PageClass}
+        for arrival in arrivals:
+            counts[arrival.page_class] += 1
+        for count in counts.values():
+            assert 450 < count < 750
+
+    def test_time_ordered_and_bounded(self):
+        arrivals = RequestGenerator(duration=30.0, seed=3).arrivals()
+        times = [arrival.at for arrival in arrivals]
+        assert times == sorted(times)
+        assert all(0 <= at < 30.0 for at in times)
+
+    def test_deterministic_given_seed(self):
+        a = RequestGenerator(duration=10.0, seed=4).arrivals()
+        b = RequestGenerator(duration=10.0, seed=4).arrivals()
+        assert a == b
+        c = RequestGenerator(duration=10.0, seed=5).arrivals()
+        assert a != c
+
+
+class TestUpdateGenerator:
+    def test_no_updates(self):
+        assert UpdateGenerator(NO_UPDATES, duration=60.0).arrivals() == []
+
+    def test_rate_scales(self):
+        light = UpdateGenerator(UPDATES_5, duration=60.0, seed=1).arrivals()
+        heavy = UpdateGenerator(UPDATES_12, duration=60.0, seed=1).arrivals()
+        assert len(heavy) > len(light) * 1.8
+
+    def test_streams_cover_both_tables_and_kinds(self):
+        arrivals = UpdateGenerator(UPDATES_5, duration=60.0, seed=1).arrivals()
+        combos = {(a.table_index, a.is_insert) for a in arrivals}
+        assert combos == {(1, True), (1, False), (2, True), (2, False)}
+
+    def test_update_rate_labels(self):
+        assert NO_UPDATES.label() == "No Updates"
+        assert UPDATES_5.label() == "<5, 5, 5, 5>"
+        assert UPDATES_12.total == 48
+
+    def test_paper_rates_tuple(self):
+        assert len(PAPER_UPDATE_RATES) == 3
+
+
+class TestPaperSchema:
+    def test_schema_builds_and_queries_run(self):
+        db = Database()
+        for statement in build_paper_schema_sql(small_rows=50, large_rows=250):
+            db.execute(statement)
+        assert db.query("SELECT COUNT(*) FROM small_items") == [(50,)]
+        assert db.query("SELECT COUNT(*) FROM large_items") == [(250,)]
+
+    def test_selectivity_point_one(self):
+        db = Database()
+        for statement in build_paper_schema_sql(small_rows=500, large_rows=2500):
+            db.execute(statement)
+        light = db.query(LIGHT_QUERY, (3,))
+        assert len(light) == 50  # 10% of 500
+        medium = db.query(MEDIUM_QUERY, (3,))
+        assert len(medium) == 250  # 10% of 2500
+
+    def test_join_attribute_ten_values(self):
+        db = Database()
+        for statement in build_paper_schema_sql(small_rows=100, large_rows=100):
+            db.execute(statement)
+        values = db.query("SELECT DISTINCT join_attr FROM small_items")
+        assert len(values) == 10
+
+    def test_heavy_query_is_heavier(self):
+        db = Database()
+        for statement in build_paper_schema_sql(small_rows=100, large_rows=500):
+            db.execute(statement)
+        light = db.execute(LIGHT_QUERY, (1,))
+        heavy = db.execute(HEAVY_QUERY, (1,))
+        assert heavy.work_units > light.work_units
+
+
+class TestCostModel:
+    def test_page_class_ordering(self):
+        cost = CostModel()
+        assert (
+            cost.db_query_time[PageClass.LIGHT]
+            < cost.db_query_time[PageClass.MEDIUM]
+            < cost.db_query_time[PageClass.HEAVY]
+        )
+
+    def test_colocation_slows_db(self):
+        cost = CostModel()
+        assert cost.db_time(PageClass.LIGHT, colocated=True) > cost.db_time(
+            PageClass.LIGHT, colocated=False
+        )
+        assert cost.update_time(True) > cost.update_time(False)
+
+    def test_hit_shrink_monotone(self):
+        cost = CostModel()
+        t0 = cost.cache_hit_time(PageClass.HEAVY, 0)
+        t20 = cost.cache_hit_time(PageClass.HEAVY, 20)
+        t48 = cost.cache_hit_time(PageClass.HEAVY, 48)
+        assert t0 > t20 > t48
+
+    def test_no_updates_no_shrink(self):
+        cost = CostModel()
+        assert cost.cache_hit_time(PageClass.LIGHT, 0) == pytest.approx(
+            cost.web_cache_hit_time[PageClass.LIGHT]
+        )
+
+
+class TestResponseStats:
+    def make(self):
+        stats = ResponseStats(warmup=5.0)
+        stats.record(10.0, PageClass.LIGHT, hit=True, response=0.020, db_time=0.0)
+        stats.record(11.0, PageClass.HEAVY, hit=False, response=0.500, db_time=0.400)
+        stats.record(12.0, PageClass.MEDIUM, hit=True, response=0.040, db_time=0.0)
+        return stats
+
+    def test_warmup_discarded(self):
+        stats = ResponseStats(warmup=5.0)
+        stats.record(1.0, PageClass.LIGHT, True, 1.0, 0.0)
+        assert stats.completed == 0
+
+    def test_aggregates_in_ms(self):
+        stats = self.make()
+        assert stats.hit_resp_ms == pytest.approx(30.0)
+        assert stats.miss_resp_ms == pytest.approx(500.0)
+        assert stats.miss_db_ms == pytest.approx(400.0)
+        assert stats.exp_resp_ms == pytest.approx((20 + 500 + 40) / 3)
+
+    def test_hit_ratio(self):
+        assert self.make().hit_ratio == pytest.approx(2 / 3)
+
+    def test_empty_aggregates_none(self):
+        stats = ResponseStats()
+        assert stats.miss_db_ms is None
+        assert stats.hit_resp_ms is None
+        assert stats.hit_ratio == 0.0
+
+    def test_breakdown(self):
+        stats = self.make()
+        hits = stats.breakdown(hits=True)
+        assert hits.counts[PageClass.LIGHT] == 1
+        assert hits.counts[PageClass.HEAVY] == 0
+        assert hits.means[PageClass.MEDIUM] == pytest.approx(40.0)
+
+    def test_table_row_rendering(self):
+        row = TableRow.from_stats("Conf X", "No Updates", self.make())
+        text = row.render()
+        assert "Conf X" in text
+        assert "hit=" in text
+
+    def test_table_row_na_for_missing(self):
+        stats = ResponseStats(warmup=0.0)
+        stats.record(1.0, PageClass.LIGHT, hit=False, response=1.0, db_time=0.5)
+        row = TableRow.from_stats("Conf I", "No Updates", stats)
+        assert "N/A" in row.render()

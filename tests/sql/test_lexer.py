@@ -1,0 +1,147 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import Token, TokenKind
+
+
+def kinds(sql):
+    return [token.kind for token in tokenize(sql)]
+
+
+def values(sql):
+    return [token.value for token in tokenize(sql)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_whitespace_only_yields_eof(self):
+        tokens = tokenize("   \n\t  ")
+        assert [t.kind for t in tokens] == [TokenKind.EOF]
+
+    def test_keywords_are_uppercased(self):
+        assert values("select from where") == ["SELECT", "FROM", "WHERE"]
+
+    def test_keywords_case_insensitive(self):
+        assert values("SeLeCt") == ["SELECT"]
+        assert tokenize("SeLeCt")[0].kind is TokenKind.KEYWORD
+
+    def test_identifier_preserves_case(self):
+        tokens = tokenize("CarTable")
+        assert tokens[0].kind is TokenKind.IDENTIFIER
+        assert tokens[0].value == "CarTable"
+
+    def test_identifier_with_underscore_and_digits(self):
+        tokens = tokenize("tab_1x")
+        assert tokens[0].value == "tab_1x"
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"order"')
+        assert tokens[0].kind is TokenKind.IDENTIFIER
+        assert tokens[0].value == "order"
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(LexerError):
+            tokenize('"broken')
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert tokenize("42")[0].value == "42"
+        assert tokenize("42")[0].kind is TokenKind.NUMBER
+
+    def test_float(self):
+        assert tokenize("3.14")[0].value == "3.14"
+
+    def test_scientific_notation(self):
+        assert tokenize("1e6")[0].value == "1e6"
+        assert tokenize("2.5E-3")[0].value == "2.5E-3"
+
+    def test_dot_without_digits_is_punct(self):
+        tokens = tokenize("a.b")
+        assert [t.kind for t in tokens[:3]] == [
+            TokenKind.IDENTIFIER,
+            TokenKind.PUNCT,
+            TokenKind.IDENTIFIER,
+        ]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        tokens = tokenize("'hello'")
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].value == "hello"
+
+    def test_escaped_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].value == ""
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexerError) as exc:
+            tokenize("'oops")
+        assert exc.value.position == 0
+
+
+class TestOperatorsAndParameters:
+    @pytest.mark.parametrize("op", ["<>", "<=", ">=", "!=", "||"])
+    def test_multi_char_operators(self, op):
+        tokens = tokenize(f"a {op} b")
+        assert tokens[1].kind is TokenKind.OPERATOR
+        assert tokens[1].value == op
+
+    def test_less_equal_not_split(self):
+        tokens = tokenize("a<=b")
+        assert tokens[1].value == "<="
+
+    def test_positional_parameter(self):
+        tokens = tokenize("$12")
+        assert tokens[0].kind is TokenKind.PARAMETER
+        assert tokens[0].value == "$12"
+
+    def test_anonymous_parameter(self):
+        assert tokenize("?")[0].kind is TokenKind.PARAMETER
+
+    def test_dollar_without_digits_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("$x")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError):
+            tokenize("@")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("select -- comment\n 1") == ["SELECT", "1"]
+
+    def test_line_comment_at_eof(self):
+        assert values("select 1 -- done") == ["SELECT", "1"]
+
+    def test_block_comment(self):
+        assert values("select /* hi */ 1") == ["SELECT", "1"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("select /* nope")
+
+
+class TestPositions:
+    def test_positions_recorded(self):
+        tokens = tokenize("select x")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_token_matches_helper(self):
+        token = Token(TokenKind.KEYWORD, "SELECT", 0)
+        assert token.matches(TokenKind.KEYWORD)
+        assert token.matches(TokenKind.KEYWORD, "SELECT")
+        assert not token.matches(TokenKind.KEYWORD, "FROM")
+        assert not token.matches(TokenKind.IDENTIFIER)

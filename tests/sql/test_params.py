@@ -1,0 +1,129 @@
+"""Tests for query parameterization and binding (query-type discovery)."""
+
+import pytest
+
+from repro.errors import ExecutionError, SQLError
+from repro.sql import ast
+from repro.sql.params import bind_parameters, parameterize
+from repro.sql.parser import parse_statement
+from repro.sql.printer import to_sql
+
+
+class TestParameterize:
+    def test_single_constant_lifted(self):
+        stmt = parse_statement("SELECT * FROM car WHERE price < 20000")
+        result = parameterize(stmt)
+        assert result.bindings == (20000,)
+        assert "$1" in result.signature
+        assert "20000" not in result.signature
+
+    def test_multiple_constants_ordered(self):
+        stmt = parse_statement(
+            "SELECT * FROM car WHERE price < 20000 AND maker = 'Toyota'"
+        )
+        result = parameterize(stmt)
+        assert result.bindings == (20000, "Toyota")
+        assert "$1" in result.signature and "$2" in result.signature
+
+    def test_same_type_for_different_instances(self):
+        """The core property: instances differing only in constants share a
+        signature (paper §4.1.2)."""
+        a = parameterize(parse_statement("SELECT * FROM car WHERE price < 100"))
+        b = parameterize(parse_statement("SELECT * FROM car WHERE price < 999"))
+        assert a.signature == b.signature
+        assert a.bindings != b.bindings
+
+    def test_different_structure_different_signature(self):
+        a = parameterize(parse_statement("SELECT * FROM car WHERE price < 100"))
+        b = parameterize(parse_statement("SELECT * FROM car WHERE price > 100"))
+        assert a.signature != b.signature
+
+    def test_select_list_constants_not_lifted(self):
+        stmt = parse_statement("SELECT 42, maker FROM car WHERE price < 10")
+        result = parameterize(stmt)
+        assert result.bindings == (10,)
+        assert "42" in result.signature
+
+    def test_join_on_constants_lifted(self):
+        stmt = parse_statement(
+            "SELECT * FROM a JOIN b ON a.x = b.y AND a.k = 5"
+        )
+        result = parameterize(stmt)
+        assert result.bindings == (5,)
+
+    def test_in_list_constants_lifted(self):
+        stmt = parse_statement("SELECT * FROM t WHERE x IN (1, 2, 3)")
+        result = parameterize(stmt)
+        assert result.bindings == (1, 2, 3)
+
+    def test_between_constants_lifted(self):
+        stmt = parse_statement("SELECT * FROM t WHERE x BETWEEN 10 AND 20")
+        assert parameterize(stmt).bindings == (10, 20)
+
+    def test_having_constants_lifted(self):
+        stmt = parse_statement(
+            "SELECT maker FROM car GROUP BY maker HAVING COUNT(*) > 3"
+        )
+        assert parameterize(stmt).bindings == (3,)
+
+    def test_no_constants(self):
+        stmt = parse_statement("SELECT * FROM car WHERE a = b")
+        result = parameterize(stmt)
+        assert result.bindings == ()
+        assert result.template == stmt
+
+    def test_template_round_trips_through_printer(self):
+        stmt = parse_statement("SELECT * FROM car WHERE price < 20000")
+        result = parameterize(stmt)
+        assert parse_statement(result.signature) == result.template
+
+
+class TestBindParameters:
+    def test_bind_positional(self):
+        stmt = parse_statement("SELECT * FROM car WHERE price < $1")
+        bound = bind_parameters(stmt, (20000,))
+        assert bound.where.right == ast.Literal(20000)
+
+    def test_bind_anonymous_in_order(self):
+        stmt = parse_statement("SELECT * FROM car WHERE price < ? AND maker = ?")
+        bound = bind_parameters(stmt, (100, "Kia"))
+        assert "100" in to_sql(bound)
+        assert "'Kia'" in to_sql(bound)
+
+    def test_bind_reuses_positional_index(self):
+        stmt = parse_statement("SELECT * FROM t WHERE a = $1 OR b = $1")
+        bound = bind_parameters(stmt, ("x",))
+        assert to_sql(bound).count("'x'") == 2
+
+    def test_parameterize_then_bind_is_identity(self):
+        original = parse_statement(
+            "SELECT * FROM car WHERE price < 20000 AND maker = 'Toyota'"
+        )
+        result = parameterize(original)
+        restored = bind_parameters(result.template, result.bindings)
+        assert restored == original
+
+    def test_missing_binding_raises(self):
+        stmt = parse_statement("SELECT * FROM t WHERE a = $2")
+        with pytest.raises(ExecutionError):
+            bind_parameters(stmt, ("only-one",))
+
+    def test_bind_insert(self):
+        stmt = parse_statement("INSERT INTO car VALUES (?, ?, ?)")
+        bound = bind_parameters(stmt, ("Kia", "Rio", 14000))
+        assert bound.rows[0][2] == ast.Literal(14000)
+
+    def test_bind_update(self):
+        stmt = parse_statement("UPDATE car SET price = ? WHERE model = ?")
+        bound = bind_parameters(stmt, (9999, "Rio"))
+        assert bound.assignments[0][1] == ast.Literal(9999)
+
+    def test_bind_delete(self):
+        stmt = parse_statement("DELETE FROM car WHERE model = ?")
+        bound = bind_parameters(stmt, ("Rio",))
+        assert bound.where.right == ast.Literal("Rio")
+
+    def test_bind_ddl_rejected(self):
+        stmt = parse_statement("CREATE TABLE t (x INT)")
+        with pytest.raises(SQLError):
+            bind_parameters(stmt, ())

@@ -1,0 +1,365 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.parser import parse_expression, parse_statement
+
+
+class TestSelectBasics:
+    def test_select_star(self):
+        stmt = parse_statement("SELECT * FROM car")
+        assert isinstance(stmt, ast.Select)
+        assert isinstance(stmt.items[0].expr, ast.Star)
+        assert stmt.sources == (ast.TableRef("car"),)
+
+    def test_select_columns(self):
+        stmt = parse_statement("SELECT maker, model FROM car")
+        assert [item.expr.column for item in stmt.items] == ["maker", "model"]
+
+    def test_qualified_column(self):
+        stmt = parse_statement("SELECT car.maker FROM car")
+        expr = stmt.items[0].expr
+        assert expr == ast.ColumnRef("maker", table="car")
+
+    def test_table_star(self):
+        stmt = parse_statement("SELECT car.* FROM car, mileage")
+        assert stmt.items[0].expr == ast.Star(table="car")
+
+    def test_alias_with_as(self):
+        stmt = parse_statement("SELECT price AS p FROM car")
+        assert stmt.items[0].alias == "p"
+
+    def test_alias_without_as(self):
+        stmt = parse_statement("SELECT price p FROM car")
+        assert stmt.items[0].alias == "p"
+
+    def test_table_alias(self):
+        stmt = parse_statement("SELECT c.maker FROM car AS c")
+        assert stmt.sources[0] == ast.TableRef("car", alias="c")
+
+    def test_table_alias_without_as(self):
+        stmt = parse_statement("SELECT c.maker FROM car c")
+        assert stmt.sources[0].alias == "c"
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT maker FROM car").distinct
+        assert not parse_statement("SELECT ALL maker FROM car").distinct
+
+    def test_sourceless_select(self):
+        stmt = parse_statement("SELECT 1")
+        assert stmt.sources == ()
+        assert stmt.items[0].expr == ast.Literal(1)
+
+    def test_trailing_semicolon(self):
+        parse_statement("SELECT 1;")
+
+    def test_garbage_after_statement(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT 1 SELECT 2")
+
+
+class TestWhereClauses:
+    def test_comparison(self):
+        stmt = parse_statement("SELECT * FROM car WHERE price < 20000")
+        assert stmt.where == ast.Binary(
+            ast.BinaryOp.LT, ast.ColumnRef("price"), ast.Literal(20000)
+        )
+
+    def test_and_or_precedence(self):
+        stmt = parse_statement("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        # OR binds loosest: a=1 OR (b=2 AND c=3)
+        assert stmt.where.op is ast.BinaryOp.OR
+        assert stmt.where.right.op is ast.BinaryOp.AND
+
+    def test_parenthesized_or(self):
+        stmt = parse_statement("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert stmt.where.op is ast.BinaryOp.AND
+        assert stmt.where.left.op is ast.BinaryOp.OR
+
+    def test_not(self):
+        stmt = parse_statement("SELECT * FROM t WHERE NOT a = 1")
+        assert isinstance(stmt.where, ast.Unary)
+        assert stmt.where.op is ast.UnaryOp.NOT
+
+    def test_between(self):
+        stmt = parse_statement("SELECT * FROM t WHERE x BETWEEN 1 AND 5")
+        assert stmt.where == ast.Between(
+            ast.ColumnRef("x"), ast.Literal(1), ast.Literal(5)
+        )
+
+    def test_not_between(self):
+        stmt = parse_statement("SELECT * FROM t WHERE x NOT BETWEEN 1 AND 5")
+        assert stmt.where.negated
+
+    def test_in_list(self):
+        stmt = parse_statement("SELECT * FROM t WHERE x IN (1, 2, 3)")
+        assert isinstance(stmt.where, ast.InList)
+        assert len(stmt.where.items) == 3
+
+    def test_not_in(self):
+        stmt = parse_statement("SELECT * FROM t WHERE x NOT IN ('a')")
+        assert stmt.where.negated
+
+    def test_like(self):
+        stmt = parse_statement("SELECT * FROM t WHERE name LIKE 'To%'")
+        assert stmt.where.op is ast.BinaryOp.LIKE
+
+    def test_not_like(self):
+        stmt = parse_statement("SELECT * FROM t WHERE name NOT LIKE 'To%'")
+        assert isinstance(stmt.where, ast.Unary)
+
+    def test_is_null(self):
+        stmt = parse_statement("SELECT * FROM t WHERE x IS NULL")
+        assert stmt.where == ast.IsNull(ast.ColumnRef("x"))
+
+    def test_is_not_null(self):
+        stmt = parse_statement("SELECT * FROM t WHERE x IS NOT NULL")
+        assert stmt.where.negated
+
+    def test_between_binds_tighter_than_and(self):
+        stmt = parse_statement("SELECT * FROM t WHERE x BETWEEN 1 AND 5 AND y = 2")
+        assert stmt.where.op is ast.BinaryOp.AND
+        assert isinstance(stmt.where.left, ast.Between)
+
+
+class TestArithmetic:
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op is ast.BinaryOp.ADD
+        assert expr.right.op is ast.BinaryOp.MUL
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op is ast.BinaryOp.MUL
+
+    def test_unary_minus(self):
+        expr = parse_expression("-5")
+        assert expr == ast.Unary(ast.UnaryOp.NEG, ast.Literal(5))
+
+    def test_concat(self):
+        expr = parse_expression("a || 'x'")
+        assert expr.op is ast.BinaryOp.CONCAT
+
+    def test_modulo(self):
+        expr = parse_expression("x % 10")
+        assert expr.op is ast.BinaryOp.MOD
+
+
+class TestLiteralsAndParameters:
+    def test_null_true_false(self):
+        assert parse_expression("NULL") == ast.Literal(None)
+        assert parse_expression("TRUE") == ast.Literal(True)
+        assert parse_expression("FALSE") == ast.Literal(False)
+
+    def test_float_literal(self):
+        assert parse_expression("2.5") == ast.Literal(2.5)
+
+    def test_positional_parameter(self):
+        assert parse_expression("$3") == ast.Parameter(3)
+
+    def test_anonymous_parameter(self):
+        assert parse_expression("?") == ast.Parameter(None)
+
+    def test_string_literal(self):
+        assert parse_expression("'Toyota'") == ast.Literal("Toyota")
+
+
+class TestFunctions:
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert expr == ast.FunctionCall("COUNT", (ast.Star(),))
+
+    def test_count_distinct(self):
+        expr = parse_expression("COUNT(DISTINCT maker)")
+        assert expr.distinct
+
+    @pytest.mark.parametrize("name", ["SUM", "AVG", "MIN", "MAX"])
+    def test_aggregates(self, name):
+        expr = parse_expression(f"{name}(price)")
+        assert expr.name == name
+        assert expr.is_aggregate
+
+    def test_scalar_function(self):
+        expr = parse_expression("length(name)")
+        assert expr.name == "LENGTH"
+        assert not expr.is_aggregate
+
+    def test_case_expression(self):
+        expr = parse_expression("CASE WHEN x > 0 THEN 'pos' ELSE 'neg' END")
+        assert isinstance(expr, ast.Case)
+        assert len(expr.whens) == 1
+        assert expr.default == ast.Literal("neg")
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_expression("CASE ELSE 1 END")
+
+
+class TestJoins:
+    def test_comma_join(self):
+        stmt = parse_statement("SELECT * FROM a, b")
+        assert len(stmt.sources) == 2
+
+    def test_inner_join(self):
+        stmt = parse_statement("SELECT * FROM a JOIN b ON a.x = b.y")
+        join = stmt.sources[0]
+        assert isinstance(join, ast.Join)
+        assert join.kind is ast.JoinKind.INNER
+        assert join.on is not None
+
+    def test_inner_keyword(self):
+        stmt = parse_statement("SELECT * FROM a INNER JOIN b ON a.x = b.y")
+        assert stmt.sources[0].kind is ast.JoinKind.INNER
+
+    def test_left_join(self):
+        stmt = parse_statement("SELECT * FROM a LEFT JOIN b ON a.x = b.y")
+        assert stmt.sources[0].kind is ast.JoinKind.LEFT
+
+    def test_left_outer_join(self):
+        stmt = parse_statement("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y")
+        assert stmt.sources[0].kind is ast.JoinKind.LEFT
+
+    def test_cross_join(self):
+        stmt = parse_statement("SELECT * FROM a CROSS JOIN b")
+        assert stmt.sources[0].kind is ast.JoinKind.CROSS
+        assert stmt.sources[0].on is None
+
+    def test_chained_joins(self):
+        stmt = parse_statement(
+            "SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y"
+        )
+        outer = stmt.sources[0]
+        assert isinstance(outer.left, ast.Join)
+        assert isinstance(outer.right, ast.TableRef)
+
+
+class TestGroupOrderLimit:
+    def test_group_by(self):
+        stmt = parse_statement("SELECT maker, COUNT(*) FROM car GROUP BY maker")
+        assert stmt.group_by == (ast.ColumnRef("maker"),)
+
+    def test_having(self):
+        stmt = parse_statement(
+            "SELECT maker FROM car GROUP BY maker HAVING COUNT(*) > 2"
+        )
+        assert stmt.having is not None
+
+    def test_order_by_asc_desc(self):
+        stmt = parse_statement("SELECT * FROM car ORDER BY price DESC, maker ASC")
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+
+    def test_limit(self):
+        stmt = parse_statement("SELECT * FROM car LIMIT 10")
+        assert stmt.limit == 10
+        assert stmt.offset is None
+
+    def test_limit_offset(self):
+        stmt = parse_statement("SELECT * FROM car LIMIT 10 OFFSET 5")
+        assert stmt.offset == 5
+
+
+class TestDML:
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO car VALUES ('Kia', 'Rio', 14000)")
+        assert isinstance(stmt, ast.Insert)
+        assert stmt.columns == ()
+        assert len(stmt.rows) == 1
+
+    def test_insert_with_columns(self):
+        stmt = parse_statement("INSERT INTO car (maker, model) VALUES ('Kia', 'Rio')")
+        assert stmt.columns == ("maker", "model")
+
+    def test_insert_multiple_rows(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1), (2), (3)")
+        assert len(stmt.rows) == 3
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE car SET price = 1000 WHERE maker = 'Kia'")
+        assert isinstance(stmt, ast.Update)
+        assert stmt.assignments[0][0] == "price"
+        assert stmt.where is not None
+
+    def test_update_multiple_assignments(self):
+        stmt = parse_statement("UPDATE car SET price = 1, model = 'x'")
+        assert len(stmt.assignments) == 2
+        assert stmt.where is None
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM car WHERE price > 50000")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_delete_all(self):
+        stmt = parse_statement("DELETE FROM car")
+        assert stmt.where is None
+
+
+class TestDDL:
+    def test_create_table(self):
+        stmt = parse_statement(
+            "CREATE TABLE car (maker TEXT, model TEXT PRIMARY KEY, price INT NOT NULL)"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.columns[1].primary_key
+        assert stmt.columns[2].not_null
+
+    def test_create_table_if_not_exists(self):
+        stmt = parse_statement("CREATE TABLE IF NOT EXISTS t (x INT)")
+        assert stmt.if_not_exists
+
+    def test_integer_alias(self):
+        stmt = parse_statement("CREATE TABLE t (x INTEGER)")
+        assert stmt.columns[0].type_name == "INT"
+
+    def test_real_and_text(self):
+        stmt = parse_statement("CREATE TABLE t (x REAL, y TEXT UNIQUE)")
+        assert stmt.columns[0].type_name == "REAL"
+        assert stmt.columns[1].unique
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("CREATE TABLE t (x BLOB)")
+
+    def test_create_index(self):
+        stmt = parse_statement("CREATE INDEX idx ON car (price)")
+        assert isinstance(stmt, ast.CreateIndex)
+        assert stmt.columns == ("price",)
+        assert not stmt.unique
+
+    def test_create_unique_index(self):
+        stmt = parse_statement("CREATE UNIQUE INDEX idx ON car (model)")
+        assert stmt.unique
+
+    def test_drop_table(self):
+        stmt = parse_statement("DROP TABLE car")
+        assert isinstance(stmt, ast.DropTable)
+        assert not stmt.if_exists
+
+    def test_drop_table_if_exists(self):
+        assert parse_statement("DROP TABLE IF EXISTS car").if_exists
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT * FROM",
+            "INSERT car VALUES (1)",
+            "UPDATE SET x = 1",
+            "DELETE car",
+            "FROB the thing",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t WHERE x NOT 5",
+        ],
+    )
+    def test_malformed_statements(self, sql):
+        with pytest.raises(ParseError):
+            parse_statement(sql)
+
+    def test_error_message_mentions_offset(self):
+        with pytest.raises(ParseError, match="offset"):
+            parse_statement("SELECT * FROM t WHERE x ==")

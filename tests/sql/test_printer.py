@@ -1,0 +1,143 @@
+"""Printer tests: canonical output and parse→print→parse round trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sql import ast
+from repro.sql.parser import parse_expression, parse_statement
+from repro.sql.printer import to_sql
+
+
+ROUND_TRIP_STATEMENTS = [
+    "SELECT * FROM car",
+    "SELECT DISTINCT maker FROM car",
+    "SELECT car.maker, car.model FROM car WHERE car.price < 20000",
+    "SELECT * FROM car, mileage WHERE car.model = mileage.model",
+    "SELECT * FROM a JOIN b ON a.x = b.y",
+    "SELECT * FROM a LEFT JOIN b ON a.x = b.y WHERE a.z IS NOT NULL",
+    "SELECT * FROM a CROSS JOIN b",
+    "SELECT maker, COUNT(*) AS n FROM car GROUP BY maker HAVING COUNT(*) > 1",
+    "SELECT * FROM car ORDER BY price DESC LIMIT 5 OFFSET 2",
+    "SELECT * FROM t WHERE x BETWEEN 1 AND 5",
+    "SELECT * FROM t WHERE x NOT BETWEEN 1 AND 5",
+    "SELECT * FROM t WHERE x IN (1, 2, 3)",
+    "SELECT * FROM t WHERE x NOT IN ('a', 'b')",
+    "SELECT * FROM t WHERE name LIKE 'To%'",
+    "SELECT * FROM t WHERE x IS NULL",
+    "SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3",
+    "SELECT * FROM t WHERE NOT (a = 1 AND b = 2)",
+    "SELECT price * 2 AS double_price FROM car",
+    "SELECT * FROM car WHERE price < $1 AND maker = $2",
+    "SELECT CASE WHEN x > 0 THEN 'pos' ELSE 'neg' END AS sign FROM t",
+    "SELECT COUNT(DISTINCT maker) FROM car",
+    "INSERT INTO car VALUES ('Kia', 'Rio', 14000)",
+    "INSERT INTO car (maker, model) VALUES ('Kia', 'Rio'), ('VW', 'Golf')",
+    "UPDATE car SET price = price + 100 WHERE maker = 'Kia'",
+    "DELETE FROM car WHERE price > 50000",
+    "CREATE TABLE t (a INT PRIMARY KEY, b TEXT NOT NULL, c REAL UNIQUE)",
+    "CREATE INDEX idx ON car (price)",
+    "CREATE UNIQUE INDEX uidx ON car (model)",
+    "DROP TABLE car",
+    "DROP TABLE IF EXISTS car",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("sql", ROUND_TRIP_STATEMENTS)
+    def test_parse_print_parse_is_identity(self, sql):
+        """Printing a parsed statement and re-parsing yields the same AST."""
+        first = parse_statement(sql)
+        printed = to_sql(first)
+        second = parse_statement(printed)
+        assert first == second, f"{sql!r} -> {printed!r}"
+
+    @pytest.mark.parametrize("sql", ROUND_TRIP_STATEMENTS)
+    def test_printing_is_idempotent(self, sql):
+        printed = to_sql(parse_statement(sql))
+        assert to_sql(parse_statement(printed)) == printed
+
+
+class TestCanonicalForm:
+    def test_keywords_uppercase(self):
+        assert to_sql(parse_statement("select * from car")) == "SELECT * FROM car"
+
+    def test_string_escaping(self):
+        stmt = parse_statement("SELECT * FROM t WHERE name = 'it''s'")
+        assert "'it''s'" in to_sql(stmt)
+
+    def test_null_rendering(self):
+        assert to_sql(ast.Literal(None)) == "NULL"
+
+    def test_boolean_rendering(self):
+        assert to_sql(ast.Literal(True)) == "TRUE"
+        assert to_sql(ast.Literal(False)) == "FALSE"
+
+    def test_owner_parameter_rendering(self):
+        assert to_sql(ast.Parameter(2)) == "$2"
+        assert to_sql(ast.Parameter(None)) == "?"
+
+    def test_precedence_parentheses_kept(self):
+        stmt = parse_statement("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        text = to_sql(stmt)
+        assert "(" in text  # OR under AND needs parens
+
+    def test_no_gratuitous_parentheses(self):
+        stmt = parse_statement("SELECT * FROM t WHERE a = 1 AND b = 2 AND c = 3")
+        assert "(" not in to_sql(stmt)
+
+    def test_structurally_equal_queries_print_identically(self):
+        a = to_sql(parse_statement("select  maker from car where price<10"))
+        b = to_sql(parse_statement("SELECT maker FROM car WHERE price < 10"))
+        assert a == b
+
+
+# -- property-based round trip over generated expressions ----------------------
+
+_columns = st.sampled_from(
+    [ast.ColumnRef("price"), ast.ColumnRef("maker", table="car"),
+     ast.ColumnRef("epa", table="mileage")]
+)
+# Non-negative integers only: "-1" re-parses as Unary(NEG, Literal(1)),
+# which is semantically equal but structurally different.
+_literals = st.one_of(
+    st.integers(min_value=0, max_value=1000).map(ast.Literal),
+    st.text(alphabet="abc'x ", max_size=5).map(ast.Literal),
+    st.just(ast.Literal(None)),
+)
+_atoms = st.one_of(_columns, _literals)
+
+
+def _binary(children):
+    ops = st.sampled_from(
+        [ast.BinaryOp.AND, ast.BinaryOp.OR, ast.BinaryOp.EQ, ast.BinaryOp.LT,
+         ast.BinaryOp.ADD, ast.BinaryOp.MUL]
+    )
+    return st.builds(ast.Binary, ops, children, children)
+
+
+_expressions = st.recursive(
+    _atoms,
+    lambda children: st.one_of(
+        _binary(children),
+        st.builds(ast.Unary, st.just(ast.UnaryOp.NOT), children),
+        st.builds(ast.Between, children, _literals, _literals, st.booleans()),
+        st.builds(
+            ast.InList,
+            children,
+            st.lists(_literals, min_size=1, max_size=3).map(tuple),
+            st.booleans(),
+        ),
+        st.builds(ast.IsNull, children, st.booleans()),
+    ),
+    max_leaves=12,
+)
+
+
+class TestPropertyRoundTrip:
+    @given(_expressions)
+    @settings(max_examples=200, deadline=None)
+    def test_expression_round_trip(self, expr):
+        """parse(print(e)) == e for arbitrary generated expressions."""
+        printed = to_sql(expr)
+        reparsed = parse_expression(printed)
+        assert reparsed == expr, printed

@@ -1,0 +1,162 @@
+"""Tests for static SQL analysis helpers."""
+
+import pytest
+
+from repro.sql import ast
+from repro.sql.analysis import (
+    all_conditions,
+    alias_map,
+    conjoin,
+    conjuncts,
+    disjuncts,
+    has_parameters,
+    is_read_only,
+    join_on_conditions,
+    query_signature,
+    referenced_columns,
+    referenced_tables,
+    tables_of_condition,
+)
+from repro.sql.parser import parse_expression, parse_statement
+
+
+class TestConjuncts:
+    def test_none_yields_empty(self):
+        assert conjuncts(None) == []
+
+    def test_single_condition(self):
+        expr = parse_expression("a = 1")
+        assert conjuncts(expr) == [expr]
+
+    def test_flat_and_chain(self):
+        expr = parse_expression("a = 1 AND b = 2 AND c = 3")
+        parts = conjuncts(expr)
+        assert len(parts) == 3
+
+    def test_or_not_split(self):
+        expr = parse_expression("a = 1 OR b = 2")
+        assert conjuncts(expr) == [expr]
+
+    def test_or_under_and(self):
+        expr = parse_expression("(a = 1 OR b = 2) AND c = 3")
+        parts = conjuncts(expr)
+        assert len(parts) == 2
+        assert isinstance(parts[0], ast.Binary) and parts[0].op is ast.BinaryOp.OR
+
+    def test_conjoin_inverse(self):
+        expr = parse_expression("a = 1 AND b = 2 AND c = 3")
+        assert conjuncts(conjoin(conjuncts(expr))) == conjuncts(expr)
+
+    def test_conjoin_empty_is_none(self):
+        assert conjoin([]) is None
+
+
+class TestDisjuncts:
+    def test_splits_or(self):
+        expr = parse_expression("a = 1 OR b = 2 OR c = 3")
+        assert len(disjuncts(expr)) == 3
+
+    def test_and_not_split(self):
+        expr = parse_expression("a = 1 AND b = 2")
+        assert disjuncts(expr) == [expr]
+
+
+class TestReferencedTables:
+    def test_select(self):
+        stmt = parse_statement("SELECT * FROM Car, Mileage")
+        assert referenced_tables(stmt) == {"car", "mileage"}
+
+    def test_select_with_join(self):
+        stmt = parse_statement("SELECT * FROM a JOIN b ON a.x = b.x")
+        assert referenced_tables(stmt) == {"a", "b"}
+
+    def test_aliases_resolve_to_base(self):
+        stmt = parse_statement("SELECT * FROM car c, mileage m")
+        assert referenced_tables(stmt) == {"car", "mileage"}
+
+    def test_dml(self):
+        assert referenced_tables(parse_statement("INSERT INTO Car VALUES (1)")) == {"car"}
+        assert referenced_tables(parse_statement("DELETE FROM car")) == {"car"}
+        assert referenced_tables(parse_statement("UPDATE car SET a = 1")) == {"car"}
+
+
+class TestAliasMap:
+    def test_plain_tables(self):
+        stmt = parse_statement("SELECT * FROM car, mileage")
+        assert alias_map(stmt) == {"car": "car", "mileage": "mileage"}
+
+    def test_aliased(self):
+        stmt = parse_statement("SELECT * FROM car AS c, mileage m")
+        assert alias_map(stmt) == {"c": "car", "m": "mileage"}
+
+    def test_self_join(self):
+        stmt = parse_statement("SELECT * FROM car a, car b")
+        assert alias_map(stmt) == {"a": "car", "b": "car"}
+
+
+class TestReferencedColumns:
+    def test_qualified(self):
+        expr = parse_expression("car.price < 100")
+        assert referenced_columns(expr) == {("car", "price")}
+
+    def test_unqualified(self):
+        expr = parse_expression("price < 100")
+        assert referenced_columns(expr) == {(None, "price")}
+
+    def test_alias_resolution(self):
+        expr = parse_expression("c.price < m.epa")
+        resolved = referenced_columns(expr, {"c": "car", "m": "mileage"})
+        assert resolved == {("car", "price"), ("mileage", "epa")}
+
+    def test_none_expr(self):
+        assert referenced_columns(None) == set()
+
+
+class TestJoinConditions:
+    def test_on_conditions_collected(self):
+        stmt = parse_statement(
+            "SELECT * FROM a JOIN b ON a.x = b.x AND a.y > 1"
+        )
+        assert len(join_on_conditions(stmt)) == 2
+
+    def test_all_conditions_merges_where_and_on(self):
+        stmt = parse_statement(
+            "SELECT * FROM a JOIN b ON a.x = b.x WHERE a.z = 3"
+        )
+        assert len(all_conditions(stmt)) == 2
+
+
+class TestTablesOfCondition:
+    def test_single_table(self):
+        cond = parse_expression("car.price < 100")
+        assert tables_of_condition(cond, {"car": "car", "mileage": "mileage"}) == {"car"}
+
+    def test_join_condition(self):
+        cond = parse_expression("car.model = mileage.model")
+        tables = tables_of_condition(cond, {"car": "car", "mileage": "mileage"})
+        assert tables == {"car", "mileage"}
+
+    def test_unqualified_single_source(self):
+        cond = parse_expression("price < 100")
+        assert tables_of_condition(cond, {"car": "car"}) == {"car"}
+
+    def test_unqualified_multi_source_conservative(self):
+        cond = parse_expression("price < 100")
+        tables = tables_of_condition(cond, {"car": "car", "mileage": "mileage"})
+        assert tables == {"car", "mileage"}
+
+
+class TestMisc:
+    def test_has_parameters(self):
+        assert has_parameters(parse_expression("a = $1"))
+        assert not has_parameters(parse_expression("a = 1"))
+        assert not has_parameters(None)
+
+    def test_query_signature_groups_instances(self):
+        a = query_signature(parse_statement("SELECT * FROM car WHERE price < 1"))
+        b = query_signature(parse_statement("SELECT * FROM car WHERE price < 2"))
+        assert a == b
+
+    def test_is_read_only(self):
+        assert is_read_only(parse_statement("SELECT 1"))
+        assert not is_read_only(parse_statement("DELETE FROM car"))

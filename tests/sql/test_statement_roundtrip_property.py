@@ -1,0 +1,119 @@
+"""Property: parse(to_sql(stmt)) == stmt for generated whole statements."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+from repro.sql.printer import to_sql
+
+
+_idents = st.sampled_from(["car", "mileage", "items", "t1"])
+_columns = st.sampled_from(["a", "b", "price", "model"])
+
+_column_refs = st.builds(
+    ast.ColumnRef, _columns, st.one_of(st.none(), _idents)
+)
+_literals = st.one_of(
+    st.integers(0, 999).map(ast.Literal),
+    st.sampled_from(["x", "it's", ""]).map(ast.Literal),
+    st.just(ast.Literal(None)),
+)
+_atoms = st.one_of(_column_refs, _literals, st.integers(1, 5).map(ast.Parameter))
+
+_predicates = st.one_of(
+    st.builds(
+        ast.Binary,
+        st.sampled_from([ast.BinaryOp.EQ, ast.BinaryOp.LT, ast.BinaryOp.GE]),
+        _atoms,
+        _atoms,
+    ),
+    st.builds(ast.Between, _column_refs, _literals, _literals, st.booleans()),
+    st.builds(ast.IsNull, _column_refs, st.booleans()),
+    st.builds(
+        ast.InList,
+        _column_refs,
+        st.lists(_literals, min_size=1, max_size=3).map(tuple),
+        st.booleans(),
+    ),
+)
+
+_where = st.recursive(
+    _predicates,
+    lambda children: st.builds(
+        ast.Binary,
+        st.sampled_from([ast.BinaryOp.AND, ast.BinaryOp.OR]),
+        children,
+        children,
+    ),
+    max_leaves=6,
+)
+
+_table_refs = st.builds(
+    ast.TableRef, _idents, st.one_of(st.none(), st.sampled_from(["x", "y"]))
+)
+
+_select_items = st.one_of(
+    st.just(ast.SelectItem(ast.Star())),
+    st.builds(
+        ast.SelectItem, _atoms, st.one_of(st.none(), st.sampled_from(["out", "v"]))
+    ),
+)
+
+
+def _valid_sources(refs):
+    # Distinct binding names, as the planner requires.
+    seen = set()
+    result = []
+    for ref in refs:
+        if ref.binding.lower() in seen:
+            continue
+        seen.add(ref.binding.lower())
+        result.append(ref)
+    return tuple(result)
+
+
+_selects = st.builds(
+    ast.Select,
+    items=st.lists(_select_items, min_size=1, max_size=3).map(tuple),
+    sources=st.lists(_table_refs, min_size=1, max_size=2).map(_valid_sources),
+    where=st.one_of(st.none(), _where),
+    order_by=st.lists(
+        st.builds(ast.OrderItem, _column_refs, st.booleans()), max_size=2
+    ).map(tuple),
+    limit=st.one_of(st.none(), st.integers(0, 99)),
+    distinct=st.booleans(),
+)
+
+_inserts = st.builds(
+    ast.Insert,
+    table=_idents,
+    columns=st.one_of(
+        st.just(()), st.lists(_columns, min_size=1, max_size=2, unique=True).map(tuple)
+    ),
+    rows=st.lists(
+        st.lists(_literals, min_size=1, max_size=3).map(tuple),
+        min_size=1,
+        max_size=2,
+    ).map(tuple),
+)
+
+_updates = st.builds(
+    ast.Update,
+    table=_idents,
+    assignments=st.lists(
+        st.tuples(_columns, _literals), min_size=1, max_size=2
+    ).map(tuple),
+    where=st.one_of(st.none(), _where),
+)
+
+_deletes = st.builds(ast.Delete, table=_idents, where=st.one_of(st.none(), _where))
+
+_statements = st.one_of(_selects, _inserts, _updates, _deletes)
+
+
+@given(_statements)
+@settings(max_examples=300, deadline=None)
+def test_statement_round_trip(stmt):
+    printed = to_sql(stmt)
+    reparsed = parse_statement(printed)
+    assert reparsed == stmt, printed

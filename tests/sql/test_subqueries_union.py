@@ -1,0 +1,180 @@
+"""Parser/printer/analysis tests for subqueries and UNION."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.analysis import referenced_tables
+from repro.sql.params import bind_parameters, parameterize
+from repro.sql.parser import parse_expression, parse_statement
+from repro.sql.printer import to_sql
+
+
+class TestParsing:
+    def test_exists(self):
+        expr = parse_expression("EXISTS (SELECT * FROM mileage)")
+        assert isinstance(expr, ast.Exists)
+        assert not expr.negated
+
+    def test_not_exists_via_unary(self):
+        expr = parse_expression("NOT EXISTS (SELECT * FROM mileage)")
+        assert isinstance(expr, ast.Unary)
+        assert isinstance(expr.operand, ast.Exists)
+
+    def test_in_select(self):
+        stmt = parse_statement(
+            "SELECT * FROM car WHERE model IN (SELECT model FROM mileage)"
+        )
+        assert isinstance(stmt.where, ast.InSelect)
+
+    def test_not_in_select(self):
+        stmt = parse_statement(
+            "SELECT * FROM car WHERE model NOT IN (SELECT model FROM mileage)"
+        )
+        assert stmt.where.negated
+
+    def test_in_list_still_works(self):
+        stmt = parse_statement("SELECT * FROM car WHERE model IN ('a', 'b')")
+        assert isinstance(stmt.where, ast.InList)
+
+    def test_scalar_subquery(self):
+        stmt = parse_statement(
+            "SELECT * FROM car WHERE price < (SELECT AVG(price) FROM car)"
+        )
+        assert isinstance(stmt.where.right, ast.ScalarSubquery)
+
+    def test_parenthesized_expr_not_subquery(self):
+        expr = parse_expression("(1 + 2)")
+        assert expr == ast.Binary(ast.BinaryOp.ADD, ast.Literal(1), ast.Literal(2))
+
+    def test_subquery_with_tail_clauses(self):
+        stmt = parse_statement(
+            "SELECT * FROM car WHERE price = (SELECT price FROM car ORDER BY price LIMIT 1)"
+        )
+        inner = stmt.where.right.query
+        assert inner.limit == 1
+        assert inner.order_by
+
+    def test_union(self):
+        stmt = parse_statement("SELECT model FROM car UNION SELECT model FROM mileage")
+        assert isinstance(stmt, ast.Union)
+        assert len(stmt.parts) == 2
+        assert stmt.all_flags == (False,)
+
+    def test_union_all(self):
+        stmt = parse_statement(
+            "SELECT model FROM car UNION ALL SELECT model FROM mileage"
+        )
+        assert stmt.all_flags == (True,)
+
+    def test_three_way_union(self):
+        stmt = parse_statement(
+            "SELECT a FROM t1 UNION SELECT a FROM t2 UNION ALL SELECT a FROM t3"
+        )
+        assert len(stmt.parts) == 3
+        assert stmt.all_flags == (False, True)
+
+    def test_union_tail_applies_to_whole(self):
+        stmt = parse_statement(
+            "SELECT model FROM car UNION SELECT model FROM mileage "
+            "ORDER BY model LIMIT 5"
+        )
+        assert stmt.limit == 5
+        assert all(part.limit is None for part in stmt.parts)
+
+    def test_plain_select_unchanged(self):
+        stmt = parse_statement("SELECT model FROM car ORDER BY model LIMIT 5")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.limit == 5
+
+    def test_nested_subquery(self):
+        stmt = parse_statement(
+            "SELECT * FROM car WHERE model IN "
+            "(SELECT model FROM mileage WHERE epa > (SELECT AVG(epa) FROM mileage))"
+        )
+        inner = stmt.where.query.where.right
+        assert isinstance(inner, ast.ScalarSubquery)
+
+
+ROUND_TRIPS = [
+    "SELECT * FROM car WHERE EXISTS (SELECT * FROM mileage WHERE epa > 30)",
+    "SELECT * FROM car WHERE model IN (SELECT model FROM mileage)",
+    "SELECT * FROM car WHERE model NOT IN (SELECT model FROM mileage)",
+    "SELECT * FROM car WHERE price < (SELECT AVG(price) FROM car)",
+    "SELECT (SELECT MAX(epa) FROM mileage) AS best FROM car",
+    "SELECT model FROM car UNION SELECT model FROM mileage",
+    "SELECT model FROM car UNION ALL SELECT model FROM mileage ORDER BY model LIMIT 3",
+    "SELECT a FROM t1 UNION SELECT a FROM t2 UNION ALL SELECT a FROM t3",
+    "SELECT * FROM car WHERE EXISTS (SELECT * FROM mileage) AND price < 5",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("sql", ROUND_TRIPS)
+    def test_parse_print_parse(self, sql):
+        first = parse_statement(sql)
+        printed = to_sql(first)
+        assert parse_statement(printed) == first, printed
+
+
+class TestAnalysis:
+    def test_referenced_tables_sees_through_subqueries(self):
+        stmt = parse_statement(
+            "SELECT * FROM car WHERE model IN (SELECT model FROM mileage)"
+        )
+        assert referenced_tables(stmt) == {"car", "mileage"}
+
+    def test_referenced_tables_nested(self):
+        stmt = parse_statement(
+            "SELECT * FROM car WHERE EXISTS "
+            "(SELECT * FROM mileage WHERE epa > (SELECT MAX(x) FROM stats))"
+        )
+        assert referenced_tables(stmt) == {"car", "mileage", "stats"}
+
+    def test_referenced_tables_union(self):
+        stmt = parse_statement("SELECT a FROM t1 UNION SELECT b FROM t2")
+        assert referenced_tables(stmt) == {"t1", "t2"}
+
+
+class TestParameterization:
+    def test_constants_lifted_inside_subquery(self):
+        stmt = parse_statement(
+            "SELECT * FROM car WHERE model IN "
+            "(SELECT model FROM mileage WHERE epa > 30) AND price < 5000"
+        )
+        result = parameterize(stmt)
+        assert result.bindings == (30, 5000)
+        assert "$1" in result.signature and "$2" in result.signature
+
+    def test_instances_share_type_across_subquery_constants(self):
+        a = parameterize(parse_statement(
+            "SELECT * FROM car WHERE model IN (SELECT model FROM mileage WHERE epa > 10)"
+        ))
+        b = parameterize(parse_statement(
+            "SELECT * FROM car WHERE model IN (SELECT model FROM mileage WHERE epa > 99)"
+        ))
+        assert a.signature == b.signature
+
+    def test_union_parameterization(self):
+        stmt = parse_statement(
+            "SELECT model FROM car WHERE price < 10 "
+            "UNION SELECT model FROM mileage WHERE epa > 20"
+        )
+        result = parameterize(stmt)
+        assert result.bindings == (10, 20)
+
+    def test_parameterize_then_bind_identity_subquery(self):
+        original = parse_statement(
+            "SELECT * FROM car WHERE model IN "
+            "(SELECT model FROM mileage WHERE epa > 30)"
+        )
+        result = parameterize(original)
+        assert bind_parameters(result.template, result.bindings) == original
+
+    def test_parameterize_then_bind_identity_union(self):
+        original = parse_statement(
+            "SELECT model FROM car WHERE price < 10 "
+            "UNION SELECT model FROM mileage WHERE epa > 20"
+        )
+        result = parameterize(original)
+        assert bind_parameters(result.template, result.bindings) == original

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table2_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.duration == 120.0
+        assert args.seed == 7
+
+    def test_duration_override(self):
+        args = build_parser().parse_args(["table3", "--duration", "30"])
+        assert args.duration == 30.0
+
+    def test_sweep_rates(self):
+        args = build_parser().parse_args(["sweep", "--rates", "10", "20"])
+        assert args.rates == [10.0, 20.0]
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "HIT" in output
+        assert "ejected" in output
+
+    def test_example41(self, capsys):
+        assert main(["example41"]) == 0
+        output = capsys.readouterr().out
+        assert "unaffected" in output
+        assert "needs-polling" in output
+        assert "STALE" in output and "fresh" in output
+
+    def test_table2_short(self, capsys):
+        assert main(["table2", "--duration", "15"]) == 0
+        output = capsys.readouterr().out
+        assert "Conf III" in output
+        assert output.count("Conf") >= 9
+
+    def test_table3_short(self, capsys):
+        assert main(["table3", "--duration", "15"]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_sweep_short(self, capsys):
+        assert main(["sweep", "--duration", "15", "--rates", "15", "30"]) == 0
+        output = capsys.readouterr().out
+        assert "Conf II" in output and "Conf III" in output
+        assert len(output.strip().splitlines()) == 4  # header x2 + 2 rows

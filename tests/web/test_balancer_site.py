@@ -1,0 +1,143 @@
+"""Tests for the load balancer and the three site configurations."""
+
+import pytest
+
+from repro.errors import WebError
+from repro.db import Database
+from repro.web import Configuration, build_site
+from repro.web.balancer import BalancingPolicy, LoadBalancer
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.webserver import WebServer
+
+from helpers import car_servlets, make_car_db
+
+
+class _StubAppServer:
+    def __init__(self):
+        self.count = 0
+
+    def handle(self, request):
+        self.count += 1
+        return HttpResponse(body="ok")
+
+
+def stub_servers(n):
+    return [WebServer(f"ws{i}", _StubAppServer()) for i in range(n)]
+
+
+class TestLoadBalancer:
+    def test_round_robin_cycles(self):
+        servers = stub_servers(3)
+        balancer = LoadBalancer(servers)
+        for _ in range(6):
+            balancer.handle(HttpRequest.from_url("/x"))
+        assert balancer.per_server_counts() == [2, 2, 2]
+
+    def test_least_connections_prefers_idle(self):
+        servers = stub_servers(2)
+        balancer = LoadBalancer(servers, BalancingPolicy.LEAST_CONNECTIONS)
+        servers[0].in_flight = 5
+        assert balancer.pick() is servers[1]
+
+    def test_needs_servers(self):
+        with pytest.raises(WebError):
+            LoadBalancer([])
+
+    def test_dispatch_counter(self):
+        balancer = LoadBalancer(stub_servers(1))
+        balancer.handle(HttpRequest.from_url("/x"))
+        assert balancer.dispatched == 1
+
+
+class TestBuildSite:
+    def test_config1_needs_factory(self):
+        with pytest.raises(WebError):
+            build_site(Configuration.REPLICATED, car_servlets(), database=Database())
+
+    def test_config23_need_database(self):
+        with pytest.raises(WebError):
+            build_site(Configuration.WEB_CACHE, car_servlets())
+
+    def test_config1_builds_replicas(self):
+        site = build_site(
+            Configuration.REPLICATED, car_servlets(),
+            database_factory=make_car_db, num_servers=3,
+        )
+        assert len(site.databases) == 3
+        assert site.web_cache is None
+
+    def test_config2_builds_data_caches(self):
+        site = build_site(
+            Configuration.DATA_CACHE, car_servlets(),
+            database=make_car_db(), num_servers=3,
+        )
+        assert len(site.data_caches) == 3
+        assert len(site.databases) == 1
+
+    def test_config3_builds_web_cache(self):
+        site = build_site(
+            Configuration.WEB_CACHE, car_servlets(), database=make_car_db()
+        )
+        assert site.web_cache is not None
+        assert site.data_caches == []
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(WebError):
+            build_site(
+                Configuration.WEB_CACHE, car_servlets(),
+                database=make_car_db(), num_servers=0,
+            )
+
+
+class TestConfig1Site:
+    def test_update_applied_to_all_replicas(self):
+        site = build_site(
+            Configuration.REPLICATED, car_servlets(),
+            database_factory=make_car_db, num_servers=2,
+        )
+        site.update("INSERT INTO car VALUES ('Kia', 'Rio', 1)")
+        for database in site.databases:
+            assert len(database.query("SELECT * FROM car")) == 5
+
+    def test_requests_balanced_across_replicas(self):
+        site = build_site(
+            Configuration.REPLICATED, car_servlets(),
+            database_factory=make_car_db, num_servers=2,
+        )
+        for _ in range(4):
+            response = site.get("/catalog?max_price=99999")
+            assert response.ok
+        assert site.balancer.per_server_counts() == [2, 2]
+
+
+class TestConfig2Site:
+    def test_stale_until_synchronized(self):
+        site = build_site(
+            Configuration.DATA_CACHE, car_servlets(),
+            database=make_car_db(), num_servers=1,
+        )
+        before = site.get("/catalog?max_price=99999").body
+        site.update("DELETE FROM car WHERE model = 'M5'")
+        stale = site.get("/catalog?max_price=99999").body
+        assert stale == before  # data cache still holds the old result
+        site.synchronize_data_caches()
+        fresh = site.get("/catalog?max_price=99999").body
+        assert "M5" not in fresh
+
+
+class TestConfig3Site:
+    def test_pages_not_cached_without_portal(self, web_cache_site):
+        """Dynamic pages are no-cache until CachePortal rewrites headers."""
+        web_cache_site.get("/catalog?max_price=99999")
+        web_cache_site.get("/catalog?max_price=99999")
+        assert web_cache_site.stats.page_cache_hits == 0
+        assert len(web_cache_site.web_cache) == 0
+
+    def test_cache_counters(self, web_cache_site):
+        web_cache_site.get("/catalog?max_price=99999")
+        assert web_cache_site.stats.requests == 1
+        assert web_cache_site.stats.page_cache_misses == 1
+
+    def test_post_sets_method(self, web_cache_site):
+        response = web_cache_site.get("/catalog?max_price=1", post_params={"a": "b"})
+        assert response.ok

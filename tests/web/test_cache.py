@@ -1,0 +1,160 @@
+"""Tests for the web page cache (LRU, TTL, eject protocol)."""
+
+import pytest
+
+from repro.web.cache import WebCache
+from repro.web.http import CacheControl, HttpRequest, HttpResponse, make_eject_request
+
+
+def cacheable(body="page"):
+    return HttpResponse(body=body, cache_control=CacheControl.cacheportal_private())
+
+
+class TestStorePolicy:
+    def test_stores_portal_cacheable(self):
+        cache = WebCache()
+        assert cache.put("k", cacheable())
+        assert cache.get("k").body == "page"
+
+    def test_rejects_no_cache(self):
+        cache = WebCache()
+        assert not cache.put("k", HttpResponse(body="x"))
+        assert cache.get("k") is None
+
+    def test_rejects_errors(self):
+        cache = WebCache()
+        response = HttpResponse(
+            status=500, cache_control=CacheControl.cacheportal_private()
+        )
+        assert not cache.put("k", response)
+
+    def test_overwrite_same_key(self):
+        cache = WebCache()
+        cache.put("k", cacheable("v1"))
+        cache.put("k", cacheable("v2"))
+        assert cache.get("k").body == "v2"
+        assert len(cache) == 1
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            WebCache(capacity=0)
+
+
+class TestLru:
+    def test_evicts_least_recently_used(self):
+        cache = WebCache(capacity=2)
+        cache.put("a", cacheable())
+        cache.put("b", cacheable())
+        cache.get("a")  # a becomes most recent
+        cache.put("c", cacheable())
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_len_never_exceeds_capacity(self):
+        cache = WebCache(capacity=3)
+        for i in range(10):
+            cache.put(f"k{i}", cacheable())
+        assert len(cache) == 3
+
+
+class TestTtl:
+    def test_expiry(self):
+        now = [0.0]
+        cache = WebCache(default_ttl=10.0, clock=lambda: now[0])
+        cache.put("k", cacheable())
+        now[0] = 9.9
+        assert cache.get("k") is not None
+        now[0] = 10.0
+        assert cache.get("k") is None
+        assert cache.stats.expirations == 1
+
+    def test_no_ttl_never_expires(self):
+        now = [0.0]
+        cache = WebCache(clock=lambda: now[0])
+        cache.put("k", cacheable())
+        now[0] = 1e9
+        assert cache.get("k") is not None
+
+    def test_max_age_bounds_ttl(self):
+        now = [0.0]
+        cache = WebCache(default_ttl=100.0, clock=lambda: now[0])
+        response = HttpResponse(
+            body="x",
+            cache_control=CacheControl.parse('private, owner="cacheportal", max-age=5'),
+        )
+        cache.put("k", response)
+        now[0] = 6.0
+        assert cache.get("k") is None
+
+    def test_per_put_ttl_override(self):
+        now = [0.0]
+        cache = WebCache(clock=lambda: now[0])
+        cache.put("k", cacheable(), ttl=5.0)
+        now[0] = 5.1
+        assert cache.get("k") is None
+
+
+class TestEject:
+    def test_eject_present(self):
+        cache = WebCache()
+        cache.put("k", cacheable())
+        assert cache.eject("k")
+        assert cache.get("k") is None
+        assert cache.stats.ejects == 1
+
+    def test_eject_absent(self):
+        assert not WebCache().eject("nope")
+
+    def test_eject_many(self):
+        cache = WebCache()
+        cache.put("a", cacheable())
+        cache.put("b", cacheable())
+        assert cache.eject_many(["a", "b", "c"]) == 2
+
+    def test_handle_eject_message(self):
+        cache = WebCache()
+        cache.put("k", cacheable())
+        message = make_eject_request("k")
+        assert cache.handle_message(message, "k")
+        assert "k" not in cache
+
+    def test_handle_non_eject_message_ignored(self):
+        cache = WebCache()
+        cache.put("k", cacheable())
+        assert not cache.handle_message(HttpRequest.from_url("/k"), "k")
+        assert "k" in cache
+
+    def test_clear(self):
+        cache = WebCache()
+        cache.put("a", cacheable())
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestStats:
+    def test_hit_miss_counting(self):
+        cache = WebCache()
+        cache.put("k", cacheable())
+        cache.get("k")
+        cache.get("k")
+        cache.get("missing")
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_ratio == pytest.approx(2 / 3)
+
+    def test_hit_ratio_empty(self):
+        assert WebCache().stats.hit_ratio == 0.0
+
+    def test_per_entry_hits(self):
+        cache = WebCache()
+        cache.put("k", cacheable())
+        cache.get("k")
+        cache.get("k")
+        assert cache._entries["k"].hits == 2
+
+    def test_keys(self):
+        cache = WebCache()
+        cache.put("a", cacheable())
+        cache.put("b", cacheable())
+        assert cache.keys() == ["a", "b"]

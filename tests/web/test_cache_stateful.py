@@ -1,0 +1,119 @@
+"""Model-based (stateful) testing of the WebCache against a reference.
+
+Hypothesis drives random sequences of put/get/eject/advance-clock
+operations against both the real LRU cache and a simple dictionary
+reference model; every observable behaviour must agree.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.web.cache import WebCache
+from repro.web.http import CacheControl, HttpResponse
+
+
+KEYS = [f"k{i}" for i in range(6)]
+CAPACITY = 4
+
+
+def cacheable(body):
+    return HttpResponse(body=body, cache_control=CacheControl.cacheportal_private())
+
+
+class CacheMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.now = 0.0
+        self.cache = WebCache(capacity=CAPACITY, clock=lambda: self.now)
+        # Reference model: key → (body, expires_at or None), plus LRU order.
+        self.model = {}
+        self.order = []  # least-recent first
+
+    def _model_evict(self):
+        while len(self.model) > CAPACITY:
+            victim = self.order.pop(0)
+            del self.model[victim]
+
+    def _touch(self, key):
+        if key in self.order:
+            self.order.remove(key)
+        self.order.append(key)
+
+    def _model_expire(self, key):
+        entry = self.model.get(key)
+        if entry is not None and entry[1] is not None and self.now >= entry[1]:
+            del self.model[key]
+            self.order.remove(key)
+            return True
+        return False
+
+    @rule(key=st.sampled_from(KEYS), body=st.text(max_size=4),
+          ttl=st.one_of(st.none(), st.floats(min_value=0.5, max_value=5.0)))
+    def put(self, key, body, ttl):
+        stored = self.cache.put(key, cacheable(body), ttl=ttl)
+        assert stored
+        expires = None if ttl is None else self.now + ttl
+        self.model[key] = (body, expires)
+        self._touch(key)
+        self._model_evict()
+
+    @rule(key=st.sampled_from(KEYS))
+    def put_non_cacheable(self, key):
+        before = key in self.model
+        stored = self.cache.put(key, HttpResponse(body="x"))
+        assert not stored
+        assert (key in self.model) == before
+
+    @rule(key=st.sampled_from(KEYS))
+    def get(self, key):
+        self._model_expire(key)
+        response = self.cache.get(key)
+        entry = self.model.get(key)
+        if entry is None:
+            assert response is None
+        else:
+            assert response is not None
+            assert response.body == entry[0]
+            self._touch(key)
+
+    @rule(key=st.sampled_from(KEYS))
+    def eject(self, key):
+        removed = self.cache.eject(key)
+        assert removed == (key in self.model)
+        if key in self.model:
+            del self.model[key]
+            self.order.remove(key)
+
+    @rule(delta=st.floats(min_value=0.1, max_value=3.0))
+    def advance_clock(self, delta):
+        self.now += delta
+
+    @invariant()
+    def size_agrees_within_expiry_slack(self):
+        # The real cache expires lazily (on get), so it may hold expired
+        # entries the model already dropped — but never fewer live ones.
+        live_model = {
+            key
+            for key, (body, expires) in self.model.items()
+            if expires is None or self.now < expires
+        }
+        assert len(self.cache) >= len(live_model)
+        assert len(self.cache) <= CAPACITY
+
+    @invariant()
+    def all_live_model_keys_retrievable(self):
+        for key, (body, expires) in list(self.model.items()):
+            if expires is None or self.now < expires:
+                assert key in self.cache
+
+
+TestCacheMachine = CacheMachine.TestCase
+TestCacheMachine.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

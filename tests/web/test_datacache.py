@@ -1,0 +1,118 @@
+"""Tests for the middle-tier data cache (Configuration II)."""
+
+import pytest
+
+from repro.db import Database
+from repro.web.datacache import DataCache, DataCacheDriver
+
+
+class TestHitMiss:
+    def test_identical_query_hits(self, car_db):
+        cache = DataCache(car_db)
+        first = cache.execute("SELECT * FROM car WHERE price < 21000")
+        second = cache.execute("SELECT * FROM car WHERE price < 21000")
+        assert first.rows == second.rows
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_equivalent_spellings_hit(self, car_db):
+        """Cache keys are canonical SQL, not raw text."""
+        cache = DataCache(car_db)
+        cache.execute("select * from car where price < 21000")
+        cache.execute("SELECT  *  FROM car WHERE price < 21000")
+        assert cache.stats.hits == 1
+
+    def test_parameterized_queries_keyed_by_bound_values(self, car_db):
+        cache = DataCache(car_db)
+        cache.execute("SELECT * FROM car WHERE price < ?", (100,))
+        cache.execute("SELECT * FROM car WHERE price < ?", (200,))
+        cache.execute("SELECT * FROM car WHERE price < ?", (100,))
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 1
+
+    def test_dml_passes_through(self, car_db):
+        cache = DataCache(car_db)
+        cache.execute("INSERT INTO car VALUES ('Kia', 'Rio', 1)")
+        assert len(car_db.query("SELECT * FROM car")) == 5
+        assert cache.stats.lookups == 0
+
+    def test_capacity_eviction(self, car_db):
+        cache = DataCache(car_db, capacity=2)
+        cache.execute("SELECT * FROM car WHERE price < 1")
+        cache.execute("SELECT * FROM car WHERE price < 2")
+        cache.execute("SELECT * FROM car WHERE price < 3")
+        assert len(cache) == 2
+        cache.execute("SELECT * FROM car WHERE price < 1")  # evicted: miss again
+        assert cache.stats.misses == 4
+
+    def test_bad_capacity(self, car_db):
+        with pytest.raises(ValueError):
+            DataCache(car_db, capacity=0)
+
+
+class TestSynchronization:
+    def test_update_invalidates_affected_tables(self, car_db):
+        cache = DataCache(car_db)
+        cache.execute("SELECT * FROM car")
+        cache.execute("SELECT * FROM mileage")
+        car_db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 1)")
+        invalidated = cache.synchronize()
+        assert invalidated == 1
+        assert len(cache) == 1  # mileage result survives
+
+    def test_fresh_results_after_sync(self, car_db):
+        cache = DataCache(car_db)
+        stale = cache.execute("SELECT COUNT(*) FROM car").rows
+        car_db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 1)")
+        # Before sync: the stale result is still served.
+        assert cache.execute("SELECT COUNT(*) FROM car").rows == stale
+        cache.synchronize()
+        assert cache.execute("SELECT COUNT(*) FROM car").rows == [(5,)]
+
+    def test_join_results_invalidated_by_either_table(self, car_db):
+        cache = DataCache(car_db)
+        cache.execute(
+            "SELECT * FROM car, mileage WHERE car.model = mileage.model"
+        )
+        car_db.execute("INSERT INTO mileage VALUES ('Rio', 40)")
+        assert cache.synchronize() == 1
+
+    def test_sync_without_updates_is_cheap_noop(self, car_db):
+        cache = DataCache(car_db)
+        cache.execute("SELECT * FROM car")
+        assert cache.synchronize() == 0
+        assert cache.stats.synchronizations == 1
+        assert len(cache) == 1
+
+    def test_sync_cursor_does_not_reprocess(self, car_db):
+        cache = DataCache(car_db)
+        car_db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 1)")
+        cache.synchronize()
+        records_seen = cache.stats.sync_records_seen
+        cache.synchronize()
+        assert cache.stats.sync_records_seen == records_seen
+
+    def test_updates_before_cache_creation_ignored(self, car_db):
+        car_db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 1)")
+        cache = DataCache(car_db)
+        cache.execute("SELECT * FROM car")
+        assert cache.synchronize() == 0
+
+
+class TestDriverAdapter:
+    def test_routes_through_cache(self, car_db):
+        from repro.db.dbapi import connect, register_driver
+
+        cache = DataCache(car_db)
+        register_driver("dc-test", DataCacheDriver(cache))
+        connection = connect(car_db, "repro:dc-test:")
+        connection.execute("SELECT * FROM car")
+        connection.execute("SELECT * FROM car")
+        assert cache.stats.hits == 1
+
+    def test_rejects_foreign_database(self, car_db):
+        cache = DataCache(car_db)
+        driver = DataCacheDriver(cache)
+        other = Database()
+        with pytest.raises(ValueError):
+            driver.run(other, "SELECT 1", None)

@@ -1,0 +1,128 @@
+"""Tests for the HTTP model and Cache-Control handling."""
+
+import pytest
+
+from repro.web.http import (
+    CacheControl,
+    HttpRequest,
+    HttpResponse,
+    make_eject_request,
+)
+
+
+class TestCacheControl:
+    def test_parse_simple(self):
+        control = CacheControl.parse("no-cache")
+        assert control.has("no-cache")
+
+    def test_parse_with_values(self):
+        control = CacheControl.parse('private, owner="cacheportal", max-age=60')
+        assert control.has("private")
+        assert control.get("owner") == "cacheportal"
+        assert control.max_age == 60.0
+
+    def test_parse_case_insensitive_names(self):
+        control = CacheControl.parse("No-Cache")
+        assert control.has("no-cache")
+
+    def test_parse_empty_segments(self):
+        control = CacheControl.parse("no-cache, , private")
+        assert control.has("no-cache") and control.has("private")
+
+    def test_render_round_trip(self):
+        control = CacheControl.cacheportal_private()
+        assert CacheControl.parse(control.render()) == control
+
+    def test_owner_rendered_quoted(self):
+        assert 'owner="cacheportal"' in CacheControl.cacheportal_private().render()
+
+    def test_no_cache_not_portal_cacheable(self):
+        assert not CacheControl.no_cache().is_cacheable_by_portal
+
+    def test_no_store_not_cacheable(self):
+        assert not CacheControl.parse("no-store").is_cacheable_by_portal
+
+    def test_portal_private_is_cacheable(self):
+        assert CacheControl.cacheportal_private().is_cacheable_by_portal
+
+    def test_private_other_owner_not_cacheable(self):
+        assert not CacheControl.parse('private, owner="other"').is_cacheable_by_portal
+        assert not CacheControl.parse("private").is_cacheable_by_portal
+
+    def test_public_is_cacheable(self):
+        assert CacheControl.parse("max-age=60").is_cacheable_by_portal
+
+    def test_eject_is_not_cacheable(self):
+        assert not CacheControl.eject().is_cacheable_by_portal
+
+    def test_bad_max_age_ignored(self):
+        assert CacheControl.parse("max-age=soon").max_age is None
+
+
+class TestHttpRequest:
+    def test_from_url_parses_query(self):
+        request = HttpRequest.from_url("/catalog?maker=Toyota&max=25")
+        assert request.path == "/catalog"
+        assert request.get_params == {"maker": "Toyota", "max": "25"}
+
+    def test_from_url_bare_path(self):
+        request = HttpRequest.from_url("/index")
+        assert request.get_params == {}
+
+    def test_from_url_with_host(self):
+        request = HttpRequest.from_url("//shop.acme.com/catalog?x=1")
+        assert request.host == "shop.acme.com"
+
+    def test_default_host(self):
+        assert HttpRequest.from_url("/x").host == "shop.example.com"
+
+    def test_query_string_sorted(self):
+        request = HttpRequest.from_url("/c?b=2&a=1")
+        assert request.query_string == "a=1&b=2"
+
+    def test_url_property(self):
+        assert HttpRequest.from_url("/c?b=2&a=1").url == "/c?a=1&b=2"
+        assert HttpRequest.from_url("/c").url == "/c"
+
+    def test_cookies_and_post(self):
+        request = HttpRequest.from_url(
+            "/c", post_params={"q": "x"}, cookies={"session": "s1"}
+        )
+        assert request.post_params == {"q": "x"}
+        assert request.cookies == {"session": "s1"}
+
+    def test_cache_control_header(self):
+        request = HttpRequest.from_url("/c")
+        assert request.cache_control is None
+        request.headers["Cache-Control"] = "eject"
+        assert request.cache_control.has("eject")
+
+
+class TestHttpResponse:
+    def test_defaults(self):
+        response = HttpResponse()
+        assert response.ok
+        assert response.cache_control.has("no-cache")
+
+    def test_not_ok(self):
+        assert not HttpResponse(status=404).ok
+        assert not HttpResponse(status=500).ok
+
+    def test_with_cache_control_copies(self):
+        original = HttpResponse(body="page", db_work=7, queries_issued=2)
+        rewritten = original.with_cache_control(CacheControl.cacheportal_private())
+        assert rewritten.body == "page"
+        assert rewritten.db_work == 7
+        assert rewritten.queries_issued == 2
+        assert rewritten.cache_control.is_cacheable_by_portal
+        assert original.cache_control.has("no-cache")  # unchanged
+
+
+class TestEjectMessage:
+    def test_eject_request_has_header(self):
+        message = make_eject_request("shop.example.com/catalog?x=1")
+        assert message.cache_control.has("eject")
+
+    def test_eject_request_is_normal_request(self):
+        message = make_eject_request("shop.example.com/catalog?x=1")
+        assert message.method == "GET"

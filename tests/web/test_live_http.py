@@ -1,0 +1,103 @@
+"""True end-to-end test: a CachePortal site served over real HTTP.
+
+Starts a wsgiref server on an ephemeral port in a background thread,
+drives it with urllib, and exercises the full loop — generation, cache
+hit, database update, invalidation, regeneration — over the wire.
+"""
+
+import threading
+import urllib.request
+from wsgiref.simple_server import WSGIServer, make_server
+
+import pytest
+
+from repro.web import Configuration, build_site
+from repro.web.wsgi import SiteWSGIApp
+from repro.core import CachePortal
+
+from helpers import car_servlets, make_car_db
+
+
+class _QuietServer(WSGIServer):
+    def handle_error(self, request, client_address):  # pragma: no cover
+        pass
+
+
+@pytest.fixture
+def live_site():
+    db = make_car_db()
+    site = build_site(Configuration.WEB_CACHE, car_servlets(), database=db)
+    portal = CachePortal(site)
+    app = SiteWSGIApp(site)
+    server = make_server("127.0.0.1", 0, app, server_class=_QuietServer)
+    # Suppress wsgiref's per-request stderr logging.
+    server.RequestHandlerClass.log_message = lambda *args, **kwargs: None
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_port}"
+    try:
+        yield base, site, portal, db
+    finally:
+        server.shutdown()
+        thread.join(timeout=5)
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, dict(response.headers), response.read().decode()
+
+
+class TestLiveHttp:
+    def test_full_loop_over_the_wire(self, live_site):
+        base, site, portal, db = live_site
+        url = f"{base}/catalog?max_price=21000"
+
+        status, headers, body = fetch(url)
+        assert status == 200
+        assert "Civic" in body
+        assert "cacheportal" in headers["Cache-Control"]
+
+        _status, _headers, second = fetch(url)
+        assert second == body
+        assert site.stats.page_cache_hits == 1
+
+        db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 14000)")
+        report = portal.run_invalidation_cycle()
+        assert report.urls_ejected == 1
+
+        _status, _headers, fresh = fetch(url)
+        assert "Rio" in fresh
+
+    def test_404_over_the_wire(self, live_site):
+        base, *_ = live_site
+        with pytest.raises(urllib.error.HTTPError) as err:
+            fetch(f"{base}/missing")
+        assert err.value.code == 404
+
+    def test_400_over_the_wire(self, live_site):
+        base, *_ = live_site
+        with pytest.raises(urllib.error.HTTPError) as err:
+            fetch(f"{base}/catalog")  # missing required parameter
+        assert err.value.code == 400
+
+    def test_concurrent_requests(self, live_site):
+        """A handful of parallel clients; responses stay consistent."""
+        base, site, portal, db = live_site
+        url = f"{base}/catalog?max_price=99999"
+        results = []
+        errors = []
+
+        def worker():
+            try:
+                results.append(fetch(url)[2])
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not errors
+        assert len(set(results)) == 1
+        assert "M5" in results[0]

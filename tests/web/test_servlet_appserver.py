@@ -1,0 +1,228 @@
+"""Tests for servlets, the registry, and the application server."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.db import connect
+from repro.web.appserver import ApplicationServer
+from repro.web.http import HttpRequest
+from repro.web.servlet import (
+    QueryBinding,
+    QueryPageServlet,
+    Servlet,
+    ServletRegistry,
+)
+from repro.web.urlkey import KeySpec
+
+
+def catalog_servlet(**kwargs):
+    return QueryPageServlet(
+        name="catalog",
+        path="/catalog",
+        queries=[
+            (
+                "SELECT maker, model, price FROM car WHERE price < ?",
+                [QueryBinding("get", "max_price", int)],
+            )
+        ],
+        key_spec=KeySpec.make(get_keys=["max_price"]),
+        **kwargs,
+    )
+
+
+class TestQueryPageServlet:
+    def test_renders_rows(self, car_db):
+        servlet = catalog_servlet()
+        response = servlet.service(
+            HttpRequest.from_url("/catalog?max_price=21000"), connect(car_db)
+        )
+        assert response.ok
+        assert "Civic" in response.body
+        assert "M5" not in response.body
+
+    def test_reports_db_work(self, car_db):
+        servlet = catalog_servlet()
+        response = servlet.service(
+            HttpRequest.from_url("/catalog?max_price=21000"), connect(car_db)
+        )
+        assert response.db_work > 0
+        assert response.queries_issued == 1
+
+    def test_missing_parameter_is_400(self, car_db):
+        from repro.errors import HttpError
+
+        servlet = catalog_servlet()
+        with pytest.raises(HttpError) as err:
+            servlet.service(HttpRequest.from_url("/catalog"), connect(car_db))
+        assert err.value.status == 400
+
+    def test_bad_parameter_value_is_400(self, car_db):
+        from repro.errors import HttpError
+
+        servlet = catalog_servlet()
+        with pytest.raises(HttpError) as err:
+            servlet.service(
+                HttpRequest.from_url("/catalog?max_price=cheap"), connect(car_db)
+            )
+        assert err.value.status == 400
+
+    def test_binding_default_used(self, car_db):
+        servlet = QueryPageServlet(
+            name="c",
+            path="/c",
+            queries=[
+                (
+                    "SELECT * FROM car WHERE price < ?",
+                    [QueryBinding("get", "max_price", int, default=99999)],
+                )
+            ],
+        )
+        response = servlet.service(HttpRequest.from_url("/c"), connect(car_db))
+        assert "M5" in response.body
+
+    def test_post_binding(self, car_db):
+        servlet = QueryPageServlet(
+            name="c",
+            path="/c",
+            queries=[
+                (
+                    "SELECT * FROM car WHERE maker = ?",
+                    [QueryBinding("post", "maker")],
+                )
+            ],
+        )
+        response = servlet.service(
+            HttpRequest.from_url("/c", post_params={"maker": "Honda"}),
+            connect(car_db),
+        )
+        assert "Civic" in response.body
+
+    def test_cookie_binding(self, car_db):
+        servlet = QueryPageServlet(
+            name="c",
+            path="/c",
+            queries=[
+                (
+                    "SELECT * FROM car WHERE maker = ?",
+                    [QueryBinding("cookie", "preferred")],
+                )
+            ],
+        )
+        response = servlet.service(
+            HttpRequest.from_url("/c", cookies={"preferred": "BMW"}), connect(car_db)
+        )
+        assert "M5" in response.body
+
+    def test_multiple_queries_per_page(self, car_db):
+        servlet = QueryPageServlet(
+            name="both",
+            path="/both",
+            queries=[
+                ("SELECT * FROM car", []),
+                ("SELECT * FROM mileage", []),
+            ],
+        )
+        response = servlet.service(HttpRequest.from_url("/both"), connect(car_db))
+        assert response.queries_issued == 2
+        assert "Avalon" in response.body and "35" in response.body
+
+    def test_html_escaping(self, car_db):
+        car_db.execute("INSERT INTO car VALUES ('<script>', 'xss', 1)")
+        servlet = QueryPageServlet(
+            name="c", path="/c", queries=[("SELECT * FROM car", [])]
+        )
+        response = servlet.service(HttpRequest.from_url("/c"), connect(car_db))
+        assert "<script>" not in response.body
+        assert "&lt;script&gt;" in response.body
+
+    def test_default_responses_are_no_cache(self, car_db):
+        """Without CachePortal installed, dynamic pages stay non-cacheable."""
+        servlet = catalog_servlet()
+        response = servlet.service(
+            HttpRequest.from_url("/catalog?max_price=21000"), connect(car_db)
+        )
+        assert not response.cache_control.is_cacheable_by_portal
+
+    def test_metadata_defaults(self):
+        servlet = catalog_servlet()
+        assert servlet.temporal_sensitivity_ms == 1000.0
+        assert servlet.cacheable
+
+
+class TestServletRegistry:
+    def test_route(self):
+        registry = ServletRegistry()
+        servlet = catalog_servlet()
+        registry.register(servlet)
+        assert registry.route("/catalog") is servlet
+
+    def test_unknown_path(self):
+        with pytest.raises(RoutingError):
+            ServletRegistry().route("/nope")
+
+    def test_duplicate_path_rejected(self):
+        registry = ServletRegistry()
+        registry.register(catalog_servlet())
+        with pytest.raises(RoutingError):
+            registry.register(catalog_servlet())
+
+    def test_by_name(self):
+        registry = ServletRegistry()
+        registry.register(catalog_servlet())
+        assert registry.by_name("catalog").path == "/catalog"
+        with pytest.raises(RoutingError):
+            registry.by_name("other")
+
+    def test_wrap_all(self):
+        registry = ServletRegistry()
+        registry.register(catalog_servlet())
+
+        class Wrapper(Servlet):
+            def __init__(self, inner):
+                super().__init__(inner.name, inner.path)
+                self.inner = inner
+
+        registry.wrap_all(Wrapper)
+        assert isinstance(registry.route("/catalog"), Wrapper)
+        assert isinstance(registry.by_name("catalog"), Wrapper)
+
+
+class TestApplicationServer:
+    def make(self, car_db):
+        server = ApplicationServer("as0", car_db)
+        server.register(catalog_servlet())
+        return server
+
+    def test_dispatch(self, car_db):
+        server = self.make(car_db)
+        response = server.handle(HttpRequest.from_url("/catalog?max_price=21000"))
+        assert response.ok
+        assert "Civic" in response.body
+
+    def test_unknown_path_is_404(self, car_db):
+        server = self.make(car_db)
+        response = server.handle(HttpRequest.from_url("/missing"))
+        assert response.status == 404
+        assert server.errors == 1
+
+    def test_http_error_surfaces_as_status(self, car_db):
+        server = self.make(car_db)
+        response = server.handle(HttpRequest.from_url("/catalog"))
+        assert response.status == 400
+
+    def test_request_counter(self, car_db):
+        server = self.make(car_db)
+        server.handle(HttpRequest.from_url("/catalog?max_price=1"))
+        server.handle(HttpRequest.from_url("/catalog?max_price=2"))
+        assert server.requests_served == 2
+
+    def test_set_driver_url_rebuilds_pool(self, car_db):
+        from repro.db.dbapi import register_driver
+        from repro.db.wrapper import LoggingDriver
+
+        server = self.make(car_db)
+        driver = LoggingDriver()
+        register_driver("as-test-driver", driver)
+        server.set_driver_url("repro:as-test-driver:")
+        server.handle(HttpRequest.from_url("/catalog?max_price=21000"))
+        assert len(driver.log) == 1

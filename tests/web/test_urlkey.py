@@ -1,0 +1,81 @@
+"""Tests for page identifier (URL key) construction (§2.3.1)."""
+
+from repro.web.http import HttpRequest
+from repro.web.urlkey import ALL_GET, KeySpec, page_key
+
+
+def request(**kwargs):
+    return HttpRequest.from_url("/catalog?maker=Toyota&session=abc", **kwargs)
+
+
+class TestDefaultSpec:
+    def test_all_get_params_keyed(self):
+        key = page_key(request())
+        assert "maker=Toyota" in key
+        assert "session=abc" in key
+
+    def test_host_and_path_included(self):
+        key = page_key(request())
+        assert key.startswith("shop.example.com/catalog")
+
+    def test_deterministic_order(self):
+        a = page_key(HttpRequest.from_url("/c?b=2&a=1"))
+        b = page_key(HttpRequest.from_url("/c?a=1&b=2"))
+        assert a == b
+
+    def test_cookies_excluded_by_default(self):
+        with_cookie = page_key(request(cookies={"session": "zzz"}))
+        without = page_key(request())
+        assert with_cookie == without
+
+
+class TestRestrictedSpec:
+    def test_only_named_get_keys(self):
+        spec = KeySpec.make(get_keys=["maker"])
+        key = page_key(request(), spec)
+        assert "maker=Toyota" in key
+        assert "session" not in key
+
+    def test_session_param_excluded_pages_share_key(self):
+        """The motivating case: per-visitor params must not split the cache."""
+        spec = KeySpec.make(get_keys=["maker"])
+        a = page_key(HttpRequest.from_url("/catalog?maker=T&session=1"), spec)
+        b = page_key(HttpRequest.from_url("/catalog?maker=T&session=2"), spec)
+        assert a == b
+
+    def test_cookie_keys(self):
+        spec = KeySpec.make(get_keys=[], cookie_keys=["locale"])
+        a = page_key(request(cookies={"locale": "en", "tracker": "x"}), spec)
+        b = page_key(request(cookies={"locale": "de", "tracker": "x"}), spec)
+        assert a != b
+        assert "tracker" not in a
+
+    def test_post_keys(self):
+        spec = KeySpec.make(get_keys=[], post_keys=["query"])
+        a = page_key(request(post_params={"query": "sedans"}), spec)
+        b = page_key(request(post_params={"query": "vans"}), spec)
+        assert a != b
+        assert "post:" in a
+
+    def test_empty_spec_keys_only_host_path(self):
+        spec = KeySpec.make(get_keys=[])
+        assert page_key(request(), spec) == "shop.example.com/catalog"
+
+    def test_different_paths_different_keys(self):
+        spec = KeySpec.make(get_keys=[])
+        a = page_key(HttpRequest.from_url("/a"), spec)
+        b = page_key(HttpRequest.from_url("/b"), spec)
+        assert a != b
+
+    def test_different_hosts_different_keys(self):
+        a = page_key(HttpRequest.from_url("//h1.com/a"))
+        b = page_key(HttpRequest.from_url("//h2.com/a"))
+        assert a != b
+
+    def test_sections_disambiguated(self):
+        """A GET param and a cookie with the same name/value must differ."""
+        get_spec = KeySpec.make(get_keys=["k"])
+        cookie_spec = KeySpec.make(get_keys=[], cookie_keys=["k"])
+        a = page_key(HttpRequest.from_url("/p?k=v"), get_spec)
+        b = page_key(HttpRequest.from_url("/p", cookies={"k": "v"}), cookie_spec)
+        assert a != b

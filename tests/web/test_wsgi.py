@@ -1,0 +1,222 @@
+"""Tests for the WSGI bindings: environ translation, app, middleware."""
+
+import pytest
+
+from repro.web import Configuration, build_site
+from repro.web.cache import WebCache
+from repro.web.http import CacheControl
+from repro.web.wsgi import (
+    CachePortalMiddleware,
+    SiteWSGIApp,
+    call_wsgi,
+    make_environ,
+    request_from_environ,
+)
+from repro.core import CachePortal
+
+from helpers import car_servlets, make_car_db
+
+
+class TestEnvironTranslation:
+    def test_get_request(self):
+        environ = make_environ("/catalog?max_price=21000&x=1")
+        request = request_from_environ(environ)
+        assert request.method == "GET"
+        assert request.path == "/catalog"
+        assert request.get_params == {"max_price": "21000", "x": "1"}
+
+    def test_host_header(self):
+        environ = make_environ("//shop.acme.com/c")
+        assert request_from_environ(environ).host == "shop.acme.com"
+
+    def test_post_form_body(self):
+        environ = make_environ("/search", post_params={"q": "sedan", "n": "5"})
+        request = request_from_environ(environ)
+        assert request.method == "POST"
+        assert request.post_params == {"q": "sedan", "n": "5"}
+
+    def test_cookies_parsed(self):
+        environ = make_environ("/c", cookies={"session": "abc", "locale": "en"})
+        request = request_from_environ(environ)
+        assert request.cookies == {"session": "abc", "locale": "en"}
+
+    def test_extra_headers(self):
+        environ = make_environ("/c", headers={"Cache-Control": "eject"})
+        request = request_from_environ(environ)
+        assert request.cache_control.has("eject")
+
+    def test_bad_content_length_ignored(self):
+        environ = make_environ("/c")
+        environ["CONTENT_LENGTH"] = "banana"
+        environ["REQUEST_METHOD"] = "POST"
+        request = request_from_environ(environ)
+        assert request.post_params == {}
+
+
+class TestSiteWSGIApp:
+    def make_app(self):
+        site = build_site(
+            Configuration.WEB_CACHE, car_servlets(), database=make_car_db()
+        )
+        portal = CachePortal(site)
+        return site, portal, SiteWSGIApp(site)
+
+    def test_serves_pages(self):
+        site, portal, app = self.make_app()
+        status, headers, body = call_wsgi(app, make_environ("/catalog?max_price=21000"))
+        assert status.startswith("200")
+        assert b"Civic" in body
+        header_map = dict(headers)
+        assert "cacheportal" in header_map["Cache-Control"]
+
+    def test_404_for_unknown_path(self):
+        _site, _portal, app = self.make_app()
+        status, _headers, _body = call_wsgi(app, make_environ("/nope"))
+        assert status.startswith("404")
+
+    def test_400_for_missing_param(self):
+        _site, _portal, app = self.make_app()
+        status, _headers, _body = call_wsgi(app, make_environ("/catalog"))
+        assert status.startswith("400")
+
+    def test_second_request_hits_site_cache(self):
+        site, _portal, app = self.make_app()
+        call_wsgi(app, make_environ("/catalog?max_price=21000"))
+        call_wsgi(app, make_environ("/catalog?max_price=21000"))
+        assert site.stats.page_cache_hits == 1
+
+    def test_content_length_matches_body(self):
+        _site, _portal, app = self.make_app()
+        _status, headers, body = call_wsgi(app, make_environ("/catalog?max_price=1"))
+        assert dict(headers)["Content-Length"] == str(len(body))
+
+
+def third_party_app(environ, start_response):
+    """A WSGI app that is CachePortal-compliant but not built on repro."""
+    path = environ.get("PATH_INFO", "/")
+    counter = third_party_app.counter
+    counter[path] = counter.get(path, 0) + 1
+    body = f"page {path} generation #{counter[path]}".encode()
+    start_response(
+        "200 OK",
+        [
+            ("Content-Type", "text/plain"),
+            ("Cache-Control", 'private, owner="cacheportal"'),
+        ],
+    )
+    return [body]
+
+
+third_party_app.counter = {}
+
+
+class TestCachePortalMiddleware:
+    def setup_method(self):
+        third_party_app.counter = {}
+
+    def test_caches_compliant_responses(self):
+        cache = WebCache()
+        app = CachePortalMiddleware(third_party_app, cache)
+        _s, _h, first = call_wsgi(app, make_environ("/a"))
+        _s, _h, second = call_wsgi(app, make_environ("/a"))
+        assert first == second  # generation #1 served twice
+        assert third_party_app.counter["/a"] == 1
+        assert cache.stats.hits == 1
+
+    def test_distinct_pages_cached_separately(self):
+        app = CachePortalMiddleware(third_party_app)
+        _s, _h, a = call_wsgi(app, make_environ("/a"))
+        _s, _h, b = call_wsgi(app, make_environ("/b"))
+        assert a != b
+
+    def test_eject_message_removes_page(self):
+        cache = WebCache()
+        app = CachePortalMiddleware(third_party_app, cache)
+        call_wsgi(app, make_environ("/a"))
+        status, _h, body = call_wsgi(
+            app, make_environ("/a", headers={"Cache-Control": "eject"})
+        )
+        assert status.startswith("204")
+        assert body == b""
+        # The next request regenerates.
+        _s, _h, regenerated = call_wsgi(app, make_environ("/a"))
+        assert b"#2" in regenerated
+
+    def test_eject_unknown_page_is_404(self):
+        app = CachePortalMiddleware(third_party_app)
+        status, _h, _b = call_wsgi(
+            app, make_environ("/never-seen", headers={"Cache-Control": "eject"})
+        )
+        assert status.startswith("404")
+
+    def test_non_compliant_responses_not_cached(self):
+        def no_cache_app(environ, start_response):
+            start_response(
+                "200 OK",
+                [("Content-Type", "text/plain"), ("Cache-Control", "no-cache")],
+            )
+            return [b"dynamic"]
+
+        cache = WebCache()
+        app = CachePortalMiddleware(no_cache_app, cache)
+        call_wsgi(app, make_environ("/x"))
+        call_wsgi(app, make_environ("/x"))
+        assert len(cache) == 0
+
+    def test_post_requests_bypass_cache(self):
+        cache = WebCache()
+        app = CachePortalMiddleware(third_party_app, cache)
+        call_wsgi(app, make_environ("/a", post_params={"k": "v"}))
+        call_wsgi(app, make_environ("/a", post_params={"k": "v"}))
+        assert third_party_app.counter["/a"] == 2
+
+    def test_shared_cache_with_invalidator_ejects(self):
+        """The middleware's cache can be handed to the invalidator's
+        message generator like any other cache."""
+        from repro.core.invalidator.generator import InvalidationMessageGenerator
+
+        cache = WebCache()
+        app = CachePortalMiddleware(third_party_app, cache)
+        call_wsgi(app, make_environ("/a"))
+        key = cache.keys()[0]
+        generator = InvalidationMessageGenerator([cache])
+        outcomes = generator.invalidate([key])
+        assert outcomes[0].pages_removed == 1
+        _s, _h, body = call_wsgi(app, make_environ("/a"))
+        assert b"#2" in body
+
+    def test_key_spec_resolver_used(self):
+        from repro.web.urlkey import KeySpec
+
+        cache = WebCache()
+        app = CachePortalMiddleware(
+            third_party_app,
+            cache,
+            key_spec_for_path=lambda path: KeySpec.make(get_keys=[]),
+        )
+        call_wsgi(app, make_environ("/a?session=1"))
+        call_wsgi(app, make_environ("/a?session=2"))
+        assert third_party_app.counter["/a"] == 1  # session param not keyed
+
+
+class TestRealWSGIServerCompat:
+    def test_wsgiref_validator_accepts_site_app(self):
+        """The app passes wsgiref's strict protocol validator."""
+        from wsgiref.validate import validator
+
+        site = build_site(
+            Configuration.WEB_CACHE, car_servlets(), database=make_car_db()
+        )
+        CachePortal(site)
+        app = validator(SiteWSGIApp(site))
+        environ = make_environ("/catalog?max_price=21000")
+        # wsgiref.validate requires a few extra keys.
+        environ.setdefault("SCRIPT_NAME", "")
+        environ.setdefault("wsgi.version", (1, 0))
+        environ.setdefault("wsgi.errors", __import__("io").BytesIO())
+        environ.setdefault("wsgi.multithread", False)
+        environ.setdefault("wsgi.multiprocess", False)
+        environ.setdefault("wsgi.run_once", False)
+        status, _headers, body = call_wsgi(app, environ)
+        assert status.startswith("200")
+        assert b"Civic" in body
