@@ -42,6 +42,7 @@ from repro.core import (
     Sniffer,
     TriggerInvalidator,
 )
+from repro.stream import StreamingInvalidationPipeline
 
 __version__ = "1.0.0"
 
@@ -61,6 +62,7 @@ __all__ = [
     "Servlet",
     "Site",
     "Sniffer",
+    "StreamingInvalidationPipeline",
     "TriggerInvalidator",
     "WebCache",
     "build_site",

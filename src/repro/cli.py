@@ -132,6 +132,94 @@ def _run_example41() -> int:
     return 0
 
 
+def _run_stream(args: argparse.Namespace) -> int:
+    """Drive the streaming invalidation pipeline and print its stats."""
+    import json
+
+    from repro import CachePortal, Configuration, Database, KeySpec, build_site
+    from repro.stream import StreamingInvalidationPipeline
+    from repro.web import QueryPageServlet
+    from repro.web.servlet import QueryBinding
+
+    db = Database()
+    db.execute("CREATE TABLE product (name TEXT, price INT)")
+    db.execute("CREATE TABLE review (name TEXT, stars INT)")
+    db.execute("INSERT INTO product VALUES ('phone', 800), ('desk', 300)")
+    db.execute("INSERT INTO review VALUES ('phone', 5), ('desk', 4)")
+    servlets = [
+        QueryPageServlet(
+            name="catalog",
+            path="/catalog",
+            queries=[
+                (
+                    "SELECT name, price FROM product WHERE price < ?",
+                    [QueryBinding("get", "max_price", int)],
+                )
+            ],
+            key_spec=KeySpec.make(get_keys=["max_price"]),
+        ),
+        QueryPageServlet(
+            name="reviews",
+            path="/reviews",
+            queries=[
+                (
+                    "SELECT product.name, review.stars FROM product, review "
+                    "WHERE product.name = review.name AND review.stars > ?",
+                    [QueryBinding("get", "min_stars", int)],
+                )
+            ],
+            key_spec=KeySpec.make(get_keys=["min_stars"]),
+        ),
+    ]
+    site = build_site(Configuration.WEB_CACHE, servlets, database=db)
+    portal = CachePortal(site)
+    pipeline = StreamingInvalidationPipeline.for_portal(
+        portal,
+        num_shards=args.shards,
+        polling_budget=args.polling_budget,
+        batch_size=args.batch_size,
+    )
+    pipeline.start()
+    for i in range(args.pages):
+        site.get(f"/catalog?max_price={500 + 100 * i}")
+        site.get(f"/reviews?min_stars={1 + i % 4}")
+    for i in range(args.updates):
+        db.execute(f"INSERT INTO product VALUES ('gadget{i}', {400 + i})")
+        if i % 3 == 0:
+            db.execute(f"INSERT INTO review VALUES ('gadget{i}', {1 + i % 5})")
+    drained = pipeline.drain(timeout=30.0)
+    stats = pipeline.stats()
+    pipeline.stop()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+    else:
+        tailer, workers, bus = stats["tailer"], stats["workers"], stats["bus"]
+        print(f"pipeline: {args.shards} shard(s), drained={drained}")
+        print(
+            f"tailer  : {tailer['records_tailed']} records in "
+            f"{tailer['batches_tailed']} batches, lag={tailer['lag_records']}"
+        )
+        print(
+            f"workers : {workers['pairs_checked']} pairs checked — "
+            f"{workers['unaffected']} unaffected, {workers['affected']} affected, "
+            f"{workers['polls_executed']} polled, "
+            f"{workers['over_invalidated']} over-invalidated"
+        )
+        print(
+            f"bus     : {bus['deliveries_ok']} ejects delivered "
+            f"({bus['pages_removed']} pages removed, "
+            f"{bus['ejects_coalesced']} coalesced) at "
+            f"{bus['ejects_per_second']}/s, "
+            f"mean latency {bus['eject_latency_mean_ms']}ms"
+        )
+        print(
+            f"faults  : {bus['retries']} retries, "
+            f"{bus['dead_letters']} dead letters, "
+            f"{bus['breaker_opens']} breaker opens"
+        )
+    return 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     from wsgiref.simple_server import make_server
 
@@ -198,6 +286,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_e41 = sub.add_parser("example41", help="paper Example 4.1 decisions")
     p_e41.set_defaults(func=lambda args: _run_example41())
+
+    p_stream = sub.add_parser(
+        "stream", help="run the streaming invalidation pipeline demo"
+    )
+    p_stream.add_argument("--shards", type=int, default=4,
+                          help="invalidation worker count (default 4)")
+    p_stream.add_argument("--pages", type=int, default=12,
+                          help="pages to cache before the update burst")
+    p_stream.add_argument("--updates", type=int, default=50,
+                          help="updates to stream through the pipeline")
+    p_stream.add_argument("--polling-budget", type=int, default=None,
+                          help="max polling queries per shard per cycle")
+    p_stream.add_argument("--batch-size", type=int, default=256,
+                          help="tailer batch bound (records)")
+    p_stream.add_argument("--json", action="store_true",
+                          help="emit the raw stats() snapshot as JSON")
+    p_stream.set_defaults(func=_run_stream)
 
     p_serve = sub.add_parser("serve", help="serve a demo site over HTTP (wsgiref)")
     p_serve.add_argument("--host", default="")

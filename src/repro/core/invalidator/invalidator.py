@@ -34,7 +34,7 @@ from repro.core.invalidator.registration import (
     RegistrationModule,
 )
 from repro.core.invalidator.scheduler import InvalidationScheduler, PollCandidate
-from repro.core.invalidator.updates import UpdateProcessor
+from repro.core.invalidator.updates import UpdateProcessor, dedupe_records
 
 
 @dataclass
@@ -181,15 +181,8 @@ class Invalidator:
             # §4.2.1: related updates are processed as a group — identical
             # change records (same kind, same tuple) yield identical
             # verdicts for every instance, so only the first is checked.
-            records = []
-            seen_records = set()
-            for record in deltas.changes_for(table):
-                key = (record.kind, record.values, record.columns)
-                if key in seen_records:
-                    report.duplicate_records_skipped += 1
-                    continue
-                seen_records.add(key)
-                records.append(record)
+            records, duplicates = dedupe_records(deltas.changes_for(table))
+            report.duplicate_records_skipped += duplicates
             for instance in self.registry.instances_touching(table):
                 if instance.instance_id in doomed_instances:
                     continue

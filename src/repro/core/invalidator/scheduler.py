@@ -64,8 +64,25 @@ class InvalidationScheduler:
         self.polling_budget = polling_budget
         self.cost_budget = cost_budget
         self.cycles = 0
+        self.total_candidates = 0
         self.total_scheduled = 0
         self.total_over_invalidated = 0
+
+    @property
+    def budget_utilization(self) -> float:
+        """Scheduled polls over offered poll slots across all cycles.
+
+        With an unbounded budget every candidate is a slot, so the value
+        is 1.0 whenever any poll ran; streaming metrics use this as the
+        poll-budget utilization gauge.
+        """
+        if self.polling_budget is None:
+            offered = self.total_candidates
+        else:
+            offered = self.cycles * self.polling_budget
+        if not offered:
+            return 0.0
+        return min(1.0, self.total_scheduled / offered)
 
     def schedule(self, candidates: List[PollCandidate]) -> Schedule:
         """Split candidates into polls-to-run and over-invalidations.
@@ -75,6 +92,7 @@ class InvalidationScheduler:
         cost.  The order is deterministic for reproducible experiments.
         """
         self.cycles += 1
+        self.total_candidates += len(candidates)
         ranked = sorted(
             candidates,
             key=lambda c: (-c.priority, -c.urls_at_stake, c.deadline_ms, c.cost),

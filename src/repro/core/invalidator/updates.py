@@ -8,10 +8,33 @@ never re-process or miss changes.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.db.engine import Database
-from repro.db.log import DeltaTables
+from repro.db.log import DeltaTables, UpdateRecord
+
+
+def dedupe_records(
+    records: Sequence[UpdateRecord],
+) -> Tuple[List[UpdateRecord], int]:
+    """Collapse identical change records (§4.2.1 group processing).
+
+    Records with the same kind, tuple, and columns yield identical
+    verdicts for every query instance, so only the first needs checking.
+    Returns the unique records (original order) and the duplicate count.
+    Shared by the synchronous invalidator and the streaming shard workers.
+    """
+    unique: List[UpdateRecord] = []
+    seen = set()
+    duplicates = 0
+    for record in records:
+        key = (record.kind, record.values, record.columns)
+        if key in seen:
+            duplicates += 1
+            continue
+        seen.add(key)
+        unique.append(record)
+    return unique, duplicates
 
 
 class UpdateProcessor:

@@ -128,6 +128,16 @@ class UpdateLog:
         """LSN that the *next* appended record will receive."""
         return self._next_lsn
 
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the most recently appended record (0 when empty)."""
+        return self._next_lsn - 1
+
+    @property
+    def oldest_lsn(self) -> int:
+        """Lowest LSN still retained; reads before it raise."""
+        return self._truncated_before
+
     def fast_forward(self, lsn: int) -> None:
         """Advance an *empty* log so its next record gets LSN ``lsn``.
 
@@ -143,8 +153,14 @@ class UpdateLog:
     def __len__(self) -> int:
         return len(self._records)
 
-    def read_since(self, lsn: int) -> List[UpdateRecord]:
-        """All records with LSN > ``lsn``, oldest first.
+    def read_since(
+        self, lsn: int, limit: Optional[int] = None
+    ) -> List[UpdateRecord]:
+        """Records with LSN > ``lsn``, oldest first, at most ``limit``.
+
+        ``limit`` is the offset API used by streaming consumers: a tailer
+        reads bounded batches and resumes from the last LSN it saw, so its
+        in-memory buffering never exceeds one batch.
 
         Raises:
             ValueError: when records after ``lsn`` have been truncated away.
@@ -157,7 +173,9 @@ class UpdateLog:
         # Records are LSN-ordered; binary search would work, but logs are
         # short-lived between syncs so a scan from a computed offset is fine.
         offset = max(0, lsn + 1 - self._truncated_before)
-        return self._records[offset:]
+        if limit is None:
+            return self._records[offset:]
+        return self._records[offset : offset + limit]
 
     def deltas_since(self, lsn: int) -> DeltaTables:
         """Build Δ⁺/Δ⁻ tables from every record after ``lsn``."""

@@ -22,6 +22,7 @@ from repro.sim.configs import (
     simulate_config1,
     simulate_config2,
     simulate_config3,
+    simulate_config3_streaming,
 )
 from repro.sim.runner import ExperimentRunner, run_table2, run_table3
 
@@ -47,4 +48,5 @@ __all__ = [
     "simulate_config1",
     "simulate_config2",
     "simulate_config3",
+    "simulate_config3_streaming",
 ]

@@ -1,0 +1,342 @@
+"""The eject delivery bus (streaming replacement for §4.2.4 delivery).
+
+The synchronous invalidator hands ``Cache-Control: eject`` messages to
+every cache inline and merely *counts* failures.  At streaming rates a
+single slow or flapping cache would stall the whole pipeline, so the bus
+decouples delivery:
+
+* **coalescing** — an eject for a URL that is already queued is merged
+  (the page can only be removed once);
+* **retry with exponential backoff** — a failed delivery is rescheduled,
+  not dropped, with per-attempt delays ``base * factor**(attempt-1)``
+  capped at ``backoff_max``;
+* **per-cache circuit breaking** — after ``breaker_threshold``
+  consecutive failures a cache is parked for ``breaker_cooldown``
+  seconds; deliveries due while the circuit is open are deferred without
+  burning an attempt, and other caches are unaffected;
+* **dead-letter queue** — a delivery that exhausts ``max_attempts`` is
+  recorded for operator replay instead of blocking the bus.
+
+Delivery order is FIFO per cache for healthy caches, which (together
+with relation-sharded workers upstream) preserves per-relation eject
+ordering end to end.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.web.http import make_eject_request
+from repro.stream.metrics import PipelineMetrics
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker for one delivery target."""
+
+    def __init__(self, threshold: int = 3, cooldown: float = 0.5) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self.times_opened = 0
+
+    @property
+    def is_open(self) -> bool:
+        return self.opened_at is not None
+
+    def allows(self, now: float) -> bool:
+        """True when a delivery attempt may proceed (closed or half-open)."""
+        if self.opened_at is None:
+            return True
+        return now >= self.opened_at + self.cooldown
+
+    def reopen_time(self) -> float:
+        assert self.opened_at is not None
+        return self.opened_at + self.cooldown
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.opened_at = None
+
+    def record_failure(self, now: float) -> bool:
+        """Count a failure; returns True when the circuit newly opens."""
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.threshold:
+            newly = self.opened_at is None
+            self.opened_at = now
+            if newly:
+                self.times_opened += 1
+            return newly
+        return False
+
+
+@dataclass
+class CacheTarget:
+    """One registered cache and its delivery health."""
+
+    name: str
+    cache: object  # anything with handle_message(request, url_key) -> bool
+    breaker: CircuitBreaker
+    delivered: int = 0
+    failed_attempts: int = 0
+    dead_lettered: int = 0
+
+
+@dataclass
+class DeadLetter:
+    """An eject the bus gave up on — kept for operator replay."""
+
+    url_key: str
+    cache_name: str
+    attempts: int
+    error: str
+
+
+@dataclass
+class _Delivery:
+    url_key: str
+    target: CacheTarget
+    attempts: int = 0
+    origin_ts: Optional[float] = None
+
+
+class EjectBus:
+    """Asynchronous fan-out of eject messages to registered caches.
+
+    Run it with :meth:`start`/:meth:`stop` (a daemon thread), or drive it
+    deterministically from tests via :meth:`pump`.
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[PipelineMetrics] = None,
+        max_attempts: int = 5,
+        backoff_base: float = 0.01,
+        backoff_factor: float = 2.0,
+        backoff_max: float = 0.5,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 0.1,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        import time
+
+        self.metrics = metrics or PipelineMetrics()
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_max = backoff_max
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self._clock = clock or time.monotonic
+        self._targets: Dict[str, CacheTarget] = {}
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._orders: "deque[Tuple[str, Optional[float]]]" = deque()
+        self._queued_urls: set = set()
+        self._retries: List[Tuple[float, int, _Delivery]] = []
+        self._retry_seq = itertools.count()
+        self._outstanding = 0
+        self.dead_letters: List[DeadLetter] = []
+        self._thread: Optional[threading.Thread] = None
+        self._running = False
+
+    # -- registration -----------------------------------------------------------
+
+    def register(self, name: str, cache: object) -> CacheTarget:
+        """Attach a cache under a unique name; returns its target record."""
+        with self._lock:
+            if name in self._targets:
+                raise ValueError(f"cache {name!r} already registered")
+            target = CacheTarget(
+                name=name,
+                cache=cache,
+                breaker=CircuitBreaker(
+                    self.breaker_threshold, self.breaker_cooldown
+                ),
+            )
+            self._targets[name] = target
+            return target
+
+    def targets(self) -> List[CacheTarget]:
+        with self._lock:
+            return list(self._targets.values())
+
+    # -- publishing -------------------------------------------------------------
+
+    def publish(
+        self, url_keys: Sequence[str], origin_ts: Optional[float] = None
+    ) -> int:
+        """Queue eject orders; returns how many were accepted (not coalesced)."""
+        accepted = 0
+        with self._lock:
+            for url_key in url_keys:
+                self.metrics.add(ejects_requested=1)
+                if url_key in self._queued_urls:
+                    self.metrics.add(ejects_coalesced=1)
+                    continue
+                self._queued_urls.add(url_key)
+                self._orders.append((url_key, origin_ts))
+                self._outstanding += 1
+                accepted += 1
+        if accepted:
+            self._wake.set()
+        return accepted
+
+    @property
+    def outstanding(self) -> int:
+        """Eject orders plus pending deliveries not yet resolved."""
+        with self._lock:
+            return self._outstanding
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._run, name="eject-bus", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, flush: bool = True, timeout: float = 5.0) -> None:
+        if flush:
+            self.drain(timeout=timeout)
+        self._running = False
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def drain(self, timeout: float = 5.0) -> bool:
+        """Block until every published eject is resolved (or timeout)."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.outstanding == 0:
+                return True
+            if not self._running:
+                self.pump()
+            time.sleep(0.001)
+        return self.outstanding == 0
+
+    # -- the delivery loop -----------------------------------------------------------
+
+    def _run(self) -> None:
+        while self._running:
+            next_due = self.pump()
+            with self._lock:
+                has_orders = bool(self._orders)
+            if has_orders:
+                continue
+            now = self._clock()
+            wait = 0.05 if next_due is None else max(0.0, min(next_due - now, 0.05))
+            self._wake.wait(timeout=wait if wait > 0 else 0.001)
+            self._wake.clear()
+
+    def pump(self) -> Optional[float]:
+        """Process all currently-due work; returns the next retry due time.
+
+        Public so tests (and the synchronous pipeline mode) can drive the
+        bus without a thread.
+        """
+        now = self._clock()
+        # 1. due retries, oldest due first
+        while True:
+            with self._lock:
+                if not self._retries or self._retries[0][0] > now:
+                    break
+                _due, _seq, delivery = heapq.heappop(self._retries)
+            self._attempt(delivery)
+            now = self._clock()
+        # 2. fresh orders, FIFO
+        while True:
+            with self._lock:
+                if not self._orders:
+                    break
+                url_key, origin_ts = self._orders.popleft()
+                self._queued_urls.discard(url_key)
+                targets = list(self._targets.values())
+                # one order becomes one delivery per target
+                self._outstanding += max(0, len(targets) - 1)
+            if not targets:
+                with self._lock:
+                    self._outstanding -= 1
+                continue
+            for target in targets:
+                self._attempt(
+                    _Delivery(url_key=url_key, target=target, origin_ts=origin_ts)
+                )
+        with self._lock:
+            return self._retries[0][0] if self._retries else None
+
+    def _attempt(self, delivery: _Delivery) -> None:
+        now = self._clock()
+        target = delivery.target
+        if not target.breaker.allows(now):
+            # Circuit open: defer to the half-open instant without
+            # consuming an attempt — the cache is known-bad right now.
+            self._schedule(delivery, target.breaker.reopen_time())
+            return
+        message = make_eject_request(delivery.url_key)
+        delivery.attempts += 1
+        try:
+            removed = target.cache.handle_message(message, delivery.url_key)
+        except Exception as exc:  # noqa: BLE001 - any cache fault is a delivery failure
+            target.failed_attempts += 1
+            self.metrics.add(deliveries_failed=1)
+            if target.breaker.record_failure(now):
+                self.metrics.add(breaker_opens=1)
+            if delivery.attempts >= self.max_attempts:
+                self._dead_letter(delivery, repr(exc))
+                return
+            backoff = min(
+                self.backoff_base
+                * (self.backoff_factor ** (delivery.attempts - 1)),
+                self.backoff_max,
+            )
+            self.metrics.add(retries=1)
+            self._schedule(delivery, now + backoff)
+            return
+        target.breaker.record_success()
+        target.delivered += 1
+        self.metrics.add(deliveries_ok=1, pages_removed=1 if removed else 0)
+        if delivery.origin_ts is not None:
+            self.metrics.record_eject_latency(self._clock() - delivery.origin_ts)
+        with self._lock:
+            self._outstanding -= 1
+
+    def _schedule(self, delivery: _Delivery, due: float) -> None:
+        with self._lock:
+            heapq.heappush(
+                self._retries, (due, next(self._retry_seq), delivery)
+            )
+
+    def _dead_letter(self, delivery: _Delivery, error: str) -> None:
+        letter = DeadLetter(
+            url_key=delivery.url_key,
+            cache_name=delivery.target.name,
+            attempts=delivery.attempts,
+            error=error,
+        )
+        delivery.target.dead_lettered += 1
+        self.metrics.add(dead_letters=1)
+        with self._lock:
+            self.dead_letters.append(letter)
+            self._outstanding -= 1
+
+    # -- operator tools -----------------------------------------------------------
+
+    def replay_dead_letters(self) -> int:
+        """Re-queue every dead letter as a fresh order; returns how many."""
+        with self._lock:
+            letters, self.dead_letters = self.dead_letters, []
+        for letter in letters:
+            self.publish([letter.url_key])
+        return len(letters)

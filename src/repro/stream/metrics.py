@@ -1,0 +1,162 @@
+"""Pipeline observability: counters, gauges, and the ``stats()`` snapshot.
+
+Every moving part of the streaming pipeline reports here — the tailer
+(records consumed, replication lag), the shard workers (batches, verdict
+mix, poll-budget utilization), and the eject bus (deliveries, retries,
+dead letters).  All mutation goes through one lock so a snapshot taken
+mid-flight is internally consistent.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional
+
+
+class PipelineMetrics:
+    """Thread-safe metric store for one pipeline instance."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        import time
+
+        self._clock = clock or time.monotonic
+        self._lock = threading.Lock()
+        self.started_at: Optional[float] = None
+        # tailer
+        self.records_tailed = 0
+        self.batches_tailed = 0
+        self.truncations = 0
+        # workers
+        self.batches_processed = 0
+        self.records_processed = 0
+        self.duplicate_records_skipped = 0
+        self.pairs_checked = 0
+        self.unaffected = 0
+        self.affected = 0
+        self.polls_requested = 0
+        self.polls_executed = 0
+        self.polls_impacted = 0
+        self.over_invalidated = 0
+        self.scheduler_cycles = 0
+        self.poll_slots_offered = 0  # budget * cycles (None budget: offered = requested)
+        # bus
+        self.ejects_requested = 0
+        self.ejects_coalesced = 0
+        self.deliveries_ok = 0
+        self.deliveries_failed = 0
+        self.retries = 0
+        self.dead_letters = 0
+        self.breaker_opens = 0
+        self.pages_removed = 0
+        self._eject_latency_total = 0.0
+        self._eject_latency_count = 0
+        self._eject_latency_max = 0.0
+
+    # -- recording ----------------------------------------------------------
+
+    def mark_started(self) -> None:
+        with self._lock:
+            if self.started_at is None:
+                self.started_at = self._clock()
+
+    def add(self, **counters: int) -> None:
+        """Bump any counter attributes by name (must already exist)."""
+        with self._lock:
+            for name, amount in counters.items():
+                setattr(self, name, getattr(self, name) + amount)
+
+    def record_eject_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._eject_latency_total += seconds
+            self._eject_latency_count += 1
+            self._eject_latency_max = max(self._eject_latency_max, seconds)
+
+    # -- derived ----------------------------------------------------------
+
+    @property
+    def mean_eject_latency(self) -> float:
+        with self._lock:
+            if not self._eject_latency_count:
+                return 0.0
+            return self._eject_latency_total / self._eject_latency_count
+
+    @property
+    def poll_budget_utilization(self) -> float:
+        """Executed polls over offered poll slots (1.0 = budget saturated)."""
+        with self._lock:
+            if not self.poll_slots_offered:
+                return 0.0
+            return self.polls_executed / self.poll_slots_offered
+
+    def ejects_per_second(self) -> float:
+        with self._lock:
+            if self.started_at is None:
+                return 0.0
+            elapsed = self._clock() - self.started_at
+            if elapsed <= 0.0:
+                return 0.0
+            return self.deliveries_ok / elapsed
+
+    def snapshot(
+        self,
+        lag_records: int = 0,
+        queue_depths: Optional[List[int]] = None,
+        bus_outstanding: int = 0,
+    ) -> Dict[str, object]:
+        """One coherent dict of everything, for dashboards and the CLI."""
+        with self._lock:
+            latency_mean = (
+                self._eject_latency_total / self._eject_latency_count
+                if self._eject_latency_count
+                else 0.0
+            )
+            utilization = (
+                self.polls_executed / self.poll_slots_offered
+                if self.poll_slots_offered
+                else 0.0
+            )
+            elapsed = (
+                self._clock() - self.started_at
+                if self.started_at is not None
+                else 0.0
+            )
+            return {
+                "tailer": {
+                    "records_tailed": self.records_tailed,
+                    "batches_tailed": self.batches_tailed,
+                    "lag_records": lag_records,
+                    "truncations": self.truncations,
+                },
+                "workers": {
+                    "queue_depths": list(queue_depths or []),
+                    "batches_processed": self.batches_processed,
+                    "records_processed": self.records_processed,
+                    "duplicates_skipped": self.duplicate_records_skipped,
+                    "pairs_checked": self.pairs_checked,
+                    "unaffected": self.unaffected,
+                    "affected": self.affected,
+                    "polls_requested": self.polls_requested,
+                    "polls_executed": self.polls_executed,
+                    "polls_impacted": self.polls_impacted,
+                    "over_invalidated": self.over_invalidated,
+                    "poll_budget_utilization": round(utilization, 4),
+                },
+                "bus": {
+                    "ejects_requested": self.ejects_requested,
+                    "ejects_coalesced": self.ejects_coalesced,
+                    "outstanding": bus_outstanding,
+                    "deliveries_ok": self.deliveries_ok,
+                    "deliveries_failed": self.deliveries_failed,
+                    "retries": self.retries,
+                    "dead_letters": self.dead_letters,
+                    "breaker_opens": self.breaker_opens,
+                    "pages_removed": self.pages_removed,
+                    "ejects_per_second": round(
+                        self.deliveries_ok / elapsed if elapsed > 0 else 0.0, 2
+                    ),
+                    "eject_latency_mean_ms": round(1000.0 * latency_mean, 3),
+                    "eject_latency_max_ms": round(
+                        1000.0 * self._eject_latency_max, 3
+                    ),
+                },
+            }

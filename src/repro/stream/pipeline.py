@@ -1,0 +1,344 @@
+"""The streaming invalidation pipeline: tailer → shard workers → eject bus.
+
+The synchronous :class:`~repro.core.invalidator.invalidator.Invalidator`
+processes each synchronization point as one blocking pass.  The pipeline
+turns the same algorithm into a continuously-running system:
+
+* a :class:`~repro.stream.tailer.LogTailer` consumes the update log in
+  bounded batches with a resumable offset;
+* a pump thread ingests new QI/URL rows, routes each relation's changes
+  to its shard worker (per-relation ordering preserved), and applies the
+  result-cache daemon hook of §4.3;
+* :class:`~repro.stream.workers.InvalidationWorker` threads run the
+  grouped independence analysis and budgeted polling per shard;
+* an :class:`~repro.stream.bus.EjectBus` coalesces and delivers the
+  ``Cache-Control: eject`` messages, absorbing cache faults.
+
+The update-loss safety valve of the synchronous path is kept: when the
+bounded log truncates past the tailer's offset, every watched page is
+flushed.
+
+Typical use::
+
+    pipeline = StreamingInvalidationPipeline.for_portal(portal, num_shards=4)
+    pipeline.start()
+    ...                      # site serves traffic, updates commit
+    pipeline.drain()         # all known changes invalidated
+    print(pipeline.stats())
+    pipeline.stop()
+
+While a pipeline drives invalidation, do not also call
+``portal.run_invalidation_cycle()`` — both consume the same QI/URL map
+cursor and update log.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.db.engine import Database
+from repro.core.qiurl import QIURLMap
+from repro.core.invalidator.infomgmt import InformationManager
+from repro.core.invalidator.policies import InvalidationPolicy, PolicyEngine
+from repro.core.invalidator.registration import (
+    QueryTypeRegistry,
+    RegistrationModule,
+)
+from repro.stream.bus import EjectBus
+from repro.stream.metrics import PipelineMetrics
+from repro.stream.tailer import LogTailer
+from repro.stream.workers import ShardBatch, WorkerContext, WorkerPool
+
+
+class StreamingInvalidationPipeline:
+    """Concurrent CachePortal invalidation over one database.
+
+    Args:
+        database: the origin DBMS whose update log is tailed.
+        caches: caches to receive ejects (registered as ``cache0``…);
+            more can be attached later via :meth:`register_cache`.
+        qiurl_map: the sniffer's QI/URL map (a private one is created
+            when omitted — useful for registry-only tests).
+        num_shards: worker count; relations hash onto shards.
+        polling_budget: per shard per batch-cycle poll budget (§4.2.2).
+        batch_size: tailer read bound (the pipeline's buffering limit).
+        start_lsn: resume offset; ``None`` starts at the current head.
+        pre_ingest: hook run at each pump iteration *before* tailing —
+            typically ``portal.run_sniffer`` so freshly cached pages are
+            registered ahead of their invalidating updates.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        caches: Sequence[object] = (),
+        qiurl_map: Optional[QIURLMap] = None,
+        *,
+        num_shards: int = 4,
+        policy: Optional[InvalidationPolicy] = None,
+        polling_budget: Optional[int] = None,
+        batch_size: int = 256,
+        start_lsn: Optional[int] = None,
+        queue_capacity: int = 64,
+        use_data_cache: bool = False,
+        grouped_analysis: bool = True,
+        servlet_deadline: Optional[Callable[[str], float]] = None,
+        pre_ingest: Optional[Callable[[], object]] = None,
+        idle_sleep: float = 0.002,
+        bus: Optional[EjectBus] = None,
+        metrics: Optional[PipelineMetrics] = None,
+    ) -> None:
+        self.database = database
+        self.qiurl_map = qiurl_map if qiurl_map is not None else QIURLMap()
+        self.metrics = metrics or PipelineMetrics()
+        self.registry = QueryTypeRegistry()
+        self.registration = RegistrationModule(self.registry)
+        self.policy_engine = PolicyEngine(policy)
+        self.infomgmt = InformationManager(
+            database, self.policy_engine, use_data_cache=use_data_cache
+        )
+        self.registry_lock = threading.RLock()
+        self.db_lock = threading.Lock()
+        self.tailer = LogTailer(
+            database.update_log, batch_size=batch_size, start_lsn=start_lsn
+        )
+        self.bus = bus or EjectBus(metrics=self.metrics)
+        if bus is not None:
+            self.bus.metrics = self.metrics
+        for index, cache in enumerate(caches):
+            self.bus.register(f"cache{index}", cache)
+        self.context = WorkerContext(
+            database=database,
+            registry=self.registry,
+            qiurl_map=self.qiurl_map,
+            infomgmt=self.infomgmt,
+            registry_lock=self.registry_lock,
+            db_lock=self.db_lock,
+            polling_budget=polling_budget,
+            grouped_analysis=grouped_analysis,
+            servlet_deadline=servlet_deadline,
+        )
+        self.pool = WorkerPool(
+            num_shards,
+            self.context,
+            self.bus,
+            self.metrics,
+            queue_capacity=queue_capacity,
+        )
+        self.pre_ingest = pre_ingest
+        self.idle_sleep = idle_sleep
+        self._clock = time.monotonic
+        self._pump_thread: Optional[threading.Thread] = None
+        self._running = False
+
+    # -- construction helpers --------------------------------------------------
+
+    @classmethod
+    def for_portal(cls, portal, **kwargs) -> "StreamingInvalidationPipeline":
+        """Build a pipeline over a :class:`~repro.core.portal.CachePortal`.
+
+        Reuses the portal's sniffer (QI/URL map + mapper) and targets the
+        site's web cache; the portal's own synchronous invalidator should
+        then be left idle.
+        """
+        site = portal.site
+        kwargs.setdefault("pre_ingest", portal.run_sniffer)
+        kwargs.setdefault("servlet_deadline", portal._servlet_deadline)
+        return cls(
+            database=site.database,
+            caches=[site.web_cache],
+            qiurl_map=portal.qiurl_map,
+            **kwargs,
+        )
+
+    def register_cache(self, name: str, cache: object) -> None:
+        self.bus.register(name, cache)
+
+    def register_query_type(self, template_sql: str, name: Optional[str] = None):
+        """Offline registration of a known query type (§4.1.1)."""
+        with self.registry_lock:
+            return self.registration.register_query_type(template_sql, name)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.metrics.mark_started()
+        self.bus.start()
+        self.pool.start()
+        self._pump_thread = threading.Thread(
+            target=self._pump_loop, name="stream-pump", daemon=True
+        )
+        self._pump_thread.start()
+
+    def stop(self, flush: bool = True, timeout: float = 10.0) -> None:
+        if flush and self._running:
+            self.drain(timeout=timeout)
+        self._running = False
+        if self._pump_thread is not None:
+            self._pump_thread.join(timeout=timeout)
+            self._pump_thread = None
+        self.pool.stop(timeout=timeout)
+        self.bus.stop(flush=flush, timeout=timeout)
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Block until every change appended so far is fully invalidated:
+        log tailed to head, shard queues empty, eject bus settled."""
+        deadline = self._clock() + timeout
+        while self._clock() < deadline:
+            if (
+                self.tailer.at_head()
+                and self.pool.idle()
+                and self.bus.outstanding == 0
+            ):
+                return True
+            if not self._running:
+                self.process_available()
+            else:
+                time.sleep(0.001)
+        return (
+            self.tailer.at_head()
+            and self.pool.idle()
+            and self.bus.outstanding == 0
+        )
+
+    # -- the pump -------------------------------------------------------------
+
+    def _pump_loop(self) -> None:
+        while self._running:
+            moved = self.pump_once()
+            if not moved:
+                time.sleep(self.idle_sleep)
+
+    def pump_once(self) -> bool:
+        """One pump iteration; returns True when any work was dispatched."""
+        if self.pre_ingest is not None:
+            self.pre_ingest()
+        with self.registry_lock:
+            self.registration.scan(self.qiurl_map.read_new())
+        batch = self.tailer.poll()
+        if batch.lost:
+            self.metrics.add(truncations=1)
+            self._flush_everything()
+            return True
+        if not batch.records:
+            return False
+        now = self._clock()
+        self.metrics.add(
+            records_tailed=len(batch.records), batches_tailed=1
+        )
+        deltas = batch.deltas()
+        changed = set(deltas.tables())
+        # §4.3 daemon hook: stale polling results for changed tables must
+        # be dropped before any worker polls on this batch's behalf.
+        with self.db_lock:
+            self.infomgmt.on_cycle_deltas(changed)
+        for table in deltas.tables():
+            self.pool.submit(
+                ShardBatch(
+                    table=table,
+                    records=deltas.changes_for(table),
+                    origin_ts=now,
+                )
+            )
+        # Policy discovery (§4.1.4) rides along at batch granularity.
+        with self.registry_lock:
+            self.policy_engine.discover(self.registry)
+        return True
+
+    def _flush_everything(self) -> None:
+        """Update-loss safety valve: eject every watched page."""
+        with self.registry_lock:
+            all_urls = sorted(
+                {
+                    url
+                    for instance in self.registry.instances()
+                    for url in instance.urls
+                }
+            )
+            for url in all_urls:
+                self.qiurl_map.drop_url(url)
+                self.registry.drop_url(url)
+        if all_urls:
+            self.bus.publish(all_urls, origin_ts=self._clock())
+
+    # -- synchronous mode -------------------------------------------------------
+
+    def process_available(self, max_batches: int = 1_000_000) -> int:
+        """Deterministic, threadless pump: tail, analyze, and deliver
+        everything currently available in the caller's thread.
+
+        Used by tests and small scripts; the threaded path (:meth:`start`)
+        is the production shape.  Returns records processed.
+        """
+        processed = 0
+        for _ in range(max_batches):
+            moved = self.pump_once()
+            # run whatever the pump routed, inline, in shard order
+            for worker in self.pool.workers:
+                while True:
+                    try:
+                        item = worker.queue.get_nowait()
+                    except Exception:
+                        break
+                    if item is worker._SENTINEL:  # pragma: no cover - defensive
+                        continue
+                    try:
+                        processed += len(item.records)
+                        worker.process_batch(item)
+                    finally:
+                        with worker._inflight_lock:
+                            worker._inflight -= 1
+            while self.bus.outstanding:
+                next_due = self.bus.pump()
+                if self.bus.outstanding and next_due is not None:
+                    delay = max(0.0, next_due - self._clock())
+                    if delay > 0:
+                        time.sleep(min(delay, 0.05))
+            if not moved and self.tailer.at_head():
+                break
+        return processed
+
+    # -- observability -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """One coherent snapshot of pipeline health (the `repro stream`
+        CLI renders exactly this)."""
+        snapshot = self.metrics.snapshot(
+            lag_records=self.tailer.lag,
+            queue_depths=self.pool.queue_depths(),
+            bus_outstanding=self.bus.outstanding,
+        )
+        with self.registry_lock:
+            snapshot["registry"] = {
+                "query_types": len(self.registry.types()),
+                "query_instances": len(self.registry),
+                "map_rows": len(self.qiurl_map),
+            }
+        snapshot["tailer"]["cursor"] = self.tailer.cursor
+        snapshot["shards"] = [
+            {
+                "shard": worker.shard_id,
+                "batches": worker.batches_processed,
+                "records": worker.records_processed,
+                "scheduler_cycles": worker.scheduler.cycles,
+                "over_invalidated": worker.scheduler.total_over_invalidated,
+                "budget_utilization": round(
+                    worker.scheduler.budget_utilization, 4
+                ),
+            }
+            for worker in self.pool.workers
+        ]
+        snapshot["dead_letters"] = [
+            {
+                "url": letter.url_key,
+                "cache": letter.cache_name,
+                "attempts": letter.attempts,
+            }
+            for letter in list(self.bus.dead_letters)
+        ]
+        return snapshot

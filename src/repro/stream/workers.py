@@ -1,0 +1,328 @@
+"""Sharded invalidation workers.
+
+Each worker owns one shard of the relation space (``crc32(table) %
+num_shards``) and a FIFO queue of :class:`ShardBatch` items, so all
+changes to one relation are analyzed — and their ejects published — in
+log order, while different relations proceed concurrently.
+
+A worker runs the *existing* invalidation machinery per batch: the
+grouped independence check from :mod:`repro.core.invalidator.grouping`,
+budgeted polling through its own :class:`InvalidationScheduler` (one
+scheduler cycle per batch, so the polling budget is enforced per shard
+per cycle exactly as §4.2.2 prescribes), and result-cached poll execution
+via the shared :class:`InformationManager`.
+
+Shared mutable state (the query registry, the QI/URL map, per-type
+statistics) is guarded by one registry lock; the in-process database is
+guarded by a database lock around polling queries.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.db.log import UpdateRecord
+from repro.core.invalidator.analysis import IndependenceChecker, VerdictKind
+from repro.core.invalidator.grouping import GroupedChecker
+from repro.core.invalidator.scheduler import InvalidationScheduler, PollCandidate
+from repro.core.invalidator.updates import dedupe_records
+from repro.stream.bus import EjectBus
+from repro.stream.metrics import PipelineMetrics
+
+
+@dataclass
+class ShardBatch:
+    """All changes to one relation from one tail batch, in LSN order."""
+
+    table: str
+    records: List[UpdateRecord]
+    origin_ts: Optional[float] = None
+
+
+@dataclass
+class WorkerContext:
+    """Everything the shard workers share (with its locks)."""
+
+    database: object
+    registry: object
+    qiurl_map: object
+    infomgmt: object
+    registry_lock: threading.RLock
+    db_lock: threading.Lock
+    polling_budget: Optional[int] = None
+    grouped_analysis: bool = True
+    servlet_deadline: Optional[Callable[[str], float]] = None
+
+
+def shard_for(table: str, num_shards: int) -> int:
+    """Stable relation → shard assignment (crc32, not ``hash``: it must
+    not vary across processes or interpreter runs)."""
+    return zlib.crc32(table.lower().encode("utf-8")) % num_shards
+
+
+class InvalidationWorker:
+    """One shard: a queue, a thread, and a private analysis tool chain."""
+
+    _SENTINEL = object()
+
+    def __init__(
+        self,
+        shard_id: int,
+        context: WorkerContext,
+        bus: EjectBus,
+        metrics: PipelineMetrics,
+        queue_capacity: int = 64,
+    ) -> None:
+        self.shard_id = shard_id
+        self.context = context
+        self.bus = bus
+        self.metrics = metrics
+        self.queue: "queue.Queue" = queue.Queue(maxsize=queue_capacity)
+        self.scheduler = InvalidationScheduler(
+            polling_budget=context.polling_budget
+        )
+        self.checker = IndependenceChecker()
+        self.grouped_checker = GroupedChecker()
+        self.polling = context.infomgmt.polling_generator()
+        self.batches_processed = 0
+        self.records_processed = 0
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._running = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._run, name=f"invalidation-worker-{self.shard_id}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if not self._running:
+            return
+        self._running = False
+        self.queue.put(self._SENTINEL)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def submit(self, batch: ShardBatch) -> None:
+        """Enqueue one batch (blocks when the shard queue is full —
+        backpressure onto the tailer pump)."""
+        with self._inflight_lock:
+            self._inflight += 1
+        self.queue.put(batch)
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    def depth(self) -> int:
+        return self.queue.qsize()
+
+    def _run(self) -> None:
+        while True:
+            item = self.queue.get()
+            if item is self._SENTINEL:
+                break
+            try:
+                self.process_batch(item)
+            finally:
+                with self._inflight_lock:
+                    self._inflight -= 1
+
+    # -- the per-batch invalidation cycle ------------------------------------------
+
+    def process_batch(self, batch: ShardBatch) -> None:
+        """Analyze one relation's changes and publish the resulting ejects.
+
+        This is the streaming equivalent of one relation's slice of
+        ``Invalidator.run_cycle``: dedupe → independence check →
+        budgeted polling → eject.
+        """
+        ctx = self.context
+        records, duplicates = dedupe_records(batch.records)
+        self.batches_processed += 1
+        self.records_processed += len(batch.records)
+        self.metrics.add(
+            batches_processed=1,
+            records_processed=len(batch.records),
+            duplicate_records_skipped=duplicates,
+        )
+
+        with ctx.registry_lock:
+            instances = list(ctx.registry.instances_touching(batch.table))
+
+        urls_to_eject: "dict[str, None]" = {}  # insertion-ordered set
+        doomed: set = set()
+        poll_tasks = []  # (instance, verdict)
+        pairs = unaffected = affected = 0
+        # keyed by type_id: QueryType is a plain dataclass, not hashable
+        updates_seen_by_type: "dict[int, list]" = {}
+
+        # Record-major iteration (unlike the synchronous invalidator's
+        # instance-major pass): ejects caused by AFFECTED verdicts are
+        # published in log order, which is what makes the bus's FIFO
+        # delivery a *per-relation ordering* guarantee end to end.
+        for record in records:
+            for instance in instances:
+                if instance.instance_id in doomed:
+                    continue
+                pairs += 1
+                tally = updates_seen_by_type.setdefault(
+                    instance.query_type.type_id, [instance.query_type, 0]
+                )
+                tally[1] += 1
+                if ctx.grouped_analysis:
+                    verdict = self.grouped_checker.check_instance(
+                        instance, record
+                    )
+                else:
+                    verdict = self.checker.check(instance.statement, record)
+                if verdict.kind is VerdictKind.UNAFFECTED:
+                    unaffected += 1
+                    continue
+                if verdict.kind is VerdictKind.AFFECTED:
+                    affected += 1
+                    self._doom(instance, urls_to_eject, doomed)
+                    continue
+                poll_tasks.append((instance, verdict))
+
+        self.metrics.add(
+            pairs_checked=pairs, unaffected=unaffected, affected=affected
+        )
+        if updates_seen_by_type:
+            with ctx.registry_lock:
+                for query_type, count in updates_seen_by_type.values():
+                    query_type.stats.updates_seen += count
+
+        # Budgeted polling, one scheduler cycle per batch (§4.2.2).
+        live_tasks = [
+            (instance, verdict)
+            for instance, verdict in poll_tasks
+            if instance.instance_id not in doomed
+        ]
+        if live_tasks:
+            candidates = [
+                PollCandidate(
+                    key=index,
+                    priority=instance.query_type.priority,
+                    cost=instance.query_type.cost,
+                    urls_at_stake=len(instance.urls),
+                    deadline_ms=self._deadline_for(instance),
+                )
+                for index, (instance, _verdict) in enumerate(live_tasks)
+            ]
+            schedule = self.scheduler.schedule(candidates)
+            budget = ctx.polling_budget
+            self.metrics.add(
+                polls_requested=len(live_tasks),
+                scheduler_cycles=1,
+                poll_slots_offered=(
+                    budget if budget is not None else len(live_tasks)
+                ),
+            )
+            self.polling.begin_cycle()
+            for candidate in schedule.to_poll:
+                instance, verdict = live_tasks[candidate.key]
+                if instance.instance_id in doomed:
+                    continue
+                with ctx.db_lock:
+                    work_before = self.polling.stats.total_work_units
+                    impacted = ctx.infomgmt.poll_with_caching(
+                        self.polling, verdict.polling_query
+                    )
+                    poll_work = self.polling.stats.total_work_units - work_before
+                self.metrics.add(polls_executed=1)
+                with ctx.registry_lock:
+                    query_type = instance.query_type
+                    query_type.stats.polling_queries_issued += 1
+                    if poll_work > 0:
+                        query_type.cost = 0.8 * query_type.cost + 0.2 * poll_work
+                if impacted:
+                    self.metrics.add(polls_impacted=1)
+                    self._doom(instance, urls_to_eject, doomed)
+            for candidate in schedule.over_invalidate:
+                instance, _verdict = live_tasks[candidate.key]
+                if instance.instance_id in doomed:
+                    continue
+                self.metrics.add(over_invalidated=1)
+                self._doom(instance, urls_to_eject, doomed)
+
+        if urls_to_eject:
+            urls = list(urls_to_eject)
+            self.bus.publish(urls, origin_ts=batch.origin_ts)
+            with self.context.registry_lock:
+                for url in urls:
+                    self.context.qiurl_map.drop_url(url)
+                    self.context.registry.drop_url(url)
+
+    def _doom(self, instance, urls_to_eject, doomed) -> None:
+        doomed.add(instance.instance_id)
+        with self.context.registry_lock:
+            instance.query_type.stats.record_invalidation(elapsed=0.0)
+            for url in sorted(instance.urls):
+                urls_to_eject.setdefault(url)
+
+    def _deadline_for(self, instance) -> float:
+        deadline = instance.query_type.deadline_ms
+        resolver = self.context.servlet_deadline
+        if resolver is not None:
+            for servlet in instance.servlets:
+                try:
+                    deadline = min(deadline, resolver(servlet))
+                except Exception:
+                    continue  # unknown servlet: keep the type default
+        return deadline
+
+
+class WorkerPool:
+    """The fixed set of shard workers plus the routing function."""
+
+    def __init__(
+        self,
+        num_shards: int,
+        context: WorkerContext,
+        bus: EjectBus,
+        metrics: PipelineMetrics,
+        queue_capacity: int = 64,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        self.num_shards = num_shards
+        self.workers = [
+            InvalidationWorker(
+                shard_id, context, bus, metrics, queue_capacity=queue_capacity
+            )
+            for shard_id in range(num_shards)
+        ]
+
+    def start(self) -> None:
+        for worker in self.workers:
+            worker.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        for worker in self.workers:
+            worker.stop(timeout=timeout)
+
+    def submit(self, batch: ShardBatch) -> int:
+        shard = shard_for(batch.table, self.num_shards)
+        self.workers[shard].submit(batch)
+        return shard
+
+    def idle(self) -> bool:
+        return all(worker.inflight == 0 for worker in self.workers)
+
+    def queue_depths(self) -> List[int]:
+        return [worker.depth() for worker in self.workers]

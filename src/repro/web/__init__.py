@@ -12,7 +12,7 @@ from repro.web.urlkey import KeySpec, page_key
 from repro.web.servlet import QueryPageServlet, Servlet, ServletRegistry
 from repro.web.appserver import ApplicationServer
 from repro.web.webserver import WebServer
-from repro.web.cache import CacheEntry, WebCache
+from repro.web.cache import CacheEntry, FlakyCache, WebCache
 from repro.web.datacache import DataCache, DataCacheDriver
 from repro.web.balancer import LoadBalancer
 from repro.web.site import Configuration, Site, build_site
@@ -24,6 +24,7 @@ __all__ = [
     "Configuration",
     "DataCache",
     "DataCacheDriver",
+    "FlakyCache",
     "HttpRequest",
     "HttpResponse",
     "KeySpec",

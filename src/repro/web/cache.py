@@ -161,3 +161,44 @@ class WebCache:
 
     def clear(self) -> None:
         self._entries.clear()
+
+
+class FlakyCache(WebCache):
+    """A :class:`WebCache` with injectable delivery faults, for testing
+    the eject bus's retry/backoff/circuit-breaker behaviour.
+
+    Faults apply to :meth:`handle_message` only — lookups and stores stay
+    reliable, modelling a cache whose *control* channel is flapping.
+
+    Args:
+        fail_first: raise on this many initial eject messages, then heal.
+        failure_plan: optional override — called with the 1-based message
+            attempt number; a True return makes that delivery raise.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        default_ttl: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+        fail_first: int = 0,
+        failure_plan: Optional[Callable[[int], bool]] = None,
+    ) -> None:
+        super().__init__(capacity=capacity, default_ttl=default_ttl, clock=clock)
+        self.fail_first = fail_first
+        self.failure_plan = failure_plan
+        self.messages_seen = 0
+        self.messages_failed = 0
+
+    def handle_message(self, request: HttpRequest, url_key: str) -> bool:
+        self.messages_seen += 1
+        if self.failure_plan is not None:
+            should_fail = self.failure_plan(self.messages_seen)
+        else:
+            should_fail = self.messages_seen <= self.fail_first
+        if should_fail:
+            self.messages_failed += 1
+            raise ConnectionError(
+                f"injected eject fault #{self.messages_failed} for {url_key}"
+            )
+        return super().handle_message(request, url_key)

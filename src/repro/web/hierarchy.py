@@ -111,6 +111,22 @@ class CacheHierarchy:
         """Names of the levels currently holding the page."""
         return [level.name for level in self.levels if url_key in level.cache]
 
+    def attach_to_bus(self, bus, prefix: str = "") -> List[str]:
+        """Register every level as an eject endpoint on a delivery bus.
+
+        Each level becomes an independent target named
+        ``{prefix}{level.name}`` — so the streaming pipeline's retry and
+        circuit-breaking state is per *tier*, and a flapping edge cache
+        cannot delay ejects to the reverse proxy ("vertical invalidation"
+        with per-tier fault isolation).  Returns the registered names.
+        """
+        names = []
+        for level in self.levels:
+            name = f"{prefix}{level.name}"
+            bus.register(name, level.cache)
+            names.append(name)
+        return names
+
     def eject_everywhere(self, url_key: str) -> int:
         """Remove a page from every level; returns copies removed.
 

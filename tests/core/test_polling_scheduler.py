@@ -108,3 +108,66 @@ class TestScheduler:
         first = scheduler.schedule(list(candidates))
         second = scheduler.schedule(list(candidates))
         assert [c.key for c in first.to_poll] == [c.key for c in second.to_poll]
+
+
+class TestSchedulerEdgeCases:
+    def candidates(self, n, **kwargs):
+        return [PollCandidate(key=i, **kwargs) for i in range(n)]
+
+    def test_zero_budget_over_invalidates_everything(self):
+        scheduler = InvalidationScheduler(polling_budget=0)
+        schedule = scheduler.schedule(self.candidates(4))
+        assert schedule.to_poll == []
+        assert len(schedule.over_invalidate) == 4
+        assert scheduler.total_over_invalidated == 4
+        assert scheduler.budget_utilization == 0.0
+
+    def test_empty_candidate_list(self):
+        scheduler = InvalidationScheduler(polling_budget=5)
+        schedule = scheduler.schedule([])
+        assert schedule.to_poll == []
+        assert schedule.over_invalidate == []
+        assert schedule.planned_cost == 0.0
+        assert scheduler.cycles == 1
+        assert scheduler.budget_utilization == 0.0
+
+    def test_cost_budget_exact_fit_is_allowed(self):
+        """A candidate whose cost lands exactly on the budget still polls;
+        only exceeding the budget over-invalidates."""
+        scheduler = InvalidationScheduler(cost_budget=3.0)
+        schedule = scheduler.schedule(self.candidates(4, cost=1.0))
+        assert len(schedule.to_poll) == 3
+        assert schedule.planned_cost == 3.0
+        assert len(schedule.over_invalidate) == 1
+
+    def test_cost_budget_tie_breaks_by_cost(self):
+        """All else equal, the cheaper poll wins the last budget slot."""
+        scheduler = InvalidationScheduler(cost_budget=1.0)
+        cheap = PollCandidate(key="cheap", cost=1.0)
+        pricey = PollCandidate(key="pricey", cost=2.0)
+        schedule = scheduler.schedule([pricey, cheap])
+        assert [c.key for c in schedule.to_poll] == ["cheap"]
+        assert [c.key for c in schedule.over_invalidate] == ["pricey"]
+
+    def test_cost_budget_skips_big_but_takes_later_small(self):
+        """The cut is per-candidate, not a hard stop: a large poll that
+        busts the budget is skipped but a smaller one after it still fits."""
+        scheduler = InvalidationScheduler(cost_budget=2.0)
+        big = PollCandidate(key="big", priority=9, cost=5.0)
+        small = PollCandidate(key="small", priority=1, cost=2.0)
+        schedule = scheduler.schedule([big, small])
+        assert [c.key for c in schedule.to_poll] == ["small"]
+        assert [c.key for c in schedule.over_invalidate] == ["big"]
+
+    def test_budget_utilization_counts_offered_slots(self):
+        scheduler = InvalidationScheduler(polling_budget=4)
+        scheduler.schedule(self.candidates(2))  # 2 of 4 slots used
+        assert scheduler.budget_utilization == pytest.approx(0.5)
+        scheduler.schedule(self.candidates(6))  # 4 of 4 slots used
+        assert scheduler.budget_utilization == pytest.approx(6 / 8)
+
+    def test_budget_utilization_unbounded(self):
+        scheduler = InvalidationScheduler()
+        assert scheduler.budget_utilization == 0.0
+        scheduler.schedule(self.candidates(3))
+        assert scheduler.budget_utilization == 1.0

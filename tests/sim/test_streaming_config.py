@@ -1,0 +1,62 @@
+"""Shape tests for the streaming-pipeline variant of Config III.
+
+The streaming model keeps Config III's request/update timing but replaces
+the fixed-interval synchronous invalidator with a tailer that wakes
+``num_shards`` times per sync interval and polls only when updates
+arrived.  The claims worth pinning down:
+
+1. With one shard the model degenerates to the synchronous cadence and
+   must reproduce ``simulate_config3`` exactly (same seed, same events).
+2. More shards monotonically shrink the invalidation lag.
+3. Polling stays demand-driven: the number of polls issued is bounded by
+   the number of wake-ups that actually saw updates.
+"""
+
+import pytest
+
+from repro.sim.configs import (
+    ConfigurationModel,
+    simulate_config3,
+    simulate_config3_streaming,
+)
+from repro.sim.workload import UPDATES_5
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ConfigurationModel(duration=40.0, warmup=5.0, seed=7)
+
+
+class TestStreamingConfig:
+    def test_one_shard_matches_synchronous_model(self, model):
+        sync = simulate_config3(UPDATES_5, model)
+        stream = simulate_config3_streaming(UPDATES_5, model, num_shards=1)
+        assert stream.exp_resp_ms == sync.exp_resp_ms
+        assert stream.hit_resp_ms == sync.hit_resp_ms
+        assert stream.completed == sync.completed
+
+    def test_lag_shrinks_with_more_shards(self, model):
+        lags = []
+        for shards in (1, 2, 4):
+            probe = {}
+            simulate_config3_streaming(
+                UPDATES_5, model, num_shards=shards, probe=probe
+            )
+            lags.append(probe["invalidation_lag"])
+        assert lags[0] > lags[1] > lags[2]
+
+    def test_probe_reports_utilization_and_polls(self, model):
+        probe = {}
+        simulate_config3_streaming(UPDATES_5, model, num_shards=4, probe=probe)
+        assert set(probe) >= {
+            "db", "network", "web_cache", "invalidation_lag", "polls_issued",
+        }
+        assert probe["polls_issued"] > 0
+        # demand-driven: never more polls than tailer wake-ups
+        wakeups = model.duration / (model.cost.sync_interval / 4)
+        assert probe["polls_issued"] <= wakeups + 1
+
+    def test_deterministic_given_seed(self, model):
+        a = simulate_config3_streaming(UPDATES_5, model, num_shards=4)
+        b = simulate_config3_streaming(UPDATES_5, model, num_shards=4)
+        assert a.exp_resp_ms == b.exp_resp_ms

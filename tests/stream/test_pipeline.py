@@ -1,0 +1,288 @@
+"""End-to-end tests for the streaming invalidation pipeline."""
+
+import threading
+
+import pytest
+
+from helpers import car_servlets, make_car_db
+from repro import CachePortal, Configuration, Database, build_site
+from repro.web.cache import FlakyCache, WebCache
+from repro.stream import StreamingInvalidationPipeline, shard_for
+
+
+class RecordingCache(WebCache):
+    """WebCache that logs the order eject messages arrive in."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.eject_sequence = []
+        self._log_lock = threading.Lock()
+
+    def handle_message(self, request, url_key):
+        control = request.cache_control
+        if control is not None and control.has("eject"):
+            with self._log_lock:
+                self.eject_sequence.append(url_key)
+        return super().handle_message(request, url_key)
+
+
+def portal_site():
+    db = make_car_db()
+    site = build_site(
+        Configuration.WEB_CACHE, car_servlets(), database=db, num_servers=2
+    )
+    return db, site, CachePortal(site)
+
+
+class TestPortalIntegration:
+    def test_update_ejects_affected_page(self):
+        db, site, portal = portal_site()
+        pipeline = StreamingInvalidationPipeline.for_portal(portal)
+        url = "/catalog?max_price=30000"
+        site.get(url)
+        assert len(site.web_cache) == 1
+        db.execute("INSERT INTO car VALUES ('Kia','Rio',12000)")
+        pipeline.process_available()
+        assert len(site.web_cache) == 0
+        assert "Rio" in site.get(url).body
+
+    def test_unaffected_page_survives(self):
+        db, site, portal = portal_site()
+        pipeline = StreamingInvalidationPipeline.for_portal(portal)
+        url = "/catalog?max_price=20000"
+        site.get(url)
+        # price above the page's threshold: independence check says safe
+        db.execute("INSERT INTO car VALUES ('Rolls','Phantom',450000)")
+        pipeline.process_available()
+        assert len(site.web_cache) == 1
+        stats = pipeline.stats()
+        assert stats["workers"]["unaffected"] >= 1
+        assert stats["bus"]["deliveries_ok"] == 0
+
+    def test_join_query_goes_through_polling(self):
+        db, site, portal = portal_site()
+        pipeline = StreamingInvalidationPipeline.for_portal(portal)
+        site.get("/efficient?min_epa=20")
+        db.execute("INSERT INTO car VALUES ('Saturn','SL2',14000)")
+        pipeline.process_available()
+        stats = pipeline.stats()
+        assert stats["workers"]["polls_executed"] >= 1
+
+    def test_matches_synchronous_invalidator(self):
+        """Same workload, same surviving pages as the paper's invalidator."""
+
+        def run(streaming):
+            db, site, portal = portal_site()
+            pipeline = (
+                StreamingInvalidationPipeline.for_portal(portal)
+                if streaming
+                else None
+            )
+            urls = [
+                "/catalog?max_price=15000",
+                "/catalog?max_price=30000",
+                "/efficient?min_epa=20",
+            ]
+            for url in urls:
+                site.get(url)
+            db.execute("INSERT INTO car VALUES ('Kia','Rio',16000)")
+            db.execute("DELETE FROM mileage WHERE model = 'Civic'")
+            if streaming:
+                pipeline.process_available()
+            else:
+                portal.run_invalidation_cycle()
+            return sorted(site.web_cache.keys())
+
+        assert run(streaming=True) == run(streaming=False)
+
+    def test_zero_polling_budget_over_invalidates(self):
+        db, site, portal = portal_site()
+        pipeline = StreamingInvalidationPipeline.for_portal(
+            portal, polling_budget=0
+        )
+        site.get("/efficient?min_epa=20")
+        db.execute("INSERT INTO car VALUES ('Saturn','SL2',14000)")
+        pipeline.process_available()
+        stats = pipeline.stats()
+        assert stats["workers"]["polls_executed"] == 0
+        assert stats["workers"]["over_invalidated"] >= 1
+        assert len(site.web_cache) == 0  # ejected without polling
+
+
+class TestOrdering:
+    NUM_RELATIONS = 6
+    UPDATES_PER_RELATION = 15
+
+    def _build(self, num_shards):
+        db = Database()
+        caches = [RecordingCache(), RecordingCache()]
+        pipeline = StreamingInvalidationPipeline(
+            db, caches, num_shards=num_shards, batch_size=7
+        )
+        for rel in range(self.NUM_RELATIONS):
+            db.execute(f"CREATE TABLE rel{rel} (price INT)")
+            for step in range(self.UPDATES_PER_RELATION):
+                with pipeline.registry_lock:
+                    pipeline.registry.observe_instance(
+                        f"SELECT price FROM rel{rel} WHERE price = {step}",
+                        f"/rel{rel}/page{step:02d}",
+                    )
+        return db, caches, pipeline
+
+    def test_per_relation_order_preserved_under_four_workers(self):
+        """Acceptance: per-relation eject ordering with >= 4 concurrent
+        workers.  Updates to one relation interleave with five others,
+        but each relation's ejects must arrive in its own update order."""
+        num_shards = 4
+        db, caches, pipeline = self._build(num_shards)
+        # relations actually spread over several shards
+        shards_used = {
+            shard_for(f"rel{rel}", num_shards)
+            for rel in range(self.NUM_RELATIONS)
+        }
+        assert len(shards_used) >= 2
+        pipeline.start()
+        # interleave updates round-robin across relations
+        for step in range(self.UPDATES_PER_RELATION):
+            for rel in range(self.NUM_RELATIONS):
+                db.execute(f"INSERT INTO rel{rel} VALUES ({step})")
+        assert pipeline.drain(timeout=30.0)
+        pipeline.stop()
+        for cache in caches:
+            for rel in range(self.NUM_RELATIONS):
+                seen = [
+                    url
+                    for url in cache.eject_sequence
+                    if url.startswith(f"/rel{rel}/")
+                ]
+                expected = [
+                    f"/rel{rel}/page{step:02d}"
+                    for step in range(self.UPDATES_PER_RELATION)
+                ]
+                assert seen == expected, f"rel{rel} ejects out of order"
+
+    def test_every_watched_page_ejected_exactly_once(self):
+        db, caches, pipeline = self._build(4)
+        pipeline.start()
+        for step in range(self.UPDATES_PER_RELATION):
+            for rel in range(self.NUM_RELATIONS):
+                db.execute(f"INSERT INTO rel{rel} VALUES ({step})")
+        assert pipeline.drain(timeout=30.0)
+        pipeline.stop()
+        total = self.NUM_RELATIONS * self.UPDATES_PER_RELATION
+        for cache in caches:
+            assert len(cache.eject_sequence) == total
+            assert len(set(cache.eject_sequence)) == total
+
+
+class TestFaultTolerance:
+    def test_flaky_cache_backs_off_and_dead_letters_without_stalling(self):
+        """Acceptance: a flaky cache triggers backoff + dead-lettering
+        while healthy caches keep draining."""
+        db = Database()
+        db.execute("CREATE TABLE item (price INT)")
+        healthy = WebCache()
+        flaky = FlakyCache(fail_first=10**9)
+        pipeline = StreamingInvalidationPipeline(
+            db,
+            num_shards=4,
+        )
+        pipeline.bus.max_attempts = 3
+        pipeline.bus.backoff_base = 0.001
+        pipeline.bus.breaker_threshold = 2
+        pipeline.bus.breaker_cooldown = 0.005
+        pipeline.register_cache("healthy", healthy)
+        pipeline.register_cache("flaky", flaky)
+        urls = []
+        for step in range(10):
+            url = f"/item/{step}"
+            urls.append(url)
+            with pipeline.registry_lock:
+                pipeline.registry.observe_instance(
+                    f"SELECT price FROM item WHERE price = {step}", url
+                )
+        pipeline.start()
+        for step in range(10):
+            db.execute(f"INSERT INTO item VALUES ({step})")
+        assert pipeline.drain(timeout=30.0), "flaky cache stalled the pipeline"
+        pipeline.stop()
+        stats = pipeline.stats()
+        assert stats["bus"]["retries"] > 0
+        assert stats["bus"]["breaker_opens"] >= 1
+        assert stats["bus"]["dead_letters"] == len(urls)
+        assert all(d["cache"] == "flaky" for d in stats["dead_letters"])
+        healthy_target = [
+            t for t in pipeline.bus.targets() if t.name == "healthy"
+        ][0]
+        assert healthy_target.delivered == len(urls)
+        assert healthy_target.failed_attempts == 0
+
+
+class TestSafetyValve:
+    def test_log_truncation_flushes_every_watched_page(self):
+        db = Database()
+        db.update_log.capacity = 3
+        db.execute("CREATE TABLE item (price INT)")
+        cache = WebCache()
+        pipeline = StreamingInvalidationPipeline(db, [cache], num_shards=2)
+        watched = []
+        for step in range(5):
+            url = f"/item/{step}"
+            watched.append(url)
+            with pipeline.registry_lock:
+                pipeline.registry.observe_instance(
+                    f"SELECT price FROM item WHERE price = {step}", url
+                )
+        # more updates than the log retains, none consumed yet
+        for value in range(100, 110):
+            db.execute(f"INSERT INTO item VALUES ({value})")
+        pipeline.process_available()
+        stats = pipeline.stats()
+        assert stats["tailer"]["truncations"] == 1
+        # unknowable changes: every watched page was ejected
+        assert stats["bus"]["deliveries_ok"] == len(watched)
+        with pipeline.registry_lock:
+            assert len(pipeline.registry) == 0
+
+    def test_resumes_cleanly_after_truncation(self):
+        db = Database()
+        db.update_log.capacity = 3
+        db.execute("CREATE TABLE item (price INT)")
+        pipeline = StreamingInvalidationPipeline(db, [WebCache()], num_shards=2)
+        for value in range(100, 110):
+            db.execute(f"INSERT INTO item VALUES ({value})")
+        pipeline.process_available()
+        with pipeline.registry_lock:
+            pipeline.registry.observe_instance(
+                "SELECT price FROM item WHERE price = 7", "/item/7"
+            )
+        db.execute("INSERT INTO item VALUES (7)")
+        pipeline.process_available()
+        assert pipeline.stats()["bus"]["deliveries_ok"] == 1
+
+
+class TestStats:
+    def test_snapshot_shape(self):
+        db, site, portal = portal_site()
+        pipeline = StreamingInvalidationPipeline.for_portal(portal, num_shards=3)
+        site.get("/catalog?max_price=30000")
+        db.execute("INSERT INTO car VALUES ('Kia','Rio',12000)")
+        pipeline.process_available()
+        stats = pipeline.stats()
+        assert set(stats) >= {
+            "tailer", "workers", "bus", "registry", "shards", "dead_letters",
+        }
+        assert stats["tailer"]["lag_records"] == 0
+        assert len(stats["workers"]["queue_depths"]) == 3
+        assert len(stats["shards"]) == 3
+        assert stats["bus"]["eject_latency_mean_ms"] >= 0.0
+
+    def test_offline_registration_entry_point(self):
+        db = Database()
+        db.execute("CREATE TABLE item (price INT)")
+        pipeline = StreamingInvalidationPipeline(db, num_shards=1)
+        query_type = pipeline.register_query_type(
+            "SELECT price FROM item WHERE price < ?", name="cheap"
+        )
+        assert query_type.name == "cheap"
+        assert pipeline.stats()["registry"]["query_types"] == 1

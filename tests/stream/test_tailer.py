@@ -1,0 +1,132 @@
+"""Tests for the CDC tailer: bounded batches, offsets, truncation."""
+
+import pytest
+
+from repro.db.log import ChangeKind, UpdateLog
+from repro.stream.tailer import LogTailer
+
+
+def fill(log, n, table="car"):
+    for i in range(n):
+        log.append(table, ChangeKind.INSERT, (i,), ("id",), timestamp=float(i))
+
+
+class TestBoundedBatches:
+    def test_empty_log_returns_empty_batch(self):
+        tailer = LogTailer(UpdateLog())
+        batch = tailer.poll()
+        assert batch.is_empty()
+        assert not batch.lost
+
+    def test_batch_size_bounds_each_poll(self):
+        log = UpdateLog()
+        fill(log, 10)
+        tailer = LogTailer(log, batch_size=4, start_lsn=0)
+        assert len(tailer.poll()) == 4
+        assert len(tailer.poll()) == 4
+        assert len(tailer.poll()) == 2
+        assert tailer.poll().is_empty()
+
+    def test_max_records_tightens_the_bound(self):
+        log = UpdateLog()
+        fill(log, 10)
+        tailer = LogTailer(log, batch_size=8, start_lsn=0)
+        assert len(tailer.poll(max_records=3)) == 3
+
+    def test_records_arrive_in_lsn_order(self):
+        log = UpdateLog()
+        fill(log, 6)
+        tailer = LogTailer(log, batch_size=100, start_lsn=0)
+        lsns = [record.lsn for record in tailer.poll().records]
+        assert lsns == sorted(lsns) == [1, 2, 3, 4, 5, 6]
+
+    def test_rejects_nonpositive_batch_size(self):
+        with pytest.raises(ValueError):
+            LogTailer(UpdateLog(), batch_size=0)
+
+
+class TestOffsets:
+    def test_starts_at_head_by_default(self):
+        log = UpdateLog()
+        fill(log, 5)
+        tailer = LogTailer(log)
+        assert tailer.poll().is_empty()  # pre-existing records invisible
+        fill(log, 2)
+        assert len(tailer.poll()) == 2
+
+    def test_lag_counts_unconsumed_records(self):
+        log = UpdateLog()
+        tailer = LogTailer(log)
+        fill(log, 7)
+        assert tailer.lag == 7
+        tailer.poll()
+        assert tailer.lag == 0
+        assert tailer.at_head()
+
+    def test_checkpoint_resume_sees_each_record_once(self):
+        log = UpdateLog()
+        fill(log, 5)
+        first = LogTailer(log, batch_size=3, start_lsn=0)
+        seen = [r.lsn for r in first.poll().records]
+        offset = first.checkpoint()
+
+        resumed = LogTailer(log, start_lsn=offset)
+        seen += [r.lsn for r in resumed.poll().records]
+        assert seen == [1, 2, 3, 4, 5]
+
+    def test_seek_rewinds_for_replay(self):
+        log = UpdateLog()
+        fill(log, 4)
+        tailer = LogTailer(log, start_lsn=0)
+        tailer.poll()
+        tailer.seek(2)
+        assert [r.lsn for r in tailer.poll().records] == [3, 4]
+
+
+class TestTruncation:
+    def test_truncated_log_yields_lost_batch(self):
+        log = UpdateLog(capacity=3)
+        tailer = LogTailer(log, start_lsn=0)
+        fill(log, 10)  # records 1..7 discarded
+        batch = tailer.poll()
+        assert batch.lost
+        assert batch.records == []
+        assert tailer.truncations == 1
+
+    def test_cursor_resyncs_after_loss(self):
+        log = UpdateLog(capacity=3)
+        tailer = LogTailer(log, start_lsn=0)
+        fill(log, 10)
+        tailer.poll()  # lost
+        assert tailer.at_head()
+        fill(log, 2)
+        batch = tailer.poll()
+        assert not batch.lost
+        assert [r.lsn for r in batch.records] == [11, 12]
+
+    def test_deltas_group_by_relation(self):
+        log = UpdateLog()
+        log.append("car", ChangeKind.INSERT, (1,), ("id",), 0.0)
+        log.append("mileage", ChangeKind.DELETE, (2,), ("id",), 0.0)
+        log.append("car", ChangeKind.INSERT, (3,), ("id",), 0.0)
+        tailer = LogTailer(log, start_lsn=0)
+        deltas = tailer.poll().deltas()
+        assert deltas.tables() == ["car", "mileage"]
+        assert [r.lsn for r in deltas.changes_for("car")] == [1, 3]
+
+
+class TestLogOffsetAPI:
+    def test_last_and_oldest_lsn(self):
+        log = UpdateLog(capacity=2)
+        assert log.last_lsn == 0
+        assert log.oldest_lsn == 1
+        fill(log, 5)
+        assert log.last_lsn == 5
+        assert log.oldest_lsn == 4
+
+    def test_read_since_limit(self):
+        log = UpdateLog()
+        fill(log, 6)
+        records = log.read_since(1, limit=2)
+        assert [r.lsn for r in records] == [2, 3]
+        assert [r.lsn for r in log.read_since(1)] == [2, 3, 4, 5, 6]

@@ -27,6 +27,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.shards == 4
+        assert args.polling_budget is None
+        assert not args.json
+
 
 class TestCommands:
     def test_demo(self, capsys):
@@ -57,3 +63,18 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Conf II" in output and "Conf III" in output
         assert len(output.strip().splitlines()) == 4  # header x2 + 2 rows
+
+    def test_stream(self, capsys):
+        assert main(["stream", "--shards", "2", "--pages", "4",
+                     "--updates", "10"]) == 0
+        output = capsys.readouterr().out
+        assert "drained=True" in output
+        assert "2 shard(s)" in output
+
+    def test_stream_json(self, capsys):
+        import json
+
+        assert main(["stream", "--updates", "6", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert {"tailer", "workers", "bus"} <= set(stats)
+        assert stats["tailer"]["lag_records"] == 0
