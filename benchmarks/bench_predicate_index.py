@@ -1,0 +1,228 @@
+"""Tentpole bench: predicate index vs scan for update → instance matching.
+
+Paper Table 3's workload is a family of parameterized queries (the
+``price < $1`` budget pages) with many live instances.  The scan
+baselines run an independence check against every (instance, update)
+pair; the predicate index probes per update and only sends the candidate
+set to the checker.  This sweep measures, per registry size:
+
+* checker invocations (the ≥10× reduction target at the largest count);
+* wall time for one update batch (the ≥5× speedup target);
+* verdict equivalence — the exact same set of non-UNAFFECTED pairs, so
+  the same URLs get ejected.
+
+Registry mix (fractions of ``count``): 45% ``price < $n`` ranges, 45%
+``maker = '$m'`` equalities, 5% two-table joins (residual on the ``car``
+side — the index's honest worst case), 5% ``maker IN (…)`` lists.
+Updates are full CDC tuples: mostly new high-end inventory above the
+cached budget thresholds, plus one NULL price (three-valued logic) and
+two mileage rows probing the join family's local conjunct.
+
+Scale knob: ``REPRO_BENCH_PREDINDEX_COUNTS`` (default
+``1000,10000,100000``) — the CI smoke job runs tiny counts.
+"""
+
+import os
+import time
+
+from repro.db.log import ChangeKind, UpdateRecord
+from repro.core.invalidator.analysis import IndependenceChecker, VerdictKind
+from repro.core.invalidator.grouping import GroupedChecker
+from repro.core.invalidator.predindex import PredicateIndex
+from repro.core.invalidator.registration import QueryTypeRegistry
+
+from conftest import emit
+
+COUNTS = [
+    int(token)
+    for token in os.environ.get(
+        "REPRO_BENCH_PREDINDEX_COUNTS", "1000,10000,100000"
+    ).split(",")
+    if token.strip()
+]
+
+#: Ratio targets, asserted at the largest count of the sweep.
+TARGET_INVOCATION_REDUCTION = 10.0
+TARGET_SPEEDUP = 5.0
+
+
+def build_registry(count):
+    # Literals must be distinct per instance (the registry dedupes exact
+    # SQL into one instance), so thresholds spread evenly over their
+    # cluster instead of cycling a small modulus.
+    registry = QueryTypeRegistry()
+    for i in range(count):
+        bucket = i % 20
+        if bucket < 9:  # 45%: budget pages, thresholds in [10_000, 30_000)
+            threshold = 10000 + i * 20000.0 / count
+            sql = (
+                "SELECT maker, model, price FROM car "
+                f"WHERE price < {threshold:.4f}"
+            )
+        elif bucket < 18:  # 45%: per-maker pages
+            sql = f"SELECT * FROM car WHERE maker = 'maker{i}'"
+        elif bucket == 18:  # 5%: joins — residual on the car side
+            epa = 10 + i * 40.0 / count
+            sql = (
+                "SELECT car.maker FROM car, mileage "
+                "WHERE car.model = mileage.model "
+                f"AND mileage.epa > {epa:.4f}"
+            )
+        else:  # 5%: IN-lists — hash-indexed
+            sql = (
+                "SELECT * FROM car "
+                f"WHERE maker IN ('maker{i}', 'maker{i + 7}')"
+            )
+        registry.observe_instance(sql, f"u{i}")
+    return registry
+
+
+def update_records():
+    def car(lsn, maker, model, price):
+        return UpdateRecord(
+            lsn=lsn,
+            timestamp=float(lsn),
+            table="car",
+            kind=ChangeKind.INSERT,
+            values=(maker, model, price),
+            columns=("maker", "model", "price"),
+        )
+
+    def mileage(lsn, model, epa):
+        return UpdateRecord(
+            lsn=lsn,
+            timestamp=float(lsn),
+            table="mileage",
+            kind=ChangeKind.INSERT,
+            values=(model, epa),
+            columns=("model", "epa"),
+        )
+
+    records = [
+        car(lsn + 1, f"maker{(lsn * 37) % 250}", f"model{lsn}", 25000 + 9000 * lsn)
+        for lsn in range(7)
+    ]
+    records.append(car(8, "maker3", "mystery", None))  # NULL price: 3VL
+    records.append(mileage(9, "model1", 8))  # below every epa threshold
+    records.append(mileage(10, "model2", 45))  # inside most join intervals
+    return records
+
+
+def _interesting(instance_id, verdict, out):
+    """Ejection-relevant outcomes only: non-UNAFFECTED pairs decide which
+    URLs are polled or ejected, and pruning only removes UNAFFECTED."""
+    if verdict.kind is not VerdictKind.UNAFFECTED:
+        out.append((instance_id, verdict.kind))
+
+
+def run_plain_scan(registry, records):
+    checker = IndependenceChecker()
+    outcomes, pairs = [], 0
+    for record in records:
+        row = []
+        for instance in registry.instances_touching(record.table):
+            pairs += 1
+            _interesting(
+                instance.instance_id,
+                checker.check(instance.statement, record),
+                row,
+            )
+        outcomes.append(sorted(row))
+    return outcomes, pairs, pairs
+
+
+def run_grouped_scan(registry, records):
+    checker = GroupedChecker()
+    outcomes, pairs = [], 0
+    for record in records:
+        row = []
+        for instance in registry.instances_touching(record.table):
+            pairs += 1
+            _interesting(
+                instance.instance_id, checker.check_instance(instance, record), row
+            )
+        outcomes.append(sorted(row))
+    return outcomes, pairs, pairs
+
+
+def run_indexed(registry, index, records):
+    checker = GroupedChecker()
+    outcomes, pairs, invocations = [], 0, 0
+    for record in records:
+        result = index.probe(record.table, record)
+        pairs += len(result.candidates) + result.pruned
+        invocations += len(result.candidates)
+        row = []
+        for instance in result.candidates:
+            _interesting(
+                instance.instance_id, checker.check_instance(instance, record), row
+            )
+        outcomes.append(sorted(row))
+    return outcomes, pairs, invocations
+
+
+def timed(fn, repeats):
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def test_predicate_index_sweep():
+    records = update_records()
+    rows = []
+    lines = []
+    for count in COUNTS:
+        registry = build_registry(count)
+        index = PredicateIndex().attach_to(registry)
+        repeats = 3 if count <= 10_000 else 1
+        (plain_out, plain_pairs, plain_inv), t_plain = timed(
+            lambda: run_plain_scan(registry, records), repeats
+        )
+        (grouped_out, grouped_pairs, grouped_inv), t_grouped = timed(
+            lambda: run_grouped_scan(registry, records), repeats
+        )
+        (indexed_out, indexed_pairs, indexed_inv), t_indexed = timed(
+            lambda: run_indexed(registry, index, records), max(repeats, 3)
+        )
+        # Verdict equivalence: the exact same ejection-relevant pairs.
+        assert indexed_out == grouped_out == plain_out, count
+        assert indexed_pairs == grouped_pairs == plain_pairs, count
+        reduction = grouped_inv / max(1, indexed_inv)
+        rows.append(
+            {
+                "instances": count,
+                "pairs": grouped_pairs,
+                "checker_invocations_plain": plain_inv,
+                "checker_invocations_grouped": grouped_inv,
+                "checker_invocations_indexed": indexed_inv,
+                "invocation_reduction": round(reduction, 2),
+                "plain_ms": round(1000 * t_plain, 3),
+                "grouped_ms": round(1000 * t_grouped, 3),
+                "indexed_ms": round(1000 * t_indexed, 3),
+                "speedup_vs_grouped": round(t_grouped / t_indexed, 2),
+                "speedup_vs_plain": round(t_plain / t_indexed, 2),
+            }
+        )
+        lines.append(
+            f"{count:>7} inst | pairs {grouped_pairs:>8} | "
+            f"checks {grouped_inv:>8} -> {indexed_inv:>6} "
+            f"({reduction:6.1f}x) | "
+            f"{1000 * t_grouped:8.1f}ms -> {1000 * t_indexed:7.1f}ms "
+            f"({t_grouped / t_indexed:6.1f}x vs grouped, "
+            f"{t_plain / t_indexed:7.1f}x vs plain scan)"
+        )
+    emit(
+        "Predicate index — update→instance matching sweep",
+        lines,
+        data={"records": len(records), "rows": rows},
+    )
+    largest = rows[-1]
+    if largest["instances"] >= 1_000:
+        assert largest["invocation_reduction"] >= TARGET_INVOCATION_REDUCTION, largest
+    if largest["instances"] >= 10_000:
+        assert largest["speedup_vs_grouped"] >= TARGET_SPEEDUP, largest

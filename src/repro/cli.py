@@ -178,6 +178,7 @@ def _run_stream(args: argparse.Namespace) -> int:
         num_shards=args.shards,
         polling_budget=args.polling_budget,
         batch_size=args.batch_size,
+        predicate_index=not args.scan,
     )
     pipeline.start()
     for i in range(args.pages):
@@ -199,11 +200,22 @@ def _run_stream(args: argparse.Namespace) -> int:
             f"tailer  : {tailer['records_tailed']} records in "
             f"{tailer['batches_tailed']} batches, lag={tailer['lag_records']}"
         )
+        registry = stats["registry"]
         print(
             f"workers : {workers['pairs_checked']} pairs checked — "
             f"{workers['unaffected']} unaffected, {workers['affected']} affected, "
             f"{workers['polls_executed']} polled, "
             f"{workers['over_invalidated']} over-invalidated"
+        )
+        print(
+            f"index   : {workers['pairs_pruned']} pairs pruned in "
+            f"{workers['index_probes']} probes "
+            f"({workers['probe_time_ms']}ms probing)"
+        )
+        print(
+            f"registry: {registry['query_types']} types, "
+            f"{registry['query_instances']} instances, "
+            f"{registry['urls']} urls, {registry['map_rows']} map rows"
         )
         print(
             f"bus     : {bus['deliveries_ok']} ejects delivered "
@@ -302,6 +314,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="tailer batch bound (records)")
     p_stream.add_argument("--json", action="store_true",
                           help="emit the raw stats() snapshot as JSON")
+    p_stream.add_argument("--scan", action="store_true",
+                          help="disable the predicate index (full scan)")
     p_stream.set_defaults(func=_run_stream)
 
     p_serve = sub.add_parser("serve", help="serve a demo site over HTTP (wsgiref)")

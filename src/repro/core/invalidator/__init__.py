@@ -19,7 +19,11 @@ Sub-modules follow the paper's decomposition:
 
 from repro.core.invalidator.analysis import IndependenceChecker, Verdict, VerdictKind
 from repro.core.invalidator.generator import InvalidationMessageGenerator
-from repro.core.invalidator.grouping import GroupedChecker, TypeAnalysis
+from repro.core.invalidator.grouping import (
+    GroupedChecker,
+    IndexableConjunct,
+    TypeAnalysis,
+)
 from repro.core.invalidator.infomgmt import InformationManager
 from repro.core.invalidator.invalidator import (
     InvalidationReport,
@@ -28,12 +32,14 @@ from repro.core.invalidator.invalidator import (
     TriggerInvalidator,
 )
 from repro.core.invalidator.policies import InvalidationPolicy, PolicyEngine
+from repro.core.invalidator.predindex import PredicateIndex, ProbeResult
 from repro.core.invalidator.polling import PollingQueryGenerator
 from repro.core.invalidator.registration import (
     QueryInstance,
     QueryType,
     QueryTypeRegistry,
     RegistrationModule,
+    RegistryListener,
 )
 from repro.core.invalidator.scheduler import InvalidationScheduler
 from repro.core.invalidator.updates import UpdateProcessor
@@ -41,6 +47,7 @@ from repro.core.invalidator.updates import UpdateProcessor
 __all__ = [
     "GroupedChecker",
     "IndependenceChecker",
+    "IndexableConjunct",
     "TypeAnalysis",
     "InformationManager",
     "InvalidationMessageGenerator",
@@ -51,10 +58,13 @@ __all__ = [
     "MatViewInvalidator",
     "PolicyEngine",
     "PollingQueryGenerator",
+    "PredicateIndex",
+    "ProbeResult",
     "QueryInstance",
     "QueryType",
     "QueryTypeRegistry",
     "RegistrationModule",
+    "RegistryListener",
     "TriggerInvalidator",
     "UpdateProcessor",
     "Verdict",

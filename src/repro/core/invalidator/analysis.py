@@ -26,11 +26,15 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import DatabaseError, ReproError
 from repro.sql import ast
-from repro.sql.analysis import all_conditions, alias_map, conjoin
+from repro.sql.analysis import all_conditions, alias_map, conjoin, has_left_join
 from repro.sql.printer import to_sql
 from repro.db.expr import Scope, evaluate
 from repro.db.log import UpdateRecord
 from repro.db.types import Value
+
+# Historical alias: the helper moved to repro.sql.analysis once the
+# grouped checker needed it too.
+_has_left_join = has_left_join
 
 
 class VerdictKind(enum.Enum):
@@ -52,17 +56,6 @@ class Verdict:
         if self.polling_query is None:
             return None
         return to_sql(self.polling_query)
-
-
-def _has_left_join(stmt: ast.Select) -> bool:
-    def visit(source: ast.FromSource) -> bool:
-        if isinstance(source, ast.Join):
-            if source.kind is ast.JoinKind.LEFT:
-                return True
-            return visit(source.left) or visit(source.right)
-        return False
-
-    return any(visit(source) for source in stmt.sources)
 
 
 class _ValueSubstituter:

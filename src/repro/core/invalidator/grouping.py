@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import DatabaseError, ReproError
 from repro.sql import ast
-from repro.sql.analysis import all_conditions, alias_map, conjoin
+from repro.sql.analysis import all_conditions, alias_map, conjoin, has_left_join
 from repro.sql.params import Value, bind_expression
 from repro.sql.printer import to_sql
 from repro.db.expr import Scope, evaluate
@@ -38,15 +38,37 @@ from repro.core.invalidator.analysis import (
 from repro.core.invalidator.registration import QueryInstance, QueryType
 
 
-def _has_left_join(stmt: ast.Select) -> bool:
-    def visit(source: ast.FromSource) -> bool:
-        if isinstance(source, ast.Join):
-            if source.kind is ast.JoinKind.LEFT:
-                return True
-            return visit(source.left) or visit(source.right)
-        return False
+@dataclass(frozen=True)
+class IndexableConjunct:
+    """One local conjunct template the predicate index can turn into a
+    probe structure.
 
-    return any(visit(source) for source in stmt.sources)
+    Kinds (``column`` is the tuple column the probe reads):
+
+    * ``"eq"`` — ``column = <value>``; value side is column-free.
+    * ``"in"`` — ``column IN (<values>)`` (non-negated).
+    * ``"range"`` — ``column <op> <value>`` for ``< <= > >=``, or
+      ``column BETWEEN <low> AND <high>`` (non-negated).  ``op`` is
+      normalized so the column sits on the left; for BETWEEN it is None.
+    * ``"isnull"`` — ``column IS [NOT] NULL``.
+
+    Soundness requires that the grouped checker could itself evaluate the
+    conjunct against a changed tuple: the column reference is either
+    unqualified (single-binding queries) or qualified by the *binding*
+    name — never by a base-table name hidden behind an alias, which the
+    checker's scope cannot resolve.
+    """
+
+    kind: str
+    column: str
+    template: ast.Expr
+    op: Optional[ast.BinaryOp] = None
+    negated: bool = False
+
+
+#: Preference order when one instance offers several indexable conjuncts:
+#: equality prunes hardest, IS NULL barely at all.
+_INDEX_KIND_RANK = {"eq": 0, "in": 1, "range": 2, "isnull": 3}
 
 
 @dataclass
@@ -59,6 +81,9 @@ class BindingAnalysis:
     local_templates: List[ast.Expr] = field(default_factory=list)
     #: Conjuncts also referencing other bindings.
     residual_templates: List[ast.Expr] = field(default_factory=list)
+    #: The subset of ``local_templates`` with an index-probe shape,
+    #: best-pruning kinds first (see :class:`IndexableConjunct`).
+    indexable_templates: List[IndexableConjunct] = field(default_factory=list)
 
 
 @dataclass
@@ -113,12 +138,86 @@ class TypeAnalysis:
                     analysis.local_templates.append(condition)
                 elif placement == "residual":
                     analysis.residual_templates.append(condition)
+        for analysis in by_binding.values():
+            indexable = [
+                found
+                for condition in analysis.local_templates
+                for found in [cls._indexable(condition, analysis.binding)]
+                if found is not None
+            ]
+            indexable.sort(key=lambda c: _INDEX_KIND_RANK[c.kind])
+            analysis.indexable_templates = indexable
         return cls(
             aliases=aliases,
-            has_left_join=_has_left_join(template),
+            has_left_join=has_left_join(template),
             constant_templates=constant_templates,
             by_binding=by_binding,
             all_tables=all_tables,
+        )
+
+    @classmethod
+    def _indexable(
+        cls, condition: ast.Expr, binding: str
+    ) -> Optional[IndexableConjunct]:
+        """Classify one local conjunct template for the predicate index,
+        or return None when it has no probe-friendly shape."""
+        if isinstance(condition, ast.Binary) and condition.op in ast.COMPARISONS:
+            if condition.op is ast.BinaryOp.NE:
+                return None  # "everything but one value" prunes nothing
+            column = cls._probe_column(condition.left, binding)
+            if column is not None and cls._column_free(condition.right):
+                op = condition.op
+            else:
+                column = cls._probe_column(condition.right, binding)
+                if column is None or not cls._column_free(condition.left):
+                    return None
+                op = ast.FLIPPED[condition.op]
+            kind = "eq" if op is ast.BinaryOp.EQ else "range"
+            return IndexableConjunct(kind, column, condition, op=op)
+        if isinstance(condition, ast.Between) and not condition.negated:
+            column = cls._probe_column(condition.expr, binding)
+            if (
+                column is not None
+                and cls._column_free(condition.low)
+                and cls._column_free(condition.high)
+            ):
+                return IndexableConjunct("range", column, condition)
+            return None
+        if isinstance(condition, ast.InList) and not condition.negated:
+            column = cls._probe_column(condition.expr, binding)
+            if column is not None and all(
+                cls._column_free(item) for item in condition.items
+            ):
+                return IndexableConjunct("in", column, condition)
+            return None
+        if isinstance(condition, ast.IsNull):
+            column = cls._probe_column(condition.expr, binding)
+            if column is not None:
+                return IndexableConjunct(
+                    "isnull", column, condition, negated=condition.negated
+                )
+        return None
+
+    @staticmethod
+    def _probe_column(expr: ast.Expr, binding: str) -> Optional[str]:
+        """Lower-case column name when ``expr`` is a plain reference the
+        checker's tuple scope could resolve (unqualified, or qualified by
+        the binding name — not by an aliased-away base table)."""
+        if not isinstance(expr, ast.ColumnRef):
+            return None
+        if expr.table is not None and expr.table.lower() != binding:
+            return None
+        return expr.column.lower()
+
+    @staticmethod
+    def _column_free(expr: ast.Expr) -> bool:
+        """True when ``expr`` references no columns (and no subqueries),
+        so binding the instance's parameters makes it a constant."""
+        return not any(
+            isinstance(
+                node, (ast.ColumnRef, ast.Exists, ast.InSelect, ast.ScalarSubquery)
+            )
+            for node in ast.walk(expr)
         )
 
     @staticmethod

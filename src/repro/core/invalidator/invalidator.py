@@ -16,6 +16,7 @@ their cost lands on the DBMS, which is the paper's argument.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -50,6 +51,11 @@ class InvalidationReport:
     pairs_checked: int = 0
     unaffected: int = 0
     affected: int = 0
+    #: Of the pairs checked, how many the predicate index resolved as
+    #: UNAFFECTED without invoking the independence checker.
+    pairs_pruned: int = 0
+    index_probes: int = 0
+    probe_time_ms: float = 0.0
     polls_requested: int = 0
     polls_executed: int = 0
     polls_impacted: int = 0
@@ -63,6 +69,11 @@ class InvalidationReport:
         """Pairs resolved without touching the cache: pure wins of the
         independence check."""
         return self.unaffected
+
+    @property
+    def checker_invocations(self) -> int:
+        """Pairs that actually reached the independence checker."""
+        return self.pairs_checked - self.pairs_pruned
 
 
 @dataclass
@@ -83,6 +94,7 @@ class Invalidator:
         polling_budget: Optional[int] = None,
         use_data_cache: bool = False,
         grouped_analysis: bool = True,
+        predicate_index: bool = True,
         servlet_deadline: Optional[Callable[[str], float]] = None,
     ) -> None:
         self.database = database
@@ -97,6 +109,15 @@ class Invalidator:
         from repro.core.invalidator.grouping import GroupedChecker
 
         self.grouped_checker = GroupedChecker()
+        # Predicate index: probes replace most checker invocations; the
+        # registry listener keeps it consistent with discovery/eviction.
+        from repro.core.invalidator.predindex import PredicateIndex
+
+        self.pred_index: Optional[PredicateIndex] = None
+        if predicate_index:
+            self.pred_index = PredicateIndex(
+                analysis_for=self.grouped_checker.analysis_for
+            ).attach_to(self.registry)
         self.scheduler = InvalidationScheduler(polling_budget=polling_budget)
         self.infomgmt = InformationManager(
             database, self.policy_engine, use_data_cache=use_data_cache
@@ -174,7 +195,7 @@ class Invalidator:
         self.infomgmt.on_cycle_deltas(set(deltas.tables()))
 
         urls_to_eject: Set[str] = set()
-        doomed_instances: Set[int] = set()
+        doomed_instances: Dict[int, QueryInstance] = {}
         poll_tasks: List[_PollTask] = []
 
         for table in deltas.tables():
@@ -183,13 +204,29 @@ class Invalidator:
             # verdicts for every instance, so only the first is checked.
             records, duplicates = dedupe_records(deltas.changes_for(table))
             report.duplicate_records_skipped += duplicates
-            for instance in self.registry.instances_touching(table):
+            if self.pred_index is not None:
+                candidate_ids, instances = self._probe_candidates(
+                    table, records, report, doomed_instances
+                )
+            else:
+                candidate_ids = None
+                instances = self.registry.instances_touching(table)
+            for instance in instances:
                 if instance.instance_id in doomed_instances:
                     continue
                 stats = instance.query_type.stats
-                for record in records:
+                for position, record in enumerate(records):
                     report.pairs_checked += 1
                     stats.updates_seen += 1
+                    if (
+                        candidate_ids is not None
+                        and instance.instance_id not in candidate_ids[position]
+                    ):
+                        # Proven UNAFFECTED by the index probe: same
+                        # verdict the checker would reach, no invocation.
+                        report.pairs_pruned += 1
+                        report.unaffected += 1
+                        continue
                     if self.grouped_analysis:
                         verdict = self.grouped_checker.check_instance(
                             instance, record
@@ -203,7 +240,7 @@ class Invalidator:
                         report.affected += 1
                         stats.record_invalidation(elapsed=elapsed_ms())
                         urls_to_eject.update(instance.urls)
-                        doomed_instances.add(instance.instance_id)
+                        doomed_instances[instance.instance_id] = instance
                         break
                     report.polls_requested += 1
                     poll_tasks.append(_PollTask(instance, verdict))
@@ -245,7 +282,7 @@ class Invalidator:
                     elapsed=elapsed_ms()
                 )
                 urls_to_eject.update(task.instance.urls)
-                doomed_instances.add(task.instance.instance_id)
+                doomed_instances[task.instance.instance_id] = task.instance
         for candidate in schedule.over_invalidate:
             task = poll_tasks[candidate.key]
             if task.instance.instance_id in doomed_instances:
@@ -255,7 +292,7 @@ class Invalidator:
                 elapsed=elapsed_ms()
             )
             urls_to_eject.update(task.instance.urls)
-            doomed_instances.add(task.instance.instance_id)
+            doomed_instances[task.instance.instance_id] = task.instance
 
         outcomes = self.messages.invalidate(sorted(urls_to_eject))
         report.urls_ejected = len(outcomes)
@@ -269,6 +306,64 @@ class Invalidator:
         self.policy_engine.discover(self.registry)
         self.last_report = report
         return report
+
+    def _probe_candidates(
+        self,
+        table: str,
+        records: Sequence[UpdateRecord],
+        report: InvalidationReport,
+        doomed_instances: Dict[int, QueryInstance],
+    ) -> Tuple[List[Set[int]], List[QueryInstance]]:
+        """Probe the predicate index once per deduped record.
+
+        Returns the per-record candidate-id sets plus the *relevant*
+        instances (candidate for at least one record), in registration
+        order — the same relative order the scan path iterates.  Every
+        instance registered for ``table`` that no probe returned is
+        proven UNAFFECTED for the whole record group; those pairs are
+        accounted in bulk per query type, so counters and per-type
+        ``updates_seen`` statistics match the scan exactly.
+        """
+        index = self.pred_index
+        started = time.perf_counter()
+        candidate_ids: List[Set[int]] = []
+        relevant: Dict[int, QueryInstance] = {}
+        for record in records:
+            result = index.probe(table, record)
+            candidate_ids.append(result.candidate_ids)
+            for candidate in result.candidates:
+                relevant.setdefault(candidate.instance_id, candidate)
+        report.index_probes += len(records)
+        report.probe_time_ms += 1000.0 * (time.perf_counter() - started)
+
+        relevant_by_type: Dict[int, int] = {}
+        for instance in relevant.values():
+            type_id = instance.query_type.type_id
+            relevant_by_type[type_id] = relevant_by_type.get(type_id, 0) + 1
+        # Instances doomed earlier in this cycle are skipped uncounted by
+        # the scan path; subtract the non-relevant ones from the bulk.
+        doomed_by_type: Dict[int, int] = {}
+        for instance_id, instance in doomed_instances.items():
+            if instance_id in relevant:
+                continue
+            if table in instance.query_type.tables:
+                type_id = instance.query_type.type_id
+                doomed_by_type[type_id] = doomed_by_type.get(type_id, 0) + 1
+        for type_id, (query_type, live) in index.table_type_counts(table).items():
+            skipped = (
+                live
+                - relevant_by_type.get(type_id, 0)
+                - doomed_by_type.get(type_id, 0)
+            )
+            if skipped <= 0:
+                continue
+            pairs = skipped * len(records)
+            query_type.stats.updates_seen += pairs
+            report.pairs_checked += pairs
+            report.pairs_pruned += pairs
+            report.unaffected += pairs
+        ordered = sorted(relevant.values(), key=lambda inst: inst.instance_id)
+        return candidate_ids, ordered
 
 
 class TriggerInvalidator:

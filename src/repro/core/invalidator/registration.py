@@ -99,6 +99,21 @@ class QueryInstance:
     registered_at: float = 0.0
 
 
+class RegistryListener:
+    """Observer for instance lifecycle events.
+
+    Attach with :meth:`QueryTypeRegistry.add_listener`; the predicate
+    index uses this to stay consistent with discovery and eviction
+    without the registry importing it.
+    """
+
+    def instance_registered(self, instance: QueryInstance) -> None:
+        """A previously unseen instance entered the registry."""
+
+    def instance_dropped(self, instance: QueryInstance) -> None:
+        """An instance lost its last dependent URL and was removed."""
+
+
 class QueryTypeRegistry:
     """Type and instance store with per-table indexes."""
 
@@ -106,9 +121,17 @@ class QueryTypeRegistry:
         self._types_by_signature: Dict[str, QueryType] = {}
         self._types_by_name: Dict[str, QueryType] = {}
         self._instances_by_sql: Dict[str, QueryInstance] = {}
-        self._instances_by_table: Dict[str, Set[str]] = {}
+        # Inner dicts are insertion-ordered: instances_touching returns
+        # registration order, which both invalidation paths rely on for
+        # identical poll-candidate submission order.
+        self._instances_by_table: Dict[str, Dict[str, QueryInstance]] = {}
+        self._instances_by_url: Dict[str, Set[str]] = {}
+        self._listeners: List[RegistryListener] = []
         self._type_ids = itertools.count(1)
         self._instance_ids = itertools.count(1)
+
+    def add_listener(self, listener: RegistryListener) -> None:
+        self._listeners.append(listener)
 
     # -- types ---------------------------------------------------------------
 
@@ -187,8 +210,11 @@ class QueryTypeRegistry:
             )
             self._instances_by_sql[sql] = instance
             for table in query_type.tables:
-                self._instances_by_table.setdefault(table, set()).add(sql)
+                self._instances_by_table.setdefault(table, {})[sql] = instance
+            for listener in self._listeners:
+                listener.instance_registered(instance)
         instance.urls.add(url_key)
+        self._instances_by_url.setdefault(url_key, set()).add(sql)
         if servlet is not None:
             instance.servlets.add(servlet)
         return instance
@@ -199,26 +225,41 @@ class QueryTypeRegistry:
         )
 
     def instances_touching(self, table: str) -> List[QueryInstance]:
-        """All live instances whose type references ``table``."""
-        sqls = self._instances_by_table.get(table.lower(), set())
-        return [self._instances_by_sql[sql] for sql in sorted(sqls)]
+        """Live instances whose type references ``table``, in
+        registration order (== ascending instance id)."""
+        return list(self._instances_by_table.get(table.lower(), {}).values())
 
     def drop_url(self, url_key: str) -> int:
         """Detach a page from all instances; drop orphaned instances.
 
         Called after a page is ejected: its QI/URL rows are gone, so
-        instances that fed only that page no longer need watching.
+        instances that fed only that page no longer need watching.  The
+        per-URL map makes this O(instances of the page), not O(registry).
         """
         dropped = 0
-        for sql, instance in list(self._instances_by_sql.items()):
-            if url_key in instance.urls:
-                instance.urls.discard(url_key)
-                if not instance.urls:
-                    del self._instances_by_sql[sql]
-                    for table in instance.query_type.tables:
-                        self._instances_by_table.get(table, set()).discard(sql)
-                    dropped += 1
+        for sql in self._instances_by_url.pop(url_key, ()):
+            instance = self._instances_by_sql.get(sql)
+            if instance is None:
+                continue
+            instance.urls.discard(url_key)
+            if not instance.urls:
+                del self._instances_by_sql[sql]
+                for table in instance.query_type.tables:
+                    table_map = self._instances_by_table.get(table)
+                    if table_map is not None:
+                        table_map.pop(sql, None)
+                dropped += 1
+                for listener in self._listeners:
+                    listener.instance_dropped(instance)
         return dropped
+
+    def stats(self) -> Dict[str, int]:
+        """Registry size counters for status surfaces and the CLI."""
+        return {
+            "query_types": len(self._types_by_signature),
+            "query_instances": len(self._instances_by_sql),
+            "urls": len(self._instances_by_url),
+        }
 
     def __len__(self) -> int:
         return len(self._instances_by_sql)

@@ -130,6 +130,24 @@ def referenced_columns(
     return columns
 
 
+def has_left_join(stmt: ast.Select) -> bool:
+    """True when any FROM source involves a LEFT (outer) join.
+
+    Outer joins make the *absence* of matches observable, which defeats
+    the invalidator's local reasoning — callers treat such statements
+    conservatively.
+    """
+
+    def visit(source: ast.FromSource) -> bool:
+        if isinstance(source, ast.Join):
+            if source.kind is ast.JoinKind.LEFT:
+                return True
+            return visit(source.left) or visit(source.right)
+        return False
+
+    return any(visit(source) for source in stmt.sources)
+
+
 def join_on_conditions(stmt: ast.Select) -> List[ast.Expr]:
     """All ON conditions from explicit joins, flattened into conjuncts."""
     conditions: List[ast.Expr] = []

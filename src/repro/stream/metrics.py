@@ -33,6 +33,10 @@ class PipelineMetrics:
         self.pairs_checked = 0
         self.unaffected = 0
         self.affected = 0
+        # predicate-index probes (pairs_pruned ⊆ unaffected ⊆ pairs_checked)
+        self.pairs_pruned = 0
+        self.index_probes = 0
+        self.probe_seconds = 0.0
         self.polls_requested = 0
         self.polls_executed = 0
         self.polls_impacted = 0
@@ -135,6 +139,9 @@ class PipelineMetrics:
                     "pairs_checked": self.pairs_checked,
                     "unaffected": self.unaffected,
                     "affected": self.affected,
+                    "pairs_pruned": self.pairs_pruned,
+                    "index_probes": self.index_probes,
+                    "probe_time_ms": round(1000.0 * self.probe_seconds, 3),
                     "polls_requested": self.polls_requested,
                     "polls_executed": self.polls_executed,
                     "polls_impacted": self.polls_impacted,

@@ -42,6 +42,7 @@ from repro.db.engine import Database
 from repro.core.qiurl import QIURLMap
 from repro.core.invalidator.infomgmt import InformationManager
 from repro.core.invalidator.policies import InvalidationPolicy, PolicyEngine
+from repro.core.invalidator.predindex import PredicateIndex
 from repro.core.invalidator.registration import (
     QueryTypeRegistry,
     RegistrationModule,
@@ -84,6 +85,7 @@ class StreamingInvalidationPipeline:
         queue_capacity: int = 64,
         use_data_cache: bool = False,
         grouped_analysis: bool = True,
+        predicate_index: bool = True,
         servlet_deadline: Optional[Callable[[str], float]] = None,
         pre_ingest: Optional[Callable[[], object]] = None,
         idle_sleep: float = 0.002,
@@ -101,6 +103,11 @@ class StreamingInvalidationPipeline:
         )
         self.registry_lock = threading.RLock()
         self.db_lock = threading.Lock()
+        # Predicate index (shared across shards): registrations happen
+        # under the registry lock, so listener inserts are serialized.
+        self.pred_index: Optional[PredicateIndex] = None
+        if predicate_index:
+            self.pred_index = PredicateIndex().attach_to(self.registry)
         self.tailer = LogTailer(
             database.update_log, batch_size=batch_size, start_lsn=start_lsn
         )
@@ -118,6 +125,7 @@ class StreamingInvalidationPipeline:
             db_lock=self.db_lock,
             polling_budget=polling_budget,
             grouped_analysis=grouped_analysis,
+            pred_index=self.pred_index,
             servlet_deadline=servlet_deadline,
         )
         self.pool = WorkerPool(
@@ -314,11 +322,11 @@ class StreamingInvalidationPipeline:
             bus_outstanding=self.bus.outstanding,
         )
         with self.registry_lock:
-            snapshot["registry"] = {
-                "query_types": len(self.registry.types()),
-                "query_instances": len(self.registry),
-                "map_rows": len(self.qiurl_map),
-            }
+            snapshot["registry"] = dict(
+                self.registry.stats(), map_rows=len(self.qiurl_map)
+            )
+            if self.pred_index is not None:
+                snapshot["predicate_index"] = self.pred_index.stats()
         snapshot["tailer"]["cursor"] = self.tailer.cursor
         snapshot["shards"] = [
             {

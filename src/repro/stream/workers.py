@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
@@ -55,6 +56,10 @@ class WorkerContext:
     db_lock: threading.Lock
     polling_budget: Optional[int] = None
     grouped_analysis: bool = True
+    #: Shared :class:`~repro.core.invalidator.predindex.PredicateIndex`;
+    #: None runs the full per-instance scan.  Probes happen under the
+    #: registry lock, like every other registry read.
+    pred_index: Optional[object] = None
     servlet_deadline: Optional[Callable[[str], float]] = None
 
 
@@ -161,13 +166,30 @@ class InvalidationWorker:
             duplicate_records_skipped=duplicates,
         )
 
+        index = ctx.pred_index
         with ctx.registry_lock:
-            instances = list(ctx.registry.instances_touching(batch.table))
+            if index is not None:
+                probe_start = time.perf_counter()
+                probes = [index.probe(batch.table, record) for record in records]
+                probe_seconds = time.perf_counter() - probe_start
+                # Snapshot the per-type live counts: other shards may drop
+                # instances while this batch is in flight, just as the
+                # scan path snapshots its instance list.
+                type_totals = {
+                    type_id: (query_type, count)
+                    for type_id, (query_type, count) in index.table_type_counts(
+                        batch.table
+                    ).items()
+                }
+                instances = []
+            else:
+                probes = None
+                instances = list(ctx.registry.instances_touching(batch.table))
 
         urls_to_eject: "dict[str, None]" = {}  # insertion-ordered set
-        doomed: set = set()
+        doomed: "dict[int, object]" = {}  # instance_id → instance
         poll_tasks = []  # (instance, verdict)
-        pairs = unaffected = affected = 0
+        pairs = unaffected = affected = pruned = 0
         # keyed by type_id: QueryType is a plain dataclass, not hashable
         updates_seen_by_type: "dict[int, list]" = {}
 
@@ -175,8 +197,45 @@ class InvalidationWorker:
         # instance-major pass): ejects caused by AFFECTED verdicts are
         # published in log order, which is what makes the bus's FIFO
         # delivery a *per-relation ordering* guarantee end to end.
-        for record in records:
-            for instance in instances:
+        for position, record in enumerate(records):
+            if probes is None:
+                row_instances = instances
+            else:
+                probe = probes[position]
+                row_instances = probe.candidates
+                # Everything the probe left out is provably UNAFFECTED for
+                # this record: account those pairs in bulk per query type
+                # (minus instances already doomed, which the scan path
+                # skips uncounted).
+                candidates_by_type: "dict[int, int]" = {}
+                for instance in row_instances:
+                    type_id = instance.query_type.type_id
+                    candidates_by_type[type_id] = (
+                        candidates_by_type.get(type_id, 0) + 1
+                    )
+                doomed_by_type: "dict[int, int]" = {}
+                for instance_id, instance in doomed.items():
+                    if instance_id not in probe.candidate_ids:
+                        type_id = instance.query_type.type_id
+                        doomed_by_type[type_id] = (
+                            doomed_by_type.get(type_id, 0) + 1
+                        )
+                for type_id, (query_type, live) in type_totals.items():
+                    skipped = (
+                        live
+                        - candidates_by_type.get(type_id, 0)
+                        - doomed_by_type.get(type_id, 0)
+                    )
+                    if skipped <= 0:
+                        continue
+                    pairs += skipped
+                    unaffected += skipped
+                    pruned += skipped
+                    tally = updates_seen_by_type.setdefault(
+                        type_id, [query_type, 0]
+                    )
+                    tally[1] += skipped
+            for instance in row_instances:
                 if instance.instance_id in doomed:
                     continue
                 pairs += 1
@@ -202,6 +261,12 @@ class InvalidationWorker:
         self.metrics.add(
             pairs_checked=pairs, unaffected=unaffected, affected=affected
         )
+        if probes is not None:
+            self.metrics.add(
+                pairs_pruned=pruned,
+                index_probes=len(records),
+                probe_seconds=probe_seconds,
+            )
         if updates_seen_by_type:
             with ctx.registry_lock:
                 for query_type, count in updates_seen_by_type.values():
@@ -269,7 +334,7 @@ class InvalidationWorker:
                     self.context.registry.drop_url(url)
 
     def _doom(self, instance, urls_to_eject, doomed) -> None:
-        doomed.add(instance.instance_id)
+        doomed[instance.instance_id] = instance
         with self.context.registry_lock:
             instance.query_type.stats.record_invalidation(elapsed=0.0)
             for url in sorted(instance.urls):
