@@ -1,0 +1,91 @@
+"""Recovery-time benchmark: checkpoint and restore at registry scale.
+
+A restart is a availability hole: until the portal's state is back, every
+cached page is either unprotected (stale risk) or must be flushed (cold
+cache).  Recovery is therefore only useful if a realistic state reloads
+fast.  This bench builds a registry at the predicate-index bench's mix
+(ranges, equalities, joins, IN-lists) plus a matching QI/URL map, writes
+a checkpoint, and measures:
+
+* snapshot + atomic write time (the checkpoint pause an operator pays);
+* read + verify + restore time into a fresh registry with an attached
+  predicate index (the restart-to-protected gap) — asserted **< 2 s at
+  10 000 instances**;
+* snapshot file size, as a capacity-planning data point.
+
+Scale knob: ``REPRO_BENCH_RECOVERY_INSTANCES`` (default ``10000``) — the
+CI smoke job runs a tiny count.
+"""
+
+import os
+import time
+
+from repro.core.invalidator.predindex import PredicateIndex
+from repro.core.invalidator.registration import QueryTypeRegistry
+from repro.core.qiurl import QIURLMap
+from repro.core.recovery import read_checkpoint, write_checkpoint
+
+from bench_predicate_index import build_registry
+from conftest import emit
+
+INSTANCES = int(os.environ.get("REPRO_BENCH_RECOVERY_INSTANCES", "10000"))
+
+#: Acceptance target: a 10k-instance registry restores in under 2 s.
+RESTORE_BUDGET_S = 2.0
+
+
+def build_state(count):
+    registry = build_registry(count)
+    qiurl_map = QIURLMap()
+    for instance in registry.instances():
+        for url in instance.urls:
+            qiurl_map.add(instance.sql, url, "catalog", 0.0)
+    return registry, qiurl_map
+
+
+def test_checkpoint_restore_scale(tmp_path):
+    registry, qiurl_map = build_state(INSTANCES)
+    path = tmp_path / "registry.ckpt"
+
+    started = time.perf_counter()
+    payload = {
+        "qiurl": qiurl_map.snapshot_state(),
+        "registry": registry.snapshot_state(),
+    }
+    write_checkpoint(path, payload)
+    write_s = time.perf_counter() - started
+    size_kb = path.stat().st_size / 1024.0
+
+    restored = QueryTypeRegistry()
+    PredicateIndex().attach_to(restored)
+    restored_map = QIURLMap()
+    started = time.perf_counter()
+    loaded = read_checkpoint(path)
+    restored_map.restore_state(loaded["qiurl"])
+    stats = restored.restore_state(loaded["registry"])
+    restore_s = time.perf_counter() - started
+
+    assert stats == registry.stats()
+    assert len(restored_map) == len(qiurl_map)
+
+    emit(
+        "Recovery: checkpoint/restore wall time",
+        [
+            f"instances         : {INSTANCES}",
+            f"snapshot + write  : {write_s * 1000:8.1f} ms",
+            f"read + restore    : {restore_s * 1000:8.1f} ms "
+            f"(budget {RESTORE_BUDGET_S * 1000:.0f} ms)",
+            f"checkpoint size   : {size_kb:8.1f} KiB",
+        ],
+        data={
+            "instances": INSTANCES,
+            "write_s": write_s,
+            "restore_s": restore_s,
+            "size_kb": size_kb,
+            "budget_s": RESTORE_BUDGET_S,
+        },
+    )
+    assert restore_s < RESTORE_BUDGET_S, (
+        f"{INSTANCES}-instance restore took {restore_s:.2f}s "
+        f"(budget {RESTORE_BUDGET_S}s)"
+    )

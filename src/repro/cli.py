@@ -8,7 +8,8 @@ Commands:
   scalability view behind the paper's 30 req/s operating point);
 * ``demo`` — the quickstart loop: cache, hit, update, invalidate;
 * ``example41`` — the paper's Example 4.1 decision walkthrough;
-* ``serve`` — run a CachePortal site as a real HTTP server via wsgiref.
+* ``serve`` — run a CachePortal site as a real HTTP server via wsgiref;
+* ``audit`` — crash/restart staleness audit of checkpoint recovery.
 """
 
 from __future__ import annotations
@@ -232,6 +233,55 @@ def _run_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_audit(args: argparse.Namespace) -> int:
+    """Replay a workload with random portal kill/restart points and
+    verify no invalidation cycle leaves a stale page cached."""
+    import json
+
+    from repro.core.audit import AuditConfig, run_audit
+
+    config = AuditConfig(
+        ops=args.ops,
+        restarts=args.restarts,
+        seed=args.seed,
+        checkpoint_every=args.checkpoint_every,
+        log_capacity=args.log_capacity,
+        recover=not args.no_recover,
+    )
+    report = run_audit(config)
+    payload = report.to_dict()
+    if args.json:
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json is True:
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"audit report written to {args.json}")
+    if not args.json or args.json is not True:
+        mode = "recover" if config.recover else "no-recover (control)"
+        print(
+            f"audit   : {report.ops_executed} ops, {report.cycles} cycles, "
+            f"{report.restarts_performed} restart(s) [{mode}]"
+        )
+        print(
+            f"recovery: {report.checkpoints_written} checkpoint(s), "
+            f"{report.map_rows_restored} map rows + "
+            f"{report.instances_restored} instances restored, "
+            f"{report.orphans_ejected} orphan(s) ejected, "
+            f"{report.flush_alls} flush-all(s), "
+            f"{report.cold_restores} cold restore(s)"
+        )
+        verdict = "PASS" if report.passed else "FAIL"
+        print(
+            f"verdict : {verdict} — {report.serves_checked} cached pages "
+            f"checked, {len(report.stale_serves)} stale"
+        )
+        for stale in report.stale_serves[:10]:
+            print(f"  STALE {stale['url']} (after op {stale['op']})")
+    return 0 if report.passed else 1
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     from wsgiref.simple_server import make_server
 
@@ -317,6 +367,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--scan", action="store_true",
                           help="disable the predicate index (full scan)")
     p_stream.set_defaults(func=_run_stream)
+
+    p_audit = sub.add_parser(
+        "audit", help="crash/restart staleness audit of checkpoint recovery"
+    )
+    p_audit.add_argument("--ops", type=int, default=400,
+                         help="workload length (default 400)")
+    p_audit.add_argument("--restarts", type=int, default=3,
+                         help="portal kill/restart points (default 3)")
+    p_audit.add_argument("--seed", type=int, default=7)
+    p_audit.add_argument("--checkpoint-every", type=int, default=25,
+                         help="ops between checkpoints (default 25)")
+    p_audit.add_argument("--log-capacity", type=int, default=None,
+                         help="bound the update log to force truncation paths")
+    p_audit.add_argument("--no-recover", action="store_true",
+                         help="control arm: restart without restoring "
+                              "(expected to FAIL)")
+    p_audit.add_argument("--json", nargs="?", const=True, default=False,
+                         metavar="FILE",
+                         help="emit the report as JSON (to FILE if given)")
+    p_audit.set_defaults(func=_run_audit)
 
     p_serve = sub.add_parser("serve", help="serve a demo site over HTTP (wsgiref)")
     p_serve.add_argument("--host", default="")

@@ -24,9 +24,24 @@ from repro.core.invalidator import (
     Verdict,
 )
 from repro.core.portal import CachePortal
+from repro.core.recovery import (
+    CheckpointError,
+    RecoveryReport,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.core.audit import AuditConfig, AuditReport, StalenessAuditor, run_audit
 
 __all__ = [
+    "AuditConfig",
+    "AuditReport",
     "CachePortal",
+    "CheckpointError",
+    "RecoveryReport",
+    "StalenessAuditor",
+    "run_audit",
+    "read_checkpoint",
+    "write_checkpoint",
     "InvalidationPolicy",
     "InvalidationReport",
     "Invalidator",

@@ -1,0 +1,322 @@
+"""Staleness auditor: crash/restart correctness harness for recovery.
+
+The checkpoint/recovery subsystem (:mod:`repro.core.recovery`) claims
+that a portal restored from a snapshot never lets the cache serve a page
+whose underlying tuples changed without a subsequent eject.  This module
+*audits* that claim instead of trusting it: it replays a deterministic
+workload of page requests, database updates, and invalidation cycles
+against a live Configuration III site, kills and restarts the portal at
+random points (the cache, site, and database survive — only the portal's
+in-memory state dies, exactly the crash model recovery targets), and
+after every invalidation cycle compares each cached page byte-for-byte
+against a fresh regeneration.
+
+With ``recover=True`` (the default) the restarted portal reloads the
+latest checkpoint and the audit must find **zero** stale serves.  With
+``recover=False`` the restarted portal starts blank — the control arm
+that demonstrates the staleness hole recovery exists to close.
+
+Used by the ``repro audit`` CLI command and the recovery test suite.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.portal import CachePortal
+from repro.db import Database
+from repro.web import Configuration, KeySpec, QueryPageServlet, build_site
+from repro.web.http import HttpRequest
+from repro.web.servlet import QueryBinding
+from repro.web.urlkey import page_key
+
+
+@dataclass
+class AuditConfig:
+    """Knobs for one audit run.
+
+    Args:
+        ops: workload length (get/update/cycle operations).
+        restarts: portal kill/restart points injected into the workload.
+        seed: drives the op mix and the restart positions; same seed,
+            same run.
+        checkpoint_every: operations between checkpoints (a checkpoint
+            is also written immediately after install and after every
+            restart, so recovery always has something to load).
+        log_capacity: bound on the database update log; small values
+            force the truncation → flush-all path to exercise under
+            crashes.  ``None`` keeps the log unbounded.
+        recover: restore from the latest checkpoint after each restart.
+            ``False`` is the control arm: restarts leave a blank portal
+            and the audit is expected to catch stale pages.
+    """
+
+    ops: int = 400
+    restarts: int = 3
+    seed: int = 7
+    checkpoint_every: int = 25
+    log_capacity: Optional[int] = None
+    recover: bool = True
+
+
+@dataclass
+class AuditReport:
+    """Everything one audit run observed."""
+
+    config: AuditConfig = field(default_factory=AuditConfig)
+    ops_executed: int = 0
+    gets: int = 0
+    updates: int = 0
+    cycles: int = 0
+    restarts_performed: int = 0
+    checkpoints_written: int = 0
+    #: Pages compared byte-for-byte against a fresh regeneration.
+    serves_checked: int = 0
+    #: Each entry: {"url", "op"} — a cached page that differed from a
+    #: fresh regeneration after an invalidation cycle.  Must stay empty.
+    stale_serves: List[Dict] = field(default_factory=list)
+    #: Restores where the update log had truncated past the checkpoint
+    #: and the flush-all safety valve fired.
+    flush_alls: int = 0
+    orphans_ejected: int = 0
+    map_rows_restored: int = 0
+    instances_restored: int = 0
+    #: Restarts that found no checkpoint on disk; the cache is cleared
+    #: wholesale because nothing about it can be trusted.
+    cold_restores: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return not self.stale_serves
+
+    def to_dict(self) -> Dict:
+        return {
+            "config": {
+                "ops": self.config.ops,
+                "restarts": self.config.restarts,
+                "seed": self.config.seed,
+                "checkpoint_every": self.config.checkpoint_every,
+                "log_capacity": self.config.log_capacity,
+                "recover": self.config.recover,
+            },
+            "ops_executed": self.ops_executed,
+            "gets": self.gets,
+            "updates": self.updates,
+            "cycles": self.cycles,
+            "restarts_performed": self.restarts_performed,
+            "checkpoints_written": self.checkpoints_written,
+            "serves_checked": self.serves_checked,
+            "stale_serves": self.stale_serves,
+            "flush_alls": self.flush_alls,
+            "orphans_ejected": self.orphans_ejected,
+            "map_rows_restored": self.map_rows_restored,
+            "instances_restored": self.instances_restored,
+            "cold_restores": self.cold_restores,
+            "passed": self.passed,
+        }
+
+
+# -- the audited workload -----------------------------------------------------
+#
+# The Car/Mileage site of paper Example 4.1: a single-table range page
+# and a join page, so both the local-decision and polling-query paths
+# run under crashes.
+
+URLS = [
+    "/catalog?max_price=15000",
+    "/catalog?max_price=21000",
+    "/catalog?max_price=99999",
+    "/efficient?min_epa=20",
+    "/efficient?min_epa=30",
+]
+
+UPDATES = [
+    "INSERT INTO car VALUES ('Kia', 'Rio', 14000)",
+    "INSERT INTO car VALUES ('VW', 'Golf', 19500)",
+    "INSERT INTO mileage VALUES ('Rio', 45)",
+    "INSERT INTO mileage VALUES ('Golf', 31)",
+    "DELETE FROM car WHERE model = 'Civic'",
+    "DELETE FROM mileage WHERE epa < 20",
+    "UPDATE car SET price = price - 1000 WHERE maker = 'Toyota'",
+    "UPDATE mileage SET epa = epa + 5 WHERE model = 'Eclipse'",
+]
+
+
+def _build_database(log_capacity: Optional[int]) -> Database:
+    db = Database(log_capacity=log_capacity)
+    db.execute("CREATE TABLE car (maker TEXT, model TEXT, price INT)")
+    db.execute("CREATE TABLE mileage (model TEXT, epa INT)")
+    db.execute(
+        "INSERT INTO car VALUES "
+        "('Toyota','Avalon',25000),('Mitsubishi','Eclipse',20000),"
+        "('Honda','Civic',18000),('BMW','M5',72000)"
+    )
+    db.execute(
+        "INSERT INTO mileage VALUES "
+        "('Avalon',28),('Eclipse',25),('Civic',35),('M5',16)"
+    )
+    return db
+
+
+def _build_servlets() -> List[QueryPageServlet]:
+    return [
+        QueryPageServlet(
+            name="catalog",
+            path="/catalog",
+            queries=[
+                (
+                    "SELECT maker, model, price FROM car WHERE price < ?",
+                    [QueryBinding("get", "max_price", int)],
+                )
+            ],
+            key_spec=KeySpec.make(get_keys=["max_price"]),
+        ),
+        QueryPageServlet(
+            name="efficient",
+            path="/efficient",
+            queries=[
+                (
+                    "SELECT car.maker, car.model, mileage.epa "
+                    "FROM car, mileage "
+                    "WHERE car.model = mileage.model AND mileage.epa > ?",
+                    [QueryBinding("get", "min_epa", int)],
+                )
+            ],
+            key_spec=KeySpec.make(get_keys=["min_epa"]),
+        ),
+    ]
+
+
+class StalenessAuditor:
+    """Replays a workload with injected portal crashes and checks that
+    no invalidation cycle ever leaves a stale page in the cache."""
+
+    def __init__(self, config: Optional[AuditConfig] = None) -> None:
+        self.config = config or AuditConfig()
+
+    # -- crash model ----------------------------------------------------------
+
+    def _crash_and_restart(self, site, portal, ckpt_path, report):
+        """Kill the portal (its in-memory state only) and bring up a
+        fresh one.  The web cache keeps every page it held — that is
+        the whole hazard."""
+        portal.sniffer.uninstall()  # wrappers off; cache NOT cleared
+        fresh = CachePortal(site)
+        report.restarts_performed += 1
+        if self.config.recover and os.path.exists(ckpt_path):
+            recovery_report = fresh.restore(ckpt_path)
+            report.orphans_ejected += recovery_report.orphans_ejected
+            report.map_rows_restored += recovery_report.map_rows_restored
+            report.instances_restored += recovery_report.instances_restored
+            if recovery_report.log_truncated:
+                report.flush_alls += 1
+        elif self.config.recover:
+            # No checkpoint yet: nothing about the cache can be trusted.
+            site.web_cache.clear()
+            report.cold_restores += 1
+        return fresh
+
+    # -- the invariant --------------------------------------------------------
+
+    @staticmethod
+    def _fresh_body(site, url: str) -> str:
+        """Regenerate a page at an app server, bypassing the cache."""
+        request = HttpRequest.from_url(url)
+        return site.balancer.servers[0].handle(request).body
+
+    def _check_cache(self, site, url_by_key, report, op_index: int) -> None:
+        for key in list(site.web_cache.keys()):
+            cached = site.web_cache.get(key)
+            url = url_by_key.get(key)
+            if cached is None or url is None:
+                continue
+            report.serves_checked += 1
+            if cached.body != self._fresh_body(site, url):
+                report.stale_serves.append({"url": url, "op": op_index})
+
+    # -- the run --------------------------------------------------------------
+
+    def run(self, checkpoint_path: Optional[str] = None) -> AuditReport:
+        config = self.config
+        report = AuditReport(config=config)
+        rng = random.Random(config.seed)
+
+        db = _build_database(config.log_capacity)
+        site = build_site(
+            Configuration.WEB_CACHE, _build_servlets(), database=db, num_servers=2
+        )
+        portal = CachePortal(site)
+
+        owns_tmpdir = checkpoint_path is None
+        tmpdir = tempfile.mkdtemp(prefix="repro-audit-") if owns_tmpdir else None
+        ckpt_path = checkpoint_path or os.path.join(tmpdir, "portal.ckpt")
+        try:
+            portal.checkpoint(ckpt_path)
+            report.checkpoints_written += 1
+
+            # Deterministic op stream and restart points.
+            ops = [
+                rng.choice(
+                    [
+                        ("get", rng.choice(URLS)),
+                        ("update", rng.randrange(len(UPDATES))),
+                        ("cycle", None),
+                    ]
+                )
+                for _ in range(config.ops)
+            ]
+            restart_at = (
+                set(rng.sample(range(1, config.ops), min(config.restarts, config.ops - 1)))
+                if config.ops > 1 and config.restarts > 0
+                else set()
+            )
+
+            url_by_key = {}
+            for i, (kind, arg) in enumerate(ops):
+                if i in restart_at:
+                    portal = self._crash_and_restart(site, portal, ckpt_path, report)
+                    # Close the staleness window the dead portal left open
+                    # before serving anything else.
+                    portal.run_invalidation_cycle()
+                    report.cycles += 1
+                    self._check_cache(site, url_by_key, report, i)
+                if kind == "get":
+                    site.get(arg)
+                    request = HttpRequest.from_url(arg)
+                    servlet = site.servlet_for(request.path)
+                    url_by_key[page_key(request, servlet.key_spec)] = arg
+                    report.gets += 1
+                elif kind == "update":
+                    site.database.execute(UPDATES[arg])
+                    report.updates += 1
+                else:
+                    portal.run_invalidation_cycle()
+                    report.cycles += 1
+                    self._check_cache(site, url_by_key, report, i)
+                report.ops_executed += 1
+                if (i + 1) % config.checkpoint_every == 0:
+                    portal.checkpoint(ckpt_path)
+                    report.checkpoints_written += 1
+
+            # Final cycle, then the invariant over everything still cached.
+            portal.run_invalidation_cycle()
+            report.cycles += 1
+            self._check_cache(site, url_by_key, report, config.ops)
+        finally:
+            if owns_tmpdir:
+                try:
+                    if os.path.exists(ckpt_path):
+                        os.unlink(ckpt_path)
+                    os.rmdir(tmpdir)
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+        return report
+
+
+def run_audit(config: Optional[AuditConfig] = None) -> AuditReport:
+    """One-call entry point: build an auditor, run it, return the report."""
+    return StalenessAuditor(config).run()

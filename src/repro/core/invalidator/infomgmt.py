@@ -13,6 +13,7 @@ Maintains the four kinds of information the paper enumerates:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
 
@@ -45,24 +46,41 @@ class PollingResultCache:
 
     def __init__(self, capacity: int = 10000) -> None:
         self.capacity = capacity
-        self._results: Dict[str, bool] = {}
+        self._results: "OrderedDict[str, bool]" = OrderedDict()
         self._tables: Dict[str, Set[str]] = {}
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.evictions = 0
 
     def get(self, sql: str) -> Optional[bool]:
         if sql in self._results:
             self.hits += 1
+            self._results.move_to_end(sql)
             return self._results[sql]
         self.misses += 1
         return None
 
     def put(self, sql: str, query: ast.Select, impacted: bool) -> None:
-        if len(self._results) >= self.capacity:
-            return
+        if sql in self._results:
+            self._results.move_to_end(sql)
+        elif len(self._results) >= self.capacity:
+            # LRU eviction: a full cache must keep admitting hot new
+            # (query, result) pairs or it silently stops being a cache.
+            evicted, _ = self._results.popitem(last=False)
+            del self._tables[evicted]
+            self.evictions += 1
         self._results[sql] = impacted
         self._tables[sql] = referenced_tables(query)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._results),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+        }
 
     def invalidate_tables(self, changed_tables: Set[str]) -> int:
         """Drop cached results whose polling query reads a changed table."""

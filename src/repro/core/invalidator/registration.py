@@ -264,6 +264,90 @@ class QueryTypeRegistry:
     def __len__(self) -> int:
         return len(self._instances_by_sql)
 
+    # -- checkpointing --------------------------------------------------------
+
+    def snapshot_state(self) -> Dict:
+        """JSON-compatible dump of every type and live instance.
+
+        Only *source* state is serialized: type signatures (canonical
+        parameterized SQL — parseable, so restore re-derives templates,
+        table sets, and aliases), tuning knobs, statistics, and each
+        instance's bound SQL plus dependent URLs.  Derived structures
+        (parsed ASTs, per-table maps, any attached predicate index) are
+        rebuilt on restore, never persisted.
+        """
+        types = [
+            {
+                "signature": query_type.signature,
+                "name": query_type.name,
+                "cacheable": query_type.cacheable,
+                "cost": query_type.cost,
+                "priority": query_type.priority,
+                "deadline_ms": query_type.deadline_ms,
+                "stats": {
+                    "instances_seen": query_type.stats.instances_seen,
+                    "updates_seen": query_type.stats.updates_seen,
+                    "invalidations": query_type.stats.invalidations,
+                    "polling_queries_issued": query_type.stats.polling_queries_issued,
+                    "total_invalidation_time": query_type.stats.total_invalidation_time,
+                    "max_invalidation_time": query_type.stats.max_invalidation_time,
+                },
+            }
+            for query_type in self.types()
+        ]
+        instances = [
+            {
+                "sql": instance.sql,
+                "urls": sorted(instance.urls),
+                "servlets": sorted(instance.servlets),
+                "registered_at": instance.registered_at,
+            }
+            for instance in self.instances()
+        ]
+        return {"types": types, "instances": instances}
+
+    def restore_state(self, data: Dict) -> Dict[str, int]:
+        """Rebuild the registry from a snapshot; returns :meth:`stats`.
+
+        Existing instances are dropped through the listener path first,
+        so attached derived indexes stay consistent; restored instances
+        replay through :meth:`observe_instance` in their original
+        instance-id order, firing ``instance_registered`` for each —
+        which is exactly how a predicate index is rebuilt rather than
+        deserialized.
+        """
+        for url_key in list(self._instances_by_url):
+            self.drop_url(url_key)
+        self._types_by_signature.clear()
+        self._types_by_name.clear()
+        self._instances_by_sql.clear()
+        self._instances_by_table.clear()
+        self._instances_by_url.clear()
+        self._type_ids = itertools.count(1)
+        self._instance_ids = itertools.count(1)
+        # Types first (in original type-id order) so friendly names and
+        # discovery order survive; tuning knobs now, stats after replay.
+        for spec in data.get("types", []):
+            query_type = self.register_type(spec["signature"], spec.get("name"))
+            query_type.cacheable = spec.get("cacheable", True)
+            query_type.cost = spec.get("cost", 1.0)
+            query_type.priority = spec.get("priority", 0)
+            query_type.deadline_ms = spec.get("deadline_ms", 1000.0)
+        for spec in data.get("instances", []):
+            for url_key in spec["urls"]:
+                self.observe_instance(
+                    spec["sql"], url_key, spec.get("registered_at", 0.0)
+                )
+            instance = self._instances_by_sql[spec["sql"]]
+            instance.servlets.update(spec.get("servlets", ()))
+        # Statistics last: the replay above bumps instances_seen counters
+        # that the snapshot already accounts for.
+        for spec in data.get("types", []):
+            query_type = self._types_by_signature.get(spec["signature"])
+            if query_type is not None and "stats" in spec:
+                query_type.stats = QueryTypeStats(**spec["stats"])
+        return self.stats()
+
 
 class RegistrationModule:
     """The registration module: feeds QI/URL rows into the registry (§4.1).

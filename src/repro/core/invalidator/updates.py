@@ -86,3 +86,7 @@ class UpdateProcessor:
     def skip_to_head(self) -> None:
         """Advance the cursor without processing (used at install time)."""
         self._cursor = self.database.update_log.head_lsn - 1
+
+    def seek(self, lsn: int) -> None:
+        """Reposition the cursor (e.g. restoring a checkpoint)."""
+        self._cursor = lsn

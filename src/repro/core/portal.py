@@ -16,17 +16,26 @@ Typical use::
     site.get("/catalog?maker=Toyota")       # page generated and cached
     db.execute("INSERT INTO car VALUES (...)")
     portal.run_invalidation_cycle()         # stale pages ejected
+
+Portal state is crash-safe when checkpointed::
+
+    portal.checkpoint("portal.ckpt")        # atomic, checksummed snapshot
+    ...                                      # process dies, restarts
+    portal = CachePortal(site)               # fresh install, empty state
+    report = portal.restore("portal.ckpt")   # map/registry/cursor reloaded
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Optional
+from pathlib import Path
+from typing import Callable, Optional, Union
 
 from repro.errors import CachePortalError
 from repro.web.site import Configuration, Site
 from repro.core.sniffer import Sniffer
 from repro.core.invalidator import InvalidationPolicy, InvalidationReport, Invalidator
+from repro.core import recovery
 
 
 class CachePortal:
@@ -113,6 +122,39 @@ class CachePortal:
         """
         self.run_sniffer()
         return self.invalidator.run_cycle()
+
+    # -- checkpoint / recovery ------------------------------------------------
+
+    def checkpoint(self, path: Union[str, Path]) -> str:
+        """Persist the portal's durable state atomically; returns the
+        snapshot checksum.
+
+        Run the mapper first so every page cached before this instant has
+        its QI/URL rows inside the snapshot — the same ordering
+        :meth:`run_invalidation_cycle` relies on for the safety property.
+        """
+        self.run_sniffer()
+        return recovery.write_checkpoint(path, recovery.snapshot_portal(self))
+
+    def restore(
+        self, path: Union[str, Path], reconcile_caches: bool = True
+    ) -> "recovery.RecoveryReport":
+        """Reload a checkpoint written by :meth:`checkpoint`.
+
+        Rebuilds the QI/URL map and query registry (the invalidator's
+        predicate index is re-derived by replay, never deserialized),
+        seeks the update-log cursor to the checkpointed LSN — or fires
+        the flush-all safety valve when the log truncated past it — and,
+        with ``reconcile_caches``, ejects cached pages the snapshot has
+        no QI/URL rows for (they were cached after the checkpoint and
+        have no other eject path).
+        """
+        payload = recovery.read_checkpoint(path)
+        report = recovery.restore_portal(
+            self, payload, reconcile_caches=reconcile_caches
+        )
+        report.path = str(path)
+        return report
 
     # -- introspection ------------------------------------------------------------
 

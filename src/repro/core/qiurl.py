@@ -71,12 +71,22 @@ class QIURLMap:
         self._by_url.setdefault(url_key, set()).add(pair)
         return entry
 
+    def _is_live(self, row: QIURLEntry) -> bool:
+        """True when ``row`` is the current entry for its (sql, url) pair.
+
+        Membership of the pair alone is not enough: after a drop and a
+        re-add of the same pair, the dead predecessor row still sits in
+        ``_rows`` with a live pair — only the row ``_by_pair`` actually
+        points at is live.
+        """
+        return self._by_pair.get((row.sql, row.url_key)) is row
+
     def read_new(self) -> List[QIURLEntry]:
         """Rows appended since the previous call (the consumer cursor)."""
         new_rows = self._rows[self._cursor :]
         self._cursor = len(self._rows)
-        # Skip rows that were dropped after being appended.
-        return [row for row in new_rows if (row.sql, row.url_key) in self._by_pair]
+        # Skip rows that were dropped (or superseded) after being appended.
+        return [row for row in new_rows if self._is_live(row)]
 
     def urls(self) -> List[str]:
         return sorted(self._by_url)
@@ -98,4 +108,36 @@ class QIURLMap:
         return len(pairs)
 
     def all_entries(self) -> List[QIURLEntry]:
-        return [row for row in self._rows if (row.sql, row.url_key) in self._by_pair]
+        return [row for row in self._rows if self._is_live(row)]
+
+    # -- checkpointing --------------------------------------------------------
+
+    def snapshot_state(self) -> Dict:
+        """JSON-compatible dump of the live rows and the consumer cursor.
+
+        Dead rows (dropped after being appended) are not serialized;
+        ``consumed`` counts how many of the *live* rows the consumer has
+        already read, so a restored map re-delivers exactly the unread
+        tail through :meth:`read_new`.
+        """
+        live = self.all_entries()
+        consumed = sum(1 for row in self._rows[: self._cursor] if self._is_live(row))
+        return {
+            "rows": [
+                [row.sql, row.url_key, row.servlet, row.mapped_at]
+                for row in live
+            ],
+            "consumed": consumed,
+        }
+
+    def restore_state(self, data: Dict) -> int:
+        """Replace this map's contents with a snapshot; returns row count."""
+        self._rows.clear()
+        self._by_pair.clear()
+        self._by_url.clear()
+        self._ids = itertools.count(1)
+        self._cursor = 0
+        for sql, url_key, servlet, mapped_at in data.get("rows", []):
+            self.add(sql, url_key, servlet, mapped_at)
+        self._cursor = min(int(data.get("consumed", 0)), len(self._rows))
+        return len(self._rows)

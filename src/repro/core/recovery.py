@@ -1,0 +1,287 @@
+"""Crash-safe checkpoint/recovery for CachePortal state.
+
+The invalidator is the *only* defense against serving stale dynamic
+pages (§2, §4), yet all of its working state — the QI/URL map, the query
+registry, the update-log cursor, undelivered ejects — is in-memory: a
+restart without recovery silently orphans every cached page, with no
+eject path left to it.  This module makes portal state durable:
+
+* :func:`write_checkpoint` / :func:`read_checkpoint` persist a
+  **versioned, checksummed** snapshot **atomically** (write to a temp
+  file in the same directory, fsync, then ``os.replace`` — a crash
+  mid-write leaves the previous checkpoint intact, and a corrupt or
+  torn file is rejected by its SHA-256 checksum instead of being
+  half-loaded);
+* :func:`snapshot_portal` / :func:`restore_portal` capture and reload a
+  synchronous :class:`~repro.core.portal.CachePortal`;
+* :func:`snapshot_pipeline` / :func:`restore_pipeline` do the same for a
+  :class:`~repro.stream.pipeline.StreamingInvalidationPipeline`,
+  additionally carrying the tailer's LSN cursor and the eject bus's
+  undelivered/dead-letter state.
+
+**What is serialized** is source state only: QI/URL rows, query-type
+signatures with their tuning knobs and statistics, instance SQL with
+dependent URLs, the LSN cursor, and undelivered ejects.  **Derived state
+is never serialized**: parsed ASTs, per-table maps, and the predicate
+index are rebuilt on restore by replaying registrations through the
+registry's listener protocol.
+
+Restore closes three staleness holes:
+
+1. *Updates after the checkpoint*: the cursor is restored, so the next
+   cycle replays every logged change the dead invalidator missed.
+2. *Pages cached (or mapped) after the checkpoint*: they have no QI/URL
+   row in the snapshot and hence no eject path — restore reconciles the
+   caches and ejects these orphans.
+3. *Update-log truncation past the checkpoint*: the missed changes are
+   unknowable, so restore triggers the existing flush-all safety valve
+   (every watched page is ejected) instead of silently resuming.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import CachePortalError
+
+FORMAT_VERSION = 1
+
+
+class CheckpointError(CachePortalError):
+    """Raised when a checkpoint cannot be read back safely."""
+
+
+@dataclass
+class RecoveryReport:
+    """What a restore did — the operator-facing outcome summary."""
+
+    #: Where the snapshot came from (``None`` for in-memory restores).
+    path: Optional[str] = None
+    map_rows_restored: int = 0
+    types_restored: int = 0
+    instances_restored: int = 0
+    cursor_lsn: int = 0
+    #: True when the update log truncated past the checkpointed cursor:
+    #: the flush-all safety valve fired instead of a silent resume.
+    log_truncated: bool = False
+    #: Inclusive LSN range the restore could not replay (when truncated).
+    lost_range: Optional[Tuple[int, int]] = None
+    #: Pages ejected by the flush-all valve.
+    flushed_urls: int = 0
+    #: Cached pages with no QI/URL row in the snapshot (cached or mapped
+    #: after the checkpoint): no eject path exists for them, so restore
+    #: ejects them from every reachable cache.
+    orphans_ejected: int = 0
+    #: Ejects that were undelivered at checkpoint time and re-published.
+    ejects_republished: int = 0
+    dead_letters_restored: int = 0
+
+
+# -- the on-disk format -------------------------------------------------------
+
+
+def _canonical(payload: Dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(payload: Dict) -> str:
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+def write_checkpoint(path: Union[str, Path], payload: Dict) -> str:
+    """Atomically persist ``payload`` under a versioned, checksummed
+    envelope.  Returns the checksum.
+
+    The write goes to a temporary sibling first and is published with
+    ``os.replace`` — readers see either the previous checkpoint or the
+    complete new one, never a torn file.
+    """
+    path = Path(path)
+    checksum = _checksum(payload)
+    envelope = {
+        "format": FORMAT_VERSION,
+        "checksum": checksum,
+        "payload": payload,
+    }
+    tmp_path = path.with_name(path.name + ".tmp")
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(envelope, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    return checksum
+
+
+def read_checkpoint(path: Union[str, Path]) -> Dict:
+    """Load and verify a checkpoint; returns the payload dictionary.
+
+    Raises:
+        CheckpointError: on a missing file, unparseable JSON, an
+        unsupported format version, or a checksum mismatch (torn or
+        tampered file).
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    try:
+        envelope = json.loads(text)
+    except ValueError as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(envelope, dict) or envelope.get("format") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint format {envelope.get('format')!r} "
+            f"in {path} (expected {FORMAT_VERSION})"
+        )
+    payload = envelope.get("payload")
+    if not isinstance(payload, dict):
+        raise CheckpointError(f"checkpoint {path} has no payload")
+    if _checksum(payload) != envelope.get("checksum"):
+        raise CheckpointError(
+            f"checkpoint {path} failed checksum verification "
+            "(torn write or corruption)"
+        )
+    return payload
+
+
+# -- portal snapshots ---------------------------------------------------------
+
+
+def snapshot_portal(portal) -> Dict:
+    """Capture a :class:`~repro.core.portal.CachePortal`'s durable state."""
+    return {
+        "kind": "portal",
+        "qiurl": portal.qiurl_map.snapshot_state(),
+        "registry": portal.invalidator.registry.snapshot_state(),
+        "cursor_lsn": portal.invalidator.updates.cursor,
+        "bus": None,
+    }
+
+
+def snapshot_pipeline(pipeline) -> Dict:
+    """Capture a streaming pipeline's durable state (tailer + bus too)."""
+    return {
+        "kind": "pipeline",
+        "qiurl": pipeline.qiurl_map.snapshot_state(),
+        "registry": pipeline.registry.snapshot_state(),
+        "cursor_lsn": pipeline.tailer.checkpoint(),
+        "bus": pipeline.bus.snapshot_state(),
+    }
+
+
+def restore_portal(
+    portal, payload: Dict, reconcile_caches: bool = True
+) -> RecoveryReport:
+    """Reload a snapshot into a (freshly constructed) portal.
+
+    Restores the QI/URL map and registry (replaying registrations so any
+    attached predicate index rebuilds itself), seeks the update cursor to
+    the checkpointed LSN, fires the flush-all valve when the log has
+    truncated past it, and ejects orphaned cached pages.
+    """
+    report = RecoveryReport()
+    invalidator = portal.invalidator
+    report.map_rows_restored = portal.qiurl_map.restore_state(payload["qiurl"])
+    registry_stats = invalidator.registry.restore_state(payload["registry"])
+    report.types_restored = registry_stats["query_types"]
+    report.instances_restored = registry_stats["query_instances"]
+    cursor = int(payload["cursor_lsn"])
+    report.cursor_lsn = cursor
+    log = invalidator.database.update_log
+    if cursor + 1 < log.oldest_lsn:
+        # The log wrapped past the checkpoint: what changed in between is
+        # unknowable.  Resume would be silent staleness — flush instead.
+        report.log_truncated = True
+        report.lost_range = (cursor + 1, max(log.last_lsn, log.oldest_lsn - 1))
+        invalidator.updates.skip_to_head()
+        report.flushed_urls = _flush_all_portal(invalidator)
+    else:
+        invalidator.updates.seek(cursor)
+    if reconcile_caches:
+        report.orphans_ejected = _eject_orphans(
+            invalidator.messages.caches, portal.qiurl_map
+        )
+    return report
+
+
+def restore_pipeline(
+    pipeline, payload: Dict, reconcile_caches: bool = True
+) -> RecoveryReport:
+    """Reload a snapshot into a (not yet started) streaming pipeline."""
+    report = RecoveryReport()
+    report.map_rows_restored = pipeline.qiurl_map.restore_state(payload["qiurl"])
+    with pipeline.registry_lock:
+        registry_stats = pipeline.registry.restore_state(payload["registry"])
+    report.types_restored = registry_stats["query_types"]
+    report.instances_restored = registry_stats["query_instances"]
+    cursor = int(payload["cursor_lsn"])
+    report.cursor_lsn = cursor
+    bus_state = payload.get("bus")
+    if bus_state:
+        report.ejects_republished = pipeline.bus.restore_state(bus_state)
+        report.dead_letters_restored = len(bus_state.get("dead_letters", []))
+    log = pipeline.database.update_log
+    if cursor + 1 < log.oldest_lsn:
+        report.log_truncated = True
+        report.lost_range = (cursor + 1, max(log.last_lsn, log.oldest_lsn - 1))
+        pipeline.tailer.seek(max(log.last_lsn, log.oldest_lsn - 1))
+        pipeline.tailer.last_lost_range = report.lost_range
+        with pipeline.registry_lock:
+            watched = sorted(
+                {
+                    url
+                    for instance in pipeline.registry.instances()
+                    for url in instance.urls
+                }
+            )
+        report.flushed_urls = len(watched)
+        pipeline._flush_everything()
+    else:
+        pipeline.tailer.seek(cursor)
+    if reconcile_caches:
+        caches = [
+            target.cache
+            for target in pipeline.bus.targets()
+            if hasattr(target.cache, "keys") and hasattr(target.cache, "eject")
+        ]
+        report.orphans_ejected = _eject_orphans(caches, pipeline.qiurl_map)
+    return report
+
+
+def _flush_all_portal(invalidator) -> int:
+    """The synchronous flush-all valve, applied eagerly at restore time."""
+    all_urls = sorted(
+        {url for instance in invalidator.registry.instances() for url in instance.urls}
+    )
+    invalidator.messages.invalidate(all_urls)
+    for url in all_urls:
+        invalidator.qiurl_map.drop_url(url)
+        invalidator.registry.drop_url(url)
+    return len(all_urls)
+
+
+def _eject_orphans(caches, qiurl_map) -> int:
+    """Eject cached pages the restored QI/URL map knows nothing about.
+
+    A page cached — or mapped — after the checkpoint has no row in the
+    snapshot: no future update can ever reach it, so leaving it cached is
+    guaranteed eventual staleness.  Ejecting it merely costs one
+    regeneration.
+    """
+    known = set(qiurl_map.urls())
+    ejected = 0
+    for cache in caches:
+        for url_key in list(cache.keys()):
+            if url_key not in known:
+                cache.eject(url_key)
+                ejected += 1
+    return ejected

@@ -37,7 +37,18 @@ class RequestToQueryMapper:
         run consumes the records accumulated since the last one.  Request
         and query logs must come from the same server pairing, in the same
         order, so intervals compare on a common clock.
+
+        Raises:
+            ValueError: when the lists differ in length — a silent
+            ``zip`` truncation would drop whole servers' logs, and
+            under-mapping leaves stale pages cached forever.
         """
+        if len(request_logs) != len(query_logs):
+            raise ValueError(
+                f"request/query log lists must pair one-to-one per server: "
+                f"got {len(request_logs)} request log(s) vs "
+                f"{len(query_logs)} query log(s)"
+            )
         written = 0
         for request_log, query_log in zip(request_logs, query_logs):
             requests = request_log.drain()

@@ -331,6 +331,49 @@ class EjectBus:
             self.dead_letters.append(letter)
             self._outstanding -= 1
 
+    # -- checkpointing -----------------------------------------------------------
+
+    def snapshot_state(self) -> Dict:
+        """JSON-compatible dump of everything not yet delivered.
+
+        Pending orders and in-flight retries collapse to one de-duplicated
+        URL list: a restored bus re-publishes each to *every* registered
+        cache (ejects are idempotent, so at-least-once is safe even when
+        the original delivery had already reached some targets).  Dead
+        letters are carried across verbatim for operator replay.
+        """
+        with self._lock:
+            undelivered: "dict[str, None]" = {}  # insertion-ordered set
+            for url_key, _origin_ts in self._orders:
+                undelivered.setdefault(url_key)
+            for _due, _seq, delivery in sorted(self._retries):
+                undelivered.setdefault(delivery.url_key)
+            dead_letters = [
+                {
+                    "url_key": letter.url_key,
+                    "cache_name": letter.cache_name,
+                    "attempts": letter.attempts,
+                    "error": letter.error,
+                }
+                for letter in self.dead_letters
+            ]
+        return {"undelivered": list(undelivered), "dead_letters": dead_letters}
+
+    def restore_state(self, data: Dict) -> int:
+        """Reload a snapshot; returns how many ejects were re-published."""
+        letters = [
+            DeadLetter(
+                url_key=spec["url_key"],
+                cache_name=spec["cache_name"],
+                attempts=spec["attempts"],
+                error=spec["error"],
+            )
+            for spec in data.get("dead_letters", [])
+        ]
+        with self._lock:
+            self.dead_letters = letters
+        return self.publish(data.get("undelivered", []))
+
     # -- operator tools -----------------------------------------------------------
 
     def replay_dead_letters(self) -> int:

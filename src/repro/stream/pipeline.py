@@ -38,7 +38,11 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
+from pathlib import Path
+from typing import Union
+
 from repro.db.engine import Database
+from repro.core import recovery
 from repro.core.qiurl import QIURLMap
 from repro.core.invalidator.infomgmt import InformationManager
 from repro.core.invalidator.policies import InvalidationPolicy, PolicyEngine
@@ -168,6 +172,39 @@ class StreamingInvalidationPipeline:
         """Offline registration of a known query type (§4.1.1)."""
         with self.registry_lock:
             return self.registration.register_query_type(template_sql, name)
+
+    # -- checkpoint / recovery -------------------------------------------------
+
+    def checkpoint(self, path: Union[str, Path]) -> str:
+        """Persist the pipeline's durable state (QI/URL map, registry,
+        tailer LSN cursor, undelivered ejects + dead letters) atomically;
+        returns the snapshot checksum.  Safe to call while running —
+        state reads take the same locks the workers do.
+        """
+        if self.pre_ingest is not None:
+            self.pre_ingest()
+        with self.registry_lock:
+            self.registration.scan(self.qiurl_map.read_new())
+            payload = recovery.snapshot_pipeline(self)
+        return recovery.write_checkpoint(path, payload)
+
+    def restore(
+        self, path: Union[str, Path], reconcile_caches: bool = True
+    ) -> "recovery.RecoveryReport":
+        """Reload a checkpoint into this (not yet started) pipeline.
+
+        The registry replays through its listeners, so the predicate
+        index is rebuilt from the restored instances rather than
+        deserialized; the tailer seeks to the checkpointed LSN, and a log
+        that truncated past it fires the flush-all safety valve with the
+        lost LSN range recorded on the tailer.
+        """
+        payload = recovery.read_checkpoint(path)
+        report = recovery.restore_pipeline(
+            self, payload, reconcile_caches=reconcile_caches
+        )
+        report.path = str(path)
+        return report
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -328,6 +365,11 @@ class StreamingInvalidationPipeline:
             if self.pred_index is not None:
                 snapshot["predicate_index"] = self.pred_index.stats()
         snapshot["tailer"]["cursor"] = self.tailer.cursor
+        snapshot["tailer"]["last_lost_range"] = (
+            list(self.tailer.last_lost_range)
+            if self.tailer.last_lost_range is not None
+            else None
+        )
         snapshot["shards"] = [
             {
                 "shard": worker.shard_id,

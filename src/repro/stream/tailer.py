@@ -15,7 +15,7 @@ resynchronizes to the head.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.db.log import DeltaTables, UpdateLog, UpdateRecord
 
@@ -28,6 +28,11 @@ class TailBatch:
     #: True when the log was truncated past the cursor: the records that
     #: were lost are unknowable and the consumer must over-invalidate.
     lost: bool = False
+    #: Inclusive LSN range ``(first, last)`` skipped when ``lost`` — the
+    #: records the cursor jumped over while resynchronizing to the head.
+    #: ``None`` when nothing is lost (or, defensively, when the resync
+    #: moved the cursor forward without skipping any assigned LSN).
+    lost_range: Optional[Tuple[int, int]] = None
 
     @property
     def first_lsn(self) -> Optional[int]:
@@ -75,6 +80,9 @@ class LogTailer:
         self.records_read = 0
         self.batches_read = 0
         self.truncations = 0
+        #: LSN range skipped by the most recent truncation resync, for
+        #: the flush-all valve and the staleness auditor to report.
+        self.last_lost_range: Optional[Tuple[int, int]] = None
 
     # -- offsets -------------------------------------------------------------
 
@@ -115,8 +123,17 @@ class LogTailer:
             records = self.log.read_since(self._cursor, limit=limit)
         except ValueError:
             self.truncations += 1
-            self._cursor = self.log.last_lsn
-            return TailBatch(lost=True)
+            lost_from = self._cursor + 1
+            # Resync to whichever is further: the newest record, or the
+            # retention floor of an *empty* truncated log (e.g. one
+            # fast-forwarded from a snapshot, where last_lsn lags
+            # oldest_lsn and resyncing to it would raise forever).
+            resync_to = max(self.log.last_lsn, self.log.oldest_lsn - 1)
+            self._cursor = resync_to
+            self.last_lost_range = (
+                (lost_from, resync_to) if resync_to >= lost_from else None
+            )
+            return TailBatch(lost=True, lost_range=self.last_lost_range)
         if records:
             self._cursor = records[-1].lsn
             self.records_read += len(records)

@@ -100,11 +100,48 @@ class TestPollingResultCache:
         assert cache.invalidate_tables({"car"}) == 0
         assert cache.get("q1") is False
 
-    def test_capacity_respected(self):
+    def test_capacity_evicts_lru(self):
         cache = PollingResultCache(capacity=1)
         cache.put("q1", self.query(), True)
-        cache.put("q2", self.query(), True)  # dropped silently
+        cache.put("q2", self.query(), False)  # q1 evicted, q2 kept
+        assert cache.get("q1") is None
+        assert cache.get("q2") is False
+        assert cache.evictions == 1
+
+    def test_eviction_picks_least_recently_used(self):
+        cache = PollingResultCache(capacity=2)
+        cache.put("q1", self.query(), True)
+        cache.put("q2", self.query(), False)
+        assert cache.get("q1") is True  # refresh q1; q2 is now LRU
+        cache.put("q3", self.query(), True)
         assert cache.get("q2") is None
+        assert cache.get("q1") is True and cache.get("q3") is True
+
+    def test_eviction_clears_table_index(self):
+        cache = PollingResultCache(capacity=1)
+        cache.put("q1", self.query(), True)
+        cache.put("q2", self.query("SELECT COUNT(*) FROM car WHERE maker = 'x'"), True)
+        # q1's mileage entry was evicted with its result: nothing to drop.
+        assert cache.invalidate_tables({"mileage"}) == 0
+        assert cache.invalidate_tables({"car"}) == 1
+
+    def test_put_existing_key_updates_without_eviction(self):
+        cache = PollingResultCache(capacity=1)
+        cache.put("q1", self.query(), True)
+        cache.put("q1", self.query(), False)
+        assert cache.get("q1") is False
+        assert cache.evictions == 0
+
+    def test_stats_surface(self):
+        cache = PollingResultCache(capacity=1)
+        cache.put("q1", self.query(), True)
+        cache.get("q1")
+        cache.get("q2")
+        cache.put("q2", self.query(), True)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["evictions"] == 1
 
 
 class TestInformationManager:

@@ -170,6 +170,22 @@ class TestMapper:
         mapper.run([requests], [queries])  # second run: nothing to do
         assert len(m) == 1
 
+    def test_mismatched_log_lists_rejected(self):
+        """A silent zip() truncation would drop whole servers' logs —
+        under-mapping leaves stale pages cached forever."""
+        m = QIURLMap()
+        mapper = RequestToQueryMapper(m)
+        requests, queries = RequestLog(), QueryLog()
+        requests.append(_request_record(1, "url1", 0.0, 10.0))
+        queries.append(_query_record(1, "SELECT 1", 5.0, 6.0))
+        with pytest.raises(ValueError, match="one-to-one"):
+            mapper.run([requests, RequestLog()], [queries])
+        with pytest.raises(ValueError, match="2 query log"):
+            mapper.run([requests], [queries, QueryLog()])
+        # Nothing was consumed or written by the rejected runs.
+        assert len(m) == 0
+        assert len(requests) == 1 and len(queries) == 1
+
     def test_pairs_written_counter(self):
         m = QIURLMap()
         mapper = RequestToQueryMapper(m)

@@ -183,3 +183,53 @@ class TestThreadedBus:
         bus.stop(flush=True)
         assert len(cache) == 0
         assert bus.metrics.deliveries_ok == 3
+
+
+class TestCheckpointing:
+    def test_snapshot_captures_undelivered_orders(self):
+        bus = EjectBus()
+        bus.register("a", filled_cache("/p1", "/p2"))
+        bus.publish(["/p1", "/p2", "/p1"])  # third coalesces
+        state = bus.snapshot_state()
+        assert state["undelivered"] == ["/p1", "/p2"]
+        assert state["dead_letters"] == []
+
+    def test_restore_republishes_to_fresh_bus(self):
+        bus = EjectBus()
+        bus.register("a", filled_cache("/p1"))
+        bus.publish(["/p1"])
+        state = bus.snapshot_state()
+
+        restored = EjectBus()
+        cache = filled_cache("/p1")
+        restored.register("a", cache)
+        assert restored.restore_state(state) == 1
+        settled(restored)
+        assert "/p1" not in cache
+
+    def test_dead_letters_round_trip(self):
+        bus = EjectBus(max_attempts=1, backoff_base=0.001)
+        flaky = filled_cache("/p1", factory=FlakyCache, fail_first=5)
+        bus.register("flaky", flaky)
+        bus.publish(["/p1"])
+        settled(bus)
+        assert len(bus.dead_letters) == 1
+        state = bus.snapshot_state()
+
+        restored = EjectBus()
+        restored.restore_state(state)
+        assert len(restored.dead_letters) == 1
+        letter = restored.dead_letters[0]
+        assert letter.url_key == "/p1" and letter.cache_name == "flaky"
+        # Operator replay still works on carried-over letters.
+        restored.register("ok", filled_cache("/p1"))
+        assert restored.replay_dead_letters() == 1
+
+    def test_snapshot_includes_scheduled_retries(self):
+        bus = EjectBus(max_attempts=5, backoff_base=30.0)  # retry far in future
+        flaky = filled_cache("/p1", factory=FlakyCache, fail_first=1)
+        bus.register("flaky", flaky)
+        bus.publish(["/p1"])
+        bus.pump()  # first attempt fails; retry scheduled, not due
+        state = bus.snapshot_state()
+        assert state["undelivered"] == ["/p1"]

@@ -286,3 +286,86 @@ class TestStats:
         )
         assert query_type.name == "cheap"
         assert pipeline.stats()["registry"]["query_types"] == 1
+
+
+class TestCheckpointRecovery:
+    def test_round_trip_restores_registry_and_cursor(self, tmp_path):
+        db, site, portal = portal_site()
+        pipeline = StreamingInvalidationPipeline.for_portal(portal)
+        site.get("/catalog?max_price=30000")
+        site.get("/efficient?min_epa=20")
+        pipeline.process_available()
+        before = pipeline.stats()["registry"]
+        cursor = pipeline.tailer.checkpoint()
+        path = tmp_path / "pipe.ckpt"
+        pipeline.checkpoint(path)
+
+        # Crash: a brand-new portal + pipeline over the surviving site.
+        portal.sniffer.uninstall()
+        portal2 = CachePortal(site)
+        pipeline2 = StreamingInvalidationPipeline.for_portal(portal2)
+        report = pipeline2.restore(path)
+        assert pipeline2.stats()["registry"] == before
+        assert pipeline2.tailer.checkpoint() == cursor
+        assert report.instances_restored == before["query_instances"]
+        assert not report.log_truncated
+
+    def test_restored_pipeline_replays_missed_updates(self, tmp_path):
+        db, site, portal = portal_site()
+        pipeline = StreamingInvalidationPipeline.for_portal(portal)
+        url = "/catalog?max_price=30000"
+        site.get(url)
+        pipeline.process_available()
+        path = tmp_path / "pipe.ckpt"
+        pipeline.checkpoint(path)
+
+        # Update lands while the pipeline is dead.
+        db.execute("INSERT INTO car VALUES ('Kia','Rio',12000)")
+        portal.sniffer.uninstall()
+        portal2 = CachePortal(site)
+        pipeline2 = StreamingInvalidationPipeline.for_portal(portal2)
+        pipeline2.restore(path)
+        pipeline2.process_available()
+        assert len(site.web_cache) == 0
+        assert "Rio" in site.get(url).body
+
+    def test_truncated_log_triggers_flush_everything(self, tmp_path):
+        db, site, portal = portal_site()
+        db.update_log.capacity = 4
+        pipeline = StreamingInvalidationPipeline.for_portal(portal)
+        site.get("/catalog?max_price=30000")
+        pipeline.process_available()
+        path = tmp_path / "pipe.ckpt"
+        pipeline.checkpoint(path)
+
+        for i in range(8):
+            db.execute(f"INSERT INTO car VALUES ('M{i}','X{i}',{1000 + i})")
+        portal.sniffer.uninstall()
+        portal2 = CachePortal(site)
+        pipeline2 = StreamingInvalidationPipeline.for_portal(portal2)
+        report = pipeline2.restore(path)
+        assert report.log_truncated
+        assert report.lost_range is not None
+        assert report.flushed_urls >= 1
+        pipeline2.process_available()
+        assert len(site.web_cache) == 0
+        assert pipeline2.stats()["tailer"]["last_lost_range"] == list(
+            report.lost_range
+        )
+
+    def test_orphan_pages_ejected_on_restore(self, tmp_path):
+        db, site, portal = portal_site()
+        pipeline = StreamingInvalidationPipeline.for_portal(portal)
+        site.get("/catalog?max_price=30000")
+        pipeline.process_available()
+        path = tmp_path / "pipe.ckpt"
+        pipeline.checkpoint(path)
+
+        site.get("/efficient?min_epa=20")  # cached after the checkpoint
+        assert len(site.web_cache) == 2
+        portal.sniffer.uninstall()
+        portal2 = CachePortal(site)
+        pipeline2 = StreamingInvalidationPipeline.for_portal(portal2)
+        report = pipeline2.restore(path)
+        assert report.orphans_ejected == 1
+        assert len(site.web_cache) == 1

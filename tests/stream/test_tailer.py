@@ -104,6 +104,55 @@ class TestTruncation:
         assert not batch.lost
         assert [r.lsn for r in batch.records] == [11, 12]
 
+    def test_lost_batch_reports_lsn_range(self):
+        log = UpdateLog(capacity=3)
+        tailer = LogTailer(log, start_lsn=0)
+        fill(log, 10)  # records 1..7 discarded
+        batch = tailer.poll()
+        assert batch.lost
+        assert batch.lost_range == (1, 10)
+        assert tailer.last_lost_range == (1, 10)
+
+    def test_lost_range_starts_after_consumed_prefix(self):
+        log = UpdateLog(capacity=3)
+        tailer = LogTailer(log, start_lsn=0)
+        fill(log, 4)
+        tailer.poll()  # consumes 1..4
+        fill(log, 8)  # 5..9 discarded, 10..12 retained
+        batch = tailer.poll()
+        assert batch.lost
+        assert batch.lost_range == (5, 12)
+
+    def test_normal_batches_have_no_lost_range(self):
+        log = UpdateLog()
+        fill(log, 3)
+        tailer = LogTailer(log, start_lsn=0)
+        batch = tailer.poll()
+        assert not batch.lost
+        assert batch.lost_range is None
+        assert tailer.last_lost_range is None
+
+    def test_lost_range_survives_on_tailer_after_resync(self):
+        log = UpdateLog(capacity=3)
+        tailer = LogTailer(log, start_lsn=0)
+        fill(log, 10)
+        tailer.poll()  # lost
+        fill(log, 2)
+        assert not tailer.poll().lost
+        # The last observed loss stays visible for operators/recovery.
+        assert tailer.last_lost_range == (1, 10)
+
+    def test_truncation_against_fast_forwarded_empty_log(self):
+        # A log restored from a snapshot can be empty with oldest_lsn
+        # ahead of last_lsn; a stale cursor must resync without spinning.
+        log = UpdateLog(capacity=3)
+        log.fast_forward(20)
+        tailer = LogTailer(log, start_lsn=0)
+        batch = tailer.poll()
+        assert batch.lost
+        assert tailer.at_head()
+        assert not tailer.poll().lost
+
     def test_deltas_group_by_relation(self):
         log = UpdateLog()
         log.append("car", ChangeKind.INSERT, (1,), ("id",), 0.0)
