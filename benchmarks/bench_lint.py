@@ -1,0 +1,198 @@
+"""Lint throughput and safety-verdict consultation overhead.
+
+Two budgets guard the PR's tentpole:
+
+* **Lint throughput** — classifying a workload must stay an offline
+  registration cost: 10 000 synthetic query types (a mix of clean pages
+  and every hazard class the linter knows) lint in under 2 seconds.
+* **Enforcement overhead** — consulting the stored SAFE / POLL_ONLY /
+  ALWAYS_EJECT verdict on the hot indexed matching path (one lookup per
+  candidate pair) must cost less than 3% over the PR 2 baseline that
+  never asks.
+
+Scale knob: ``REPRO_BENCH_LINT_COUNT`` (default 10000).
+"""
+
+import os
+import time
+
+from repro.db.engine import Database
+from repro.db.log import ChangeKind, UpdateRecord
+from repro.core.invalidator.grouping import GroupedChecker
+from repro.core.invalidator.predindex import PredicateIndex
+from repro.core.invalidator.registration import QueryTypeRegistry
+from repro.core.invalidator.safety import SafetyEnforcer, SafetyVerdict
+from repro.sql.lint import lint_sql
+
+from conftest import emit
+
+LINT_COUNT = int(os.environ.get("REPRO_BENCH_LINT_COUNT", "10000"))
+
+#: Seconds allowed to lint 10k statements (scaled with LINT_COUNT).
+TARGET_LINT_SECONDS = 2.0
+#: Max fractional slowdown the per-pair verdict lookup may add.
+TARGET_OVERHEAD = 0.03
+
+
+def synthetic_statements(count):
+    """A registration-shaped workload: mostly clean parameterized pages,
+    seasoned with every hazard the linter reports."""
+    statements = []
+    for i in range(count):
+        bucket = i % 10
+        if bucket < 5:  # clean budget/maker pages, distinct literals
+            statements.append(
+                f"SELECT maker, model FROM car WHERE price < {10000 + i}"
+            )
+        elif bucket < 7:  # clean joins
+            statements.append(
+                "SELECT car.maker FROM car, mileage "
+                "WHERE car.model = mileage.model "
+                f"AND mileage.epa > {10 + (i % 40)}"
+            )
+        elif bucket == 7:  # nondeterministic (ERROR)
+            statements.append(
+                f"SELECT maker FROM car WHERE price < NOW() + {i}"
+            )
+        elif bucket == 8:  # subquery (WARNING)
+            statements.append(
+                "SELECT model FROM car WHERE model IN "
+                f"(SELECT model FROM mileage WHERE epa > {i % 50})"
+            )
+        else:  # mixed disjunction + unindexable (WARNING + INFO)
+            statements.append(
+                "SELECT car.maker FROM car, mileage "
+                "WHERE car.model = mileage.model "
+                f"AND (car.price < {i} OR mileage.epa > {i % 60})"
+            )
+    return statements
+
+
+def test_lint_throughput():
+    statements = synthetic_statements(LINT_COUNT)
+    start = time.perf_counter()
+    reports = [lint_sql(sql) for sql in statements]
+    elapsed = time.perf_counter() - start
+    findings = sum(len(report.findings) for report in reports)
+    budget = TARGET_LINT_SECONDS * max(LINT_COUNT, 1000) / 10000.0
+    per_stmt_us = elapsed / max(1, LINT_COUNT) * 1e6
+    emit(
+        "lint throughput",
+        [
+            f"{LINT_COUNT} statements in {elapsed:.3f}s "
+            f"({per_stmt_us:.0f}us/stmt), {findings} findings "
+            f"[budget {budget:.2f}s]",
+        ],
+        data={
+            "statements": LINT_COUNT,
+            "seconds": elapsed,
+            "findings": findings,
+            "budget_seconds": budget,
+        },
+    )
+    assert elapsed < budget, f"linted {LINT_COUNT} in {elapsed:.3f}s"
+
+
+def _build_clean_registry(count):
+    registry = QueryTypeRegistry()
+    for i in range(count):
+        if i % 2:
+            sql = f"SELECT maker, model FROM car WHERE price < {10000 + i}"
+        else:
+            sql = f"SELECT * FROM car WHERE maker = 'maker{i}'"
+        registry.observe_instance(sql, f"u{i}")
+    return registry
+
+
+def _update_records():
+    return [
+        UpdateRecord(
+            lsn=lsn + 1,
+            timestamp=float(lsn + 1),
+            table="car",
+            kind=ChangeKind.INSERT,
+            values=(f"maker{(lsn * 37) % 97}", f"model{lsn}", 9000 + 800 * lsn),
+            columns=("maker", "model", "price"),
+        )
+        for lsn in range(40)
+    ]
+
+
+def _run_indexed(registry, index, records, safety):
+    """The PR 2 hot path, optionally consulting the stored verdict per
+    candidate pair — the exact attribute-read consultation the workers
+    do (the enabled check is hoisted outside the loop)."""
+    checker = GroupedChecker()
+    enforcer = safety if safety is not None and safety.enabled else None
+    for record in records:
+        for instance in index.probe(record.table, record).candidates:
+            if enforcer is not None:
+                classification = instance.query_type.safety
+                if (
+                    classification is not None
+                    and classification.verdict is not SafetyVerdict.SAFE
+                ):
+                    continue  # enforcement replaces the precise check
+            checker.check_instance(instance, record)
+
+
+def _count_lookups(index, records):
+    return sum(
+        len(index.probe(record.table, record).candidates)
+        for record in records
+    )
+
+
+def _interleaved_best(fn_a, fn_b, repeats):
+    """Alternate the two arms so clock drift hits both equally."""
+    best_a = best_b = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn_a()
+        elapsed = time.perf_counter() - start
+        best_a = elapsed if best_a is None else min(best_a, elapsed)
+        start = time.perf_counter()
+        fn_b()
+        elapsed = time.perf_counter() - start
+        best_b = elapsed if best_b is None else min(best_b, elapsed)
+    return best_a, best_b
+
+
+def test_verdict_consultation_overhead():
+    count = min(LINT_COUNT, 4000)
+    registry = _build_clean_registry(count)
+    index = PredicateIndex().attach_to(registry)
+    records = _update_records()
+    safety = SafetyEnforcer(Database(), enabled=True)
+
+    consulted = _count_lookups(index, records)
+    assert consulted > 0
+    _run_indexed(registry, index, records, safety)  # warm-up
+
+    t_base, t_safe = _interleaved_best(
+        lambda: _run_indexed(registry, index, records, None),
+        lambda: _run_indexed(registry, index, records, safety),
+        repeats=7,
+    )
+    overhead = (t_safe - t_base) / t_base
+    emit(
+        "safety verdict consultation overhead",
+        [
+            f"{count} instances, {len(records)} updates, "
+            f"{consulted} verdict lookups: baseline {t_base * 1e3:.2f}ms, "
+            f"with safety {t_safe * 1e3:.2f}ms "
+            f"({overhead * 100:+.2f}%, target < {TARGET_OVERHEAD * 100:.0f}%)",
+        ],
+        data={
+            "instances": count,
+            "updates": len(records),
+            "verdict_lookups": consulted,
+            "baseline_seconds": t_base,
+            "with_safety_seconds": t_safe,
+            "overhead_fraction": overhead,
+        },
+    )
+    # Sub-millisecond deltas are measurement noise, not a regression.
+    assert overhead < TARGET_OVERHEAD or (t_safe - t_base) < 0.001, (
+        f"verdict consultation added {overhead * 100:.2f}%"
+    )

@@ -1,0 +1,19 @@
+-- Seeded-bad fixture for CI: contains ERROR-severity findings, so
+--
+--     PYTHONPATH=src python -m repro lint --fail-on=error \
+--         examples/workloads/bad_workload.sql
+--
+-- must exit non-zero.
+
+-- nondeterministic-function (ERROR)
+SELECT maker, model FROM car WHERE price < RAND() * 50000;
+
+-- correlated-subquery (ERROR)
+SELECT maker FROM car
+WHERE price > (SELECT mileage FROM mileage WHERE mileage.model = car.model);
+
+-- not-a-select (ERROR): DML cannot be a page query.
+UPDATE car SET price = 1 WHERE maker = 'Kia';
+
+-- parse-error (ERROR)
+SELECT FROM WHERE;

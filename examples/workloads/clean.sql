@@ -1,0 +1,15 @@
+-- A lint-clean page workload: equality/range predicates on bare
+-- columns, parameters bound by the application, inner joins only.
+--
+--     PYTHONPATH=src python -m repro lint examples/workloads/clean.sql
+
+SELECT maker, model, price FROM car WHERE maker = ?;
+
+SELECT maker, model FROM car WHERE price < ? AND maker = ?;
+
+SELECT car.maker, car.model, mileage.mileage FROM car, mileage
+WHERE car.model = mileage.model AND car.maker = ?;
+
+SELECT model FROM mileage WHERE mileage BETWEEN ? AND ?;
+
+SELECT maker FROM car WHERE model IN ('Rio', 'Golf', 'Avalon');

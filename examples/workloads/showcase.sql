@@ -1,0 +1,43 @@
+-- Invalidation-safety lint showcase: every statement below trips at
+-- least one `repro lint` rule.  Run:
+--
+--     PYTHONPATH=src python -m repro lint examples/workloads/showcase.sql
+--
+-- Severity ERROR findings force the ALWAYS_EJECT fallback; WARNING
+-- findings force POLL_ONLY; INFO findings are hygiene only.
+
+-- nondeterministic-function (ERROR): NOW() is frozen at page time.
+SELECT maker, model FROM car WHERE price < NOW();
+
+-- correlated-subquery (ERROR): inner result depends on the outer row.
+SELECT maker FROM car
+WHERE EXISTS (SELECT * FROM mileage WHERE mileage.model = car.model);
+
+-- uncorrelated-subquery (WARNING): inner tables escape precise checks.
+SELECT model FROM car WHERE model IN (SELECT model FROM mileage);
+
+-- union-coarse-analysis (WARNING): table-level analysis only.
+SELECT maker FROM car UNION SELECT model FROM mileage;
+
+-- left-join-null-extension (WARNING): deletes on the inner side change
+-- results without satisfying any join predicate.
+SELECT car.maker, mileage.mileage FROM car
+LEFT JOIN mileage ON car.model = mileage.model;
+
+-- mixed-disjunction (WARNING): OR spans two tables.
+SELECT car.maker FROM car, mileage
+WHERE car.model = mileage.model
+AND (car.price < 10000 OR mileage.mileage > 100000);
+
+-- contradictory-predicate (WARNING): matches nothing, pins cache slots.
+SELECT maker FROM car WHERE 1 = 2;
+
+-- tautological-predicate (INFO): filters nothing.
+SELECT maker FROM car WHERE 1 = 1 AND price < 20000;
+
+-- cross-type-comparison (WARNING): one branch is vacuous.
+SELECT maker FROM car WHERE price > 10000 AND price = 'cheap';
+
+-- unindexable-local-conjunct (INFO): arithmetic over the column defeats
+-- the predicate index.
+SELECT maker FROM car WHERE price * 2 < 30000;

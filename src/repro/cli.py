@@ -9,7 +9,10 @@ Commands:
 * ``demo`` — the quickstart loop: cache, hit, update, invalidate;
 * ``example41`` — the paper's Example 4.1 decision walkthrough;
 * ``serve`` — run a CachePortal site as a real HTTP server via wsgiref;
-* ``audit`` — crash/restart staleness audit of checkpoint recovery.
+* ``audit`` — crash/restart staleness audit of checkpoint recovery;
+* ``lint`` — invalidation-safety lint of SQL workload files (or of the
+  query instances inside a checkpoint), with machine-readable output
+  and CI-friendly ``--fail-on`` exit codes.
 """
 
 from __future__ import annotations
@@ -247,6 +250,7 @@ def _run_audit(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         log_capacity=args.log_capacity,
         recover=not args.no_recover,
+        safety=not args.no_safety,
     )
     report = run_audit(config)
     payload = report.to_dict()
@@ -260,9 +264,15 @@ def _run_audit(args: argparse.Namespace) -> int:
             print(f"audit report written to {args.json}")
     if not args.json or args.json is not True:
         mode = "recover" if config.recover else "no-recover (control)"
+        if not config.safety:
+            mode += ", no-safety (control)"
         print(
             f"audit   : {report.ops_executed} ops, {report.cycles} cycles, "
             f"{report.restarts_performed} restart(s) [{mode}]"
+        )
+        print(
+            f"safety  : {report.fallback_ejects} fallback eject(s), "
+            f"{report.poll_only_checks} poll-only check(s)"
         )
         print(
             f"recovery: {report.checkpoints_written} checkpoint(s), "
@@ -280,6 +290,95 @@ def _run_audit(args: argparse.Namespace) -> int:
         for stale in report.stale_serves[:10]:
             print(f"  STALE {stale['url']} (after op {stale['op']})")
     return 0 if report.passed else 1
+
+
+def _split_statements(text: str) -> List[str]:
+    """Split a workload file into statements: strip ``--`` comments,
+    then cut on semicolons; blank statements are dropped."""
+    lines = []
+    for line in text.splitlines():
+        comment = line.find("--")
+        if comment >= 0:
+            line = line[:comment]
+        lines.append(line)
+    return [
+        stmt.strip() for stmt in "\n".join(lines).split(";") if stmt.strip()
+    ]
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    """Lint SQL workload files (or a checkpoint's registered instances)
+    for invalidation-safety hazards; exit non-zero per ``--fail-on``."""
+    import json
+
+    from repro.sql.lint import Severity, lint_sql
+
+    fail_on = Severity.parse(args.fail_on) if args.fail_on else None
+    sources = []
+    for path in args.files:
+        if args.checkpoint:
+            from repro.core.recovery import read_checkpoint
+
+            payload = read_checkpoint(path)
+            statements = [
+                spec["sql"]
+                for spec in payload.get("registry", {}).get("instances", [])
+            ]
+        else:
+            with open(path, "r", encoding="utf-8") as handle:
+                statements = _split_statements(handle.read())
+        reports = [lint_sql(sql) for sql in statements]
+        sources.append((path, reports))
+
+    total = 0
+    failing = 0
+    rules = set()
+    for _, reports in sources:
+        for report in reports:
+            total += len(report.findings)
+            rules.update(f.rule for f in report.findings)
+            if fail_on is not None:
+                failing += len(report.at_or_above(fail_on))
+
+    if args.json:
+        payload = {
+            "sources": [
+                {
+                    "source": path,
+                    "statements": [report.to_dict() for report in reports],
+                }
+                for path, reports in sources
+            ],
+            "total_findings": total,
+            "distinct_rules": sorted(rules),
+            "fail_on": args.fail_on,
+            "failing_findings": failing if fail_on is not None else None,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for path, reports in sources:
+            for index, report in enumerate(reports, start=1):
+                for finding in report.findings:
+                    start, end = finding.span
+                    print(
+                        f"{path}:{index}: {finding.severity.name.lower()} "
+                        f"[{finding.rule}] at {start}..{end}: "
+                        f"{finding.message}"
+                    )
+                    print(f"    {finding.snippet}")
+                    if finding.hint:
+                        print(f"    hint: {finding.hint}")
+        statements_seen = sum(len(reports) for _, reports in sources)
+        print(
+            f"lint    : {statements_seen} statement(s), {total} finding(s), "
+            f"{len(rules)} distinct rule(s)"
+        )
+        if fail_on is not None:
+            print(
+                f"fail-on : {args.fail_on} — {failing} finding(s) at or "
+                "above threshold"
+            )
+    return 1 if failing else 0
 
 
 def _run_serve(args: argparse.Namespace) -> int:
@@ -383,10 +482,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_audit.add_argument("--no-recover", action="store_true",
                          help="control arm: restart without restoring "
                               "(expected to FAIL)")
+    p_audit.add_argument("--no-safety", action="store_true",
+                         help="control arm: disable lint-derived safety "
+                              "enforcement (expected to FAIL)")
     p_audit.add_argument("--json", nargs="?", const=True, default=False,
                          metavar="FILE",
                          help="emit the report as JSON (to FILE if given)")
     p_audit.set_defaults(func=_run_audit)
+
+    p_lint = sub.add_parser(
+        "lint", help="invalidation-safety lint of SQL workload files"
+    )
+    p_lint.add_argument("files", nargs="+", metavar="FILE",
+                        help="workload file(s) of ;-separated SQL "
+                             "statements (-- comments allowed)")
+    p_lint.add_argument("--checkpoint", action="store_true",
+                        help="treat FILEs as portal checkpoints and lint "
+                             "their registered query instances")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit findings as JSON")
+    p_lint.add_argument("--fail-on", metavar="SEVERITY", default=None,
+                        help="exit non-zero when any finding is at or "
+                             "above this severity (info|warning|error)")
+    p_lint.set_defaults(func=_run_lint)
 
     p_serve = sub.add_parser("serve", help="serve a demo site over HTTP (wsgiref)")
     p_serve.add_argument("--host", default="")

@@ -53,6 +53,11 @@ class AuditConfig:
         recover: restore from the latest checkpoint after each restart.
             ``False`` is the control arm: restarts leave a blank portal
             and the audit is expected to catch stale pages.
+        safety: enforce lint-derived safety verdicts in the portal's
+            invalidator.  ``False`` is the control arm for the /deals
+            page, whose ``NOW()``-dependent query the precise
+            independence check cannot reason about: without enforcement
+            the audit is expected to catch stale serves of it.
     """
 
     ops: int = 400
@@ -61,6 +66,7 @@ class AuditConfig:
     checkpoint_every: int = 25
     log_capacity: Optional[int] = None
     recover: bool = True
+    safety: bool = True
 
 
 @dataclass
@@ -88,6 +94,9 @@ class AuditReport:
     #: Restarts that found no checkpoint on disk; the cache is cleared
     #: wholesale because nothing about it can be trusted.
     cold_restores: int = 0
+    #: Safety-enforcement totals summed over all invalidation cycles.
+    fallback_ejects: int = 0
+    poll_only_checks: int = 0
 
     @property
     def passed(self) -> bool:
@@ -102,6 +111,7 @@ class AuditReport:
                 "checkpoint_every": self.config.checkpoint_every,
                 "log_capacity": self.config.log_capacity,
                 "recover": self.config.recover,
+                "safety": self.config.safety,
             },
             "ops_executed": self.ops_executed,
             "gets": self.gets,
@@ -116,6 +126,8 @@ class AuditReport:
             "map_rows_restored": self.map_rows_restored,
             "instances_restored": self.instances_restored,
             "cold_restores": self.cold_restores,
+            "fallback_ejects": self.fallback_ejects,
+            "poll_only_checks": self.poll_only_checks,
             "passed": self.passed,
         }
 
@@ -132,6 +144,7 @@ URLS = [
     "/catalog?max_price=99999",
     "/efficient?min_epa=20",
     "/efficient?min_epa=30",
+    "/deals",
 ]
 
 UPDATES = [
@@ -188,6 +201,26 @@ def _build_servlets() -> List[QueryPageServlet]:
             ],
             key_spec=KeySpec.make(get_keys=["min_epa"]),
         ),
+        # The page the safety analyzer exists for: a "flash deals" page
+        # whose offer is on only at even ticks of NOW() (the logical DML
+        # clock), so its result flips with *every* logged change —
+        # including changes whose tuples the precise independence check
+        # correctly rules out.  The nondeterministic-function lint rule
+        # forces ALWAYS_EJECT on this type; the audit's ``safety=False``
+        # arm demonstrates the staleness that fallback prevents.
+        QueryPageServlet(
+            name="deals",
+            path="/deals",
+            queries=[
+                (
+                    "SELECT car.maker, car.model FROM car, mileage "
+                    "WHERE car.model = mileage.model "
+                    "AND car.price < NOW() % 2 * 99999",
+                    [],
+                )
+            ],
+            key_spec=KeySpec.make(get_keys=[]),
+        ),
     ]
 
 
@@ -205,7 +238,7 @@ class StalenessAuditor:
         fresh one.  The web cache keeps every page it held — that is
         the whole hazard."""
         portal.sniffer.uninstall()  # wrappers off; cache NOT cleared
-        fresh = CachePortal(site)
+        fresh = CachePortal(site, safety_enforcement=self.config.safety)
         report.restarts_performed += 1
         if self.config.recover and os.path.exists(ckpt_path):
             recovery_report = fresh.restore(ckpt_path)
@@ -219,6 +252,13 @@ class StalenessAuditor:
             site.web_cache.clear()
             report.cold_restores += 1
         return fresh
+
+    @staticmethod
+    def _run_cycle(portal, report) -> None:
+        cycle = portal.run_invalidation_cycle()
+        report.cycles += 1
+        report.fallback_ejects += cycle.fallback_ejects
+        report.poll_only_checks += cycle.poll_only_checks
 
     # -- the invariant --------------------------------------------------------
 
@@ -249,7 +289,7 @@ class StalenessAuditor:
         site = build_site(
             Configuration.WEB_CACHE, _build_servlets(), database=db, num_servers=2
         )
-        portal = CachePortal(site)
+        portal = CachePortal(site, safety_enforcement=config.safety)
 
         owns_tmpdir = checkpoint_path is None
         tmpdir = tempfile.mkdtemp(prefix="repro-audit-") if owns_tmpdir else None
@@ -281,8 +321,7 @@ class StalenessAuditor:
                     portal = self._crash_and_restart(site, portal, ckpt_path, report)
                     # Close the staleness window the dead portal left open
                     # before serving anything else.
-                    portal.run_invalidation_cycle()
-                    report.cycles += 1
+                    self._run_cycle(portal, report)
                     self._check_cache(site, url_by_key, report, i)
                 if kind == "get":
                     site.get(arg)
@@ -294,8 +333,7 @@ class StalenessAuditor:
                     site.database.execute(UPDATES[arg])
                     report.updates += 1
                 else:
-                    portal.run_invalidation_cycle()
-                    report.cycles += 1
+                    self._run_cycle(portal, report)
                     self._check_cache(site, url_by_key, report, i)
                 report.ops_executed += 1
                 if (i + 1) % config.checkpoint_every == 0:
@@ -303,8 +341,7 @@ class StalenessAuditor:
                     report.checkpoints_written += 1
 
             # Final cycle, then the invariant over everything still cached.
-            portal.run_invalidation_cycle()
-            report.cycles += 1
+            self._run_cycle(portal, report)
             self._check_cache(site, url_by_key, report, config.ops)
         finally:
             if owns_tmpdir:

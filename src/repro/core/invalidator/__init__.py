@@ -12,6 +12,8 @@ Sub-modules follow the paper's decomposition:
 * :mod:`scheduler` — deadlines and the polling budget (§4.2.2);
 * :mod:`infomgmt` — the information management module (§4.3);
 * :mod:`generator` — invalidation message creation (§4.2.4);
+* :mod:`safety` — lint-derived SAFE / POLL_ONLY / ALWAYS_EJECT
+  enforcement verdicts and the conservative-fallback enforcer;
 * :mod:`invalidator` — the orchestrator, plus the two baseline
   invalidators (trigger-based and materialized-view-based) the paper
   argues against.
@@ -41,6 +43,14 @@ from repro.core.invalidator.registration import (
     RegistrationModule,
     RegistryListener,
 )
+from repro.core.invalidator.safety import (
+    RULE_VERDICT_FLOORS,
+    SafetyClassification,
+    SafetyEnforcer,
+    SafetyVerdict,
+    classify_findings,
+    classify_template,
+)
 from repro.core.invalidator.scheduler import InvalidationScheduler
 from repro.core.invalidator.updates import UpdateProcessor
 
@@ -63,9 +73,15 @@ __all__ = [
     "QueryInstance",
     "QueryType",
     "QueryTypeRegistry",
+    "RULE_VERDICT_FLOORS",
     "RegistrationModule",
     "RegistryListener",
+    "SafetyClassification",
+    "SafetyEnforcer",
+    "SafetyVerdict",
     "TriggerInvalidator",
+    "classify_findings",
+    "classify_template",
     "UpdateProcessor",
     "Verdict",
     "VerdictKind",

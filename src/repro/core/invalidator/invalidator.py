@@ -34,6 +34,7 @@ from repro.core.invalidator.registration import (
     QueryTypeRegistry,
     RegistrationModule,
 )
+from repro.core.invalidator.safety import SafetyEnforcer, SafetyVerdict
 from repro.core.invalidator.scheduler import InvalidationScheduler, PollCandidate
 from repro.core.invalidator.updates import UpdateProcessor, dedupe_records
 
@@ -63,6 +64,14 @@ class InvalidationReport:
     urls_ejected: int = 0
     pages_removed: int = 0
     polling_work_units: int = 0
+    #: Safety enforcement (lint verdicts): live instances whose type
+    #: classified SAFE at cycle end, pages ejected by the ALWAYS_EJECT
+    #: fallback, fingerprint polls for POLL_ONLY pairs, and the total
+    #: lint findings across registered types.
+    safe_instances: int = 0
+    fallback_ejects: int = 0
+    poll_only_checks: int = 0
+    lint_findings: int = 0
 
     @property
     def precision_saved(self) -> int:
@@ -96,10 +105,15 @@ class Invalidator:
         grouped_analysis: bool = True,
         predicate_index: bool = True,
         servlet_deadline: Optional[Callable[[str], float]] = None,
+        safety_enforcement: bool = True,
     ) -> None:
         self.database = database
         self.registry = QueryTypeRegistry()
         self.registration = RegistrationModule(self.registry)
+        # Safety verdicts (lint-derived) override the precise check for
+        # query types the analyzer cannot reason about soundly.
+        self.safety = SafetyEnforcer(database, enabled=safety_enforcement)
+        self.registry.add_listener(self.safety)
         self.policy_engine = PolicyEngine(policy)
         self.updates = UpdateProcessor(database)
         self.checker = IndependenceChecker()
@@ -172,6 +186,10 @@ class Invalidator:
         self.cycles_run += 1
         report = InvalidationReport()
         self.ingest_qiurl_rows()
+        # Fingerprint newly discovered POLL_ONLY instances before any
+        # update is examined; the synchronous cycle always promotes the
+        # previous baseline (its records are fully processed).
+        self.safety.prepare_cycle(promote=True)
         deltas, lost = self.updates.pull_or_lose()
         if lost:
             # The bounded log wrapped past our cursor: the missed changes
@@ -186,11 +204,11 @@ class Invalidator:
             for url in all_urls:
                 self.qiurl_map.drop_url(url)
                 self.registry.drop_url(url)
-            self.last_report = report
+            self._finish_report(report)
             return report
         report.records_processed = len(deltas)
         if deltas.is_empty():
-            self.last_report = report
+            self._finish_report(report)
             return report
         self.infomgmt.on_cycle_deltas(set(deltas.tables()))
 
@@ -215,9 +233,21 @@ class Invalidator:
                 if instance.instance_id in doomed_instances:
                     continue
                 stats = instance.query_type.stats
+                safety_verdict = self.safety.verdict_for(instance.query_type)
                 for position, record in enumerate(records):
                     report.pairs_checked += 1
                     stats.updates_seen += 1
+                    if safety_verdict is not SafetyVerdict.SAFE:
+                        # Enforcement replaces the precise check entirely:
+                        # findings of this severity mean the analyzer's
+                        # verdict cannot be trusted for this type.
+                        if self._enforce_safety(
+                            safety_verdict, instance, record, report, elapsed_ms
+                        ):
+                            urls_to_eject.update(instance.urls)
+                            doomed_instances[instance.instance_id] = instance
+                            break
+                        continue
                     if (
                         candidate_ids is not None
                         and instance.instance_id not in candidate_ids[position]
@@ -304,8 +334,49 @@ class Invalidator:
 
         # Policy discovery runs at the end of each cycle (§4.1.4).
         self.policy_engine.discover(self.registry)
-        self.last_report = report
+        self._finish_report(report)
         return report
+
+    def _enforce_safety(
+        self,
+        verdict: SafetyVerdict,
+        instance: QueryInstance,
+        record: UpdateRecord,
+        report: InvalidationReport,
+        elapsed_ms: Callable[[], float],
+    ) -> bool:
+        """Apply a non-SAFE verdict to one (instance, record) pair.
+
+        Returns True when the instance's pages must be ejected.  The
+        streaming workers run the same decision table so both paths stay
+        counter-for-counter identical.
+        """
+        stats = instance.query_type.stats
+        if verdict is SafetyVerdict.ALWAYS_EJECT:
+            report.fallback_ejects += 1
+            report.affected += 1
+            stats.record_invalidation(elapsed=elapsed_ms())
+            return True
+        report.poll_only_checks += 1
+        if self.safety.check_poll_only(instance, record):
+            report.affected += 1
+            stats.record_invalidation(elapsed=elapsed_ms())
+            return True
+        report.unaffected += 1
+        return False
+
+    def _finish_report(self, report: InvalidationReport) -> None:
+        """Fill the cycle-end safety observability counters."""
+        for query_type in self.registry.types():
+            if query_type.safety is not None:
+                report.lint_findings += len(query_type.safety.findings)
+        report.safe_instances = sum(
+            1
+            for instance in self.registry.instances()
+            if self.safety.verdict_for(instance.query_type)
+            is SafetyVerdict.SAFE
+        )
+        self.last_report = report
 
     def _probe_candidates(
         self,

@@ -69,6 +69,7 @@ from repro.core.invalidator.registration import (
     QueryTypeRegistry,
     RegistryListener,
 )
+from repro.core.invalidator.safety import SafetyVerdict
 
 _EMPTY_SCOPE = Scope([])
 #: Sentinel distinguishing "evaluates to SQL NULL" from "cannot evaluate".
@@ -450,6 +451,12 @@ class PredicateIndex(RegistryListener):
         """Pick the entry mode for (instance, table), mirroring the
         grouped checker's decision ladder so pruning can never contradict
         a verdict."""
+        safety = instance.query_type.safety
+        if safety is not None and safety.verdict is not SafetyVerdict.SAFE:
+            # Safety enforcement replaces the precise analysis for this
+            # type; the instance must surface as a candidate for every
+            # record so enforcement runs identically on both paths.
+            return _Entry(instance, "residual")
         if analysis.is_union or analysis.has_left_join:
             return _Entry(instance, "residual")
         if table not in set(analysis.aliases.values()):

@@ -25,6 +25,7 @@ from repro.sql import ast
 from repro.sql.analysis import alias_map, referenced_tables
 from repro.sql.params import Value, parameterize
 from repro.sql.parser import parse_statement
+from repro.core.invalidator.safety import SafetyClassification, classify_template
 from repro.core.qiurl import QIURLEntry
 
 
@@ -82,6 +83,10 @@ class QueryType:
     priority: int = 0
     deadline_ms: float = 1000.0
 
+    #: Lint-derived safety verdict, computed once at registration and
+    #: consulted per (instance, update) pair by both invalidation paths.
+    safety: Optional[SafetyClassification] = None
+
 
 @dataclass
 class QueryInstance:
@@ -97,6 +102,12 @@ class QueryInstance:
     #: derive invalidation deadlines from servlet temporal sensitivity.
     servlets: Set[str] = field(default_factory=set)
     registered_at: float = 0.0
+
+    #: POLL_ONLY enforcement state: digest of the instance's last known
+    #: result set and the log position it was taken at.  Managed by the
+    #: :class:`~repro.core.invalidator.safety.SafetyEnforcer`.
+    result_fingerprint: Optional[str] = None
+    fingerprint_lsn: Optional[int] = None
 
 
 class RegistryListener:
@@ -162,6 +173,7 @@ class QueryTypeRegistry:
             template=template,
             tables=referenced_tables(template),
             aliases=alias_map(template) if isinstance(template, ast.Select) else {},
+            safety=classify_template(template),
         )
         self._types_by_signature[signature] = query_type
         if query_type.name in self._types_by_name:
@@ -284,6 +296,13 @@ class QueryTypeRegistry:
                 "cost": query_type.cost,
                 "priority": query_type.priority,
                 "deadline_ms": query_type.deadline_ms,
+                # Observability only: restore re-derives the verdict from
+                # the signature, it never trusts the snapshot's copy.
+                "safety": (
+                    query_type.safety.verdict.name
+                    if query_type.safety is not None
+                    else None
+                ),
                 "stats": {
                     "instances_seen": query_type.stats.instances_seen,
                     "updates_seen": query_type.stats.updates_seen,
@@ -301,6 +320,8 @@ class QueryTypeRegistry:
                 "urls": sorted(instance.urls),
                 "servlets": sorted(instance.servlets),
                 "registered_at": instance.registered_at,
+                "result_fingerprint": instance.result_fingerprint,
+                "fingerprint_lsn": instance.fingerprint_lsn,
             }
             for instance in self.instances()
         ]
@@ -340,6 +361,8 @@ class QueryTypeRegistry:
                 )
             instance = self._instances_by_sql[spec["sql"]]
             instance.servlets.update(spec.get("servlets", ()))
+            instance.result_fingerprint = spec.get("result_fingerprint")
+            instance.fingerprint_lsn = spec.get("fingerprint_lsn")
         # Statistics last: the replay above bumps instances_seen counters
         # that the snapshot already accounts for.
         for spec in data.get("types", []):

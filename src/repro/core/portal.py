@@ -60,6 +60,7 @@ class CachePortal:
         polling_budget: Optional[int] = None,
         max_staleness_ms: float = 1000.0,
         use_data_cache: bool = False,
+        safety_enforcement: bool = True,
         clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if site.configuration is not Configuration.WEB_CACHE or site.web_cache is None:
@@ -89,6 +90,7 @@ class CachePortal:
             polling_budget=polling_budget,
             use_data_cache=use_data_cache,
             servlet_deadline=self._servlet_deadline,
+            safety_enforcement=safety_enforcement,
         )
 
     def _servlet_deadline(self, servlet_name: str) -> float:
@@ -203,6 +205,14 @@ class CachePortal:
                     "affected": last.affected,
                     "polls_executed": last.polls_executed,
                     "urls_ejected": last.urls_ejected,
+                    "safe_instances": last.safe_instances,
+                    "fallback_ejects": last.fallback_ejects,
+                    "poll_only_checks": last.poll_only_checks,
+                    "lint_findings": last.lint_findings,
                 },
             },
+            "safety": dict(
+                invalidator.safety.stats(),
+                enabled=invalidator.safety.enabled,
+            ),
         }

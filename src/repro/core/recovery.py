@@ -80,6 +80,9 @@ class RecoveryReport:
     #: Ejects that were undelivered at checkpoint time and re-published.
     ejects_republished: int = 0
     dead_letters_restored: int = 0
+    #: POLL_ONLY result fingerprints carried over from the snapshot (they
+    #: were trusted at checkpoint time and stay trusted after restore).
+    fingerprints_restored: int = 0
 
 
 # -- the on-disk format -------------------------------------------------------
@@ -194,6 +197,8 @@ def restore_portal(
     registry_stats = invalidator.registry.restore_state(payload["registry"])
     report.types_restored = registry_stats["query_types"]
     report.instances_restored = registry_stats["query_instances"]
+    invalidator.safety.after_restore()
+    report.fingerprints_restored = _count_fingerprints(invalidator.registry)
     cursor = int(payload["cursor_lsn"])
     report.cursor_lsn = cursor
     log = invalidator.database.update_log
@@ -221,6 +226,8 @@ def restore_pipeline(
     report.map_rows_restored = pipeline.qiurl_map.restore_state(payload["qiurl"])
     with pipeline.registry_lock:
         registry_stats = pipeline.registry.restore_state(payload["registry"])
+        pipeline.safety.after_restore()
+        report.fingerprints_restored = _count_fingerprints(pipeline.registry)
     report.types_restored = registry_stats["query_types"]
     report.instances_restored = registry_stats["query_instances"]
     cursor = int(payload["cursor_lsn"])
@@ -255,6 +262,14 @@ def restore_pipeline(
         ]
         report.orphans_ejected = _eject_orphans(caches, pipeline.qiurl_map)
     return report
+
+
+def _count_fingerprints(registry) -> int:
+    return sum(
+        1
+        for instance in registry.instances()
+        if instance.result_fingerprint is not None
+    )
 
 
 def _flush_all_portal(invalidator) -> int:

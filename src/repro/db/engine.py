@@ -13,6 +13,7 @@ model, so "heavy" queries really are heavier than "light" ones.
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -21,7 +22,7 @@ from repro.sql import ast
 from repro.sql.parser import parse_statement
 from repro.sql.params import bind_parameters
 from repro.db.executor import ExecutionContext, execute
-from repro.db.expr import Scope, evaluate, passes
+from repro.db.expr import Scope, evaluate, execution_context, passes
 from repro.db.index import HashIndex, Index, SortedIndex
 from repro.db.log import ChangeKind, UpdateLog, UpdateRecord
 from repro.db.planner import Planner
@@ -84,6 +85,8 @@ class Database:
         self._clock = clock or (lambda: float(next(self._logical_clock)))
         self._change_listeners: List[Callable[[UpdateRecord], None]] = []
         self.statements_executed = 0
+        # Seeded stream backing RAND()/RANDOM(): deterministic per database.
+        self._rand = random.Random(0x5EED)
 
     # -- catalog -------------------------------------------------------------
 
@@ -196,6 +199,13 @@ class Database:
         if params:
             statement = bind_parameters(statement, tuple(params))
         self.statements_executed += 1
+        # NOW() reads the logical DML clock and RAND() the seeded
+        # per-database stream; both are pinned for the statement's duration
+        # so one statement sees one consistent value.
+        with execution_context(self.update_log.last_lsn, self._rand.random):
+            return self._dispatch(statement)
+
+    def _dispatch(self, statement: ast.Statement) -> StatementResult:
         if isinstance(statement, ast.Select):
             return self._execute_select(statement)
         if isinstance(statement, ast.Union):

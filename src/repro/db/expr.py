@@ -9,7 +9,9 @@ clause passes a row only when its predicate evaluates to exactly TRUE.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import threading
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import CatalogError, ExecutionError
 from repro.sql import ast
@@ -85,6 +87,63 @@ _SCALAR_FUNCTIONS = {
     "COALESCE": lambda args: next((a for a in args if a is not None), None),
 }
 
+#: Functions whose value depends on *when* the statement runs, not on the
+#: row.  They only evaluate inside an :func:`execution_context` — which
+#: ``Database.execute`` establishes around statement dispatch — so any
+#: context-free evaluation (notably the invalidator's static independence
+#: check re-evaluating WHERE conjuncts against an update tuple) raises and
+#: the caller must fall back to a conservative verdict.
+NONDETERMINISTIC_FUNCTIONS = frozenset(
+    {"NOW", "CURRENT_TIMESTAMP", "RAND", "RANDOM"}
+)
+
+
+class _ExecState(threading.local):
+    """Per-thread statement-execution context (``None`` outside execute)."""
+
+    def __init__(self) -> None:
+        self.now: Optional[Value] = None
+        self.rand: Optional[Callable[[], float]] = None
+        self.active: bool = False
+
+
+_EXEC_STATE = _ExecState()
+
+
+@contextmanager
+def execution_context(
+    now: Value, rand: Callable[[], float]
+) -> Iterator[None]:
+    """Make NOW()/RAND() evaluable for the duration of one statement.
+
+    ``now`` is the engine's logical DML clock (the update log's last LSN),
+    so repeated page generations between updates are deterministic; ``rand``
+    draws from the database's seeded generator.  Contexts nest (polling
+    queries issued while a cycle holds the outer context simply shadow it).
+    """
+    state = _EXEC_STATE
+    previous = (state.now, state.rand, state.active)
+    state.now, state.rand, state.active = now, rand, True
+    try:
+        yield
+    finally:
+        state.now, state.rand, state.active = previous
+
+
+def _nondeterministic(name: str, args: Sequence[Value]) -> Value:
+    if args:
+        raise ExecutionError(f"{name} takes no arguments")
+    state = _EXEC_STATE
+    if not state.active:
+        raise ExecutionError(
+            f"non-deterministic function {name} evaluated outside "
+            "statement execution"
+        )
+    if name in ("NOW", "CURRENT_TIMESTAMP"):
+        return state.now
+    assert state.rand is not None
+    return state.rand()
+
 
 def evaluate(
     expr: ast.Expr,
@@ -131,6 +190,9 @@ def evaluate(
             raise ExecutionError(
                 f"aggregate {expr.name} outside GROUP BY evaluation"
             )
+        if expr.name in NONDETERMINISTIC_FUNCTIONS:
+            args = [evaluate(arg, row, scope, computed) for arg in expr.args]
+            return _nondeterministic(expr.name, args)
         handler = _SCALAR_FUNCTIONS.get(expr.name)
         if handler is None:
             raise ExecutionError(f"unknown function {expr.name}")

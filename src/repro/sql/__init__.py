@@ -8,9 +8,19 @@ The two pieces that are specific to the paper live in :mod:`repro.sql.params`
 (parameterizing query instances into query types — §4.1.2 "query type
 discovery") and :mod:`repro.sql.analysis` (conjunct extraction and
 satisfiability helpers used by the invalidator's independence check — §4.2).
+:mod:`repro.sql.lint` layers structured invalidation-safety diagnostics
+on top of the same AST; its findings feed the enforcement verdicts in
+:mod:`repro.core.invalidator.safety`.
 """
 
 from repro.sql.lexer import Lexer, tokenize
+from repro.sql.lint import (
+    Finding,
+    LintReport,
+    Severity,
+    lint_sql,
+    lint_statement,
+)
 from repro.sql.parser import Parser, parse_expression, parse_statement
 from repro.sql.printer import to_sql
 from repro.sql.params import (
@@ -26,11 +36,16 @@ from repro.sql.analysis import (
 )
 
 __all__ = [
+    "Finding",
     "Lexer",
+    "LintReport",
     "Parser",
     "ParameterizedQuery",
+    "Severity",
     "bind_parameters",
     "conjuncts",
+    "lint_sql",
+    "lint_statement",
     "parameterize",
     "parse_expression",
     "parse_statement",

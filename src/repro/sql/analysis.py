@@ -118,14 +118,25 @@ def referenced_columns(
     """(table, column) pairs referenced in ``expr``, all lower-case.
 
     When ``aliases`` is given, alias qualifiers are resolved to base table
-    names.  Unqualified columns appear with table ``None``.
+    names, and unqualified columns are resolved through the alias map too:
+    a single-source query attributes them to its one base table; with
+    several sources (no schema to disambiguate) one pair per distinct base
+    table is emitted — conservative, never invisible.  Without ``aliases``
+    unqualified columns appear with table ``None``.
     """
     columns: Set[Tuple[Optional[str], str]] = set()
     for node in ast.walk(expr):
         if isinstance(node, ast.ColumnRef):
             table = node.table.lower() if node.table else None
-            if table is not None and aliases is not None:
-                table = aliases.get(table, table)
+            if aliases is not None:
+                if table is not None:
+                    table = aliases.get(table, table)
+                    columns.add((table, node.column.lower()))
+                else:
+                    bases = set(aliases.values()) or {None}
+                    for base in sorted(bases, key=str):
+                        columns.add((base, node.column.lower()))
+                continue
             columns.add((table, node.column.lower()))
     return columns
 
@@ -174,23 +185,16 @@ def tables_of_condition(
 ) -> Set[str]:
     """Which base tables a single condition mentions.
 
-    Unqualified column references are ambiguous without a schema; they are
-    mapped through ``aliases`` only when the query has a single source, in
-    which case they unambiguously belong to it.
+    Column references (qualified or not) are resolved through ``aliases``
+    by :func:`referenced_columns`: unqualified names belong to the single
+    source when there is one, and conservatively to every source table
+    otherwise (no schema is available to disambiguate).
     """
-    tables: Set[str] = set()
-    unqualified = False
-    for table, _column in referenced_columns(condition, aliases):
-        if table is None:
-            unqualified = True
-        else:
-            tables.add(table)
-    if unqualified and len(set(aliases.values())) == 1:
-        tables.update(aliases.values())
-    elif unqualified:
-        # Conservatively attribute to every source table.
-        tables.update(aliases.values())
-    return tables
+    return {
+        table
+        for table, _column in referenced_columns(condition, aliases)
+        if table is not None
+    }
 
 
 def has_parameters(expr: Optional[ast.Expr]) -> bool:

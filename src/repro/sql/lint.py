@@ -1,0 +1,495 @@
+"""Invalidation-safety lint: structured diagnostics over the SQL AST.
+
+CachePortal's invalidation is only as safe as its static analysis of
+WHERE clauses (paper §4).  This module walks a SELECT (or UNION) and
+emits :class:`Finding` records for every construct the independence
+checker cannot reason about precisely — non-deterministic functions,
+subqueries, disjunctions spanning tables, LEFT JOIN null extension —
+plus hygiene rules for predicates that waste index slots or hint at
+type confusion.  Findings carry a rule id, severity, character span
+into the normalized SQL, the offending snippet, and a fix hint.
+
+:mod:`repro.core.invalidator.safety` folds these findings into the
+SAFE / POLL_ONLY / ALWAYS_EJECT enforcement verdict; the ``repro lint``
+CLI surfaces them to humans and CI.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import ReproError
+from repro.sql import ast
+from repro.sql.analysis import (
+    alias_map,
+    all_conditions,
+    conjuncts,
+    disjuncts,
+    has_left_join,
+    tables_of_condition,
+)
+from repro.sql.printer import to_sql
+
+Statement = Union[ast.Select, ast.Union]
+
+#: Function names whose value depends on evaluation time, not the row.
+#: Must stay in sync with ``repro.db.expr.NONDETERMINISTIC_FUNCTIONS``
+#: (not imported: sql must not depend on the db layer).
+NONDETERMINISTIC_FUNCTIONS = frozenset(
+    {"NOW", "CURRENT_TIMESTAMP", "RAND", "RANDOM"}
+)
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; ordering is meaningful (ERROR > WARNING)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, name: str) -> "Severity":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            valid = ", ".join(s.name.lower() for s in cls)
+            raise ValueError(
+                f"unknown severity {name!r} (expected one of: {valid})"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule that fired at a location in the query."""
+
+    rule: str
+    severity: Severity
+    message: str
+    #: ``(start, end)`` character offsets into :attr:`LintReport.sql`.
+    span: Tuple[int, int]
+    #: The text at ``span`` — the offending construct, printer-normalized.
+    snippet: str
+    hint: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.name.lower(),
+            "message": self.message,
+            "span": list(self.span),
+            "snippet": self.snippet,
+            "hint": self.hint,
+        }
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All findings for one statement, against its normalized SQL."""
+
+    sql: str
+    findings: Tuple[Finding, ...]
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        if not self.findings:
+            return None
+        return max(finding.severity for finding in self.findings)
+
+    def at_or_above(self, severity: Severity) -> List[Finding]:
+        return [f for f in self.findings if f.severity >= severity]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sql": self.sql,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "max_severity": (
+                self.max_severity.name.lower() if self.findings else None
+            ),
+        }
+
+
+class _Linter:
+    """Single-statement rule runner; collects findings against the
+    printer-normalized SQL so spans are stable across formatting."""
+
+    def __init__(self, stmt: Statement) -> None:
+        self.stmt = stmt
+        self.sql = to_sql(stmt)
+        self.findings: List[Finding] = []
+
+    # -- span helpers ---------------------------------------------------------
+
+    def _span_of(self, fragment: str) -> Tuple[int, int]:
+        start = self.sql.find(fragment)
+        if start < 0:
+            return (0, len(self.sql))
+        return (start, start + len(fragment))
+
+    def emit(
+        self,
+        rule: str,
+        severity: Severity,
+        message: str,
+        node: Optional[ast.Expr] = None,
+        fragment: Optional[str] = None,
+        hint: str = "",
+    ) -> None:
+        if fragment is None:
+            fragment = to_sql(node) if node is not None else self.sql
+        span = self._span_of(fragment)
+        self.findings.append(
+            Finding(
+                rule=rule,
+                severity=severity,
+                message=message,
+                span=span,
+                snippet=self.sql[span[0] : span[1]],
+                hint=hint,
+            )
+        )
+
+    # -- driver ---------------------------------------------------------------
+
+    def run(self) -> LintReport:
+        if isinstance(self.stmt, ast.Union):
+            self.emit(
+                "union-coarse-analysis",
+                Severity.WARNING,
+                "UNION queries get table-level analysis only: any update "
+                "to a referenced table invalidates every instance",
+                fragment=self.sql,
+                hint="split the page into one query per UNION part",
+            )
+            for part in self.stmt.parts:
+                self._lint_select(part)
+        else:
+            self._lint_select(self.stmt)
+        ordered = sorted(
+            self.findings, key=lambda f: (f.span[0], f.rule, f.message)
+        )
+        return LintReport(sql=self.sql, findings=tuple(ordered))
+
+    def _lint_select(self, select: ast.Select) -> None:
+        aliases = alias_map(select)
+        conditions = all_conditions(select)
+        self._check_nondeterministic(select)
+        self._check_subqueries(select, aliases)
+        self._check_left_join(select)
+        seen_types: Dict[Tuple[Optional[str], str], Set[type]] = {}
+        for condition in conditions:
+            self._check_mixed_disjunction(condition, aliases)
+            self._check_constant_predicate(condition)
+            self._check_cross_type(condition, seen_types)
+            self._check_unindexable(condition, aliases)
+
+    # -- rules ----------------------------------------------------------------
+
+    def _check_nondeterministic(self, select: ast.Select) -> None:
+        for expr in ast._select_expressions(select):
+            for node in ast.walk(expr):
+                if (
+                    isinstance(node, ast.FunctionCall)
+                    and node.name in NONDETERMINISTIC_FUNCTIONS
+                ):
+                    self.emit(
+                        "nondeterministic-function",
+                        Severity.ERROR,
+                        f"{node.name}() is evaluated at page-generation "
+                        "time; the independence check cannot re-evaluate "
+                        "it, so staleness is undetectable",
+                        node=node,
+                        hint="bind the value in the application and pass "
+                        "it as a parameter",
+                    )
+
+    def _check_subqueries(
+        self, select: ast.Select, aliases: Dict[str, str]
+    ) -> None:
+        for expr in ast._select_expressions(select):
+            for node in ast.walk(expr):
+                query: Optional[ast.Select] = None
+                if isinstance(node, (ast.Exists, ast.InSelect)):
+                    query = node.query
+                elif isinstance(node, ast.ScalarSubquery):
+                    query = node.query
+                if query is None:
+                    continue
+                if self._is_correlated(query, aliases):
+                    self.emit(
+                        "correlated-subquery",
+                        Severity.ERROR,
+                        "correlated subquery: the inner result depends on "
+                        "the outer row, which the per-tuple independence "
+                        "check cannot model",
+                        node=query,
+                        hint="rewrite as a join, or accept conservative "
+                        "ejection",
+                    )
+                else:
+                    self.emit(
+                        "uncorrelated-subquery",
+                        Severity.WARNING,
+                        "subquery forces conservative treatment: updates "
+                        "to inner tables cannot be checked precisely "
+                        "against the outer predicate",
+                        node=query,
+                        hint="rewrite as a join so both sides get local "
+                        "predicate analysis",
+                    )
+
+    @staticmethod
+    def _is_correlated(query: ast.Select, outer: Dict[str, str]) -> bool:
+        inner = alias_map(query)
+        for expr in ast._select_expressions(query):
+            for node in ast.walk(expr):
+                if (
+                    isinstance(node, ast.ColumnRef)
+                    and node.table is not None
+                    and node.table.lower() not in inner
+                    and node.table.lower() in outer
+                ):
+                    return True
+        return False
+
+    def _check_left_join(self, select: ast.Select) -> None:
+        if not has_left_join(select):
+            return
+        self.emit(
+            "left-join-null-extension",
+            Severity.WARNING,
+            "LEFT JOIN null-extends unmatched rows: deleting an inner-side "
+            "row changes results without satisfying any join predicate, "
+            "so per-predicate analysis is unsound",
+            fragment="LEFT JOIN",
+            hint="use an inner join when unmatched rows are not needed",
+        )
+
+    def _check_mixed_disjunction(
+        self, condition: ast.Expr, aliases: Dict[str, str]
+    ) -> None:
+        parts = disjuncts(condition)
+        if len(parts) < 2:
+            return
+        table_sets = [tables_of_condition(part, aliases) for part in parts]
+        mixes_join = any(len(tables) > 1 for tables in table_sets)
+        spans_tables = len({frozenset(tables) for tables in table_sets}) > 1
+        if mixes_join or spans_tables:
+            self.emit(
+                "mixed-disjunction",
+                Severity.WARNING,
+                "OR mixes predicates over different tables: the disjunction "
+                "cannot be split into local per-table conditions",
+                node=condition,
+                hint="split the page query per disjunct or denormalize",
+            )
+
+    def _check_constant_predicate(self, condition: ast.Expr) -> None:
+        for conjunct in conjuncts(condition):
+            if not self._is_constant(conjunct):
+                continue
+            value = self._constant_value(conjunct)
+            if value is _UNEVALUABLE:
+                continue
+            if value is True:
+                self.emit(
+                    "tautological-predicate",
+                    Severity.INFO,
+                    "predicate is always true: it filters nothing but "
+                    "still occupies analysis and index slots",
+                    node=conjunct,
+                    hint="drop the predicate",
+                )
+            else:
+                self.emit(
+                    "contradictory-predicate",
+                    Severity.WARNING,
+                    "predicate can never be true: the instance matches no "
+                    "rows yet pins registry and cache entries",
+                    node=conjunct,
+                    hint="remove the query or fix the predicate",
+                )
+
+    @staticmethod
+    def _is_constant(expr: ast.Expr) -> bool:
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.ColumnRef, ast.Parameter, ast.Star)):
+                return False
+            if isinstance(
+                node, (ast.Exists, ast.InSelect, ast.ScalarSubquery)
+            ):
+                return False
+            if (
+                isinstance(node, ast.FunctionCall)
+                and node.name in NONDETERMINISTIC_FUNCTIONS
+            ):
+                return False
+        return True
+
+    @staticmethod
+    def _constant_value(expr: ast.Expr) -> object:
+        from repro.db.expr import Scope, evaluate
+
+        try:
+            return evaluate(expr, (), Scope([]))
+        except ReproError:
+            return _UNEVALUABLE
+
+    def _check_cross_type(
+        self,
+        condition: ast.Expr,
+        seen: Dict[Tuple[Optional[str], str], Set[type]],
+    ) -> None:
+        for conjunct in conjuncts(condition):
+            for node in ast.walk(conjunct):
+                for column, literal in _column_literal_pairs(node):
+                    if literal.value is None:
+                        continue
+                    kind = (
+                        str if isinstance(literal.value, str) else float
+                    )
+                    key = (
+                        column.table.lower() if column.table else None,
+                        column.column.lower(),
+                    )
+                    kinds = seen.setdefault(key, set())
+                    if kinds and kind not in kinds:
+                        self.emit(
+                            "cross-type-comparison",
+                            Severity.WARNING,
+                            f"column {column.column!r} is compared with "
+                            "both numeric and string literals; SQL total "
+                            "order makes one branch vacuous",
+                            node=node,
+                            hint="fix the literal type",
+                        )
+                    kinds.add(kind)
+
+    def _check_unindexable(
+        self, condition: ast.Expr, aliases: Dict[str, str]
+    ) -> None:
+        if any(
+            isinstance(node, (ast.Exists, ast.InSelect, ast.ScalarSubquery))
+            for node in ast.walk(condition)
+        ):
+            return  # covered by the subquery rules
+        tables = tables_of_condition(condition, aliases)
+        if len(tables) != 1:
+            return
+        if self._indexable_shape(condition):
+            return
+        if self._is_constant(condition):
+            return  # covered by the constant-predicate rules
+        self.emit(
+            "unindexable-local-conjunct",
+            Severity.INFO,
+            "local predicate has no index-friendly shape: every update to "
+            f"{next(iter(tables))!r} falls back to a residual scan of "
+            "this instance",
+            node=condition,
+            hint="prefer =, IN, range, or IS NULL on a bare column",
+        )
+
+    @staticmethod
+    def _indexable_shape(condition: ast.Expr) -> bool:
+        if isinstance(condition, ast.Binary):
+            if condition.op not in ast.COMPARISONS:
+                return False
+            if condition.op is ast.BinaryOp.NE:
+                return False
+            sides = (condition.left, condition.right)
+            return any(
+                isinstance(side, ast.ColumnRef)
+                and _column_free(other)
+                for side, other in (sides, sides[::-1])
+            )
+        if isinstance(condition, ast.Between):
+            return (
+                not condition.negated
+                and isinstance(condition.expr, ast.ColumnRef)
+                and _column_free(condition.low)
+                and _column_free(condition.high)
+            )
+        if isinstance(condition, ast.InList):
+            return (
+                not condition.negated
+                and isinstance(condition.expr, ast.ColumnRef)
+                and all(_column_free(item) for item in condition.items)
+            )
+        if isinstance(condition, ast.IsNull):
+            return isinstance(condition.expr, ast.ColumnRef)
+        return False
+
+
+_UNEVALUABLE = object()
+
+
+def _column_free(expr: ast.Expr) -> bool:
+    return not any(
+        isinstance(node, (ast.ColumnRef, ast.Star)) for node in ast.walk(expr)
+    )
+
+
+def _column_literal_pairs(
+    node: ast.Expr,
+) -> List[Tuple[ast.ColumnRef, ast.Literal]]:
+    """Direct column-vs-literal comparisons inside one node."""
+    pairs: List[Tuple[ast.ColumnRef, ast.Literal]] = []
+    if isinstance(node, ast.Binary) and node.op in ast.COMPARISONS:
+        left, right = node.left, node.right
+        if isinstance(left, ast.ColumnRef) and isinstance(right, ast.Literal):
+            pairs.append((left, right))
+        if isinstance(right, ast.ColumnRef) and isinstance(left, ast.Literal):
+            pairs.append((right, left))
+    elif isinstance(node, ast.Between):
+        if isinstance(node.expr, ast.ColumnRef):
+            for bound in (node.low, node.high):
+                if isinstance(bound, ast.Literal):
+                    pairs.append((node.expr, bound))
+    elif isinstance(node, ast.InList):
+        if isinstance(node.expr, ast.ColumnRef):
+            for item in node.items:
+                if isinstance(item, ast.Literal):
+                    pairs.append((node.expr, item))
+    return pairs
+
+
+def lint_statement(stmt: Statement) -> LintReport:
+    """Lint one parsed SELECT or UNION."""
+    return _Linter(stmt).run()
+
+
+def lint_sql(sql: str) -> LintReport:
+    """Parse and lint one SQL string.
+
+    Parse failures and non-SELECT statements become findings themselves
+    (rules ``parse-error`` / ``not-a-select``) so workload audits never
+    abort half way.
+    """
+    from repro.sql.parser import parse_statement
+
+    try:
+        stmt = parse_statement(sql)
+    except ReproError as exc:
+        finding = Finding(
+            rule="parse-error",
+            severity=Severity.ERROR,
+            message=str(exc),
+            span=(0, len(sql)),
+            snippet=sql,
+            hint="fix the statement syntax",
+        )
+        return LintReport(sql=sql, findings=(finding,))
+    if not isinstance(stmt, (ast.Select, ast.Union)):
+        finding = Finding(
+            rule="not-a-select",
+            severity=Severity.ERROR,
+            message="only SELECT (or UNION of SELECTs) page queries are "
+            "cacheable; DML/DDL cannot be registered as a query type",
+            span=(0, len(sql)),
+            snippet=sql,
+            hint="remove the statement from the page workload",
+        )
+        return LintReport(sql=sql, findings=(finding,))
+    return lint_statement(stmt)

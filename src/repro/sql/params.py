@@ -51,8 +51,16 @@ class _Extractor:
 
     def __init__(self) -> None:
         self.bindings: List[Value] = []
+        #: Pre-existing placeholders seen while extracting.  They collide
+        #: with the indexes handed to lifted literals and print in whatever
+        #: style (``?`` vs ``$n``) the template author used, so the caller
+        #: canonicalizes the whole statement when this is set.
+        self.saw_parameters = False
 
     def rewrite(self, node: ast.Expr) -> ast.Expr:
+        if isinstance(node, ast.Parameter):
+            self.saw_parameters = True
+            return node
         if isinstance(node, ast.Literal):
             self.bindings.append(node.value)
             return ast.Parameter(len(self.bindings))
@@ -103,6 +111,78 @@ class _Extractor:
         return node
 
 
+class _Renumberer:
+    """Canonicalizes placeholders to sequential ``$1..$n``.
+
+    Applied to the *original* statement (literals still inline) when it
+    mixes placeholders with constants: literals and anonymous ``?``
+    markers each take the next index, while a repeated ``$k`` keeps
+    mapping to the same new index so value-sharing semantics (``a = $1 OR
+    b = $1``) survive.  The walk order matches :class:`_Extractor`
+    exactly, which is what makes ``price < ?``, ``price < $3`` and
+    ``price < 20000`` all canonicalize to the same ``price < $1``
+    signature.
+    """
+
+    def __init__(self) -> None:
+        self._mapping: dict = {}
+        self._next = 0
+
+    def rewrite(self, node: ast.Expr) -> ast.Expr:
+        if isinstance(node, (ast.Literal, ast.Parameter)):
+            if isinstance(node, ast.Parameter) and node.index is not None:
+                if node.index not in self._mapping:
+                    self._next += 1
+                    self._mapping[node.index] = self._next
+                return ast.Parameter(self._mapping[node.index])
+            self._next += 1
+            return ast.Parameter(self._next)
+        if isinstance(node, ast.Binary):
+            return ast.Binary(node.op, self.rewrite(node.left), self.rewrite(node.right))
+        if isinstance(node, ast.Unary):
+            return ast.Unary(node.op, self.rewrite(node.operand))
+        if isinstance(node, ast.Between):
+            return ast.Between(
+                self.rewrite(node.expr),
+                self.rewrite(node.low),
+                self.rewrite(node.high),
+                node.negated,
+            )
+        if isinstance(node, ast.InList):
+            return ast.InList(
+                self.rewrite(node.expr),
+                tuple(self.rewrite(item) for item in node.items),
+                node.negated,
+            )
+        if isinstance(node, ast.IsNull):
+            return ast.IsNull(self.rewrite(node.expr), node.negated)
+        if isinstance(node, ast.FunctionCall):
+            return ast.FunctionCall(
+                node.name, tuple(self.rewrite(arg) for arg in node.args), node.distinct
+            )
+        if isinstance(node, ast.Case):
+            whens = tuple(
+                (self.rewrite(cond), self.rewrite(value)) for cond, value in node.whens
+            )
+            default = self.rewrite(node.default) if node.default is not None else None
+            return ast.Case(whens, default)
+        if isinstance(node, ast.Exists):
+            return ast.Exists(
+                _rewrite_select_conditions(node.query, self.rewrite), node.negated
+            )
+        if isinstance(node, ast.InSelect):
+            return ast.InSelect(
+                self.rewrite(node.expr),
+                _rewrite_select_conditions(node.query, self.rewrite),
+                node.negated,
+            )
+        if isinstance(node, ast.ScalarSubquery):
+            return ast.ScalarSubquery(
+                _rewrite_select_conditions(node.query, self.rewrite)
+            )
+        return node
+
+
 def _rewrite_source(source: ast.FromSource, rewrite: Callable[[ast.Expr], ast.Expr]) -> ast.FromSource:
     if isinstance(source, ast.TableRef):
         return source
@@ -139,39 +219,41 @@ def _rewrite_select_conditions(
     )
 
 
-def parameterize(stmt) -> ParameterizedQuery:
-    """Turn a bound SELECT (or UNION) into its query type plus bindings."""
+def _rewrite_statement(
+    stmt: Union[ast.Select, ast.Union],
+    rewrite: Callable[[ast.Expr], ast.Expr],
+) -> Union[ast.Select, ast.Union]:
+    """Rewrite the data-selection expressions of a SELECT or UNION."""
     if isinstance(stmt, ast.Union):
-        extractor = _Extractor()
         parts = tuple(
-            _rewrite_select_conditions(part, extractor.rewrite) for part in stmt.parts
+            _rewrite_select_conditions(part, rewrite) for part in stmt.parts
         )
-        template = ast.Union(
+        return ast.Union(
             parts, stmt.all_flags, stmt.order_by, stmt.limit, stmt.offset
         )
-        return ParameterizedQuery(
-            template=template,
-            bindings=tuple(extractor.bindings),
-            signature=to_sql(template),
-        )
+    return _rewrite_select_conditions(stmt, rewrite)
+
+
+def parameterize(stmt) -> ParameterizedQuery:
+    """Turn a bound SELECT (or UNION) into its query type plus bindings.
+
+    A statement that already contains ``?``/``$n`` placeholders (offline
+    template registration rather than a sniffed instance) is renumbered to
+    canonical sequential ``$1..$n`` in a second pass, so that ``price <
+    ?``, ``price < $3`` and ``price < 20000`` all produce one signature
+    instead of registering as distinct query types.  Such templates carry
+    no bindings; fully bound instances never contain placeholders and
+    keep the identity mapping between bindings and parameter indexes.
+    """
     extractor = _Extractor()
-    where = extractor.rewrite(stmt.where) if stmt.where is not None else None
-    having = extractor.rewrite(stmt.having) if stmt.having is not None else None
-    sources = tuple(_rewrite_source(source, extractor.rewrite) for source in stmt.sources)
-    template = ast.Select(
-        items=stmt.items,
-        sources=sources,
-        where=where,
-        group_by=stmt.group_by,
-        having=having,
-        order_by=stmt.order_by,
-        limit=stmt.limit,
-        offset=stmt.offset,
-        distinct=stmt.distinct,
-    )
+    template = _rewrite_statement(stmt, extractor.rewrite)
+    bindings: Tuple[Value, ...] = tuple(extractor.bindings)
+    if extractor.saw_parameters:
+        template = _rewrite_statement(stmt, _Renumberer().rewrite)
+        bindings = ()
     return ParameterizedQuery(
         template=template,
-        bindings=tuple(extractor.bindings),
+        bindings=bindings,
         signature=to_sql(template),
     )
 

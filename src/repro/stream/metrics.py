@@ -43,6 +43,9 @@ class PipelineMetrics:
         self.over_invalidated = 0
         self.scheduler_cycles = 0
         self.poll_slots_offered = 0  # budget * cycles (None budget: offered = requested)
+        # safety enforcement (lint verdicts)
+        self.fallback_ejects = 0
+        self.poll_only_checks = 0
         # bus
         self.ejects_requested = 0
         self.ejects_coalesced = 0
@@ -146,6 +149,8 @@ class PipelineMetrics:
                     "polls_executed": self.polls_executed,
                     "polls_impacted": self.polls_impacted,
                     "over_invalidated": self.over_invalidated,
+                    "fallback_ejects": self.fallback_ejects,
+                    "poll_only_checks": self.poll_only_checks,
                     "poll_budget_utilization": round(utilization, 4),
                 },
                 "bus": {

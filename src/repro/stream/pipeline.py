@@ -51,6 +51,7 @@ from repro.core.invalidator.registration import (
     QueryTypeRegistry,
     RegistrationModule,
 )
+from repro.core.invalidator.safety import SafetyEnforcer, SafetyVerdict
 from repro.stream.bus import EjectBus
 from repro.stream.metrics import PipelineMetrics
 from repro.stream.tailer import LogTailer
@@ -90,6 +91,7 @@ class StreamingInvalidationPipeline:
         use_data_cache: bool = False,
         grouped_analysis: bool = True,
         predicate_index: bool = True,
+        safety_enforcement: bool = True,
         servlet_deadline: Optional[Callable[[str], float]] = None,
         pre_ingest: Optional[Callable[[], object]] = None,
         idle_sleep: float = 0.002,
@@ -107,6 +109,10 @@ class StreamingInvalidationPipeline:
         )
         self.registry_lock = threading.RLock()
         self.db_lock = threading.Lock()
+        # Safety enforcement: verdicts computed at registration, POLL_ONLY
+        # fingerprints established at pump time before batches dispatch.
+        self.safety = SafetyEnforcer(database, enabled=safety_enforcement)
+        self.registry.add_listener(self.safety)
         # Predicate index (shared across shards): registrations happen
         # under the registry lock, so listener inserts are serialized.
         self.pred_index: Optional[PredicateIndex] = None
@@ -131,6 +137,7 @@ class StreamingInvalidationPipeline:
             grouped_analysis=grouped_analysis,
             pred_index=self.pred_index,
             servlet_deadline=servlet_deadline,
+            safety=self.safety,
         )
         self.pool = WorkerPool(
             num_shards,
@@ -265,6 +272,11 @@ class StreamingInvalidationPipeline:
             self.pre_ingest()
         with self.registry_lock:
             self.registration.scan(self.qiurl_map.read_new())
+        # Fingerprint new POLL_ONLY instances before dispatching their
+        # first batch.  The previous baseline may only be promoted to
+        # trusted once no worker still holds records from older batches.
+        with self.db_lock:
+            self.safety.prepare_cycle(promote=self.pool.idle())
         batch = self.tailer.poll()
         if batch.lost:
             self.metrics.add(truncations=1)
@@ -364,6 +376,20 @@ class StreamingInvalidationPipeline:
             )
             if self.pred_index is not None:
                 snapshot["predicate_index"] = self.pred_index.stats()
+            # Safety observability: derived from the live registry, so it
+            # is computed here rather than accumulated in the metrics.
+            snapshot["workers"]["safe_instances"] = sum(
+                1
+                for instance in self.registry.instances()
+                if self.safety.verdict_for(instance.query_type)
+                is SafetyVerdict.SAFE
+            )
+            snapshot["workers"]["lint_findings"] = sum(
+                len(query_type.safety.findings)
+                for query_type in self.registry.types()
+                if query_type.safety is not None
+            )
+            snapshot["safety"] = self.safety.stats()
         snapshot["tailer"]["cursor"] = self.tailer.cursor
         snapshot["tailer"]["last_lost_range"] = (
             list(self.tailer.last_lost_range)

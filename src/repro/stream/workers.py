@@ -29,6 +29,7 @@ from typing import Callable, List, Optional, Sequence
 from repro.db.log import UpdateRecord
 from repro.core.invalidator.analysis import IndependenceChecker, VerdictKind
 from repro.core.invalidator.grouping import GroupedChecker
+from repro.core.invalidator.safety import SafetyVerdict
 from repro.core.invalidator.scheduler import InvalidationScheduler, PollCandidate
 from repro.core.invalidator.updates import dedupe_records
 from repro.stream.bus import EjectBus
@@ -61,6 +62,11 @@ class WorkerContext:
     #: registry lock, like every other registry read.
     pred_index: Optional[object] = None
     servlet_deadline: Optional[Callable[[str], float]] = None
+    #: Shared :class:`~repro.core.invalidator.safety.SafetyEnforcer`;
+    #: None (or a disabled enforcer) leaves every type on the precise
+    #: independence-check path.  Fingerprint polls re-execute SQL, so
+    #: workers take ``db_lock`` around them.
+    safety: Optional[object] = None
 
 
 def shard_for(table: str, num_shards: int) -> int:
@@ -190,8 +196,17 @@ class InvalidationWorker:
         doomed: "dict[int, object]" = {}  # instance_id → instance
         poll_tasks = []  # (instance, verdict)
         pairs = unaffected = affected = pruned = 0
+        fallback_ejects = poll_only_checks = 0
         # keyed by type_id: QueryType is a plain dataclass, not hashable
         updates_seen_by_type: "dict[int, list]" = {}
+        # Hoist the enabled check; the per-pair consultation below is a
+        # bare attribute read so enforcement stays off the hot path's
+        # profile (bench_lint.py budgets it at < 3%).
+        enforcer = (
+            ctx.safety
+            if ctx.safety is not None and getattr(ctx.safety, "enabled", True)
+            else None
+        )
 
         # Record-major iteration (unlike the synchronous invalidator's
         # instance-major pass): ejects caused by AFFECTED verdicts are
@@ -243,6 +258,29 @@ class InvalidationWorker:
                     instance.query_type.type_id, [instance.query_type, 0]
                 )
                 tally[1] += 1
+                classification = (
+                    instance.query_type.safety if enforcer is not None else None
+                )
+                if (
+                    classification is not None
+                    and classification.verdict is not SafetyVerdict.SAFE
+                ):
+                    # Same decision table as Invalidator._enforce_safety:
+                    # enforcement replaces the precise check entirely.
+                    if classification.verdict is SafetyVerdict.ALWAYS_EJECT:
+                        fallback_ejects += 1
+                        affected += 1
+                        self._doom(instance, urls_to_eject, doomed)
+                        continue
+                    poll_only_checks += 1
+                    with ctx.db_lock:
+                        eject = enforcer.check_poll_only(instance, record)
+                    if eject:
+                        affected += 1
+                        self._doom(instance, urls_to_eject, doomed)
+                    else:
+                        unaffected += 1
+                    continue
                 if ctx.grouped_analysis:
                     verdict = self.grouped_checker.check_instance(
                         instance, record
@@ -259,7 +297,11 @@ class InvalidationWorker:
                 poll_tasks.append((instance, verdict))
 
         self.metrics.add(
-            pairs_checked=pairs, unaffected=unaffected, affected=affected
+            pairs_checked=pairs,
+            unaffected=unaffected,
+            affected=affected,
+            fallback_ejects=fallback_ejects,
+            poll_only_checks=poll_only_checks,
         )
         if probes is not None:
             self.metrics.add(

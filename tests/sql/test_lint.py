@@ -1,0 +1,282 @@
+"""Tests for the invalidation-safety lint (``repro.sql.lint``).
+
+The diagnostics are the input to the enforcement verdicts in
+:mod:`repro.core.invalidator.safety`, so rule coverage and span fidelity
+are load-bearing: a rule that fails to fire is a staleness hole, and a
+wrong span misleads whoever has to fix the workload.
+
+Also hosts the two analysis regressions that ride with this PR: alias
+resolution of unqualified columns (satellite 1) and canonical query-type
+signatures (satellite 2).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.sql.analysis import (
+    alias_map,
+    query_signature,
+    referenced_columns,
+    tables_of_condition,
+)
+from repro.sql.lint import Severity, lint_sql, lint_statement
+from repro.sql.parser import parse_statement
+
+SHOWCASE = Path(__file__).resolve().parents[2] / (
+    "examples/workloads/showcase.sql"
+)
+
+
+def rules_of(sql):
+    return {finding.rule for finding in lint_sql(sql).findings}
+
+
+class TestRules:
+    def test_nondeterministic_function(self):
+        report = lint_sql("SELECT maker FROM car WHERE price < NOW()")
+        (finding,) = report.findings
+        assert finding.rule == "nondeterministic-function"
+        assert finding.severity is Severity.ERROR
+        assert finding.snippet == "NOW()"
+
+    def test_nondeterministic_rand_in_select_list(self):
+        assert "nondeterministic-function" in rules_of(
+            "SELECT maker, RAND() FROM car"
+        )
+
+    def test_correlated_subquery(self):
+        report = lint_sql(
+            "SELECT maker FROM car WHERE EXISTS "
+            "(SELECT * FROM mileage WHERE mileage.model = car.model)"
+        )
+        assert {f.rule for f in report.findings} == {"correlated-subquery"}
+        assert report.max_severity is Severity.ERROR
+
+    def test_uncorrelated_subquery_is_warning(self):
+        report = lint_sql(
+            "SELECT model FROM car WHERE model IN "
+            "(SELECT model FROM mileage)"
+        )
+        assert {f.rule for f in report.findings} == {"uncorrelated-subquery"}
+        assert report.max_severity is Severity.WARNING
+
+    def test_union_coarse_analysis(self):
+        assert "union-coarse-analysis" in rules_of(
+            "SELECT maker FROM car UNION SELECT model FROM mileage"
+        )
+
+    def test_left_join_null_extension(self):
+        assert "left-join-null-extension" in rules_of(
+            "SELECT car.maker FROM car LEFT JOIN mileage "
+            "ON car.model = mileage.model"
+        )
+
+    def test_mixed_disjunction(self):
+        assert "mixed-disjunction" in rules_of(
+            "SELECT car.maker FROM car, mileage "
+            "WHERE car.model = mileage.model "
+            "AND (car.price < 1 OR mileage.epa > 2)"
+        )
+
+    def test_single_table_disjunction_is_not_mixed(self):
+        # One table on both sides: splittable per-table, so the
+        # disjunction rule stays quiet (the shape is merely unindexable).
+        assert "mixed-disjunction" not in rules_of(
+            "SELECT maker FROM car WHERE price < 1 OR price > 9"
+        )
+
+    def test_contradictory_and_tautological(self):
+        assert "contradictory-predicate" in rules_of(
+            "SELECT maker FROM car WHERE 1 = 2"
+        )
+        assert "tautological-predicate" in rules_of(
+            "SELECT maker FROM car WHERE 1 = 1 AND price < 5"
+        )
+
+    def test_cross_type_comparison(self):
+        assert "cross-type-comparison" in rules_of(
+            "SELECT maker FROM car WHERE price > 10 AND price = 'cheap'"
+        )
+
+    def test_unindexable_local_conjunct(self):
+        assert "unindexable-local-conjunct" in rules_of(
+            "SELECT maker FROM car WHERE price * 2 < 30000"
+        )
+
+    def test_parse_error_and_not_a_select_become_findings(self):
+        assert rules_of("SELECT FROM WHERE") == {"parse-error"}
+        assert rules_of("UPDATE car SET price = 1") == {"not-a-select"}
+
+    def test_clean_parameterized_page_has_no_findings(self):
+        assert rules_of(
+            "SELECT maker, model FROM car WHERE maker = ? AND price < ?"
+        ) == set()
+
+    def test_clean_join_has_no_findings(self):
+        assert rules_of(
+            "SELECT car.maker, mileage.epa FROM car, mileage "
+            "WHERE car.model = mileage.model AND car.maker = 'Kia'"
+        ) == set()
+
+
+class TestSpans:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT maker FROM car WHERE price < NOW()",
+            "SELECT model FROM car WHERE model IN (SELECT model FROM mileage)",
+            "SELECT maker FROM car WHERE 1 = 2",
+            "SELECT maker FROM car WHERE price > 10 AND price = 'cheap'",
+            "SELECT car.maker FROM car, mileage "
+            "WHERE car.model = mileage.model "
+            "AND (car.price < 1 OR mileage.epa > 2)",
+        ],
+    )
+    def test_snippet_is_the_text_at_span(self, sql):
+        report = lint_sql(sql)
+        assert report.findings
+        for finding in report.findings:
+            start, end = finding.span
+            assert 0 <= start < end <= len(report.sql)
+            assert report.sql[start:end] == finding.snippet
+
+    def test_findings_ordered_by_span(self):
+        report = lint_sql(
+            "SELECT maker FROM car "
+            "WHERE 1 = 1 AND price < NOW() AND price * 2 < 4"
+        )
+        starts = [finding.span[0] for finding in report.findings]
+        assert starts == sorted(starts)
+
+
+class TestShowcaseWorkload:
+    def test_showcase_reports_at_least_seven_distinct_rules(self):
+        text = SHOWCASE.read_text(encoding="utf-8")
+        statements = [
+            stmt.strip()
+            for stmt in "\n".join(
+                line.split("--")[0] for line in text.splitlines()
+            ).split(";")
+            if stmt.strip()
+        ]
+        rules = set()
+        for sql in statements:
+            rules.update(f.rule for f in lint_sql(sql).findings)
+        assert len(rules) >= 7, sorted(rules)
+
+    def test_report_dict_shape(self):
+        payload = lint_sql("SELECT maker FROM car WHERE price < NOW()").to_dict()
+        assert payload["max_severity"] == "error"
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "nondeterministic-function"
+        assert finding["span"] == [
+            finding["span"][0],
+            finding["span"][0] + len("NOW()"),
+        ]
+
+
+class TestSeverityParse:
+    def test_parse_names(self):
+        assert Severity.parse("error") is Severity.ERROR
+        assert Severity.parse("WARNING") is Severity.WARNING
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+
+class TestAliasResolutionRegression:
+    """Satellite 1: unqualified columns resolve through the alias map."""
+
+    def test_unqualified_column_single_source(self):
+        stmt = parse_statement("SELECT * FROM car c WHERE price < 5")
+        aliases = alias_map(stmt)
+        condition = stmt.where
+        assert referenced_columns(condition, aliases) == {("car", "price")}
+        assert tables_of_condition(condition, aliases) == {"car"}
+
+    def test_unqualified_column_multiple_sources_is_conservative(self):
+        stmt = parse_statement(
+            "SELECT * FROM car c, mileage m "
+            "WHERE c.model = m.model AND epa > 40"
+        )
+        aliases = alias_map(stmt)
+        local = stmt.where.right  # the `epa > 40` conjunct
+        # No schema: the unqualified column is attributed to every source
+        # base table, never silently dropped.
+        assert referenced_columns(local, aliases) == {
+            ("car", "epa"),
+            ("mileage", "epa"),
+        }
+        assert tables_of_condition(local, aliases) == {"car", "mileage"}
+
+    def test_alias_qualified_column_resolves_to_base_table(self):
+        stmt = parse_statement(
+            "SELECT * FROM car c, mileage m WHERE c.model = m.model"
+        )
+        aliases = alias_map(stmt)
+        assert tables_of_condition(stmt.where, aliases) == {"car", "mileage"}
+
+    def test_lint_mixed_disjunction_sees_through_aliases(self):
+        # Before the fix, unqualified columns had table None and the
+        # disjunction looked single-table; the rule must still fire.
+        assert "mixed-disjunction" in rules_of(
+            "SELECT c.maker FROM car c, mileage m "
+            "WHERE c.model = m.model AND (c.price < 1 OR m.epa > 2)"
+        )
+
+
+class TestSignatureNormalizationRegression:
+    """Satellite 2: equivalent query shapes share one canonical
+    signature, so registration cannot split a type by spelling."""
+
+    def sig(self, sql):
+        return query_signature(parse_statement(sql))
+
+    def test_literal_vs_anonymous_parameter(self):
+        assert self.sig(
+            "SELECT maker FROM car WHERE price < 10000"
+        ) == self.sig("SELECT maker FROM car WHERE price < ?")
+
+    def test_distinct_literals_same_type(self):
+        assert self.sig(
+            "SELECT maker FROM car WHERE price < 10000"
+        ) == self.sig("SELECT maker FROM car WHERE price < 99")
+
+    def test_numbered_parameter_normalizes(self):
+        assert self.sig(
+            "SELECT maker FROM car WHERE price < $1"
+        ) == self.sig("SELECT maker FROM car WHERE price < ?")
+
+    def test_mixed_literal_and_parameter(self):
+        assert self.sig(
+            "SELECT maker FROM car WHERE maker = 'Kia' AND price < ?"
+        ) == self.sig("SELECT maker FROM car WHERE maker = ? AND price < 500")
+
+    def test_structure_still_distinguishes(self):
+        assert self.sig(
+            "SELECT maker FROM car WHERE price < ?"
+        ) != self.sig("SELECT maker FROM car WHERE price > ?")
+
+    def test_registration_dedupes_equivalent_spellings(self):
+        from repro.core.invalidator.registration import QueryTypeRegistry
+
+        registry = QueryTypeRegistry()
+        registry.observe_instance(
+            "SELECT maker FROM car WHERE price < 10000", "u1"
+        )
+        registry.observe_instance(
+            "SELECT maker FROM car WHERE price < 20000", "u2"
+        )
+        registry.observe_instance(
+            "SELECT maker FROM car WHERE price < $1", "u3"
+        )
+        assert len(registry.types()) == 1
+
+    def test_lint_statement_matches_lint_sql(self):
+        sql = "SELECT maker FROM car WHERE price < NOW()"
+        assert (
+            lint_statement(parse_statement(sql)).to_dict()
+            == lint_sql(sql).to_dict()
+        )

@@ -1,0 +1,103 @@
+"""Tests for the ``repro lint`` CLI and the ``audit --no-safety`` flag."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples" / "workloads"
+
+
+class TestParser:
+    def test_lint_defaults(self):
+        args = build_parser().parse_args(["lint", "w.sql"])
+        assert args.files == ["w.sql"]
+        assert args.fail_on is None
+        assert not args.json
+        assert not args.checkpoint
+
+    def test_lint_flags(self):
+        args = build_parser().parse_args(
+            ["lint", "a.sql", "b.sql", "--json", "--fail-on", "error"]
+        )
+        assert args.files == ["a.sql", "b.sql"]
+        assert args.fail_on == "error"
+        assert args.json
+
+    def test_audit_no_safety_flag(self):
+        args = build_parser().parse_args(["audit", "--no-safety"])
+        assert args.no_safety
+        assert not build_parser().parse_args(["audit"]).no_safety
+
+
+class TestLintCommand:
+    def test_clean_workload_exits_zero(self, capsys):
+        assert main(["lint", str(EXAMPLES / "clean.sql")]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_showcase_reports_seven_plus_rules_with_spans(self, capsys):
+        assert main(["lint", "--json", str(EXAMPLES / "showcase.sql")]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["distinct_rules"]) >= 7
+        for source in payload["sources"]:
+            for statement in source["statements"]:
+                for finding in statement["findings"]:
+                    start, end = finding["span"]
+                    assert statement["sql"][start:end] == finding["snippet"]
+
+    def test_fail_on_error_rejects_bad_workload(self, capsys):
+        code = main(
+            ["lint", "--fail-on=error", str(EXAMPLES / "bad_workload.sql")]
+        )
+        assert code == 1
+        assert "above threshold" in capsys.readouterr().out
+
+    def test_fail_on_error_accepts_warning_only_workload(self, tmp_path, capsys):
+        workload = tmp_path / "warn.sql"
+        workload.write_text(
+            "SELECT model FROM car WHERE model IN "
+            "(SELECT model FROM mileage);\n"
+        )
+        assert main(["lint", "--fail-on=error", str(workload)]) == 0
+        assert main(["lint", "--fail-on=warning", str(workload)]) == 1
+        capsys.readouterr()
+
+    def test_comments_and_blank_statements_ignored(self, tmp_path, capsys):
+        workload = tmp_path / "w.sql"
+        workload.write_text(
+            "-- a comment only\n"
+            ";\n"
+            "SELECT maker FROM car WHERE maker = 'Kia'; -- trailing\n"
+        )
+        assert main(["lint", str(workload)]) == 0
+        assert "1 statement(s)" in capsys.readouterr().out
+
+    def test_unknown_severity_raises(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            main(["lint", "--fail-on=fatal", str(EXAMPLES / "clean.sql")])
+
+    def test_checkpoint_mode_lints_registered_instances(
+        self, tmp_path, capsys
+    ):
+        from repro.core import CachePortal
+        from repro.web import Configuration, build_site
+        from repro.web.cache import WebCache  # noqa: F401 (import check)
+        from helpers import car_servlets, make_car_db
+
+        site = build_site(
+            Configuration.WEB_CACHE, car_servlets(), database=make_car_db()
+        )
+        portal = CachePortal(site)
+        portal.qiurl_map.add(
+            "SELECT maker FROM car WHERE price < NOW()", "u1", "catalog"
+        )
+        portal.run_invalidation_cycle()
+        path = tmp_path / "portal.ckpt"
+        portal.checkpoint(path)
+        code = main(["lint", "--checkpoint", "--json", str(path)])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert "nondeterministic-function" in payload["distinct_rules"]

@@ -1,0 +1,109 @@
+"""Tests for the repo hygiene lint (``tools/lint_repro.py``)."""
+
+import importlib.util
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+spec = importlib.util.spec_from_file_location(
+    "lint_repro", REPO / "tools" / "lint_repro.py"
+)
+lint_repro = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(lint_repro)
+
+
+def problems_in(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return list(lint_repro.lint_file(path))
+
+
+class TestRules:
+    def test_wall_clock_in_core_flagged(self, tmp_path):
+        problems = problems_in(
+            tmp_path,
+            "core/x.py",
+            "import datetime\nt = datetime.datetime.now()\n",
+        )
+        assert [p.rule for p in problems] == ["no-wall-clock"]
+        assert problems[0].line == 2
+
+    def test_time_time_in_stream_flagged(self, tmp_path):
+        problems = problems_in(
+            tmp_path, "stream/x.py", "import time\nt = time.time()\n"
+        )
+        assert [p.rule for p in problems] == ["no-wall-clock"]
+
+    def test_monotonic_is_allowed(self, tmp_path):
+        assert problems_in(
+            tmp_path, "stream/x.py", "import time\nt = time.monotonic()\n"
+        ) == []
+
+    def test_wall_clock_outside_core_stream_allowed(self, tmp_path):
+        assert problems_in(
+            tmp_path,
+            "sim/x.py",
+            "import datetime\nt = datetime.datetime.now()\n",
+        ) == []
+
+    def test_bare_except_flagged_anywhere(self, tmp_path):
+        problems = problems_in(
+            tmp_path,
+            "web/x.py",
+            "try:\n    pass\nexcept:\n    pass\n",
+        )
+        assert [p.rule for p in problems] == ["no-bare-except"]
+
+    def test_typed_except_allowed(self, tmp_path):
+        assert problems_in(
+            tmp_path,
+            "web/x.py",
+            "try:\n    pass\nexcept ValueError:\n    pass\n",
+        ) == []
+
+    def test_frozen_mutation_in_sql_flagged(self, tmp_path):
+        problems = problems_in(
+            tmp_path,
+            "sql/x.py",
+            "object.__setattr__(node, 'op', 1)\n",
+        )
+        assert [p.rule for p in problems] == ["no-frozen-mutation"]
+
+    def test_frozen_mutation_outside_sql_allowed(self, tmp_path):
+        # dataclass __init__ patterns outside sql/ are legitimate.
+        assert problems_in(
+            tmp_path, "core/x.py", "object.__setattr__(self, 'x', 1)\n"
+        ) == []
+
+    def test_dynamic_exec_flagged(self, tmp_path):
+        problems = problems_in(tmp_path, "db/x.py", "eval('1 + 1')\n")
+        assert [p.rule for p in problems] == ["no-dynamic-exec"]
+
+    def test_method_named_eval_allowed(self, tmp_path):
+        assert problems_in(
+            tmp_path, "db/x.py", "model.eval()\n"
+        ) == []
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        problems = problems_in(tmp_path, "db/x.py", "def broken(:\n")
+        assert [p.rule for p in problems] == ["syntax-error"]
+
+
+class TestTree:
+    def test_src_repro_is_clean(self):
+        problems = lint_repro.lint_tree(REPO / "src" / "repro")
+        assert problems == [], [tuple(p) for p in problems]
+
+    def test_main_exit_status(self, capsys, tmp_path):
+        assert lint_repro.main(["lint_repro", str(REPO / "src" / "repro")]) == 0
+        capsys.readouterr()
+        bad = tmp_path / "core"
+        bad.mkdir()
+        (bad / "x.py").write_text("import time\nt = time.time()\n")
+        assert lint_repro.main(["lint_repro", str(tmp_path)]) == 1
+        assert "no-wall-clock" in capsys.readouterr().out
+
+    def test_missing_directory_is_distinct_error(self, capsys):
+        assert lint_repro.main(["lint_repro", "/nonexistent-dir"]) == 2
+        capsys.readouterr()

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Repo-level hygiene lint for src/repro, using only the stdlib ``ast``.
+
+The SQL-level ``repro lint`` audits *workloads*; this script audits the
+*implementation* for the mistakes that would quietly break the safety
+story the workload lint enforces:
+
+* ``no-wall-clock``: ``datetime.now()`` / ``today()`` / ``utcnow()`` /
+  ``time.time()`` inside ``core/`` or ``stream/`` modules.  Invalidation
+  ordering must come from the logical update-log clock (LSNs) or an
+  injected ``clock`` callable — wall-clock reads make cycles
+  irreproducible and break the deterministic ``NOW()`` gating.
+  (``time.monotonic`` is allowed: it is not a wall clock and is the
+  right primitive for thread-join/drain timeouts.)
+* ``no-bare-except``: a bare ``except:`` swallows ``KeyboardInterrupt``
+  and masks enforcement bugs as cache misses.
+* ``no-frozen-mutation``: ``object.__setattr__`` on anything inside
+  ``sql/`` — the parsed AST is shared between the registry, the
+  predicate index, and the linter, so in-place mutation of frozen nodes
+  corrupts every other reader.
+* ``no-dynamic-exec``: ``eval`` / ``exec`` anywhere.
+
+Exit status is the number of findings (0 = clean), so CI can use it
+directly as a required check::
+
+    python tools/lint_repro.py [src/repro]
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, NamedTuple
+
+WALL_CLOCK_SCOPES = ("core", "stream")
+WALL_CLOCK_METHODS = {"now", "today", "utcnow"}
+
+
+class Problem(NamedTuple):
+    path: Path
+    line: int
+    rule: str
+    message: str
+
+
+def _call_name(node: ast.Call) -> str:
+    """Dotted name of the callee, best-effort (``datetime.datetime.now``)."""
+    parts: List[str] = []
+    target = node.func
+    while isinstance(target, ast.Attribute):
+        parts.append(target.attr)
+        target = target.value
+    if isinstance(target, ast.Name):
+        parts.append(target.id)
+    return ".".join(reversed(parts))
+
+
+def _in_scope(path: Path, scopes) -> bool:
+    return any(scope in path.parts for scope in scopes)
+
+
+def lint_file(path: Path) -> Iterator[Problem]:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        yield Problem(path, exc.lineno or 0, "syntax-error", str(exc.msg))
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield Problem(
+                path,
+                node.lineno,
+                "no-bare-except",
+                "bare 'except:' swallows KeyboardInterrupt and masks "
+                "enforcement bugs; catch a concrete exception type",
+            )
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        leaf = name.rsplit(".", 1)[-1]
+        if leaf in {"eval", "exec"} and leaf == name:
+            yield Problem(
+                path,
+                node.lineno,
+                "no-dynamic-exec",
+                f"'{leaf}' call: dynamic code execution is banned in "
+                "src/repro",
+            )
+        if _in_scope(path, WALL_CLOCK_SCOPES):
+            if (
+                leaf in WALL_CLOCK_METHODS
+                and name.split(".")[0] in {"datetime", "date"}
+            ) or name == "time.time":
+                yield Problem(
+                    path,
+                    node.lineno,
+                    "no-wall-clock",
+                    f"'{name}()' reads the wall clock inside "
+                    f"{'/'.join(p for p in path.parts if p in WALL_CLOCK_SCOPES)}/; "
+                    "use the update-log LSN clock or an injected 'clock' "
+                    "callable",
+                )
+        if name == "object.__setattr__" and "sql" in path.parts:
+            yield Problem(
+                path,
+                node.lineno,
+                "no-frozen-mutation",
+                "object.__setattr__ inside sql/: frozen AST nodes are "
+                "shared across the registry, predicate index, and linter "
+                "— build a new node instead",
+            )
+
+
+def lint_tree(root: Path) -> List[Problem]:
+    problems: List[Problem] = []
+    for path in sorted(root.rglob("*.py")):
+        problems.extend(lint_file(path))
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path("src/repro")
+    if not root.exists():
+        print(f"lint_repro: no such directory: {root}", file=sys.stderr)
+        return 2
+    problems = lint_tree(root)
+    for problem in problems:
+        print(
+            f"{problem.path}:{problem.line}: [{problem.rule}] "
+            f"{problem.message}"
+        )
+    print(f"lint_repro: {len(problems)} problem(s) in {root}")
+    return min(len(problems), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
