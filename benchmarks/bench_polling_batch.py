@@ -1,0 +1,248 @@
+"""Tentpole bench: set-oriented (batched) polling vs per-instance polling.
+
+Under bursty update load a cycle's may-affect candidates are dominated by
+instances of the same polling-query type with different constants (the
+``epa > $1`` join pages of Table 3).  The per-instance path issues one
+``SELECT COUNT(*)`` round trip per candidate; the batch compiler folds
+each type's candidates into ONE delta-join against a VALUES probe.  This
+sweep measures, per candidate count:
+
+* database queries issued (the ≥5× reduction target at ≥10k candidates);
+* wall time to answer every candidate (the ≥3× speedup target);
+* answer equivalence — demultiplexed verdicts match the per-instance
+  oracle bit for bit.
+
+A fixed-size full-cycle stage then runs BOTH consumers (the synchronous
+invalidator and the streaming pipeline) in both arms and asserts
+byte-identical eject sets and counter parity — the bench fails loudly if
+batching ever changes an outcome, not just if it stops being fast.
+
+Scale knob: ``REPRO_BENCH_POLLBATCH_COUNTS`` (default ``1000,10000``) —
+the CI smoke job runs tiny counts.
+"""
+
+import os
+import time
+
+from repro.db import Database
+from repro.sql.parser import parse_statement
+from repro.web.cache import WebCache
+from repro.web.http import CacheControl, HttpResponse
+from repro.core.invalidator import Invalidator
+from repro.core.qiurl import QIURLMap
+
+from conftest import emit
+
+COUNTS = [
+    int(token)
+    for token in os.environ.get(
+        "REPRO_BENCH_POLLBATCH_COUNTS", "1000,10000"
+    ).split(",")
+    if token.strip()
+]
+
+#: Ratio targets, asserted at the largest count of the sweep.
+TARGET_QUERY_REDUCTION = 5.0
+TARGET_SPEEDUP = 3.0
+
+#: Candidate mix: 80% of one join-page type, 20% of a budget-page type —
+#: two batch groups, like a real cycle with a couple of hot templates.
+JOIN_POLL = "SELECT COUNT(*) FROM mileage WHERE mileage.model = 'probe' AND mileage.epa > {}"
+PRICE_POLL = "SELECT COUNT(*) FROM car WHERE car.price < {}"
+
+
+def make_db(rows=400):
+    db = Database()
+    db.execute("CREATE TABLE car (maker TEXT, model TEXT, price INT)")
+    db.execute("CREATE TABLE mileage (model TEXT, epa INT)")
+    for i in range(rows):
+        db.execute(
+            f"INSERT INTO car VALUES ('maker{i % 40}', 'model{i}', {8000 + 37 * i})"
+        )
+        db.execute(f"INSERT INTO mileage VALUES ('model{i}', {i % 60})")
+    db.execute("INSERT INTO mileage VALUES ('probe', 30)")
+    return db
+
+
+def make_tasks(count):
+    """``count`` fully bound polling queries; constants all distinct, so
+    nothing coalesces and every candidate really costs a round trip."""
+    tasks = []
+    for i in range(count):
+        if i % 5 < 4:
+            sql = JOIN_POLL.format(round(i * 60.0 / count, 4))
+        else:
+            sql = PRICE_POLL.format(round(8000 + i * 29000.0 / count, 4))
+        tasks.append((i, parse_statement(sql)))
+    return tasks
+
+
+def fresh_polling_stack(db):
+    invalidator = Invalidator(db, [WebCache()], QIURLMap())
+    invalidator.polling.begin_cycle()
+    return invalidator
+
+
+def run_batched(db, tasks):
+    invalidator = fresh_polling_stack(db)
+    outcomes = invalidator.batch_poller.execute(tasks)
+    stats = invalidator.polling.stats
+    answers = [outcomes[key].impacted for key, _ in tasks]
+    return answers, stats.issued + stats.batched_queries
+
+
+def run_per_instance(db, tasks):
+    invalidator = fresh_polling_stack(db)
+    answers = [
+        invalidator.infomgmt.poll_with_caching(invalidator.polling, query)
+        for _, query in tasks
+    ]
+    return answers, invalidator.polling.stats.issued
+
+
+def timed(fn, repeats):
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def test_polling_batch_sweep():
+    db = make_db()
+    rows = []
+    lines = []
+    for count in COUNTS:
+        tasks = make_tasks(count)
+        repeats = 3 if count <= 10_000 else 1
+        (batched_answers, batched_queries), t_batched = timed(
+            lambda: run_batched(db, tasks), repeats
+        )
+        (oracle_answers, oracle_queries), t_oracle = timed(
+            lambda: run_per_instance(db, tasks), repeats
+        )
+        # Demultiplexed verdicts must match the oracle bit for bit.
+        assert batched_answers == oracle_answers, count
+        reduction = oracle_queries / max(1, batched_queries)
+        speedup = t_oracle / t_batched
+        rows.append(
+            {
+                "candidates": count,
+                "queries_per_instance": oracle_queries,
+                "queries_batched": batched_queries,
+                "query_reduction": round(reduction, 2),
+                "per_instance_ms": round(1000 * t_oracle, 3),
+                "batched_ms": round(1000 * t_batched, 3),
+                "speedup": round(speedup, 2),
+            }
+        )
+        lines.append(
+            f"{count:>7} cand | queries {oracle_queries:>7} -> "
+            f"{batched_queries:>3} ({reduction:7.1f}x) | "
+            f"{1000 * t_oracle:9.1f}ms -> {1000 * t_batched:8.1f}ms "
+            f"({speedup:5.1f}x)"
+        )
+    cycle = full_cycle_parity()
+    emit(
+        "Set-oriented polling — batched vs per-instance sweep",
+        lines
+        + [
+            f"cycle parity | sync ejects {cycle['sync_ejects']} "
+            f"(saved {cycle['sync_round_trips_saved']} round trips), "
+            f"stream ejects {cycle['stream_ejects']} "
+            f"(saved {cycle['stream_round_trips_saved']})",
+        ],
+        data={"rows": rows, "cycle_parity": cycle},
+    )
+    largest = rows[-1]
+    if largest["candidates"] >= 10_000:
+        assert largest["query_reduction"] >= TARGET_QUERY_REDUCTION, largest
+        assert largest["speedup"] >= TARGET_SPEEDUP, largest
+
+
+PARITY_COUNTERS = (
+    "pairs_checked",
+    "unaffected",
+    "affected",
+    "polls_requested",
+    "polls_executed",
+    "polls_impacted",
+    "over_invalidated",
+    "urls_ejected",
+)
+
+
+def cacheable():
+    return HttpResponse(
+        body="page", cache_control=CacheControl.cacheportal_private()
+    )
+
+
+def _pages(cache, qiurl, count):
+    for i in range(count):
+        url = f"u{i}"
+        cache.put(url, cacheable())
+        qiurl.add(
+            "SELECT car.maker FROM car, mileage "
+            "WHERE car.model = mileage.model "
+            f"AND mileage.epa > {round(i * 60.0 / count, 4)}",
+            url,
+            "s",
+        )
+
+
+def full_cycle_parity(pages=300):
+    """Both consumers, both arms: identical ejects, counter for counter."""
+
+    def run_sync(batch_polling):
+        db = make_db(rows=50)
+        cache = WebCache()
+        qiurl = QIURLMap()
+        invalidator = Invalidator(db, [cache], qiurl, batch_polling=batch_polling)
+        _pages(cache, qiurl, pages)
+        db.execute("INSERT INTO car VALUES ('Kia', 'fresh1', 14000)")
+        db.execute("INSERT INTO mileage VALUES ('fresh1', 33)")
+        db.execute("INSERT INTO car VALUES ('Audi', 'fresh2', 41000)")
+        report = invalidator.run_cycle()
+        return sorted(cache.keys()), report
+
+    def run_stream(batch_polling):
+        from repro.stream import StreamingInvalidationPipeline
+
+        db = make_db(rows=50)
+        cache = WebCache()
+        qiurl = QIURLMap()
+        pipeline = StreamingInvalidationPipeline(
+            db, [cache], qiurl, num_shards=2, batch_polling=batch_polling
+        )
+        _pages(cache, qiurl, pages)
+        db.execute("INSERT INTO car VALUES ('Kia', 'fresh1', 14000)")
+        db.execute("INSERT INTO mileage VALUES ('fresh1', 33)")
+        db.execute("INSERT INTO car VALUES ('Audi', 'fresh2', 41000)")
+        pipeline.process_available()
+        return sorted(cache.keys()), pipeline.stats()["workers"]
+
+    sync_batched_keys, sync_batched = run_sync(True)
+    sync_control_keys, sync_control = run_sync(False)
+    assert sync_batched_keys == sync_control_keys
+    for counter in PARITY_COUNTERS:
+        assert getattr(sync_batched, counter) == getattr(
+            sync_control, counter
+        ), counter
+    stream_batched_keys, stream_batched = run_stream(True)
+    stream_control_keys, stream_control = run_stream(False)
+    assert stream_batched_keys == stream_control_keys
+    for counter in PARITY_COUNTERS:
+        if counter == "urls_ejected":  # sync-report-only counter
+            continue
+        assert stream_batched[counter] == stream_control[counter], counter
+    return {
+        "pages": pages,
+        "sync_ejects": sync_batched.urls_ejected,
+        "sync_round_trips_saved": sync_batched.poll_round_trips_saved,
+        "stream_ejects": pages - len(stream_batched_keys),
+        "stream_round_trips_saved": stream_batched["poll_round_trips_saved"],
+    }

@@ -183,6 +183,7 @@ def _run_stream(args: argparse.Namespace) -> int:
         polling_budget=args.polling_budget,
         batch_size=args.batch_size,
         predicate_index=not args.scan,
+        batch_polling=not args.no_batch_polling,
     )
     pipeline.start()
     for i in range(args.pages):
@@ -212,6 +213,12 @@ def _run_stream(args: argparse.Namespace) -> int:
             f"{workers['over_invalidated']} over-invalidated"
         )
         print(
+            f"polling : {workers['batched_queries']} batched queries over "
+            f"{workers['batched_instances']} instances "
+            f"({workers['poll_round_trips_saved']} round trips saved, "
+            f"{workers['demux_misses']} demux misses)"
+        )
+        print(
             f"index   : {workers['pairs_pruned']} pairs pruned in "
             f"{workers['index_probes']} probes "
             f"({workers['probe_time_ms']}ms probing)"
@@ -232,6 +239,110 @@ def _run_stream(args: argparse.Namespace) -> int:
             f"faults  : {bus['retries']} retries, "
             f"{bus['dead_letters']} dead letters, "
             f"{bus['breaker_opens']} breaker opens"
+        )
+    return 0
+
+
+def _build_cycle_site(batch_polling: bool, polling_budget):
+    """The ``stream`` demo's site, but driven by the synchronous portal."""
+    from repro import CachePortal, Configuration, Database, KeySpec, build_site
+    from repro.web import QueryPageServlet
+    from repro.web.servlet import QueryBinding
+
+    db = Database()
+    db.execute("CREATE TABLE product (name TEXT, price INT)")
+    db.execute("CREATE TABLE review (name TEXT, stars INT)")
+    db.execute("INSERT INTO product VALUES ('phone', 800), ('desk', 300)")
+    db.execute("INSERT INTO review VALUES ('phone', 5), ('desk', 4)")
+    servlets = [
+        QueryPageServlet(
+            name="catalog",
+            path="/catalog",
+            queries=[
+                (
+                    "SELECT name, price FROM product WHERE price < ?",
+                    [QueryBinding("get", "max_price", int)],
+                )
+            ],
+            key_spec=KeySpec.make(get_keys=["max_price"]),
+        ),
+        QueryPageServlet(
+            name="reviews",
+            path="/reviews",
+            queries=[
+                (
+                    "SELECT product.name, review.stars FROM product, review "
+                    "WHERE product.name = review.name AND review.stars > ?",
+                    [QueryBinding("get", "min_stars", int)],
+                )
+            ],
+            key_spec=KeySpec.make(get_keys=["min_stars"]),
+        ),
+    ]
+    site = build_site(Configuration.WEB_CACHE, servlets, database=db)
+    portal = CachePortal(
+        site,
+        polling_budget=polling_budget,
+        batch_polling=batch_polling,
+    )
+    return db, site, portal
+
+
+def _run_cycle(args: argparse.Namespace) -> int:
+    """Run synchronous invalidation cycles and print their reports —
+    the A/B entry point for set-oriented vs per-instance polling."""
+    import dataclasses
+    import json
+
+    db, site, portal = _build_cycle_site(
+        batch_polling=not args.no_batch_polling,
+        polling_budget=args.polling_budget,
+    )
+    reports = []
+    for cycle in range(args.cycles):
+        for i in range(args.pages):
+            site.get(f"/catalog?max_price={500 + 100 * i}")
+            site.get(f"/reviews?min_stars={1 + i % 4}")
+        for i in range(args.updates):
+            db.execute(
+                f"INSERT INTO product VALUES ('gadget{cycle}_{i}', {400 + i})"
+            )
+            if i % 3 == 0:
+                db.execute(
+                    f"INSERT INTO review VALUES ('gadget{cycle}_{i}', {1 + i % 5})"
+                )
+        reports.append(portal.run_invalidation_cycle())
+    status = portal.status()
+    if args.json:
+        payload = {
+            "batch_polling": not args.no_batch_polling,
+            "cycles": [dataclasses.asdict(report) for report in reports],
+            "status": status,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        arm = "per-instance" if args.no_batch_polling else "set-oriented"
+        print(f"portal  : {args.cycles} cycle(s), {arm} polling")
+        for index, report in enumerate(reports, start=1):
+            print(
+                f"cycle {index} : {report.records_processed} records, "
+                f"{report.pairs_checked} pairs checked, "
+                f"{report.polls_executed} polled, "
+                f"{report.urls_ejected} urls ejected"
+            )
+            print(
+                f"          {report.batched_queries} batched queries over "
+                f"{report.batched_instances} instances "
+                f"({report.poll_round_trips_saved} round trips saved, "
+                f"{report.demux_misses} demux misses)"
+            )
+        invalidator = status["invalidator"]
+        print(
+            f"totals  : {invalidator['polls_issued']} per-instance polls, "
+            f"{invalidator['batched_queries']} batched queries, "
+            f"{invalidator['poll_round_trips_saved']} round trips saved, "
+            f"{invalidator['polls_coalesced']} coalesced, "
+            f"{invalidator['poll_cache_hits']} cache hits"
         )
     return 0
 
@@ -465,7 +576,28 @@ def build_parser() -> argparse.ArgumentParser:
                           help="emit the raw stats() snapshot as JSON")
     p_stream.add_argument("--scan", action="store_true",
                           help="disable the predicate index (full scan)")
+    p_stream.add_argument("--no-batch-polling", action="store_true",
+                          help="per-instance polling control arm (disable "
+                               "set-oriented delta-join batching)")
     p_stream.set_defaults(func=_run_stream)
+
+    p_cycle = sub.add_parser(
+        "cycle", help="run synchronous invalidation cycles on a demo portal"
+    )
+    p_cycle.add_argument("--pages", type=int, default=12,
+                         help="pages to cache before the update burst")
+    p_cycle.add_argument("--updates", type=int, default=50,
+                         help="updates to apply before each cycle")
+    p_cycle.add_argument("--cycles", type=int, default=2,
+                         help="invalidation cycles to run (default 2)")
+    p_cycle.add_argument("--polling-budget", type=int, default=None,
+                         help="max polling round trips per cycle")
+    p_cycle.add_argument("--no-batch-polling", action="store_true",
+                         help="per-instance polling control arm (disable "
+                              "set-oriented delta-join batching)")
+    p_cycle.add_argument("--json", action="store_true",
+                         help="emit per-cycle reports and portal status as JSON")
+    p_cycle.set_defaults(func=_run_cycle)
 
     p_audit = sub.add_parser(
         "audit", help="crash/restart staleness audit of checkpoint recovery"

@@ -26,6 +26,7 @@ from repro.db.matview import MaterializedViewManager
 from repro.web.cache import WebCache
 from repro.core.qiurl import QIURLMap
 from repro.core.invalidator.analysis import IndependenceChecker, Verdict, VerdictKind
+from repro.core.invalidator.batchpoll import BatchPollExecutor, batch_key
 from repro.core.invalidator.generator import InvalidationMessageGenerator
 from repro.core.invalidator.infomgmt import InformationManager
 from repro.core.invalidator.policies import InvalidationPolicy, PolicyEngine
@@ -72,6 +73,17 @@ class InvalidationReport:
     fallback_ejects: int = 0
     poll_only_checks: int = 0
     lint_findings: int = 0
+    #: Set-oriented polling (this cycle): delta-join queries issued, the
+    #: instances folded into them, and demultiplexed ids that matched no
+    #: pending instance (always 0 unless the engine misbehaves).
+    batched_queries: int = 0
+    batched_instances: int = 0
+    demux_misses: int = 0
+
+    @property
+    def poll_round_trips_saved(self) -> int:
+        """Per-instance round trips this cycle's batching avoided."""
+        return max(0, self.batched_instances - self.batched_queries)
 
     @property
     def precision_saved(self) -> int:
@@ -104,6 +116,7 @@ class Invalidator:
         use_data_cache: bool = False,
         grouped_analysis: bool = True,
         predicate_index: bool = True,
+        batch_polling: bool = True,
         servlet_deadline: Optional[Callable[[str], float]] = None,
         safety_enforcement: bool = True,
     ) -> None:
@@ -137,6 +150,12 @@ class Invalidator:
             database, self.policy_engine, use_data_cache=use_data_cache
         )
         self.polling = self.infomgmt.polling_generator()
+        # Set-oriented polling: fold a cycle's may-affect checks into one
+        # delta-join query per polling-query type.  The per-instance path
+        # stays available as the A/B control arm (and the oracle the
+        # batched verdicts are property-tested against).
+        self.batch_polling = batch_polling
+        self.batch_poller = BatchPollExecutor(self.infomgmt, self.polling)
         self.messages = InvalidationMessageGenerator(caches)
         self.qiurl_map = qiurl_map
         #: Resolver: servlet name → temporal sensitivity in ms (§3.1).
@@ -284,35 +303,46 @@ class Invalidator:
                 cost=task.instance.query_type.cost,
                 urls_at_stake=len(task.instance.urls),
                 deadline_ms=self._deadline_for(task.instance),
+                batch_key=(
+                    batch_key(task.verdict.polling_query)
+                    if self.batch_polling
+                    else None
+                ),
             )
             for index, task in enumerate(poll_tasks)
         ]
         schedule = self.scheduler.schedule(candidates)
         self.polling.begin_cycle()
-        for candidate in schedule.to_poll:
-            task = poll_tasks[candidate.key]
-            if task.instance.instance_id in doomed_instances:
-                continue
-            work_before = self.polling.stats.total_work_units
-            impacted = self.infomgmt.poll_with_caching(
-                self.polling, task.verdict.polling_query
+        if self.batch_polling:
+            self._run_batched_polls(
+                schedule, poll_tasks, doomed_instances, urls_to_eject,
+                report, elapsed_ms,
             )
-            report.polls_executed += 1
-            query_type = task.instance.query_type
-            query_type.stats.polling_queries_issued += 1
-            # Self-tuning cost estimate (§4.1.1 item 4): an exponential
-            # moving average of measured polling work feeds the
-            # scheduler's cost-budget decisions in later cycles.
-            poll_work = self.polling.stats.total_work_units - work_before
-            if poll_work > 0:
-                query_type.cost = 0.8 * query_type.cost + 0.2 * poll_work
-            if impacted:
-                report.polls_impacted += 1
-                task.instance.query_type.stats.record_invalidation(
-                    elapsed=elapsed_ms()
+        else:
+            for candidate in schedule.to_poll:
+                task = poll_tasks[candidate.key]
+                if task.instance.instance_id in doomed_instances:
+                    continue
+                work_before = self.polling.stats.total_work_units
+                impacted = self.infomgmt.poll_with_caching(
+                    self.polling, task.verdict.polling_query
                 )
-                urls_to_eject.update(task.instance.urls)
-                doomed_instances[task.instance.instance_id] = task.instance
+                report.polls_executed += 1
+                query_type = task.instance.query_type
+                query_type.stats.polling_queries_issued += 1
+                # Self-tuning cost estimate (§4.1.1 item 4): an exponential
+                # moving average of measured polling work feeds the
+                # scheduler's cost-budget decisions in later cycles.
+                poll_work = self.polling.stats.total_work_units - work_before
+                if poll_work > 0:
+                    query_type.cost = 0.8 * query_type.cost + 0.2 * poll_work
+                if impacted:
+                    report.polls_impacted += 1
+                    task.instance.query_type.stats.record_invalidation(
+                        elapsed=elapsed_ms()
+                    )
+                    urls_to_eject.update(task.instance.urls)
+                    doomed_instances[task.instance.instance_id] = task.instance
         for candidate in schedule.over_invalidate:
             task = poll_tasks[candidate.key]
             if task.instance.instance_id in doomed_instances:
@@ -336,6 +366,58 @@ class Invalidator:
         self.policy_engine.discover(self.registry)
         self._finish_report(report)
         return report
+
+    def _run_batched_polls(
+        self,
+        schedule,
+        poll_tasks: List["_PollTask"],
+        doomed_instances: Dict[int, QueryInstance],
+        urls_to_eject: Set[str],
+        report: InvalidationReport,
+        elapsed_ms: Callable[[], float],
+    ) -> None:
+        """Set-oriented arm of the poll phase: one delta-join per group.
+
+        The schedule is applied in the same order as the per-instance arm;
+        tasks whose instance a batch result already doomed are skipped at
+        apply time (uncounted, exactly as the sequential loop skips them),
+        so eject sets and report counters line up between arms.
+        """
+        stats = self.polling.stats
+        batched_before = (
+            stats.batched_queries, stats.batched_instances, stats.demux_misses
+        )
+        pending = [
+            (candidate.key, poll_tasks[candidate.key].verdict.polling_query)
+            for candidate in schedule.to_poll
+            if poll_tasks[candidate.key].instance.instance_id
+            not in doomed_instances
+        ]
+        outcomes = self.batch_poller.execute(pending)
+        for candidate in schedule.to_poll:
+            task = poll_tasks[candidate.key]
+            if task.instance.instance_id in doomed_instances:
+                continue
+            outcome = outcomes.get(candidate.key)
+            if outcome is None:  # pragma: no cover - defensive
+                continue
+            report.polls_executed += 1
+            query_type = task.instance.query_type
+            query_type.stats.polling_queries_issued += 1
+            # The same self-tuning EMA as the per-instance arm, fed the
+            # task's amortized share of the batch's measured work.
+            if outcome.work_units > 0:
+                query_type.cost = (
+                    0.8 * query_type.cost + 0.2 * outcome.work_units
+                )
+            if outcome.impacted:
+                report.polls_impacted += 1
+                query_type.stats.record_invalidation(elapsed=elapsed_ms())
+                urls_to_eject.update(task.instance.urls)
+                doomed_instances[task.instance.instance_id] = task.instance
+        report.batched_queries += stats.batched_queries - batched_before[0]
+        report.batched_instances += stats.batched_instances - batched_before[1]
+        report.demux_misses += stats.demux_misses - batched_before[2]
 
     def _enforce_safety(
         self,

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.sql import ast
-from repro.sql.printer import to_sql
+from repro.sql.params import polling_key
 from repro.db.engine import Database
 
 
@@ -31,6 +31,15 @@ class PollingStats:
     coalesced: int = 0
     cache_hits: int = 0
     total_work_units: int = 0
+    # Set-oriented (batched) polling: round-trip accounting.
+    batched_queries: int = 0
+    batched_instances: int = 0
+    demux_misses: int = 0
+
+    @property
+    def poll_round_trips_saved(self) -> int:
+        """Per-instance round trips avoided by folding tasks into batches."""
+        return max(0, self.batched_instances - self.batched_queries)
 
 
 class PollingQueryGenerator:
@@ -45,25 +54,40 @@ class PollingQueryGenerator:
     def __init__(self, database: Database) -> None:
         self.database = database
         self.stats = PollingStats()
-        self._cycle_results: Dict[str, bool] = {}
+        self._cycle_results: Dict[Tuple[str, Tuple], bool] = {}
 
     def begin_cycle(self) -> None:
         """Reset per-cycle coalescing state."""
         self._cycle_results = {}
+
+    def cycle_result(self, query: ast.Select) -> Optional[bool]:
+        """This cycle's memoized outcome for an equivalent query, if any."""
+        return self._cycle_results.get(polling_key(query))
+
+    def record_cycle_result(self, query: ast.Select, impacted: bool) -> None:
+        """Memoize an outcome obtained elsewhere (e.g. a batched poll) so
+        later per-instance polls of an equivalent query coalesce onto it."""
+        self._cycle_results[polling_key(query)] = impacted
 
     def poll(self, query: ast.Select) -> bool:
         """True when the polling query returns a non-empty/positive result.
 
         The generator emits ``SELECT COUNT(*) ...`` queries, so "impact"
         means a count greater than zero.
+
+        Coalescing (§4.2.2) keys the cycle memo by the canonical
+        (type signature, bindings) pair, not printed SQL: literal/``?``/
+        ``$n`` spellings and formatting variants of the same selection
+        coalesce, while equal-looking queries with different constants
+        never do.
         """
-        sql = to_sql(query)
-        if sql in self._cycle_results:
+        key = polling_key(query)
+        if key in self._cycle_results:
             self.stats.coalesced += 1
-            return self._cycle_results[sql]
+            return self._cycle_results[key]
         result = self.database.execute(query)
         self.stats.issued += 1
         self.stats.total_work_units += result.work_units
         impacted = bool(result.rows) and bool(result.rows[0][0])
-        self._cycle_results[sql] = impacted
+        self._cycle_results[key] = impacted
         return impacted

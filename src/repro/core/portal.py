@@ -60,6 +60,7 @@ class CachePortal:
         polling_budget: Optional[int] = None,
         max_staleness_ms: float = 1000.0,
         use_data_cache: bool = False,
+        batch_polling: bool = True,
         safety_enforcement: bool = True,
         clock: Optional[Callable[[], float]] = None,
     ) -> None:
@@ -89,6 +90,7 @@ class CachePortal:
             policy=policy,
             polling_budget=polling_budget,
             use_data_cache=use_data_cache,
+            batch_polling=batch_polling,
             servlet_deadline=self._servlet_deadline,
             safety_enforcement=safety_enforcement,
         )
@@ -195,6 +197,13 @@ class CachePortal:
                 "polls_issued": invalidator.polling.stats.issued,
                 "polls_coalesced": invalidator.polling.stats.coalesced,
                 "poll_cache_hits": invalidator.polling.stats.cache_hits,
+                "batch_polling": invalidator.batch_polling,
+                "batched_queries": invalidator.polling.stats.batched_queries,
+                "batched_instances": invalidator.polling.stats.batched_instances,
+                "demux_misses": invalidator.polling.stats.demux_misses,
+                "poll_round_trips_saved": (
+                    invalidator.polling.stats.poll_round_trips_saved
+                ),
                 "over_invalidated_total": invalidator.scheduler.total_over_invalidated,
                 "last_cycle": None
                 if last is None

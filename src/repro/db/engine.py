@@ -336,9 +336,10 @@ class Database:
         def visit(source: ast.FromSource) -> None:
             if isinstance(source, ast.TableRef):
                 names.append(source.name)
-            else:
+            elif isinstance(source, ast.Join):
                 visit(source.left)
                 visit(source.right)
+            # ValuesSource carries its own rows; nothing to validate.
 
         for source in statement.sources:
             visit(source)

@@ -45,8 +45,12 @@ def execute(node: plan.PlanNode, context: ExecutionContext) -> Tuple[Scope, List
 def _execute(node: plan.PlanNode, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
     if isinstance(node, plan.TableScan):
         return _table_scan(node, context)
+    if isinstance(node, plan.ValuesScan):
+        return _values_scan(node, context)
     if isinstance(node, plan.IndexEqLookup):
         return _index_eq(node, context)
+    if isinstance(node, plan.IndexInLookup):
+        return _index_in(node, context)
     if isinstance(node, plan.IndexRangeScan):
         return _index_range(node, context)
     if isinstance(node, plan.Filter):
@@ -57,6 +61,10 @@ def _execute(node: plan.PlanNode, context: ExecutionContext) -> Tuple[Scope, Ite
         return _hash_join(node, context)
     if isinstance(node, plan.LeftOuterJoin):
         return _left_join(node, context)
+    if isinstance(node, plan.SemiJoin):
+        return _semi_join(node, context)
+    if isinstance(node, plan.HashSemiJoin):
+        return _hash_semi_join(node, context)
     if isinstance(node, plan.Project):
         return _project(node, context)
     if isinstance(node, plan.Aggregate):
@@ -88,6 +96,18 @@ def _table_scan(node: plan.TableScan, context: ExecutionContext) -> Tuple[Scope,
     return scope, rows()
 
 
+def _values_scan(node: plan.ValuesScan, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+    scope = Scope([(node.binding, list(node.columns))])
+    empty_scope = Scope([])
+
+    def rows() -> Iterator[Row]:
+        for row in node.rows:
+            context.charge_rows()
+            yield tuple(evaluate(value, (), empty_scope) for value in row)
+
+    return scope, rows()
+
+
 def _index_eq(node: plan.IndexEqLookup, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
     database = context.database
     table = database.heap(node.table)
@@ -100,6 +120,35 @@ def _index_eq(node: plan.IndexEqLookup, context: ExecutionContext) -> Tuple[Scop
 
     def rows() -> Iterator[Row]:
         for rowid in rowids:
+            row = table.get(rowid)
+            if row is not None:
+                yield row
+
+    return scope, rows()
+
+
+def _index_in(node: plan.IndexInLookup, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+    database = context.database
+    table = database.heap(node.table)
+    scope = Scope([(node.binding, table.schema.column_names)])
+    index = database.index(node.index_name)
+    empty_scope = Scope([])
+    rowids: set = set()
+    seen_values: set = set()
+    for value_expr in node.values:
+        value = evaluate(value_expr, (), empty_scope)
+        if value is None:
+            continue  # IN never matches NULL list entries
+        if value in seen_values:
+            continue
+        seen_values.add(value)
+        context.charge_probe()
+        rowids |= index.lookup((value,))
+    ordered = sorted(rowids)
+    context.charge_rows(len(ordered))
+
+    def rows() -> Iterator[Row]:
+        for rowid in ordered:
             row = table.get(rowid)
             if row is not None:
                 yield row
@@ -192,6 +241,51 @@ def _hash_join(node: plan.HashJoin, context: ExecutionContext) -> Tuple[Scope, I
                     yield combined
 
     return scope, rows()
+
+
+def _semi_join(node: plan.SemiJoin, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+    left_scope, left_rows = _execute(node.left, context)
+    right_scope, right_rows = _execute(node.right, context)
+    right_materialized = list(right_rows)
+    combined_scope = _combined_scope(left_scope, right_scope)
+
+    def rows() -> Iterator[Row]:
+        for left_row in left_rows:
+            for right_row in right_materialized:
+                context.charge_rows()
+                combined = left_row + right_row
+                if node.on is None or passes(node.on, combined, combined_scope):
+                    yield left_row
+                    break  # existence established: stop probing
+
+    return left_scope, rows()
+
+
+def _hash_semi_join(node: plan.HashSemiJoin, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+    left_scope, left_rows = _execute(node.left, context)
+    right_scope, right_rows = _execute(node.right, context)
+    combined_scope = _combined_scope(left_scope, right_scope)
+
+    buckets: Dict[Value, List[Row]] = {}
+    for right_row in right_rows:
+        key = evaluate(node.right_key, right_row, right_scope)
+        if key is None:
+            continue  # NULL keys never join
+        buckets.setdefault(key, []).append(right_row)
+
+    def rows() -> Iterator[Row]:
+        for left_row in left_rows:
+            key = evaluate(node.left_key, left_row, left_scope)
+            if key is None:
+                continue
+            for right_row in buckets.get(key, ()):
+                context.charge_rows()
+                combined = left_row + right_row
+                if node.residual is None or passes(node.residual, combined, combined_scope):
+                    yield left_row
+                    break
+
+    return left_scope, rows()
 
 
 def _left_join(node: plan.LeftOuterJoin, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:

@@ -23,10 +23,20 @@ def _describe(node: plan.PlanNode) -> str:
         if node.binding != node.table:
             label += f" AS {node.binding}"
         return label + ")"
+    if isinstance(node, plan.ValuesScan):
+        return (
+            f"ValuesScan({node.binding}: {len(node.rows)} rows x "
+            f"{len(node.columns)} cols)"
+        )
     if isinstance(node, plan.IndexEqLookup):
         return (
             f"IndexEqLookup({node.table}.{node.column} = {to_sql(node.value)} "
             f"USING {node.index_name})"
+        )
+    if isinstance(node, plan.IndexInLookup):
+        return (
+            f"IndexInLookup({node.table}.{node.column} IN "
+            f"[{len(node.values)} values] USING {node.index_name})"
         )
     if isinstance(node, plan.IndexRangeScan):
         bounds = []
@@ -53,6 +63,14 @@ def _describe(node: plan.PlanNode) -> str:
     if isinstance(node, plan.LeftOuterJoin):
         condition = to_sql(node.on) if node.on is not None else "TRUE"
         return f"LeftOuterJoin(on {condition})"
+    if isinstance(node, plan.SemiJoin):
+        condition = to_sql(node.on) if node.on is not None else "TRUE"
+        return f"SemiJoin(on {condition})"
+    if isinstance(node, plan.HashSemiJoin):
+        label = f"HashSemiJoin({to_sql(node.left_key)} = {to_sql(node.right_key)}"
+        if node.residual is not None:
+            label += f", residual {to_sql(node.residual)}"
+        return label + ")"
     if isinstance(node, plan.Project):
         items = ", ".join(
             to_sql(item.expr) + (f" AS {item.alias}" if item.alias else "")
@@ -81,7 +99,16 @@ def _describe(node: plan.PlanNode) -> str:
 
 
 def _children(node: plan.PlanNode) -> List[plan.PlanNode]:
-    if isinstance(node, (plan.NestedLoopJoin, plan.HashJoin, plan.LeftOuterJoin)):
+    if isinstance(
+        node,
+        (
+            plan.NestedLoopJoin,
+            plan.HashJoin,
+            plan.LeftOuterJoin,
+            plan.SemiJoin,
+            plan.HashSemiJoin,
+        ),
+    ):
         return [node.left, node.right]
     child = getattr(node, "child", None)
     return [child] if child is not None else []

@@ -51,6 +51,30 @@ class IndexEqLookup(PlanNode):
 
 
 @dataclass
+class ValuesScan(PlanNode):
+    """Inline derived table: constant rows under a binding name."""
+
+    binding: str
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple[ast.Expr, ...], ...]
+
+
+@dataclass
+class IndexInLookup(PlanNode):
+    """IN-list membership via hashed probes: ``binding.column IN (consts)``.
+
+    One equality-index probe per distinct list value, rowids unioned —
+    sub-linear in table size, linear in list length.
+    """
+
+    table: str
+    binding: str
+    index_name: str
+    column: str
+    values: Tuple[ast.Expr, ...]  # constant expressions
+
+
+@dataclass
 class IndexRangeScan(PlanNode):
     """Range probe into a sorted index."""
 
@@ -95,6 +119,28 @@ class LeftOuterJoin(PlanNode):
     left: PlanNode
     right: PlanNode
     on: Optional[ast.Expr] = None
+
+
+@dataclass
+class SemiJoin(PlanNode):
+    """Existential join: a left row passes iff ≥1 right row satisfies
+    ``on``; right columns never reach the output."""
+
+    left: PlanNode
+    right: PlanNode
+    on: Optional[ast.Expr] = None
+
+
+@dataclass
+class HashSemiJoin(PlanNode):
+    """Existential equi-join: build on ``right_key``, probe with
+    ``left_key``, emit the left row at the first residual match."""
+
+    left: PlanNode
+    right: PlanNode
+    left_key: ast.Expr
+    right_key: ast.Expr
+    residual: Optional[ast.Expr] = None
 
 
 @dataclass
@@ -206,17 +252,18 @@ class Planner:
                 for conj in where_conjuncts
             ]
 
-        node: Optional[PlanNode] = None
-        joined: List[str] = []
-        for source in stmt.sources:
-            source_node, source_bindings = self._plan_source(
-                source, binding_to_table, where_conjuncts, joined
-            )
-            if node is None:
-                node = source_node
-            else:
-                node = self._join(node, joined, source_node, source_bindings, where_conjuncts)
-            joined.extend(source_bindings)
+        node = self._try_semi_join(stmt, binding_to_table, where_conjuncts)
+        if node is None:
+            joined: List[str] = []
+            for source in stmt.sources:
+                source_node, source_bindings = self._plan_source(
+                    source, binding_to_table, where_conjuncts, joined
+                )
+                if node is None:
+                    node = source_node
+                else:
+                    node = self._join(node, joined, source_node, source_bindings, where_conjuncts)
+                joined.extend(source_bindings)
 
         # Remaining conjuncts become a filter on top.
         remaining = [conj.expr for conj in where_conjuncts if not conj.consumed]
@@ -238,7 +285,7 @@ class Planner:
         mapping: Dict[str, str] = {}
 
         def visit(source: ast.FromSource) -> None:
-            if isinstance(source, ast.TableRef):
+            if isinstance(source, (ast.TableRef, ast.ValuesSource)):
                 binding = source.binding.lower()
                 if binding in mapping:
                     raise CatalogError(f"duplicate table binding {binding!r}")
@@ -262,6 +309,12 @@ class Planner:
             binding = source.binding.lower()
             node = self._access_path(source.name.lower(), binding, where_conjuncts)
             return node, [binding]
+        if isinstance(source, ast.ValuesSource):
+            binding = source.binding.lower()
+            node = ValuesScan(
+                binding, tuple(col.lower() for col in source.columns), source.rows
+            )
+            return node, [binding]
         # Explicit join tree.
         left_node, left_bindings = self._plan_source(
             source.left, binding_to_table, where_conjuncts, already_joined
@@ -276,6 +329,77 @@ class Planner:
         else:
             node = self._inner_join_node(left_node, left_bindings, right_node, right_bindings, source.on)
         return node, left_bindings + right_bindings
+
+    def _try_semi_join(
+        self,
+        stmt: ast.Select,
+        binding_to_table: Dict[str, str],
+        where_conjuncts: List[_Conjunct],
+    ) -> Optional[PlanNode]:
+        """Plan ``SELECT DISTINCT first.cols FROM first, rest WHERE …`` as
+        a semi join: only the first source reaches the output, so the rest
+        of the FROM list merely decides *existence* and the join can stop
+        at the first match per left row.  This is the shape of the batch
+        polling query, whose first source is the VALUES probe table.
+        """
+        if not stmt.distinct or len(stmt.sources) < 2:
+            return None
+        if stmt.group_by or stmt.having is not None or stmt.order_by:
+            return None
+        first = stmt.sources[0]
+        if not isinstance(first, (ast.TableRef, ast.ValuesSource)):
+            return None
+        left_binding = first.binding.lower()
+        for item in stmt.items:
+            expr = item.expr
+            if not isinstance(expr, ast.ColumnRef):
+                return None
+            if expr.table is None or expr.table.lower() != left_binding:
+                return None
+        # Every conjunct must be attributable to known bindings before any
+        # planning state is mutated; bail to the general path otherwise.
+        known = set(binding_to_table)
+        for conj in where_conjuncts:
+            if not conj.bindings <= known:
+                return None
+
+        left_node, left_bindings = self._plan_source(
+            first, binding_to_table, where_conjuncts, []
+        )
+        left_set = set(left_bindings)
+        right_node: Optional[PlanNode] = None
+        right_bindings: List[str] = []
+        for source in stmt.sources[1:]:
+            source_node, source_bs = self._plan_source(
+                source, binding_to_table, where_conjuncts, right_bindings
+            )
+            if right_node is None:
+                right_node = source_node
+            else:
+                right_node = self._join(
+                    right_node, right_bindings, source_node, source_bs, where_conjuncts
+                )
+            right_bindings.extend(source_bs)
+        right_set = set(right_bindings)
+
+        mixed: List[ast.Expr] = []
+        for conj in where_conjuncts:
+            if conj.consumed:
+                continue
+            conj.consumed = True
+            if conj.bindings <= left_set:
+                left_node = Filter(left_node, conj.expr)
+            elif conj.bindings <= right_set:
+                right_node = Filter(right_node, conj.expr)
+            else:
+                mixed.append(conj.expr)
+
+        for index, part in enumerate(mixed):
+            keys = self._equi_join_keys(part, left_set, right_set)
+            if keys is not None:
+                residual = _conjoin(mixed[:index] + mixed[index + 1 :])
+                return HashSemiJoin(left_node, right_node, keys[0], keys[1], residual)
+        return SemiJoin(left_node, right_node, _conjoin(mixed))
 
     def _inner_join_node(
         self,
@@ -351,6 +475,14 @@ class Planner:
             if probe is not None:
                 conj.consumed = True
                 return probe
+        # IN-lists: one hashed probe per list value.
+        for conj in where_conjuncts:
+            if conj.consumed or conj.bindings != frozenset({binding}):
+                continue
+            probe = self._match_in_list(table, binding, conj.expr)
+            if probe is not None:
+                conj.consumed = True
+                return probe
         # Then a range scan.
         for conj in where_conjuncts:
             if conj.consumed or conj.bindings != frozenset({binding}):
@@ -373,6 +505,21 @@ class Planner:
         if index_name is None:
             return None
         return IndexEqLookup(table, binding, index_name, column.column.lower(), value)
+
+    def _match_in_list(
+        self, table: str, binding: str, expr: ast.Expr
+    ) -> Optional[IndexInLookup]:
+        if not isinstance(expr, ast.InList) or expr.negated:
+            return None
+        if not isinstance(expr.expr, ast.ColumnRef):
+            return None
+        if not all(_is_constant(item) for item in expr.items):
+            return None
+        column = expr.expr.column.lower()
+        index_name = self.catalog.equality_index(table, column)
+        if index_name is None:
+            return None
+        return IndexInLookup(table, binding, index_name, column, expr.items)
 
     def _match_range(
         self, table: str, binding: str, expr: ast.Expr

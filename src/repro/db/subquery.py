@@ -78,7 +78,7 @@ class SubqueryResolver:
         )
 
     def _rewrite_source(self, source: ast.FromSource) -> ast.FromSource:
-        if isinstance(source, ast.TableRef):
+        if isinstance(source, (ast.TableRef, ast.ValuesSource)):
             return source
         on = self._rewrite(source.on) if source.on is not None else None
         return ast.Join(

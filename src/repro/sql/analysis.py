@@ -65,9 +65,26 @@ def conjoin(parts: List[ast.Expr]) -> Optional[ast.Expr]:
 def _collect_sources(source: ast.FromSource, refs: List[ast.TableRef]) -> None:
     if isinstance(source, ast.TableRef):
         refs.append(source)
-    else:
+    elif isinstance(source, ast.Join):
         _collect_sources(source.left, refs)
         _collect_sources(source.right, refs)
+    # ValuesSource: an inline derived table, not a base-table reference.
+
+
+def values_sources(stmt: ast.Select) -> List[ast.ValuesSource]:
+    """All inline VALUES derived tables in FROM, in source order."""
+    found: List[ast.ValuesSource] = []
+
+    def visit(source: ast.FromSource) -> None:
+        if isinstance(source, ast.ValuesSource):
+            found.append(source)
+        elif isinstance(source, ast.Join):
+            visit(source.left)
+            visit(source.right)
+
+    for source in stmt.sources:
+        visit(source)
+    return found
 
 
 def table_refs(stmt: ast.Select) -> List[ast.TableRef]:

@@ -243,7 +243,26 @@ class Join:
     on: Optional[Expr] = None
 
 
-FromSource = Union[TableRef, Join]
+@dataclass(frozen=True)
+class ValuesSource:
+    """An inline derived table: ``(VALUES (...), ...) AS name (col, ...)``.
+
+    Each row is a tuple of constant expressions; every row must have
+    ``len(columns)`` entries.  The batch polling compiler uses this to
+    ship per-instance probe parameters into one set-oriented query.
+    """
+
+    rows: Tuple[Tuple[Expr, ...], ...]
+    name: str
+    columns: Tuple[str, ...]
+
+    @property
+    def binding(self) -> str:
+        """The name the derived table is visible under inside the query."""
+        return self.name
+
+
+FromSource = Union[TableRef, Join, ValuesSource]
 
 
 @dataclass(frozen=True)

@@ -184,7 +184,9 @@ class _Renumberer:
 
 
 def _rewrite_source(source: ast.FromSource, rewrite: Callable[[ast.Expr], ast.Expr]) -> ast.FromSource:
-    if isinstance(source, ast.TableRef):
+    if isinstance(source, (ast.TableRef, ast.ValuesSource)):
+        # VALUES rows are instance payload (probe parameters), never part
+        # of the query type's selection structure — leave them inline.
         return source
     on = rewrite(source.on) if source.on is not None else None
     return ast.Join(
@@ -256,6 +258,23 @@ def parameterize(stmt) -> ParameterizedQuery:
         bindings=bindings,
         signature=to_sql(template),
     )
+
+
+def polling_key(stmt: Union[ast.Select, ast.Union]) -> Tuple[str, Tuple[Value, ...]]:
+    """Canonical identity of a *bound* query: (type signature, bindings).
+
+    Two polling queries coalesce exactly when they select the same data —
+    same parameterized template AND same constants.  Keying a cycle's
+    result memo by printed SQL misses equivalent spellings (``price <
+    20000`` vs ``price < 20000.0`` print differently; alias or literal
+    formatting differences likewise), while keying by signature alone
+    would wrongly merge different constants.  This key recovers the former
+    without the latter: bindings are compared with Python equality, which
+    matches SQL numeric equality for the int/float values that reach the
+    invalidator.
+    """
+    parameterized = parameterize(stmt)
+    return parameterized.signature, parameterized.bindings
 
 
 class _Binder:

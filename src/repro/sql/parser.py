@@ -289,11 +289,11 @@ class Parser:
         return sources
 
     def _join_chain(self) -> ast.FromSource:
-        left: ast.FromSource = self._table_ref()
+        left: ast.FromSource = self._from_item()
         while True:
             if self._keyword("CROSS"):
                 self._expect(TokenKind.KEYWORD, "JOIN")
-                right = self._table_ref()
+                right = self._from_item()
                 left = ast.Join(ast.JoinKind.CROSS, left, right)
                 continue
             kind = None
@@ -307,10 +307,41 @@ class Parser:
             if kind is None:
                 return left
             self._expect(TokenKind.KEYWORD, "JOIN")
-            right = self._table_ref()
+            right = self._from_item()
             self._expect(TokenKind.KEYWORD, "ON")
             on = self._expr()
             left = ast.Join(kind, left, right, on)
+
+    def _from_item(self) -> ast.FromSource:
+        if self._check(TokenKind.PUNCT, "(") and self._peek(1).matches(
+            TokenKind.KEYWORD, "VALUES"
+        ):
+            return self._values_source()
+        return self._table_ref()
+
+    def _values_source(self) -> ast.ValuesSource:
+        """``( VALUES (expr, ...), ... ) AS name (col, ...)``."""
+        self._expect(TokenKind.PUNCT, "(")
+        self._expect(TokenKind.KEYWORD, "VALUES")
+        rows = [self._value_row()]
+        while self._accept(TokenKind.PUNCT, ","):
+            rows.append(self._value_row())
+        self._expect(TokenKind.PUNCT, ")")
+        self._keyword("AS")
+        name = self._expect(TokenKind.IDENTIFIER).value
+        self._expect(TokenKind.PUNCT, "(")
+        columns = [self._expect(TokenKind.IDENTIFIER).value]
+        while self._accept(TokenKind.PUNCT, ","):
+            columns.append(self._expect(TokenKind.IDENTIFIER).value)
+        self._expect(TokenKind.PUNCT, ")")
+        width = len(columns)
+        for row in rows:
+            if len(row) != width:
+                raise ParseError(
+                    f"VALUES row has {len(row)} values but {name} declares "
+                    f"{width} columns"
+                )
+        return ast.ValuesSource(tuple(rows), name, tuple(columns))
 
     def _table_ref(self) -> ast.TableRef:
         name = self._expect(TokenKind.IDENTIFIER).value

@@ -122,9 +122,19 @@ def _table_ref(ref: ast.TableRef) -> str:
     return ref.name
 
 
+def _values_source(source: ast.ValuesSource) -> str:
+    rows = ", ".join(
+        "(" + ", ".join(_expr(value) for value in row) + ")" for row in source.rows
+    )
+    columns = ", ".join(source.columns)
+    return f"(VALUES {rows}) AS {source.name} ({columns})"
+
+
 def _from_source(source: ast.FromSource) -> str:
     if isinstance(source, ast.TableRef):
         return _table_ref(source)
+    if isinstance(source, ast.ValuesSource):
+        return _values_source(source)
     left = _from_source(source.left)
     right = _from_source(source.right)
     if source.kind is ast.JoinKind.CROSS:

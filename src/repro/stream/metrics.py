@@ -43,6 +43,10 @@ class PipelineMetrics:
         self.over_invalidated = 0
         self.scheduler_cycles = 0
         self.poll_slots_offered = 0  # budget * cycles (None budget: offered = requested)
+        # set-oriented (batched) polling
+        self.batched_queries = 0
+        self.batched_instances = 0
+        self.demux_misses = 0
         # safety enforcement (lint verdicts)
         self.fallback_ejects = 0
         self.poll_only_checks = 0
@@ -148,6 +152,12 @@ class PipelineMetrics:
                     "polls_requested": self.polls_requested,
                     "polls_executed": self.polls_executed,
                     "polls_impacted": self.polls_impacted,
+                    "batched_queries": self.batched_queries,
+                    "batched_instances": self.batched_instances,
+                    "demux_misses": self.demux_misses,
+                    "poll_round_trips_saved": max(
+                        0, self.batched_instances - self.batched_queries
+                    ),
                     "over_invalidated": self.over_invalidated,
                     "fallback_ejects": self.fallback_ejects,
                     "poll_only_checks": self.poll_only_checks,

@@ -91,6 +91,7 @@ class StreamingInvalidationPipeline:
         use_data_cache: bool = False,
         grouped_analysis: bool = True,
         predicate_index: bool = True,
+        batch_polling: bool = True,
         safety_enforcement: bool = True,
         servlet_deadline: Optional[Callable[[str], float]] = None,
         pre_ingest: Optional[Callable[[], object]] = None,
@@ -136,6 +137,7 @@ class StreamingInvalidationPipeline:
             polling_budget=polling_budget,
             grouped_analysis=grouped_analysis,
             pred_index=self.pred_index,
+            batch_polling=batch_polling,
             servlet_deadline=servlet_deadline,
             safety=self.safety,
         )

@@ -28,6 +28,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.db.log import UpdateRecord
 from repro.core.invalidator.analysis import IndependenceChecker, VerdictKind
+from repro.core.invalidator.batchpoll import BatchPollExecutor, batch_key
 from repro.core.invalidator.grouping import GroupedChecker
 from repro.core.invalidator.safety import SafetyVerdict
 from repro.core.invalidator.scheduler import InvalidationScheduler, PollCandidate
@@ -61,6 +62,10 @@ class WorkerContext:
     #: None runs the full per-instance scan.  Probes happen under the
     #: registry lock, like every other registry read.
     pred_index: Optional[object] = None
+    #: Set-oriented polling: fold a batch-cycle's may-affect checks into
+    #: one delta-join query per polling-query type (False = per-instance
+    #: A/B control arm).
+    batch_polling: bool = True
     servlet_deadline: Optional[Callable[[str], float]] = None
     #: Shared :class:`~repro.core.invalidator.safety.SafetyEnforcer`;
     #: None (or a disabled enforcer) leaves every type on the precise
@@ -99,6 +104,7 @@ class InvalidationWorker:
         self.checker = IndependenceChecker()
         self.grouped_checker = GroupedChecker()
         self.polling = context.infomgmt.polling_generator()
+        self.batch_poller = BatchPollExecutor(context.infomgmt, self.polling)
         self.batches_processed = 0
         self.records_processed = 0
         self._inflight = 0
@@ -328,8 +334,13 @@ class InvalidationWorker:
                     cost=instance.query_type.cost,
                     urls_at_stake=len(instance.urls),
                     deadline_ms=self._deadline_for(instance),
+                    batch_key=(
+                        batch_key(verdict.polling_query)
+                        if ctx.batch_polling
+                        else None
+                    ),
                 )
-                for index, (instance, _verdict) in enumerate(live_tasks)
+                for index, (instance, verdict) in enumerate(live_tasks)
             ]
             schedule = self.scheduler.schedule(candidates)
             budget = ctx.polling_budget
@@ -341,25 +352,28 @@ class InvalidationWorker:
                 ),
             )
             self.polling.begin_cycle()
-            for candidate in schedule.to_poll:
-                instance, verdict = live_tasks[candidate.key]
-                if instance.instance_id in doomed:
-                    continue
-                with ctx.db_lock:
-                    work_before = self.polling.stats.total_work_units
-                    impacted = ctx.infomgmt.poll_with_caching(
-                        self.polling, verdict.polling_query
-                    )
-                    poll_work = self.polling.stats.total_work_units - work_before
-                self.metrics.add(polls_executed=1)
-                with ctx.registry_lock:
-                    query_type = instance.query_type
-                    query_type.stats.polling_queries_issued += 1
-                    if poll_work > 0:
-                        query_type.cost = 0.8 * query_type.cost + 0.2 * poll_work
-                if impacted:
-                    self.metrics.add(polls_impacted=1)
-                    self._doom(instance, urls_to_eject, doomed)
+            if ctx.batch_polling:
+                self._run_batched_polls(schedule, live_tasks, doomed, urls_to_eject)
+            else:
+                for candidate in schedule.to_poll:
+                    instance, verdict = live_tasks[candidate.key]
+                    if instance.instance_id in doomed:
+                        continue
+                    with ctx.db_lock:
+                        work_before = self.polling.stats.total_work_units
+                        impacted = ctx.infomgmt.poll_with_caching(
+                            self.polling, verdict.polling_query
+                        )
+                        poll_work = self.polling.stats.total_work_units - work_before
+                    self.metrics.add(polls_executed=1)
+                    with ctx.registry_lock:
+                        query_type = instance.query_type
+                        query_type.stats.polling_queries_issued += 1
+                        if poll_work > 0:
+                            query_type.cost = 0.8 * query_type.cost + 0.2 * poll_work
+                    if impacted:
+                        self.metrics.add(polls_impacted=1)
+                        self._doom(instance, urls_to_eject, doomed)
             for candidate in schedule.over_invalidate:
                 instance, _verdict = live_tasks[candidate.key]
                 if instance.instance_id in doomed:
@@ -374,6 +388,47 @@ class InvalidationWorker:
                 for url in urls:
                     self.context.qiurl_map.drop_url(url)
                     self.context.registry.drop_url(url)
+
+    def _run_batched_polls(self, schedule, live_tasks, doomed, urls_to_eject) -> None:
+        """Set-oriented arm of the poll phase (mirrors the synchronous
+        invalidator's): compile, execute under the database lock, then
+        demultiplex in schedule order with the same per-task bookkeeping
+        as the per-instance loop."""
+        ctx = self.context
+        stats = self.polling.stats
+        batched_before = (
+            stats.batched_queries, stats.batched_instances, stats.demux_misses
+        )
+        pending = [
+            (candidate.key, live_tasks[candidate.key][1].polling_query)
+            for candidate in schedule.to_poll
+            if live_tasks[candidate.key][0].instance_id not in doomed
+        ]
+        with ctx.db_lock:
+            outcomes = self.batch_poller.execute(pending)
+        for candidate in schedule.to_poll:
+            instance, _verdict = live_tasks[candidate.key]
+            if instance.instance_id in doomed:
+                continue
+            outcome = outcomes.get(candidate.key)
+            if outcome is None:  # pragma: no cover - defensive
+                continue
+            self.metrics.add(polls_executed=1)
+            with ctx.registry_lock:
+                query_type = instance.query_type
+                query_type.stats.polling_queries_issued += 1
+                if outcome.work_units > 0:
+                    query_type.cost = (
+                        0.8 * query_type.cost + 0.2 * outcome.work_units
+                    )
+            if outcome.impacted:
+                self.metrics.add(polls_impacted=1)
+                self._doom(instance, urls_to_eject, doomed)
+        self.metrics.add(
+            batched_queries=stats.batched_queries - batched_before[0],
+            batched_instances=stats.batched_instances - batched_before[1],
+            demux_misses=stats.demux_misses - batched_before[2],
+        )
 
     def _doom(self, instance, urls_to_eject, doomed) -> None:
         doomed[instance.instance_id] = instance

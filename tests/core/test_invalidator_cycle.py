@@ -14,13 +14,14 @@ def cacheable(body="page"):
     return HttpResponse(body=body, cache_control=CacheControl.cacheportal_private())
 
 
-def setup(polling_budget=None, use_data_cache=False):
+def setup(polling_budget=None, use_data_cache=False, batch_polling=True):
     db = make_car_db()
     cache = WebCache()
     qiurl = QIURLMap()
     invalidator = Invalidator(
         db, [cache], qiurl,
         polling_budget=polling_budget, use_data_cache=use_data_cache,
+        batch_polling=batch_polling,
     )
     return db, cache, qiurl, invalidator
 
@@ -140,7 +141,11 @@ class TestPollingPath:
         assert "u1" not in cache  # safety preserved, precision lost
 
     def test_budget_partial(self):
-        db, cache, qiurl, invalidator = setup(polling_budget=1)
+        # Per-instance arm: with batching the two same-type polls share
+        # one round trip and a budget of 1 would admit both.
+        db, cache, qiurl, invalidator = setup(
+            polling_budget=1, batch_polling=False
+        )
         cache_page(cache, qiurl, "u1", self.JOIN_SQL)
         cache_page(
             cache, qiurl, "u2",

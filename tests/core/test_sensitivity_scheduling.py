@@ -24,13 +24,14 @@ def cacheable():
     return HttpResponse(body="p", cache_control=CacheControl.cacheportal_private())
 
 
-def build(sensitivities, budget):
+def build(sensitivities, budget, batch_polling=True):
     db = make_car_db()
     cache = WebCache()
     qiurl = QIURLMap()
     invalidator = Invalidator(
         db, [cache], qiurl,
         polling_budget=budget,
+        batch_polling=batch_polling,
         servlet_deadline=lambda name: sensitivities[name],
     )
     cache.put("url_a", cacheable())
@@ -72,8 +73,11 @@ class TestBudgetedOrdering:
     def test_sensitive_servlet_polled_first(self):
         """With budget 1, the instance feeding the time-critical servlet
         gets the poll; the tolerant one is over-invalidated."""
+        # Per-instance arm: batching would fold both same-type polls into
+        # one round trip, defeating the scarcity this test is about.
         db, cache, invalidator = build(
-            {"servlet_a": 10.0, "servlet_b": 9000.0}, budget=1
+            {"servlet_a": 10.0, "servlet_b": 9000.0}, budget=1,
+            batch_polling=False,
         )
         db.execute("INSERT INTO car VALUES ('Rolls', 'Ghost', 400000)")
         report = invalidator.run_cycle()
@@ -86,7 +90,8 @@ class TestBudgetedOrdering:
 
     def test_order_flips_with_sensitivities(self):
         db, cache, invalidator = build(
-            {"servlet_a": 9000.0, "servlet_b": 10.0}, budget=1
+            {"servlet_a": 9000.0, "servlet_b": 10.0}, budget=1,
+            batch_polling=False,
         )
         db.execute("INSERT INTO car VALUES ('Rolls', 'Ghost', 400000)")
         invalidator.run_cycle()
