@@ -9,7 +9,10 @@ Commands:
 * ``demo`` — the quickstart loop: cache, hit, update, invalidate;
 * ``example41`` — the paper's Example 4.1 decision walkthrough;
 * ``serve`` — run a CachePortal site as a real HTTP server via wsgiref;
-* ``audit`` — crash/restart staleness audit of checkpoint recovery;
+* ``audit`` — crash/restart staleness audit of checkpoint recovery,
+  optionally fronted by a sharded cache cluster whose shards crash too;
+* ``cluster`` — sharded cache cluster: ``status`` health view and
+  ``bench`` Zipfian workloads with routed ejects and kill/restart arms;
 * ``lint`` — invalidation-safety lint of SQL workload files (or of the
   query instances inside a checkpoint), with machine-readable output
   and CI-friendly ``--fail-on`` exit codes.
@@ -362,6 +365,8 @@ def _run_audit(args: argparse.Namespace) -> int:
         log_capacity=args.log_capacity,
         recover=not args.no_recover,
         safety=not args.no_safety,
+        cluster_shards=args.cluster_shards,
+        warm_shards=not args.cold_shards,
     )
     report = run_audit(config)
     payload = report.to_dict()
@@ -393,6 +398,13 @@ def _run_audit(args: argparse.Namespace) -> int:
             f"{report.flush_alls} flush-all(s), "
             f"{report.cold_restores} cold restore(s)"
         )
+        if config.cluster_shards:
+            print(
+                f"cluster : {config.cluster_shards} shard(s), "
+                f"{report.shard_kills} shard kill(s), "
+                f"{report.shard_pages_restored} page(s) warm-restored, "
+                f"{report.shard_pages_dropped} dropped by the eject journal"
+            )
         verdict = "PASS" if report.passed else "FAIL"
         print(
             f"verdict : {verdict} — {report.serves_checked} cached pages "
@@ -401,6 +413,109 @@ def _run_audit(args: argparse.Namespace) -> int:
         for stale in report.stale_serves[:10]:
             print(f"  STALE {stale['url']} (after op {stale['op']})")
     return 0 if report.passed else 1
+
+
+def _cluster_config_from_args(args: argparse.Namespace):
+    from repro.cluster import ClusterWorkloadConfig
+
+    return ClusterWorkloadConfig(
+        shards=args.shards,
+        vnodes=args.vnodes,
+        hot_bytes=args.hot_kb * 1024,
+        cold_entries=args.cold_entries,
+        replicas=args.replicas,
+        keys=args.keys,
+        zipf_s=args.zipf,
+        warmup=args.warmup,
+        requests=args.requests,
+        ejects=args.ejects,
+        seed=args.seed,
+        routed=not args.broadcast,
+        kill_shards=args.kill,
+        restart="cold" if args.cold else "warm",
+    )
+
+
+def _run_cluster_status(args: argparse.Namespace) -> int:
+    """Run a short seeded workload on a fresh cluster and show its health."""
+    import json
+
+    from repro.cluster import build_cluster, run_cluster_workload
+
+    config = _cluster_config_from_args(args)
+    cluster = build_cluster(config)
+    run_cluster_workload(config, cluster=cluster)
+    status = cluster.status()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    ring = status["ring"]
+    print(
+        f"cluster : {len(status['shards'])} shard(s), "
+        f"{status['replicas']} replica(s), {ring['vnodes']} vnodes/shard"
+    )
+    print(
+        f"ring    : load spread {ring['min_share']:.4f}.."
+        f"{ring['max_share']:.4f} (ideal {ring['ideal_share']:.4f})"
+    )
+    print(
+        f"pages   : {status['pages']} cached, {status['bytes_used']} bytes "
+        f"of {status['hot_bytes_budget']} hot budget, "
+        f"hit ratio {status['hit_ratio']}"
+    )
+    print(f"journal : {status['journal_keys']} keys with eject stamps")
+    for shard in status["shards"]:
+        print(
+            f"  {shard['name']}: {shard['hot_pages']} hot "
+            f"({shard['hot_bytes_used']}B) + {shard['cold_pages']} cold, "
+            f"hit ratio {shard['hit_ratio']}, "
+            f"{shard['ejects']} ejects, {shard['restores']} restore(s)"
+        )
+    return 0
+
+
+def _run_cluster_bench(args: argparse.Namespace) -> int:
+    """One cluster workload run (optionally with kill/restart arms)."""
+    import json
+
+    from repro.cluster import run_cluster_workload
+
+    config = _cluster_config_from_args(args)
+    result = run_cluster_workload(config)
+    payload = result.to_dict()
+    if args.json:
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json is True:
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"bench report written to {args.json}")
+        return 0
+    arm = "routed" if config.routed else "broadcast"
+    print(
+        f"bench   : {config.shards} shard(s), {config.keys} keys "
+        f"(zipf s={config.zipf_s}), {config.requests} requests/pass [{arm}]"
+    )
+    print(
+        f"serving : hit ratio {result.hit_ratio_pass1:.4f} → "
+        f"{result.hit_ratio_pass2:.4f}, {result.pages_cached} pages "
+        f"({result.bytes_used} bytes) cached"
+    )
+    print(
+        f"ejects  : {result.deliveries_ok} deliveries "
+        f"({result.ejects_routed} routed, {result.ejects_broadcast} "
+        f"broadcast), {result.routed_deliveries_saved} deliveries saved, "
+        f"mean latency {result.eject_latency_mean_ms}ms"
+    )
+    if result.killed:
+        print(
+            f"crash   : killed {', '.join(result.killed)} "
+            f"({result.pages_lost} pages lost), "
+            f"{result.pages_restored} restored warm, "
+            f"{result.pages_dropped_on_restore} dropped by the journal"
+        )
+    return 0
 
 
 def _split_statements(text: str) -> List[str]:
@@ -620,7 +735,66 @@ def build_parser() -> argparse.ArgumentParser:
     p_audit.add_argument("--json", nargs="?", const=True, default=False,
                          metavar="FILE",
                          help="emit the report as JSON (to FILE if given)")
+    p_audit.add_argument("--cluster-shards", type=int, default=0,
+                         help="front the site with a sharded cache cluster "
+                              "of N shards; each portal crash also kills "
+                              "one shard (0 = single cache, default)")
+    p_audit.add_argument("--cold-shards", action="store_true",
+                         help="control arm: restart killed shards empty "
+                              "instead of warm-restoring their snapshots")
     p_audit.set_defaults(func=_run_audit)
+
+    p_cluster = sub.add_parser(
+        "cluster", help="sharded cache cluster: status and benchmarks"
+    )
+    cluster_sub = p_cluster.add_subparsers(dest="cluster_command", required=True)
+
+    def add_cluster_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--shards", type=int, default=4,
+                       help="cache shard count (default 4)")
+        p.add_argument("--vnodes", type=int, default=128,
+                       help="virtual nodes per shard on the ring")
+        p.add_argument("--hot-kb", type=int, default=256,
+                       help="per-shard DRAM budget in KiB (default 256)")
+        p.add_argument("--cold-entries", type=int, default=2048,
+                       help="per-shard overflow-tier capacity")
+        p.add_argument("--replicas", type=int, default=1,
+                       help="owners per key (default 1)")
+        p.add_argument("--keys", type=int, default=5000,
+                       help="distinct URL population")
+        p.add_argument("--zipf", type=float, default=1.1,
+                       help="Zipf skew of the request stream")
+        p.add_argument("--warmup", type=int, default=5000,
+                       help="warmup requests before measurement")
+        p.add_argument("--requests", type=int, default=10000,
+                       help="requests per measured pass")
+        p.add_argument("--ejects", type=int, default=2000,
+                       help="eject orders published through the bus")
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--broadcast", action="store_true",
+                       help="control arm: broadcast ejects to every shard "
+                            "instead of routing to owners")
+        p.add_argument("--kill", type=int, default=0,
+                       help="shards to kill (then restart) mid-workload")
+        p.add_argument("--cold", action="store_true",
+                       help="restart killed shards cold instead of warm")
+
+    p_cl_status = cluster_sub.add_parser(
+        "status", help="run a short workload and show cluster health"
+    )
+    add_cluster_args(p_cl_status)
+    p_cl_status.add_argument("--json", action="store_true",
+                             help="emit the status payload as JSON")
+    p_cl_status.set_defaults(func=_run_cluster_status)
+
+    p_cl_bench = cluster_sub.add_parser(
+        "bench", help="Zipfian workload benchmark with optional kill/restart"
+    )
+    add_cluster_args(p_cl_bench)
+    p_cl_bench.add_argument("--json", nargs="?", const=True, default=False,
+                            metavar="FILE",
+                            help="emit the result as JSON (to FILE if given)")
+    p_cl_bench.set_defaults(func=_run_cluster_bench)
 
     p_lint = sub.add_parser(
         "lint", help="invalidation-safety lint of SQL workload files"

@@ -1,0 +1,108 @@
+"""Per-shard warm-restart persistence for the cache cluster.
+
+CacheLib's headline operability lesson (SNIPPETS.md §3) is that cache
+restarts are *routine* — binary pushes, host maintenance, crashes — and
+a cache that restarts cold serves misses for hours while it re-warms.
+This module gives every shard its own durable snapshot so a killed
+shard rejoins with its working set intact:
+
+* each shard writes ``shard-<name>.ckpt`` through the PR-3 checkpoint
+  envelope (:mod:`repro.core.recovery`): atomic rename, SHA-256
+  checksum, format version — a crash mid-checkpoint leaves the previous
+  snapshot usable, and a torn file is rejected, never half-loaded;
+* restores run the shard's eject-journal guard, so pages invalidated
+  after the snapshot stay dead (no stale resurrection);
+* snapshots are per shard, not per cluster: shards checkpoint and
+  restart independently, which is the whole point of sharding the
+  serving tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.recovery import (
+    CheckpointError,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.cluster.shard import CacheShard
+
+SHARD_SNAPSHOT_KIND = "cache-shard"
+
+
+@dataclass
+class ShardRestoreReport:
+    """What one shard restore did."""
+
+    shard: str
+    path: str
+    pages_restored: int = 0
+    #: Snapshot pages discarded by the eject-journal staleness guard
+    #: (ejected after the snapshot) or because their TTL had lapsed.
+    pages_dropped: int = 0
+    bytes_restored: int = 0
+
+
+class ShardCheckpointer:
+    """Saves and restores shard snapshots under one directory."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, shard_name: str) -> Path:
+        return self.directory / f"shard-{shard_name}.ckpt"
+
+    def has_snapshot(self, shard_name: str) -> bool:
+        return self.path_for(shard_name).exists()
+
+    def save(self, shard: CacheShard) -> str:
+        """Checkpoint one shard atomically; returns the checksum."""
+        payload = {
+            "kind": SHARD_SNAPSHOT_KIND,
+            "shard": shard.name,
+            "state": shard.snapshot_state(),
+        }
+        return write_checkpoint(self.path_for(shard.name), payload)
+
+    def save_all(self, shards: List[CacheShard]) -> Dict[str, str]:
+        """Checkpoint every shard; returns name → checksum."""
+        return {shard.name: self.save(shard) for shard in shards}
+
+    def load(self, shard: CacheShard) -> ShardRestoreReport:
+        """Warm-restore one shard from its snapshot.
+
+        Raises:
+            CheckpointError: missing/torn snapshot, or a snapshot that
+                belongs to a different shard (a miswired restore must
+                not silently fill this shard with another's pages).
+        """
+        path = self.path_for(shard.name)
+        payload = read_checkpoint(path)
+        if payload.get("kind") != SHARD_SNAPSHOT_KIND:
+            raise CheckpointError(
+                f"{path} is not a cache-shard snapshot "
+                f"(kind={payload.get('kind')!r})"
+            )
+        if payload.get("shard") != shard.name:
+            raise CheckpointError(
+                f"{path} belongs to shard {payload.get('shard')!r}, "
+                f"not {shard.name!r}"
+            )
+        outcome = shard.restore_state(payload["state"])
+        return ShardRestoreReport(
+            shard=shard.name,
+            path=str(path),
+            pages_restored=outcome["pages_restored"],
+            pages_dropped=outcome["pages_dropped"],
+            bytes_restored=shard.bytes_used,
+        )
+
+    def load_if_present(self, shard: CacheShard) -> Optional[ShardRestoreReport]:
+        """Warm-restore when a snapshot exists; ``None`` for cold starts."""
+        if not self.has_snapshot(shard.name):
+            return None
+        return self.load(shard)

@@ -1,0 +1,172 @@
+"""Consistent-hash placement ring for the cache cluster.
+
+The serving tier spreads millions of URL keys over many cache shards.
+Placement must be:
+
+* **deterministic across processes** — the invalidator, the router, and
+  every front end must agree on who owns a key without talking to each
+  other, so the hash is ``blake2b`` over the key bytes, never Python's
+  randomized ``hash()``;
+* **stable under membership change** — adding or removing one shard may
+  only remap ~K/N of K keys (the classic consistent-hashing bound),
+  otherwise every scale-out event is a cluster-wide cold start;
+* **balanced** — each shard projects ``vnodes`` virtual nodes onto the
+  ring so token arcs average out instead of one unlucky shard owning
+  half the key space.
+
+The ring is pure placement: it maps ``key → shard name(s)`` and knows
+nothing about the shards themselves.  The cluster facade routes gets,
+puts, and ejects through it; the eject router hands the same answer to
+the delivery bus.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ClusterError
+
+#: Default virtual nodes per shard.  128 tokens keeps the worst/best
+#: shard load ratio near 1.2 at 64 shards while the ring stays small
+#: (8k tokens) and O(log) to probe.
+DEFAULT_VNODES = 128
+
+
+def stable_hash(data: str) -> int:
+    """64-bit process-independent hash of a string.
+
+    ``blake2b`` is keyed by nothing and seeded by nothing: the same key
+    maps to the same point on every host, every process, every run —
+    the property the cross-process placement test pins down.
+    """
+    digest = hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ConsistentHashRing:
+    """Deterministic key→shard placement with virtual nodes.
+
+    Args:
+        vnodes: virtual nodes (tokens) per shard.
+        shards: optional initial membership.
+    """
+
+    def __init__(
+        self, vnodes: int = DEFAULT_VNODES, shards: Iterable[str] = ()
+    ) -> None:
+        if vnodes < 1:
+            raise ClusterError("a ring needs at least one vnode per shard")
+        self.vnodes = vnodes
+        self._members: Dict[str, List[int]] = {}
+        self._tokens: List[Tuple[int, str]] = []  # sorted (token, shard)
+        self._token_keys: List[int] = []  # parallel list for bisect
+        for name in shards:
+            self.add_shard(name)
+
+    # -- membership -----------------------------------------------------------
+
+    def add_shard(self, name: str) -> None:
+        if name in self._members:
+            raise ClusterError(f"shard {name!r} already on the ring")
+        tokens = [stable_hash(f"{name}\x00{i}") for i in range(self.vnodes)]
+        self._members[name] = tokens
+        for token in tokens:
+            index = bisect.bisect_left(self._tokens, (token, name))
+            self._tokens.insert(index, (token, name))
+            self._token_keys.insert(index, token)
+
+    def remove_shard(self, name: str) -> None:
+        if name not in self._members:
+            raise ClusterError(f"shard {name!r} not on the ring")
+        del self._members[name]
+        keep = [(token, shard) for token, shard in self._tokens if shard != name]
+        self._tokens = keep
+        self._token_keys = [token for token, _shard in keep]
+
+    def shards(self) -> List[str]:
+        return sorted(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._members
+
+    # -- placement -----------------------------------------------------------
+
+    def owner(self, key: str) -> str:
+        """The shard owning ``key`` (its primary)."""
+        return self.owners(key, 1)[0]
+
+    def owners(self, key: str, count: int = 1) -> List[str]:
+        """The first ``count`` *distinct* shards clockwise from the key.
+
+        Walking successor tokens (wrapping at the top) yields the
+        primary first, then the replica set — the standard replica
+        placement that keeps each replica's membership stable under
+        single-shard churn.
+        """
+        if not self._tokens:
+            raise ClusterError("cannot place a key on an empty ring")
+        count = min(count, len(self._members))
+        point = stable_hash(key)
+        start = bisect.bisect_right(self._token_keys, point)
+        found: List[str] = []
+        total = len(self._tokens)
+        for step in range(total):
+            _token, shard = self._tokens[(start + step) % total]
+            if shard not in found:
+                found.append(shard)
+                if len(found) == count:
+                    break
+        return found
+
+    def placement(self, keys: Sequence[str]) -> Dict[str, str]:
+        """Bulk ``key → primary owner`` map (test and audit helper)."""
+        return {key: self.owner(key) for key in keys}
+
+    # -- observability --------------------------------------------------------
+
+    def load_share(self) -> Dict[str, float]:
+        """Fraction of the hash space each shard's token arcs cover."""
+        if not self._tokens:
+            return {}
+        space = 2**64
+        share: Dict[str, float] = {name: 0.0 for name in self._members}
+        if len(self._tokens) == 1:
+            share[self._tokens[0][1]] = 1.0
+            return share
+        for index, (token, shard) in enumerate(self._tokens):
+            # the arc *ending* at this token belongs to this token's shard
+            previous = self._tokens[index - 1][0]  # index 0 wraps to last
+            share[shard] += ((token - previous) % space) / space
+        return share
+
+    def stats(self) -> Dict[str, object]:
+        share = self.load_share()
+        return {
+            "shards": len(self._members),
+            "vnodes": self.vnodes,
+            "tokens": len(self._tokens),
+            "min_share": round(min(share.values()), 4) if share else 0.0,
+            "max_share": round(max(share.values()), 4) if share else 0.0,
+            "ideal_share": round(1 / len(self._members), 4)
+            if self._members
+            else 0.0,
+        }
+
+    # -- checkpointing --------------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        return {"vnodes": self.vnodes, "shards": self.shards()}
+
+    def restore_state(self, data: Dict[str, object]) -> int:
+        self.vnodes = int(data.get("vnodes", DEFAULT_VNODES))
+        self._members.clear()
+        self._tokens = []
+        self._token_keys = []
+        for name in data.get("shards", []):
+            self.add_shard(str(name))
+        return len(self._members)

@@ -1,0 +1,90 @@
+"""Shard-targeted eject fan-out: ring placement wired into the bus.
+
+The invalidation pipeline ends at the :class:`~repro.stream.bus.EjectBus`,
+which historically *broadcast* every eject to every registered cache —
+fine for a handful of hierarchy tiers, quadratic waste for a 64-shard
+cluster where each URL lives on exactly one shard (or its small replica
+set).  The QI/URL map already routes invalidations *per URL* (an update
+maps to query instances, instances to the URLs built from them); this
+router extends that per-URL resolution one hop further, from "which
+URLs" to "which shard owns each URL", using the same consistent-hash
+ring the serving path uses for gets and puts.
+
+Each shard registers as its own bus target, so retries, backoff, and
+circuit-breaking stay *per shard*: one flapping shard delays only its
+own ejects.  Routing is evaluated at fan-out time against the live
+ring, so membership changes between publish and delivery route to the
+current owner.  Non-cluster targets (a reverse proxy, a browser-tier
+cache) can be pinned as ``extra_targets`` and receive every eject,
+preserving the hierarchy's vertical invalidation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.stream.bus import EjectBus
+
+#: Bus-target namespace for cluster shards.
+DEFAULT_PREFIX = "shard:"
+
+
+class ShardEjectRouter:
+    """Routes each eject to the shard(s) owning its URL key.
+
+    Args:
+        cluster: a :class:`~repro.cluster.cluster.CacheCluster` (or any
+            object with ``ring``, ``replicas`` and ``shards``).
+        prefix: namespace for the shard target names on the bus.
+        extra_targets: bus target names that must receive *every* eject
+            regardless of placement (non-sharded tiers).
+    """
+
+    def __init__(
+        self,
+        cluster,
+        prefix: str = DEFAULT_PREFIX,
+        extra_targets: Iterable[str] = (),
+    ) -> None:
+        self.cluster = cluster
+        self.prefix = prefix
+        self.extra_targets = list(extra_targets)
+        self.routes_computed = 0
+
+    def target_name(self, shard_name: str) -> str:
+        return f"{self.prefix}{shard_name}"
+
+    def __call__(self, url_key: str) -> List[str]:
+        """The bus router hook: owning shard target(s) for one URL."""
+        self.routes_computed += 1
+        owners = self.cluster.ring.owners(url_key, self.cluster.replicas)
+        return [self.target_name(name) for name in owners] + self.extra_targets
+
+    def attach(self, bus: EjectBus) -> List[str]:
+        """Register every shard as a bus target and install the router.
+
+        Returns the registered target names.  Call again after adding
+        shards to register the newcomers (already-registered names are
+        skipped).
+        """
+        registered = {target.name for target in bus.targets()}
+        names: List[str] = []
+        for shard in self.cluster.shards:
+            name = self.target_name(shard.name)
+            if name not in registered:
+                bus.register(name, shard)
+            names.append(name)
+        bus.set_router(self)
+        return names
+
+
+def attach_cluster_to_bus(
+    bus: EjectBus,
+    cluster,
+    prefix: str = DEFAULT_PREFIX,
+    extra_targets: Sequence[str] = (),
+) -> ShardEjectRouter:
+    """One-call wiring: register shards, install routing, return router."""
+    router = ShardEjectRouter(cluster, prefix=prefix, extra_targets=extra_targets)
+    router.attach(bus)
+    return router

@@ -1,0 +1,362 @@
+"""One cache-cluster shard: a DRAM-budget hot tier over an overflow tier.
+
+The CacheLib lesson (SNIPPETS.md §3) is that a serving-tier cache is
+sized in *bytes* and must survive *restarts*.  A shard therefore:
+
+* keeps its hot set in a byte-budget :class:`~repro.web.cache.WebCache`
+  (the DRAM tier) — stores evict by bytes, and every eviction *demotes*
+  the page to an overflow tier (the "flash" tier in CacheLib terms,
+  an entry-capacity LRU here) instead of dropping it;
+* *promotes* an overflow page back to DRAM when it is hit — the
+  classical two-tier inclusion policy that keeps the Zipfian head hot
+  while the long tail stays cheap;
+* snapshots and restores both tiers through the PR-3 checkpoint
+  subsystem, so a killed shard rejoins with its working set intact
+  (*warm restart*) instead of serving misses for an entire re-warm pass.
+
+Warm restarts reintroduce a staleness hazard: a page snapshotted at T
+and ejected at T+1 must not come back at T+2.  The cluster-wide
+:class:`EjectJournal` closes it — every store is stamped with the
+journal's current sequence and every eject bumps the per-key sequence;
+a restore discards any snapshot entry whose stamp predates the key's
+last eject.  The journal lives on the cluster facade (the control
+plane), which survives individual shard kills, and rides inside the
+cluster checkpoint envelope for whole-cluster restarts.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.web.cache import CacheEntry, WebCache, response_size_bytes
+from repro.web.http import CacheControl, HttpRequest, HttpResponse
+
+#: Hot-tier DRAM budget when the caller does not size it (256 KiB keeps
+#: demo workloads honest: small enough that demotion actually happens).
+DEFAULT_HOT_BYTES = 256 * 1024
+
+#: Overflow-tier entry capacity per shard.
+DEFAULT_COLD_ENTRIES = 4096
+
+
+class EjectJournal:
+    """Cluster-wide monotone eject sequencing for warm-restart safety.
+
+    ``stamp()`` is read at store time; ``note(key)`` advances the global
+    sequence and records it against the key at eject time.  An entry is
+    resurrection-safe iff its stamp is >= the key's last-eject sequence:
+    any eject after the store (and hence after any snapshot containing
+    the store) invalidates the snapshot copy.
+    """
+
+    def __init__(self) -> None:
+        self._seq = 0
+        self._last_eject: Dict[str, int] = {}
+
+    @property
+    def seq(self) -> int:
+        """The current global eject sequence."""
+        return self._seq
+
+    def stamp(self) -> int:
+        """Current sequence, recorded on entries at store time."""
+        return self._seq
+
+    def note(self, url_key: str) -> int:
+        """Record an eject of ``url_key``; returns the new sequence."""
+        self._seq += 1
+        self._last_eject[url_key] = self._seq
+        return self._seq
+
+    def ejected_since(self, url_key: str, stamp: int) -> bool:
+        """True when ``url_key`` was ejected after ``stamp`` was taken."""
+        return self._last_eject.get(url_key, 0) > stamp
+
+    def __len__(self) -> int:
+        return len(self._last_eject)
+
+    # -- checkpointing --------------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        return {"seq": self._seq, "last_eject": dict(self._last_eject)}
+
+    def restore_state(self, data: Dict[str, object]) -> int:
+        self._seq = int(data.get("seq", 0))
+        self._last_eject = {
+            str(key): int(value)
+            for key, value in dict(data.get("last_eject", {})).items()
+        }
+        return len(self._last_eject)
+
+
+@dataclass
+class ShardStats:
+    """Per-shard serving and tiering counters."""
+
+    hot_hits: int = 0
+    cold_hits: int = 0
+    misses: int = 0
+    promotions: int = 0
+    demotions: int = 0
+    cold_evictions: int = 0
+    ejects: int = 0
+    expirations: int = 0
+    #: Snapshot entries discarded at restore because the eject journal
+    #: showed them ejected after the snapshot (the staleness guard).
+    restore_drops: int = 0
+    restores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hot_hits + self.cold_hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return (self.hot_hits + self.cold_hits) / self.lookups
+
+
+class CacheShard:
+    """A two-tier, restart-tolerant member of the cache cluster.
+
+    Implements the same protocol as :class:`~repro.web.cache.WebCache`
+    (``get``/``put``/``eject``/``handle_message``/``keys``/``clear``),
+    so a shard is a first-class eject-bus target and recovery can
+    reconcile it like any other cache.
+
+    Args:
+        name: shard identity (stable across restarts; the ring hashes it).
+        hot_bytes: DRAM budget of the hot tier.
+        cold_entries: overflow-tier capacity; ``0`` disables the tier.
+        hot_entries: optional entry cap for the hot tier (the byte
+            budget is normally the binding constraint).
+        default_ttl / clock: as for :class:`WebCache`.
+        journal: the cluster's shared :class:`EjectJournal`; a private
+            one is created for standalone shards.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        hot_bytes: int = DEFAULT_HOT_BYTES,
+        cold_entries: int = DEFAULT_COLD_ENTRIES,
+        hot_entries: Optional[int] = None,
+        default_ttl: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+        journal: Optional[EjectJournal] = None,
+    ) -> None:
+        self.name = name
+        self._clock = clock or (lambda: 0.0)
+        self.journal = journal if journal is not None else EjectJournal()
+        self.hot = WebCache(
+            capacity=hot_entries if hot_entries is not None else 2**31,
+            capacity_bytes=hot_bytes,
+            default_ttl=default_ttl,
+            clock=self._clock,
+            on_evict=self._demote,
+        )
+        self.cold_entries = cold_entries
+        self._cold: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._cold_bytes = 0
+        self.stats = ShardStats()
+
+    # -- sizing ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.hot) + len(self._cold)
+
+    def __contains__(self, url_key: str) -> bool:
+        return url_key in self.hot or url_key in self._cold
+
+    @property
+    def bytes_used(self) -> int:
+        return self.hot.bytes_used + self._cold_bytes
+
+    def keys(self) -> List[str]:
+        return self.hot.keys() + list(self._cold)
+
+    # -- tiering ---------------------------------------------------------------
+
+    def _demote(self, entry: CacheEntry) -> None:
+        """Hot-tier eviction hook: spill the victim to the overflow tier."""
+        if self.cold_entries <= 0:
+            return
+        previous = self._cold.pop(entry.url_key, None)
+        if previous is not None:
+            self._cold_bytes -= previous.size_bytes
+        self._cold[entry.url_key] = entry
+        self._cold_bytes += entry.size_bytes
+        self.stats.demotions += 1
+        while len(self._cold) > self.cold_entries:
+            _key, victim = self._cold.popitem(last=False)
+            self._cold_bytes -= victim.size_bytes
+            self.stats.cold_evictions += 1
+
+    def _cold_take(self, url_key: str) -> Optional[CacheEntry]:
+        """Remove and return a live overflow entry, expiring as needed."""
+        entry = self._cold.pop(url_key, None)
+        if entry is None:
+            return None
+        self._cold_bytes -= entry.size_bytes
+        if entry.expires_at is not None and self._clock() >= entry.expires_at:
+            self.stats.expirations += 1
+            return None
+        return entry
+
+    # -- the cache protocol ----------------------------------------------------
+
+    def get(self, url_key: str) -> Optional[HttpResponse]:
+        """Probe hot, then overflow (promoting on hit); None on miss."""
+        response = self.hot.get(url_key)
+        if response is not None:
+            self.stats.hot_hits += 1
+            return response
+        entry = self._cold_take(url_key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        entry.hits += 1
+        self.stats.cold_hits += 1
+        self.stats.promotions += 1
+        # Promotion re-admits the existing entry: TTL, stamp, and byte
+        # accounting are already settled, so no header re-validation.
+        self.hot.admit(entry)
+        return entry.response
+
+    def put(
+        self, url_key: str, response: HttpResponse, ttl: Optional[float] = None
+    ) -> bool:
+        """Store into the hot tier (overflow fills only by demotion)."""
+        stored = self.hot.put(url_key, response, ttl=ttl)
+        if stored:
+            entry = self.hot.peek(url_key)
+            if entry is not None:
+                entry.seq = self.journal.stamp()
+            # A stale overflow copy must not outlive the fresh store.
+            previous = self._cold.pop(url_key, None)
+            if previous is not None:
+                self._cold_bytes -= previous.size_bytes
+        return stored
+
+    def eject(self, url_key: str) -> bool:
+        """Remove one page from both tiers, journaling the eject."""
+        self.journal.note(url_key)
+        removed = self.hot.eject(url_key)
+        entry = self._cold.pop(url_key, None)
+        if entry is not None:
+            self._cold_bytes -= entry.size_bytes
+            removed = True
+        if removed:
+            self.stats.ejects += 1
+        return removed
+
+    def eject_many(self, url_keys: Iterable[str]) -> int:
+        return sum(1 for key in url_keys if self.eject(key))
+
+    def handle_message(self, request: HttpRequest, url_key: str) -> bool:
+        control = request.cache_control
+        if control is not None and control.has("eject"):
+            return self.eject(url_key)
+        return False
+
+    def clear(self) -> None:
+        """Drop both tiers (the crash model: shard DRAM dies)."""
+        self.hot.clear()
+        self._cold.clear()
+        self._cold_bytes = 0
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """JSON-compatible dump of both tiers, LRU→MRU per tier."""
+
+        def pack(entry: CacheEntry, tier: str) -> Dict[str, object]:
+            return {
+                "tier": tier,
+                "url_key": entry.url_key,
+                "status": entry.response.status,
+                "body": entry.response.body,
+                "headers": dict(entry.response.headers),
+                "cache_control": entry.response.cache_control.render(),
+                "stored_at": entry.stored_at,
+                "expires_at": entry.expires_at,
+                "hits": entry.hits,
+                "seq": entry.seq,
+            }
+
+        entries = [pack(entry, "cold") for entry in self._cold.values()]
+        entries += [pack(entry, "hot") for entry in self.hot.entries()]
+        return {"name": self.name, "entries": entries}
+
+    def restore_state(self, data: Dict[str, object]) -> Dict[str, int]:
+        """Reload a snapshot; returns restore accounting.
+
+        Entries the eject journal shows as ejected after the snapshot
+        are discarded — resurrecting them would serve a page the
+        invalidator already killed.  Expired entries are dropped too.
+        Hot entries are re-admitted through the byte budget, so a
+        restore into a smaller DRAM budget demotes the overflow.
+        """
+        self.clear()
+        restored = dropped = 0
+        now = self._clock()
+        for spec in data.get("entries", []):
+            stamp = int(spec.get("seq", 0))
+            url_key = str(spec["url_key"])
+            if self.journal.ejected_since(url_key, stamp):
+                dropped += 1
+                continue
+            expires_at = spec.get("expires_at")
+            if expires_at is not None and now >= float(expires_at):
+                dropped += 1
+                continue
+            response = HttpResponse(
+                status=int(spec.get("status", 200)),
+                body=str(spec.get("body", "")),
+                headers=dict(spec.get("headers", {})),
+                cache_control=CacheControl.parse(str(spec["cache_control"])),
+            )
+            entry = CacheEntry(
+                url_key=url_key,
+                response=response,
+                stored_at=float(spec.get("stored_at", 0.0)),
+                expires_at=None if expires_at is None else float(expires_at),
+                hits=int(spec.get("hits", 0)),
+                size_bytes=response_size_bytes(response),
+                seq=stamp,
+            )
+            if spec.get("tier") == "hot":
+                self.hot.admit(entry)
+            else:
+                self._demote(entry)
+                self.stats.demotions -= 1  # restore placement, not a demotion
+            restored += 1
+        self.stats.restores += 1
+        self.stats.restore_drops += dropped
+        return {"pages_restored": restored, "pages_dropped": dropped}
+
+    # -- observability ---------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "pages": len(self),
+            "hot_pages": len(self.hot),
+            "cold_pages": len(self._cold),
+            "bytes_used": self.bytes_used,
+            "hot_bytes_used": self.hot.bytes_used,
+            "hot_bytes_budget": self.hot.capacity_bytes,
+            "hit_ratio": round(self.stats.hit_ratio, 4),
+            "hot_hits": self.stats.hot_hits,
+            "cold_hits": self.stats.cold_hits,
+            "misses": self.stats.misses,
+            "promotions": self.stats.promotions,
+            "demotions": self.stats.demotions,
+            "cold_evictions": self.stats.cold_evictions,
+            "ejects": self.stats.ejects,
+            "restores": self.stats.restores,
+            "restore_drops": self.stats.restore_drops,
+        }

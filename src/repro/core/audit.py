@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import os
 import random
+import shutil
 import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -58,6 +59,15 @@ class AuditConfig:
             page, whose ``NOW()``-dependent query the precise
             independence check cannot reason about: without enforcement
             the audit is expected to catch stale serves of it.
+        cluster_shards: front the site with a sharded
+            :class:`~repro.cluster.cluster.CacheCluster` of this many
+            shards instead of a single ``WebCache`` (0 keeps the
+            single-node cache).  Every portal crash then *also* kills
+            one random cache shard, which is warm-restored from its own
+            snapshot — the staleness invariant must survive both the
+            portal's amnesia and the shard's.
+        warm_shards: restore killed shards from their snapshots;
+            ``False`` restarts them cold (the recovery control arm).
     """
 
     ops: int = 400
@@ -67,6 +77,8 @@ class AuditConfig:
     log_capacity: Optional[int] = None
     recover: bool = True
     safety: bool = True
+    cluster_shards: int = 0
+    warm_shards: bool = True
 
 
 @dataclass
@@ -97,6 +109,12 @@ class AuditReport:
     #: Safety-enforcement totals summed over all invalidation cycles.
     fallback_ejects: int = 0
     poll_only_checks: int = 0
+    #: Cluster mode: cache shards killed alongside portal crashes, pages
+    #: recovered from shard snapshots, and snapshot pages the eject
+    #: journal (or TTL) discarded on restore.
+    shard_kills: int = 0
+    shard_pages_restored: int = 0
+    shard_pages_dropped: int = 0
 
     @property
     def passed(self) -> bool:
@@ -112,6 +130,8 @@ class AuditReport:
                 "log_capacity": self.config.log_capacity,
                 "recover": self.config.recover,
                 "safety": self.config.safety,
+                "cluster_shards": self.config.cluster_shards,
+                "warm_shards": self.config.warm_shards,
             },
             "ops_executed": self.ops_executed,
             "gets": self.gets,
@@ -128,6 +148,9 @@ class AuditReport:
             "cold_restores": self.cold_restores,
             "fallback_ejects": self.fallback_ejects,
             "poll_only_checks": self.poll_only_checks,
+            "shard_kills": self.shard_kills,
+            "shard_pages_restored": self.shard_pages_restored,
+            "shard_pages_dropped": self.shard_pages_dropped,
             "passed": self.passed,
         }
 
@@ -233,11 +256,22 @@ class StalenessAuditor:
 
     # -- crash model ----------------------------------------------------------
 
-    def _crash_and_restart(self, site, portal, ckpt_path, report):
+    def _crash_and_restart(self, site, portal, ckpt_path, report, rng=None):
         """Kill the portal (its in-memory state only) and bring up a
         fresh one.  The web cache keeps every page it held — that is
-        the whole hazard."""
+        the whole hazard.  In cluster mode one cache shard crashes with
+        the portal and is warm-restored from its own snapshot, so the
+        invariant must also survive the shard's trip through disk."""
         portal.sniffer.uninstall()  # wrappers off; cache NOT cleared
+        cluster = site.web_cache if self.config.cluster_shards > 0 else None
+        if cluster is not None and rng is not None:
+            victim = rng.choice([shard.name for shard in cluster.shards])
+            cluster.kill_shard(victim)
+            report.shard_kills += 1
+            restore = cluster.restart_shard(victim, warm=self.config.warm_shards)
+            if restore is not None:
+                report.shard_pages_restored += restore.pages_restored
+                report.shard_pages_dropped += restore.pages_dropped
         fresh = CachePortal(site, safety_enforcement=self.config.safety)
         report.restarts_performed += 1
         if self.config.recover and os.path.exists(ckpt_path):
@@ -286,17 +320,40 @@ class StalenessAuditor:
         rng = random.Random(config.seed)
 
         db = _build_database(config.log_capacity)
+        owns_tmpdir = checkpoint_path is None
+        tmpdir = tempfile.mkdtemp(prefix="repro-audit-") if owns_tmpdir else None
+        cluster = None
+        if config.cluster_shards > 0:
+            from repro.cluster import CacheCluster
+
+            cluster = CacheCluster(
+                num_shards=config.cluster_shards,
+                checkpoint_dir=os.path.join(
+                    tmpdir or os.path.dirname(checkpoint_path) or ".", "shards"
+                ),
+            )
         site = build_site(
-            Configuration.WEB_CACHE, _build_servlets(), database=db, num_servers=2
+            Configuration.WEB_CACHE,
+            _build_servlets(),
+            database=db,
+            num_servers=2,
+            web_cache=cluster,
         )
         portal = CachePortal(site, safety_enforcement=config.safety)
 
-        owns_tmpdir = checkpoint_path is None
-        tmpdir = tempfile.mkdtemp(prefix="repro-audit-") if owns_tmpdir else None
         ckpt_path = checkpoint_path or os.path.join(tmpdir, "portal.ckpt")
-        try:
+
+        def _checkpoint() -> None:
+            # Shard snapshots ride along with every portal checkpoint, so
+            # a warm shard restore is never older than the portal state
+            # the restarted invalidator resumes from.
             portal.checkpoint(ckpt_path)
+            if cluster is not None:
+                cluster.checkpoint_all()
             report.checkpoints_written += 1
+
+        try:
+            _checkpoint()
 
             # Deterministic op stream and restart points.
             ops = [
@@ -318,7 +375,9 @@ class StalenessAuditor:
             url_by_key = {}
             for i, (kind, arg) in enumerate(ops):
                 if i in restart_at:
-                    portal = self._crash_and_restart(site, portal, ckpt_path, report)
+                    portal = self._crash_and_restart(
+                        site, portal, ckpt_path, report, rng=rng
+                    )
                     # Close the staleness window the dead portal left open
                     # before serving anything else.
                     self._run_cycle(portal, report)
@@ -337,20 +396,14 @@ class StalenessAuditor:
                     self._check_cache(site, url_by_key, report, i)
                 report.ops_executed += 1
                 if (i + 1) % config.checkpoint_every == 0:
-                    portal.checkpoint(ckpt_path)
-                    report.checkpoints_written += 1
+                    _checkpoint()
 
             # Final cycle, then the invariant over everything still cached.
             self._run_cycle(portal, report)
             self._check_cache(site, url_by_key, report, config.ops)
         finally:
             if owns_tmpdir:
-                try:
-                    if os.path.exists(ckpt_path):
-                        os.unlink(ckpt_path)
-                    os.rmdir(tmpdir)
-                except OSError:  # pragma: no cover - best-effort cleanup
-                    pass
+                shutil.rmtree(tmpdir, ignore_errors=True)
         return report
 
 

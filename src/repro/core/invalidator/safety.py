@@ -124,11 +124,19 @@ def classify_template(
 
 
 def _fingerprint_rows(columns: List[str], rows: List[tuple]) -> str:
-    """Order-insensitive digest of a result set."""
+    """Order-sensitive digest of a result.
+
+    Pages render rows in result order, so two results with the same row
+    *set* but different order produce different page bytes — a
+    set-insensitive digest would let such a page survive as stale (e.g.
+    deleting a row a UNION still produces from its other branch reorders
+    the output without changing the set).  The engine is deterministic,
+    so identical table state always re-executes to the identical order.
+    """
     digest = hashlib.sha256()
     digest.update(repr(columns).encode())
-    for row in sorted(repr(row) for row in rows):
-        digest.update(row.encode())
+    for row in rows:
+        digest.update(repr(row).encode())
     return digest.hexdigest()
 
 

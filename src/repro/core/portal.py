@@ -175,16 +175,22 @@ class CachePortal:
         cache = self.site.web_cache
         invalidator = self.invalidator
         last = invalidator.last_report
+        cache_section = {
+            "pages": len(cache),
+            "capacity": cache.capacity,
+            "hits": cache.stats.hits,
+            "misses": cache.stats.misses,
+            "hit_ratio": round(cache.stats.hit_ratio, 4),
+            "ejects": cache.stats.ejects,
+            "evictions": cache.stats.evictions,
+            "bytes_used": cache.stats.bytes_used,
+        }
+        if hasattr(cache, "shards") and hasattr(cache, "status"):
+            # A sharded cluster fronting the site: surface its per-shard
+            # and ring health alongside the aggregated cache counters.
+            cache_section["cluster"] = cache.status()
         return {
-            "cache": {
-                "pages": len(cache),
-                "capacity": cache.capacity,
-                "hits": cache.stats.hits,
-                "misses": cache.stats.misses,
-                "hit_ratio": round(cache.stats.hit_ratio, 4),
-                "ejects": cache.stats.ejects,
-                "evictions": cache.stats.evictions,
-            },
+            "cache": cache_section,
             "sniffer": {
                 "requests_mapped": self.sniffer.mapper.requests_mapped,
                 "pairs_written": self.sniffer.mapper.pairs_written,

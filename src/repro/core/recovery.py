@@ -264,6 +264,48 @@ def restore_pipeline(
     return report
 
 
+# -- cache-cluster snapshots --------------------------------------------------
+
+#: Envelope kind for whole-cluster snapshots (per-shard snapshots use
+#: :data:`repro.cluster.persistence.SHARD_SNAPSHOT_KIND`).
+CLUSTER_SNAPSHOT_KIND = "cache-cluster"
+
+
+def snapshot_cluster(cluster) -> Dict:
+    """Capture a whole cache cluster: ring membership, the eject
+    journal (the warm-restart staleness guard), and every shard's pages.
+
+    Duck-typed (anything with ``snapshot_state``) so this module never
+    imports :mod:`repro.cluster` — the cluster package already imports
+    the checkpoint envelope from here.
+    """
+    return {"kind": CLUSTER_SNAPSHOT_KIND, "cluster": cluster.snapshot_state()}
+
+
+def restore_cluster(cluster, payload: Dict) -> Dict[str, int]:
+    """Reload a whole-cluster snapshot; returns the restore counters
+    (``shards_restored`` / ``pages_restored`` / ``pages_dropped``).
+
+    The journal restores *before* shard contents, so pages ejected after
+    the snapshot are discarded instead of resurrected.
+    """
+    if payload.get("kind") != CLUSTER_SNAPSHOT_KIND:
+        raise CheckpointError(
+            f"not a cache-cluster snapshot (kind={payload.get('kind')!r})"
+        )
+    return cluster.restore_state(dict(payload["cluster"]))
+
+
+def checkpoint_cluster(cluster, path: Union[str, Path]) -> str:
+    """Atomically persist a whole-cluster snapshot; returns the checksum."""
+    return write_checkpoint(path, snapshot_cluster(cluster))
+
+
+def recover_cluster(cluster, path: Union[str, Path]) -> Dict[str, int]:
+    """Load and verify a whole-cluster checkpoint into ``cluster``."""
+    return restore_cluster(cluster, read_checkpoint(path))
+
+
 def _count_fingerprints(registry) -> int:
     return sum(
         1

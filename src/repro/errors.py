@@ -84,5 +84,9 @@ class InvalidationError(CachePortalError):
     """Raised when the invalidation pipeline cannot complete a cycle."""
 
 
+class ClusterError(ReproError):
+    """Base class for cache-cluster errors (ring, shards, persistence)."""
+
+
 class SimulationError(ReproError):
     """Raised for discrete-event-simulation misuse (e.g. time travel)."""

@@ -15,7 +15,14 @@ decouples delivery:
   seconds; deliveries due while the circuit is open are deferred without
   burning an attempt, and other caches are unaffected;
 * **dead-letter queue** — a delivery that exhausts ``max_attempts`` is
-  recorded for operator replay instead of blocking the bus.
+  recorded for operator replay instead of blocking the bus;
+* **shard-targeted routing** — a :meth:`EjectBus.set_router` hook (or an
+  explicit ``targets=`` on :meth:`EjectBus.publish`) restricts each
+  eject's fan-out to the caches that can actually hold the page.  A
+  consistent-hash cache cluster owns every URL on a known shard, so
+  broadcasting an eject to all 64 shards does 63 units of wasted work —
+  the router sends it to the owner(s) only.  Orders without a target set
+  and buses without a router keep the original broadcast semantics.
 
 Delivery order is FIFO per cache for healthy caches, which (together
 with relation-sharded workers upstream) preserves per-relation eject
@@ -105,6 +112,19 @@ class _Delivery:
     origin_ts: Optional[float] = None
 
 
+@dataclass
+class _Order:
+    """One queued eject before fan-out.
+
+    ``targets`` is ``None`` for broadcast (every registered cache) or
+    the set of target names allowed to receive this eject.
+    """
+
+    url_key: str
+    origin_ts: Optional[float] = None
+    targets: Optional[set] = None
+
+
 class EjectBus:
     """Asynchronous fan-out of eject messages to registered caches.
 
@@ -134,10 +154,11 @@ class EjectBus:
         self.breaker_cooldown = breaker_cooldown
         self._clock = clock or time.monotonic
         self._targets: Dict[str, CacheTarget] = {}
+        self._router: Optional[Callable[[str], Optional[Sequence[str]]]] = None
         self._lock = threading.Lock()
         self._wake = threading.Event()
-        self._orders: "deque[Tuple[str, Optional[float]]]" = deque()
-        self._queued_urls: set = set()
+        self._orders: "deque[_Order]" = deque()
+        self._queued_urls: Dict[str, _Order] = {}
         self._retries: List[Tuple[float, int, _Delivery]] = []
         self._retry_seq = itertools.count()
         self._outstanding = 0
@@ -166,21 +187,55 @@ class EjectBus:
         with self._lock:
             return list(self._targets.values())
 
+    def set_router(
+        self, router: Optional[Callable[[str], Optional[Sequence[str]]]]
+    ) -> None:
+        """Install (or clear) the per-URL fan-out router.
+
+        ``router(url_key)`` returns the target names that own the page,
+        or ``None`` to broadcast.  It is consulted at fan-out time, so a
+        cluster membership change between publish and delivery routes
+        with the *current* ring — exactly the shard that will be probed
+        for the page next.
+        """
+        with self._lock:
+            self._router = router
+
     # -- publishing -------------------------------------------------------------
 
     def publish(
-        self, url_keys: Sequence[str], origin_ts: Optional[float] = None
+        self,
+        url_keys: Sequence[str],
+        origin_ts: Optional[float] = None,
+        targets: Optional[Sequence[str]] = None,
     ) -> int:
-        """Queue eject orders; returns how many were accepted (not coalesced)."""
+        """Queue eject orders; returns how many were accepted (not coalesced).
+
+        ``targets`` restricts this batch's fan-out to the named caches;
+        coalescing an order into an already-queued one merges the target
+        sets (broadcast wins), so no restriction is ever tightened by a
+        later publish.
+        """
         accepted = 0
+        target_set = set(targets) if targets is not None else None
         with self._lock:
             for url_key in url_keys:
                 self.metrics.add(ejects_requested=1)
-                if url_key in self._queued_urls:
+                queued = self._queued_urls.get(url_key)
+                if queued is not None:
+                    if target_set is None:
+                        queued.targets = None
+                    elif queued.targets is not None:
+                        queued.targets |= target_set
                     self.metrics.add(ejects_coalesced=1)
                     continue
-                self._queued_urls.add(url_key)
-                self._orders.append((url_key, origin_ts))
+                order = _Order(
+                    url_key=url_key,
+                    origin_ts=origin_ts,
+                    targets=set(target_set) if target_set is not None else None,
+                )
+                self._queued_urls[url_key] = order
+                self._orders.append(order)
                 self._outstanding += 1
                 accepted += 1
         if accepted:
@@ -260,21 +315,48 @@ class EjectBus:
             with self._lock:
                 if not self._orders:
                     break
-                url_key, origin_ts = self._orders.popleft()
-                self._queued_urls.discard(url_key)
-                targets = list(self._targets.values())
-                # one order becomes one delivery per target
-                self._outstanding += max(0, len(targets) - 1)
+                order = self._orders.popleft()
+                self._queued_urls.pop(order.url_key, None)
+                targets = self._resolve_targets(order)
+                # one order becomes one delivery per resolved target
+                self._outstanding += len(targets) - 1
             if not targets:
-                with self._lock:
-                    self._outstanding -= 1
                 continue
             for target in targets:
                 self._attempt(
-                    _Delivery(url_key=url_key, target=target, origin_ts=origin_ts)
+                    _Delivery(
+                        url_key=order.url_key,
+                        target=target,
+                        origin_ts=order.origin_ts,
+                    )
                 )
         with self._lock:
             return self._retries[0][0] if self._retries else None
+
+    def _resolve_targets(self, order: _Order) -> List[CacheTarget]:
+        """Fan one order out to its delivery targets (lock held).
+
+        Explicit order targets win; otherwise the router (when installed)
+        names the owners; otherwise every registered cache gets a copy.
+        Unknown names are counted, not fatal — a shard that just left the
+        cluster cannot hold the page anyway.
+        """
+        names = order.targets
+        if names is None and self._router is not None:
+            routed = self._router(order.url_key)
+            names = None if routed is None else set(routed)
+        if names is None:
+            self.metrics.add(ejects_broadcast=1)
+            return list(self._targets.values())
+        chosen = [self._targets[name] for name in names if name in self._targets]
+        unknown = len(names) - len(chosen)
+        if unknown:
+            self.metrics.add(routing_unknown_targets=unknown)
+        self.metrics.add(
+            ejects_routed=1,
+            routed_deliveries_saved=max(0, len(self._targets) - len(chosen)),
+        )
+        return chosen
 
     def _attempt(self, delivery: _Delivery) -> None:
         now = self._clock()
@@ -337,15 +419,18 @@ class EjectBus:
         """JSON-compatible dump of everything not yet delivered.
 
         Pending orders and in-flight retries collapse to one de-duplicated
-        URL list: a restored bus re-publishes each to *every* registered
-        cache (ejects are idempotent, so at-least-once is safe even when
-        the original delivery had already reached some targets).  Dead
-        letters are carried across verbatim for operator replay.
+        URL list: a restored bus re-publishes each without a target
+        restriction, so it reaches *every* registered cache — or, when a
+        router is installed on the restored bus, the owners the router
+        names at fan-out time (ejects are idempotent, so at-least-once is
+        safe even when the original delivery had already reached some
+        targets).  Dead letters are carried across verbatim for operator
+        replay.
         """
         with self._lock:
             undelivered: "dict[str, None]" = {}  # insertion-ordered set
-            for url_key, _origin_ts in self._orders:
-                undelivered.setdefault(url_key)
+            for order in self._orders:
+                undelivered.setdefault(order.url_key)
             for _due, _seq, delivery in sorted(self._retries):
                 undelivered.setdefault(delivery.url_key)
             dead_letters = [

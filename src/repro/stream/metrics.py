@@ -53,6 +53,11 @@ class PipelineMetrics:
         # bus
         self.ejects_requested = 0
         self.ejects_coalesced = 0
+        # shard-targeted routing (cluster fan-out)
+        self.ejects_routed = 0
+        self.ejects_broadcast = 0
+        self.routed_deliveries_saved = 0
+        self.routing_unknown_targets = 0
         self.deliveries_ok = 0
         self.deliveries_failed = 0
         self.retries = 0
@@ -166,6 +171,10 @@ class PipelineMetrics:
                 "bus": {
                     "ejects_requested": self.ejects_requested,
                     "ejects_coalesced": self.ejects_coalesced,
+                    "ejects_routed": self.ejects_routed,
+                    "ejects_broadcast": self.ejects_broadcast,
+                    "routed_deliveries_saved": self.routed_deliveries_saved,
+                    "routing_unknown_targets": self.routing_unknown_targets,
                     "outstanding": bus_outstanding,
                     "deliveries_ok": self.deliveries_ok,
                     "deliveries_failed": self.deliveries_failed,

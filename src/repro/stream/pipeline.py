@@ -177,6 +177,24 @@ class StreamingInvalidationPipeline:
     def register_cache(self, name: str, cache: object) -> None:
         self.bus.register(name, cache)
 
+    def attach_cluster(self, cluster, extra_targets: Sequence[str] = ()):
+        """Serve ejects to a sharded cache cluster instead of (or beside)
+        flat caches: every shard becomes its own bus target (per-shard
+        retries and circuit breakers) and the cluster's consistent-hash
+        ring routes each eject to only the owning shard(s).
+
+        ``extra_targets`` names already-registered non-sharded caches
+        (e.g. a reverse-proxy tier) that must keep receiving every eject.
+        Returns the installed router.
+        """
+        # Imported here: repro.cluster depends on repro.stream.bus, so a
+        # module-level import would make the package import order brittle.
+        from repro.cluster.router import attach_cluster_to_bus
+
+        return attach_cluster_to_bus(
+            self.bus, cluster, extra_targets=extra_targets
+        )
+
     def register_query_type(self, template_sql: str, name: Optional[str] = None):
         """Offline registration of a known query type (§4.1.1)."""
         with self.registry_lock:

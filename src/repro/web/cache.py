@@ -13,11 +13,27 @@ protocol:
 
 from __future__ import annotations
 
+import random
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.web.http import CacheControl, HttpRequest, HttpResponse
+
+
+def response_size_bytes(response: HttpResponse) -> int:
+    """DRAM footprint of one cached page: body plus header bytes.
+
+    The byte-budget tier of the cache cluster plans capacity in bytes,
+    not entries, so the accounting must cover everything a real cache
+    would keep resident: the body, every explicit header, and the
+    rendered Cache-Control line.
+    """
+    size = len(response.body.encode("utf-8"))
+    for name, value in response.headers.items():
+        size += len(name.encode("utf-8")) + len(str(value).encode("utf-8"))
+    size += len(response.cache_control.render().encode("utf-8"))
+    return size
 
 
 @dataclass
@@ -29,6 +45,12 @@ class CacheEntry:
     stored_at: float
     expires_at: Optional[float] = None
     hits: int = 0
+    #: DRAM footprint (body + headers), fixed at store time.
+    size_bytes: int = 0
+    #: Cluster eject-journal stamp at store time (0 outside a cluster);
+    #: warm restarts use it to discard snapshot entries that were ejected
+    #: after the snapshot was taken.
+    seq: int = 0
 
 
 @dataclass
@@ -41,6 +63,10 @@ class CacheStats:
     ejects: int = 0
     evictions: int = 0
     expirations: int = 0
+    #: Current resident bytes (a gauge, kept in sync by the cache).
+    bytes_used: int = 0
+    #: Cumulative bytes reclaimed by capacity evictions.
+    bytes_evicted: int = 0
 
     @property
     def lookups(self) -> int:
@@ -59,9 +85,16 @@ class WebCache:
     Args:
         capacity: maximum number of cached pages (the paper's
             ``cache_size`` parameter).
+        capacity_bytes: optional DRAM budget; when set, stores evict
+            least-recently-used pages until resident bytes fit.  A page
+            larger than the whole budget is refused outright.
         default_ttl: optional expiry in seconds; ``None`` disables
             time-based invalidation (CachePortal relies on ejects).
         clock: time source, injected by the simulator.
+        on_evict: hook invoked with each entry removed by a capacity
+            eviction (entry count or byte budget) — the cluster's hot
+            tier demotes these to its overflow tier instead of dropping
+            them.  Not called for ejects or TTL expirations.
     """
 
     def __init__(
@@ -69,17 +102,28 @@ class WebCache:
         capacity: int = 1024,
         default_ttl: Optional[float] = None,
         clock: Optional[Callable[[], float]] = None,
+        capacity_bytes: Optional[int] = None,
+        on_evict: Optional[Callable[[CacheEntry], None]] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
+        if capacity_bytes is not None and capacity_bytes < 1:
+            raise ValueError("cache byte budget must be positive")
         self.capacity = capacity
+        self.capacity_bytes = capacity_bytes
         self.default_ttl = default_ttl
         self._clock = clock or (lambda: 0.0)
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self.on_evict = on_evict
         self.stats = CacheStats()
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def bytes_used(self) -> int:
+        """Resident bytes across all cached pages (bodies + headers)."""
+        return self.stats.bytes_used
 
     def __contains__(self, url_key: str) -> bool:
         return url_key in self._entries
@@ -95,6 +139,7 @@ class WebCache:
         now = self._clock()
         if entry is not None and entry.expires_at is not None and now >= entry.expires_at:
             del self._entries[url_key]
+            self.stats.bytes_used -= entry.size_bytes
             self.stats.expirations += 1
             entry = None
         if entry is None:
@@ -125,22 +170,46 @@ class WebCache:
             response=response,
             stored_at=now,
             expires_at=None if effective_ttl is None else now + effective_ttl,
+            size_bytes=response_size_bytes(response),
         )
-        if url_key in self._entries:
+        return self.admit(entry)
+
+    def admit(self, entry: CacheEntry) -> bool:
+        """Insert a pre-built entry, enforcing both capacity budgets.
+
+        The cacheability checks live in :meth:`put`; ``admit`` is the
+        accounting core, reused by the cluster shard to promote or
+        restore entries without re-deriving TTLs or re-checking headers.
+        """
+        if self.capacity_bytes is not None and entry.size_bytes > self.capacity_bytes:
+            return False
+        url_key = entry.url_key
+        previous = self._entries.get(url_key)
+        if previous is not None:
+            self.stats.bytes_used -= previous.size_bytes
             self._entries.move_to_end(url_key)
         self._entries[url_key] = entry
+        self.stats.bytes_used += entry.size_bytes
         self.stats.stores += 1
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        while len(self._entries) > self.capacity or (
+            self.capacity_bytes is not None
+            and self.stats.bytes_used > self.capacity_bytes
+        ):
+            _victim_key, victim = self._entries.popitem(last=False)
+            self.stats.bytes_used -= victim.size_bytes
+            self.stats.bytes_evicted += victim.size_bytes
             self.stats.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(victim)
         return True
 
     # -- invalidation ----------------------------------------------------------------
 
     def eject(self, url_key: str) -> bool:
         """Remove one page; returns True when it was present."""
-        if url_key in self._entries:
-            del self._entries[url_key]
+        entry = self._entries.pop(url_key, None)
+        if entry is not None:
+            self.stats.bytes_used -= entry.size_bytes
             self.stats.ejects += 1
             return True
         return False
@@ -161,6 +230,15 @@ class WebCache:
 
     def clear(self) -> None:
         self._entries.clear()
+        self.stats.bytes_used = 0
+
+    def entries(self) -> List[CacheEntry]:
+        """Live entries in LRU→MRU order (for snapshots and demotion)."""
+        return list(self._entries.values())
+
+    def peek(self, url_key: str) -> Optional[CacheEntry]:
+        """The entry for a key without touching LRU order or stats."""
+        return self._entries.get(url_key)
 
 
 class FlakyCache(WebCache):
@@ -174,6 +252,14 @@ class FlakyCache(WebCache):
         fail_first: raise on this many initial eject messages, then heal.
         failure_plan: optional override — called with the 1-based message
             attempt number; a True return makes that delivery raise.
+        failure_rate: probability a delivery raises, drawn from ``rng``.
+            Evaluated only when no ``failure_plan`` is given and the
+            ``fail_first`` run-in has been consumed.
+        rng: explicit seeded random source for ``failure_rate`` draws.
+            The cluster bench and audit hand each shard its own
+            ``random.Random(seed ^ shard_index)`` so fault injection is
+            deterministic per shard and reproducible across runs; an
+            unseeded default is created only as a convenience fallback.
     """
 
     def __init__(
@@ -183,10 +269,22 @@ class FlakyCache(WebCache):
         clock: Optional[Callable[[], float]] = None,
         fail_first: int = 0,
         failure_plan: Optional[Callable[[int], bool]] = None,
+        failure_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+        capacity_bytes: Optional[int] = None,
     ) -> None:
-        super().__init__(capacity=capacity, default_ttl=default_ttl, clock=clock)
+        super().__init__(
+            capacity=capacity,
+            default_ttl=default_ttl,
+            clock=clock,
+            capacity_bytes=capacity_bytes,
+        )
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError("failure_rate must be within [0, 1]")
         self.fail_first = fail_first
         self.failure_plan = failure_plan
+        self.failure_rate = failure_rate
+        self.rng = rng if rng is not None else random.Random()
         self.messages_seen = 0
         self.messages_failed = 0
 
@@ -194,8 +292,12 @@ class FlakyCache(WebCache):
         self.messages_seen += 1
         if self.failure_plan is not None:
             should_fail = self.failure_plan(self.messages_seen)
+        elif self.messages_seen <= self.fail_first:
+            should_fail = True
+        elif self.failure_rate:
+            should_fail = self.rng.random() < self.failure_rate
         else:
-            should_fail = self.messages_seen <= self.fail_first
+            should_fail = False
         if should_fail:
             self.messages_failed += 1
             raise ConnectionError(

@@ -147,6 +147,7 @@ def build_site(
     data_cache_capacity: int = 4096,
     balancing: BalancingPolicy = BalancingPolicy.ROUND_ROBIN,
     clock: Optional[Callable[[], float]] = None,
+    web_cache: Optional[object] = None,
 ) -> Site:
     """Assemble a :class:`Site` for one of the three configurations.
 
@@ -159,6 +160,10 @@ def build_site(
         web_cache_capacity: page-cache size for Config III.
         data_cache_capacity: per-server result-cache size for Config II.
         clock: time source for caches (the simulator injects its own).
+        web_cache: a ready-made page cache for Config III — anything
+            speaking the ``WebCache`` protocol, e.g. a
+            :class:`~repro.cluster.cluster.CacheCluster` — instead of the
+            default single-node ``WebCache``.
     """
     if num_servers < 1:
         raise WebError("a site needs at least one server")
@@ -191,8 +196,11 @@ def build_site(
         web_servers.append(WebServer(name=f"ws{index}", app_server=app_server))
 
     balancer = LoadBalancer(web_servers, balancing)
-    web_cache = None
-    if configuration is Configuration.WEB_CACHE:
+    if configuration is not Configuration.WEB_CACHE:
+        if web_cache is not None:
+            raise WebError("only Config III takes a page cache")
+        web_cache = None
+    elif web_cache is None:
         web_cache = WebCache(capacity=web_cache_capacity, clock=clock)
 
     return Site(

@@ -1,0 +1,88 @@
+"""Per-shard checkpoint files: atomicity envelope reuse, identity
+validation, and torn-file rejection."""
+
+import pytest
+
+from repro.cluster.persistence import ShardCheckpointer
+from repro.cluster.shard import CacheShard, EjectJournal
+from repro.core.recovery import CheckpointError, write_checkpoint
+from repro.web.http import CacheControl, HttpResponse
+
+
+def page(body="hello"):
+    return HttpResponse(
+        body=body, cache_control=CacheControl.cacheportal_private()
+    )
+
+
+def test_save_load_roundtrip(tmp_path):
+    ckpt = ShardCheckpointer(tmp_path)
+    shard = CacheShard("s00")
+    shard.put("/a", page("alpha"))
+    shard.put("/b", page("beta"))
+    checksum = ckpt.save(shard)
+    assert checksum and ckpt.has_snapshot("s00")
+    shard.clear()
+    report = ckpt.load(shard)
+    assert report.pages_restored == 2 and report.pages_dropped == 0
+    assert report.shard == "s00"
+    assert report.bytes_restored == shard.bytes_used > 0
+    assert shard.get("/a").body == "alpha"
+
+
+def test_save_all_names_files_per_shard(tmp_path):
+    ckpt = ShardCheckpointer(tmp_path)
+    shards = [CacheShard(f"s{i:02d}") for i in range(3)]
+    checksums = ckpt.save_all(shards)
+    assert set(checksums) == {"s00", "s01", "s02"}
+    for shard in shards:
+        assert ckpt.path_for(shard.name).exists()
+
+
+def test_load_rejects_snapshot_of_another_shard(tmp_path):
+    ckpt = ShardCheckpointer(tmp_path)
+    donor = CacheShard("s00")
+    donor.put("/a", page())
+    ckpt.save(donor)
+    # a miswired restore: rename s00's snapshot onto s01's slot
+    ckpt.path_for("s00").rename(ckpt.path_for("s01"))
+    with pytest.raises(CheckpointError, match="belongs to shard"):
+        ckpt.load(CacheShard("s01"))
+
+
+def test_load_rejects_wrong_kind(tmp_path):
+    ckpt = ShardCheckpointer(tmp_path)
+    write_checkpoint(ckpt.path_for("s00"), {"kind": "portal", "shard": "s00"})
+    with pytest.raises(CheckpointError, match="not a cache-shard"):
+        ckpt.load(CacheShard("s00"))
+
+
+def test_load_rejects_torn_file(tmp_path):
+    ckpt = ShardCheckpointer(tmp_path)
+    shard = CacheShard("s00")
+    shard.put("/a", page())
+    ckpt.save(shard)
+    path = ckpt.path_for("s00")
+    path.write_text(path.read_text()[: len(path.read_text()) // 2])
+    with pytest.raises(CheckpointError):
+        ckpt.load(shard)
+
+
+def test_load_if_present_returns_none_without_snapshot(tmp_path):
+    ckpt = ShardCheckpointer(tmp_path)
+    assert ckpt.load_if_present(CacheShard("s42")) is None
+
+
+def test_restore_runs_journal_guard_through_checkpointer(tmp_path):
+    journal = EjectJournal()
+    ckpt = ShardCheckpointer(tmp_path)
+    shard = CacheShard("s00", journal=journal)
+    shard.put("/stale", page())
+    shard.put("/live", page())
+    ckpt.save(shard)
+    shard.eject("/stale")
+    shard.clear()
+    report = ckpt.load(shard)
+    assert report.pages_restored == 1 and report.pages_dropped == 1
+    assert shard.get("/stale") is None
+    assert shard.get("/live") is not None

@@ -1,0 +1,179 @@
+"""Two-tier shard behaviour: byte-budget hot tier, overflow cold tier,
+promotion/demotion, the eject journal, and snapshot/restore."""
+
+import pytest
+
+from repro.cluster.shard import CacheShard, EjectJournal
+from repro.web.http import CacheControl, HttpResponse
+
+
+def page(body):
+    return HttpResponse(
+        body=body, cache_control=CacheControl.cacheportal_private()
+    )
+
+
+def sized(n, ch="x"):
+    """A page whose body is exactly ``n`` characters."""
+    return page(ch * n)
+
+
+def shard(hot_bytes=4096, cold_entries=8, **kwargs):
+    return CacheShard(
+        "s00", hot_bytes=hot_bytes, cold_entries=cold_entries, **kwargs
+    )
+
+
+class TestTiering:
+    def test_hot_eviction_demotes_to_cold(self):
+        s = shard(hot_bytes=3000, cold_entries=8)
+        for i in range(4):  # 4 * 1000B > 3000B budget
+            assert s.put(f"/p{i}", sized(1000))
+        assert len(s.hot) < 4
+        assert s.stats.demotions > 0
+        # nothing was lost: every page still served
+        for i in range(4):
+            assert s.get(f"/p{i}") is not None
+
+    def test_cold_hit_promotes_back_to_hot(self):
+        s = shard(hot_bytes=2500, cold_entries=8)
+        for i in range(4):
+            s.put(f"/p{i}", sized(1000))
+        demoted = [f"/p{i}" for i in range(4) if f"/p{i}" not in s.hot]
+        assert demoted
+        victim = demoted[0]
+        before = s.stats.promotions
+        assert s.get(victim) is not None
+        assert s.stats.promotions == before + 1
+        assert victim in s.hot
+
+    def test_cold_tier_bounded_by_entries(self):
+        s = shard(hot_bytes=1000, cold_entries=3)
+        for i in range(10):
+            s.put(f"/p{i}", sized(900))
+        assert len(s._cold) <= 3
+        assert s.stats.cold_evictions > 0
+
+    def test_cold_tier_disabled(self):
+        s = shard(hot_bytes=2000, cold_entries=0)
+        for i in range(4):
+            s.put(f"/p{i}", sized(900))
+        assert len(s) <= 2  # evicted pages are simply gone
+        assert len(s._cold) == 0
+
+    def test_bytes_used_tracks_both_tiers(self):
+        s = shard(hot_bytes=2500, cold_entries=8)
+        for i in range(4):
+            s.put(f"/p{i}", sized(1000))
+        assert s.bytes_used == s.hot.bytes_used + s._cold_bytes
+        total = sum(
+            len(entry.response.body.encode()) for entry in s._cold.values()
+        )
+        assert s._cold_bytes >= total  # headers add to the accounting
+
+
+class TestEjects:
+    def test_eject_removes_from_both_tiers_and_journals(self):
+        s = shard(hot_bytes=2500, cold_entries=8)
+        for i in range(4):
+            s.put(f"/p{i}", sized(1000))
+        seq_before = s.journal.seq
+        for i in range(4):
+            assert s.eject(f"/p{i}")
+        assert len(s) == 0
+        assert s.journal.seq == seq_before + 4
+        assert not s.eject("/p0")  # idempotent: already gone
+
+    def test_handle_message_speaks_cache_control_eject(self):
+        from repro.web.http import make_eject_request
+
+        s = shard()
+        s.put("/p", sized(100))
+        assert s.handle_message(make_eject_request("/p"), "/p")
+        assert s.get("/p") is None
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_preserves_pages_and_bytes(self):
+        s = shard(hot_bytes=2500, cold_entries=8)
+        for i in range(4):
+            s.put(f"/p{i}", sized(1000, ch=chr(ord("a") + i)))
+        state = s.snapshot_state()
+        other = CacheShard("s00", hot_bytes=2500, cold_entries=8,
+                           journal=s.journal)
+        outcome = other.restore_state(state)
+        assert outcome["pages_restored"] == 4
+        assert outcome["pages_dropped"] == 0
+        for i in range(4):
+            got = other.get(f"/p{i}")
+            assert got is not None
+            assert got.body == chr(ord("a") + i) * 1000
+
+    def test_restore_drops_pages_ejected_after_snapshot(self):
+        """The warm-restart staleness guard: snapshot at T, eject at
+        T+1, crash at T+2 — the restore must NOT resurrect the page."""
+        journal = EjectJournal()
+        s = shard(journal=journal)
+        s.put("/stale", sized(100))
+        s.put("/fresh", sized(100))
+        state = s.snapshot_state()
+        s.eject("/stale")  # after the snapshot
+        s.clear()  # the crash
+        outcome = s.restore_state(state)
+        assert outcome["pages_dropped"] == 1
+        assert s.get("/stale") is None
+        assert s.get("/fresh") is not None
+
+    def test_restore_respects_ttl_expiry(self):
+        now = [0.0]
+        s = CacheShard("s00", hot_bytes=4096, cold_entries=4,
+                       clock=lambda: now[0])
+        s.put("/ttl", sized(50), ttl=10.0)
+        s.put("/keep", sized(50))
+        state = s.snapshot_state()
+        now[0] = 100.0  # the crash outlived the TTL
+        s.clear()
+        outcome = s.restore_state(state)
+        assert outcome["pages_dropped"] == 1
+        assert s.get("/ttl") is None
+        assert s.get("/keep") is not None
+
+    def test_journal_snapshot_roundtrip(self):
+        journal = EjectJournal()
+        stamp = journal.stamp()
+        journal.note("/a")
+        journal.note("/b")
+        restored = EjectJournal()
+        restored.restore_state(journal.snapshot_state())
+        assert restored.seq == journal.seq
+        assert restored.ejected_since("/a", stamp)
+        assert not restored.ejected_since("/c", stamp)
+
+
+class TestFaultInjectionFactory:
+    def test_flaky_shard_fails_deterministically_with_seeded_rng(self):
+        """Satellite: FlakyCache takes an explicit seeded RNG, so two
+        runs with the same seed fail on exactly the same operations."""
+        import random
+
+        from repro.web.cache import FlakyCache
+        from repro.web.http import make_eject_request
+
+        def run(seed):
+            cache = FlakyCache(
+                failure_rate=0.5, rng=random.Random(seed), capacity=64
+            )
+            outcomes = []
+            for i in range(40):
+                cache.put(f"/p{i}", sized(10))
+                try:
+                    cache.handle_message(make_eject_request(f"/p{i}"), f"/p{i}")
+                    outcomes.append("ok")
+                except Exception:
+                    outcomes.append("fail")
+            return outcomes
+
+        first, second = run(99), run(99)
+        assert first == second
+        assert "fail" in first and "ok" in first
+        assert run(7) != first  # a different seed gives a different trace
