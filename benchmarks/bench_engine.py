@@ -3,7 +3,17 @@
 Confirms the cost ordering the experiments rely on: the heavy page's
 select-join really costs more than the medium select, which costs more
 than the light select — and index maintenance keeps DML cheap.
+
+Also measures the vectorized columnar executor against the retained
+row-at-a-time reference (``Database(executor="row")``) on the paper's
+scan and join shapes, asserting the ≥10× speedup floor this engine was
+refactored for.  Reference numbers live in
+``benchmarks/baselines/bench_engine.json``.
 """
+
+import json
+import os
+import time
 
 import pytest
 
@@ -17,6 +27,16 @@ from repro.sim.workload import (
 )
 
 from conftest import emit
+
+#: Minimum accepted columnar-over-row speedup on scan and join shapes.
+SPEEDUP_FLOOR = float(os.environ.get("REPRO_BENCH_ENGINE_FLOOR", "10.0"))
+
+#: Timing repetitions (median-of-rounds of a timed loop).
+_ROUNDS = int(os.environ.get("REPRO_BENCH_ENGINE_ROUNDS", "5"))
+
+_BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "baselines", "bench_engine.json"
+)
 
 
 @pytest.fixture(scope="module")
@@ -60,6 +80,79 @@ def test_insert_with_indexes(benchmark, paper_db):
         )
 
     benchmark(insert)
+
+
+def _build_db(executor):
+    db = Database(executor=executor)
+    for statement in build_paper_schema_sql(small_rows=500, large_rows=2500):
+        db.execute(statement)
+    return db
+
+
+def _time_query(db, sql, params):
+    """Median-of-rounds wall time (seconds) for one execution of ``sql``."""
+    db.execute(sql, params)  # warm the plan cache / first-run compilation
+    samples = []
+    for _ in range(_ROUNDS):
+        start = time.perf_counter()
+        db.execute(sql, params)
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def test_columnar_speedup():
+    """Columnar vs row executor on the paper's scan and join shapes.
+
+    The refactor's acceptance bar: ≥10× on scans (light/medium: indexed and
+    filtered scans over small_items/large_items) and joins (heavy: the
+    select-join page class).  Emits JSON so bench-smoke can diff runs
+    against the committed baseline.
+    """
+    columnar = _build_db("columnar")
+    row = _build_db("row")
+
+    shapes = [
+        ("light", "scan", LIGHT_QUERY, (3,)),
+        ("medium", "scan", MEDIUM_QUERY, (3,)),
+        ("heavy", "join", HEAVY_QUERY, (3,)),
+    ]
+    lines = []
+    data = {"speedup_floor": SPEEDUP_FLOOR, "rounds": _ROUNDS, "shapes": {}}
+    for name, kind, sql, params in shapes:
+        col_s = _time_query(columnar, sql, params)
+        row_s = _time_query(row, sql, params)
+        speedup = row_s / col_s if col_s else float("inf")
+        data["shapes"][name] = {
+            "kind": kind,
+            "columnar_ms": col_s * 1e3,
+            "row_ms": row_s * 1e3,
+            "speedup": speedup,
+        }
+        lines.append(
+            f"{name:7s} ({kind:4s}): columnar={col_s * 1e3:8.3f}ms "
+            f"row={row_s * 1e3:8.3f}ms speedup={speedup:6.1f}x"
+        )
+
+    baseline = None
+    if os.path.exists(_BASELINE_PATH):
+        with open(_BASELINE_PATH) as handle:
+            baseline = json.load(handle)
+        for name, shape in data["shapes"].items():
+            ref = baseline["shapes"].get(name)
+            if ref:
+                lines.append(
+                    f"{name:7s} baseline speedup={ref['speedup']:6.1f}x "
+                    f"(committed {baseline['committed']})"
+                )
+    emit("Engine micro — columnar vs row executor", lines, data=data)
+
+    for name, shape in data["shapes"].items():
+        assert shape["speedup"] >= SPEEDUP_FLOOR, (
+            f"{name} ({shape['kind']}) speedup {shape['speedup']:.1f}x is below "
+            f"the {SPEEDUP_FLOOR:.0f}x floor (columnar {shape['columnar_ms']:.3f}ms"
+            f" vs row {shape['row_ms']:.3f}ms)"
+        )
 
 
 def test_cost_ordering():

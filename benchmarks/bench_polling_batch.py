@@ -51,8 +51,13 @@ JOIN_POLL = "SELECT COUNT(*) FROM mileage WHERE mileage.model = 'probe' AND mile
 PRICE_POLL = "SELECT COUNT(*) FROM car WHERE car.price < {}"
 
 
+#: Executor for the bench databases ("columnar" or "row") — lets the sweep
+#: quantify what the vectorized engine contributes on top of batching.
+EXECUTOR = os.environ.get("REPRO_BENCH_POLLBATCH_EXECUTOR", "columnar")
+
+
 def make_db(rows=400):
-    db = Database()
+    db = Database(executor=EXECUTOR)
     db.execute("CREATE TABLE car (maker TEXT, model TEXT, price INT)")
     db.execute("CREATE TABLE mileage (model TEXT, epa INT)")
     for i in range(rows):

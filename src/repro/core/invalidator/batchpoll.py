@@ -46,7 +46,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.sql import ast
-from repro.sql.params import parameterize
+from repro.sql.params import ParameterizedQuery, parameterize
 from repro.sql.printer import to_sql
 from repro.core.invalidator.infomgmt import InformationManager
 from repro.core.invalidator.polling import PollingQueryGenerator
@@ -60,7 +60,9 @@ PROBE_NAME = "__probe"
 TID_COLUMN = "__tid"
 
 
-def batch_key(query: object) -> Optional[str]:
+def batch_key(
+    query: object, parameterized: "Optional[ParameterizedQuery]" = None
+) -> Optional[str]:
     """Group identity of a per-instance polling query, or None.
 
     Two polling queries fold into the same batch exactly when they are
@@ -70,6 +72,11 @@ def batch_key(query: object) -> Optional[str]:
     shape, mixes in subqueries (a probe reference inside one would be a
     correlated subquery, which the engine rejects), or already contains
     placeholders (only fully bound instances carry batchable constants).
+
+    ``parameterized`` may carry the query's precomputed
+    :func:`~repro.sql.params.parameterize` result; callers that already
+    have one (the batch poller computes it for coalescing) avoid a
+    second template rewrite here.
     """
     if not isinstance(query, ast.Select):
         return None
@@ -101,7 +108,9 @@ def batch_key(query: object) -> Optional[str]:
                 return None
             if isinstance(node, ast.ColumnRef) and node.column.startswith("__"):
                 return None
-    return parameterize(query).signature
+    if parameterized is None:
+        parameterized = parameterize(query)
+    return parameterized.signature
 
 
 class _ParamToProbe:
@@ -199,8 +208,8 @@ class _Group:
     rows: List[Tuple[ast.Expr, ...]] = field(default_factory=list)
     #: bindings tuple → member id, for within-batch coalescing.
     row_ids: Dict[Tuple, int] = field(default_factory=dict)
-    #: member id → [(task key, query, printed sql), ...]
-    members: List[List[Tuple[Hashable, ast.Select, str]]] = field(
+    #: member id → [(task key, query, printed sql, polling key), ...]
+    members: List[List[Tuple[Hashable, ast.Select, str, Tuple]]] = field(
         default_factory=list
     )
 
@@ -243,19 +252,26 @@ class BatchPollExecutor:
                 stats.cache_hits += 1
                 outcomes[key] = PollOutcome(cached, 0.0, "cache")
                 continue
-            memoized = generator.cycle_result(query)
+            # One parameterize pass per task: its (signature, bindings)
+            # pair is both the cycle-coalescing key and (signature alone)
+            # the batch group identity, so compute it once and thread it
+            # through rather than re-deriving it at each step.
+            parameterized = parameterize(query)
+            pkey = (parameterized.signature, parameterized.bindings)
+            memoized = generator.cycle_result_keyed(pkey)
             if memoized is not None:
                 stats.coalesced += 1
                 result_cache.put(sql, query, memoized)
                 outcomes[key] = PollOutcome(memoized, 0.0, "coalesced")
                 continue
             signature = (
-                batch_key(query) if self.infomgmt.data_cache is None else None
+                batch_key(query, parameterized)
+                if self.infomgmt.data_cache is None
+                else None
             )
             if signature is None:
                 outcomes[key] = self._poll_single(query, sql)
                 continue
-            parameterized = parameterize(query)
             group = groups.get(signature)
             if group is None:
                 group = _Group(template=parameterized.template)
@@ -276,7 +292,7 @@ class BatchPollExecutor:
                 # probe row serves both (the per-instance path would have
                 # coalesced the second poll the same way).
                 stats.coalesced += 1
-            group.members[member_id].append((key, query, sql))
+            group.members[member_id].append((key, query, sql, pkey))
         for group in groups.values():
             self._execute_group(group, outcomes)
         return outcomes
@@ -315,7 +331,7 @@ class BatchPollExecutor:
         share = float(result.work_units) / len(group.rows) if group.rows else 0.0
         for member_id, members in enumerate(group.members):
             impacted = member_id in returned
-            for key, query, sql in members:
-                self.generator.record_cycle_result(query, impacted)
+            for key, query, sql, pkey in members:
+                self.generator.record_cycle_result_keyed(pkey, impacted)
                 self.infomgmt.result_cache.put(sql, query, impacted)
                 outcomes[key] = PollOutcome(impacted, share, "batched")

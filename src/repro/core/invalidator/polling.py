@@ -64,10 +64,22 @@ class PollingQueryGenerator:
         """This cycle's memoized outcome for an equivalent query, if any."""
         return self._cycle_results.get(polling_key(query))
 
+    def cycle_result_keyed(self, key: Tuple[str, Tuple]) -> Optional[bool]:
+        """Like :meth:`cycle_result` for a precomputed ``polling_key`` —
+        lets bulk callers (the batch poller) parameterize each query once
+        instead of once per lookup."""
+        return self._cycle_results.get(key)
+
     def record_cycle_result(self, query: ast.Select, impacted: bool) -> None:
         """Memoize an outcome obtained elsewhere (e.g. a batched poll) so
         later per-instance polls of an equivalent query coalesce onto it."""
         self._cycle_results[polling_key(query)] = impacted
+
+    def record_cycle_result_keyed(
+        self, key: Tuple[str, Tuple], impacted: bool
+    ) -> None:
+        """Keyed variant of :meth:`record_cycle_result`."""
+        self._cycle_results[key] = impacted
 
     def poll(self, query: ast.Select) -> bool:
         """True when the polling query returns a non-empty/positive result.

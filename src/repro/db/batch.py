@@ -1,0 +1,107 @@
+"""Columnar batches: the unit of work of the vectorized executor.
+
+A :class:`ColumnBatch` is a fixed-size horizontal slice of a relation
+stored column-wise: one Python list per column plus an optional parallel
+rowid column.  Operators consume and produce batches, so per-tuple
+interpreter dispatch is amortized over :data:`BATCH_SIZE` rows — the
+expression compiler in :mod:`repro.db.vector` runs one tight loop per
+batch per AST node instead of one AST walk per row.
+
+Columns are plain lists (not ``array``/numpy) because SQL values are
+heterogeneous (``int | float | str | bool | None``) and the engine's
+three-valued logic needs NULL to stay a first-class element.  List
+slicing, ``zip`` transposition, and comprehension gathers all run in C,
+which is where the batch model gets its speed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.db.types import Value
+
+Row = Tuple[Value, ...]
+
+#: Rows per batch.  Large enough to amortize per-batch Python overhead,
+#: small enough that intermediate columns stay cache- and memory-friendly.
+BATCH_SIZE = 1024
+
+
+class ColumnBatch:
+    """A batch of rows in columnar layout.
+
+    Attributes:
+        columns: one list of values per column, all of equal length.
+        length: number of rows in the batch.
+        rowids: optional parallel list of heap rowids (present on batches
+            produced directly by storage scans; dropped by operators that
+            change row identity, e.g. joins and projections).
+    """
+
+    __slots__ = ("columns", "length", "rowids")
+
+    def __init__(
+        self,
+        columns: List[List[Value]],
+        length: Optional[int] = None,
+        rowids: Optional[List[int]] = None,
+    ) -> None:
+        if length is None:
+            length = len(columns[0]) if columns else (len(rowids) if rowids else 0)
+        self.columns = columns
+        self.length = length
+        self.rowids = rowids
+
+    @property
+    def width(self) -> int:
+        return len(self.columns)
+
+    def rows(self) -> List[Row]:
+        """Transpose to row tuples (C-speed via ``zip``)."""
+        if not self.columns:
+            return [()] * self.length
+        return list(zip(*self.columns))
+
+    def take(self, indices: Sequence[int]) -> "ColumnBatch":
+        """Gather the given row positions into a new batch."""
+        # map(list.__getitem__, ...) stays in C; measurably faster than a
+        # per-element comprehension on wide gathers.
+        return ColumnBatch(
+            [list(map(column.__getitem__, indices)) for column in self.columns],
+            len(indices),
+            list(map(self.rowids.__getitem__, indices))
+            if self.rowids is not None
+            else None,
+        )
+
+    def filter(self, mask: Sequence[bool]) -> "ColumnBatch":
+        """Keep rows whose mask entry is truthy."""
+        if all(mask):
+            return self
+        indices = [i for i, keep in enumerate(mask) if keep]
+        return self.take(indices)
+
+
+def from_rows(rows: Sequence[Row], width: int) -> ColumnBatch:
+    """Build a batch from row tuples (transpose)."""
+    if not rows:
+        return ColumnBatch([[] for _ in range(width)], 0)
+    return ColumnBatch([list(column) for column in zip(*rows)], len(rows))
+
+
+def batches_to_rows(batches: Iterable[ColumnBatch]) -> List[Row]:
+    """Materialize a batch stream into a flat list of row tuples."""
+    rows: List[Row] = []
+    for batch in batches:
+        rows.extend(batch.rows())
+    return rows
+
+
+def mask_indices(mask: Sequence[bool]) -> List[int]:
+    """Positions of truthy entries in a selection mask."""
+    return [i for i, keep in enumerate(mask) if keep]
+
+
+def gather(column: Sequence[Value], indices: Sequence[int]) -> List[Value]:
+    """Gather one column by row positions."""
+    return list(map(column.__getitem__, indices))

@@ -20,18 +20,21 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.errors import CatalogError, ExecutionError
 from repro.sql import ast
 from repro.sql.parser import parse_statement
-from repro.sql.params import bind_parameters
+from repro.sql.params import bind_parameters, number_parameters
 from repro.db.executor import ExecutionContext, execute
 from repro.db.expr import Scope, evaluate, execution_context, passes
 from repro.db.index import HashIndex, Index, SortedIndex
 from repro.db.log import ChangeKind, UpdateLog, UpdateRecord
-from repro.db.planner import Planner
+from repro.db.planner import Planner, PlanNode
 from repro.db.schema import Column, TableSchema
 from repro.db.table import HeapTable
 from repro.db.triggers import TriggerManager
 from repro.db.types import SqlType, Value
 
 Row = Tuple[Value, ...]
+
+#: Bound on cached (statement, plan) entries; oldest evicted beyond this.
+_PLAN_CACHE_CAP = 256
 
 
 @dataclass
@@ -65,13 +68,34 @@ class Database:
             Defaults to a logical counter so tests are deterministic; the
             simulator injects its simulated clock.
         log_capacity: optional bound on retained update-log records.
+        executor: ``"columnar"`` (default) runs plans through the
+            vectorized batch executor; ``"row"`` selects the reference
+            tuple-at-a-time executor kept for differential testing.
     """
 
     def __init__(
         self,
         clock: Optional[Callable[[], float]] = None,
         log_capacity: Optional[int] = None,
+        executor: str = "columnar",
     ) -> None:
+        if executor not in ("columnar", "row"):
+            raise ValueError(f"unknown executor mode {executor!r}")
+        self.executor_mode = executor
+        if executor == "row":
+            from repro.db.rowexec import execute as execute_plan
+        else:
+            execute_plan = execute
+        self._execute_plan = execute_plan
+        # Statement/plan cache: raw SQL text of a SELECT maps to its parsed
+        # statement plus a plan built from the parameter-numbered form.  The
+        # planner treats $n placeholders as constants, so one plan serves
+        # every binding; entries whose plan is None memoize the parse only
+        # (subquery-bearing SELECTs must re-resolve against live data).
+        # Cleared on any DDL.
+        self._plan_cache: Dict[str, Tuple[ast.Statement, Optional[PlanNode]]] = {}
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
         self._tables: Dict[str, HeapTable] = {}
         self._indexes: Dict[str, Index] = {}
         self._indexes_by_table: Dict[str, List[Index]] = {}
@@ -96,6 +120,7 @@ class Database:
             raise CatalogError(f"table {schema.name!r} already exists")
         self._tables[key] = HeapTable(schema)
         self._indexes_by_table[key] = []
+        self._plan_cache.clear()
 
     def drop_table(self, name: str) -> None:
         key = name.lower()
@@ -104,6 +129,7 @@ class Database:
         del self._tables[key]
         for index in self._indexes_by_table.pop(key, []):
             del self._indexes[index.name]
+        self._plan_cache.clear()
 
     def has_table(self, name: str) -> bool:
         return name.lower() in self._tables
@@ -145,6 +171,7 @@ class Database:
             index.add(rowid, row)
         self._indexes[name] = index
         self._indexes_by_table[heap.schema.lower_name].append(index)
+        self._plan_cache.clear()
         return index
 
     def index(self, name: str) -> Index:
@@ -193,17 +220,45 @@ class Database:
         statement: Union[str, ast.Statement],
         params: Optional[Sequence[Value]] = None,
     ) -> StatementResult:
-        """Parse (if needed), bind, and run one statement."""
+        """Parse (if needed), bind, and run one statement.
+
+        SELECT text is memoized in the plan cache: the first execution
+        parses, numbers its parameters, and plans; repeats skip straight to
+        the executor.  Parameters still bind every call (the bound
+        statement is what ``StatementResult.statement`` reports, and bind
+        errors must surface identically), but the cached plan resolves
+        ``$n`` placeholders at runtime from this call's bindings.
+        """
+        plan: Optional[PlanNode] = None
+        fill_key: Optional[str] = None
         if isinstance(statement, str):
-            statement = parse_statement(statement)
-        if params:
-            statement = bind_parameters(statement, tuple(params))
+            entry = self._plan_cache.get(statement)
+            if entry is not None:
+                statement, plan = entry
+                if plan is not None:
+                    self.plan_cache_hits += 1
+            else:
+                text = statement
+                statement = parse_statement(text)
+                if isinstance(statement, ast.Select):
+                    fill_key = text
+        bindings = tuple(params) if params else None
+        if bindings is not None:
+            bound = bind_parameters(statement, bindings)
+        else:
+            bound = statement
         self.statements_executed += 1
         # NOW() reads the logical DML clock and RAND() the seeded
         # per-database stream; both are pinned for the statement's duration
         # so one statement sees one consistent value.
-        with execution_context(self.update_log.last_lsn, self._rand.random):
-            return self._dispatch(statement)
+        with execution_context(
+            self.update_log.last_lsn, self._rand.random, params=bindings
+        ):
+            if fill_key is not None:
+                plan = self._fill_plan_cache(fill_key, statement)
+            if plan is not None:
+                return self._run_plan(bound, plan)
+            return self._dispatch(bound)
 
     def _dispatch(self, statement: ast.Statement) -> StatementResult:
         if isinstance(statement, ast.Select):
@@ -258,6 +313,44 @@ class Database:
 
     # -- SELECT -------------------------------------------------------------
 
+    def _fill_plan_cache(
+        self, key: str, statement: ast.Select
+    ) -> Optional[PlanNode]:
+        """Plan a freshly parsed SELECT and memoize it under its SQL text.
+
+        Returns ``None`` (caching the parse only) when the statement
+        contains subqueries — those re-resolve against live data each run,
+        so their physical plan cannot be reused.  Planning errors propagate
+        without caching, exactly as the uncached path would raise them.
+        """
+        from repro.db.subquery import contains_subquery
+
+        self.plan_cache_misses += 1
+        if len(self._plan_cache) >= _PLAN_CACHE_CAP:
+            self._plan_cache.pop(next(iter(self._plan_cache)))
+        if contains_subquery(statement):
+            self._plan_cache[key] = (statement, None)
+            return None
+        for table in self._select_tables(statement):
+            self.heap(table)  # raises CatalogError for unknown tables
+        plan = self._planner.plan(number_parameters(statement))
+        self._plan_cache[key] = (statement, plan)
+        return plan
+
+    def _run_plan(self, statement: ast.Select, plan: PlanNode) -> StatementResult:
+        """Execute a cached physical plan (no resolver work to charge)."""
+        context = ExecutionContext(self)
+        scope, rows = self._execute_plan(plan, context)
+        labels = [label.split(".", 1)[-1] for label in scope.column_labels()]
+        return StatementResult(
+            statement,
+            columns=labels,
+            rows=rows,
+            rowcount=len(rows),
+            rows_examined=context.rows_examined,
+            index_probes=context.index_probes,
+        )
+
     def _execute_select(self, statement: ast.Select) -> StatementResult:
         for table in self._select_tables(statement):
             self.heap(table)  # raises CatalogError for unknown tables
@@ -269,7 +362,7 @@ class Database:
         resolved = resolver.resolve_select(statement)
         plan = self._planner.plan(resolved)
         context = ExecutionContext(self)
-        scope, rows = execute(plan, context)
+        scope, rows = self._execute_plan(plan, context)
         labels = [label.split(".", 1)[-1] for label in scope.column_labels()]
         return StatementResult(
             statement,
@@ -392,17 +485,58 @@ class Database:
             )
         return result
 
+    def _dml_targets(
+        self,
+        heap: HeapTable,
+        scope: Scope,
+        where: Optional[ast.Expr],
+        result: StatementResult,
+    ) -> List[Tuple[int, Row]]:
+        """Rows matching ``where``, charged to ``result.rows_examined``.
+
+        The columnar engine filters whole storage batches through a
+        compiled mask and charges per batch; the row engine walks tuples
+        and charges one at a time.  Final counters are identical — only
+        the charging granularity differs.
+        """
+        targets: List[Tuple[int, Row]] = []
+        if self.executor_mode != "columnar":
+            for rowid, row in heap.rows():
+                result.rows_examined += 1
+                if passes(where, row, scope):
+                    targets.append((rowid, row))
+            return targets
+        from repro.db.vector import compile_mask
+
+        mask_fn = None
+        for rowids, columns in heap.scan_batches():
+            count = len(rowids)
+            result.rows_examined += count
+            if where is None:
+                targets.extend(zip(rowids, zip(*columns)))
+                continue
+            # Compiled lazily so an empty heap never evaluates the
+            # predicate — matching the row engine's per-tuple behavior.
+            if mask_fn is None:
+                mask_fn = compile_mask(where, scope)
+            mask = mask_fn(columns, count)
+            for position, keep in enumerate(mask):
+                if keep:
+                    targets.append(
+                        (
+                            rowids[position],
+                            tuple(column[position] for column in columns),
+                        )
+                    )
+        return targets
+
     def _execute_update(self, statement: ast.Update) -> StatementResult:
         heap = self.heap(statement.table)
         schema = heap.schema
         scope = Scope([(schema.lower_name, schema.column_names)])
         result = StatementResult(statement)
         # Materialize targets first: assignments must not affect row selection.
-        targets: List[Tuple[int, Row]] = []
-        for rowid, row in heap.rows():
-            result.rows_examined += 1
-            if passes(statement.where, row, scope):
-                targets.append((rowid, row))
+        targets = self._dml_targets(heap, scope, statement.where, result)
         assignment_positions = [
             (schema.position(column), expr) for column, expr in statement.assignments
         ]
@@ -435,11 +569,7 @@ class Database:
         schema = heap.schema
         scope = Scope([(schema.lower_name, schema.column_names)])
         result = StatementResult(statement)
-        targets: List[Tuple[int, Row]] = []
-        for rowid, row in heap.rows():
-            result.rows_examined += 1
-            if passes(statement.where, row, scope):
-                targets.append((rowid, row))
+        targets = self._dml_targets(heap, scope, statement.where, result)
         for rowid, row in targets:
             heap.delete(rowid)
             for index in self.indexes_on(statement.table):

@@ -1,24 +1,47 @@
-"""Plan execution.
+"""Vectorized plan execution over column batches.
 
-Each plan node executes to a ``(scope, iterator-of-rows)`` pair.  Rows are
-flat tuples; the scope says which (binding, column) pair sits at which
-offset.  An :class:`ExecutionContext` threads the database handle and the
-work counters through the tree — the simulator charges service time
-proportional to ``rows_examined``.
+Each plan node executes to a ``(scope, list-of-ColumnBatch)`` pair: rows
+move through the tree as column slices (:mod:`repro.db.batch`) and
+predicates/projections run as compiled batch kernels
+(:mod:`repro.db.vector`), so per-tuple interpreter dispatch is amortized
+over ~1024 rows.  The public contract is unchanged from the
+row-at-a-time executor this replaces (retained in
+:mod:`repro.db.rowexec` as the semantic oracle): ``execute`` returns the
+output scope plus materialized row tuples, and the
+``rows_examined``/``index_probes`` counters on :class:`ExecutionContext`
+reach exactly the same totals — charging is batch-granular
+(``charge_rows(n)``) but the arithmetic per operator replicates the
+reference executor's per-row charges, including the semi-join
+first-match early-out and the hash join's charge-per-bucket-row.
+
+Kernels compile lazily on the first non-empty batch so that statements
+over empty inputs raise exactly what the reference executor raises:
+nothing.  Compiled kernels are cached on the plan node (plan objects are
+reused by the engine's plan cache and dropped with it on DDL).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ExecutionError
 from repro.sql import ast
 from repro.db import planner as plan
-from repro.db.expr import Scope, evaluate, passes
+from repro.db.batch import ColumnBatch, batches_to_rows, from_rows
+from repro.db.expr import Scope, evaluate
 from repro.db.types import SortKey, Value
+from repro.db.vector import compile_mask, compile_value
 
 Row = Tuple[Value, ...]
+Batches = List[ColumnBatch]
+
+_EMPTY = Scope([])
+
+#: Cap on materialized cross-product cells per chunk: nested-loop and
+#: outer joins expand ``left-chunk × right`` pairs at once, so the chunk
+#: height shrinks as the right side grows.
+_CROSS_CHUNK = 8192
 
 
 @dataclass
@@ -38,11 +61,11 @@ class ExecutionContext:
 
 def execute(node: plan.PlanNode, context: ExecutionContext) -> Tuple[Scope, List[Row]]:
     """Execute a plan tree, returning its output scope and materialized rows."""
-    scope, rows = _execute(node, context)
-    return scope, list(rows)
+    scope, batches = _execute(node, context)
+    return scope, batches_to_rows(batches)
 
 
-def _execute(node: plan.PlanNode, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+def _execute(node: plan.PlanNode, context: ExecutionContext) -> Tuple[Scope, Batches]:
     if isinstance(node, plan.TableScan):
         return _table_scan(node, context)
     if isinstance(node, plan.ValuesScan):
@@ -78,119 +101,192 @@ def _execute(node: plan.PlanNode, context: ExecutionContext) -> Tuple[Scope, Ite
     raise ExecutionError(f"unknown plan node {type(node).__name__}")
 
 
+# -- kernel plumbing ----------------------------------------------------------
+
+
+class _LazyKernel:
+    """Compile on first use.
+
+    The reference executor resolves columns and folds constants only when
+    a row actually reaches the expression, so zero-row executions must
+    not raise; deferring compilation to the first non-empty batch keeps
+    error behavior identical.
+    """
+
+    __slots__ = ("_build", "_fn")
+
+    def __init__(self, build: Callable[[], Callable]) -> None:
+        self._build = build
+        self._fn: Optional[Callable] = None
+
+    def __call__(self, cols, n):
+        fn = self._fn
+        if fn is None:
+            fn = self._fn = self._build()
+        return fn(cols, n)
+
+
+def _cached(node: plan.PlanNode, attr: str, factory: Callable[[], object]):
+    value = getattr(node, attr, None)
+    if value is None:
+        value = factory()
+        setattr(node, attr, value)
+    return value
+
+
+def _mask_for(node: plan.PlanNode, attr: str, predicate: ast.Expr, scope: Scope):
+    return _cached(
+        node, attr, lambda: _LazyKernel(lambda: compile_mask(predicate, scope))
+    )
+
+
+def _value_for(node: plan.PlanNode, attr: str, expr: ast.Expr, scope: Scope):
+    return _cached(
+        node, attr, lambda: _LazyKernel(lambda: compile_value(expr, scope))
+    )
+
+
+def _materialize(batches: Batches, width: int) -> Tuple[List[List[Value]], int]:
+    """Concatenate a batch list into full columns plus a row count."""
+    cols: List[List[Value]] = [[] for _ in range(width)]
+    total = 0
+    for batch in batches:
+        total += batch.length
+        for out_col, col in zip(cols, batch.columns):
+            out_col.extend(col)
+    return cols, total
+
+
+def _chunks(batch: ColumnBatch, chunk_rows: int):
+    if batch.length <= chunk_rows:
+        yield batch
+        return
+    for start in range(0, batch.length, chunk_rows):
+        stop = min(start + chunk_rows, batch.length)
+        yield ColumnBatch(
+            [col[start:stop] for col in batch.columns], stop - start
+        )
+
+
+def _cross_columns(
+    left_cols: List[List[Value]], lcount: int, right_cols: List[List[Value]], r: int
+) -> List[List[Value]]:
+    """Columns of the cross product, pairs ordered (l0,r0), (l0,r1), …"""
+    expanded = [[v for v in col for _ in range(r)] for col in left_cols]
+    tiled = [col * lcount for col in right_cols]
+    return expanded + tiled
+
+
 # -- leaf access paths -------------------------------------------------------
 
 
-def _table_scan(node: plan.TableScan, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+def _scan_scope(node, table) -> Tuple[Scope, Optional[List[int]], int]:
+    """Scope + schema positions for a (possibly projected) base-table scan."""
+    if node.columns is None:
+        names = table.schema.column_names
+        return Scope([(node.binding, names)]), None, len(names)
+    positions = [table.schema.position(name) for name in node.columns]
+    return Scope([(node.binding, list(node.columns))]), positions, len(node.columns)
+
+
+def _table_scan(node: plan.TableScan, context: ExecutionContext) -> Tuple[Scope, Batches]:
     if not node.table:
-        # Source-less SELECT: one empty row.
-        return Scope([]), iter([()])
+        # Source-less SELECT: one zero-width row.
+        return Scope([]), [ColumnBatch([], 1)]
     table = context.database.heap(node.table)
-    scope = Scope([(node.binding, table.schema.column_names)])
-
-    def rows() -> Iterator[Row]:
-        for _rowid, row in table.rows():
-            context.charge_rows()
-            yield row
-
-    return scope, rows()
+    scope, positions, _width = _scan_scope(node, table)
+    batches: Batches = []
+    for rowids, cols in table.scan_batches(positions):
+        context.charge_rows(len(rowids))
+        batches.append(ColumnBatch(cols, len(rowids), rowids))
+    return scope, batches
 
 
-def _values_scan(node: plan.ValuesScan, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+def _values_scan(node: plan.ValuesScan, context: ExecutionContext) -> Tuple[Scope, Batches]:
     scope = Scope([(node.binding, list(node.columns))])
-    empty_scope = Scope([])
+    context.charge_rows(len(node.rows))
+    rows = [
+        tuple(evaluate(value, (), _EMPTY) for value in row) for row in node.rows
+    ]
+    if not rows:
+        return scope, []
+    return scope, [from_rows(rows, len(node.columns))]
 
-    def rows() -> Iterator[Row]:
-        for row in node.rows:
-            context.charge_rows()
-            yield tuple(evaluate(value, (), empty_scope) for value in row)
 
-    return scope, rows()
+def _rows_by_id(table, rowids, positions, width: int) -> Batches:
+    rows = []
+    for rowid in rowids:
+        row = table.get(rowid)
+        if row is None:
+            continue
+        rows.append(row if positions is None else tuple(row[p] for p in positions))
+    if not rows:
+        return []
+    return [from_rows(rows, width)]
 
 
-def _index_eq(node: plan.IndexEqLookup, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+def _index_eq(node: plan.IndexEqLookup, context: ExecutionContext) -> Tuple[Scope, Batches]:
     database = context.database
     table = database.heap(node.table)
-    scope = Scope([(node.binding, table.schema.column_names)])
+    scope, positions, width = _scan_scope(node, table)
     index = database.index(node.index_name)
-    value = evaluate(node.value, (), Scope([]))
+    value = evaluate(node.value, (), _EMPTY)
     context.charge_probe()
     rowids = sorted(index.lookup((value,)))
     context.charge_rows(len(rowids))
-
-    def rows() -> Iterator[Row]:
-        for rowid in rowids:
-            row = table.get(rowid)
-            if row is not None:
-                yield row
-
-    return scope, rows()
+    return scope, _rows_by_id(table, rowids, positions, width)
 
 
-def _index_in(node: plan.IndexInLookup, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+def _index_in(node: plan.IndexInLookup, context: ExecutionContext) -> Tuple[Scope, Batches]:
     database = context.database
     table = database.heap(node.table)
-    scope = Scope([(node.binding, table.schema.column_names)])
+    scope, positions, width = _scan_scope(node, table)
     index = database.index(node.index_name)
-    empty_scope = Scope([])
-    rowids: set = set()
-    seen_values: set = set()
+    distinct: List[Value] = []
+    seen: set = set()
     for value_expr in node.values:
-        value = evaluate(value_expr, (), empty_scope)
-        if value is None:
-            continue  # IN never matches NULL list entries
-        if value in seen_values:
+        value = evaluate(value_expr, (), _EMPTY)
+        if value is None:  # IN never matches NULL list entries
             continue
-        seen_values.add(value)
+        if value in seen:
+            continue
+        seen.add(value)
+        distinct.append(value)
         context.charge_probe()
-        rowids |= index.lookup((value,))
-    ordered = sorted(rowids)
+    ordered = sorted(index.lookup_many(distinct))
     context.charge_rows(len(ordered))
-
-    def rows() -> Iterator[Row]:
-        for rowid in ordered:
-            row = table.get(rowid)
-            if row is not None:
-                yield row
-
-    return scope, rows()
+    return scope, _rows_by_id(table, ordered, positions, width)
 
 
-def _index_range(node: plan.IndexRangeScan, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+def _index_range(node: plan.IndexRangeScan, context: ExecutionContext) -> Tuple[Scope, Batches]:
     database = context.database
     table = database.heap(node.table)
-    scope = Scope([(node.binding, table.schema.column_names)])
+    scope, positions, width = _scan_scope(node, table)
     index = database.index(node.index_name)
-    empty_scope = Scope([])
-    low = evaluate(node.low, (), empty_scope) if node.low is not None else None
-    high = evaluate(node.high, (), empty_scope) if node.high is not None else None
+    low = evaluate(node.low, (), _EMPTY) if node.low is not None else None
+    high = evaluate(node.high, (), _EMPTY) if node.high is not None else None
     context.charge_probe()
     rowids = sorted(
         index.range_lookup(low=low, high=high, low_open=node.low_open, high_open=node.high_open)
     )
     context.charge_rows(len(rowids))
-
-    def rows() -> Iterator[Row]:
-        for rowid in rowids:
-            row = table.get(rowid)
-            if row is not None:
-                yield row
-
-    return scope, rows()
+    return scope, _rows_by_id(table, rowids, positions, width)
 
 
 # -- relational operators ----------------------------------------------------
 
 
-def _filter(node: plan.Filter, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
-    scope, child_rows = _execute(node.child, context)
-
-    def rows() -> Iterator[Row]:
-        for row in child_rows:
-            if passes(node.predicate, row, scope):
-                yield row
-
-    return scope, rows()
+def _filter(node: plan.Filter, context: ExecutionContext) -> Tuple[Scope, Batches]:
+    scope, batches = _execute(node.child, context)
+    mask_fn = _mask_for(node, "_vec_predicate", node.predicate, scope)
+    out: Batches = []
+    for batch in batches:
+        if not batch.length:
+            continue
+        filtered = batch.filter(mask_fn(batch.columns, batch.length))
+        if filtered.length:
+            out.append(filtered)
+    return scope, out
 
 
 def _combined_scope(left: Scope, right: Scope) -> Scope:
@@ -200,150 +296,348 @@ def _combined_scope(left: Scope, right: Scope) -> Scope:
     )
 
 
-def _nested_loop(node: plan.NestedLoopJoin, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
-    left_scope, left_rows = _execute(node.left, context)
-    right_scope, right_rows = _execute(node.right, context)
-    right_materialized = list(right_rows)
+def _nested_loop(node: plan.NestedLoopJoin, context: ExecutionContext) -> Tuple[Scope, Batches]:
+    left_scope, left_batches = _execute(node.left, context)
+    right_scope, right_batches = _execute(node.right, context)
     scope = _combined_scope(left_scope, right_scope)
+    rcols, r = _materialize(right_batches, right_scope.width)
+    if r == 0:
+        return scope, []
+    mask_fn = None if node.on is None else _mask_for(node, "_vec_on", node.on, scope)
+    chunk_rows = max(1, _CROSS_CHUNK // r)
+    out: Batches = []
+    for batch in left_batches:
+        for chunk in _chunks(batch, chunk_rows):
+            pairs = chunk.length * r
+            context.charge_rows(pairs)
+            combined = ColumnBatch(
+                _cross_columns(chunk.columns, chunk.length, rcols, r), pairs
+            )
+            if mask_fn is not None:
+                combined = combined.filter(mask_fn(combined.columns, pairs))
+            if combined.length:
+                out.append(combined)
+    return scope, out
 
-    def rows() -> Iterator[Row]:
-        for left_row in left_rows:
-            for right_row in right_materialized:
-                context.charge_rows()
-                combined = left_row + right_row
-                if node.on is None or passes(node.on, combined, scope):
-                    yield combined
 
-    return scope, rows()
+def _build_buckets(node, right_batches, right_scope, key_expr, attr):
+    """Materialize the right side and bucket its row indices by join key."""
+    right_key = _value_for(node, attr, key_expr, right_scope)
+    rcols: List[List[Value]] = [[] for _ in range(right_scope.width)]
+    buckets: Dict[Value, List[int]] = {}
+    base = 0
+    for batch in right_batches:
+        if not batch.length:
+            continue
+        keys = right_key(batch.columns, batch.length)
+        for out_col, col in zip(rcols, batch.columns):
+            out_col.extend(col)
+        setdefault = buckets.setdefault
+        for i, key in enumerate(keys):
+            if key is not None:  # NULL keys never join
+                setdefault(key, []).append(base + i)
+        base += batch.length
+    # Unique join keys — every bucket a singleton — enable a flat-dict
+    # probe that skips the per-row inner loop and list allocation.
+    flat = None
+    if all(len(bucket) == 1 for bucket in buckets.values()):
+        flat = {key: bucket[0] for key, bucket in buckets.items()}
+    return rcols, buckets, flat
 
 
-def _hash_join(node: plan.HashJoin, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
-    left_scope, left_rows = _execute(node.left, context)
-    right_scope, right_rows = _execute(node.right, context)
+def _probe_buckets(keys, flat):
+    """Probe a unique-key build side with one batch of left keys.
+
+    Returns (left indices, right indices, matched-pair count — the charge
+    the row engine would accumulate one ``charge_rows(len(bucket))`` at a
+    time, every bucket here being a singleton).
+    """
+    out_left: List[int] = []
+    out_right: List[int] = []
+    get = flat.get
+    append_left = out_left.append
+    append_right = out_right.append
+    for i, key in enumerate(keys):
+        j = get(key, -1)  # NULL keys are never bucketed, so miss here
+        if j >= 0:
+            append_left(i)
+            append_right(j)
+    return out_left, out_right, len(out_left)
+
+
+def _hash_join(node: plan.HashJoin, context: ExecutionContext) -> Tuple[Scope, Batches]:
+    left_scope, left_batches = _execute(node.left, context)
+    right_scope, right_batches = _execute(node.right, context)
     scope = _combined_scope(left_scope, right_scope)
-
-    buckets: Dict[Value, List[Row]] = {}
-    for right_row in right_rows:
-        key = evaluate(node.right_key, right_row, right_scope)
-        if key is None:
-            continue  # NULL keys never join
-        buckets.setdefault(key, []).append(right_row)
-
-    def rows() -> Iterator[Row]:
-        for left_row in left_rows:
-            key = evaluate(node.left_key, left_row, left_scope)
-            if key is None:
+    rcols, buckets, flat = _build_buckets(
+        node, right_batches, right_scope, node.right_key, "_vec_right_key"
+    )
+    left_key = _value_for(node, "_vec_left_key", node.left_key, left_scope)
+    residual_fn = (
+        None
+        if node.residual is None
+        else _mask_for(node, "_vec_residual", node.residual, scope)
+    )
+    out: Batches = []
+    # Per-key gathered right segments, shared across left batches: left
+    # rows with equal keys re-emit the same right rows, so the gather runs
+    # once per distinct key and repeats via C-level list.extend.
+    segments: Dict[Value, List[List[Value]]] = {}
+    for batch in left_batches:
+        if not batch.length:
+            continue
+        keys = left_key(batch.columns, batch.length)
+        if flat is not None:
+            out_left, out_right, charged = _probe_buckets(keys, flat)
+            context.charge_rows(charged)
+            if not out_left:
                 continue
-            for right_row in buckets.get(key, ()):
-                context.charge_rows()
-                combined = left_row + right_row
-                if node.residual is None or passes(node.residual, combined, scope):
-                    yield combined
-
-    return scope, rows()
-
-
-def _semi_join(node: plan.SemiJoin, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
-    left_scope, left_rows = _execute(node.left, context)
-    right_scope, right_rows = _execute(node.right, context)
-    right_materialized = list(right_rows)
-    combined_scope = _combined_scope(left_scope, right_scope)
-
-    def rows() -> Iterator[Row]:
-        for left_row in left_rows:
-            for right_row in right_materialized:
-                context.charge_rows()
-                combined = left_row + right_row
-                if node.on is None or passes(node.on, combined, combined_scope):
-                    yield left_row
-                    break  # existence established: stop probing
-
-    return left_scope, rows()
-
-
-def _hash_semi_join(node: plan.HashSemiJoin, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
-    left_scope, left_rows = _execute(node.left, context)
-    right_scope, right_rows = _execute(node.right, context)
-    combined_scope = _combined_scope(left_scope, right_scope)
-
-    buckets: Dict[Value, List[Row]] = {}
-    for right_row in right_rows:
-        key = evaluate(node.right_key, right_row, right_scope)
-        if key is None:
-            continue  # NULL keys never join
-        buckets.setdefault(key, []).append(right_row)
-
-    def rows() -> Iterator[Row]:
-        for left_row in left_rows:
-            key = evaluate(node.left_key, left_row, left_scope)
-            if key is None:
+            lcols = [
+                list(map(col.__getitem__, out_left)) for col in batch.columns
+            ]
+            rgath = [list(map(col.__getitem__, out_right)) for col in rcols]
+            length = len(out_left)
+        else:
+            lcols = [[] for _ in batch.columns]
+            rgath = [[] for _ in rcols]
+            bucket_get = buckets.get
+            segment_get = segments.get
+            charged = 0
+            length = 0
+            for i, key in enumerate(keys):
+                if key is None:
+                    continue
+                bucket = bucket_get(key)
+                if not bucket:
+                    continue
+                matches = len(bucket)
+                charged += matches
+                length += matches
+                segment = segment_get(key)
+                if segment is None:
+                    segment = segments[key] = [
+                        list(map(col.__getitem__, bucket)) for col in rcols
+                    ]
+                for out_col, seg_col in zip(rgath, segment):
+                    out_col.extend(seg_col)
+                for out_col, col in zip(lcols, batch.columns):
+                    out_col.extend([col[i]] * matches)
+            context.charge_rows(charged)
+            if not length:
                 continue
-            for right_row in buckets.get(key, ()):
-                context.charge_rows()
-                combined = left_row + right_row
-                if node.residual is None or passes(node.residual, combined, combined_scope):
-                    yield left_row
-                    break
-
-    return left_scope, rows()
+        combined = ColumnBatch(lcols + rgath, length)
+        if residual_fn is not None:
+            combined = combined.filter(residual_fn(combined.columns, combined.length))
+        if combined.length:
+            out.append(combined)
+    return scope, out
 
 
-def _left_join(node: plan.LeftOuterJoin, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
-    left_scope, left_rows = _execute(node.left, context)
-    right_scope, right_rows = _execute(node.right, context)
-    right_materialized = list(right_rows)
+def _semi_join(node: plan.SemiJoin, context: ExecutionContext) -> Tuple[Scope, Batches]:
+    left_scope, left_batches = _execute(node.left, context)
+    right_scope, right_batches = _execute(node.right, context)
+    combined_scope = _combined_scope(left_scope, right_scope)
+    rcols, r = _materialize(right_batches, right_scope.width)
+    if r == 0:
+        return left_scope, []
+    if node.on is None:
+        # Any right row witnesses existence: one probed pair per left row.
+        out = [batch for batch in left_batches if batch.length]
+        for batch in out:
+            context.charge_rows(batch.length)
+        return left_scope, out
+    mask_fn = _mask_for(node, "_vec_on", node.on, combined_scope)
+    chunk_rows = max(1, _CROSS_CHUNK // r)
+    out = []
+    for batch in left_batches:
+        for chunk in _chunks(batch, chunk_rows):
+            pairs = chunk.length * r
+            mask = mask_fn(
+                _cross_columns(chunk.columns, chunk.length, rcols, r), pairs
+            )
+            keep: List[int] = []
+            charged = 0
+            for i in range(chunk.length):
+                base = i * r
+                hit = -1
+                for j in range(r):
+                    if mask[base + j]:
+                        hit = j
+                        break
+                if hit >= 0:
+                    charged += hit + 1  # pairs probed up to the first match
+                    keep.append(i)
+                else:
+                    charged += r
+            context.charge_rows(charged)
+            if keep:
+                out.append(chunk.take(keep))
+    return left_scope, out
+
+
+def _hash_semi_join(node: plan.HashSemiJoin, context: ExecutionContext) -> Tuple[Scope, Batches]:
+    left_scope, left_batches = _execute(node.left, context)
+    right_scope, right_batches = _execute(node.right, context)
+    combined_scope = _combined_scope(left_scope, right_scope)
+    rcols, buckets, _flat = _build_buckets(
+        node, right_batches, right_scope, node.right_key, "_vec_right_key"
+    )
+    left_key = _value_for(node, "_vec_left_key", node.left_key, left_scope)
+    residual_fn = (
+        None
+        if node.residual is None
+        else _mask_for(node, "_vec_residual", node.residual, combined_scope)
+    )
+    out: Batches = []
+    for batch in left_batches:
+        if not batch.length:
+            continue
+        keys = left_key(batch.columns, batch.length)
+        keep: List[int] = []
+        charged = 0
+        if residual_fn is None:
+            for i, key in enumerate(keys):
+                if key is None:
+                    continue
+                if buckets.get(key):
+                    charged += 1  # first bucket row witnesses existence
+                    keep.append(i)
+        else:
+            spans: List[Tuple[int, int]] = []  # (left row, bucket size)
+            pair_left: List[int] = []
+            pair_right: List[int] = []
+            for i, key in enumerate(keys):
+                if key is None:
+                    continue
+                bucket = buckets.get(key)
+                if not bucket:
+                    continue
+                spans.append((i, len(bucket)))
+                pair_left.extend([i] * len(bucket))
+                pair_right.extend(bucket)
+            if pair_left:
+                lcols = [list(map(col.__getitem__, pair_left)) for col in batch.columns]
+                rgath = [list(map(col.__getitem__, pair_right)) for col in rcols]
+                mask = residual_fn(lcols + rgath, len(pair_left))
+                position = 0
+                for i, size in spans:
+                    hit = -1
+                    for j in range(size):
+                        if mask[position + j]:
+                            hit = j
+                            break
+                    if hit >= 0:
+                        charged += hit + 1
+                        keep.append(i)
+                    else:
+                        charged += size
+                    position += size
+        context.charge_rows(charged)
+        if keep:
+            out.append(batch.take(keep))
+    return left_scope, out
+
+
+def _left_join(node: plan.LeftOuterJoin, context: ExecutionContext) -> Tuple[Scope, Batches]:
+    left_scope, left_batches = _execute(node.left, context)
+    right_scope, right_batches = _execute(node.right, context)
     scope = _combined_scope(left_scope, right_scope)
-    null_right: Row = (None,) * right_scope.width
+    rcols, r = _materialize(right_batches, right_scope.width)
+    rwidth = right_scope.width
+    out: Batches = []
+    if r == 0:
+        for batch in left_batches:
+            if not batch.length:
+                continue
+            out.append(
+                ColumnBatch(
+                    list(batch.columns) + [[None] * batch.length for _ in range(rwidth)],
+                    batch.length,
+                )
+            )
+        return scope, out
+    mask_fn = None if node.on is None else _mask_for(node, "_vec_on", node.on, scope)
+    chunk_rows = max(1, _CROSS_CHUNK // r)
+    for batch in left_batches:
+        for chunk in _chunks(batch, chunk_rows):
+            pairs = chunk.length * r
+            context.charge_rows(pairs)
+            if mask_fn is None:
+                mask = None
+            else:
+                mask = mask_fn(
+                    _cross_columns(chunk.columns, chunk.length, rcols, r), pairs
+                )
+            left_idx: List[int] = []
+            right_idx: List[Optional[int]] = []  # None -> NULL-padded right
+            for i in range(chunk.length):
+                base = i * r
+                matched = False
+                for j in range(r):
+                    if mask is None or mask[base + j]:
+                        left_idx.append(i)
+                        right_idx.append(j)
+                        matched = True
+                if not matched:
+                    left_idx.append(i)
+                    right_idx.append(None)
+            lcols = [list(map(col.__getitem__, left_idx)) for col in chunk.columns]
+            rout = [
+                [col[j] if j is not None else None for j in right_idx] for col in rcols
+            ]
+            out.append(ColumnBatch(lcols + rout, len(left_idx)))
+    return scope, out
 
-    def rows() -> Iterator[Row]:
-        for left_row in left_rows:
-            matched = False
-            for right_row in right_materialized:
-                context.charge_rows()
-                combined = left_row + right_row
-                if node.on is None or passes(node.on, combined, scope):
-                    matched = True
-                    yield combined
-            if not matched:
-                yield left_row + null_right
 
-    return scope, rows()
+# -- projection ---------------------------------------------------------------
 
 
-def _project(node: plan.Project, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
-    child_scope, child_rows = _execute(node.child, context)
-    labels, extractors = _build_projection(node.items, child_scope)
+def _project(node: plan.Project, context: ExecutionContext) -> Tuple[Scope, Batches]:
+    child_scope, child_batches = _execute(node.child, context)
+    labels, entries = _cached(
+        node, "_vec_projection", lambda: _build_vec_projection(node.items, child_scope)
+    )
     out_scope = Scope([("", labels)])
+    out: Batches = []
+    for batch in child_batches:
+        if not batch.length:
+            continue
+        cols: List[List[Value]] = []
+        for kind, payload in entries:
+            if kind == "offset":
+                cols.append(batch.columns[payload])
+            else:
+                cols.append(payload(batch.columns, batch.length))
+        out.append(ColumnBatch(cols, batch.length))
+    return out_scope, out
 
-    def rows() -> Iterator[Row]:
-        for row in child_rows:
-            yield tuple(extract(row) for extract in extractors)
 
-    return out_scope, rows()
+def _build_vec_projection(items: Tuple[ast.SelectItem, ...], scope: Scope):
+    """Labels plus per-item column producers (offset passthrough or kernel).
 
-
-def _build_projection(items: Tuple[ast.SelectItem, ...], scope: Scope):
-    """Compile select items into per-row extractor callables and labels."""
+    Star offsets resolve eagerly — the reference executor resolves them
+    before pulling any rows, so e.g. ``SELECT missing.* …`` errors even
+    on empty inputs.  Expression kernels stay lazy.
+    """
     labels: List[str] = []
-    extractors = []
+    entries: List[Tuple[str, object]] = []
     child_labels = scope.column_labels()
     for item in items:
         if isinstance(item.expr, ast.Star):
             for offset in scope.star_offsets(item.expr.table):
                 labels.append(child_labels[offset].split(".", 1)[-1])
-                extractors.append(_make_offset_extractor(offset))
+                entries.append(("offset", offset))
         else:
             labels.append(item.alias or _default_label(item.expr))
-            extractors.append(_make_expr_extractor(item.expr, scope))
-    return labels, extractors
-
-
-def _make_offset_extractor(offset: int):
-    return lambda row: row[offset]
-
-
-def _make_expr_extractor(expr: ast.Expr, scope: Scope):
-    return lambda row: evaluate(expr, row, scope)
+            entries.append(
+                (
+                    "expr",
+                    _LazyKernel(
+                        lambda e=item.expr, s=scope: compile_value(e, s)
+                    ),
+                )
+            )
+    return labels, entries
 
 
 def _default_label(expr: ast.Expr) -> str:
@@ -417,75 +711,111 @@ def _collect_aggregates(items: Tuple[ast.SelectItem, ...], having: Optional[ast.
     return calls
 
 
-def _aggregate(node: plan.Aggregate, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
-    child_scope, child_rows = _execute(node.child, context)
+def _aggregate(node: plan.Aggregate, context: ExecutionContext) -> Tuple[Scope, Batches]:
+    child_scope, child_batches = _execute(node.child, context)
     calls = _collect_aggregates(node.items, node.having)
+    group_kernels, arg_kernels = _cached(
+        node,
+        "_vec_agg_kernels",
+        lambda: (
+            [
+                _LazyKernel(lambda e=expr, s=child_scope: compile_value(e, s))
+                for expr in node.group_by
+            ],
+            [
+                None
+                if isinstance(call.args[0], ast.Star)
+                else _LazyKernel(
+                    lambda e=call.args[0], s=child_scope: compile_value(e, s)
+                )
+                for call in calls
+            ],
+        ),
+    )
 
     groups: Dict[Tuple, List[_AggState]] = {}
     group_samples: Dict[Tuple, Row] = {}
     saw_rows = False
-    for row in child_rows:
+    for batch in child_batches:
+        n = batch.length
+        if not n:
+            continue
         saw_rows = True
-        key = tuple(
-            evaluate(expr, row, child_scope) for expr in node.group_by
-        )
-        if key not in groups:
-            groups[key] = [_AggState(call) for call in calls]
-            group_samples[key] = row
-        states = groups[key]
-        for state in states:
-            arg = state.call.args[0]
-            if isinstance(arg, ast.Star):
-                state.add(None)
-            else:
-                state.add(evaluate(arg, row, child_scope))
+        key_cols = [kernel(batch.columns, n) for kernel in group_kernels]
+        val_cols = [
+            None if kernel is None else kernel(batch.columns, n)
+            for kernel in arg_kernels
+        ]
+        bcols = batch.columns
+        for i in range(n):
+            key = tuple(col[i] for col in key_cols)
+            states = groups.get(key)
+            if states is None:
+                states = groups[key] = [_AggState(call) for call in calls]
+                group_samples[key] = tuple(col[i] for col in bcols)
+            for state, col in zip(states, val_cols):
+                state.add(None if col is None else col[i])
 
     if not node.group_by and not saw_rows:
         # Global aggregate over an empty input still yields one row.
         groups[()] = [_AggState(call) for call in calls]
         group_samples[()] = (None,) * child_scope.width
 
-    labels = [
-        item.alias or _default_label(item.expr) for item in node.items
-    ]
+    labels = [item.alias or _default_label(item.expr) for item in node.items]
     out_scope = Scope([("", labels)])
 
-    def rows() -> Iterator[Row]:
-        for key, states in groups.items():
-            sample = group_samples[key]
-            computed: Dict[ast.Expr, Value] = {}
-            for state in states:
-                computed[state.call] = state.result()
-            for group_expr, group_value in zip(node.group_by, key):
-                computed[group_expr] = group_value
-            if node.having is not None:
-                verdict = evaluate(node.having, sample, child_scope, computed)
-                if verdict is not True:
-                    continue
-            yield tuple(
+    # Per-group output and HAVING go through the scalar evaluator against
+    # a sample row — same code path as the reference executor.
+    out_rows: List[Row] = []
+    for key, states in groups.items():
+        sample = group_samples[key]
+        computed: Dict[ast.Expr, Value] = {}
+        for state in states:
+            computed[state.call] = state.result()
+        for group_expr, group_value in zip(node.group_by, key):
+            computed[group_expr] = group_value
+        if node.having is not None:
+            verdict = evaluate(node.having, sample, child_scope, computed)
+            if verdict is not True:
+                continue
+        out_rows.append(
+            tuple(
                 evaluate(item.expr, sample, child_scope, computed)
                 for item in node.items
             )
-
-    return out_scope, rows()
+        )
+    if not out_rows:
+        return out_scope, []
+    return out_scope, [from_rows(out_rows, len(labels))]
 
 
 # -- ordering and limits -------------------------------------------------------
 
 
-def _sort(node: plan.Sort, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
-    scope, child_rows = _execute(node.child, context)
-    materialized = list(child_rows)
+def _sort(node: plan.Sort, context: ExecutionContext) -> Tuple[Scope, Batches]:
+    scope, batches = _execute(node.child, context)
+    cols, n = _materialize(batches, scope.width)
+    if n == 0:
+        return scope, []
+    kernels = _cached(
+        node,
+        "_vec_sort_keys",
+        lambda: [
+            _LazyKernel(lambda e=item.expr, s=scope: compile_value(e, s))
+            for item in node.keys
+        ],
+    )
+    key_cols = [kernel(cols, n) for kernel in kernels]
+    descending = [item.descending for item in node.keys]
 
-    def sort_key(row: Row):
-        keys = []
-        for item in node.keys:
-            value = evaluate(item.expr, row, scope)
-            keys.append(_Directional(SortKey(value), item.descending))
-        return keys
+    def sort_key(i: int):
+        return [
+            _Directional(SortKey(col[i]), desc)
+            for col, desc in zip(key_cols, descending)
+        ]
 
-    materialized.sort(key=sort_key)
-    return scope, iter(materialized)
+    order = sorted(range(n), key=sort_key)
+    return scope, [ColumnBatch([list(map(col.__getitem__, order)) for col in cols], n)]
 
 
 class _Directional:
@@ -508,31 +838,28 @@ class _Directional:
         return self.key == other.key
 
 
-def _distinct(node: plan.Distinct, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
-    scope, child_rows = _execute(node.child, context)
-
-    def rows() -> Iterator[Row]:
-        seen = set()
-        for row in child_rows:
+def _distinct(node: plan.Distinct, context: ExecutionContext) -> Tuple[Scope, Batches]:
+    scope, batches = _execute(node.child, context)
+    seen = set()
+    out_rows: List[Row] = []
+    for batch in batches:
+        for row in batch.rows():
             if row not in seen:
                 seen.add(row)
-                yield row
+                out_rows.append(row)
+    if not out_rows:
+        return scope, []
+    return scope, [from_rows(out_rows, scope.width)]
 
-    return scope, rows()
 
-
-def _limit(node: plan.Limit, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
-    scope, child_rows = _execute(node.child, context)
+def _limit(node: plan.Limit, context: ExecutionContext) -> Tuple[Scope, Batches]:
+    scope, batches = _execute(node.child, context)
+    rows = batches_to_rows(batches)
     offset = node.offset or 0
-
-    def rows() -> Iterator[Row]:
-        produced = 0
-        for index, row in enumerate(child_rows):
-            if index < offset:
-                continue
-            if node.limit is not None and produced >= node.limit:
-                return
-            produced += 1
-            yield row
-
-    return scope, rows()
+    if node.limit is None:
+        sliced = rows[offset:]
+    else:
+        sliced = rows[offset : offset + node.limit]
+    if not sliced:
+        return scope, []
+    return scope, [from_rows(sliced, scope.width)]

@@ -8,11 +8,19 @@ text, so tests can assert on plan shapes.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.sql import ast
 from repro.sql.printer import to_sql
 from repro.db import planner as plan
+
+#: Scan-shaped nodes that carry a projection-pushdown column list.
+_PROJECTED_SCANS = (
+    plan.TableScan,
+    plan.IndexEqLookup,
+    plan.IndexInLookup,
+    plan.IndexRangeScan,
+)
 
 
 def _describe(node: plan.PlanNode) -> str:
@@ -114,12 +122,24 @@ def _children(node: plan.PlanNode) -> List[plan.PlanNode]:
     return [child] if child is not None else []
 
 
-def render_plan(node: plan.PlanNode) -> List[str]:
-    """Depth-first indented description, one line per plan node."""
+def render_plan(node: plan.PlanNode, batched: Optional[bool] = None) -> List[str]:
+    """Depth-first indented description, one line per plan node.
+
+    When ``batched`` is set, each node is annotated with
+    ``[batched=yes|no]`` (does this engine run it through the columnar
+    executor?) and projected scans with ``cols=…``, making projection
+    pushdown observable from ``repro cycle`` and lint repros.  Both are
+    additive suffixes so existing shape assertions keep matching.
+    """
     lines: List[str] = []
 
     def visit(current: plan.PlanNode, depth: int) -> None:
-        lines.append("  " * depth + _describe(current))
+        label = _describe(current)
+        if isinstance(current, _PROJECTED_SCANS) and current.columns is not None:
+            label += f" cols={','.join(current.columns)}"
+        if batched is not None:
+            label += f" [batched={'yes' if batched else 'no'}]"
+        lines.append("  " * depth + label)
         for child in _children(current):
             visit(child, depth + 1)
 
@@ -143,4 +163,4 @@ def explain(database, statement: ast.Statement) -> List[str]:
 
     resolved = SubqueryResolver(database).resolve_select(statement)
     tree = database._planner.plan(resolved)
-    return render_plan(tree)
+    return render_plan(tree, batched=database.executor_mode == "columnar")

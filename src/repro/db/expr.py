@@ -105,6 +105,7 @@ class _ExecState(threading.local):
         self.now: Optional[Value] = None
         self.rand: Optional[Callable[[], float]] = None
         self.active: bool = False
+        self.params: Optional[Tuple[Value, ...]] = None
 
 
 _EXEC_STATE = _ExecState()
@@ -112,22 +113,29 @@ _EXEC_STATE = _ExecState()
 
 @contextmanager
 def execution_context(
-    now: Value, rand: Callable[[], float]
+    now: Value,
+    rand: Callable[[], float],
+    params: Optional[Tuple[Value, ...]] = None,
 ) -> Iterator[None]:
     """Make NOW()/RAND() evaluable for the duration of one statement.
 
     ``now`` is the engine's logical DML clock (the update log's last LSN),
     so repeated page generations between updates are deterministic; ``rand``
     draws from the database's seeded generator.  Contexts nest (polling
-    queries issued while a cycle holds the outer context simply shadow it).
+    queries issued while a cycle holds the outer context simply shadow it
+    — including ``params``, so a nested parameter-free execute never sees
+    the outer statement's bindings).
+
+    ``params`` backs runtime resolution of ``$n`` placeholders when the
+    engine executes a cached plan built from a numbered statement.
     """
     state = _EXEC_STATE
-    previous = (state.now, state.rand, state.active)
-    state.now, state.rand, state.active = now, rand, True
+    previous = (state.now, state.rand, state.active, state.params)
+    state.now, state.rand, state.active, state.params = now, rand, True, params
     try:
         yield
     finally:
-        state.now, state.rand, state.active = previous
+        state.now, state.rand, state.active, state.params = previous
 
 
 def _nondeterministic(name: str, args: Sequence[Value]) -> Value:
@@ -164,6 +172,14 @@ def evaluate(
     if isinstance(expr, ast.ColumnRef):
         return row[scope.resolve(expr.table, expr.column)]
     if isinstance(expr, ast.Parameter):
+        state = _EXEC_STATE
+        if state.params is not None and expr.index is not None:
+            if 1 <= expr.index <= len(state.params):
+                return state.params[expr.index - 1]
+            raise ExecutionError(
+                f"parameter ${expr.index} has no binding "
+                f"(got {len(state.params)} values)"
+            )
         raise ExecutionError("unbound parameter reached the executor")
     if isinstance(expr, ast.Binary):
         return _binary(expr, row, scope, computed)

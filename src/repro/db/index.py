@@ -44,6 +44,17 @@ class Index:
     def lookup(self, key: Key) -> Set[int]:
         raise NotImplementedError
 
+    def lookup_many(self, values: Sequence[Value]) -> Set[int]:
+        """Union of single-column equality lookups, one per value.
+
+        Batch entry point for ``IndexInLookup``: callers pass bare values
+        (not key tuples) for a single-column index.
+        """
+        rowids: Set[int] = set()
+        for value in values:
+            rowids |= self.lookup((value,))
+        return rowids
+
     def replace(self, rowid: int, old_row: Sequence[Value], new_row: Sequence[Value]) -> None:
         """Default update: remove old entry, add the new one."""
         self.remove(rowid, old_row)
@@ -79,6 +90,16 @@ class HashIndex(Index):
     def lookup(self, key: Key) -> Set[int]:
         """Row ids whose indexed columns equal ``key`` exactly."""
         return set(self._buckets.get(key, ()))
+
+    def lookup_many(self, values: Sequence[Value]) -> Set[int]:
+        """Single-pass bucket union — skips the per-probe set copies."""
+        rowids: Set[int] = set()
+        buckets = self._buckets
+        for value in values:
+            bucket = buckets.get((value,))
+            if bucket:
+                rowids |= bucket
+        return rowids
 
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._buckets.values())

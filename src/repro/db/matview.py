@@ -33,6 +33,9 @@ class MaterializedView:
     name: str
     query: ast.Select
     base_tables: Set[str]
+    #: The defining SQL text; refreshes execute this (not the AST) so the
+    #: engine's plan cache recognizes the repeat and skips re-planning.
+    query_sql: str = ""
     rows: List[Row] = field(default_factory=list)
     refresh_count: int = 0
     change_count: int = 0
@@ -69,6 +72,7 @@ class MaterializedViewManager:
             name=name,
             query=statement,
             base_tables=referenced_tables(statement),
+            query_sql=query_sql,
         )
         self._views[name] = view
         for table in view.base_tables:
@@ -114,7 +118,7 @@ class MaterializedViewManager:
                     listener(view)
 
     def _refresh(self, view: MaterializedView) -> None:
-        result = self.database.execute(view.query)
+        result = self.database.execute(view.query_sql or view.query)
         view.rows = result.rows
         view.refresh_count += 1
         view.maintenance_work += result.rows_examined

@@ -33,10 +33,19 @@ class PlanNode:
 
 @dataclass
 class TableScan(PlanNode):
-    """Full scan of a base table under a binding name."""
+    """Full scan of a base table under a binding name.
+
+    ``columns`` is the projection pushed down by the planner: the subset
+    of schema columns (in schema order) the statement references, or
+    ``None`` for all of them.  The columnar executor materializes only
+    these; the reference row executor ignores the field (outputs are
+    identical either way because the pushdown always includes every
+    referenced column).
+    """
 
     table: str
     binding: str
+    columns: Optional[Tuple[str, ...]] = None
 
 
 @dataclass
@@ -48,6 +57,7 @@ class IndexEqLookup(PlanNode):
     index_name: str
     column: str
     value: ast.Expr  # constant expression (no column refs)
+    columns: Optional[Tuple[str, ...]] = None  # projection pushdown
 
 
 @dataclass
@@ -72,6 +82,7 @@ class IndexInLookup(PlanNode):
     index_name: str
     column: str
     values: Tuple[ast.Expr, ...]  # constant expressions
+    columns: Optional[Tuple[str, ...]] = None  # projection pushdown
 
 
 @dataclass
@@ -86,6 +97,7 @@ class IndexRangeScan(PlanNode):
     high: Optional[ast.Expr] = None
     low_open: bool = False
     high_open: bool = False
+    columns: Optional[Tuple[str, ...]] = None  # projection pushdown
 
 
 @dataclass
@@ -252,12 +264,13 @@ class Planner:
                 for conj in where_conjuncts
             ]
 
-        node = self._try_semi_join(stmt, binding_to_table, where_conjuncts)
+        projected = self._projected_columns(stmt, binding_to_table)
+        node = self._try_semi_join(stmt, binding_to_table, where_conjuncts, projected)
         if node is None:
             joined: List[str] = []
             for source in stmt.sources:
                 source_node, source_bindings = self._plan_source(
-                    source, binding_to_table, where_conjuncts, joined
+                    source, binding_to_table, where_conjuncts, joined, projected
                 )
                 if node is None:
                     node = source_node
@@ -304,10 +317,14 @@ class Planner:
         binding_to_table: Dict[str, str],
         where_conjuncts: List[_Conjunct],
         already_joined: List[str],
+        projected: Optional[Dict[str, Optional[Tuple[str, ...]]]] = None,
     ) -> Tuple[PlanNode, List[str]]:
         if isinstance(source, ast.TableRef):
             binding = source.binding.lower()
-            node = self._access_path(source.name.lower(), binding, where_conjuncts)
+            columns = projected.get(binding) if projected else None
+            node = self._access_path(
+                source.name.lower(), binding, where_conjuncts, columns
+            )
             return node, [binding]
         if isinstance(source, ast.ValuesSource):
             binding = source.binding.lower()
@@ -317,10 +334,10 @@ class Planner:
             return node, [binding]
         # Explicit join tree.
         left_node, left_bindings = self._plan_source(
-            source.left, binding_to_table, where_conjuncts, already_joined
+            source.left, binding_to_table, where_conjuncts, already_joined, projected
         )
         right_node, right_bindings = self._plan_source(
-            source.right, binding_to_table, where_conjuncts, already_joined
+            source.right, binding_to_table, where_conjuncts, already_joined, projected
         )
         if source.kind is ast.JoinKind.LEFT:
             node: PlanNode = LeftOuterJoin(left_node, right_node, source.on)
@@ -335,6 +352,7 @@ class Planner:
         stmt: ast.Select,
         binding_to_table: Dict[str, str],
         where_conjuncts: List[_Conjunct],
+        projected: Optional[Dict[str, Optional[Tuple[str, ...]]]] = None,
     ) -> Optional[PlanNode]:
         """Plan ``SELECT DISTINCT first.cols FROM first, rest WHERE …`` as
         a semi join: only the first source reaches the output, so the rest
@@ -364,14 +382,14 @@ class Planner:
                 return None
 
         left_node, left_bindings = self._plan_source(
-            first, binding_to_table, where_conjuncts, []
+            first, binding_to_table, where_conjuncts, [], projected
         )
         left_set = set(left_bindings)
         right_node: Optional[PlanNode] = None
         right_bindings: List[str] = []
         for source in stmt.sources[1:]:
             source_node, source_bs = self._plan_source(
-                source, binding_to_table, where_conjuncts, right_bindings
+                source, binding_to_table, where_conjuncts, right_bindings, projected
             )
             if right_node is None:
                 right_node = source_node
@@ -464,7 +482,11 @@ class Planner:
         return NestedLoopJoin(left, right, None)
 
     def _access_path(
-        self, table: str, binding: str, where_conjuncts: List[_Conjunct]
+        self,
+        table: str,
+        binding: str,
+        where_conjuncts: List[_Conjunct],
+        columns: Optional[Tuple[str, ...]] = None,
     ) -> PlanNode:
         """Pick an index access path for one base table, if available."""
         # Equality first: cheapest.
@@ -474,6 +496,7 @@ class Planner:
             probe = self._match_equality(table, binding, conj.expr)
             if probe is not None:
                 conj.consumed = True
+                probe.columns = columns
                 return probe
         # IN-lists: one hashed probe per list value.
         for conj in where_conjuncts:
@@ -482,6 +505,7 @@ class Planner:
             probe = self._match_in_list(table, binding, conj.expr)
             if probe is not None:
                 conj.consumed = True
+                probe.columns = columns
                 return probe
         # Then a range scan.
         for conj in where_conjuncts:
@@ -490,8 +514,87 @@ class Planner:
             probe = self._match_range(table, binding, conj.expr)
             if probe is not None:
                 conj.consumed = True
+                probe.columns = columns
                 return probe
-        return TableScan(table, binding)
+        return TableScan(table, binding, columns)
+
+    def _projected_columns(
+        self, stmt: ast.Select, binding_to_table: Dict[str, str]
+    ) -> Dict[str, Optional[Tuple[str, ...]]]:
+        """Per-binding referenced columns, for projection pushdown.
+
+        ``None`` for a binding means "all columns" — either the statement
+        needs them (bare ``*``, ``binding.*``), every schema column is
+        referenced anyway, or the binding is not a base table.  Bare
+        column references are attributed to *every* binding whose schema
+        contains the name so runtime ambiguity errors are preserved;
+        unknown names are ignored (the executor raises the same error
+        either way).  ``COUNT(*)`` touches no columns at all.
+        """
+        schema_columns: Dict[str, Optional[List[str]]] = {}
+        for binding, table in binding_to_table.items():
+            try:
+                schema_columns[binding] = self.catalog.table_columns(table)
+            except CatalogError:
+                schema_columns[binding] = None  # VALUES binding: no pushdown
+        referenced: Dict[str, set] = {b: set() for b in binding_to_table}
+        need_all: set = set()
+
+        def mark(expr: ast.Expr) -> None:
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Star):
+                    # In expression position this is COUNT(*): no columns.
+                    continue
+                if not isinstance(node, ast.ColumnRef):
+                    continue
+                if node.table is not None:
+                    binding = node.table.lower()
+                    if binding in referenced:
+                        referenced[binding].add(node.column.lower())
+                else:
+                    name = node.column.lower()
+                    for binding, columns in schema_columns.items():
+                        if columns is not None and name in columns:
+                            referenced[binding].add(name)
+
+        for item in stmt.items:
+            if isinstance(item.expr, ast.Star):
+                if item.expr.table is None:
+                    need_all.update(binding_to_table)
+                else:
+                    need_all.add(item.expr.table.lower())
+            else:
+                mark(item.expr)
+        if stmt.where is not None:
+            mark(stmt.where)
+        for expr in stmt.group_by:
+            mark(expr)
+        if stmt.having is not None:
+            mark(stmt.having)
+        for order in stmt.order_by:
+            mark(order.expr)
+
+        def visit_source(source: ast.FromSource) -> None:
+            if isinstance(source, ast.Join):
+                if source.on is not None:
+                    mark(source.on)
+                visit_source(source.left)
+                visit_source(source.right)
+
+        for source in stmt.sources:
+            visit_source(source)
+
+        projected: Dict[str, Optional[Tuple[str, ...]]] = {}
+        for binding, columns in schema_columns.items():
+            if columns is None or binding in need_all:
+                projected[binding] = None
+                continue
+            used = referenced[binding]
+            if len(used) >= len(columns):
+                projected[binding] = None  # everything referenced: no churn
+            else:
+                projected[binding] = tuple(c for c in columns if c in used)
+        return projected
 
     def _match_equality(
         self, table: str, binding: str, expr: ast.Expr

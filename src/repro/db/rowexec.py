@@ -1,0 +1,443 @@
+"""Reference row-at-a-time executor.
+
+This is the engine's original tuple-pipelined executor, retained behind
+``Database(executor="row")`` as the semantic oracle for the vectorized
+columnar executor in :mod:`repro.db.executor`.  The sql_battery runs
+every statement through both and asserts identical rows, labels, and
+``rows_examined``/``index_probes`` totals.
+
+The only change from its life as *the* executor: ``Limit`` materializes
+its child before slicing.  The columnar executor is fully eager at every
+node, so a lazy limit would stop charging mid-scan and the counters
+could never match.  Totals are otherwise unchanged — laziness elsewhere
+never dropped work, it only interleaved it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import ExecutionError
+from repro.sql import ast
+from repro.db import planner as plan
+from repro.db.executor import (
+    ExecutionContext,
+    _AggState,
+    _collect_aggregates,
+    _default_label,
+    _Directional,
+)
+from repro.db.expr import Scope, evaluate, passes
+from repro.db.types import SortKey, Value
+
+Row = Tuple[Value, ...]
+
+
+def execute(node: plan.PlanNode, context: ExecutionContext) -> Tuple[Scope, List[Row]]:
+    """Execute a plan tree, returning its output scope and materialized rows."""
+    scope, rows = _execute(node, context)
+    return scope, list(rows)
+
+
+def _execute(node: plan.PlanNode, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+    if isinstance(node, plan.TableScan):
+        return _table_scan(node, context)
+    if isinstance(node, plan.ValuesScan):
+        return _values_scan(node, context)
+    if isinstance(node, plan.IndexEqLookup):
+        return _index_eq(node, context)
+    if isinstance(node, plan.IndexInLookup):
+        return _index_in(node, context)
+    if isinstance(node, plan.IndexRangeScan):
+        return _index_range(node, context)
+    if isinstance(node, plan.Filter):
+        return _filter(node, context)
+    if isinstance(node, plan.NestedLoopJoin):
+        return _nested_loop(node, context)
+    if isinstance(node, plan.HashJoin):
+        return _hash_join(node, context)
+    if isinstance(node, plan.LeftOuterJoin):
+        return _left_join(node, context)
+    if isinstance(node, plan.SemiJoin):
+        return _semi_join(node, context)
+    if isinstance(node, plan.HashSemiJoin):
+        return _hash_semi_join(node, context)
+    if isinstance(node, plan.Project):
+        return _project(node, context)
+    if isinstance(node, plan.Aggregate):
+        return _aggregate(node, context)
+    if isinstance(node, plan.Sort):
+        return _sort(node, context)
+    if isinstance(node, plan.Distinct):
+        return _distinct(node, context)
+    if isinstance(node, plan.Limit):
+        return _limit(node, context)
+    raise ExecutionError(f"unknown plan node {type(node).__name__}")
+
+
+# -- leaf access paths -------------------------------------------------------
+
+
+def _table_scan(node: plan.TableScan, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+    if not node.table:
+        # Source-less SELECT: one empty row.
+        return Scope([]), iter([()])
+    table = context.database.heap(node.table)
+    scope = Scope([(node.binding, table.schema.column_names)])
+
+    def rows() -> Iterator[Row]:
+        for _rowid, row in table.rows():
+            context.charge_rows()
+            yield row
+
+    return scope, rows()
+
+
+def _values_scan(node: plan.ValuesScan, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+    scope = Scope([(node.binding, list(node.columns))])
+    empty_scope = Scope([])
+
+    def rows() -> Iterator[Row]:
+        for row in node.rows:
+            context.charge_rows()
+            yield tuple(evaluate(value, (), empty_scope) for value in row)
+
+    return scope, rows()
+
+
+def _index_eq(node: plan.IndexEqLookup, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+    database = context.database
+    table = database.heap(node.table)
+    scope = Scope([(node.binding, table.schema.column_names)])
+    index = database.index(node.index_name)
+    value = evaluate(node.value, (), Scope([]))
+    context.charge_probe()
+    rowids = sorted(index.lookup((value,)))
+    context.charge_rows(len(rowids))
+
+    def rows() -> Iterator[Row]:
+        for rowid in rowids:
+            row = table.get(rowid)
+            if row is not None:
+                yield row
+
+    return scope, rows()
+
+
+def _index_in(node: plan.IndexInLookup, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+    database = context.database
+    table = database.heap(node.table)
+    scope = Scope([(node.binding, table.schema.column_names)])
+    index = database.index(node.index_name)
+    empty_scope = Scope([])
+    rowids: set = set()
+    seen_values: set = set()
+    for value_expr in node.values:
+        value = evaluate(value_expr, (), empty_scope)
+        if value is None:
+            continue  # IN never matches NULL list entries
+        if value in seen_values:
+            continue
+        seen_values.add(value)
+        context.charge_probe()
+        rowids |= index.lookup((value,))
+    ordered = sorted(rowids)
+    context.charge_rows(len(ordered))
+
+    def rows() -> Iterator[Row]:
+        for rowid in ordered:
+            row = table.get(rowid)
+            if row is not None:
+                yield row
+
+    return scope, rows()
+
+
+def _index_range(node: plan.IndexRangeScan, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+    database = context.database
+    table = database.heap(node.table)
+    scope = Scope([(node.binding, table.schema.column_names)])
+    index = database.index(node.index_name)
+    empty_scope = Scope([])
+    low = evaluate(node.low, (), empty_scope) if node.low is not None else None
+    high = evaluate(node.high, (), empty_scope) if node.high is not None else None
+    context.charge_probe()
+    rowids = sorted(
+        index.range_lookup(low=low, high=high, low_open=node.low_open, high_open=node.high_open)
+    )
+    context.charge_rows(len(rowids))
+
+    def rows() -> Iterator[Row]:
+        for rowid in rowids:
+            row = table.get(rowid)
+            if row is not None:
+                yield row
+
+    return scope, rows()
+
+
+# -- relational operators ----------------------------------------------------
+
+
+def _filter(node: plan.Filter, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+    scope, child_rows = _execute(node.child, context)
+
+    def rows() -> Iterator[Row]:
+        for row in child_rows:
+            if passes(node.predicate, row, scope):
+                yield row
+
+    return scope, rows()
+
+
+def _combined_scope(left: Scope, right: Scope) -> Scope:
+    return Scope(
+        [(binding, columns) for binding, columns in left.parts]
+        + [(binding, columns) for binding, columns in right.parts]
+    )
+
+
+def _nested_loop(node: plan.NestedLoopJoin, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+    left_scope, left_rows = _execute(node.left, context)
+    right_scope, right_rows = _execute(node.right, context)
+    right_materialized = list(right_rows)
+    scope = _combined_scope(left_scope, right_scope)
+
+    def rows() -> Iterator[Row]:
+        for left_row in left_rows:
+            for right_row in right_materialized:
+                context.charge_rows()
+                combined = left_row + right_row
+                if node.on is None or passes(node.on, combined, scope):
+                    yield combined
+
+    return scope, rows()
+
+
+def _hash_join(node: plan.HashJoin, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+    left_scope, left_rows = _execute(node.left, context)
+    right_scope, right_rows = _execute(node.right, context)
+    scope = _combined_scope(left_scope, right_scope)
+
+    buckets: Dict[Value, List[Row]] = {}
+    for right_row in right_rows:
+        key = evaluate(node.right_key, right_row, right_scope)
+        if key is None:
+            continue  # NULL keys never join
+        buckets.setdefault(key, []).append(right_row)
+
+    def rows() -> Iterator[Row]:
+        for left_row in left_rows:
+            key = evaluate(node.left_key, left_row, left_scope)
+            if key is None:
+                continue
+            for right_row in buckets.get(key, ()):
+                context.charge_rows()
+                combined = left_row + right_row
+                if node.residual is None or passes(node.residual, combined, scope):
+                    yield combined
+
+    return scope, rows()
+
+
+def _semi_join(node: plan.SemiJoin, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+    left_scope, left_rows = _execute(node.left, context)
+    right_scope, right_rows = _execute(node.right, context)
+    right_materialized = list(right_rows)
+    combined_scope = _combined_scope(left_scope, right_scope)
+
+    def rows() -> Iterator[Row]:
+        for left_row in left_rows:
+            for right_row in right_materialized:
+                context.charge_rows()
+                combined = left_row + right_row
+                if node.on is None or passes(node.on, combined, combined_scope):
+                    yield left_row
+                    break  # existence established: stop probing
+
+    return left_scope, rows()
+
+
+def _hash_semi_join(node: plan.HashSemiJoin, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+    left_scope, left_rows = _execute(node.left, context)
+    right_scope, right_rows = _execute(node.right, context)
+    combined_scope = _combined_scope(left_scope, right_scope)
+
+    buckets: Dict[Value, List[Row]] = {}
+    for right_row in right_rows:
+        key = evaluate(node.right_key, right_row, right_scope)
+        if key is None:
+            continue  # NULL keys never join
+        buckets.setdefault(key, []).append(right_row)
+
+    def rows() -> Iterator[Row]:
+        for left_row in left_rows:
+            key = evaluate(node.left_key, left_row, left_scope)
+            if key is None:
+                continue
+            for right_row in buckets.get(key, ()):
+                context.charge_rows()
+                combined = left_row + right_row
+                if node.residual is None or passes(node.residual, combined, combined_scope):
+                    yield left_row
+                    break
+
+    return left_scope, rows()
+
+
+def _left_join(node: plan.LeftOuterJoin, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+    left_scope, left_rows = _execute(node.left, context)
+    right_scope, right_rows = _execute(node.right, context)
+    right_materialized = list(right_rows)
+    scope = _combined_scope(left_scope, right_scope)
+    null_right: Row = (None,) * right_scope.width
+
+    def rows() -> Iterator[Row]:
+        for left_row in left_rows:
+            matched = False
+            for right_row in right_materialized:
+                context.charge_rows()
+                combined = left_row + right_row
+                if node.on is None or passes(node.on, combined, scope):
+                    matched = True
+                    yield combined
+            if not matched:
+                yield left_row + null_right
+
+    return scope, rows()
+
+
+def _project(node: plan.Project, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+    child_scope, child_rows = _execute(node.child, context)
+    labels, extractors = _build_projection(node.items, child_scope)
+    out_scope = Scope([("", labels)])
+
+    def rows() -> Iterator[Row]:
+        for row in child_rows:
+            yield tuple(extract(row) for extract in extractors)
+
+    return out_scope, rows()
+
+
+def _build_projection(items: Tuple[ast.SelectItem, ...], scope: Scope):
+    """Compile select items into per-row extractor callables and labels."""
+    labels: List[str] = []
+    extractors = []
+    child_labels = scope.column_labels()
+    for item in items:
+        if isinstance(item.expr, ast.Star):
+            for offset in scope.star_offsets(item.expr.table):
+                labels.append(child_labels[offset].split(".", 1)[-1])
+                extractors.append(_make_offset_extractor(offset))
+        else:
+            labels.append(item.alias or _default_label(item.expr))
+            extractors.append(_make_expr_extractor(item.expr, scope))
+    return labels, extractors
+
+
+def _make_offset_extractor(offset: int):
+    return lambda row: row[offset]
+
+
+def _make_expr_extractor(expr: ast.Expr, scope: Scope):
+    return lambda row: evaluate(expr, row, scope)
+
+
+# -- aggregation --------------------------------------------------------------
+
+
+def _aggregate(node: plan.Aggregate, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+    child_scope, child_rows = _execute(node.child, context)
+    calls = _collect_aggregates(node.items, node.having)
+
+    groups: Dict[Tuple, List[_AggState]] = {}
+    group_samples: Dict[Tuple, Row] = {}
+    saw_rows = False
+    for row in child_rows:
+        saw_rows = True
+        key = tuple(
+            evaluate(expr, row, child_scope) for expr in node.group_by
+        )
+        if key not in groups:
+            groups[key] = [_AggState(call) for call in calls]
+            group_samples[key] = row
+        states = groups[key]
+        for state in states:
+            arg = state.call.args[0]
+            if isinstance(arg, ast.Star):
+                state.add(None)
+            else:
+                state.add(evaluate(arg, row, child_scope))
+
+    if not node.group_by and not saw_rows:
+        # Global aggregate over an empty input still yields one row.
+        groups[()] = [_AggState(call) for call in calls]
+        group_samples[()] = (None,) * child_scope.width
+
+    labels = [
+        item.alias or _default_label(item.expr) for item in node.items
+    ]
+    out_scope = Scope([("", labels)])
+
+    def rows() -> Iterator[Row]:
+        for key, states in groups.items():
+            sample = group_samples[key]
+            computed: Dict[ast.Expr, Value] = {}
+            for state in states:
+                computed[state.call] = state.result()
+            for group_expr, group_value in zip(node.group_by, key):
+                computed[group_expr] = group_value
+            if node.having is not None:
+                verdict = evaluate(node.having, sample, child_scope, computed)
+                if verdict is not True:
+                    continue
+            yield tuple(
+                evaluate(item.expr, sample, child_scope, computed)
+                for item in node.items
+            )
+
+    return out_scope, rows()
+
+
+# -- ordering and limits -------------------------------------------------------
+
+
+def _sort(node: plan.Sort, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+    scope, child_rows = _execute(node.child, context)
+    materialized = list(child_rows)
+
+    def sort_key(row: Row):
+        keys = []
+        for item in node.keys:
+            value = evaluate(item.expr, row, scope)
+            keys.append(_Directional(SortKey(value), item.descending))
+        return keys
+
+    materialized.sort(key=sort_key)
+    return scope, iter(materialized)
+
+
+def _distinct(node: plan.Distinct, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+    scope, child_rows = _execute(node.child, context)
+
+    def rows() -> Iterator[Row]:
+        seen = set()
+        for row in child_rows:
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    return scope, rows()
+
+
+def _limit(node: plan.Limit, context: ExecutionContext) -> Tuple[Scope, Iterator[Row]]:
+    # Materialize before slicing so the child's work counters reflect the
+    # whole input, exactly like the always-eager columnar executor.
+    scope, child_rows = _execute(node.child, context)
+    materialized = list(child_rows)
+    offset = node.offset or 0
+    if node.limit is None:
+        sliced = materialized[offset:]
+    else:
+        sliced = materialized[offset : offset + node.limit]
+    return scope, iter(sliced)

@@ -19,6 +19,19 @@ from repro.sql import ast
 from repro.sql.analysis import alias_map
 
 
+def contains_subquery(stmt: ast.Select) -> bool:
+    """True when any expression in ``stmt`` embeds a subquery.
+
+    Used by the engine's plan cache: subquery-free SELECTs plan
+    deterministically from their text, so their plans are reusable.
+    """
+    return any(
+        True
+        for expr in ast._select_expressions(stmt)
+        for _node in ast.subqueries(expr)
+    )
+
+
 class SubqueryResolver:
     """Rewrites one statement, executing its uncorrelated subqueries.
 
@@ -69,13 +82,7 @@ class SubqueryResolver:
 
     # -- internals ---------------------------------------------------------------
 
-    @staticmethod
-    def _contains_subquery(stmt: ast.Select) -> bool:
-        return any(
-            True
-            for expr in ast._select_expressions(stmt)
-            for _node in ast.subqueries(expr)
-        )
+    _contains_subquery = staticmethod(contains_subquery)
 
     def _rewrite_source(self, source: ast.FromSource) -> ast.FromSource:
         if isinstance(source, (ast.TableRef, ast.ValuesSource)):

@@ -1,37 +1,124 @@
-"""Heap table storage with stable row identifiers."""
+"""Heap table storage with stable row identifiers, stored column-wise.
+
+The table keeps one Python list per column plus a parallel rowid list, so
+scans hand the vectorized executor zero-copy-ish column slices instead of
+row tuples.  The row-oriented API (``rows``/``get``/``insert``/``update``/
+``delete``/``restore``) is preserved as a shim for the DML, constraint,
+transaction-undo, and snapshot paths, which all think in rows.
+
+Deletes tombstone their slot and the table compacts itself once the dead
+fraction grows, so scan batches stay dense; the stable-rowid contract
+(ids are never reused, deleted ids can be restored) is unchanged.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ConstraintError
+from repro.db.batch import BATCH_SIZE
 from repro.db.schema import TableSchema
 from repro.db.types import Value
 
 Row = Tuple[Value, ...]
+
+#: Compact once at least this many tombstones have accumulated *and* they
+#: outnumber the live rows.  Small tables compact eagerly enough to stay
+#: dense; large tables amortize the rebuild.
+_COMPACT_MIN_DEAD = 64
 
 
 class HeapTable:
     """A bag of rows keyed by monotonically increasing row ids.
 
     Row ids are never reused, which gives indexes and the update log a
-    stable handle on rows across deletions.
+    stable handle on rows across deletions.  Iteration order matches the
+    previous dict-backed storage exactly: insertion order, with a restored
+    row taking a fresh slot at the end.
     """
 
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
-        self._rows: Dict[int, Row] = {}
+        self._columns: List[List[Value]] = [[] for _ in schema.columns]
+        self._rowids: List[int] = []
+        self._live: List[bool] = []
+        self._pos: Dict[int, int] = {}  # rowid -> physical slot
+        self._dead = 0
         self._next_rowid = 1
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return len(self._pos)
+
+    # -- row-view shim --------------------------------------------------------
 
     def rows(self) -> Iterator[Tuple[int, Row]]:
         """Iterate (rowid, row) pairs in insertion order."""
-        return iter(self._rows.items())
+        columns = self._columns
+        live = self._live
+        for slot, rowid in enumerate(self._rowids):
+            if live[slot]:
+                yield rowid, tuple(column[slot] for column in columns)
 
     def get(self, rowid: int) -> Optional[Row]:
-        return self._rows.get(rowid)
+        slot = self._pos.get(rowid)
+        if slot is None:
+            return None
+        return tuple(column[slot] for column in self._columns)
+
+    # -- columnar access ------------------------------------------------------
+
+    def scan_batches(
+        self,
+        positions: Optional[Sequence[int]] = None,
+        batch_size: int = BATCH_SIZE,
+    ) -> Iterator[Tuple[List[int], List[List[Value]]]]:
+        """Yield (rowids, columns) batches of live rows in insertion order.
+
+        ``positions`` selects which schema columns to materialize — the
+        projection-pushdown hook: unreferenced columns are never copied.
+        When no rows are dead, batches are direct column slices.
+        """
+        if positions is None:
+            positions = range(len(self._columns))
+        wanted = [self._columns[position] for position in positions]
+        total = len(self._rowids)
+        if not self._dead:
+            for start in range(0, total, batch_size):
+                stop = min(start + batch_size, total)
+                yield (
+                    self._rowids[start:stop],
+                    [column[start:stop] for column in wanted],
+                )
+            return
+        live = self._live
+        slots: List[int] = []
+        for slot in range(total):
+            if live[slot]:
+                slots.append(slot)
+                if len(slots) >= batch_size:
+                    yield self._gather_slots(slots, wanted)
+                    slots = []
+        if slots:
+            yield self._gather_slots(slots, wanted)
+
+    def _gather_slots(
+        self, slots: List[int], wanted: List[List[Value]]
+    ) -> Tuple[List[int], List[List[Value]]]:
+        rowids = self._rowids
+        return (
+            [rowids[slot] for slot in slots],
+            [[column[slot] for slot in slots] for column in wanted],
+        )
+
+    def column_values(self, position: int) -> Iterator[Value]:
+        """Live values of one column, in insertion order."""
+        column = self._columns[position]
+        live = self._live
+        for slot in range(len(column)):
+            if live[slot]:
+                yield column[slot]
+
+    # -- mutation -------------------------------------------------------------
 
     def insert(self, values: Sequence[Value]) -> Tuple[int, Row]:
         """Validate and store one row; returns (rowid, stored row)."""
@@ -39,17 +126,21 @@ class HeapTable:
         self._check_unique(row, exclude_rowid=None)
         rowid = self._next_rowid
         self._next_rowid += 1
-        self._rows[rowid] = row
+        self._append(rowid, row)
         return rowid, row
 
     def delete(self, rowid: int) -> Row:
         """Remove and return the row with ``rowid``."""
-        try:
-            return self._rows.pop(rowid)
-        except KeyError as exc:
+        slot = self._pos.pop(rowid, None)
+        if slot is None:
             raise ConstraintError(
                 f"table {self.schema.name!r} has no row id {rowid}"
-            ) from exc
+            )
+        row = tuple(column[slot] for column in self._columns)
+        self._live[slot] = False
+        self._dead += 1
+        self._maybe_compact()
+        return row
 
     def restore(self, rowid: int, values: Sequence[Value]) -> Row:
         """Re-insert a previously deleted row under its original rowid.
@@ -57,31 +148,66 @@ class HeapTable:
         Used by transaction rollback: index entries reference rowids, so
         undoing a delete must bring the same identity back.
         """
-        if rowid in self._rows:
+        if rowid in self._pos:
             raise ConstraintError(
                 f"table {self.schema.name!r} already has row id {rowid}"
             )
         row = self.schema.validate_row(values)
-        self._rows[rowid] = row
+        self._append(rowid, row)
         return row
 
     def update(self, rowid: int, values: Sequence[Value]) -> Tuple[Row, Row]:
         """Replace the row with ``rowid``; returns (old row, new row)."""
-        if rowid not in self._rows:
+        slot = self._pos.get(rowid)
+        if slot is None:
             raise ConstraintError(
                 f"table {self.schema.name!r} has no row id {rowid}"
             )
         new_row = self.schema.validate_row(values)
         self._check_unique(new_row, exclude_rowid=rowid)
-        old_row = self._rows[rowid]
-        self._rows[rowid] = new_row
+        columns = self._columns
+        old_row = tuple(column[slot] for column in columns)
+        for column, value in zip(columns, new_row):
+            column[slot] = value
         return old_row, new_row
+
+    def clear(self) -> List[Row]:
+        """Delete every row, returning the removed rows."""
+        removed = [row for _rowid, row in self.rows()]
+        for column in self._columns:
+            column.clear()
+        self._rowids.clear()
+        self._live.clear()
+        self._pos.clear()
+        self._dead = 0
+        return removed
+
+    # -- internals ------------------------------------------------------------
+
+    def _append(self, rowid: int, row: Row) -> None:
+        slot = len(self._rowids)
+        for column, value in zip(self._columns, row):
+            column.append(value)
+        self._rowids.append(rowid)
+        self._live.append(True)
+        self._pos[rowid] = slot
+
+    def _maybe_compact(self) -> None:
+        if self._dead < _COMPACT_MIN_DEAD or self._dead * 2 < len(self._rowids):
+            return
+        live = self._live
+        keep = [slot for slot in range(len(self._rowids)) if live[slot]]
+        self._columns = [[column[slot] for slot in keep] for column in self._columns]
+        self._rowids = [self._rowids[slot] for slot in keep]
+        self._live = [True] * len(keep)
+        self._pos = {rowid: slot for slot, rowid in enumerate(self._rowids)}
+        self._dead = 0
 
     def _check_unique(self, row: Row, exclude_rowid: Optional[int]) -> None:
         """Enforce PRIMARY KEY / UNIQUE column constraints.
 
-        A linear scan is acceptable here because unique columns are rare in
-        the workloads and tables are modest; unique *indexes* (see
+        A linear column scan is acceptable here because unique columns are
+        rare in the workloads and tables are modest; unique *indexes* (see
         :mod:`repro.db.index`) provide the fast path when declared.
         """
         positions = [
@@ -91,22 +217,21 @@ class HeapTable:
         ]
         if not positions:
             return
+        exclude_slot = (
+            self._pos.get(exclude_rowid) if exclude_rowid is not None else None
+        )
+        live = self._live
         for position in positions:
             value = row[position]
             if value is None:
                 continue  # NULLs never collide, as in standard SQL
-            for rowid, existing in self._rows.items():
-                if rowid == exclude_rowid:
+            column = self._columns[position]
+            for slot, existing in enumerate(column):
+                if slot == exclude_slot or not live[slot]:
                     continue
-                if existing[position] == value:
-                    column = self.schema.columns[position]
+                if existing == value:
+                    spec = self.schema.columns[position]
                     raise ConstraintError(
                         f"duplicate value {value!r} for unique column "
-                        f"{self.schema.name}.{column.name}"
+                        f"{self.schema.name}.{spec.name}"
                     )
-
-    def clear(self) -> List[Row]:
-        """Delete every row, returning the removed rows."""
-        removed = list(self._rows.values())
-        self._rows.clear()
-        return removed

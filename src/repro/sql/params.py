@@ -343,6 +343,45 @@ class _Binder:
         return node
 
 
+class _Numberer(_Binder):
+    """Rewrites anonymous ``?`` markers to explicit ``$n`` parameters.
+
+    Walks exactly like :class:`_Binder` (it reuses the traversal), so the
+    k-th anonymous marker receives the index ``_Binder`` would have bound
+    it with.  Explicit ``$n`` parameters pass through unchanged.  Used by
+    the engine's plan cache: a numbered statement plans once and executes
+    under any bindings, with parameters resolved at runtime.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(())
+
+    def rewrite(self, node: ast.Expr) -> ast.Expr:
+        if isinstance(node, ast.Parameter):
+            if node.index is None:
+                index = self._anonymous_next
+                self._anonymous_next += 1
+                return ast.Parameter(index + 1)
+            return node
+        return super().rewrite(node)
+
+
+def number_parameters(stmt: ast.Statement) -> ast.Statement:
+    """Return ``stmt`` with anonymous ``?`` parameters numbered ``$1..$n``.
+
+    Statement kinds without bindable expressions are returned unchanged.
+    """
+    numberer = _Numberer()
+    if isinstance(stmt, ast.Select):
+        return _bind_select(stmt, numberer)
+    if isinstance(stmt, ast.Union):
+        parts = tuple(_bind_select(part, numberer) for part in stmt.parts)
+        return ast.Union(
+            parts, stmt.all_flags, stmt.order_by, stmt.limit, stmt.offset
+        )
+    return stmt
+
+
 def _bind_select(stmt: ast.Select, binder: "_Binder") -> ast.Select:
     where = binder.rewrite(stmt.where) if stmt.where is not None else None
     having = binder.rewrite(stmt.having) if stmt.having is not None else None

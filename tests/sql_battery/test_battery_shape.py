@@ -1,0 +1,650 @@
+"""Differential SQL battery: columnar executor vs reference row executor.
+
+Every statement below runs against two databases built identically — one
+with ``executor="columnar"`` (the default vectorized engine) and one with
+``executor="row"`` (the retained tuple-at-a-time reference).  For each
+statement the battery asserts:
+
+* identical outcome kind (result vs error, with identical error text),
+* bit-identical result sets (``repr`` equality, so ``True`` vs ``1`` and
+  ``1`` vs ``1.0`` mismatches are caught) in identical order,
+* identical ``rows_examined`` / ``index_probes`` / ``rowcount`` /
+  ``triggers_fired`` counters (the vectorized engine charges per batch
+  but must land on the same totals),
+* identical EXPLAIN trees once the ``[batched=...]`` annotation — the
+  one intentional difference — is stripped.
+
+DML statements are interleaved so both engines evolve through the same
+storage states (inserts, updates, deletes, compaction triggers).
+
+The battery deliberately avoids the two documented divergences of the
+vectorized expression compiler (``repro.db.vector`` module docstring):
+RAND() inside AND/OR branches, and int/float comparisons beyond 2**53.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.db.engine import Database
+
+_BATCHED_SUFFIX = re.compile(r" \[batched=(?:yes|no)\]$")
+
+
+def _strip_batched(lines):
+    return [_BATCHED_SUFFIX.sub("", line) for line in lines]
+
+
+SCHEMA = [
+    "CREATE TABLE car (maker TEXT, model TEXT, price INT, year INT)",
+    "CREATE TABLE mileage (model TEXT, epa INT)",
+    "CREATE TABLE misc (id INT, label TEXT, ratio REAL, flag INT)",
+    "CREATE INDEX car_maker ON car (maker)",
+    "CREATE INDEX car_price ON car (price)",
+    "CREATE INDEX mileage_model ON mileage (model)",
+]
+
+SEED = [
+    "INSERT INTO car VALUES "
+    "('Toyota', 'Avalon', 25000, 2019), ('Toyota', 'Camry', 24000, 2020), "
+    "('Toyota', 'Corolla', 20000, 2021), ('Honda', 'Accord', 22000, 2020), "
+    "('Honda', 'Civic', 19000, 2021), ('Honda', 'Pilot', 31000, 2019), "
+    "('Tesla', 'Model3', 40000, 2021), ('Tesla', 'ModelY', 48000, 2022), "
+    "('Ford', 'Focus', 18000, 2018), ('Ford', 'Fusion', 21000, 2019)",
+    "INSERT INTO car VALUES ('Mystery', NULL, NULL, NULL)",
+    "INSERT INTO mileage VALUES "
+    "('Avalon', 28), ('Camry', 32), ('Civic', 36), ('Model3', 130), "
+    "('Focus', 30), ('Ghost', 99)",
+    "INSERT INTO misc VALUES "
+    "(1, 'alpha', 1.5, 1), (2, 'beta', 2.5, 0), (3, NULL, NULL, 1), "
+    "(4, 'Alpha', 0.5, NULL), (5, 'gamma%', 3.5, 0), (6, 'a_b', 1.0, 1), "
+    "(7, '', 2.0, 0), (8, 'beta', 2.5, 1)",
+]
+
+
+def _build(mode: str) -> Database:
+    db = Database(executor=mode)
+    for sql in SCHEMA + SEED:
+        db.execute(sql)
+    return db
+
+
+# Each entry: (sql, params-or-None).  DML entries are interleaved with
+# SELECT checkpoints so both engines step through identical states.
+STATEMENTS = []
+
+
+def _add(*sqls, params=None):
+    for sql in sqls:
+        STATEMENTS.append((sql, params))
+
+
+# -- scalar expressions (sourceless SELECT) --------------------------------
+_add(
+    "SELECT 1 + 2",
+    "SELECT 2 * 3 - 4",
+    "SELECT 7 / 2",
+    "SELECT 8 / 2",
+    "SELECT 7 % 3",
+    "SELECT -5",
+    "SELECT +5",
+    "SELECT 1.5 + 2",
+    "SELECT 1 / 0",
+    "SELECT 5 % 0",
+    "SELECT 'a' || 'b'",
+    "SELECT 'n' || 1",
+    "SELECT 1 + NULL",
+    "SELECT NULL || 'x'",
+    "SELECT -NULL",
+    "SELECT NOT NULL",
+    "SELECT NOT 0",
+    "SELECT NOT 3",
+    "SELECT 1 < 2",
+    "SELECT 2 <= 2",
+    "SELECT 3 > 4",
+    "SELECT 'a' < 'b'",
+    "SELECT 1 = 1.0",
+    "SELECT 1 = TRUE",
+    "SELECT 0 = FALSE",
+    "SELECT NULL = NULL",
+    "SELECT NULL IS NULL",
+    "SELECT NULL IS NOT NULL",
+    "SELECT 5 BETWEEN 1 AND 10",
+    "SELECT 5 NOT BETWEEN 1 AND 10",
+    "SELECT NULL BETWEEN 1 AND 10",
+    "SELECT 2 IN (1, 2, 3)",
+    "SELECT 4 IN (1, 2, 3)",
+    "SELECT 4 NOT IN (1, 2, 3)",
+    "SELECT 4 IN (1, 2, NULL)",
+    "SELECT NULL IN (1, 2)",
+    "SELECT 'abc' LIKE 'a%'",
+    "SELECT 'abc' LIKE 'a_c'",
+    "SELECT 'abc' LIKE 'b%'",
+    "SELECT NULL LIKE 'a%'",
+    "SELECT 'abc' LIKE NULL",
+    "SELECT (1 = 1) AND NULL",
+    "SELECT (1 = 2) AND NULL",
+    "SELECT (1 = 1) OR NULL",
+    "SELECT (1 = 2) OR NULL",
+    "SELECT 0 AND NULL",
+    "SELECT LENGTH('hello')",
+    "SELECT LENGTH(NULL)",
+    "SELECT UPPER('miXed')",
+    "SELECT LOWER('MiXeD')",
+    "SELECT ABS(-7)",
+    "SELECT ABS(2.5)",
+    "SELECT COALESCE(NULL, NULL, 3)",
+    "SELECT COALESCE(1, 2)",
+    "SELECT COALESCE(NULL, 'x') || '!'",
+    "SELECT CASE WHEN 1 = 1 THEN 'yes' ELSE 'no' END",
+    "SELECT CASE WHEN 1 = 2 THEN 'yes' END",
+    "SELECT CASE WHEN NULL THEN 'a' WHEN 1 THEN 'b' ELSE 'c' END",
+)
+
+# -- filters and projections over one table --------------------------------
+_add(
+    "SELECT * FROM car",
+    "SELECT maker, model FROM car",
+    "SELECT model FROM car WHERE maker = 'Toyota'",
+    "SELECT model FROM car WHERE maker = 'Nobody'",
+    "SELECT model, price FROM car WHERE price > 22000",
+    "SELECT model FROM car WHERE price >= 24000",
+    "SELECT model FROM car WHERE price < 20000",
+    "SELECT model FROM car WHERE price <= 19000",
+    "SELECT model FROM car WHERE price BETWEEN 20000 AND 25000",
+    "SELECT model FROM car WHERE price NOT BETWEEN 20000 AND 25000",
+    "SELECT model FROM car WHERE year = 2021 AND price < 30000",
+    "SELECT model FROM car WHERE maker = 'Honda' OR maker = 'Ford'",
+    "SELECT model FROM car WHERE NOT (maker = 'Toyota')",
+    "SELECT model FROM car WHERE model LIKE 'C%'",
+    "SELECT model FROM car WHERE model LIKE '%o%'",
+    "SELECT model FROM car WHERE model LIKE 'Model_'",
+    "SELECT maker FROM car WHERE model IS NULL",
+    "SELECT maker FROM car WHERE model IS NOT NULL",
+    "SELECT model FROM car WHERE price IS NULL",
+    "SELECT maker, price * 2 FROM car WHERE price > 30000",
+    "SELECT price / 1000 AS grand FROM car WHERE maker = 'Tesla'",
+    "SELECT maker || ':' || model FROM car WHERE year = 2020",
+    "SELECT DISTINCT maker FROM car",
+    "SELECT DISTINCT year FROM car WHERE price > 20000",
+    "SELECT model FROM car WHERE maker IN ('Toyota', 'Tesla')",
+    "SELECT model FROM car WHERE maker IN ('Toyota', 'Toyota', 'Tesla')",
+    "SELECT model FROM car WHERE maker IN ('Toyota', NULL)",
+    "SELECT model FROM car WHERE maker NOT IN ('Toyota', 'Honda')",
+    "SELECT model FROM car WHERE price IN (19000, 40000, 99)",
+    "SELECT id, label FROM misc WHERE label LIKE 'a%'",
+    "SELECT id FROM misc WHERE label LIKE '%\\%'",
+    "SELECT id FROM misc WHERE ratio > 1.0 AND flag = 1",
+    "SELECT id FROM misc WHERE ratio IS NULL OR flag IS NULL",
+    "SELECT id, COALESCE(label, '<none>') FROM misc",
+    "SELECT id, CASE WHEN flag = 1 THEN 'on' WHEN flag = 0 THEN 'off' "
+    "ELSE 'unknown' END FROM misc",
+    "SELECT id FROM misc WHERE id % 2 = 0",
+    "SELECT id, ratio * 2 + 1 FROM misc WHERE ratio BETWEEN 1.0 AND 3.0",
+    "SELECT UPPER(label) FROM misc WHERE label IS NOT NULL",
+    "SELECT id FROM misc WHERE LENGTH(label) = 4",
+)
+
+# -- joins ------------------------------------------------------------------
+_add(
+    "SELECT car.model, epa FROM car, mileage WHERE car.model = mileage.model",
+    "SELECT car.model, epa FROM car JOIN mileage ON car.model = mileage.model",
+    "SELECT c.model, m.epa FROM car AS c JOIN mileage AS m ON c.model = m.model",
+    "SELECT c.model, m.epa FROM car c JOIN mileage m ON c.model = m.model "
+    "WHERE c.price > 20000",
+    "SELECT car.model, epa FROM car JOIN mileage ON car.model = mileage.model "
+    "AND epa > 30",
+    "SELECT car.model, mileage.epa FROM car LEFT JOIN mileage "
+    "ON car.model = mileage.model",
+    "SELECT car.model, mileage.epa FROM car LEFT JOIN mileage "
+    "ON car.model = mileage.model WHERE mileage.epa IS NULL",
+    "SELECT COUNT(*) FROM car, mileage",
+    "SELECT COUNT(*) FROM car JOIN mileage ON car.price > mileage.epa",
+    "SELECT a.model, b.model FROM car a, car b "
+    "WHERE a.maker = b.maker AND a.price < b.price",
+    "SELECT car.model, mileage.epa, misc.id FROM car "
+    "JOIN mileage ON car.model = mileage.model "
+    "JOIN misc ON misc.flag = 1 WHERE misc.id < 4",
+    "SELECT c.maker, m.epa FROM car c LEFT JOIN mileage m "
+    "ON c.model = m.model AND m.epa > 31",
+    "SELECT car.maker FROM car JOIN mileage ON car.model = mileage.model "
+    "WHERE mileage.epa BETWEEN 28 AND 40",
+    "SELECT COUNT(*) FROM car a JOIN car b ON a.year = b.year",
+    "SELECT a.id, b.id FROM misc a JOIN misc b ON a.ratio = b.ratio "
+    "WHERE a.id < b.id",
+)
+
+# -- subqueries and semi-joins ---------------------------------------------
+_add(
+    "SELECT maker FROM car WHERE model IN (SELECT model FROM mileage)",
+    "SELECT maker FROM car WHERE model NOT IN "
+    "(SELECT model FROM mileage WHERE epa > 35)",
+    "SELECT COUNT(*) FROM car WHERE model IN (SELECT model FROM mileage)",
+    "SELECT COUNT(*) FROM car WHERE EXISTS (SELECT 1 FROM mileage)",
+    "SELECT COUNT(*) FROM car WHERE NOT EXISTS "
+    "(SELECT 1 FROM mileage WHERE epa > 1000)",
+    "SELECT model FROM car WHERE price > (SELECT MIN(price) FROM car) "
+    "AND maker = 'Toyota'",
+    "SELECT model FROM car WHERE price = (SELECT MAX(price) FROM car)",
+    "SELECT model FROM mileage WHERE model IN (SELECT model FROM car)",
+    "SELECT id FROM misc WHERE id IN (SELECT flag FROM misc)",
+)
+
+# -- VALUES sources ---------------------------------------------------------
+_add(
+    "SELECT * FROM (VALUES (1, 'a'), (2, 'b'), (3, 'c')) AS v (n, s)",
+    "SELECT n * 10, UPPER(s) FROM (VALUES (1, 'a'), (2, 'b')) AS v (n, s)",
+    "SELECT car.model FROM car JOIN (VALUES ('Civic'), ('Focus'), ('Nope')) "
+    "AS wanted (model) ON car.model = wanted.model",
+    "SELECT v.n FROM (VALUES (1), (2), (3), (2)) AS v (n) WHERE v.n > 1",
+    "SELECT COUNT(*) FROM (VALUES (NULL), (1), (NULL)) AS v (x) "
+    "WHERE v.x IS NULL",
+    # Semi-join shapes (batched-polling delta joins): DISTINCT probe
+    # columns from a VALUES table against base tables.
+    "SELECT DISTINCT w.model FROM (VALUES ('Civic'), ('Focus'), ('Nope')) "
+    "AS w (model), car WHERE w.model = car.model",
+    "SELECT DISTINCT w.model FROM (VALUES ('Civic'), ('Civic')) "
+    "AS w (model), car WHERE w.model = car.model",
+    "SELECT DISTINCT w.n FROM (VALUES (1), (2), (3)) AS w (n), car "
+    "WHERE car.price > w.n * 20000",
+    "SELECT DISTINCT w.model FROM (VALUES ('Ghost'), ('Civic')) "
+    "AS w (model), car, mileage "
+    "WHERE w.model = car.model AND car.model = mileage.model",
+    "SELECT DISTINCT w.n FROM (VALUES (1), (2)) AS w (n), car "
+    "WHERE 1 = 0",
+)
+
+# -- aggregates -------------------------------------------------------------
+_add(
+    "SELECT COUNT(*) FROM car",
+    "SELECT COUNT(model) FROM car",
+    "SELECT COUNT(price) FROM car WHERE maker = 'Mystery'",
+    "SELECT SUM(price) FROM car",
+    "SELECT AVG(price) FROM car WHERE maker = 'Toyota'",
+    "SELECT MIN(price), MAX(price) FROM car",
+    "SELECT SUM(price) FROM car WHERE maker = 'Nobody'",
+    "SELECT COUNT(*) FROM car WHERE maker = 'Nobody'",
+    "SELECT maker, COUNT(*) FROM car GROUP BY maker",
+    "SELECT maker, COUNT(*) FROM car GROUP BY maker ORDER BY maker",
+    "SELECT maker, AVG(price) FROM car GROUP BY maker ORDER BY maker",
+    "SELECT year, maker, COUNT(*) FROM car GROUP BY year, maker "
+    "ORDER BY year, maker",
+    "SELECT maker, COUNT(*) AS n FROM car GROUP BY maker "
+    "HAVING COUNT(*) > 2 ORDER BY maker",
+    "SELECT maker, SUM(price) FROM car GROUP BY maker "
+    "HAVING SUM(price) > 60000 ORDER BY maker",
+    "SELECT COUNT(DISTINCT maker) FROM car",
+    "SELECT COUNT(DISTINCT year) FROM car WHERE price > 20000",
+    "SELECT maker, MAX(price) - MIN(price) FROM car GROUP BY maker "
+    "ORDER BY maker",
+    "SELECT SUM(price * 2) FROM car WHERE year = 2021",
+    "SELECT flag, COUNT(*), SUM(ratio) FROM misc GROUP BY flag "
+    "ORDER BY flag",
+    "SELECT label, COUNT(*) FROM misc GROUP BY label ORDER BY label",
+    "SELECT COUNT(*) FROM misc GROUP BY flag ORDER BY COUNT(*)",
+    "SELECT AVG(ratio) FROM misc",
+    "SELECT MIN(label), MAX(label) FROM misc",
+)
+
+# -- ordering, limits, distinct --------------------------------------------
+_add(
+    "SELECT model FROM car ORDER BY price",
+    "SELECT model FROM car ORDER BY price DESC",
+    "SELECT model FROM car ORDER BY maker, price DESC",
+    "SELECT model, price FROM car ORDER BY year DESC, model",
+    "SELECT model FROM car ORDER BY price LIMIT 3",
+    "SELECT model FROM car ORDER BY price LIMIT 3 OFFSET 2",
+    "SELECT model FROM car ORDER BY price LIMIT 0",
+    "SELECT model FROM car ORDER BY price LIMIT 5 OFFSET 50",
+    "SELECT model FROM car LIMIT 4",
+    "SELECT DISTINCT maker FROM car ORDER BY maker",
+    "SELECT DISTINCT maker FROM car ORDER BY maker LIMIT 2",
+    "SELECT price AS cost FROM car ORDER BY cost DESC LIMIT 2",
+    "SELECT maker FROM car ORDER BY price",
+    "SELECT id FROM misc ORDER BY ratio",
+    "SELECT id FROM misc ORDER BY ratio DESC, id",
+)
+
+# -- unions -----------------------------------------------------------------
+_add(
+    "SELECT maker FROM car UNION SELECT model FROM mileage",
+    "SELECT maker FROM car UNION ALL SELECT model FROM mileage",
+    "SELECT maker FROM car WHERE price > 30000 UNION "
+    "SELECT maker FROM car WHERE year = 2018",
+    "SELECT model FROM car UNION SELECT model FROM mileage ORDER BY model",
+    "SELECT 1 UNION ALL SELECT 2 UNION ALL SELECT 1",
+    "SELECT 1 UNION SELECT 2 UNION SELECT 1",
+)
+
+# -- parameterized statements (plan-cache reuse across bindings) -----------
+_add("SELECT model FROM car WHERE maker = ?", params=("Toyota",))
+_add("SELECT model FROM car WHERE maker = ?", params=("Honda",))
+_add("SELECT model FROM car WHERE maker = ?", params=("Nobody",))
+_add(
+    "SELECT model FROM car WHERE maker = ? AND price > ?",
+    params=("Toyota", 21000),
+)
+_add(
+    "SELECT model FROM car WHERE maker = ? AND price > ?",
+    params=("Honda", 100),
+)
+_add("SELECT model FROM car WHERE price BETWEEN ? AND ?", params=(19000, 25000))
+_add("SELECT model FROM car WHERE maker IN (?, ?)", params=("Ford", "Tesla"))
+_add("SELECT model FROM car WHERE maker IN (?, ?)", params=("Ford", "Ford"))
+_add("SELECT ? + ?", params=(3, 4))
+_add("SELECT ? || '-suffix'", params=("pre",))
+_add("SELECT model FROM car WHERE model LIKE ?", params=("C%",))
+_add("SELECT model FROM car WHERE model LIKE ?", params=("%o%",))
+_add("SELECT $1, $2, $1", params=("a", "b"))
+_add(
+    "SELECT car.model FROM car JOIN mileage ON car.model = mileage.model "
+    "WHERE epa > ?",
+    params=(30,),
+)
+
+# -- DML interleaved with checkpoints --------------------------------------
+_add(
+    "INSERT INTO car VALUES ('Kia', 'Rio', 16000, 2022)",
+    "INSERT INTO car VALUES ('Kia', 'Soul', 20000, 2022), "
+    "('Kia', 'EV6', 45000, 2023)",
+    "SELECT COUNT(*) FROM car",
+    "SELECT model FROM car WHERE maker = 'Kia' ORDER BY price",
+    "UPDATE car SET price = price + 500 WHERE maker = 'Kia'",
+    "SELECT model, price FROM car WHERE maker = 'Kia' ORDER BY price",
+    "UPDATE car SET year = 2024, price = price * 2 WHERE model = 'EV6'",
+    "SELECT price, year FROM car WHERE model = 'EV6'",
+    "UPDATE car SET price = 1 WHERE maker = 'Nobody'",
+    "DELETE FROM car WHERE model = 'Rio'",
+    "SELECT COUNT(*) FROM car WHERE maker = 'Kia'",
+    "DELETE FROM car WHERE price > 80000",
+    "SELECT COUNT(*) FROM car",
+    "INSERT INTO misc VALUES (9, 'delta', NULL, NULL)",
+    "UPDATE misc SET ratio = COALESCE(ratio, 0.0) + 1.0 WHERE id > 5",
+    "SELECT id, ratio FROM misc ORDER BY id",
+    "DELETE FROM misc WHERE label IS NULL AND flag IS NULL",
+    "SELECT COUNT(*) FROM misc",
+    "SELECT maker, COUNT(*) FROM car GROUP BY maker ORDER BY maker",
+)
+_add("INSERT INTO mileage VALUES (?, ?)", params=("Soul", 33))
+_add(
+    "SELECT car.model, epa FROM car JOIN mileage ON car.model = mileage.model "
+    "ORDER BY epa DESC",
+)
+
+# -- error parity -----------------------------------------------------------
+_add(
+    "SELECT nosuch FROM car",
+    "SELECT * FROM nosuch_table",
+    "SELECT car.nosuch FROM car",
+    "SELECT 'a' + 1",
+    "SELECT price + model FROM car WHERE maker = 'Toyota'",
+    "SELECT NOSUCHFN(1)",
+    "SELECT ambiguous.model FROM car, mileage WHERE 1 = 0",
+    "SELECT model FROM car, mileage",
+)
+
+# -- post-DML second wave (exercises storage after deletes/compaction) -----
+_add(
+    "SELECT model FROM car WHERE maker IN ('Kia', 'Tesla') ORDER BY model",
+    "SELECT model FROM car WHERE price BETWEEN 15000 AND 50000 "
+    "ORDER BY price DESC LIMIT 4",
+    "SELECT maker FROM car WHERE model IN (SELECT model FROM mileage) "
+    "ORDER BY maker",
+    "SELECT c.model, m.epa FROM car c LEFT JOIN mileage m "
+    "ON c.model = m.model ORDER BY c.model",
+    "SELECT year, COUNT(*), MIN(price), MAX(price) FROM car "
+    "GROUP BY year ORDER BY year",
+    "SELECT DISTINCT maker FROM car WHERE price IS NOT NULL ORDER BY maker",
+)
+
+
+def _outcome(db: Database, sql: str, params):
+    try:
+        result = db.execute(sql, params)
+    except Exception as exc:  # noqa: BLE001 - parity requires exact capture
+        return ("error", type(exc).__name__, str(exc))
+    return (
+        "ok",
+        result.columns,
+        repr(result.rows),
+        result.rowcount,
+        result.rows_examined,
+        result.index_probes,
+        result.triggers_fired,
+    )
+
+
+def _explain_outcome(db: Database, sql: str):
+    try:
+        result = db.execute("EXPLAIN " + sql)
+    except Exception as exc:  # noqa: BLE001
+        return ("error", type(exc).__name__, str(exc))
+    return ("ok", _strip_batched([row[0] for row in result.rows]))
+
+
+@pytest.fixture(scope="module")
+def battery():
+    """Run the full battery once against both engines, keeping results."""
+    columnar = _build("columnar")
+    row = _build("row")
+    outcomes = []
+    for sql, params in STATEMENTS:
+        entry = {
+            "sql": sql,
+            "columnar": _outcome(columnar, sql, params),
+            "row": _outcome(row, sql, params),
+        }
+        is_select = sql.lstrip().upper().startswith("SELECT") and params is None
+        if is_select:
+            entry["explain_columnar"] = _explain_outcome(columnar, sql)
+            entry["explain_row"] = _explain_outcome(row, sql)
+        outcomes.append(entry)
+    return {"outcomes": outcomes, "columnar": columnar, "row": row}
+
+
+def test_battery_has_at_least_200_statements():
+    assert len(STATEMENTS) >= 200
+
+
+@pytest.mark.parametrize("position", range(len(STATEMENTS)))
+def test_statement_parity(battery, position):
+    entry = battery["outcomes"][position]
+    assert entry["columnar"] == entry["row"], entry["sql"]
+    if "explain_columnar" in entry:
+        assert entry["explain_columnar"] == entry["explain_row"], entry["sql"]
+
+
+def test_final_table_states_identical(battery):
+    columnar, row = battery["columnar"], battery["row"]
+    assert columnar.table_names() == row.table_names()
+    for table in columnar.table_names():
+        left = [r for _, r in columnar.heap(table).rows()]
+        right = [r for _, r in row.heap(table).rows()]
+        assert repr(left) == repr(right), table
+
+
+def test_explain_annotations_differ_only_in_batched_flag(battery):
+    columnar, row = battery["columnar"], battery["row"]
+    sql = "SELECT model FROM car WHERE maker = 'Toyota'"
+    cols = [r[0] for r in columnar.execute("EXPLAIN " + sql).rows]
+    rows = [r[0] for r in row.execute("EXPLAIN " + sql).rows]
+    assert all("[batched=yes]" in line for line in cols)
+    assert all("[batched=no]" in line for line in rows)
+    assert _strip_batched(cols) == _strip_batched(rows)
+
+
+class TestPlanShapes:
+    """The vectorized refactor must not change what the planner picks."""
+
+    @pytest.fixture()
+    def db(self):
+        return _build("columnar")
+
+    def _plan(self, db, sql):
+        return "\n".join(r[0] for r in db.execute("EXPLAIN " + sql).rows)
+
+    def test_equality_index(self, db):
+        plan = self._plan(db, "SELECT model FROM car WHERE maker = 'Honda'")
+        assert "IndexEqLookup(car.maker = 'Honda' USING car_maker)" in plan
+
+    def test_in_list_index(self, db):
+        plan = self._plan(
+            db, "SELECT model FROM car WHERE maker IN ('Honda', 'Ford')"
+        )
+        assert "IndexInLookup(car.maker IN [2 values] USING car_maker)" in plan
+
+    def test_range_index(self, db):
+        plan = self._plan(db, "SELECT model FROM car WHERE price > 30000")
+        assert "IndexRangeScan(car: price > 30000 USING car_price)" in plan
+
+    def test_hash_join(self, db):
+        plan = self._plan(
+            db,
+            "SELECT car.model FROM car JOIN mileage "
+            "ON car.model = mileage.model",
+        )
+        assert "HashJoin(" in plan
+
+    def test_hash_semi_join(self, db):
+        # The batched-polling shape: DISTINCT probe columns from a VALUES
+        # table joined to base tables on equality (see PR-5 delta joins).
+        plan = self._plan(
+            db,
+            "SELECT DISTINCT w.model FROM (VALUES ('Civic'), ('Focus')) "
+            "AS w (model), car WHERE w.model = car.model",
+        )
+        assert "HashSemiJoin(" in plan
+
+    def test_nested_loop_join(self, db):
+        plan = self._plan(
+            db, "SELECT COUNT(*) FROM car JOIN mileage ON car.price > mileage.epa"
+        )
+        assert "NestedLoopJoin(" in plan
+
+    def test_left_outer_join(self, db):
+        plan = self._plan(
+            db,
+            "SELECT car.model FROM car LEFT JOIN mileage "
+            "ON car.model = mileage.model",
+        )
+        assert "LeftOuterJoin(" in plan
+
+    def test_values_scan(self, db):
+        plan = self._plan(db, "SELECT * FROM (VALUES (1), (2)) AS v (n)")
+        assert "ValuesScan(v: 2 rows x 1 cols)" in plan
+
+    def test_projection_pushdown_annotation(self, db):
+        plan = self._plan(db, "SELECT model FROM car WHERE maker = 'Honda'")
+        assert "cols=maker,model" in plan
+
+    def test_star_disables_pushdown_annotation(self, db):
+        plan = self._plan(db, "SELECT * FROM car")
+        assert "cols=" not in plan
+
+
+class TestPlanCache:
+    def test_hit_on_repeat(self):
+        db = _build("columnar")
+        db.execute("SELECT model FROM car WHERE maker = 'Toyota'")
+        misses = db.plan_cache_misses
+        hits = db.plan_cache_hits
+        db.execute("SELECT model FROM car WHERE maker = 'Toyota'")
+        assert db.plan_cache_hits == hits + 1
+        assert db.plan_cache_misses == misses
+
+    def test_one_plan_serves_all_bindings(self):
+        db = _build("columnar")
+        db.execute("SELECT model FROM car WHERE maker = ?", ("Toyota",))
+        hits = db.plan_cache_hits
+        first = db.execute("SELECT model FROM car WHERE maker = ?", ("Honda",))
+        second = db.execute("SELECT model FROM car WHERE maker = ?", ("Ford",))
+        assert db.plan_cache_hits == hits + 2
+        assert first.rows != second.rows
+
+    def test_ddl_invalidates(self):
+        db = _build("columnar")
+        sql = "SELECT model FROM car WHERE maker = 'Toyota'"
+        db.execute(sql)
+        db.execute("CREATE TABLE scratch (x INT)")
+        misses = db.plan_cache_misses
+        db.execute(sql)
+        assert db.plan_cache_misses == misses + 1
+
+    def test_index_creation_invalidates_and_replans(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INT, b INT)")
+        db.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+        sql = "SELECT b FROM t WHERE a = 1"
+        before = "\n".join(r[0] for r in db.execute("EXPLAIN " + sql).rows)
+        assert "TableScan" in before
+        db.execute(sql)
+        db.execute("CREATE INDEX t_a ON t (a)")
+        after = "\n".join(r[0] for r in db.execute("EXPLAIN " + sql).rows)
+        assert "IndexEqLookup" in after
+        assert db.execute(sql).rows == [(10,)]
+
+    def test_subquery_statements_not_plan_cached(self):
+        db = _build("columnar")
+        sql = "SELECT model FROM car WHERE price = (SELECT MAX(price) FROM car)"
+        db.execute(sql)
+        hits = db.plan_cache_hits
+        db.execute(sql)
+        assert db.plan_cache_hits == hits  # parse memoized, plan re-resolved
+
+    def test_cached_plan_sees_current_data(self):
+        db = _build("columnar")
+        sql = "SELECT COUNT(*) FROM car WHERE maker = 'Kia'"
+        assert db.execute(sql).rows == [(0,)]
+        db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 16000, 2022)")
+        assert db.execute(sql).rows == [(1,)]
+
+    def test_unbound_parameter_error_parity(self):
+        for mode in ("columnar", "row"):
+            db = _build(mode)
+            with pytest.raises(Exception) as exc_info:
+                db.execute("SELECT model FROM car WHERE maker = ?")
+            assert "unbound parameter" in str(exc_info.value)
+
+    def test_too_few_bindings_error(self):
+        db = _build("columnar")
+        with pytest.raises(Exception) as exc_info:
+            db.execute(
+                "SELECT model FROM car WHERE maker = ? AND price > ?", ("x",)
+            )
+        assert "has no binding" in str(exc_info.value)
+
+
+class TestDmlChargeParity:
+    """Satellite: batch-granular DML charging lands on identical counters."""
+
+    def test_update_counters_match(self):
+        results = {}
+        for mode in ("columnar", "row"):
+            db = _build(mode)
+            result = db.execute(
+                "UPDATE car SET price = price + 1 WHERE maker = 'Toyota'"
+            )
+            results[mode] = (
+                result.rowcount,
+                result.rows_examined,
+                result.index_probes,
+            )
+        assert results["columnar"] == results["row"]
+
+    def test_delete_counters_match(self):
+        results = {}
+        for mode in ("columnar", "row"):
+            db = _build(mode)
+            result = db.execute("DELETE FROM car WHERE price < 20000")
+            results[mode] = (result.rowcount, result.rows_examined)
+        assert results["columnar"] == results["row"]
+
+    def test_unfiltered_update_matches(self):
+        results = {}
+        for mode in ("columnar", "row"):
+            db = _build(mode)
+            result = db.execute("UPDATE misc SET flag = 1")
+            results[mode] = (result.rowcount, result.rows_examined)
+        assert results["columnar"] == results["row"]
