@@ -8,8 +8,18 @@ apply the update stream) and (b) DB work charged synchronously, for:
 * CachePortal (asynchronous cycle; update path untouched),
 * trigger-based invalidation (checks + polling inline in each DML),
 * materialized-view invalidation (view recomputation inline in each DML).
+
+Ablation A' (version keys): the same workload run with the version-key
+fast path on and off, against a per-instance polling oracle that
+re-executes every watched query each cycle and diffs the results.  The
+fast path must change *work only*: both arms eject exactly the pages the
+oracle ejects, cycle for cycle, while the keyed arm resolves ≥90% of the
+single-table-class pair checks from a counter comparison instead of the
+checker.
 """
 
+import json
+import os
 import time
 
 import pytest
@@ -21,6 +31,10 @@ from repro.core import Invalidator, MatViewInvalidator, TriggerInvalidator
 from repro.core.qiurl import QIURLMap
 
 from conftest import emit
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "baselines", "bench_invalidation_strategies.json"
+)
 
 
 QUERIES = [
@@ -50,13 +64,17 @@ def cacheable() -> HttpResponse:
     return HttpResponse(body="p", cache_control=CacheControl.cacheportal_private())
 
 
-def apply_updates(db: Database) -> None:
-    for i in range(UPDATE_COUNT):
+def apply_update_slice(db: Database, start: int, stop: int) -> None:
+    for i in range(start, stop):
         db.execute(
             f"INSERT INTO car VALUES ('maker{i % 10}', 'new{i}', {12000 + 37 * i})"
         )
         if i % 3 == 0:
             db.execute(f"DELETE FROM car WHERE model = 'model{i}'")
+
+
+def apply_updates(db: Database) -> None:
+    apply_update_slice(db, 0, UPDATE_COUNT)
 
 
 def populate(cache: WebCache, watch) -> None:
@@ -149,3 +167,109 @@ def test_all_strategies_are_safe():
     assert "u3" in results["matviews"] and "u4" in results["matviews"]
     assert "u3" in results["triggers"] and "u4" in results["triggers"]
     assert "u3" in results["cacheportal"] and "u4" in results["cacheportal"]
+
+
+# -- Ablation A': the version-key fast path vs a polling oracle ---------------
+
+#: QUERIES indexes whose WHERE is a single-table indexable conjunct —
+#: exactly the class the VERSION_KEY verdict covers.
+SINGLE_TABLE = (0, 1, 2)
+ORACLE_CYCLES = 6
+
+
+def _rows(db: Database, sql: str):
+    return sorted(db.execute(sql).rows)
+
+
+def run_versionkey_arm(version_keys: bool):
+    """One CachePortal invalidator run over ORACLE_CYCLES update slices.
+
+    Returns the per-cycle eject lists plus the summed fast-path counters
+    so the keyed and control arms can be compared eject-for-eject.
+    """
+    db = build_db()
+    cache = WebCache()
+    qiurl = QIURLMap()
+    invalidator = Invalidator(db, [cache], qiurl, version_keys=version_keys)
+    populate(cache, lambda sql, url: qiurl.add(sql, url, "s"))
+    invalidator.run_cycle()  # registration cycle: instances stamped
+    slice_size = UPDATE_COUNT // ORACLE_CYCLES
+    ejects, checks, avoided = [], 0, 0
+    for cycle in range(ORACLE_CYCLES):
+        before = set(cache.keys())
+        apply_update_slice(db, cycle * slice_size, (cycle + 1) * slice_size)
+        report = invalidator.run_cycle()
+        checks += report.version_key_checks
+        avoided += report.polls_avoided
+        ejects.append(sorted(before - set(cache.keys())))
+    return ejects, sorted(cache.keys()), checks, avoided
+
+
+def run_polling_oracle():
+    """Per-instance polling ground truth: re-execute every still-cached
+    query each cycle and eject on any result diff."""
+    db = build_db()
+    cached = {f"u{i}": _rows(db, sql) for i, sql in enumerate(QUERIES)}
+    slice_size = UPDATE_COUNT // ORACLE_CYCLES
+    ejects = []
+    for cycle in range(ORACLE_CYCLES):
+        apply_update_slice(db, cycle * slice_size, (cycle + 1) * slice_size)
+        stale = sorted(
+            url
+            for url, rows in cached.items()
+            if _rows(db, QUERIES[int(url[1:])]) != rows
+        )
+        for url in stale:
+            del cached[url]
+        ejects.append(stale)
+    return ejects, sorted(cached.keys())
+
+
+def test_version_key_arm_matches_polling_oracle():
+    """Version keys eliminate the single-table checker work without
+    moving a single eject: both arms match the polling oracle, cycle for
+    cycle, and ≥90% of the fast-path pair checks resolve by counter."""
+    keyed_ejects, keyed_kept, checks, avoided = run_versionkey_arm(True)
+    control_ejects, control_kept, control_checks, control_avoided = (
+        run_versionkey_arm(False)
+    )
+    oracle_ejects, oracle_kept = run_polling_oracle()
+
+    assert keyed_ejects == control_ejects == oracle_ejects
+    assert keyed_kept == control_kept == oracle_kept
+    assert control_checks == 0 and control_avoided == 0
+
+    elimination = avoided / checks if checks else 0.0
+    baseline = None
+    if os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH) as handle:
+            baseline = json.load(handle)
+    lines = [
+        f"keyed   : ejects {sum(len(e) for e in keyed_ejects)} pages "
+        f"over {ORACLE_CYCLES} cycles, {avoided}/{checks} "
+        f"single-table checks resolved by counter ({100 * elimination:.1f}%)",
+        f"control : identical ejects, 0 version-key checks",
+        f"oracle  : kept {oracle_kept}",
+    ]
+    data = {
+        "version_key_checks": checks,
+        "polls_avoided": avoided,
+        "elimination": round(elimination, 4),
+        "ejects_per_cycle": keyed_ejects,
+        "kept": keyed_kept,
+    }
+    if baseline is not None:
+        ref = baseline["version_key"]
+        lines.append(
+            f"baseline: {ref['polls_avoided']}/{ref['version_key_checks']} "
+            f"resolved ({100 * ref['elimination']:.1f}%, committed "
+            f"{baseline['committed']})"
+        )
+        assert elimination >= baseline["elimination_floor"]
+        assert keyed_ejects == ref["ejects_per_cycle"]
+    emit(
+        "Ablation A' — version-key fast path vs per-instance polling oracle",
+        lines,
+        data=data,
+    )
+    assert elimination >= 0.9

@@ -187,6 +187,7 @@ def _run_stream(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         predicate_index=not args.scan,
         batch_polling=not args.no_batch_polling,
+        version_keys=not args.no_version_keys,
     )
     pipeline.start()
     for i in range(args.pages):
@@ -226,6 +227,12 @@ def _run_stream(args: argparse.Namespace) -> int:
             f"{workers['index_probes']} probes "
             f"({workers['probe_time_ms']}ms probing)"
         )
+        if stats.get("version_keys") is not None:
+            print(
+                f"verkeys : {workers['polls_avoided']} polls avoided in "
+                f"{workers['version_key_checks']} version-key checks "
+                f"({workers['version_key_instances']} fast-path instances)"
+            )
         print(
             f"registry: {registry['query_types']} types, "
             f"{registry['query_instances']} instances, "
@@ -246,7 +253,7 @@ def _run_stream(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_cycle_site(batch_polling: bool, polling_budget):
+def _build_cycle_site(batch_polling: bool, polling_budget, version_keys: bool = True):
     """The ``stream`` demo's site, but driven by the synchronous portal."""
     from repro import CachePortal, Configuration, Database, KeySpec, build_site
     from repro.web import QueryPageServlet
@@ -287,6 +294,7 @@ def _build_cycle_site(batch_polling: bool, polling_budget):
         site,
         polling_budget=polling_budget,
         batch_polling=batch_polling,
+        version_keys=version_keys,
     )
     return db, site, portal
 
@@ -300,6 +308,7 @@ def _run_cycle(args: argparse.Namespace) -> int:
     db, site, portal = _build_cycle_site(
         batch_polling=not args.no_batch_polling,
         polling_budget=args.polling_budget,
+        version_keys=not args.no_version_keys,
     )
     reports = []
     for cycle in range(args.cycles):
@@ -319,6 +328,7 @@ def _run_cycle(args: argparse.Namespace) -> int:
     if args.json:
         payload = {
             "batch_polling": not args.no_batch_polling,
+            "version_keys": not args.no_version_keys,
             "cycles": [dataclasses.asdict(report) for report in reports],
             "status": status,
         }
@@ -347,6 +357,13 @@ def _run_cycle(args: argparse.Namespace) -> int:
             f"{invalidator['polls_coalesced']} coalesced, "
             f"{invalidator['poll_cache_hits']} cache hits"
         )
+        if status.get("version_keys") is not None:
+            keys = status["version_keys"]
+            print(
+                f"verkeys : {keys['fresh_hits']} fresh of {keys['checks']} "
+                f"checks across {keys['keys']} keys "
+                f"({keys['keyed_instances']} keyed instances)"
+            )
     return 0
 
 
@@ -694,6 +711,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--no-batch-polling", action="store_true",
                           help="per-instance polling control arm (disable "
                                "set-oriented delta-join batching)")
+    p_stream.add_argument("--no-version-keys", action="store_true",
+                          help="disable the version-key O(1) fast path "
+                               "(A/B control arm; ejects are identical)")
     p_stream.set_defaults(func=_run_stream)
 
     p_cycle = sub.add_parser(
@@ -710,6 +730,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_cycle.add_argument("--no-batch-polling", action="store_true",
                          help="per-instance polling control arm (disable "
                               "set-oriented delta-join batching)")
+    p_cycle.add_argument("--no-version-keys", action="store_true",
+                         help="disable the version-key O(1) fast path "
+                              "(A/B control arm; ejects are identical)")
     p_cycle.add_argument("--json", action="store_true",
                          help="emit per-cycle reports and portal status as JSON")
     p_cycle.set_defaults(func=_run_cycle)

@@ -73,6 +73,12 @@ class InvalidationReport:
     fallback_ejects: int = 0
     poll_only_checks: int = 0
     lint_findings: int = 0
+    #: Version-key fast path (VERSION_KEY verdicts): live instances on
+    #: the fast path at cycle end, counter checks performed, and pairs
+    #: the counter resolved without the precise checker.
+    version_key_instances: int = 0
+    version_key_checks: int = 0
+    polls_avoided: int = 0
     #: Set-oriented polling (this cycle): delta-join queries issued, the
     #: instances folded into them, and demultiplexed ids that matched no
     #: pending instance (always 0 unless the engine misbehaves).
@@ -119,6 +125,7 @@ class Invalidator:
         batch_polling: bool = True,
         servlet_deadline: Optional[Callable[[str], float]] = None,
         safety_enforcement: bool = True,
+        version_keys: bool = True,
     ) -> None:
         self.database = database
         self.registry = QueryTypeRegistry()
@@ -144,6 +151,18 @@ class Invalidator:
         if predicate_index:
             self.pred_index = PredicateIndex(
                 analysis_for=self.grouped_checker.analysis_for
+            ).attach_to(self.registry)
+        # Version-key fast path (O(1) per pair): counters prove
+        # single-table instances untouched without a checker run.  Off,
+        # VERSION_KEY pairs simply take the precise checker path — the
+        # A/B arm with bit-identical ejects.
+        from repro.core.invalidator.versionkey import VersionKeyIndex
+
+        self.version_index: Optional[VersionKeyIndex] = None
+        if version_keys:
+            self.version_index = VersionKeyIndex(
+                analysis_for=self.grouped_checker.analysis_for,
+                stamp_source=lambda: self.updates.cursor,
             ).attach_to(self.registry)
         self.scheduler = InvalidationScheduler(polling_budget=polling_budget)
         self.infomgmt = InformationManager(
@@ -214,6 +233,10 @@ class Invalidator:
             # The bounded log wrapped past our cursor: the missed changes
             # are unknowable, so every watched page must be ejected.
             report.updates_lost = True
+            if self.version_index is not None:
+                # Bumps for the lost range never happened: older stamps
+                # must not be vouched for again.
+                self.version_index.note_truncation(self.updates.cursor)
             all_urls = sorted(
                 {url for instance in self.registry.instances() for url in instance.urls}
             )
@@ -230,6 +253,11 @@ class Invalidator:
             self._finish_report(report)
             return report
         self.infomgmt.on_cycle_deltas(set(deltas.tables()))
+        if self.version_index is not None:
+            # Bump-before-check: every record of the batch moves its
+            # counters before any (instance, record) pair is examined.
+            for table in deltas.tables():
+                self.version_index.observe(deltas.changes_for(table))
 
         urls_to_eject: Set[str] = set()
         doomed_instances: Dict[int, QueryInstance] = {}
@@ -256,7 +284,7 @@ class Invalidator:
                 for position, record in enumerate(records):
                     report.pairs_checked += 1
                     stats.updates_seen += 1
-                    if safety_verdict is not SafetyVerdict.SAFE:
+                    if safety_verdict >= SafetyVerdict.POLL_ONLY:
                         # Enforcement replaces the precise check entirely:
                         # findings of this severity mean the analyzer's
                         # verdict cannot be trusted for this type.
@@ -267,6 +295,23 @@ class Invalidator:
                             doomed_instances[instance.instance_id] = instance
                             break
                         continue
+                    if (
+                        safety_verdict is SafetyVerdict.VERSION_KEY
+                        and self.version_index is not None
+                    ):
+                        # Version-key fast path: a quiet counter proves
+                        # the pair UNAFFECTED in O(1); anything
+                        # unprovable falls through to the index prune and
+                        # the precise check.  Consulted before the probe
+                        # result so the counter — not the per-record
+                        # probe — is the primary resolver for this tier.
+                        # The streaming workers run this same decision
+                        # table.
+                        report.version_key_checks += 1
+                        if self.version_index.fresh(instance, record):
+                            report.polls_avoided += 1
+                            report.unaffected += 1
+                            continue
                     if (
                         candidate_ids is not None
                         and instance.instance_id not in candidate_ids[position]
@@ -452,12 +497,12 @@ class Invalidator:
         for query_type in self.registry.types():
             if query_type.safety is not None:
                 report.lint_findings += len(query_type.safety.findings)
-        report.safe_instances = sum(
-            1
-            for instance in self.registry.instances()
-            if self.safety.verdict_for(instance.query_type)
-            is SafetyVerdict.SAFE
-        )
+        for instance in self.registry.instances():
+            verdict = self.safety.verdict_for(instance.query_type)
+            if verdict is SafetyVerdict.SAFE:
+                report.safe_instances += 1
+            elif verdict is SafetyVerdict.VERSION_KEY:
+                report.version_key_instances += 1
         self.last_report = report
 
     def _probe_candidates(
@@ -488,6 +533,17 @@ class Invalidator:
                 relevant.setdefault(candidate.instance_id, candidate)
         report.index_probes += len(records)
         report.probe_time_ms += 1000.0 * (time.perf_counter() - started)
+        if self.version_index is not None:
+            # Version-keyed instances bypass the bulk probe skip: their
+            # counter check — not the per-record probe — is this tier's
+            # primary resolver, so every pair must materialize and reach
+            # the decision table.
+            for instance in self.registry.instances_touching(table):
+                if (
+                    self.safety.verdict_for(instance.query_type)
+                    is SafetyVerdict.VERSION_KEY
+                ):
+                    relevant.setdefault(instance.instance_id, instance)
 
         relevant_by_type: Dict[int, int] = {}
         for instance in relevant.values():

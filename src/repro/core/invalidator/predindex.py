@@ -452,10 +452,16 @@ class PredicateIndex(RegistryListener):
         grouped checker's decision ladder so pruning can never contradict
         a verdict."""
         safety = instance.query_type.safety
-        if safety is not None and safety.verdict is not SafetyVerdict.SAFE:
+        if safety is not None and safety.verdict not in (
+            SafetyVerdict.SAFE,
+            SafetyVerdict.VERSION_KEY,
+        ):
             # Safety enforcement replaces the precise analysis for this
             # type; the instance must surface as a candidate for every
             # record so enforcement runs identically on both paths.
+            # VERSION_KEY types stay index-eligible: their fast path only
+            # ever *skips* checker work, so pruning a pair the counter
+            # would also have skipped cannot change a verdict.
             return _Entry(instance, "residual")
         if analysis.is_union or analysis.has_left_join:
             return _Entry(instance, "residual")

@@ -109,6 +109,12 @@ class QueryInstance:
     result_fingerprint: Optional[str] = None
     fingerprint_lsn: Optional[int] = None
 
+    #: VERSION_KEY fast-path state: the update cursor at registration
+    #: time.  A version counter that has not moved past this stamp
+    #: proves the instance untouched.  Managed by the
+    #: :class:`~repro.core.invalidator.versionkey.VersionKeyIndex`.
+    version_stamp_lsn: Optional[int] = None
+
 
 class RegistryListener:
     """Observer for instance lifecycle events.
@@ -165,6 +171,11 @@ class QueryTypeRegistry:
             if name and existing.name != name and name not in self._types_by_name:
                 self._types_by_name[name] = existing
             return existing
+        # Lint first, then upgrade SAFE single-table indexable templates
+        # to the VERSION_KEY fast path.  Imported lazily: versionkey
+        # depends on grouping, which imports this module's classes.
+        from repro.core.invalidator.versionkey import upgrade_classification
+
         type_id = next(self._type_ids)
         query_type = QueryType(
             type_id=type_id,
@@ -173,7 +184,7 @@ class QueryTypeRegistry:
             template=template,
             tables=referenced_tables(template),
             aliases=alias_map(template) if isinstance(template, ast.Select) else {},
-            safety=classify_template(template),
+            safety=upgrade_classification(classify_template(template), template),
         )
         self._types_by_signature[signature] = query_type
         if query_type.name in self._types_by_name:
@@ -322,6 +333,7 @@ class QueryTypeRegistry:
                 "registered_at": instance.registered_at,
                 "result_fingerprint": instance.result_fingerprint,
                 "fingerprint_lsn": instance.fingerprint_lsn,
+                "version_stamp_lsn": instance.version_stamp_lsn,
             }
             for instance in self.instances()
         ]
@@ -363,6 +375,9 @@ class QueryTypeRegistry:
             instance.servlets.update(spec.get("servlets", ()))
             instance.result_fingerprint = spec.get("result_fingerprint")
             instance.fingerprint_lsn = spec.get("fingerprint_lsn")
+            # Overwrites whatever stamp the replay's listener assigned:
+            # only the checkpointed stamp describes the cached page.
+            instance.version_stamp_lsn = spec.get("version_stamp_lsn")
         # Statistics last: the replay above bumps instances_seen counters
         # that the snapshot already accounts for.
         for spec in data.get("types", []):

@@ -3,12 +3,24 @@
 The independence check (§4) is precise only for the query fragment it
 can actually reason about.  :func:`classify_template` runs the SQL lint
 (:mod:`repro.sql.lint`) over a query-type template at registration time
-and folds the findings into a three-way verdict — the *safety lattice*::
+and folds the findings into a four-way verdict — the *safety lattice*::
 
-    SAFE  <  POLL_ONLY  <  ALWAYS_EJECT
+    SAFE  <  VERSION_KEY  <  POLL_ONLY  <  ALWAYS_EJECT
 
 ``SAFE``
     The precise per-update independence check runs as usual.
+``VERSION_KEY``
+    The query type qualifies for the O(1) version-counter fast path
+    (:mod:`repro.core.invalidator.versionkey`): its WHERE clause is a
+    single-table conjunction of indexable conjuncts, so a monotone
+    per-(table, column, value/interval) counter can prove an update
+    cycle left the instance untouched without running the per-update
+    independence check.  Counter quiet since the instance's
+    registration stamp → skip the check; counter moved (or nothing
+    provable) → fall back to the precise check, so ejects are
+    identical either way.  ``classify_template`` itself never assigns
+    this tier; the upgrade happens at registration, and only from
+    ``SAFE`` — a finding that floors above SAFE can never be masked.
 ``POLL_ONLY``
     The independence check is skipped.  Each instance keeps a result
     fingerprint; an update to a referenced table re-executes the
@@ -50,8 +62,9 @@ class SafetyVerdict(enum.IntEnum):
     """How the invalidator must treat instances of a query type."""
 
     SAFE = 0
-    POLL_ONLY = 1
-    ALWAYS_EJECT = 2
+    VERSION_KEY = 1
+    POLL_ONLY = 2
+    ALWAYS_EJECT = 3
 
     @classmethod
     def parse(cls, name: str) -> "SafetyVerdict":
@@ -64,8 +77,11 @@ class SafetyVerdict(enum.IntEnum):
             ) from None
 
 
-#: Per-rule verdict floors.  Rules absent from this table floor at SAFE
-#: (hygiene diagnostics) unless the severity guard below lifts them.
+#: Per-rule verdict floors.  Rules absent from this table floor at
+#: POLL_ONLY — fail conservative, matching the ERROR-never-SAFE
+#: structural guard — so a future lint rule can never be unsound by
+#: omission.  Hygiene diagnostics that genuinely stay SAFE must be
+#: listed here explicitly.
 RULE_VERDICT_FLOORS: Dict[str, SafetyVerdict] = {
     "nondeterministic-function": SafetyVerdict.ALWAYS_EJECT,
     "correlated-subquery": SafetyVerdict.ALWAYS_EJECT,
@@ -106,12 +122,20 @@ def classify_findings(
     """Fold lint findings into a verdict via the lattice maximum."""
     verdict = SafetyVerdict.SAFE
     for finding in findings:
-        floor = RULE_VERDICT_FLOORS.get(finding.rule, SafetyVerdict.SAFE)
+        # Unknown rules floor at POLL_ONLY: an unlisted (future) rule
+        # must degrade to polling, never silently stay SAFE.
+        floor = RULE_VERDICT_FLOORS.get(finding.rule, SafetyVerdict.POLL_ONLY)
         if finding.severity >= Severity.ERROR:
             # Structural guard: error findings can never stay SAFE, even
             # for rules this module has never heard of.
             floor = max(floor, SafetyVerdict.ALWAYS_EJECT)
         verdict = max(verdict, floor)
+    if verdict is SafetyVerdict.VERSION_KEY:
+        # Structural guard: VERSION_KEY is a registration-time upgrade
+        # from SAFE, never a lint floor.  A rule table entry pointing at
+        # it would *lower* the lattice for a flagged template, so it
+        # degrades to POLL_ONLY instead.
+        verdict = SafetyVerdict.POLL_ONLY
     return SafetyClassification(verdict=verdict, findings=findings)
 
 

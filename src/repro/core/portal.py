@@ -62,6 +62,7 @@ class CachePortal:
         use_data_cache: bool = False,
         batch_polling: bool = True,
         safety_enforcement: bool = True,
+        version_keys: bool = True,
         clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if site.configuration is not Configuration.WEB_CACHE or site.web_cache is None:
@@ -93,6 +94,7 @@ class CachePortal:
             batch_polling=batch_polling,
             servlet_deadline=self._servlet_deadline,
             safety_enforcement=safety_enforcement,
+            version_keys=version_keys,
         )
 
     def _servlet_deadline(self, servlet_name: str) -> float:
@@ -221,6 +223,9 @@ class CachePortal:
                     "polls_executed": last.polls_executed,
                     "urls_ejected": last.urls_ejected,
                     "safe_instances": last.safe_instances,
+                    "version_key_instances": last.version_key_instances,
+                    "version_key_checks": last.version_key_checks,
+                    "polls_avoided": last.polls_avoided,
                     "fallback_ejects": last.fallback_ejects,
                     "poll_only_checks": last.poll_only_checks,
                     "lint_findings": last.lint_findings,
@@ -230,4 +235,7 @@ class CachePortal:
                 invalidator.safety.stats(),
                 enabled=invalidator.safety.enabled,
             ),
+            "version_keys": None
+            if invalidator.version_index is None
+            else invalidator.version_index.stats(),
         }

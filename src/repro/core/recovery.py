@@ -83,6 +83,10 @@ class RecoveryReport:
     #: POLL_ONLY result fingerprints carried over from the snapshot (they
     #: were trusted at checkpoint time and stay trusted after restore).
     fingerprints_restored: int = 0
+    #: Version-key counters overlaid from the snapshot onto the
+    #: replay-rebuilt key index (0 when the fast path is disabled or the
+    #: snapshot predates it — the index floors itself conservatively).
+    version_keys_restored: int = 0
 
 
 # -- the on-disk format -------------------------------------------------------
@@ -161,23 +165,27 @@ def read_checkpoint(path: Union[str, Path]) -> Dict:
 
 def snapshot_portal(portal) -> Dict:
     """Capture a :class:`~repro.core.portal.CachePortal`'s durable state."""
+    index = portal.invalidator.version_index
     return {
         "kind": "portal",
         "qiurl": portal.qiurl_map.snapshot_state(),
         "registry": portal.invalidator.registry.snapshot_state(),
         "cursor_lsn": portal.invalidator.updates.cursor,
         "bus": None,
+        "version_keys": index.snapshot_state() if index is not None else None,
     }
 
 
 def snapshot_pipeline(pipeline) -> Dict:
     """Capture a streaming pipeline's durable state (tailer + bus too)."""
+    index = pipeline.version_index
     return {
         "kind": "pipeline",
         "qiurl": pipeline.qiurl_map.snapshot_state(),
         "registry": pipeline.registry.snapshot_state(),
         "cursor_lsn": pipeline.tailer.checkpoint(),
         "bus": pipeline.bus.snapshot_state(),
+        "version_keys": index.snapshot_state() if index is not None else None,
     }
 
 
@@ -208,9 +216,17 @@ def restore_portal(
         report.log_truncated = True
         report.lost_range = (cursor + 1, max(log.last_lsn, log.oldest_lsn - 1))
         invalidator.updates.skip_to_head()
+        if invalidator.version_index is not None:
+            invalidator.version_index.note_truncation(invalidator.updates.cursor)
         report.flushed_urls = _flush_all_portal(invalidator)
     else:
         invalidator.updates.seek(cursor)
+    if invalidator.version_index is not None:
+        # Registry replay rebuilt the keys; overlay the checkpointed
+        # counters (restamped instances carry their checkpointed stamps).
+        report.version_keys_restored = invalidator.version_index.restore_state(
+            payload.get("version_keys"), fallback_floor=cursor
+        )
     if reconcile_caches:
         report.orphans_ejected = _eject_orphans(
             invalidator.messages.caches, portal.qiurl_map
@@ -254,6 +270,13 @@ def restore_pipeline(
         pipeline._flush_everything()
     else:
         pipeline.tailer.seek(cursor)
+    if pipeline.version_index is not None:
+        # Registry replay rebuilt the keys; overlay the checkpointed
+        # counters.  On truncation _flush_everything already raised the
+        # floor to the resynced cursor, so older stamps stay unvouchable.
+        report.version_keys_restored = pipeline.version_index.restore_state(
+            payload.get("version_keys"), fallback_floor=cursor
+        )
     if reconcile_caches:
         caches = [
             target.cache

@@ -224,21 +224,32 @@ class Database:
 
         SELECT text is memoized in the plan cache: the first execution
         parses, numbers its parameters, and plans; repeats skip straight to
-        the executor.  Parameters still bind every call (the bound
-        statement is what ``StatementResult.statement`` reports, and bind
-        errors must surface identically), but the cached plan resolves
-        ``$n`` placeholders at runtime from this call's bindings.
+        the executor.  The cache is LRU — a hit refreshes the entry so hot
+        statements survive bursts of cold ones.  Parameters still bind
+        every call (the bound statement is what
+        ``StatementResult.statement`` reports, and bind errors must
+        surface identically), but the cached plan resolves ``$n``
+        placeholders at runtime from this call's bindings.
         """
         plan: Optional[PlanNode] = None
         fill_key: Optional[str] = None
         if isinstance(statement, str):
-            entry = self._plan_cache.get(statement)
+            text = statement
+            entry = self._plan_cache.get(text)
             if entry is not None:
                 statement, plan = entry
                 if plan is not None:
                     self.plan_cache_hits += 1
+                    # LRU: re-insert so eviction pops the coldest entry,
+                    # not merely the oldest.
+                    del self._plan_cache[text]
+                    self._plan_cache[text] = entry
+                elif isinstance(statement, ast.Select):
+                    # ``(statement, None)`` placeholder: the parse is
+                    # reusable but no plan was produced.  Retry planning —
+                    # it counts as neither a hit nor a miss.
+                    fill_key = text
             else:
-                text = statement
                 statement = parse_statement(text)
                 if isinstance(statement, ast.Select):
                     fill_key = text
@@ -322,12 +333,18 @@ class Database:
         contains subqueries — those re-resolve against live data each run,
         so their physical plan cannot be reused.  Planning errors propagate
         without caching, exactly as the uncached path would raise them.
+
+        Re-planning a cached ``(statement, None)`` placeholder neither
+        counts a miss nor evicts: the entry already occupies its slot, and
+        a successful retry upgrades it in place.
         """
         from repro.db.subquery import contains_subquery
 
-        self.plan_cache_misses += 1
-        if len(self._plan_cache) >= _PLAN_CACHE_CAP:
-            self._plan_cache.pop(next(iter(self._plan_cache)))
+        replanning = key in self._plan_cache
+        if not replanning:
+            self.plan_cache_misses += 1
+            if len(self._plan_cache) >= _PLAN_CACHE_CAP:
+                self._plan_cache.pop(next(iter(self._plan_cache)))
         if contains_subquery(statement):
             self._plan_cache[key] = (statement, None)
             return None

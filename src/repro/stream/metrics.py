@@ -50,6 +50,9 @@ class PipelineMetrics:
         # safety enforcement (lint verdicts)
         self.fallback_ejects = 0
         self.poll_only_checks = 0
+        # version-key fast path (polls_avoided ⊆ unaffected)
+        self.version_key_checks = 0
+        self.polls_avoided = 0
         # bus
         self.ejects_requested = 0
         self.ejects_coalesced = 0
@@ -166,6 +169,8 @@ class PipelineMetrics:
                     "over_invalidated": self.over_invalidated,
                     "fallback_ejects": self.fallback_ejects,
                     "poll_only_checks": self.poll_only_checks,
+                    "version_key_checks": self.version_key_checks,
+                    "polls_avoided": self.polls_avoided,
                     "poll_budget_utilization": round(utilization, 4),
                 },
                 "bus": {

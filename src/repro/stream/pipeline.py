@@ -52,6 +52,7 @@ from repro.core.invalidator.registration import (
     RegistrationModule,
 )
 from repro.core.invalidator.safety import SafetyEnforcer, SafetyVerdict
+from repro.core.invalidator.versionkey import VersionKeyIndex
 from repro.stream.bus import EjectBus
 from repro.stream.metrics import PipelineMetrics
 from repro.stream.tailer import LogTailer
@@ -93,6 +94,7 @@ class StreamingInvalidationPipeline:
         predicate_index: bool = True,
         batch_polling: bool = True,
         safety_enforcement: bool = True,
+        version_keys: bool = True,
         servlet_deadline: Optional[Callable[[str], float]] = None,
         pre_ingest: Optional[Callable[[], object]] = None,
         idle_sleep: float = 0.002,
@@ -122,6 +124,14 @@ class StreamingInvalidationPipeline:
         self.tailer = LogTailer(
             database.update_log, batch_size=batch_size, start_lsn=start_lsn
         )
+        # Version-key fast path: counters are bumped by the pump before
+        # batches dispatch, consulted by every worker.  Created after the
+        # tailer — new fast-path instances are stamped with its cursor.
+        self.version_index: Optional[VersionKeyIndex] = None
+        if version_keys:
+            self.version_index = VersionKeyIndex(
+                stamp_source=lambda: self.tailer.cursor
+            ).attach_to(self.registry)
         self.bus = bus or EjectBus(metrics=self.metrics)
         if bus is not None:
             self.bus.metrics = self.metrics
@@ -140,6 +150,7 @@ class StreamingInvalidationPipeline:
             batch_polling=batch_polling,
             servlet_deadline=servlet_deadline,
             safety=self.safety,
+            version_index=self.version_index,
         )
         self.pool = WorkerPool(
             num_shards,
@@ -309,6 +320,10 @@ class StreamingInvalidationPipeline:
             records_tailed=len(batch.records), batches_tailed=1
         )
         deltas = batch.deltas()
+        if self.version_index is not None:
+            # Bump-before-check: counters must reflect this batch before
+            # any worker examines one of its (instance, record) pairs.
+            self.version_index.observe(batch.records)
         changed = set(deltas.tables())
         # §4.3 daemon hook: stale polling results for changed tables must
         # be dropped before any worker polls on this batch's behalf.
@@ -329,6 +344,10 @@ class StreamingInvalidationPipeline:
 
     def _flush_everything(self) -> None:
         """Update-loss safety valve: eject every watched page."""
+        if self.version_index is not None:
+            # Bumps for the lost range never happened: stamps predating
+            # the resynced cursor must never be vouched for again.
+            self.version_index.note_truncation(self.tailer.cursor)
         with self.registry_lock:
             all_urls = sorted(
                 {
@@ -398,18 +417,23 @@ class StreamingInvalidationPipeline:
                 snapshot["predicate_index"] = self.pred_index.stats()
             # Safety observability: derived from the live registry, so it
             # is computed here rather than accumulated in the metrics.
-            snapshot["workers"]["safe_instances"] = sum(
-                1
-                for instance in self.registry.instances()
-                if self.safety.verdict_for(instance.query_type)
-                is SafetyVerdict.SAFE
-            )
+            safe_instances = version_key_instances = 0
+            for instance in self.registry.instances():
+                verdict = self.safety.verdict_for(instance.query_type)
+                if verdict is SafetyVerdict.SAFE:
+                    safe_instances += 1
+                elif verdict is SafetyVerdict.VERSION_KEY:
+                    version_key_instances += 1
+            snapshot["workers"]["safe_instances"] = safe_instances
+            snapshot["workers"]["version_key_instances"] = version_key_instances
             snapshot["workers"]["lint_findings"] = sum(
                 len(query_type.safety.findings)
                 for query_type in self.registry.types()
                 if query_type.safety is not None
             )
             snapshot["safety"] = self.safety.stats()
+            if self.version_index is not None:
+                snapshot["version_keys"] = self.version_index.stats()
         snapshot["tailer"]["cursor"] = self.tailer.cursor
         snapshot["tailer"]["last_lost_range"] = (
             list(self.tailer.last_lost_range)

@@ -72,6 +72,11 @@ class WorkerContext:
     #: independence-check path.  Fingerprint polls re-execute SQL, so
     #: workers take ``db_lock`` around them.
     safety: Optional[object] = None
+    #: Shared :class:`~repro.core.invalidator.versionkey.VersionKeyIndex`;
+    #: None sends VERSION_KEY pairs down the precise checker path (the
+    #: A/B control arm).  The index is internally locked — the pump bumps
+    #: it while workers consult it.
+    version_index: Optional[object] = None
 
 
 def shard_for(table: str, num_shards: int) -> int:
@@ -179,6 +184,14 @@ class InvalidationWorker:
         )
 
         index = ctx.pred_index
+        # Hoist the enabled check; the per-pair consultation below is a
+        # bare attribute read so enforcement stays off the hot path's
+        # profile (bench_lint.py budgets it at < 3%).
+        enforcer = (
+            ctx.safety
+            if ctx.safety is not None and getattr(ctx.safety, "enabled", True)
+            else None
+        )
         with ctx.registry_lock:
             if index is not None:
                 probe_start = time.perf_counter()
@@ -194,8 +207,24 @@ class InvalidationWorker:
                     ).items()
                 }
                 instances = []
+                # Version-keyed instances bypass the bulk probe skip:
+                # their counter check — not the per-record probe — is
+                # this tier's primary resolver, so every pair must
+                # materialize and reach the decision table below.
+                version_keyed = []
+                if ctx.version_index is not None and enforcer is not None:
+                    version_keyed = [
+                        instance
+                        for instance in ctx.registry.instances_touching(
+                            batch.table
+                        )
+                        if instance.query_type.safety is not None
+                        and instance.query_type.safety.verdict
+                        is SafetyVerdict.VERSION_KEY
+                    ]
             else:
                 probes = None
+                version_keyed = []
                 instances = list(ctx.registry.instances_touching(batch.table))
 
         urls_to_eject: "dict[str, None]" = {}  # insertion-ordered set
@@ -203,16 +232,9 @@ class InvalidationWorker:
         poll_tasks = []  # (instance, verdict)
         pairs = unaffected = affected = pruned = 0
         fallback_ejects = poll_only_checks = 0
+        version_key_checks = polls_avoided = 0
         # keyed by type_id: QueryType is a plain dataclass, not hashable
         updates_seen_by_type: "dict[int, list]" = {}
-        # Hoist the enabled check; the per-pair consultation below is a
-        # bare attribute read so enforcement stays off the hot path's
-        # profile (bench_lint.py budgets it at < 3%).
-        enforcer = (
-            ctx.safety
-            if ctx.safety is not None and getattr(ctx.safety, "enabled", True)
-            else None
-        )
 
         # Record-major iteration (unlike the synchronous invalidator's
         # instance-major pass): ejects caused by AFFECTED verdicts are
@@ -223,7 +245,16 @@ class InvalidationWorker:
                 row_instances = instances
             else:
                 probe = probes[position]
-                row_instances = probe.candidates
+                row_instances = list(probe.candidates)
+                # Version-keyed instances the probe excluded still
+                # materialize (their counter decides); doomed ones stay
+                # with the bulk accounting below, like the scan path.
+                row_instances.extend(
+                    instance
+                    for instance in version_keyed
+                    if instance.instance_id not in probe.candidate_ids
+                    and instance.instance_id not in doomed
+                )
                 # Everything the probe left out is provably UNAFFECTED for
                 # this record: account those pairs in bulk per query type
                 # (minus instances already doomed, which the scan path
@@ -269,7 +300,7 @@ class InvalidationWorker:
                 )
                 if (
                     classification is not None
-                    and classification.verdict is not SafetyVerdict.SAFE
+                    and classification.verdict >= SafetyVerdict.POLL_ONLY
                 ):
                     # Same decision table as Invalidator._enforce_safety:
                     # enforcement replaces the precise check entirely.
@@ -286,6 +317,32 @@ class InvalidationWorker:
                         self._doom(instance, urls_to_eject, doomed)
                     else:
                         unaffected += 1
+                    continue
+                if (
+                    classification is not None
+                    and classification.verdict is SafetyVerdict.VERSION_KEY
+                    and ctx.version_index is not None
+                ):
+                    # Version-key fast path — same decision table as the
+                    # synchronous invalidator: a quiet counter proves the
+                    # pair UNAFFECTED in O(1); anything unprovable falls
+                    # through to the precise check below.
+                    version_key_checks += 1
+                    if ctx.version_index.fresh(instance, record):
+                        polls_avoided += 1
+                        unaffected += 1
+                        continue
+                if (
+                    probes is not None
+                    and instance.instance_id not in probe.candidate_ids
+                ):
+                    # A version-keyed pair the counter could not vouch
+                    # for, but the probe proved UNAFFECTED — same verdict
+                    # the checker would reach, no invocation.  (Only
+                    # version-keyed extras can land here; every other
+                    # materialized pair is a probe candidate.)
+                    pruned += 1
+                    unaffected += 1
                     continue
                 if ctx.grouped_analysis:
                     verdict = self.grouped_checker.check_instance(
@@ -308,6 +365,8 @@ class InvalidationWorker:
             affected=affected,
             fallback_ejects=fallback_ejects,
             poll_only_checks=poll_only_checks,
+            version_key_checks=version_key_checks,
+            polls_avoided=polls_avoided,
         )
         if probes is not None:
             self.metrics.add(

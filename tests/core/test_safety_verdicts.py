@@ -2,9 +2,10 @@
 
 Three layers:
 
-* classification — lint findings fold into the SAFE < POLL_ONLY <
-  ALWAYS_EJECT lattice, with the structural guarantee that an
-  ERROR-severity finding can never classify SAFE (hypothesis-checked);
+* classification — lint findings fold into the SAFE < VERSION_KEY <
+  POLL_ONLY < ALWAYS_EJECT lattice, with the structural guarantees that
+  an ERROR-severity finding can never classify SAFE and that no lint
+  floor ever assigns VERSION_KEY (hypothesis-checked);
 * enforcement — ALWAYS_EJECT types never reach the independence
   checker (indexed and scan paths agree on every counter), POLL_ONLY
   types go through the fingerprint protocol;
@@ -125,13 +126,24 @@ class TestClassificationProperties:
     def test_verdict_is_the_lattice_maximum(self, findings):
         expected = SafetyVerdict.SAFE
         for finding in findings:
+            # Unknown rules floor at POLL_ONLY: fail conservative, never
+            # let a future lint rule default into a fast path.
             floor = RULE_VERDICT_FLOORS.get(
-                finding.rule, SafetyVerdict.SAFE
+                finding.rule, SafetyVerdict.POLL_ONLY
             )
             if finding.severity >= Severity.ERROR:
                 floor = max(floor, SafetyVerdict.ALWAYS_EJECT)
             expected = max(expected, floor)
         assert classify_findings(findings).verdict is expected
+
+    @given(findings=FINDINGS)
+    def test_lint_floors_never_assign_version_key(self, findings):
+        # VERSION_KEY is a registration-time upgrade from SAFE, never a
+        # lint outcome — classify_findings must not produce it.
+        assert (
+            classify_findings(findings).verdict
+            is not SafetyVerdict.VERSION_KEY
+        )
 
     @given(findings=FINDINGS)
     def test_monotone_adding_findings_never_lowers(self, findings):
@@ -197,7 +209,10 @@ class TestAlwaysEjectEnforcement:
         cache_page(cache, qiurl, "u-safe", SAFE_SQL)
         report = invalidator.run_cycle()
         assert report.lint_findings == 1  # the NOW() finding
-        assert report.safe_instances == 1  # the budget page
+        # The budget page's single-table WHERE upgrades SAFE→VERSION_KEY
+        # at registration, so it reports under the fast-path counter.
+        assert report.safe_instances == 0
+        assert report.version_key_instances == 1
 
 
 class TestPollOnlyFingerprints:

@@ -600,6 +600,68 @@ class TestPlanCache:
         db.execute("INSERT INTO car VALUES ('Kia', 'Rio', 16000, 2022)")
         assert db.execute(sql).rows == [(1,)]
 
+    def test_lru_hot_entry_survives_cold_flood(self):
+        from repro.db.engine import _PLAN_CACHE_CAP
+
+        db = _build("columnar")
+        hot = "SELECT model FROM car WHERE maker = 'Toyota'"
+        db.execute(hot)
+        # Flood with distinct cold statements, touching the hot one along
+        # the way — each hit must refresh its LRU position, so the flood
+        # evicts cold entries instead.
+        for i in range(_PLAN_CACHE_CAP):
+            db.execute(f"SELECT model FROM car WHERE price = {i}")
+            if i % 16 == 0:
+                db.execute(hot)
+        misses = db.plan_cache_misses
+        hits = db.plan_cache_hits
+        db.execute(hot)
+        assert db.plan_cache_hits == hits + 1
+        assert db.plan_cache_misses == misses
+
+    def test_fifo_would_have_evicted_the_hot_entry(self):
+        # Control arm: without interleaved touches the flood does evict.
+        from repro.db.engine import _PLAN_CACHE_CAP
+
+        db = _build("columnar")
+        hot = "SELECT model FROM car WHERE maker = 'Toyota'"
+        db.execute(hot)
+        for i in range(_PLAN_CACHE_CAP):
+            db.execute(f"SELECT model FROM car WHERE price = {i}")
+        misses = db.plan_cache_misses
+        db.execute(hot)
+        assert db.plan_cache_misses == misses + 1
+
+    def test_none_placeholder_replans_once_plannable(self):
+        from repro.sql.parser import parse_statement
+
+        db = _build("columnar")
+        sql = "SELECT model FROM car WHERE maker = 'Toyota'"
+        # Simulate a placeholder left by a planner that could not produce
+        # a plan: parse cached, plan absent.
+        db._plan_cache[sql] = (parse_statement(sql), None)
+        misses = db.plan_cache_misses
+        hits = db.plan_cache_hits
+        result = db.execute(sql)
+        assert result.rows  # executed correctly through the retry path
+        # The retry is neither a hit (no plan was served) nor a miss (the
+        # entry already occupied its slot).
+        assert db.plan_cache_hits == hits
+        assert db.plan_cache_misses == misses
+        # The placeholder was upgraded in place: next call is a plain hit.
+        db.execute(sql)
+        assert db.plan_cache_hits == hits + 1
+        assert db._plan_cache[sql][1] is not None
+
+    def test_subquery_placeholder_recheck_counts_no_misses(self):
+        db = _build("columnar")
+        sql = "SELECT model FROM car WHERE price = (SELECT MAX(price) FROM car)"
+        db.execute(sql)
+        misses = db.plan_cache_misses
+        db.execute(sql)
+        db.execute(sql)
+        assert db.plan_cache_misses == misses  # rechecks, not misses
+
     def test_unbound_parameter_error_parity(self):
         for mode in ("columnar", "row"):
             db = _build(mode)
