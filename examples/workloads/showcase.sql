@@ -41,3 +41,6 @@ SELECT maker FROM car WHERE price > 10000 AND price = 'cheap';
 -- unindexable-local-conjunct (INFO): arithmetic over the column defeats
 -- the predicate index.
 SELECT maker FROM car WHERE price * 2 < 30000;
+
+-- unsatisfiable-conjunction (WARNING): no price satisfies both bounds.
+SELECT maker FROM car WHERE price > 20000 AND price < 15000;

@@ -188,6 +188,7 @@ def _run_stream(args: argparse.Namespace) -> int:
         predicate_index=not args.scan,
         batch_polling=not args.no_batch_polling,
         version_keys=not args.no_version_keys,
+        conflict_matrix=not args.no_conflict_matrix,
     )
     pipeline.start()
     for i in range(args.pages):
@@ -233,6 +234,14 @@ def _run_stream(args: argparse.Namespace) -> int:
                 f"{workers['version_key_checks']} version-key checks "
                 f"({workers['version_key_instances']} fast-path instances)"
             )
+        if stats.get("conflict_matrix") is not None:
+            matrix = stats["conflict_matrix"]
+            print(
+                f"matrix  : {workers['static_disjoint_skips']} pairs "
+                f"skipped statically ({workers['template_pairs_pruned']} "
+                f"template-level) across {matrix['cells_computed']} cells, "
+                f"{matrix['instance_disjoint_proofs']} instance proofs"
+            )
         print(
             f"registry: {registry['query_types']} types, "
             f"{registry['query_instances']} instances, "
@@ -253,7 +262,12 @@ def _run_stream(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_cycle_site(batch_polling: bool, polling_budget, version_keys: bool = True):
+def _build_cycle_site(
+    batch_polling: bool,
+    polling_budget,
+    version_keys: bool = True,
+    conflict_matrix: bool = True,
+):
     """The ``stream`` demo's site, but driven by the synchronous portal."""
     from repro import CachePortal, Configuration, Database, KeySpec, build_site
     from repro.web import QueryPageServlet
@@ -295,6 +309,7 @@ def _build_cycle_site(batch_polling: bool, polling_budget, version_keys: bool = 
         polling_budget=polling_budget,
         batch_polling=batch_polling,
         version_keys=version_keys,
+        conflict_matrix=conflict_matrix,
     )
     return db, site, portal
 
@@ -309,6 +324,7 @@ def _run_cycle(args: argparse.Namespace) -> int:
         batch_polling=not args.no_batch_polling,
         polling_budget=args.polling_budget,
         version_keys=not args.no_version_keys,
+        conflict_matrix=not args.no_conflict_matrix,
     )
     reports = []
     for cycle in range(args.cycles):
@@ -363,6 +379,16 @@ def _run_cycle(args: argparse.Namespace) -> int:
                 f"verkeys : {keys['fresh_hits']} fresh of {keys['checks']} "
                 f"checks across {keys['keys']} keys "
                 f"({keys['keyed_instances']} keyed instances)"
+            )
+        if status.get("conflict_matrix") is not None:
+            matrix = status["conflict_matrix"]
+            static_total = sum(r.static_disjoint_skips for r in reports)
+            template_total = sum(r.template_pairs_pruned for r in reports)
+            print(
+                f"matrix  : {static_total} pairs skipped statically "
+                f"({template_total} template-level) across "
+                f"{matrix['cells_computed']} cells, "
+                f"{matrix['instance_disjoint_proofs']} instance proofs"
             )
     return 0
 
@@ -624,6 +650,152 @@ def _run_lint(args: argparse.Namespace) -> int:
     return 1 if failing else 0
 
 
+def _parse_class_spec(spec: str):
+    """Parse a ``--update-class`` spec: ``name:table[:kind[:where]]``."""
+    parts = spec.split(":", 3)
+    if len(parts) < 2 or not parts[0] or not parts[1]:
+        raise SystemExit(
+            f"bad --update-class {spec!r} (want name:table[:kind[:where]])"
+        )
+    name, table = parts[0], parts[1]
+    kind = parts[2] if len(parts) > 2 and parts[2] else None
+    where = parts[3] if len(parts) > 3 else ""
+    return name, table, kind, where
+
+
+def _run_analyze(args: argparse.Namespace) -> int:
+    """Static template-conflict analysis of SQL workload files: register
+    every SELECT, classify each (query-template, update-class) pair, and
+    print the conflict matrix with per-cell provenance."""
+    import json
+
+    from repro.errors import ReproError
+    from repro.core.invalidator.conflict import ConflictMatrix
+    from repro.core.invalidator.registration import QueryTypeRegistry
+    from repro.sql.printer import to_sql
+
+    registry = QueryTypeRegistry()
+    matrix = ConflictMatrix().attach_to(registry)
+    for spec in args.update_class or []:
+        name, table, kind, where = _parse_class_spec(spec)
+        try:
+            matrix.declare_class(name, table, kind, where)
+        except ReproError as exc:
+            print(f"error: cannot declare class {name!r}: {exc}", file=sys.stderr)
+            return 2
+
+    statements_seen = registered = 0
+    skipped = []  # (source, index, reason)
+    for path in args.files:
+        with open(path, "r", encoding="utf-8") as handle:
+            statements = _split_statements(handle.read())
+        for index, sql in enumerate(statements, start=1):
+            statements_seen += 1
+            try:
+                registry.observe_instance(sql, url_key=f"{path}#{index}")
+            except ReproError as exc:
+                skipped.append((path, index, str(exc)))
+            else:
+                registered += 1
+
+    instances_by_type: "dict[int, list]" = {}
+    for instance in registry.instances():
+        instances_by_type.setdefault(
+            instance.query_type.type_id, []
+        ).append(instance)
+
+    types_payload = []
+    for query_type in registry.types():
+        cells_payload = []
+        for table in sorted(query_type.tables):
+            for update_class in matrix.classes_for_table(table):
+                cell = matrix.cell(query_type, update_class.name)
+                refinements = []
+                for instance in instances_by_type.get(query_type.type_id, []):
+                    certificates = matrix.instance_certificates(
+                        instance, update_class.name
+                    )
+                    if certificates is not None:
+                        refinements.append(
+                            {
+                                "instance_id": instance.instance_id,
+                                "sql": instance.sql,
+                                "certificates": certificates,
+                            }
+                        )
+                cells_payload.append(
+                    {
+                        "class": update_class.name,
+                        "verdict": cell.verdict.value,
+                        "reason": cell.reason,
+                        "certificates": list(cell.certificates),
+                        "columns_required": sorted(cell.columns_required),
+                        "instance_refinements": refinements,
+                    }
+                )
+        types_payload.append(
+            {
+                "name": query_type.name,
+                "signature": query_type.signature,
+                "template": to_sql(query_type.template),
+                "tables": sorted(query_type.tables),
+                "instances": len(instances_by_type.get(query_type.type_id, [])),
+                "cells": cells_payload,
+            }
+        )
+
+    stats = matrix.stats()
+    failures = int(stats["certificate_failures"])  # type: ignore[arg-type]
+    if args.json:
+        payload = {
+            "files": list(args.files),
+            "statements": statements_seen,
+            "registered": registered,
+            "skipped": [
+                {"source": path, "statement": index, "reason": reason}
+                for path, index, reason in skipped
+            ],
+            "types": types_payload,
+            "stats": stats,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            f"analyze : {len(args.files)} file(s), {statements_seen} "
+            f"statement(s), {registered} registered, "
+            f"{len(types_payload)} type(s), {stats['classes']} update class(es)"
+        )
+        for path, index, reason in skipped:
+            print(f"  skipped {path}:{index}: {reason}")
+        for entry in types_payload:
+            print(f"{entry['name']} ({entry['instances']} instance(s)): "
+                  f"{entry['template']}")
+            for cell in entry["cells"]:
+                verdict = cell["verdict"].upper()
+                line = f"  {cell['class']:24s} {verdict}"
+                if cell["reason"]:
+                    line += f" — {cell['reason']}"
+                print(line)
+                for certificate in cell["certificates"]:
+                    print(f"      certificate: {certificate['why']}")
+                for refinement in cell["instance_refinements"]:
+                    whys = ", ".join(
+                        str(certificate["why"])
+                        for certificate in refinement["certificates"]
+                    )
+                    print(
+                        f"      instance #{refinement['instance_id']} "
+                        f"DISJOINT ({whys or 'constant-false'})"
+                    )
+        print(
+            f"matrix  : {stats['cells_computed']} cell(s), "
+            f"{stats['template_disjoint']} template-disjoint, "
+            f"{stats['instance_disjoint_proofs']} instance proof(s), "
+            f"{failures} certificate failure(s)"
+        )
+    return 1 if failures else 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     from wsgiref.simple_server import make_server
 
@@ -714,6 +886,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--no-version-keys", action="store_true",
                           help="disable the version-key O(1) fast path "
                                "(A/B control arm; ejects are identical)")
+    p_stream.add_argument("--no-conflict-matrix", action="store_true",
+                          help="disable static (template × update-class) "
+                               "disjointness pruning (A/B control arm; "
+                               "ejects are identical)")
     p_stream.set_defaults(func=_run_stream)
 
     p_cycle = sub.add_parser(
@@ -733,6 +909,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_cycle.add_argument("--no-version-keys", action="store_true",
                          help="disable the version-key O(1) fast path "
                               "(A/B control arm; ejects are identical)")
+    p_cycle.add_argument("--no-conflict-matrix", action="store_true",
+                         help="disable static (template × update-class) "
+                              "disjointness pruning (A/B control arm; "
+                              "ejects are identical)")
     p_cycle.add_argument("--json", action="store_true",
                          help="emit per-cycle reports and portal status as JSON")
     p_cycle.set_defaults(func=_run_cycle)
@@ -818,6 +998,23 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="FILE",
                             help="emit the result as JSON (to FILE if given)")
     p_cl_bench.set_defaults(func=_run_cluster_bench)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="static template-conflict analysis of SQL workload files",
+    )
+    p_analyze.add_argument("files", nargs="+", metavar="FILE",
+                           help="workload file(s) of ;-separated SQL "
+                                "statements (-- comments allowed)")
+    p_analyze.add_argument("--update-class", action="append", default=[],
+                           metavar="SPEC",
+                           help="declare a refined update class as "
+                                "name:table[:kind[:where]] (repeatable); "
+                                "per-table insert/delete defaults are "
+                                "always present")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="emit the conflict matrix as JSON")
+    p_analyze.set_defaults(func=_run_analyze)
 
     p_lint = sub.add_parser(
         "lint", help="invalidation-safety lint of SQL workload files"

@@ -85,6 +85,11 @@ class InvalidationReport:
     batched_queries: int = 0
     batched_instances: int = 0
     demux_misses: int = 0
+    #: Static conflict analysis: pairs the registration-time matrix
+    #: resolved as provably DISJOINT (no probe, no checker), and the
+    #: subset decided at template level (valid for every binding).
+    static_disjoint_skips: int = 0
+    template_pairs_pruned: int = 0
 
     @property
     def poll_round_trips_saved(self) -> int:
@@ -126,6 +131,7 @@ class Invalidator:
         servlet_deadline: Optional[Callable[[str], float]] = None,
         safety_enforcement: bool = True,
         version_keys: bool = True,
+        conflict_matrix: bool = True,
     ) -> None:
         self.database = database
         self.registry = QueryTypeRegistry()
@@ -143,6 +149,19 @@ class Invalidator:
         from repro.core.invalidator.grouping import GroupedChecker
 
         self.grouped_checker = GroupedChecker()
+        # Static conflict matrix: (template × update-class) disjointness
+        # proved once at registration; both runtime paths consult it
+        # before probing.  Attached before the predicate index so its
+        # listener sees each instance first (index classification may
+        # ask it for whole-table drop proofs).
+        from repro.core.invalidator.conflict import ConflictMatrix
+
+        self.conflict_matrix: Optional[ConflictMatrix] = None
+        if conflict_matrix:
+            self.conflict_matrix = ConflictMatrix(
+                analysis_for=self.grouped_checker.analysis_for,
+                columns_of=self._table_columns,
+            ).attach_to(self.registry)
         # Predicate index: probes replace most checker invocations; the
         # registry listener keeps it consistent with discovery/eviction.
         from repro.core.invalidator.predindex import PredicateIndex
@@ -150,7 +169,8 @@ class Invalidator:
         self.pred_index: Optional[PredicateIndex] = None
         if predicate_index:
             self.pred_index = PredicateIndex(
-                analysis_for=self.grouped_checker.analysis_for
+                analysis_for=self.grouped_checker.analysis_for,
+                conflict=self.conflict_matrix,
             ).attach_to(self.registry)
         # Version-key fast path (O(1) per pair): counters prove
         # single-table instances untouched without a checker run.  Off,
@@ -193,6 +213,15 @@ class Invalidator:
     def ingest_qiurl_rows(self) -> int:
         """Online discovery: pull new QI/URL rows into the registry (§4.1.2)."""
         return self.registration.scan(self.qiurl_map.read_new())
+
+    def _table_columns(self, table: str) -> Optional[List[str]]:
+        """Schema accessor for the conflict matrix's whole-table proofs."""
+        from repro.errors import ReproError
+
+        try:
+            return self.database.table_columns(table)
+        except ReproError:
+            return None
 
     def _deadline_for(self, instance: QueryInstance) -> float:
         deadline = instance.query_type.deadline_ms
@@ -269,6 +298,16 @@ class Invalidator:
             # verdicts for every instance, so only the first is checked.
             records, duplicates = dedupe_records(deltas.changes_for(table))
             report.duplicate_records_skipped += duplicates
+            if self.conflict_matrix is not None:
+                # Classify each deduped tuple into its update classes
+                # once; skip_level answers per instance from the cache.
+                record_classes = [
+                    self.conflict_matrix.classes_for_record(record)
+                    for record in records
+                ]
+                record_columns = [set(record.columns) for record in records]
+            else:
+                record_classes = record_columns = None
             if self.pred_index is not None:
                 candidate_ids, instances = self._probe_candidates(
                     table, records, report, doomed_instances
@@ -295,6 +334,22 @@ class Invalidator:
                             doomed_instances[instance.instance_id] = instance
                             break
                         continue
+                    if record_classes is not None:
+                        # Static conflict matrix: a registration-time
+                        # DISJOINT proof answers the pair before any
+                        # runtime machinery — same UNAFFECTED verdict the
+                        # checker would reach, no probe, no counter.
+                        level = self.conflict_matrix.skip_level(
+                            instance,
+                            record_columns[position],
+                            record_classes[position],
+                        )
+                        if level is not None:
+                            report.static_disjoint_skips += 1
+                            if level == "template":
+                                report.template_pairs_pruned += 1
+                            report.unaffected += 1
+                            continue
                     if (
                         safety_verdict is SafetyVerdict.VERSION_KEY
                         and self.version_index is not None
@@ -571,6 +626,18 @@ class Invalidator:
             report.pairs_checked += pairs
             report.pairs_pruned += pairs
             report.unaffected += pairs
+        # Instances the conflict matrix parked in never-matching entries
+        # are part of the bulk above; surface them in the static counter
+        # too, so the matrix's contribution stays visible.
+        static_ids = index.statically_dropped_ids(table)
+        if static_ids:
+            skipped_static = sum(
+                1
+                for instance_id in static_ids
+                if instance_id not in relevant
+                and instance_id not in doomed_instances
+            )
+            report.static_disjoint_skips += skipped_static * len(records)
         ordered = sorted(relevant.values(), key=lambda inst: inst.instance_id)
         return candidate_ids, ordered
 

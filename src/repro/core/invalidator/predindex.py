@@ -100,7 +100,10 @@ class _Entry:
     """
 
     instance: QueryInstance
-    #: "hash" | "interval" | "isnull" | "residual" | "never"
+    #: "hash" | "interval" | "isnull" | "residual" | "never" | "static"
+    #: ("static": the conflict matrix proved the instance disjoint from
+    #: every possible record of the table — like "never", the entry is
+    #: pruned by every probe and exists only for accounting).
     mode: str
     column: Optional[str] = None
     payload: object = None
@@ -246,6 +249,7 @@ class _TableIndex:
         "entries",
         "by_type",
         "residuals",
+        "static_ids",
         "hash_cols",
         "interval_cols",
         "null_cols",
@@ -257,6 +261,8 @@ class _TableIndex:
         #: account for pruned pairs per type without touching instances.
         self.by_type: Dict[int, list] = {}
         self.residuals: Dict[int, QueryInstance] = {}
+        #: Instance ids parked by a conflict-matrix whole-table proof.
+        self.static_ids: Set[int] = set()
         self.hash_cols: Dict[str, _HashColumn] = {}
         self.interval_cols: Dict[str, _IntervalColumn] = {}
         self.null_cols: Dict[str, _NullColumn] = {}
@@ -282,7 +288,10 @@ class _TableIndex:
             self.null_cols.setdefault(entry.column, _NullColumn()).add(
                 instance, entry.payload
             )
-        # "never" entries live only in entries/by_type: always pruned.
+        elif entry.mode == "static":
+            self.static_ids.add(instance.instance_id)
+        # "never"/"static" entries live only in entries/by_type (plus the
+        # static id set): always pruned.
 
     def remove(self, instance_id: int) -> Optional[_Entry]:
         entry = self.entries.pop(instance_id, None)
@@ -302,6 +311,8 @@ class _TableIndex:
             self.interval_cols[entry.column].remove(instance_id)
         elif entry.mode == "isnull":
             self.null_cols[entry.column].remove(instance_id)
+        elif entry.mode == "static":
+            self.static_ids.discard(instance_id)
         return entry
 
 
@@ -313,16 +324,23 @@ class PredicateIndex(RegistryListener):
             provider (e.g. ``GroupedChecker.analysis_for``) so type
             decompositions are computed once per process, not per
             consumer.
+        conflict: optional
+            :class:`~repro.core.invalidator.conflict.ConflictMatrix`.
+            When it proves an instance disjoint from *every* possible
+            record of a table (``index_drop``), the instance is parked
+            in a never-matching entry instead of any probe structure.
     """
 
-    def __init__(self, analysis_for=None) -> None:
+    def __init__(self, analysis_for=None, conflict=None) -> None:
         self._tables: Dict[str, _TableIndex] = {}
         self._analyses: Dict[int, TypeAnalysis] = {}
         self._analysis_for = analysis_for or self._own_analysis
+        self._conflict = conflict
         # Live composition counters, per (instance, table) entry.
         self.entries_indexed = 0
         self.entries_residual = 0
         self.entries_never = 0
+        self.entries_static = 0
         # Probe counters.
         self.probes = 0
         self.probe_seconds = 0.0
@@ -347,6 +365,8 @@ class PredicateIndex(RegistryListener):
                 self.entries_residual += 1
             elif entry.mode == "never":
                 self.entries_never += 1
+            elif entry.mode == "static":
+                self.entries_static += 1
             else:
                 self.entries_indexed += 1
 
@@ -362,6 +382,8 @@ class PredicateIndex(RegistryListener):
                 self.entries_residual -= 1
             elif entry.mode == "never":
                 self.entries_never -= 1
+            elif entry.mode == "static":
+                self.entries_static -= 1
             else:
                 self.entries_indexed -= 1
 
@@ -419,6 +441,11 @@ class PredicateIndex(RegistryListener):
         table_index = self._tables.get(table.lower())
         return table_index.by_type if table_index is not None else {}
 
+    def statically_dropped_ids(self, table: str) -> Set[int]:
+        """Instance ids parked by conflict-matrix whole-table proofs."""
+        table_index = self._tables.get(table.lower())
+        return table_index.static_ids if table_index is not None else set()
+
     def registered(self, table: str) -> int:
         """Live instance count currently indexed under ``table``."""
         table_index = self._tables.get(table.lower())
@@ -430,6 +457,7 @@ class PredicateIndex(RegistryListener):
             "entries_indexed": self.entries_indexed,
             "entries_residual": self.entries_residual,
             "entries_never": self.entries_never,
+            "entries_static": self.entries_static,
             "probes": self.probes,
             "probe_time_ms": round(1000.0 * self.probe_seconds, 3),
             "candidates_returned": self.candidates_returned,
@@ -488,6 +516,13 @@ class PredicateIndex(RegistryListener):
         for template in analysis.constant_templates:
             if self._constant(template, instance.bindings) is False:
                 return _Entry(instance, "never")
+        if self._conflict is not None and self._conflict.index_drop(
+            instance, table
+        ):
+            # The conflict matrix proved this instance disjoint from
+            # every record the table can ever log: no probe structure
+            # needed, the entry only participates in bulk accounting.
+            return _Entry(instance, "static")
         for conjunct in binding_analysis.indexable_templates:
             entry = self._build_entry(instance, conjunct)
             if entry is not None:

@@ -92,6 +92,10 @@ RULE_VERDICT_FLOORS: Dict[str, SafetyVerdict] = {
     "left-join-null-extension": SafetyVerdict.POLL_ONLY,
     "mixed-disjunction": SafetyVerdict.POLL_ONLY,
     "contradictory-predicate": SafetyVerdict.SAFE,
+    # An unsatisfiable conjunction matches no rows: the precise checker
+    # (and the conflict matrix, which marks it disjoint with everything)
+    # handles it exactly — hygiene, not a safety hazard.
+    "unsatisfiable-conjunction": SafetyVerdict.SAFE,
     "tautological-predicate": SafetyVerdict.SAFE,
     "cross-type-comparison": SafetyVerdict.SAFE,
     "unindexable-local-conjunct": SafetyVerdict.SAFE,

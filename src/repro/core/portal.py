@@ -63,6 +63,7 @@ class CachePortal:
         batch_polling: bool = True,
         safety_enforcement: bool = True,
         version_keys: bool = True,
+        conflict_matrix: bool = True,
         clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if site.configuration is not Configuration.WEB_CACHE or site.web_cache is None:
@@ -95,6 +96,7 @@ class CachePortal:
             servlet_deadline=self._servlet_deadline,
             safety_enforcement=safety_enforcement,
             version_keys=version_keys,
+            conflict_matrix=conflict_matrix,
         )
 
     def _servlet_deadline(self, servlet_name: str) -> float:
@@ -229,6 +231,8 @@ class CachePortal:
                     "fallback_ejects": last.fallback_ejects,
                     "poll_only_checks": last.poll_only_checks,
                     "lint_findings": last.lint_findings,
+                    "static_disjoint_skips": last.static_disjoint_skips,
+                    "template_pairs_pruned": last.template_pairs_pruned,
                 },
             },
             "safety": dict(
@@ -238,4 +242,7 @@ class CachePortal:
             "version_keys": None
             if invalidator.version_index is None
             else invalidator.version_index.stats(),
+            "conflict_matrix": None
+            if invalidator.conflict_matrix is None
+            else invalidator.conflict_matrix.stats(),
         }

@@ -87,6 +87,14 @@ class RecoveryReport:
     #: replay-rebuilt key index (0 when the fast path is disabled or the
     #: snapshot predates it — the index floors itself conservatively).
     version_keys_restored: int = 0
+    #: Update classes re-declared from the snapshot (the conflict matrix
+    #: itself is derived state: its cells are recomputed by replay).
+    conflict_classes_restored: int = 0
+    #: Checkpointed conflict-matrix cells recomputed-and-compared after
+    #: replay; a mismatch means the decision procedure changed verdicts
+    #: across the restart (the fresh — conservative — verdict wins).
+    conflict_cells_compared: int = 0
+    conflict_cell_mismatches: int = 0
 
 
 # -- the on-disk format -------------------------------------------------------
@@ -166,6 +174,7 @@ def read_checkpoint(path: Union[str, Path]) -> Dict:
 def snapshot_portal(portal) -> Dict:
     """Capture a :class:`~repro.core.portal.CachePortal`'s durable state."""
     index = portal.invalidator.version_index
+    matrix = portal.invalidator.conflict_matrix
     return {
         "kind": "portal",
         "qiurl": portal.qiurl_map.snapshot_state(),
@@ -173,12 +182,16 @@ def snapshot_portal(portal) -> Dict:
         "cursor_lsn": portal.invalidator.updates.cursor,
         "bus": None,
         "version_keys": index.snapshot_state() if index is not None else None,
+        "conflict_matrix": (
+            matrix.snapshot_state() if matrix is not None else None
+        ),
     }
 
 
 def snapshot_pipeline(pipeline) -> Dict:
     """Capture a streaming pipeline's durable state (tailer + bus too)."""
     index = pipeline.version_index
+    matrix = pipeline.conflict_matrix
     return {
         "kind": "pipeline",
         "qiurl": pipeline.qiurl_map.snapshot_state(),
@@ -186,6 +199,9 @@ def snapshot_pipeline(pipeline) -> Dict:
         "cursor_lsn": pipeline.tailer.checkpoint(),
         "bus": pipeline.bus.snapshot_state(),
         "version_keys": index.snapshot_state() if index is not None else None,
+        "conflict_matrix": (
+            matrix.snapshot_state() if matrix is not None else None
+        ),
     }
 
 
@@ -202,9 +218,23 @@ def restore_portal(
     report = RecoveryReport()
     invalidator = portal.invalidator
     report.map_rows_restored = portal.qiurl_map.restore_state(payload["qiurl"])
+    matrix = invalidator.conflict_matrix
+    conflict_state = payload.get("conflict_matrix")
+    if matrix is not None and conflict_state:
+        # Classes first: replayed registrations must see the declared
+        # update classes so per-class proofs rebuild alongside them.
+        report.conflict_classes_restored = matrix.restore_classes(
+            conflict_state
+        )
     registry_stats = invalidator.registry.restore_state(payload["registry"])
     report.types_restored = registry_stats["query_types"]
     report.instances_restored = registry_stats["query_instances"]
+    if matrix is not None and conflict_state:
+        # Cells are derived state: recompute and compare against the
+        # checkpointed verdicts (the fresh verdict always wins).
+        comparison = matrix.compare_cells(conflict_state, invalidator.registry)
+        report.conflict_cells_compared = comparison["compared"]
+        report.conflict_cell_mismatches = comparison["mismatches"]
     invalidator.safety.after_restore()
     report.fingerprints_restored = _count_fingerprints(invalidator.registry)
     cursor = int(payload["cursor_lsn"])
@@ -240,8 +270,20 @@ def restore_pipeline(
     """Reload a snapshot into a (not yet started) streaming pipeline."""
     report = RecoveryReport()
     report.map_rows_restored = pipeline.qiurl_map.restore_state(payload["qiurl"])
+    matrix = pipeline.conflict_matrix
+    conflict_state = payload.get("conflict_matrix")
     with pipeline.registry_lock:
+        if matrix is not None and conflict_state:
+            report.conflict_classes_restored = matrix.restore_classes(
+                conflict_state
+            )
         registry_stats = pipeline.registry.restore_state(payload["registry"])
+        if matrix is not None and conflict_state:
+            comparison = matrix.compare_cells(
+                conflict_state, pipeline.registry
+            )
+            report.conflict_cells_compared = comparison["compared"]
+            report.conflict_cell_mismatches = comparison["mismatches"]
         pipeline.safety.after_restore()
         report.fingerprints_restored = _count_fingerprints(pipeline.registry)
     report.types_restored = registry_stats["query_types"]

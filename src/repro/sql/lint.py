@@ -183,6 +183,7 @@ class _Linter:
             self._check_constant_predicate(condition)
             self._check_cross_type(condition, seen_types)
             self._check_unindexable(condition, aliases)
+        self._check_unsatisfiable(conditions)
 
     # -- rules ----------------------------------------------------------------
 
@@ -335,6 +336,36 @@ class _Linter:
             return evaluate(expr, (), Scope([]))
         except ReproError:
             return _UNEVALUABLE
+
+    def _check_unsatisfiable(self, conditions: Sequence[ast.Expr]) -> None:
+        """Flag WHERE conjunctions no row can ever satisfy (e.g.
+        ``x > 5 AND x < 3``): the interval arithmetic of
+        :mod:`repro.sql.satisfiability` folds every per-column atom and
+        reports the first column whose region is empty.  Column-free
+        contradictions are owned by ``contradictory-predicate``."""
+        from repro.sql.satisfiability import extract, unsatisfiable_columns
+
+        flat = [
+            conjunct
+            for condition in conditions
+            for conjunct in conjuncts(condition)
+        ]
+        found = unsatisfiable_columns(extract(flat))
+        if found is None:
+            return
+        column, atoms, origins = found
+        parts = " AND ".join(
+            to_sql(origin) for origin in origins
+        ) or f"constraints on {column!r}"
+        self.emit(
+            "unsatisfiable-conjunction",
+            Severity.WARNING,
+            f"conjunction admits no value of {column!r} ({parts}): the "
+            "query matches no rows for any binding, yet pins registry "
+            "and cache entries",
+            node=origins[0] if origins else None,
+            hint="fix the contradictory bounds or drop the query",
+        )
 
     def _check_cross_type(
         self,

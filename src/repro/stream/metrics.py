@@ -53,6 +53,9 @@ class PipelineMetrics:
         # version-key fast path (polls_avoided ⊆ unaffected)
         self.version_key_checks = 0
         self.polls_avoided = 0
+        # static conflict matrix (template_pairs_pruned ⊆ static ⊆ unaffected)
+        self.static_disjoint_skips = 0
+        self.template_pairs_pruned = 0
         # bus
         self.ejects_requested = 0
         self.ejects_coalesced = 0
@@ -171,6 +174,8 @@ class PipelineMetrics:
                     "poll_only_checks": self.poll_only_checks,
                     "version_key_checks": self.version_key_checks,
                     "polls_avoided": self.polls_avoided,
+                    "static_disjoint_skips": self.static_disjoint_skips,
+                    "template_pairs_pruned": self.template_pairs_pruned,
                     "poll_budget_utilization": round(utilization, 4),
                 },
                 "bus": {

@@ -95,6 +95,7 @@ class StreamingInvalidationPipeline:
         batch_polling: bool = True,
         safety_enforcement: bool = True,
         version_keys: bool = True,
+        conflict_matrix: bool = True,
         servlet_deadline: Optional[Callable[[str], float]] = None,
         pre_ingest: Optional[Callable[[], object]] = None,
         idle_sleep: float = 0.002,
@@ -116,11 +117,24 @@ class StreamingInvalidationPipeline:
         # fingerprints established at pump time before batches dispatch.
         self.safety = SafetyEnforcer(database, enabled=safety_enforcement)
         self.registry.add_listener(self.safety)
+        # Static conflict matrix (shared across shards, internally
+        # locked).  Attached *before* the predicate index so its
+        # constant-false precompute is ready when the index's classifier
+        # consults ``index_drop`` for the same registration event.
+        self.conflict_matrix = None
+        if conflict_matrix:
+            from repro.core.invalidator.conflict import ConflictMatrix
+
+            self.conflict_matrix = ConflictMatrix(
+                columns_of=self._table_columns
+            ).attach_to(self.registry)
         # Predicate index (shared across shards): registrations happen
         # under the registry lock, so listener inserts are serialized.
         self.pred_index: Optional[PredicateIndex] = None
         if predicate_index:
-            self.pred_index = PredicateIndex().attach_to(self.registry)
+            self.pred_index = PredicateIndex(
+                conflict=self.conflict_matrix
+            ).attach_to(self.registry)
         self.tailer = LogTailer(
             database.update_log, batch_size=batch_size, start_lsn=start_lsn
         )
@@ -151,6 +165,7 @@ class StreamingInvalidationPipeline:
             servlet_deadline=servlet_deadline,
             safety=self.safety,
             version_index=self.version_index,
+            conflict_matrix=self.conflict_matrix,
         )
         self.pool = WorkerPool(
             num_shards,
@@ -166,6 +181,16 @@ class StreamingInvalidationPipeline:
         self._running = False
 
     # -- construction helpers --------------------------------------------------
+
+    def _table_columns(self, table: str) -> Optional[List[str]]:
+        """Schema accessor for the conflict matrix's index-drop proofs;
+        None for unknown tables (the matrix then refuses the drop)."""
+        from repro.errors import ReproError
+
+        try:
+            return list(self.database.table_columns(table))
+        except ReproError:
+            return None
 
     @classmethod
     def for_portal(cls, portal, **kwargs) -> "StreamingInvalidationPipeline":
@@ -434,6 +459,8 @@ class StreamingInvalidationPipeline:
             snapshot["safety"] = self.safety.stats()
             if self.version_index is not None:
                 snapshot["version_keys"] = self.version_index.stats()
+            if self.conflict_matrix is not None:
+                snapshot["conflict_matrix"] = self.conflict_matrix.stats()
         snapshot["tailer"]["cursor"] = self.tailer.cursor
         snapshot["tailer"]["last_lost_range"] = (
             list(self.tailer.last_lost_range)

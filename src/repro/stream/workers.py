@@ -77,6 +77,11 @@ class WorkerContext:
     #: A/B control arm).  The index is internally locked — the pump bumps
     #: it while workers consult it.
     version_index: Optional[object] = None
+    #: Shared :class:`~repro.core.invalidator.conflict.ConflictMatrix`;
+    #: None disables static (template × update-class) pruning.  The
+    #: matrix is internally locked — registration threads extend it
+    #: while workers consult it.
+    conflict_matrix: Optional[object] = None
 
 
 def shard_for(table: str, num_shards: int) -> int:
@@ -192,8 +197,24 @@ class InvalidationWorker:
             if ctx.safety is not None and getattr(ctx.safety, "enabled", True)
             else None
         )
+        matrix = ctx.conflict_matrix
+        if matrix is not None:
+            # Precompute once per record: which update classes each record
+            # belongs to, and the columns its row image carries (the
+            # matrix refuses a static skip whose proof cites a column the
+            # record does not carry — checker parity).
+            record_classes: Optional[list] = [
+                matrix.classes_for_record(record) for record in records
+            ]
+            record_columns = [set(record.columns) for record in records]
+        else:
+            record_classes = None
+            record_columns = []
+        static_ids: "set[int]" = set()
         with ctx.registry_lock:
             if index is not None:
+                if matrix is not None:
+                    static_ids = set(index.statically_dropped_ids(batch.table))
                 probe_start = time.perf_counter()
                 probes = [index.probe(batch.table, record) for record in records]
                 probe_seconds = time.perf_counter() - probe_start
@@ -233,6 +254,10 @@ class InvalidationWorker:
         pairs = unaffected = affected = pruned = 0
         fallback_ejects = poll_only_checks = 0
         version_key_checks = polls_avoided = 0
+        static_skips = template_pruned = 0
+        version_keyed_ids = {
+            instance.instance_id for instance in version_keyed
+        }
         # keyed by type_id: QueryType is a plain dataclass, not hashable
         updates_seen_by_type: "dict[int, list]" = {}
 
@@ -287,6 +312,18 @@ class InvalidationWorker:
                         type_id, [query_type, 0]
                     )
                     tally[1] += skipped
+                # Statically dropped instances live only in the index's
+                # per-type totals, so the bulk loop above already counted
+                # them as pruned+unaffected; attribute them to the static
+                # matrix too (version-keyed ones materialize instead and
+                # hit the cascade's static branch below).
+                if static_ids:
+                    static_skips += sum(
+                        1
+                        for instance_id in static_ids
+                        if instance_id not in version_keyed_ids
+                        and instance_id not in doomed
+                    )
             for instance in row_instances:
                 if instance.instance_id in doomed:
                     continue
@@ -318,6 +355,21 @@ class InvalidationWorker:
                     else:
                         unaffected += 1
                     continue
+                if record_classes is not None and matrix is not None:
+                    # Static conflict matrix: the (template × update-class)
+                    # pair is provably disjoint, so the checker would
+                    # return UNAFFECTED — skip it without invocation.
+                    level = matrix.skip_level(
+                        instance,
+                        record_columns[position],
+                        record_classes[position],
+                    )
+                    if level is not None:
+                        static_skips += 1
+                        if level == "template":
+                            template_pruned += 1
+                        unaffected += 1
+                        continue
                 if (
                     classification is not None
                     and classification.verdict is SafetyVerdict.VERSION_KEY
@@ -367,6 +419,8 @@ class InvalidationWorker:
             poll_only_checks=poll_only_checks,
             version_key_checks=version_key_checks,
             polls_avoided=polls_avoided,
+            static_disjoint_skips=static_skips,
+            template_pairs_pruned=template_pruned,
         )
         if probes is not None:
             self.metrics.add(

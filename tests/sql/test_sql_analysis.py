@@ -146,6 +146,81 @@ class TestTablesOfCondition:
         assert tables == {"car", "mileage"}
 
 
+class TestAliasResolutionEdgeCases:
+    """Alias-resolution corners the conflict matrix leans on: self-joins,
+    subquery-internal aliases, and mixed qualification in one conjunct."""
+
+    def test_self_join_two_aliases_one_base(self):
+        stmt = parse_statement(
+            "SELECT a.model FROM car a, car b "
+            "WHERE a.price < b.price AND a.model = 'Rio'"
+        )
+        aliases = alias_map(stmt)
+        # Two distinct bindings, one base table.
+        assert aliases == {"a": "car", "b": "car"}
+        # Both qualifiers collapse to the base in column attribution…
+        assert referenced_columns(stmt.where, aliases) == {
+            ("car", "model"),
+            ("car", "price"),
+        }
+        # …so a cross-alias comparison is still a single-table condition.
+        assert tables_of_condition(stmt.where, aliases) == {"car"}
+
+    def test_self_join_alias_map_order_last_wins_is_stable(self):
+        # Re-binding the same alias name keeps the later source (parser
+        # permitting); the map stays one entry per visible binding.
+        stmt = parse_statement("SELECT x.a FROM t1 x, t2 x")
+        assert alias_map(stmt) == {"x": "t2"}
+
+    def test_aliased_columns_inside_in_subquery(self):
+        stmt = parse_statement(
+            "SELECT maker FROM car c WHERE c.model IN "
+            "(SELECT m.model FROM mileage m WHERE m.epa > 30)"
+        )
+        # Dependency tracking sees through the IN-subquery to its table.
+        assert referenced_tables(stmt) == {"car", "mileage"}
+        aliases = alias_map(stmt)
+        # The outer map only knows outer bindings; the subquery's alias
+        # is not in it, so its columns pass through unresolved (visible,
+        # never silently swallowed) while outer refs resolve to base.
+        assert aliases == {"c": "car"}
+        cols = referenced_columns(all_conditions(stmt)[0], aliases)
+        assert ("car", "model") in cols
+        assert ("m", "model") in cols and ("m", "epa") in cols
+
+    def test_mixed_qualified_unqualified_in_one_conjunct(self):
+        stmt = parse_statement(
+            "SELECT maker FROM car c, mileage m "
+            "WHERE c.price < 20000 AND maker = 'Kia'"
+        )
+        aliases = alias_map(stmt)
+        conjunct_qualified, conjunct_bare = conjuncts(stmt.where)
+        # Qualified: exactly one attribution, through the alias.
+        assert referenced_columns(conjunct_qualified, aliases) == {
+            ("car", "price")
+        }
+        # Unqualified with two sources and no schema: one pair per base
+        # table — conservative, so no update can slip past unnoticed.
+        assert referenced_columns(conjunct_bare, aliases) == {
+            ("car", "maker"),
+            ("mileage", "maker"),
+        }
+        assert tables_of_condition(conjunct_bare, aliases) == {
+            "car",
+            "mileage",
+        }
+
+    def test_mixed_qualification_single_source_resolves_bare(self):
+        stmt = parse_statement(
+            "SELECT maker FROM car c WHERE c.price < 20000 AND maker = 'Kia'"
+        )
+        aliases = alias_map(stmt)
+        assert referenced_columns(stmt.where, aliases) == {
+            ("car", "price"),
+            ("car", "maker"),
+        }
+
+
 class TestMisc:
     def test_has_parameters(self):
         assert has_parameters(parse_expression("a = $1"))

@@ -76,6 +76,29 @@ class TestRules:
             tmp_path, "core/x.py", "object.__setattr__(self, 'x', 1)\n"
         ) == []
 
+    def test_except_exception_pass_flagged(self, tmp_path):
+        problems = problems_in(
+            tmp_path,
+            "core/x.py",
+            "try:\n    pass\nexcept Exception:\n    pass\n",
+        )
+        assert [p.rule for p in problems] == ["no-except-pass"]
+        assert problems[0].line == 3
+
+    def test_except_exception_with_handling_allowed(self, tmp_path):
+        assert problems_in(
+            tmp_path,
+            "core/x.py",
+            "try:\n    pass\nexcept Exception:\n    x = 1\n",
+        ) == []
+
+    def test_narrow_except_pass_allowed(self, tmp_path):
+        assert problems_in(
+            tmp_path,
+            "core/x.py",
+            "try:\n    pass\nexcept ValueError:\n    pass\n",
+        ) == []
+
     def test_dynamic_exec_flagged(self, tmp_path):
         problems = problems_in(tmp_path, "db/x.py", "eval('1 + 1')\n")
         assert [p.rule for p in problems] == ["no-dynamic-exec"]
@@ -94,6 +117,14 @@ class TestTree:
     def test_src_repro_is_clean(self):
         problems = lint_repro.lint_tree(REPO / "src" / "repro")
         assert problems == [], [tuple(p) for p in problems]
+
+    def test_benchmarks_and_tools_are_clean(self):
+        for root in ("benchmarks", "tools"):
+            problems = lint_repro.lint_tree(REPO / root)
+            assert problems == [], [tuple(p) for p in problems]
+
+    def test_default_roots_include_benchmarks_and_tools(self):
+        assert lint_repro.DEFAULT_ROOTS == ("src/repro", "benchmarks", "tools")
 
     def test_main_exit_status(self, capsys, tmp_path):
         assert lint_repro.main(["lint_repro", str(REPO / "src" / "repro")]) == 0

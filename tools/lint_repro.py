@@ -19,11 +19,15 @@ story the workload lint enforces:
   predicate index, and the linter, so in-place mutation of frozen nodes
   corrupts every other reader.
 * ``no-dynamic-exec``: ``eval`` / ``exec`` anywhere.
+* ``no-except-pass``: ``except Exception: pass`` silently swallows
+  every failure — including the certificate-validation and safety
+  errors this codebase exists to surface; narrow the type or handle it.
 
-Exit status is the number of findings (0 = clean), so CI can use it
-directly as a required check::
+With no arguments the lint walks ``src/repro``, ``benchmarks``, and
+``tools`` (itself included).  Exit status is the number of findings
+(0 = clean), so CI can use it directly as a required check::
 
-    python tools/lint_repro.py [src/repro]
+    python tools/lint_repro.py [ROOT ...]
 """
 
 from __future__ import annotations
@@ -76,6 +80,20 @@ def lint_file(path: Path) -> Iterator[Problem]:
                 "bare 'except:' swallows KeyboardInterrupt and masks "
                 "enforcement bugs; catch a concrete exception type",
             )
+        if (
+            isinstance(node, ast.ExceptHandler)
+            and isinstance(node.type, ast.Name)
+            and node.type.id == "Exception"
+            and len(node.body) == 1
+            and isinstance(node.body[0], ast.Pass)
+        ):
+            yield Problem(
+                path,
+                node.lineno,
+                "no-except-pass",
+                "'except Exception: pass' silently swallows every "
+                "failure; narrow the exception type or handle it",
+            )
         if not isinstance(node, ast.Call):
             continue
         name = _call_name(node)
@@ -120,18 +138,30 @@ def lint_tree(root: Path) -> List[Problem]:
     return problems
 
 
+DEFAULT_ROOTS = ("src/repro", "benchmarks", "tools")
+
+
 def main(argv: List[str]) -> int:
-    root = Path(argv[1]) if len(argv) > 1 else Path("src/repro")
-    if not root.exists():
-        print(f"lint_repro: no such directory: {root}", file=sys.stderr)
-        return 2
-    problems = lint_tree(root)
+    if len(argv) > 1:
+        roots = [Path(arg) for arg in argv[1:]]
+        for root in roots:
+            if not root.exists():
+                print(
+                    f"lint_repro: no such directory: {root}", file=sys.stderr
+                )
+                return 2
+    else:
+        roots = [Path(name) for name in DEFAULT_ROOTS if Path(name).exists()]
+    problems: List[Problem] = []
+    for root in roots:
+        problems.extend(lint_tree(root))
     for problem in problems:
         print(
             f"{problem.path}:{problem.line}: [{problem.rule}] "
             f"{problem.message}"
         )
-    print(f"lint_repro: {len(problems)} problem(s) in {root}")
+    scanned = ", ".join(str(root) for root in roots)
+    print(f"lint_repro: {len(problems)} problem(s) in {scanned}")
     return min(len(problems), 125)
 
 
