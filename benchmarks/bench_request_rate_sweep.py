@@ -11,6 +11,7 @@ import dataclasses
 
 import pytest
 
+from repro.serve.metrics import sim_curve_point
 from repro.sim.configs import (
     DataCacheMode,
     simulate_config2,
@@ -44,6 +45,17 @@ def test_request_rate_sweep(benchmark, bench_model, sweep_rows):
     benchmark.pedantic(
         lambda: simulate_config3(UPDATES_5, model), rounds=1, iterations=1
     )
+    # Each simulated point is emitted in the same curve_point schema the
+    # measured gateway sweeps of bench_serving.py use, so simulated and
+    # measured req/s × latency curves plot from one JSON document.
+    points = []
+    for rate, conf2, conf3 in sweep_rows:
+        points.append(
+            sim_curve_point("config2-sim", rate, conf2, exp_resp_ms=conf2.exp_resp_ms)
+        )
+        points.append(
+            sim_curve_point("config3-sim", rate, conf3, exp_resp_ms=conf3.exp_resp_ms)
+        )
     emit(
         "Ablation G — expected response vs request rate (<5,5,5,5> updates/s)",
         (
@@ -52,6 +64,7 @@ def test_request_rate_sweep(benchmark, bench_model, sweep_rows):
             f"(p95 {conf3.p95_ms:8.0f})"
             for rate, conf2, conf3 in sweep_rows
         ),
+        data={"points": points},
     )
 
 

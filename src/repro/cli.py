@@ -8,7 +8,9 @@ Commands:
   scalability view behind the paper's 30 req/s operating point);
 * ``demo`` — the quickstart loop: cache, hit, update, invalidate;
 * ``example41`` — the paper's Example 4.1 decision walkthrough;
-* ``serve`` — run a CachePortal site as a real HTTP server via wsgiref;
+* ``serve`` — the serving front end: ``http`` runs a CachePortal site as
+  a real HTTP server via wsgiref; ``bench`` drives the async gateway
+  with an open-loop Zipfian workload and reports req/s × latency;
 * ``audit`` — crash/restart staleness audit of checkpoint recovery,
   optionally fronted by a sharded cache cluster whose shards crash too;
 * ``cluster`` — sharded cache cluster: ``status`` health view and
@@ -21,6 +23,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -796,7 +799,7 @@ def _run_analyze(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
-def _run_serve(args: argparse.Namespace) -> int:
+def _run_serve_http(args: argparse.Namespace) -> int:
     from wsgiref.simple_server import make_server
 
     from repro import CachePortal, Configuration, Database, KeySpec, build_site
@@ -827,6 +830,106 @@ def _run_serve(args: argparse.Namespace) -> int:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive
         pass
+    return 0
+
+
+def _run_serve_bench(args: argparse.Namespace) -> int:
+    """Open-loop throughput/latency measurement of the async gateway."""
+    import asyncio
+
+    from repro import CachePortal, Configuration, Database, KeySpec, build_site
+    from repro.serve import (
+        ArrivalSchedule,
+        AsyncGateway,
+        OpenLoopLoadGenerator,
+        ZipfianPopulation,
+    )
+    from repro.stream import StreamingInvalidationPipeline
+    from repro.web import QueryPageServlet
+    from repro.web.servlet import QueryBinding
+
+    db = Database()
+    db.execute("CREATE TABLE item (id INT, name TEXT, price INT)")
+    db.execute("CREATE INDEX idx_item_id ON item (id)")
+    batch = []
+    for i in range(1, args.rows + 1):
+        batch.append(f"({i}, 'item-{i}', {1000 + (i % 97)})")
+        if len(batch) == 500:
+            db.execute("INSERT INTO item VALUES " + ",".join(batch))
+            batch = []
+    if batch:
+        db.execute("INSERT INTO item VALUES " + ",".join(batch))
+    servlet = QueryPageServlet(
+        name="item",
+        path="/item",
+        queries=[
+            (
+                "SELECT id, name, price FROM item WHERE id = ?",
+                [QueryBinding("get", "id", int)],
+            )
+        ],
+        key_spec=KeySpec.make(get_keys=["id"]),
+    )
+    site = build_site(
+        Configuration.WEB_CACHE,
+        [servlet],
+        database=db,
+        num_servers=2,
+        web_cache_capacity=1 << 20,
+    )
+    portal = CachePortal(site)
+    pipeline = None
+    if args.invalidate:
+        pipeline = StreamingInvalidationPipeline.for_portal(portal)
+        pipeline.register_cache("page-cache", site.web_cache)
+
+    population = ZipfianPopulation(args.population, s=args.skew, seed=args.seed)
+    schedule = ArrivalSchedule.fixed(args.rate, args.duration)
+
+    async def drive():
+        gateway = AsyncGateway(
+            site,
+            workers=args.workers,
+            tick=pipeline.process_available if pipeline is not None else None,
+            tick_interval=0.01,
+        )
+        await gateway.start()
+        generator = OpenLoopLoadGenerator(gateway, population, schedule)
+        plan = generator.plan()
+        if args.warm:
+            for index in sorted({index for _offset, index in plan}):
+                site.get(population.url_for(index))
+            if pipeline is not None:
+                pipeline.process_available()
+        result = await generator.run(plan=plan)
+        await gateway.stop()
+        return gateway, result
+
+    gateway, result = asyncio.run(drive())
+    row = result.curve_point(
+        "inv-on" if args.invalidate else "inv-off",
+        workers=args.workers,
+        coalesced=gateway.stats.coalesced,
+        ejects=site.web_cache.stats.ejects,
+    )
+    if args.json:
+        print(json.dumps(row, indent=2, sort_keys=True))
+    else:
+        quantiles = result.histogram.percentiles_ms()
+        print(
+            f"offered {result.offered_rps:,.0f} req/s → achieved "
+            f"{result.achieved_rps:,.0f} req/s "
+            f"(hit ratio {result.hit_ratio:.3f}, shed {result.shed})"
+        )
+        print(
+            "p50 {p50_ms:.2f}ms  p95 {p95_ms:.2f}ms  p99 {p99_ms:.2f}ms  "
+            "p99.9 {p999_ms:.2f}ms".format(**quantiles)
+        )
+        print(
+            f"queue depth peak {result.queue_depth_peak}, "
+            f"coalesced {gateway.stats.coalesced}, "
+            f"ejects {site.web_cache.stats.ejects}"
+        )
     return 0
 
 
@@ -1032,10 +1135,43 @@ def build_parser() -> argparse.ArgumentParser:
                              "above this severity (info|warning|error)")
     p_lint.set_defaults(func=_run_lint)
 
-    p_serve = sub.add_parser("serve", help="serve a demo site over HTTP (wsgiref)")
-    p_serve.add_argument("--host", default="")
-    p_serve.add_argument("--port", type=int, default=8000)
-    p_serve.set_defaults(func=_run_serve)
+    p_serve = sub.add_parser(
+        "serve", help="the serving front end: real HTTP or open-loop bench"
+    )
+    serve_sub = p_serve.add_subparsers(dest="serve_command", required=True)
+
+    p_sv_http = serve_sub.add_parser(
+        "http", help="serve a demo site over HTTP (wsgiref)"
+    )
+    p_sv_http.add_argument("--host", default="")
+    p_sv_http.add_argument("--port", type=int, default=8000)
+    p_sv_http.set_defaults(func=_run_serve_http)
+
+    p_sv_bench = serve_sub.add_parser(
+        "bench", help="open-loop req/s × latency through the async gateway"
+    )
+    p_sv_bench.add_argument("--rate", type=float, default=100000.0,
+                            help="offered request rate (req/s)")
+    p_sv_bench.add_argument("--duration", type=float, default=2.0,
+                            help="seconds of offered load")
+    p_sv_bench.add_argument("--population", type=int, default=1000000,
+                            help="Zipfian URL population size")
+    p_sv_bench.add_argument("--skew", type=float, default=1.5,
+                            help="Zipf exponent s")
+    p_sv_bench.add_argument("--rows", type=int, default=5000,
+                            help="rows in the backing item table")
+    p_sv_bench.add_argument("--workers", type=int, default=4,
+                            help="miss-lane worker count")
+    p_sv_bench.add_argument("--seed", type=int, default=20260808)
+    p_sv_bench.add_argument("--invalidate", action="store_true",
+                            help="run the streaming invalidation pipeline "
+                                 "as a gateway tick")
+    p_sv_bench.add_argument("--no-warm", dest="warm", action="store_false",
+                            help="skip pre-generating the plan's pages "
+                                 "(measures the cold ramp)")
+    p_sv_bench.add_argument("--json", action="store_true",
+                            help="emit the curve point as JSON")
+    p_sv_bench.set_defaults(func=_run_serve_bench)
 
     return parser
 

@@ -26,6 +26,7 @@ cluster checkpoint envelope for whole-cluster restarts.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
@@ -127,6 +128,14 @@ class CacheShard:
     so a shard is a first-class eject-bus target and recovery can
     reconcile it like any other cache.
 
+    Concurrency contract: like :class:`WebCache`, every public method is
+    thread-safe.  Cross-tier moves (demotion, promotion, eject-from-both)
+    and the overflow tier's byte gauge are serialized on one shard-level
+    re-entrant lock; the hot tier's own lock nests inside it.  Callers
+    must mutate through the shard's methods — reaching into ``shard.hot``
+    directly would demote under the hot lock only and race the overflow
+    book-keeping.
+
     Args:
         name: shard identity (stable across restarts; the ring hashes it).
         hot_bytes: DRAM budget of the hot tier.
@@ -161,22 +170,27 @@ class CacheShard:
         self.cold_entries = cold_entries
         self._cold: "OrderedDict[str, CacheEntry]" = OrderedDict()
         self._cold_bytes = 0
+        self._lock = threading.RLock()
         self.stats = ShardStats()
 
     # -- sizing ----------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.hot) + len(self._cold)
+        with self._lock:
+            return len(self.hot) + len(self._cold)
 
     def __contains__(self, url_key: str) -> bool:
-        return url_key in self.hot or url_key in self._cold
+        with self._lock:
+            return url_key in self.hot or url_key in self._cold
 
     @property
     def bytes_used(self) -> int:
-        return self.hot.bytes_used + self._cold_bytes
+        with self._lock:
+            return self.hot.bytes_used + self._cold_bytes
 
     def keys(self) -> List[str]:
-        return self.hot.keys() + list(self._cold)
+        with self._lock:
+            return self.hot.keys() + list(self._cold)
 
     # -- tiering ---------------------------------------------------------------
 
@@ -210,48 +224,51 @@ class CacheShard:
 
     def get(self, url_key: str) -> Optional[HttpResponse]:
         """Probe hot, then overflow (promoting on hit); None on miss."""
-        response = self.hot.get(url_key)
-        if response is not None:
-            self.stats.hot_hits += 1
-            return response
-        entry = self._cold_take(url_key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        entry.hits += 1
-        self.stats.cold_hits += 1
-        self.stats.promotions += 1
-        # Promotion re-admits the existing entry: TTL, stamp, and byte
-        # accounting are already settled, so no header re-validation.
-        self.hot.admit(entry)
-        return entry.response
+        with self._lock:
+            response = self.hot.get(url_key)
+            if response is not None:
+                self.stats.hot_hits += 1
+                return response
+            entry = self._cold_take(url_key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            entry.hits += 1
+            self.stats.cold_hits += 1
+            self.stats.promotions += 1
+            # Promotion re-admits the existing entry: TTL, stamp, and byte
+            # accounting are already settled, so no header re-validation.
+            self.hot.admit(entry)
+            return entry.response
 
     def put(
         self, url_key: str, response: HttpResponse, ttl: Optional[float] = None
     ) -> bool:
         """Store into the hot tier (overflow fills only by demotion)."""
-        stored = self.hot.put(url_key, response, ttl=ttl)
-        if stored:
-            entry = self.hot.peek(url_key)
-            if entry is not None:
-                entry.seq = self.journal.stamp()
-            # A stale overflow copy must not outlive the fresh store.
-            previous = self._cold.pop(url_key, None)
-            if previous is not None:
-                self._cold_bytes -= previous.size_bytes
-        return stored
+        with self._lock:
+            stored = self.hot.put(url_key, response, ttl=ttl)
+            if stored:
+                entry = self.hot.peek(url_key)
+                if entry is not None:
+                    entry.seq = self.journal.stamp()
+                # A stale overflow copy must not outlive the fresh store.
+                previous = self._cold.pop(url_key, None)
+                if previous is not None:
+                    self._cold_bytes -= previous.size_bytes
+            return stored
 
     def eject(self, url_key: str) -> bool:
         """Remove one page from both tiers, journaling the eject."""
-        self.journal.note(url_key)
-        removed = self.hot.eject(url_key)
-        entry = self._cold.pop(url_key, None)
-        if entry is not None:
-            self._cold_bytes -= entry.size_bytes
-            removed = True
-        if removed:
-            self.stats.ejects += 1
-        return removed
+        with self._lock:
+            self.journal.note(url_key)
+            removed = self.hot.eject(url_key)
+            entry = self._cold.pop(url_key, None)
+            if entry is not None:
+                self._cold_bytes -= entry.size_bytes
+                removed = True
+            if removed:
+                self.stats.ejects += 1
+            return removed
 
     def eject_many(self, url_keys: Iterable[str]) -> int:
         return sum(1 for key in url_keys if self.eject(key))
@@ -264,9 +281,10 @@ class CacheShard:
 
     def clear(self) -> None:
         """Drop both tiers (the crash model: shard DRAM dies)."""
-        self.hot.clear()
-        self._cold.clear()
-        self._cold_bytes = 0
+        with self._lock:
+            self.hot.clear()
+            self._cold.clear()
+            self._cold_bytes = 0
 
     # -- checkpointing ---------------------------------------------------------
 
@@ -287,8 +305,9 @@ class CacheShard:
                 "seq": entry.seq,
             }
 
-        entries = [pack(entry, "cold") for entry in self._cold.values()]
-        entries += [pack(entry, "hot") for entry in self.hot.entries()]
+        with self._lock:
+            entries = [pack(entry, "cold") for entry in self._cold.values()]
+            entries += [pack(entry, "hot") for entry in self.hot.entries()]
         return {"name": self.name, "entries": entries}
 
     def restore_state(self, data: Dict[str, object]) -> Dict[str, int]:
@@ -300,6 +319,10 @@ class CacheShard:
         Hot entries are re-admitted through the byte budget, so a
         restore into a smaller DRAM budget demotes the overflow.
         """
+        with self._lock:
+            return self._restore_locked(data)
+
+    def _restore_locked(self, data: Dict[str, object]) -> Dict[str, int]:
         self.clear()
         restored = dropped = 0
         now = self._clock()

@@ -1,0 +1,120 @@
+"""Concurrency primitives shared by the sniffer logs and the serving tier.
+
+Two pieces live here (and nowhere lower) because both the DB-side query
+logger (:mod:`repro.db.wrapper`) and the web-side request logger
+(:mod:`repro.core.sniffer`) need them without importing each other:
+
+* :class:`ChunkedRecordLog` — a multi-writer, lock-free append log.  Each
+  writer thread appends to its *own* chunk (a plain list, whose
+  ``append`` is atomic under the GIL), so the per-record hot path takes
+  no lock and never contends.  The drainer slices each chunk with a
+  length snapshot and deletes exactly the records it copied — appends
+  land at the tail and are therefore never lost or duplicated, they just
+  ride into the next drain.  Records are merged across chunks in a
+  deterministic order chosen by the caller's sort key.
+
+* the **request correlation token** — a :class:`contextvars.ContextVar`
+  carrying the id of the request currently being serviced.  The request
+  logger sets it around the inner servlet's work; the query logger stamps
+  it onto every SELECT it records.  The request-to-query mapper can then
+  pair request and query records *exactly* even when many requests are in
+  flight on one server, where the paper's interval join would
+  (conservatively) cross-map them.  Context variables propagate per
+  thread of execution, and both logger sides run in the same thread for
+  any one request, so the pairing needs no further synchronization.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextvars import ContextVar
+from itertools import count
+from typing import Callable, Dict, Generic, List, Optional, TypeVar
+
+Record = TypeVar("Record")
+
+#: Token identifying the request currently being serviced on this thread
+#: of execution, or None outside any instrumented request.
+CURRENT_REQUEST_TOKEN: ContextVar[Optional[int]] = ContextVar(
+    "cacheportal_request_token", default=None
+)
+
+#: Global allocator for correlation tokens.  ``next()`` on a ``count`` is
+#: a single C-level step and therefore atomic under the GIL.
+_TOKENS = count(1)
+
+
+def next_request_token() -> int:
+    """Allocate a fresh, process-unique request correlation token."""
+    return next(_TOKENS)
+
+
+def current_request_token() -> Optional[int]:
+    """The correlation token of the request on this thread, if any."""
+    return CURRENT_REQUEST_TOKEN.get()
+
+
+class ChunkedRecordLog(Generic[Record]):
+    """Lock-free multi-writer append log with draining reads.
+
+    Writers call :meth:`append` from any thread; each thread owns a
+    private chunk so there is no cross-writer contention and no lock on
+    the hot path.  :meth:`drain` (and :meth:`all`) may run concurrently
+    with writers: they snapshot each chunk's length, copy that prefix,
+    and — for ``drain`` — delete exactly the copied prefix.  Both the
+    copy and the delete are single bytecode-level list operations, so a
+    concurrent ``append`` (which only ever extends the tail) can neither
+    be lost nor double-read.
+
+    The log is multi-producer, **single-consumer**: concurrent drains
+    would race each other's slice-and-delete.  The mapper is the only
+    drainer, and portal/pipeline serialization already guarantees one
+    mapping round at a time.
+
+    Args:
+        sort_key: deterministic merge order for drained records (drains
+            interleave chunks from different threads; downstream
+            consumers — the mapper — need a stable order).
+    """
+
+    def __init__(self, sort_key: Callable[[Record], tuple]) -> None:
+        self._sort_key = sort_key
+        self._chunks: Dict[int, List[Record]] = {}
+
+    def append(self, record: Record) -> None:
+        chunks = self._chunks
+        ident = threading.get_ident()
+        chunk = chunks.get(ident)
+        if chunk is None:
+            # First record from this thread: registering the chunk is a
+            # single dict store, atomic under the GIL.
+            chunk = chunks[ident] = []
+        chunk.append(record)
+
+    def _chunk_snapshot(self) -> List[List[Record]]:
+        # list(dict.values()) is atomic; plain iteration would race a new
+        # writer thread registering its chunk mid-walk.
+        return list(self._chunks.values())
+
+    def __len__(self) -> int:
+        return sum(len(chunk) for chunk in self._chunk_snapshot())
+
+    def all(self) -> List[Record]:
+        """A sorted copy of the pending records, without consuming them."""
+        records: List[Record] = []
+        for chunk in self._chunk_snapshot():
+            records.extend(chunk[: len(chunk)])
+        records.sort(key=self._sort_key)
+        return records
+
+    def drain(self) -> List[Record]:
+        """Remove and return all pending records in deterministic order."""
+        records: List[Record] = []
+        for chunk in self._chunk_snapshot():
+            taken = len(chunk)
+            if not taken:
+                continue
+            records.extend(chunk[:taken])
+            del chunk[:taken]
+        records.sort(key=self._sort_key)
+        return records

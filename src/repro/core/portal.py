@@ -195,6 +195,10 @@ class CachePortal:
             cache_section["cluster"] = cache.status()
         return {
             "cache": cache_section,
+            "pools": {
+                server.name: server.pool.stats()
+                for server in self.site.app_servers
+            },
             "sniffer": {
                 "requests_mapped": self.sniffer.mapper.requests_mapped,
                 "pairs_written": self.sniffer.mapper.pairs_written,

@@ -2,14 +2,25 @@
 
 The request logger stores, per request: a unique id, the request string
 (page name + GET parameters), the cookie string, the post string, and the
-receive/delivery timestamps — the five items listed in the paper.
+receive/delivery timestamps — the five items listed in the paper — plus a
+*correlation token* (an extension for the concurrent serving tier) that
+lets the mapper pair queries with their exact originating request instead
+of relying on the interval join alone.
+
+The store itself is a :class:`~repro.concurrency.ChunkedRecordLog`:
+appends are lock-free per writer thread, so logging a request under the
+async gateway costs a couple of list operations instead of a contended
+mutex — the paper's "sniffer must not slow the site down" requirement,
+restated for cooperative concurrency.
 """
 
 from __future__ import annotations
 
 import urllib.parse
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
+
+from repro.concurrency import ChunkedRecordLog
 
 
 @dataclass(frozen=True)
@@ -25,6 +36,9 @@ class RequestLogRecord:
     receive_time: float
     delivery_time: float
     cacheable: bool
+    #: Correlation token shared with every query logged while this
+    #: request was being serviced; None for records from older captures.
+    request_token: Optional[int] = None
 
     @property
     def interval(self) -> tuple:
@@ -37,23 +51,22 @@ def encode_params(params: dict) -> str:
     return urllib.parse.urlencode(sorted(params.items()))
 
 
-class RequestLog:
-    """Append-only store of request records."""
+def _request_sort_key(record: RequestLogRecord) -> tuple:
+    # Receive order first (identical to historical append order when
+    # requests were serialized on a monotone clock), ids as tie-breaks
+    # for concurrent captures whose wall-clock stamps collide.
+    return (record.receive_time, record.delivery_time, record.request_id)
+
+
+class RequestLog(ChunkedRecordLog[RequestLogRecord]):
+    """Append-only store of request records (multi-writer, one drainer)."""
 
     def __init__(self) -> None:
-        self._records: List[RequestLogRecord] = []
+        super().__init__(sort_key=_request_sort_key)
 
-    def append(self, record: RequestLogRecord) -> None:
-        self._records.append(record)
-
-    def __len__(self) -> int:
-        return len(self._records)
-
-    def all(self) -> List[RequestLogRecord]:
-        return list(self._records)
+    def append(self, record: RequestLogRecord) -> None:  # typing aid
+        super().append(record)
 
     def drain(self) -> List[RequestLogRecord]:
         """Return and clear all records (periodic log shipping)."""
-        records = self._records
-        self._records = []
-        return records
+        return super().drain()

@@ -9,15 +9,29 @@ The interval join is deliberately conservative: with concurrent requests
 on one server, a query can fall inside more than one request interval and
 is then mapped to each of them.  Over-mapping is safe (at worst an extra
 page is invalidated later); under-mapping would leave stale pages cached.
+
+The concurrent serving tier sharpens this: both loggers stamp records
+with a shared *correlation token* (see :mod:`repro.concurrency`), so a
+query carrying a token is paired **exactly** with its originating request
+— no cross-mapping even when dozens of requests overlap on one server.
+Queries without a token (legacy captures, driver traffic outside any
+instrumented request) still go through the interval join.  Under
+serialized execution on a monotone clock the two joins produce identical
+pairs in identical order, which is what keeps
+``CachePortal.run_sniffer()`` output bit-identical to the sync path.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.db.wrapper import QueryLog, QueryLogRecord
 from repro.core.qiurl import QIURLMap
 from repro.core.sniffer.logs import RequestLog, RequestLogRecord
+
+
+def _query_order(record: QueryLogRecord) -> tuple:
+    return (record.receive_time, record.delivery_time, record.query_id)
 
 
 class RequestToQueryMapper:
@@ -27,6 +41,8 @@ class RequestToQueryMapper:
         self.qiurl_map = qiurl_map
         self.requests_mapped = 0
         self.pairs_written = 0
+        #: Pairs written through the exact token join (vs interval join).
+        self.token_pairs = 0
 
     def run(
         self, request_logs: List[RequestLog], query_logs: List[QueryLog]
@@ -59,9 +75,17 @@ class RequestToQueryMapper:
     def _map_batch(
         self, requests: List[RequestLogRecord], queries: List[QueryLogRecord]
     ) -> int:
-        # Sort queries once; scan per request with binary-search bounds.
-        queries = sorted(queries, key=lambda record: record.receive_time)
-        receive_times = [record.receive_time for record in queries]
+        # Sort queries once; tokened records index by token for the exact
+        # join, the rest scan per request with binary-search bounds.
+        queries = sorted(queries, key=_query_order)
+        by_token: Dict[int, List[QueryLogRecord]] = {}
+        untokened: List[QueryLogRecord] = []
+        for record in queries:
+            if record.request_token is not None:
+                by_token.setdefault(record.request_token, []).append(record)
+            else:
+                untokened.append(record)
+        untokened_times = [record.receive_time for record in untokened]
         written = 0
         for request in requests:
             self.requests_mapped += 1
@@ -69,19 +93,31 @@ class RequestToQueryMapper:
                 # Non-cacheable pages are never in a cache, so the
                 # invalidator has nothing to do for them.
                 continue
+            matched: List[QueryLogRecord] = []
+            token_count = 0
+            if request.request_token is not None:
+                matched.extend(by_token.get(request.request_token, ()))
+                token_count = len(matched)
             start, end = request.interval
-            low = _bisect_left(receive_times, start)
+            low = _bisect_left(untokened_times, start)
             index = low
-            while index < len(queries) and queries[index].receive_time <= end:
+            while index < len(untokened) and untokened[index].receive_time <= end:
+                matched.append(untokened[index])
+                index += 1
+            if token_count and len(matched) > token_count:
+                # Mixing joins: restore global receive order so map rows
+                # land in the same order a pure interval join would emit.
+                matched.sort(key=_query_order)
+            for query in matched:
                 entry = self.qiurl_map.add(
-                    sql=queries[index].sql,
+                    sql=query.sql,
                     url_key=request.url_key,
                     servlet=request.servlet,
                     mapped_at=request.delivery_time,
                 )
                 if entry is not None:
                     written += 1
-                index += 1
+            self.token_pairs += token_count
         self.pairs_written += written
         return written
 

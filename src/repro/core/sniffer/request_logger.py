@@ -16,6 +16,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Optional
 
+from repro.concurrency import CURRENT_REQUEST_TOKEN, next_request_token
 from repro.db.dbapi import Connection
 from repro.web.http import CacheControl, HttpRequest, HttpResponse
 from repro.web.servlet import Servlet
@@ -63,9 +64,18 @@ class RequestLoggingServlet(Servlet):
         self._ids = itertools.count(1)
 
     def service(self, request: HttpRequest, connection: Connection) -> HttpResponse:
+        # The correlation token rides a context variable for the duration
+        # of the inner servlet's work, so the query logger can stamp every
+        # SELECT with the exact request that issued it — the concurrent
+        # equivalent of the paper's interval pairing (§3.3).
+        token = next_request_token()
+        reset = CURRENT_REQUEST_TOKEN.set(token)
         receive_time = self.clock()
-        response = self.inner.service(request, connection)
-        delivery_time = self.clock()
+        try:
+            response = self.inner.service(request, connection)
+        finally:
+            delivery_time = self.clock()
+            CURRENT_REQUEST_TOKEN.reset(reset)
         cacheable = self._decide_cacheable(response)
         self.log.append(
             RequestLogRecord(
@@ -78,6 +88,7 @@ class RequestLoggingServlet(Servlet):
                 receive_time=receive_time,
                 delivery_time=delivery_time,
                 cacheable=cacheable,
+                request_token=token,
             )
         )
         if cacheable:

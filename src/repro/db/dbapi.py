@@ -10,9 +10,10 @@ as just another driver.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import InterfaceError
+from repro.errors import InterfaceError, PoolExhausted
 from repro.db.engine import Database, StatementResult
 from repro.db.types import Value
 
@@ -208,38 +209,136 @@ def connect(database: Database, url: str = "repro:native:") -> Connection:
 class ConnectionPool:
     """A named group of identical connections (BEA-style JDBC pool).
 
-    The pool exists mostly for fidelity with the paper's description of
-    how servlets reach the database; it also gives the simulator a place
-    to model connection-establishment cost.
+    The pool exists for fidelity with the paper's description of how
+    servlets reach the database, and it is the back-pressure point of the
+    async serving front end: the pool is **bounded** at ``max_size``
+    connections (defaulting to ``size``), and an :meth:`acquire` that
+    finds every connection loaned out blocks — up to ``acquire_timeout``
+    seconds — for a release before raising
+    :class:`~repro.errors.PoolExhausted`.  An unbounded pool would let a
+    miss storm translate straight into unbounded database concurrency;
+    bounding it here keeps overload visible as queueing (surfaced through
+    ``acquire_waits`` / ``acquire_timeouts``) instead of silent growth.
+
+    Thread safety: all public methods may be called from any thread; the
+    pool serializes its book-keeping on an internal condition variable.
     """
 
-    def __init__(self, name: str, database: Database, size: int = 4,
-                 url: str = "repro:native:") -> None:
+    def __init__(
+        self,
+        name: str,
+        database: Database,
+        size: int = 4,
+        url: str = "repro:native:",
+        max_size: Optional[int] = None,
+        acquire_timeout: Optional[float] = 5.0,
+    ) -> None:
         if size < 1:
             raise InterfaceError("pool size must be positive")
+        if max_size is not None and max_size < size:
+            raise InterfaceError("pool max_size must be >= size")
         self.name = name
         self._database = database
         self._url = url
+        self.max_size = max_size if max_size is not None else size
+        self.acquire_timeout = acquire_timeout
+        self._lock = threading.Condition()
         self._idle: List[Connection] = [connect(database, url) for _ in range(size)]
         self._loaned = 0
         self.acquisitions = 0
+        #: Times an acquire found no idle connection and had to wait.
+        self.acquire_waits = 0
+        #: Times an acquire gave up waiting and raised PoolExhausted.
+        self.acquire_timeouts = 0
 
     @property
     def size(self) -> int:
-        return len(self._idle) + self._loaned
+        with self._lock:
+            return len(self._idle) + self._loaned
 
-    def acquire(self) -> Connection:
-        """Borrow a connection; grows the pool when all are loaned out."""
-        self.acquisitions += 1
-        if self._idle:
-            connection = self._idle.pop()
-        else:
-            connection = connect(self._database, self._url)
-        self._loaned += 1
-        return connection
+    @property
+    def in_use(self) -> int:
+        """Connections currently loaned out to callers."""
+        with self._lock:
+            return self._loaned
+
+    @property
+    def idle(self) -> int:
+        with self._lock:
+            return len(self._idle)
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational counters, surfaced through ``portal.status()``."""
+        with self._lock:
+            return {
+                "size": len(self._idle) + self._loaned,
+                "max_size": self.max_size,
+                "in_use": self._loaned,
+                "idle": len(self._idle),
+                "acquisitions": self.acquisitions,
+                "acquire_waits": self.acquire_waits,
+                "acquire_timeouts": self.acquire_timeouts,
+            }
+
+    def acquire(self, timeout: Optional[float] = None) -> Connection:
+        """Borrow a connection, waiting up to ``timeout`` seconds.
+
+        Grows the pool up to ``max_size`` when every connection is loaned
+        out; past that, blocks for a release.  ``timeout`` defaults to
+        the pool's ``acquire_timeout``; ``None`` there means wait forever.
+
+        Raises:
+            PoolExhausted: no connection became available in time.
+        """
+        deadline_timeout = timeout if timeout is not None else self.acquire_timeout
+        with self._lock:
+            self.acquisitions += 1
+            if not self._idle and self._loaned >= self.max_size:
+                self.acquire_waits += 1
+                if not self._lock.wait_for(
+                    lambda: bool(self._idle) or self._loaned < self.max_size,
+                    timeout=deadline_timeout,
+                ):
+                    self.acquire_timeouts += 1
+                    raise PoolExhausted(
+                        f"pool {self.name!r}: all {self.max_size} connections in "
+                        f"use; none released within {deadline_timeout}s"
+                    )
+            if self._idle:
+                connection = self._idle.pop()
+            else:
+                connection = connect(self._database, self._url)
+            self._loaned += 1
+            return connection
 
     def release(self, connection: Connection) -> None:
         if connection.closed:
             connection = connect(self._database, self._url)
-        self._loaned = max(0, self._loaned - 1)
-        self._idle.append(connection)
+        with self._lock:
+            self._loaned = max(0, self._loaned - 1)
+            self._idle.append(connection)
+            self._lock.notify()
+
+    def retarget(self, url: str) -> None:
+        """Re-point every pooled connection at a different driver URL.
+
+        Idle connections are closed and rebuilt against the new driver.
+        Connections currently loaned out cannot be retargeted in place —
+        silently abandoning them (the old ``set_driver_url`` behaviour)
+        would leave callers running statements that bypass the new
+        driver, so in-flight loans fail loudly instead.
+
+        Raises:
+            InterfaceError: when connections are still loaned out.
+        """
+        with self._lock:
+            if self._loaned:
+                raise InterfaceError(
+                    f"pool {self.name!r}: cannot retarget with {self._loaned} "
+                    f"connection(s) in flight; drain the pool first"
+                )
+            for connection in self._idle:
+                connection.close()
+            count = len(self._idle)
+            self._url = url
+            self._idle = [connect(self._database, url) for _ in range(count)]

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import itertools
 import random
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -111,6 +112,12 @@ class Database:
         self.statements_executed = 0
         # Seeded stream backing RAND()/RANDOM(): deterministic per database.
         self._rand = random.Random(0x5EED)
+        # Statement execution is serialized: the engine's shared state
+        # (plan cache LRU, update log, heap tables, indexes) is not safe
+        # under concurrent mutation, and the async serving tier runs
+        # servlet+DB work on several worker threads.  Re-entrant because
+        # materialized-view refresh re-executes SQL within a statement.
+        self._exec_lock = threading.RLock()
 
     # -- catalog -------------------------------------------------------------
 
@@ -230,7 +237,20 @@ class Database:
         ``StatementResult.statement`` reports, and bind errors must
         surface identically), but the cached plan resolves ``$n``
         placeholders at runtime from this call's bindings.
+
+        Thread safety: statements serialize on a per-database re-entrant
+        lock, so concurrent connections (the async gateway's miss
+        workers) cannot corrupt the plan-cache LRU or interleave
+        update-log appends.
         """
+        with self._exec_lock:
+            return self._execute_locked(statement, params)
+
+    def _execute_locked(
+        self,
+        statement: Union[str, ast.Statement],
+        params: Optional[Sequence[Value]] = None,
+    ) -> StatementResult:
         plan: Optional[PlanNode] = None
         fill_key: Optional[str] = None
         if isinstance(statement, str):

@@ -17,6 +17,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.concurrency import ChunkedRecordLog, current_request_token
 from repro.sql import ast
 from repro.sql.printer import to_sql
 from repro.db.dbapi import Driver
@@ -34,6 +35,10 @@ class QueryLogRecord:
         receive_time: when the driver received the statement.
         delivery_time: when the results were handed back.
         rows_returned: result-set size (kept as a tuning statistic).
+        request_token: correlation token of the request being serviced on
+            this thread when the query ran, or None for queries issued
+            outside any instrumented request (those fall back to the
+            paper's interval join in the mapper).
     """
 
     query_id: int
@@ -41,22 +46,23 @@ class QueryLogRecord:
     receive_time: float
     delivery_time: float
     rows_returned: int
+    request_token: Optional[int] = None
 
 
-class QueryLog:
-    """Append-only store of :class:`QueryLogRecord` with window reads."""
+def _query_sort_key(record: QueryLogRecord) -> tuple:
+    return (record.receive_time, record.delivery_time, record.query_id)
+
+
+class QueryLog(ChunkedRecordLog[QueryLogRecord]):
+    """Append-only store of :class:`QueryLogRecord` with window reads.
+
+    Appends are lock-free per writer thread (see
+    :class:`~repro.concurrency.ChunkedRecordLog`); the mapper is the one
+    drainer.
+    """
 
     def __init__(self) -> None:
-        self._records: List[QueryLogRecord] = []
-
-    def append(self, record: QueryLogRecord) -> None:
-        self._records.append(record)
-
-    def __len__(self) -> int:
-        return len(self._records)
-
-    def all(self) -> List[QueryLogRecord]:
-        return list(self._records)
+        super().__init__(sort_key=_query_sort_key)
 
     def in_interval(self, start: float, end: float) -> List[QueryLogRecord]:
         """Queries whose receive time falls inside [start, end].
@@ -66,15 +72,13 @@ class QueryLog:
         """
         return [
             record
-            for record in self._records
+            for record in self.all()
             if start <= record.receive_time <= end
         ]
 
     def drain(self) -> List[QueryLogRecord]:
         """Return and clear all records (used by periodic log shipping)."""
-        records = self._records
-        self._records = []
-        return records
+        return super().drain()
 
 
 class LoggingDriver(Driver):
@@ -113,6 +117,7 @@ class LoggingDriver(Driver):
                     receive_time=receive_time,
                     delivery_time=delivery_time,
                     rows_returned=result.rowcount,
+                    request_token=current_request_token(),
                 )
             )
         return result

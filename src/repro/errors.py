@@ -56,6 +56,12 @@ class InterfaceError(DatabaseError):
     """Raised on misuse of the DB-API layer (closed cursor, bad driver URL)."""
 
 
+class PoolExhausted(InterfaceError):
+    """Raised when a bounded connection pool cannot satisfy an acquire
+    within its timeout — the back-pressure signal of an overloaded
+    application tier."""
+
+
 class WebError(ReproError):
     """Base class for web-tier errors."""
 
@@ -90,3 +96,7 @@ class ClusterError(ReproError):
 
 class SimulationError(ReproError):
     """Raised for discrete-event-simulation misuse (e.g. time travel)."""
+
+
+class ServeError(ReproError):
+    """Base class for the async serving front end (gateway/loadgen)."""

@@ -1,0 +1,306 @@
+"""The async serving gateway: cooperative concurrency over the sync stack.
+
+:class:`AsyncGateway` fronts an existing synchronous
+:class:`~repro.web.site.Site` without forking any of its classes:
+
+* **hits** are served entirely on the event loop — a cache probe is a
+  couple of microseconds, so parking it behind a queue or an executor
+  would cost more than the work itself;
+* **misses** are enqueued onto a dispatch queue consumed by N worker
+  tasks, each running the untouched synchronous path
+  (``LoadBalancer.pick → WebServer.handle → ApplicationServer.handle →
+  servlet + DB``) on a bounded thread pool.  Bounded concurrency means a
+  miss storm turns into visible queue depth (open-loop collapse), not
+  into unbounded thread creation; the connection pool underneath
+  back-pressures the same way (:class:`~repro.errors.PoolExhausted`).
+
+The sniffer's request/query loggers sit *inside* that synchronous path,
+which is why their appends are lock-free per worker thread
+(:mod:`repro.concurrency`) and why every query record carries the
+correlation token of the request that issued it.
+
+Optionally the gateway owns the invalidation side too: give it an
+:class:`~repro.stream.bus.EjectBus` and it pumps due deliveries from a
+loop task; give it a ``tick`` callable (e.g.
+``StreamingInvalidationPipeline.process_available``) and invalidation
+cycles run interleaved with serving, deterministically, on the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.errors import RoutingError, ServeError
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.site import Site
+from repro.web.urlkey import page_key
+
+
+@dataclass
+class GatewayStats:
+    """Serving counters for one gateway lifetime."""
+
+    requests: int = 0
+    hits: int = 0
+    misses: int = 0
+    coalesced: int = 0
+    shed: int = 0
+    queue_depth_peak: int = 0
+    bus_pumps: int = 0
+    ticks: int = 0
+
+
+class AsyncGateway:
+    """Asyncio front end for a synchronous :class:`Site`.
+
+    Args:
+        site: the site to serve; its ``web_cache`` (a single
+            :class:`~repro.web.cache.WebCache` or a whole
+            :class:`~repro.cluster.cluster.CacheCluster`) is the hit tier.
+        workers: miss-lane concurrency — worker tasks and the thread pool
+            they dispatch servlet+DB work onto.
+        queue_limit: optional hard cap on queued misses; beyond it
+            requests are shed (counted, and answered 503 on the
+            full-fidelity path) instead of queued forever.
+        bus: optional eject bus to pump from the event loop.
+        tick: optional callback (e.g. the streaming pipeline's
+            ``process_available``) run every ``tick_interval`` seconds on
+            the loop, interleaving invalidation with serving.
+    """
+
+    def __init__(
+        self,
+        site: Site,
+        workers: int = 4,
+        queue_limit: Optional[int] = None,
+        bus: Optional[object] = None,
+        pump_interval: float = 0.002,
+        tick: Optional[Callable[[], object]] = None,
+        tick_interval: float = 0.02,
+    ) -> None:
+        if workers < 1:
+            raise ServeError("gateway needs at least one miss worker")
+        self.site = site
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.bus = bus
+        self.pump_interval = pump_interval
+        self.tick = tick
+        self.tick_interval = tick_interval
+        self.stats = GatewayStats()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._worker_tasks: List[asyncio.Task] = []
+        self._background_tasks: List[asyncio.Task] = []
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._running = False
+        # Route-key cache: path → key_spec (routing is static per site).
+        self._specs: dict = {}
+        # Miss coalescing (dog-pile protection): url_key → waiter
+        # callbacks for a regeneration already in flight.  After an eject
+        # of a hot page, hundreds of arrivals can miss on the same key
+        # before the first regeneration lands; only the first does
+        # servlet+DB work, the rest ride its result.
+        self._pending: dict = {}
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._running:
+            return
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="gw-miss"
+        )
+        self._running = True
+        self._worker_tasks = [
+            self._loop.create_task(self._miss_worker()) for _ in range(self.workers)
+        ]
+        if self.bus is not None:
+            self._background_tasks.append(self._loop.create_task(self._pump_bus()))
+        if self.tick is not None:
+            self._background_tasks.append(self._loop.create_task(self._run_ticks()))
+
+    async def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Graceful shutdown: drain the miss lane, flush eject delivery.
+
+        With ``drain`` (the default) every queued miss is completed and —
+        when a bus or tick is attached — every published eject is
+        delivered before workers are torn down, so shutdown loses no
+        pages and no invalidations.
+        """
+        if not self._running:
+            return
+        if drain:
+            await asyncio.wait_for(self._queue.join(), timeout=timeout)
+            if self.tick is not None:
+                self.tick()
+                self.stats.ticks += 1
+            if self.bus is not None:
+                await self.bus.drain_async(timeout=timeout)
+        self._running = False
+        if drain:
+            for _ in self._worker_tasks:
+                self._queue.put_nowait(None)  # sentinel per worker
+        else:
+            # Non-graceful: abandon the backlog instead of finishing it.
+            for task in self._worker_tasks:
+                task.cancel()
+        await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        for task in self._background_tasks:
+            task.cancel()
+        await asyncio.gather(*self._background_tasks, return_exceptions=True)
+        self._worker_tasks.clear()
+        self._background_tasks.clear()
+        self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "AsyncGateway":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # -- the fast path ---------------------------------------------------------
+
+    def key_for(self, request: HttpRequest) -> Optional[str]:
+        """The page-cache key for a request, or None when unroutable."""
+        spec = self._specs.get(request.path)
+        if spec is None:
+            try:
+                spec = self.site.servlet_for(request.path).key_spec
+            except RoutingError:
+                return None
+            self._specs[request.path] = spec
+        return page_key(request, spec)
+
+    def try_hit(self, url_key: str) -> Optional[HttpResponse]:
+        """Probe the hit tier on the event loop; None on miss.
+
+        Mirrors the counting of ``Site.handle``: the request is counted
+        here, the hit here, the miss when the caller enqueues it.
+        """
+        self.stats.requests += 1
+        self.site.stats.requests += 1
+        cached = self.site.web_cache.get(url_key)
+        if cached is not None:
+            self.stats.hits += 1
+            self.site.stats.page_cache_hits += 1
+        return cached
+
+    def submit_miss(
+        self,
+        url_key: str,
+        request_factory: Callable[[], HttpRequest],
+        on_done: Optional[Callable[[HttpResponse], None]] = None,
+    ) -> bool:
+        """Queue a miss for the worker lane; False when shed at the cap.
+
+        Duplicate misses for a key whose regeneration is already in
+        flight are coalesced: counted as misses (each is a real request
+        that waited for the page), but only the first does servlet+DB
+        work — the rest receive its response via their callbacks.
+        """
+        waiters = self._pending.get(url_key)
+        if waiters is not None:
+            self.stats.misses += 1
+            self.stats.coalesced += 1
+            self.site.stats.page_cache_misses += 1
+            if on_done is not None:
+                waiters.append(on_done)
+            return True
+        if self.queue_limit is not None and self._queue.qsize() >= self.queue_limit:
+            self.stats.shed += 1
+            return False
+        self.stats.misses += 1
+        self.site.stats.page_cache_misses += 1
+        self._pending[url_key] = [on_done] if on_done is not None else []
+        self._queue.put_nowait((url_key, request_factory))
+        depth = self._queue.qsize()
+        if depth > self.stats.queue_depth_peak:
+            self.stats.queue_depth_peak = depth
+        return True
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize() if self._queue is not None else 0
+
+    async def join(self) -> None:
+        """Wait until every queued miss has completed (queue drained)."""
+        if self._queue is not None:
+            await self._queue.join()
+
+    # -- the full-fidelity path ------------------------------------------------
+
+    async def handle(self, request: HttpRequest) -> HttpResponse:
+        """Serve one request end-to-end (the parity-testable entry point).
+
+        Behaviour matches ``Site.handle`` response-for-response: hits on
+        the loop, misses through the worker lane, unroutable paths to the
+        app server's 404, sites without a page cache straight through.
+        """
+        url_key = self.key_for(request) if self.site.web_cache is not None else None
+        if url_key is None:
+            # No cache tier or unknown path: the whole request is
+            # servlet work, so it runs in the worker lane.
+            self.stats.requests += 1
+            self.site.stats.requests += 1
+            return await self._loop.run_in_executor(
+                self._executor, self.site.balancer.handle, request
+            )
+        cached = self.try_hit(url_key)
+        if cached is not None:
+            return cached
+        future: asyncio.Future = self._loop.create_future()
+        accepted = self.submit_miss(
+            url_key, lambda: request, lambda response: future.set_result(response)
+        )
+        if not accepted:
+            return HttpResponse(status=503, body="miss queue full")
+        return await future
+
+    async def get(self, url: str) -> HttpResponse:
+        """Browser-style entry point, like ``Site.get``."""
+        return await self.handle(HttpRequest.from_url(url))
+
+    # -- workers ---------------------------------------------------------------
+
+    async def _miss_worker(self) -> None:
+        while True:
+            item = await self._queue.get()
+            if item is None:
+                self._queue.task_done()
+                return
+            url_key, request_factory = item
+            try:
+                request = request_factory()
+                response = await self._loop.run_in_executor(
+                    self._executor, self.site.balancer.handle, request
+                )
+                # Store, then release the coalesced waiters — all on the
+                # loop thread, so cache locks stay uncontended and
+                # callers never observe torn state.  The store precedes
+                # the pending-pop: an arrival between the two hits the
+                # cache instead of starting a redundant regeneration.
+                self.site.web_cache.put(url_key, response)
+                waiters = self._pending.pop(url_key, ())
+                for on_done in waiters:
+                    on_done(response)
+            finally:
+                self._queue.task_done()
+
+    async def _pump_bus(self) -> None:
+        while True:
+            self.bus.pump()
+            self.stats.bus_pumps += 1
+            await asyncio.sleep(self.pump_interval)
+
+    async def _run_ticks(self) -> None:
+        while True:
+            await asyncio.sleep(self.tick_interval)
+            self.tick()
+            self.stats.ticks += 1

@@ -1,0 +1,431 @@
+"""Open-loop load generation for the async serving front end.
+
+Closed-loop drivers (N workers, each waiting for its response before
+sending the next request) hide overload: when the server slows down the
+offered rate drops with it, and the latency curve stays flat right up to
+the cliff that production traffic would have fallen off long before.
+An **open-loop** generator schedules arrivals from a clock that does not
+care about completions — if the server falls behind, requests queue and
+the measured latency (completion time minus *scheduled* arrival time)
+grows without bound.  That is the honest curve, free of coordinated
+omission, and it is what ``benchmarks/bench_serving.py`` sweeps.
+
+Everything here is deterministic under a seed: :meth:`ArrivalSchedule`
+spaces arrivals evenly within each rate phase, and
+:class:`ZipfianPopulation` draws URL indexes from a seeded RNG, so
+:meth:`OpenLoopLoadGenerator.plan` is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ServeError
+from repro.serve.gateway import AsyncGateway
+from repro.serve.metrics import LatencyHistogram, curve_point
+from repro.web.http import HttpRequest
+
+
+@dataclass(frozen=True)
+class RatePhase:
+    """A stretch of constant offered load: ``rate`` req/s for ``duration`` s."""
+
+    rate: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0 or self.duration < 0:
+            raise ServeError("rate and duration must be non-negative")
+
+
+class ArrivalSchedule:
+    """A deterministic sequence of arrival times built from rate phases.
+
+    Within a phase of rate *r*, arrivals are evenly spaced ``1/r`` apart —
+    a paced (deterministic) open-loop schedule, the standard choice when
+    run-to-run reproducibility matters more than Poisson realism.
+    """
+
+    def __init__(self, phases: List[RatePhase]) -> None:
+        if not phases:
+            raise ServeError("a schedule needs at least one phase")
+        self.phases = list(phases)
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def fixed(cls, rate: float, duration: float) -> "ArrivalSchedule":
+        """Constant ``rate`` req/s for ``duration`` seconds."""
+        return cls([RatePhase(rate, duration)])
+
+    @classmethod
+    def burst(
+        cls,
+        base_rate: float,
+        burst_rate: float,
+        base_duration: float,
+        burst_duration: float,
+        cycles: int = 1,
+    ) -> "ArrivalSchedule":
+        """Alternating base/burst phases, ``cycles`` times over."""
+        phases: List[RatePhase] = []
+        for _ in range(cycles):
+            phases.append(RatePhase(base_rate, base_duration))
+            phases.append(RatePhase(burst_rate, burst_duration))
+        return cls(phases)
+
+    @classmethod
+    def ramp(
+        cls, start_rate: float, end_rate: float, steps: int, duration: float
+    ) -> "ArrivalSchedule":
+        """Linear ramp from ``start_rate`` to ``end_rate`` in ``steps`` phases."""
+        if steps < 1:
+            raise ServeError("a ramp needs at least one step")
+        phases = []
+        for step in range(steps):
+            fraction = step / (steps - 1) if steps > 1 else 1.0
+            rate = start_rate + (end_rate - start_rate) * fraction
+            phases.append(RatePhase(rate, duration / steps))
+        return cls(phases)
+
+    # -- the schedule ----------------------------------------------------------
+
+    @property
+    def total_duration(self) -> float:
+        return sum(phase.duration for phase in self.phases)
+
+    @property
+    def total_arrivals(self) -> int:
+        return sum(int(phase.rate * phase.duration) for phase in self.phases)
+
+    @property
+    def mean_rate(self) -> float:
+        duration = self.total_duration
+        return self.total_arrivals / duration if duration > 0 else 0.0
+
+    def arrivals(self) -> Iterator[float]:
+        """Yield arrival offsets (seconds from schedule start), ascending."""
+        phase_start = 0.0
+        for phase in self.phases:
+            count = int(phase.rate * phase.duration)
+            if count:
+                gap = phase.duration / count
+                for i in range(count):
+                    yield phase_start + i * gap
+            phase_start += phase.duration
+
+class ZipfianPopulation:
+    """A seeded Zipfian URL population in the millions.
+
+    Index *k* (1-based) has weight ``1 / k**s``; the cumulative weight
+    table makes each draw one ``random()`` plus one binary search.  URL
+    records — the key under the page cache and a factory for the full
+    request — are materialized lazily per index, so a population of five
+    million items costs memory only for the (heavily skewed) set of
+    indexes actually drawn.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        s: float = 1.1,
+        seed: int = 20260808,
+        path: str = "/item",
+        param: str = "id",
+    ) -> None:
+        if count < 1:
+            raise ServeError("population needs at least one URL")
+        self.count = count
+        self.s = s
+        self.path = path
+        self.param = param
+        self._rng = random.Random(seed)
+        cumulative: List[float] = []
+        total = 0.0
+        for k in range(1, count + 1):
+            total += 1.0 / (k ** s)
+            cumulative.append(total)
+        self._cumulative = cumulative
+        self._total = total
+        # index → (url, url_key, request) — lazily filled, keys resolved
+        # once against the gateway's routing.
+        self._records: Dict[int, Tuple[str, str, HttpRequest]] = {}
+
+    def sample(self) -> int:
+        """Draw one 0-based index from the Zipfian distribution."""
+        return bisect.bisect_left(
+            self._cumulative, self._rng.random() * self._total
+        )
+
+    def url_for(self, index: int) -> str:
+        return f"{self.path}?{self.param}={index + 1}"
+
+    def record_for(
+        self, index: int, keyer: Callable[[HttpRequest], Optional[str]]
+    ) -> Tuple[str, str, HttpRequest]:
+        """The (url, url_key, request) triple for an index, cached."""
+        record = self._records.get(index)
+        if record is None:
+            url = self.url_for(index)
+            request = HttpRequest.from_url(url)
+            url_key = keyer(request)
+            if url_key is None:
+                raise ServeError(f"population path {self.path!r} is unroutable")
+            record = (url, url_key, request)
+            self._records[index] = record
+        return record
+
+
+@dataclass
+class OpenLoopResult:
+    """What one open-loop run measured."""
+
+    offered_rps: float
+    achieved_rps: float
+    duration_seconds: float
+    completed: int
+    hits: int
+    misses: int
+    shed: int
+    queue_depth_peak: int
+    queue_depth_samples: List[int] = field(default_factory=list)
+    histogram: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def curve_point(self, arm: str, **extra: object) -> Dict[str, object]:
+        """This run as one row of the shared req/s × latency schema."""
+        quantiles = self.histogram.percentiles_ms()
+        return curve_point(
+            source="measured",
+            arm=arm,
+            offered_rps=self.offered_rps,
+            achieved_rps=self.achieved_rps,
+            hit_ratio=self.hit_ratio,
+            completed=self.completed,
+            queue_depth_peak=self.queue_depth_peak,
+            **quantiles,
+            **extra,
+        )
+
+
+class OpenLoopLoadGenerator:
+    """Drive an :class:`AsyncGateway` with open-loop arrivals.
+
+    The generator walks the schedule's arrival times against the event
+    loop's clock.  Arrivals that are due are issued in a tight batch (no
+    per-request task, no per-request sleep — at 100k req/s either would
+    dominate the work); the loop is yielded every ``yield_every``
+    arrivals so miss workers and the invalidation pump keep running, and
+    the generator sleeps only when the next arrival is comfortably in
+    the future.
+
+    Latency is **completion minus scheduled arrival** — a request that
+    sat behind a backlog is charged for the wait even though the
+    generator issued it late.  That is the open-loop contract; it is what
+    makes queueing collapse visible in p99.
+    """
+
+    def __init__(
+        self,
+        gateway: AsyncGateway,
+        population: ZipfianPopulation,
+        schedule: ArrivalSchedule,
+        yield_every: int = 256,
+        sample_every: int = 1024,
+        sleep_floor: float = 0.001,
+    ) -> None:
+        self.gateway = gateway
+        self.population = population
+        self.schedule = schedule
+        self.yield_every = yield_every
+        self.sample_every = sample_every
+        self.sleep_floor = sleep_floor
+
+    def plan(self, limit: Optional[int] = None) -> List[Tuple[float, int]]:
+        """The deterministic (arrival_offset, url_index) sequence.
+
+        Two generators built with equal seeds and schedules produce
+        equal plans — the determinism contract the tests pin down.
+        """
+        pairs: List[Tuple[float, int]] = []
+        for offset in self.schedule.arrivals():
+            pairs.append((offset, self.population.sample()))
+            if limit is not None and len(pairs) >= limit:
+                break
+        return pairs
+
+    async def run(
+        self,
+        drain: bool = True,
+        plan: Optional[List[Tuple[float, int]]] = None,
+    ) -> OpenLoopResult:
+        """Issue the whole schedule; return the measured result.
+
+        Pass ``plan`` (from :meth:`plan`) to replay an exact arrival
+        sequence — e.g. after pre-warming its URL set, or to offer the
+        identical workload to two serving stacks.  Each :meth:`plan`
+        call advances the population's RNG, so two calls are two
+        *different* (deterministically seeded) workloads.
+
+        The hot loop is deliberately flat: callables and dicts are bound
+        to locals, hit/request counters are accumulated in plain ints and
+        folded into the gateway's stats once at the end (the totals are
+        identical, the per-arrival attribute churn is not), and the loop
+        yields to the scheduler only when misses are actually queued — a
+        pure hit stream never needs the worker tasks to run.
+        """
+        loop = asyncio.get_running_loop()
+        histogram = LatencyHistogram()
+        depth_samples: List[int] = []
+        if plan is None:
+            plan = self.plan()
+        gateway = self.gateway
+        shed_before = gateway.stats.shed
+        misses_before = gateway.stats.misses
+
+        if gateway._queue is None:
+            raise ServeError("gateway must be started before run()")
+
+        # Local bindings for the per-arrival path.
+        time_fn = loop.time
+        cache_get = gateway.site.web_cache.get
+        records = self.population._records
+        record_for = self.population.record_for
+        key_for = gateway.key_for
+        submit_miss = gateway.submit_miss
+        record_latency = histogram.record
+        queue_size = gateway._queue.qsize
+        sleep_floor = self.sleep_floor
+        yield_every = self.yield_every
+        sample_every = self.sample_every
+        # Hit latencies are bucketed inline (same math as
+        # LatencyHistogram.record, folded back in below): at several
+        # hundred thousand hits per second even one method call per
+        # arrival shows up in the ceiling.
+        bucket_counts = histogram._counts
+        hit_count = 0
+        hit_sum = 0.0
+        hit_max = 0.0
+
+        hits = 0
+        issued = 0
+        since_yield = 0
+        since_sample = 0
+        i = 0
+        total = len(plan)
+        start = time_fn()
+        while i < total:
+            now = time_fn()
+            limit = now - start
+            # Issue every arrival already due, with one clock read for
+            # the whole batch (the batch bound keeps the latency error
+            # below the batch's own processing time, microseconds against
+            # millisecond-scale percentiles).
+            batch_end = i + 64
+            if batch_end > total:
+                batch_end = total
+            j = i
+            while j < batch_end:
+                offset, index = plan[j]
+                if offset > limit:
+                    break
+                record = records.get(index)
+                if record is None:
+                    record = record_for(index, key_for)
+                url_key = record[1]
+                response = cache_get(url_key)
+                if response is not None:
+                    hits += 1
+                    latency = limit - offset
+                    if latency <= 0.0:
+                        latency = 0.0
+                        ns = 0
+                    else:
+                        ns = int(latency * 1e9)
+                    if ns < 16:
+                        bucket = ns
+                    else:
+                        length = ns.bit_length()
+                        bucket = ((length - 4) << 4) | (
+                            (ns >> (length - 5)) & 15
+                        )
+                    bucket_counts[bucket] = bucket_counts.get(bucket, 0) + 1
+                    hit_count += 1
+                    hit_sum += latency
+                    if latency > hit_max:
+                        hit_max = latency
+                else:
+                    def on_done(
+                        _response: object, scheduled: float = start + offset
+                    ) -> None:
+                        miss_latency = time_fn() - scheduled
+                        record_latency(
+                            miss_latency if miss_latency > 0 else 0.0
+                        )
+
+                    submit_miss(
+                        url_key, lambda request=record[2]: request, on_done
+                    )
+                j += 1
+            if j > i:
+                count = j - i
+                issued += count
+                since_yield += count
+                since_sample += count
+                i = j
+                if since_sample >= sample_every:
+                    since_sample = 0
+                    depth_samples.append(gateway.queue_depth)
+                if since_yield >= yield_every:
+                    since_yield = 0
+                    if queue_size():
+                        # Yield so the workers can drain the very
+                        # backlog we are measuring.
+                        await asyncio.sleep(0)
+                continue
+            # The next arrival is in the future: sleep up to it, or spin
+            # through the scheduler if it is imminent.
+            wait = plan[i][0] - limit
+            if wait > sleep_floor:
+                await asyncio.sleep(wait)
+            elif queue_size():
+                await asyncio.sleep(0)
+
+        # Fold the batched hit counting into the gateway's books so its
+        # stats read exactly as if try_hit had run per arrival, and the
+        # inline bucket tallies into the histogram's totals.
+        gateway.stats.requests += issued
+        gateway.stats.hits += hits
+        gateway.site.stats.requests += issued
+        gateway.site.stats.page_cache_hits += hits
+        histogram.count += hit_count
+        histogram.sum_seconds += hit_sum
+        if hit_max > histogram.max_seconds:
+            histogram.max_seconds = hit_max
+
+        if drain:
+            await gateway.join()
+        elapsed = time_fn() - start
+        misses = gateway.stats.misses - misses_before
+        shed = gateway.stats.shed - shed_before
+        completed = hits + (misses if drain else 0)
+        return OpenLoopResult(
+            offered_rps=self.schedule.mean_rate,
+            achieved_rps=completed / elapsed if elapsed > 0 else 0.0,
+            duration_seconds=elapsed,
+            completed=completed,
+            hits=hits,
+            misses=misses,
+            shed=shed,
+            queue_depth_peak=self.gateway.stats.queue_depth_peak,
+            queue_depth_samples=depth_samples,
+            histogram=histogram,
+        )

@@ -1,0 +1,164 @@
+"""Serving-tier metrics: cheap latency histograms and the curve schema.
+
+Recording a latency must cost well under a microsecond — at 100k req/s
+the histogram is touched on every request the gateway serves — so
+:class:`LatencyHistogram` uses HDR-style log-linear buckets over integer
+nanoseconds: the bucket index comes from the value's bit length plus its
+top four mantissa bits (a shift and a mask, no floats, no bisect).
+Relative quantization error is bounded by 1/16 ≈ 6%, far below run-to-run
+noise at the tail.
+
+:func:`curve_point` is the one row schema shared by every req/s × latency
+curve in the repo — the measured sweeps of ``benchmarks/bench_serving.py``
+and the simulated arms of ``bench_request_rate_sweep.py`` — so the two
+can be plotted side by side from one JSON file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: Sub-buckets per octave: 4 mantissa bits.
+_SUB_BITS = 4
+_SUB = 1 << _SUB_BITS
+
+
+class LatencyHistogram:
+    """Log-linear histogram of latencies (seconds in, seconds out).
+
+    Values are quantized to integer nanoseconds and bucketed by
+    ``(bit_length, top 4 mantissa bits)``.  Exact count, sum, and max are
+    kept alongside, so means and totals are not quantized.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+        self.count = 0
+        self.sum_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        ns = int(seconds * 1e9)
+        if ns < _SUB:
+            index = ns if ns > 0 else 0
+        else:
+            length = ns.bit_length()
+            index = (
+                (length - _SUB_BITS) << _SUB_BITS
+            ) | ((ns >> (length - 1 - _SUB_BITS)) & (_SUB - 1))
+        self._counts[index] = self._counts.get(index, 0) + 1
+        self.count += 1
+        self.sum_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    @staticmethod
+    def _bucket_mid_ns(index: int) -> float:
+        if index < _SUB:
+            return float(index)
+        length = (index >> _SUB_BITS) + _SUB_BITS
+        sub = index & (_SUB - 1)
+        low = (_SUB + sub) << (length - 1 - _SUB_BITS)
+        width = 1 << (length - 1 - _SUB_BITS)
+        return low + width / 2.0
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        for index, count in other._counts.items():
+            self._counts[index] = self._counts.get(index, 0) + count
+        self.count += other.count
+        self.sum_seconds += other.sum_seconds
+        self.max_seconds = max(self.max_seconds, other.max_seconds)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.sum_seconds / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0 < q <= 100) in seconds; 0.0 when empty."""
+        if not self.count:
+            return 0.0
+        if not 0.0 < q <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {q}")
+        rank = q / 100.0 * self.count
+        seen = 0
+        for index in sorted(self._counts):
+            seen += self._counts[index]
+            if seen >= rank:
+                return self._bucket_mid_ns(index) / 1e9
+        return self.max_seconds
+
+    def percentiles_ms(self) -> Dict[str, float]:
+        """The serving-tier headline numbers, in milliseconds."""
+        return {
+            "p50_ms": self.percentile(50.0) * 1e3,
+            "p95_ms": self.percentile(95.0) * 1e3,
+            "p99_ms": self.percentile(99.0) * 1e3,
+            "p999_ms": self.percentile(99.9) * 1e3,
+        }
+
+
+def curve_point(
+    *,
+    source: str,
+    arm: str,
+    offered_rps: float,
+    achieved_rps: float,
+    p50_ms: Optional[float],
+    p95_ms: Optional[float],
+    p99_ms: Optional[float],
+    p999_ms: Optional[float],
+    hit_ratio: Optional[float] = None,
+    completed: Optional[int] = None,
+    queue_depth_peak: Optional[int] = None,
+    stale_serves: Optional[int] = None,
+    **extra: object,
+) -> Dict[str, object]:
+    """One point of a req/s × latency curve, measured or simulated.
+
+    ``source`` is ``"measured"`` or ``"simulated"``; ``arm`` names the
+    configuration (e.g. ``"async-inv-on"``, ``"config3-sim"``).  Extra
+    keyword fields ride along untouched.
+    """
+    row: Dict[str, object] = {
+        "source": source,
+        "arm": arm,
+        "offered_rps": round(offered_rps, 3),
+        "achieved_rps": round(achieved_rps, 3),
+        "p50_ms": p50_ms,
+        "p95_ms": p95_ms,
+        "p99_ms": p99_ms,
+        "p999_ms": p999_ms,
+    }
+    if hit_ratio is not None:
+        row["hit_ratio"] = round(hit_ratio, 4)
+    if completed is not None:
+        row["completed"] = completed
+    if queue_depth_peak is not None:
+        row["queue_depth_peak"] = queue_depth_peak
+    if stale_serves is not None:
+        row["stale_serves"] = stale_serves
+    row.update(extra)
+    return row
+
+
+def sim_curve_point(
+    arm: str, offered_rps: float, stats: "object", **extra: object
+) -> Dict[str, object]:
+    """Adapt a :class:`repro.sim.metrics.ResponseStats` to the schema.
+
+    The simulator's closed-form arms report the same percentile keys as
+    the measured gateway sweeps, so both curves share one JSON layout.
+    """
+    return curve_point(
+        source="simulated",
+        arm=arm,
+        offered_rps=offered_rps,
+        achieved_rps=offered_rps,
+        p50_ms=stats.p50_ms,
+        p95_ms=stats.p95_ms,
+        p99_ms=stats.p99_ms,
+        p999_ms=stats.p999_ms,
+        hit_ratio=stats.hit_ratio,
+        completed=stats.completed,
+        **extra,
+    )

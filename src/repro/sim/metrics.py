@@ -108,6 +108,14 @@ class ResponseStats:
         return self.percentile_ms(95.0)
 
     @property
+    def p99_ms(self) -> Optional[float]:
+        return self.percentile_ms(99.0)
+
+    @property
+    def p999_ms(self) -> Optional[float]:
+        return self.percentile_ms(99.9)
+
+    @property
     def completed(self) -> int:
         return len(self.samples)
 

@@ -281,6 +281,26 @@ class EjectBus:
             time.sleep(0.001)
         return self.outstanding == 0
 
+    async def drain_async(self, timeout: float = 5.0, interval: float = 0.002) -> bool:
+        """Cooperative :meth:`drain` for event-loop callers.
+
+        The async gateway's graceful shutdown must flush in-flight eject
+        deliveries without blocking its event loop (hits are still being
+        served while the miss lane winds down), so this variant pumps due
+        work and *yields* between checks instead of sleeping the thread.
+        """
+        import asyncio
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.outstanding == 0:
+                return True
+            if not self._running:
+                self.pump()
+            await asyncio.sleep(interval)
+        return self.outstanding == 0
+
     # -- the delivery loop -----------------------------------------------------------
 
     def _run(self) -> None:

@@ -39,11 +39,16 @@ class ApplicationServer:
         self.servlets.register(servlet)
 
     def set_driver_url(self, driver_url: str) -> None:
-        """Re-point the pool at a different driver (e.g. the query logger)."""
+        """Re-point the pool at a different driver (e.g. the query logger).
+
+        The existing pool is retargeted in place rather than replaced, so
+        connections loaned out mid-request can no longer be silently
+        abandoned: retargeting while requests are in flight raises
+        :class:`~repro.errors.InterfaceError` instead of leaving those
+        requests running against the stale driver.
+        """
+        self.pool.retarget(driver_url)
         self.driver_url = driver_url
-        self.pool = ConnectionPool(
-            f"{self.name}-pool", self.database, self.pool.size, driver_url
-        )
 
     def handle(self, request: HttpRequest) -> HttpResponse:
         """Dispatch one request to its servlet and return the page."""

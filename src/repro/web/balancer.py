@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import enum
+import itertools
 from typing import List, Sequence
 
 from repro.errors import WebError
@@ -27,15 +28,16 @@ class LoadBalancer:
             raise WebError("load balancer needs at least one server")
         self.servers: List[WebServer] = list(servers)
         self.policy = policy
-        self._next = 0
+        # itertools.count: advancing is a single C-level step, so
+        # round-robin stays fair when the async gateway dispatches from
+        # several worker threads (a += would lose updates).
+        self._next = itertools.count()
         self.dispatched = 0
 
     def pick(self) -> WebServer:
         """Choose the server for the next request under the policy."""
         if self.policy is BalancingPolicy.ROUND_ROBIN:
-            server = self.servers[self._next % len(self.servers)]
-            self._next += 1
-            return server
+            return self.servers[next(self._next) % len(self.servers)]
         # Least connections: fewest in-flight requests, ties by order.
         return min(self.servers, key=lambda server: server.in_flight)
 

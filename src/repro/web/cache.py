@@ -14,6 +14,7 @@ protocol:
 from __future__ import annotations
 
 import random
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
@@ -82,6 +83,18 @@ class CacheStats:
 class WebCache:
     """LRU page cache with the eject protocol.
 
+    Concurrency contract: every public method is safe to call from any
+    thread.  Lookups, stores, ejects, and expiry all mutate shared state
+    (the LRU order and the ``CacheStats.bytes_used`` gauge) and are
+    serialized on one internal re-entrant lock; without it, a hit racing
+    an eject interleaves the read-modify-write on ``bytes_used`` and the
+    gauge drifts from the true resident total (see
+    ``tests/serve/test_cache_concurrency.py``).  The lock is held only
+    for dictionary book-keeping — never across servlet or database work —
+    so the async gateway can serve hits on its event loop while miss
+    completions store pages from worker threads.  ``on_evict`` hooks run
+    with the lock held; they must not call back into the cache.
+
     Args:
         capacity: maximum number of cached pages (the paper's
             ``cache_size`` parameter).
@@ -114,11 +127,13 @@ class WebCache:
         self.default_ttl = default_ttl
         self._clock = clock or (lambda: 0.0)
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._lock = threading.RLock()
         self.on_evict = on_evict
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def bytes_used(self) -> int:
@@ -126,29 +141,46 @@ class WebCache:
         return self.stats.bytes_used
 
     def __contains__(self, url_key: str) -> bool:
-        return url_key in self._entries
+        with self._lock:
+            return url_key in self._entries
 
     def keys(self) -> List[str]:
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
+
+    def _charge_bytes(self, delta: int) -> None:
+        """Adjust the resident-bytes gauge; callers hold ``_lock``.
+
+        A dedicated seam rather than inline ``+=`` so the concurrency
+        stress test can instrument the read-modify-write and demonstrate
+        the lost-update corruption the lock prevents.
+        """
+        self.stats.bytes_used = self.stats.bytes_used + delta
 
     # -- lookups ----------------------------------------------------------------
 
     def get(self, url_key: str) -> Optional[HttpResponse]:
         """Fetch a page, honouring expiry; None on miss."""
-        entry = self._entries.get(url_key)
-        now = self._clock()
-        if entry is not None and entry.expires_at is not None and now >= entry.expires_at:
-            del self._entries[url_key]
-            self.stats.bytes_used -= entry.size_bytes
-            self.stats.expirations += 1
-            entry = None
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        entry.hits += 1
-        self.stats.hits += 1
-        self._entries.move_to_end(url_key)
-        return entry.response
+        with self._lock:
+            entry = self._entries.get(url_key)
+            # Clock reads are not free at hit-tier rates; only entries
+            # with a TTL need one.
+            if (
+                entry is not None
+                and entry.expires_at is not None
+                and self._clock() >= entry.expires_at
+            ):
+                del self._entries[url_key]
+                self._charge_bytes(-entry.size_bytes)
+                self.stats.expirations += 1
+                entry = None
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            entry.hits += 1
+            self.stats.hits += 1
+            self._entries.move_to_end(url_key)
+            return entry.response
 
     # -- stores -------------------------------------------------------------------
 
@@ -183,36 +215,38 @@ class WebCache:
         """
         if self.capacity_bytes is not None and entry.size_bytes > self.capacity_bytes:
             return False
-        url_key = entry.url_key
-        previous = self._entries.get(url_key)
-        if previous is not None:
-            self.stats.bytes_used -= previous.size_bytes
-            self._entries.move_to_end(url_key)
-        self._entries[url_key] = entry
-        self.stats.bytes_used += entry.size_bytes
-        self.stats.stores += 1
-        while len(self._entries) > self.capacity or (
-            self.capacity_bytes is not None
-            and self.stats.bytes_used > self.capacity_bytes
-        ):
-            _victim_key, victim = self._entries.popitem(last=False)
-            self.stats.bytes_used -= victim.size_bytes
-            self.stats.bytes_evicted += victim.size_bytes
-            self.stats.evictions += 1
-            if self.on_evict is not None:
-                self.on_evict(victim)
-        return True
+        with self._lock:
+            url_key = entry.url_key
+            previous = self._entries.get(url_key)
+            if previous is not None:
+                self._charge_bytes(-previous.size_bytes)
+                self._entries.move_to_end(url_key)
+            self._entries[url_key] = entry
+            self._charge_bytes(entry.size_bytes)
+            self.stats.stores += 1
+            while len(self._entries) > self.capacity or (
+                self.capacity_bytes is not None
+                and self.stats.bytes_used > self.capacity_bytes
+            ):
+                _victim_key, victim = self._entries.popitem(last=False)
+                self._charge_bytes(-victim.size_bytes)
+                self.stats.bytes_evicted += victim.size_bytes
+                self.stats.evictions += 1
+                if self.on_evict is not None:
+                    self.on_evict(victim)
+            return True
 
     # -- invalidation ----------------------------------------------------------------
 
     def eject(self, url_key: str) -> bool:
         """Remove one page; returns True when it was present."""
-        entry = self._entries.pop(url_key, None)
-        if entry is not None:
-            self.stats.bytes_used -= entry.size_bytes
-            self.stats.ejects += 1
-            return True
-        return False
+        with self._lock:
+            entry = self._entries.pop(url_key, None)
+            if entry is not None:
+                self._charge_bytes(-entry.size_bytes)
+                self.stats.ejects += 1
+                return True
+            return False
 
     def eject_many(self, url_keys: Iterable[str]) -> int:
         return sum(1 for key in url_keys if self.eject(key))
@@ -229,16 +263,19 @@ class WebCache:
         return False
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.stats.bytes_used = 0
+        with self._lock:
+            self._entries.clear()
+            self.stats.bytes_used = 0
 
     def entries(self) -> List[CacheEntry]:
         """Live entries in LRU→MRU order (for snapshots and demotion)."""
-        return list(self._entries.values())
+        with self._lock:
+            return list(self._entries.values())
 
     def peek(self, url_key: str) -> Optional[CacheEntry]:
         """The entry for a key without touching LRU order or stats."""
-        return self._entries.get(url_key)
+        with self._lock:
+            return self._entries.get(url_key)
 
 
 class FlakyCache(WebCache):
@@ -247,6 +284,12 @@ class FlakyCache(WebCache):
 
     Faults apply to :meth:`handle_message` only — lookups and stores stay
     reliable, modelling a cache whose *control* channel is flapping.
+
+    Concurrency contract: inherits :class:`WebCache`'s thread safety; the
+    fault-injection counters (``messages_seen``/``messages_failed``) and
+    the ``rng`` draw are additionally serialized under the same lock so a
+    deterministic ``failure_plan`` sees one coherent attempt sequence
+    even with concurrent eject deliveries.
 
     Args:
         fail_first: raise on this many initial eject messages, then heal.
@@ -289,18 +332,19 @@ class FlakyCache(WebCache):
         self.messages_failed = 0
 
     def handle_message(self, request: HttpRequest, url_key: str) -> bool:
-        self.messages_seen += 1
-        if self.failure_plan is not None:
-            should_fail = self.failure_plan(self.messages_seen)
-        elif self.messages_seen <= self.fail_first:
-            should_fail = True
-        elif self.failure_rate:
-            should_fail = self.rng.random() < self.failure_rate
-        else:
-            should_fail = False
-        if should_fail:
-            self.messages_failed += 1
-            raise ConnectionError(
-                f"injected eject fault #{self.messages_failed} for {url_key}"
-            )
-        return super().handle_message(request, url_key)
+        with self._lock:
+            self.messages_seen += 1
+            if self.failure_plan is not None:
+                should_fail = self.failure_plan(self.messages_seen)
+            elif self.messages_seen <= self.fail_first:
+                should_fail = True
+            elif self.failure_rate:
+                should_fail = self.rng.random() < self.failure_rate
+            else:
+                should_fail = False
+            if should_fail:
+                self.messages_failed += 1
+                raise ConnectionError(
+                    f"injected eject fault #{self.messages_failed} for {url_key}"
+                )
+            return super().handle_message(request, url_key)

@@ -43,6 +43,18 @@ class TestStatus:
         _site, portal = deployed
         json.dumps(portal.status())
 
+    def test_pool_stats_surface_per_appserver(self, deployed):
+        site, portal = deployed
+        site.get("/catalog?max_price=30000")
+        status = portal.status()
+        assert set(status["pools"]) == {server.name for server in site.app_servers}
+        totals = sum(pool["acquisitions"] for pool in status["pools"].values())
+        assert totals >= 1
+        for pool in status["pools"].values():
+            assert pool["in_use"] == 0
+            assert pool["acquire_timeouts"] == 0
+            assert pool["size"] <= pool["max_size"]
+
 
 class TestUpdateDeduplication:
     def test_identical_records_checked_once(self, deployed):

@@ -1,8 +1,11 @@
 """Tests for the DB-API layer and the logging driver wrapper."""
 
+import threading
+import time
+
 import pytest
 
-from repro.errors import InterfaceError
+from repro.errors import InterfaceError, PoolExhausted
 from repro.db import Database, connect
 from repro.db.dbapi import ConnectionPool, Driver, register_driver
 from repro.db.wrapper import LoggingDriver
@@ -121,11 +124,64 @@ class TestConnectionPool:
         pool.release(b)
         assert pool.size == 2
 
-    def test_pool_grows_when_exhausted(self, car_db):
-        pool = ConnectionPool("p", car_db, size=1)
+    def test_pool_grows_to_max_size(self, car_db):
+        pool = ConnectionPool("p", car_db, size=1, max_size=2)
         a = pool.acquire()
-        b = pool.acquire()  # grows
+        b = pool.acquire()  # grows, bounded by max_size
         assert a is not b
+        assert pool.size == 2
+
+    def test_exhausted_acquire_times_out(self, car_db):
+        pool = ConnectionPool("p", car_db, size=1)
+        pool.acquire()
+        with pytest.raises(PoolExhausted):
+            pool.acquire(timeout=0.01)
+        stats = pool.stats()
+        assert stats["acquire_waits"] == 1
+        assert stats["acquire_timeouts"] == 1
+        assert stats["in_use"] == 1
+
+    def test_blocked_acquire_wakes_on_release(self, car_db):
+        pool = ConnectionPool("p", car_db, size=1)
+        held = pool.acquire()
+        got = []
+
+        def waiter():
+            got.append(pool.acquire(timeout=5.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        # Let the waiter block, then release; it must wake and borrow.
+        for _ in range(1000):
+            if pool.acquire_waits:
+                break
+            time.sleep(0.001)
+        pool.release(held)
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert len(got) == 1
+        assert pool.in_use == 1
+
+    def test_retarget_rebuilds_idle_connections(self, car_db):
+        calls = []
+
+        class SpyDriver(Driver):
+            def run(self, database, sql, params):
+                calls.append(sql)
+                return database.execute(sql, params)
+
+        register_driver("retarget-spy", SpyDriver())
+        pool = ConnectionPool("p", car_db, size=2)
+        pool.retarget("repro:retarget-spy:")
+        connection = pool.acquire()
+        connection.execute("SELECT 1")
+        assert calls == ["SELECT 1"]
+
+    def test_retarget_with_in_flight_connections_fails(self, car_db):
+        pool = ConnectionPool("p", car_db, size=1)
+        pool.acquire()
+        with pytest.raises(InterfaceError):
+            pool.retarget("repro:native:")
 
     def test_released_closed_connection_replaced(self, car_db):
         pool = ConnectionPool("p", car_db, size=1)

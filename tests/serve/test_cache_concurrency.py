@@ -1,0 +1,130 @@
+"""Thread-safety of the page caches under concurrent hit/store/eject.
+
+The serving front end runs cache hits on the event loop while miss
+completions and eject deliveries arrive from worker threads, so the
+``CacheStats.bytes_used`` gauge is updated from several threads at once.
+These tests pin the concurrency contract:
+
+* a deterministic two-thread interleaving shows that the *unguarded*
+  read-modify-write loses an update (the pre-lock behaviour), while the
+  shipped lock serializes it;
+* a brute-force stress run checks the gauge never drifts from the sum of
+  resident entry sizes.
+"""
+
+import contextlib
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.web.cache import CacheEntry, WebCache
+from repro.web.http import CacheControl, HttpResponse
+from repro.cluster.shard import CacheShard
+
+
+def make_entry(key: str, size: int) -> CacheEntry:
+    response = HttpResponse(
+        body="x" * size, cache_control=CacheControl.cacheportal_private()
+    )
+    return CacheEntry(url_key=key, response=response, stored_at=0.0, size_bytes=size)
+
+
+class WindowedCharge(WebCache):
+    """A cache whose byte accounting holds the read open across a barrier.
+
+    ``_charge_bytes`` reads the gauge, parks on a two-party barrier, then
+    writes back — so when two threads can be inside it at once (lock
+    disabled) both read the same starting value and one update is lost.
+    With the real lock the second thread cannot enter until the first
+    one's barrier wait times out and its write lands, so the barrier
+    breaks harmlessly and both updates survive.
+    """
+
+    def __init__(self, *args, guarded: bool = True, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.barrier = threading.Barrier(2)
+        if not guarded:
+            self._lock = contextlib.nullcontext()
+
+    def _charge_bytes(self, delta: int) -> None:
+        current = self.stats.bytes_used
+        with contextlib.suppress(threading.BrokenBarrierError):
+            self.barrier.wait(timeout=0.2)
+        self.stats.bytes_used = current + delta
+
+
+def run_concurrent_ejects(cache: WindowedCharge) -> int:
+    cache.admit(make_entry("a", 100))
+    cache.admit(make_entry("b", 50))
+    cache.barrier.reset()
+    threads = [
+        threading.Thread(target=cache.eject, args=("a",)),
+        threading.Thread(target=cache.eject, args=("b",)),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=5.0)
+    assert not any(thread.is_alive() for thread in threads)
+    return cache.stats.bytes_used
+
+
+class TestDeterministicRace:
+    def test_unguarded_ejects_corrupt_bytes_used(self):
+        """The pre-lock cache loses one of two concurrent byte charges."""
+        leaked = run_concurrent_ejects(WindowedCharge(capacity=16, guarded=False))
+        assert leaked != 0  # one eject's -size was overwritten
+
+    def test_locked_ejects_keep_bytes_used_exact(self):
+        assert run_concurrent_ejects(WindowedCharge(capacity=16, guarded=True)) == 0
+
+
+class TestStress:
+    def test_webcache_gauge_matches_resident_entries(self):
+        cache = WebCache(capacity=256)
+        keys = [f"k{i}" for i in range(64)]
+
+        def worker(seed: int) -> None:
+            for step in range(400):
+                key = keys[(seed * 7 + step) % len(keys)]
+                op = (seed + step) % 3
+                if op == 0:
+                    cache.admit(make_entry(key, 10 + (step % 5)))
+                elif op == 1:
+                    cache.get(key)
+                else:
+                    cache.eject(key)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(worker, range(8)))
+
+        assert cache.stats.bytes_used == sum(
+            entry.size_bytes for entry in cache.entries()
+        )
+
+    def test_shard_gauge_matches_both_tiers(self):
+        shard = CacheShard("s0", hot_bytes=2_000, cold_entries=64)
+        response = HttpResponse(
+            body="y" * 120, cache_control=CacheControl.cacheportal_private()
+        )
+        keys = [f"/page?id={i}" for i in range(48)]
+
+        def worker(seed: int) -> None:
+            for step in range(300):
+                key = keys[(seed * 5 + step) % len(keys)]
+                op = (seed + step) % 3
+                if op == 0:
+                    shard.put(key, response)
+                elif op == 1:
+                    shard.get(key)
+                else:
+                    shard.eject(key)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            list(pool.map(worker, range(6)))
+
+        expected_hot = sum(entry.size_bytes for entry in shard.hot.entries())
+        assert shard.hot.bytes_used == expected_hot
+        assert shard.bytes_used == expected_hot + shard._cold_bytes
+        assert shard._cold_bytes == sum(
+            entry.size_bytes for entry in shard._cold.values()
+        )

@@ -1,0 +1,186 @@
+"""Open-loop generator: deterministic schedules, honest histograms."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core import CachePortal
+from repro.errors import ServeError
+from repro.serve import (
+    ArrivalSchedule,
+    AsyncGateway,
+    LatencyHistogram,
+    OpenLoopLoadGenerator,
+    RatePhase,
+    ZipfianPopulation,
+)
+from repro.web import Configuration, build_site
+
+from helpers import car_servlets, make_car_db
+
+
+def make_site():
+    site = build_site(
+        Configuration.WEB_CACHE,
+        car_servlets(),
+        database=make_car_db(),
+        num_servers=2,
+        web_cache_capacity=1 << 20,
+    )
+    # Without the portal's sniffer, responses stay no-cache and the page
+    # cache admits nothing — every serving test wants cacheable pages.
+    CachePortal(site)
+    return site
+
+
+class TestArrivalSchedule:
+    def test_fixed_rate_spacing(self):
+        schedule = ArrivalSchedule.fixed(rate=100.0, duration=1.0)
+        offsets = list(schedule.arrivals())
+        assert len(offsets) == 100
+        gaps = [b - a for a, b in zip(offsets, offsets[1:])]
+        assert all(abs(gap - 0.01) < 1e-9 for gap in gaps)
+
+    def test_burst_alternates_rates(self):
+        schedule = ArrivalSchedule.burst(
+            base_rate=10.0, burst_rate=100.0, base_duration=1.0,
+            burst_duration=0.5, cycles=2,
+        )
+        assert len(schedule.phases) == 4
+        assert schedule.total_arrivals == 10 + 50 + 10 + 50
+        assert schedule.total_duration == pytest.approx(3.0)
+
+    def test_ramp_covers_endpoints(self):
+        schedule = ArrivalSchedule.ramp(
+            start_rate=10.0, end_rate=50.0, steps=5, duration=5.0
+        )
+        rates = [phase.rate for phase in schedule.phases]
+        assert rates[0] == pytest.approx(10.0)
+        assert rates[-1] == pytest.approx(50.0)
+        assert rates == sorted(rates)
+
+    def test_arrivals_are_monotone(self):
+        schedule = ArrivalSchedule.burst(5.0, 50.0, 1.0, 0.2, cycles=3)
+        offsets = list(schedule.arrivals())
+        assert offsets == sorted(offsets)
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ServeError):
+            ArrivalSchedule([])
+        with pytest.raises(ServeError):
+            RatePhase(-1.0, 1.0)
+
+
+class TestZipfianPopulation:
+    def test_skew_favors_head(self):
+        population = ZipfianPopulation(count=1000, s=1.1, seed=7)
+        draws = [population.sample() for _ in range(5000)]
+        head = sum(1 for index in draws if index < 10)
+        assert head > len(draws) * 0.4  # heavy head under s=1.1
+        assert max(draws) < 1000
+
+    def test_seeded_draws_are_reproducible(self):
+        a = ZipfianPopulation(count=500, s=1.0, seed=42)
+        b = ZipfianPopulation(count=500, s=1.0, seed=42)
+        assert [a.sample() for _ in range(100)] == [b.sample() for _ in range(100)]
+
+    def test_records_materialize_lazily(self):
+        population = ZipfianPopulation(
+            count=1_000_000, s=1.2, seed=3, path="/catalog", param="max_price"
+        )
+        site = make_site()
+        gateway = AsyncGateway(site, workers=1)
+        _, url_key, request = population.record_for(0, gateway.key_for)
+        assert "/catalog" in url_key
+        assert request.get_params == {"max_price": "1"}
+        assert len(population._records) == 1  # only the touched index
+
+
+class TestLatencyHistogram:
+    def test_percentiles_track_sorted_reference(self):
+        rng = random.Random(11)
+        values = [rng.expovariate(1000.0) for _ in range(20000)]
+        histogram = LatencyHistogram()
+        for value in values:
+            histogram.record(value)
+        ordered = sorted(values)
+        for q in (50.0, 95.0, 99.0, 99.9):
+            exact = ordered[min(int(q / 100.0 * len(ordered)), len(ordered) - 1)]
+            approx = histogram.percentile(q)
+            assert approx == pytest.approx(exact, rel=0.10)
+
+    def test_merge_equals_combined_stream(self):
+        rng = random.Random(5)
+        first, second = LatencyHistogram(), LatencyHistogram()
+        combined = LatencyHistogram()
+        for i in range(1000):
+            value = rng.uniform(1e-6, 1e-3)
+            (first if i % 2 else second).record(value)
+            combined.record(value)
+        first.merge(second)
+        assert first.count == combined.count
+        assert first.percentile(99.0) == combined.percentile(99.0)
+        assert first.sum_seconds == pytest.approx(combined.sum_seconds)
+
+
+class TestGeneratorDeterminism:
+    def _generator(self, site, rate=200.0, duration=0.5, seed=99, s=1.1):
+        gateway = AsyncGateway(site, workers=2)
+        population = ZipfianPopulation(
+            count=10_000, s=s, seed=seed, path="/catalog", param="max_price"
+        )
+        schedule = ArrivalSchedule.fixed(rate=rate, duration=duration)
+        return gateway, OpenLoopLoadGenerator(gateway, population, schedule)
+
+    def test_seeded_plan_is_deterministic(self):
+        site = make_site()
+        _, gen_a = self._generator(site, seed=99)
+        _, gen_b = self._generator(site, seed=99)
+        assert gen_a.plan() == gen_b.plan()
+        _, gen_c = self._generator(site, seed=100)
+        assert gen_a.plan() != gen_c.plan()
+
+    def test_run_completes_the_whole_schedule(self):
+        site = make_site()
+        gateway, generator = self._generator(site, rate=400.0, duration=0.25)
+
+        async def drive():
+            async with gateway:
+                return await generator.run()
+
+        result = asyncio.run(drive())
+        assert result.completed == generator.schedule.total_arrivals
+        assert result.hits + result.misses == result.completed
+        assert result.shed == 0
+        assert result.histogram.count == result.completed
+        assert result.achieved_rps > 0
+
+    def test_zipfian_reruns_become_hit_dominated(self):
+        """Once the head of the population is cached, hits dominate."""
+        site = make_site()
+        gateway, generator = self._generator(site, rate=400.0, duration=0.25, s=1.5)
+
+        async def drive():
+            async with gateway:
+                await generator.run()  # warm the head
+                generator.schedule = ArrivalSchedule.fixed(400.0, 0.25)
+                return await generator.run()
+
+        result = asyncio.run(drive())
+        assert result.hit_ratio > 0.6
+
+    def test_curve_point_schema(self):
+        site = make_site()
+        gateway, generator = self._generator(site, rate=200.0, duration=0.1)
+
+        async def drive():
+            async with gateway:
+                return await generator.run()
+
+        row = asyncio.run(drive()).curve_point("async-smoke", workers=2)
+        assert row["source"] == "measured"
+        assert row["arm"] == "async-smoke"
+        for key in ("offered_rps", "achieved_rps", "p50_ms", "p99_ms", "p999_ms"):
+            assert key in row
+        assert row["workers"] == 2

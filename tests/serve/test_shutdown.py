@@ -1,0 +1,128 @@
+"""Graceful shutdown: the gateway drains work instead of dropping it.
+
+Two things must survive a stop: every queued miss (its page generated,
+its waiter resolved) and every in-flight eject delivery (no cache left
+holding a page the invalidator already condemned).
+"""
+
+import asyncio
+
+from repro.core import CachePortal
+from repro.serve import AsyncGateway
+from repro.stream import EjectBus, StreamingInvalidationPipeline
+from repro.web import Configuration, build_site
+from repro.web.http import HttpRequest
+
+from helpers import car_servlets, make_car_db
+
+
+def make_portal_site():
+    site = build_site(
+        Configuration.WEB_CACHE,
+        car_servlets(),
+        database=make_car_db(),
+        num_servers=2,
+        web_cache_capacity=1 << 20,
+    )
+    portal = CachePortal(site)
+    return site, portal
+
+
+class TestMissDrain:
+    def test_stop_completes_every_queued_miss(self):
+        """stop(drain=True) finishes the backlog before tearing down."""
+        site, _ = make_portal_site()
+        urls = [f"/catalog?max_price={18000 + 500 * i}" for i in range(8)]
+        done = []
+
+        async def drive():
+            gateway = AsyncGateway(site, workers=2)
+            await gateway.start()
+            for url in urls:
+                request = HttpRequest.from_url(url)
+                key = gateway.key_for(request)
+                gateway.submit_miss(
+                    key,
+                    lambda request=request: request,
+                    lambda response: done.append(response),
+                )
+            # Stop immediately: the queue is still full of misses.
+            await gateway.stop()
+            return gateway
+
+        gateway = asyncio.run(drive())
+        assert len(done) == len(urls)
+        assert all(response.status == 200 for response in done)
+        assert len(site.web_cache) == len(urls)
+        assert gateway.stats.misses == len(urls)
+        assert gateway.queue_depth == 0
+
+    def test_stop_without_drain_abandons_backlog(self):
+        """The non-graceful arm exists and is honest about what it drops."""
+        site, _ = make_portal_site()
+        done = []
+
+        async def drive():
+            gateway = AsyncGateway(site, workers=1)
+            await gateway.start()
+            for i in range(6):
+                request = HttpRequest.from_url(f"/catalog?max_price={19000 + i}")
+                gateway.submit_miss(
+                    gateway.key_for(request),
+                    lambda request=request: request,
+                    lambda response: done.append(response),
+                )
+            await gateway.stop(drain=False)
+
+        asyncio.run(drive())
+        assert len(done) < 6  # some queued work was (deliberately) dropped
+
+
+class TestEjectDrain:
+    def test_stop_flushes_inflight_eject_deliveries(self):
+        """Ejects published before stop are delivered, not lost."""
+        site, _ = make_portal_site()
+        site.get("/catalog?max_price=21000")
+        site.get("/efficient?min_epa=30")
+        keys = sorted(site.web_cache.keys())
+        assert len(keys) == 2
+
+        bus = EjectBus()
+        bus.register("page-cache", site.web_cache)
+
+        async def drive():
+            gateway = AsyncGateway(site, workers=1, bus=bus, pump_interval=0.5)
+            await gateway.start()
+            # Publish with the pump interval too long to fire during the
+            # test: only the stop-time drain can deliver these.
+            bus.publish(keys)
+            await gateway.stop()
+
+        asyncio.run(drive())
+        assert bus.outstanding == 0
+        assert len(site.web_cache) == 0
+
+    def test_stop_runs_final_invalidation_tick(self):
+        """A pending DB update is applied to the cache before shutdown:
+        the stop-time tick runs the full streaming pipeline once more."""
+        site, portal = make_portal_site()
+        old = site.get("/catalog?max_price=30000")
+        assert "Rio" not in old.body
+        pipeline = StreamingInvalidationPipeline.for_portal(site and portal)
+        pipeline.process_available()  # map the page before the update
+
+        async def drive():
+            gateway = AsyncGateway(
+                site,
+                workers=1,
+                tick=pipeline.process_available,
+                tick_interval=30.0,  # never fires mid-test; only at stop
+            )
+            await gateway.start()
+            site.database.execute("INSERT INTO car VALUES ('Kia', 'Rio', 14000)")
+            await gateway.stop()
+
+        asyncio.run(drive())
+        # The condemned page is gone; regeneration sees the new row.
+        fresh = site.get("/catalog?max_price=30000")
+        assert "Rio" in fresh.body
