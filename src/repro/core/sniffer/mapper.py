@@ -43,6 +43,16 @@ class RequestToQueryMapper:
         self.pairs_written = 0
         #: Pairs written through the exact token join (vs interval join).
         self.token_pairs = 0
+        #: Tokened queries held back because their request record had
+        #: not yet been delivered when their log was drained, keyed by
+        #: the server's position in the ``run()`` log lists.  A request
+        #: record is only appended at *delivery*, so a mapping round
+        #: racing an in-flight miss can drain a query before its
+        #: request lands; dropping it would under-map (stale page never
+        #: invalidated).  Held records rejoin the next round's batch.
+        self._held: Dict[int, List[QueryLogRecord]] = {}
+        #: Tokened queries currently held back, across all servers.
+        self.queries_held = 0
 
     def run(
         self, request_logs: List[RequestLog], query_logs: List[QueryLog]
@@ -52,7 +62,9 @@ class RequestToQueryMapper:
         The mapper runs at regular intervals on fetched logs (§2.4); each
         run consumes the records accumulated since the last one.  Request
         and query logs must come from the same server pairing, in the same
-        order, so intervals compare on a common clock.
+        order **on every run**, so intervals compare on a common clock and
+        tokened queries held back for an in-flight request rejoin the
+        right server's next batch.
 
         Raises:
             ValueError: when the lists differ in length — a silent
@@ -66,25 +78,53 @@ class RequestToQueryMapper:
                 f"{len(query_logs)} query log(s)"
             )
         written = 0
-        for request_log, query_log in zip(request_logs, query_logs):
+        for server, (request_log, query_log) in enumerate(
+            zip(request_logs, query_logs)
+        ):
+            # Request log first: its drain is the cutoff that decides
+            # which tokened queries can still be waiting on a request.
             requests = request_log.drain()
             queries = query_log.drain()
-            written += self._map_batch(requests, queries)
+            held = self._held.pop(server, None)
+            if held:
+                queries = held + queries
+            written += self._map_batch(requests, queries, server)
+        self.queries_held = sum(len(held) for held in self._held.values())
         return written
 
     def _map_batch(
-        self, requests: List[RequestLogRecord], queries: List[QueryLogRecord]
+        self,
+        requests: List[RequestLogRecord],
+        queries: List[QueryLogRecord],
+        server: int = 0,
     ) -> int:
         # Sort queries once; tokened records index by token for the exact
         # join, the rest scan per request with binary-search bounds.
         queries = sorted(queries, key=_query_order)
+        request_tokens = {
+            request.request_token
+            for request in requests
+            if request.request_token is not None
+        }
         by_token: Dict[int, List[QueryLogRecord]] = {}
         untokened: List[QueryLogRecord] = []
+        held: List[QueryLogRecord] = []
         for record in queries:
             if record.request_token is not None:
-                by_token.setdefault(record.request_token, []).append(record)
+                if record.request_token in request_tokens:
+                    by_token.setdefault(record.request_token, []).append(record)
+                else:
+                    # The request record lands only at delivery, so a
+                    # token with no request in this batch means the
+                    # request is still in flight — queries are logged
+                    # strictly before their request, never after it has
+                    # been drained.  Hold the query for the round where
+                    # its request arrives instead of dropping it.
+                    held.append(record)
             else:
                 untokened.append(record)
+        if held:
+            self._held.setdefault(server, []).extend(held)
         untokened_times = [record.receive_time for record in untokened]
         written = 0
         for request in requests:

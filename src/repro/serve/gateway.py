@@ -33,7 +33,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from repro.errors import RoutingError, ServeError
+from repro.errors import PoolExhausted, RoutingError, ServeError
 from repro.web.http import HttpRequest, HttpResponse
 from repro.web.site import Site
 from repro.web.urlkey import page_key
@@ -48,6 +48,7 @@ class GatewayStats:
     misses: int = 0
     coalesced: int = 0
     shed: int = 0
+    worker_errors: int = 0
     queue_depth_peak: int = 0
     bus_pumps: int = 0
     ticks: int = 0
@@ -131,32 +132,50 @@ class AsyncGateway:
         With ``drain`` (the default) every queued miss is completed and —
         when a bus or tick is attached — every published eject is
         delivered before workers are torn down, so shutdown loses no
-        pages and no invalidations.
+        pages and no invalidations.  If the backlog does not drain
+        within ``timeout`` seconds the remaining work is abandoned and
+        teardown proceeds anyway: stop() never leaves the gateway
+        half-alive.
         """
         if not self._running:
             return
-        if drain:
-            await asyncio.wait_for(self._queue.join(), timeout=timeout)
-            if self.tick is not None:
-                self.tick()
-                self.stats.ticks += 1
-            if self.bus is not None:
-                await self.bus.drain_async(timeout=timeout)
-        self._running = False
-        if drain:
-            for _ in self._worker_tasks:
-                self._queue.put_nowait(None)  # sentinel per worker
-        else:
-            # Non-graceful: abandon the backlog instead of finishing it.
-            for task in self._worker_tasks:
+        drained = False
+        try:
+            if drain:
+                try:
+                    await asyncio.wait_for(self._queue.join(), timeout=timeout)
+                    drained = True
+                except asyncio.TimeoutError:
+                    # A wedged miss lane must not leave the gateway
+                    # half-alive: give up on the backlog and fall
+                    # through to the hard teardown below.
+                    pass
+                if drained:
+                    if self.tick is not None:
+                        self.tick()
+                        self.stats.ticks += 1
+                    if self.bus is not None:
+                        await self.bus.drain_async(timeout=timeout)
+        finally:
+            # Teardown runs no matter how the drain went (timeout, tick
+            # failure, bus failure): _running flips, every task is
+            # joined or cancelled, and the executor is shut down.
+            self._running = False
+            if drained:
+                for _ in self._worker_tasks:
+                    self._queue.put_nowait(None)  # sentinel per worker
+            else:
+                # Non-graceful (or drain timed out): abandon the
+                # backlog instead of finishing it.
+                for task in self._worker_tasks:
+                    task.cancel()
+            await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+            for task in self._background_tasks:
                 task.cancel()
-        await asyncio.gather(*self._worker_tasks, return_exceptions=True)
-        for task in self._background_tasks:
-            task.cancel()
-        await asyncio.gather(*self._background_tasks, return_exceptions=True)
-        self._worker_tasks.clear()
-        self._background_tasks.clear()
-        self._executor.shutdown(wait=True)
+            await asyncio.gather(*self._background_tasks, return_exceptions=True)
+            self._worker_tasks.clear()
+            self._background_tasks.clear()
+            self._executor.shutdown(wait=True)
 
     async def __aenter__(self) -> "AsyncGateway":
         await self.start()
@@ -256,9 +275,14 @@ class AsyncGateway:
         if cached is not None:
             return cached
         future: asyncio.Future = self._loop.create_future()
-        accepted = self.submit_miss(
-            url_key, lambda: request, lambda response: future.set_result(response)
-        )
+
+        def deliver(response: HttpResponse) -> None:
+            # The caller may have been cancelled while the miss was in
+            # flight; a done future must not blow up the worker loop.
+            if not future.done():
+                future.set_result(response)
+
+        accepted = self.submit_miss(url_key, lambda: request, deliver)
         if not accepted:
             return HttpResponse(status=503, body="miss queue full")
         return await future
@@ -277,19 +301,40 @@ class AsyncGateway:
                 return
             url_key, request_factory = item
             try:
-                request = request_factory()
-                response = await self._loop.run_in_executor(
-                    self._executor, self.site.balancer.handle, request
-                )
-                # Store, then release the coalesced waiters — all on the
-                # loop thread, so cache locks stay uncontended and
-                # callers never observe torn state.  The store precedes
-                # the pending-pop: an arrival between the two hits the
-                # cache instead of starting a redundant regeneration.
-                self.site.web_cache.put(url_key, response)
+                try:
+                    request = request_factory()
+                    response = await self._loop.run_in_executor(
+                        self._executor, self.site.balancer.handle, request
+                    )
+                    # Store, then release the coalesced waiters — all on
+                    # the loop thread, so cache locks stay uncontended
+                    # and callers never observe torn state.  The store
+                    # precedes the pending-pop: an arrival between the
+                    # two hits the cache instead of starting a redundant
+                    # regeneration.
+                    self.site.web_cache.put(url_key, response)
+                except Exception as exc:
+                    # A failed regeneration must not kill this worker —
+                    # that would silently shrink miss concurrency and
+                    # leave the _pending entry stranded, so every later
+                    # miss on this key would coalesce onto waiters that
+                    # are never called.  Turn the failure into a
+                    # response for the waiters and keep consuming.
+                    # PoolExhausted is the expected overload signal and
+                    # maps to 503 (back-pressure); anything else is 500.
+                    self.stats.worker_errors += 1
+                    status = 503 if isinstance(exc, PoolExhausted) else 500
+                    response = HttpResponse(
+                        status=status, body=f"{type(exc).__name__}: {exc}"
+                    )
                 waiters = self._pending.pop(url_key, ())
                 for on_done in waiters:
-                    on_done(response)
+                    try:
+                        on_done(response)
+                    except Exception:
+                        # One broken callback must not strand the other
+                        # waiters or take the worker down with it.
+                        self.stats.worker_errors += 1
             finally:
                 self._queue.task_done()
 

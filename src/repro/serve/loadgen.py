@@ -279,8 +279,10 @@ class OpenLoopLoadGenerator:
         to locals, hit/request counters are accumulated in plain ints and
         folded into the gateway's stats once at the end (the totals are
         identical, the per-arrival attribute churn is not), and the loop
-        yields to the scheduler only when misses are actually queued — a
-        pure hit stream never needs the worker tasks to run.
+        yields to the scheduler every ``yield_every`` arrivals whenever
+        misses are queued *or* a bus/tick task is attached — a pure hit
+        stream on a bare gateway never needs the worker tasks to run,
+        but an attached invalidation pump must not be starved by one.
         """
         loop = asyncio.get_running_loop()
         histogram = LatencyHistogram()
@@ -294,6 +296,13 @@ class OpenLoopLoadGenerator:
         if gateway._queue is None:
             raise ServeError("gateway must be started before run()")
 
+        # queue_depth_peak is a max, not a sum, so it cannot be
+        # delta-corrected like misses/shed: zero it for the run and
+        # restore the cumulative max afterwards, so back-to-back runs on
+        # one gateway each report their own peak.
+        depth_peak_before = gateway.stats.queue_depth_peak
+        gateway.stats.queue_depth_peak = 0
+
         # Local bindings for the per-arrival path.
         time_fn = loop.time
         cache_get = gateway.site.web_cache.get
@@ -303,6 +312,11 @@ class OpenLoopLoadGenerator:
         submit_miss = gateway.submit_miss
         record_latency = histogram.record
         queue_size = gateway._queue.qsize
+        # With a bus pump or invalidation tick attached, the generator
+        # must yield even on a pure hit stream — those tasks only run
+        # when the loop gets control, and starving them during a burst
+        # delays invalidation (stale serves) for the burst's duration.
+        always_yield = gateway.bus is not None or gateway.tick is not None
         sleep_floor = self.sleep_floor
         yield_every = self.yield_every
         sample_every = self.sample_every
@@ -386,9 +400,10 @@ class OpenLoopLoadGenerator:
                     depth_samples.append(gateway.queue_depth)
                 if since_yield >= yield_every:
                     since_yield = 0
-                    if queue_size():
+                    if always_yield or queue_size():
                         # Yield so the workers can drain the very
-                        # backlog we are measuring.
+                        # backlog we are measuring (and, when attached,
+                        # the bus pump and tick tasks keep running).
                         await asyncio.sleep(0)
                 continue
             # The next arrival is in the future: sleep up to it, or spin
@@ -396,7 +411,7 @@ class OpenLoopLoadGenerator:
             wait = plan[i][0] - limit
             if wait > sleep_floor:
                 await asyncio.sleep(wait)
-            elif queue_size():
+            elif always_yield or queue_size():
                 await asyncio.sleep(0)
 
         # Fold the batched hit counting into the gateway's books so its
@@ -417,6 +432,9 @@ class OpenLoopLoadGenerator:
         misses = gateway.stats.misses - misses_before
         shed = gateway.stats.shed - shed_before
         completed = hits + (misses if drain else 0)
+        run_depth_peak = gateway.stats.queue_depth_peak
+        if depth_peak_before > gateway.stats.queue_depth_peak:
+            gateway.stats.queue_depth_peak = depth_peak_before
         return OpenLoopResult(
             offered_rps=self.schedule.mean_rate,
             achieved_rps=completed / elapsed if elapsed > 0 else 0.0,
@@ -425,7 +443,7 @@ class OpenLoopLoadGenerator:
             hits=hits,
             misses=misses,
             shed=shed,
-            queue_depth_peak=self.gateway.stats.queue_depth_peak,
+            queue_depth_peak=run_depth_peak,
             queue_depth_samples=depth_samples,
             histogram=histogram,
         )

@@ -186,6 +186,51 @@ class TestMapper:
         assert len(m) == 0
         assert len(requests) == 1 and len(queries) == 1
 
+    def test_tokened_query_held_until_request_arrives(self):
+        """A mapping round racing an in-flight miss can drain a query
+        before its request record lands (requests log at *delivery*);
+        the query must be held for the next round, not dropped."""
+        m = QIURLMap()
+        mapper = RequestToQueryMapper(m)
+        requests, queries = RequestLog(), QueryLog()
+        queries.append(
+            QueryLogRecord(1, "SELECT 1", 5.0, 6.0, 0, request_token=77)
+        )
+        mapper.run([requests], [queries])  # tick fires mid-request
+        assert len(m) == 0
+        assert mapper.queries_held == 1
+        # Next round: the request has been delivered and logged.
+        requests.append(
+            RequestLogRecord(
+                1, "catalog", "url1", "url1", "", "", 0.0, 10.0, True,
+                request_token=77,
+            )
+        )
+        written = mapper.run([requests], [queries])
+        assert written == 1
+        assert m.all_entries()[0].url_key == "url1"
+        assert mapper.queries_held == 0
+        assert mapper.token_pairs == 1
+
+    def test_tokened_query_for_non_cacheable_request_not_held(self):
+        """Once the (non-cacheable) request arrives, its queries are
+        consumed and skipped — not held forever."""
+        m = QIURLMap()
+        mapper = RequestToQueryMapper(m)
+        requests, queries = RequestLog(), QueryLog()
+        requests.append(
+            RequestLogRecord(
+                1, "catalog", "url1", "url1", "", "", 0.0, 10.0, False,
+                request_token=5,
+            )
+        )
+        queries.append(
+            QueryLogRecord(1, "SELECT 1", 5.0, 6.0, 0, request_token=5)
+        )
+        mapper.run([requests], [queries])
+        assert len(m) == 0
+        assert mapper.queries_held == 0
+
     def test_pairs_written_counter(self):
         m = QIURLMap()
         mapper = RequestToQueryMapper(m)

@@ -170,6 +170,65 @@ class TestGeneratorDeterminism:
         result = asyncio.run(drive())
         assert result.hit_ratio > 0.6
 
+    def test_queue_depth_peak_is_per_run(self):
+        """Peak queue depth is a per-run figure: a warm replay on the
+        same gateway reports its own (zero) peak, not the cold run's,
+        while the gateway's cumulative stat keeps the overall max."""
+        site = make_site()
+        gateway = AsyncGateway(site, workers=1)
+        population = ZipfianPopulation(
+            count=20, s=1.5, seed=7, path="/catalog", param="max_price"
+        )
+        schedule = ArrivalSchedule.fixed(rate=2000.0, duration=0.05)
+        generator = OpenLoopLoadGenerator(gateway, population, schedule)
+
+        async def drive():
+            async with gateway:
+                plan = generator.plan()
+                cold = await generator.run(plan=plan)
+                warm = await generator.run(plan=plan)
+                return cold, warm
+
+        cold, warm = asyncio.run(drive())
+        assert cold.queue_depth_peak >= 1
+        assert warm.misses == 0
+        assert warm.queue_depth_peak == 0
+        assert gateway.stats.queue_depth_peak == cold.queue_depth_peak
+
+    def test_hit_burst_does_not_starve_bus_pump(self):
+        """With a bus attached, the generator yields even on a pure hit
+        stream while behind schedule — otherwise eject delivery stalls
+        for the whole burst (stale serves)."""
+        from repro.stream import EjectBus
+
+        site = make_site()
+        bus = EjectBus()
+        bus.register("page-cache", site.web_cache)
+        gateway = AsyncGateway(site, workers=1, bus=bus, pump_interval=0.0)
+        population = ZipfianPopulation(
+            count=20, s=1.5, seed=5, path="/catalog", param="max_price"
+        )
+        # Every arrival is due within the first millisecond: the
+        # generator stays behind schedule for the whole run and never
+        # sleeps, so only its explicit yields can run the pump task.
+        schedule = ArrivalSchedule.fixed(rate=10_000_000.0, duration=0.001)
+        generator = OpenLoopLoadGenerator(
+            gateway, population, schedule, yield_every=64
+        )
+
+        async def drive():
+            async with gateway:
+                plan = generator.plan()
+                await generator.run(plan=plan)  # warm every planned URL
+                before = gateway.stats.bus_pumps
+                result = await generator.run(drain=False, plan=plan)
+                pumps_during = gateway.stats.bus_pumps - before
+                return result, pumps_during
+
+        result, pumps_during = asyncio.run(drive())
+        assert result.misses == 0  # a pure hit burst
+        assert pumps_during > 0
+
     def test_curve_point_schema(self):
         site = make_site()
         gateway, generator = self._generator(site, rate=200.0, duration=0.1)

@@ -1,0 +1,130 @@
+"""Miss-lane fault tolerance.
+
+A failed regeneration (servlet bug, exhausted connection pool) must not
+kill a miss worker — that would silently shrink miss concurrency and
+strand the coalescing entry, wedging every future miss on that key — and
+a wedged miss lane must not stop graceful shutdown from tearing the
+gateway down.
+"""
+
+import asyncio
+import time
+
+from repro.errors import PoolExhausted
+from repro.serve import AsyncGateway
+from repro.web import Configuration, KeySpec, build_site
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.servlet import Servlet
+
+from helpers import car_servlets, make_car_db
+
+
+class ExplodingServlet(Servlet):
+    """Raises on every service() call."""
+
+    def __init__(self, exc_factory):
+        super().__init__(
+            name="boom", path="/boom", key_spec=KeySpec.make(get_keys=["id"])
+        )
+        self.exc_factory = exc_factory
+
+    def service(self, request, connection):
+        raise self.exc_factory()
+
+
+class SlowServlet(Servlet):
+    """Blocks its worker thread for ``delay`` seconds."""
+
+    def __init__(self, delay):
+        super().__init__(
+            name="slow", path="/slow", key_spec=KeySpec.make(get_keys=["id"])
+        )
+        self.delay = delay
+
+    def service(self, request, connection):
+        time.sleep(self.delay)
+        return HttpResponse(status=200, body="slow")
+
+
+def make_site(extra_servlets):
+    return build_site(
+        Configuration.WEB_CACHE,
+        car_servlets() + extra_servlets,
+        database=make_car_db(),
+        num_servers=1,
+        web_cache_capacity=1 << 20,
+    )
+
+
+class TestWorkerSurvivesErrors:
+    def test_servlet_error_returns_500_and_worker_lives(self):
+        site = make_site([ExplodingServlet(lambda: RuntimeError("kaput"))])
+
+        async def drive():
+            async with AsyncGateway(site, workers=1) as gateway:
+                failed = await gateway.get("/boom?id=1")
+                # The same (single) worker must still serve the next miss.
+                ok = await gateway.get("/catalog?max_price=30000")
+                return gateway, failed, ok
+
+        gateway, failed, ok = asyncio.run(drive())
+        assert failed.status == 500
+        assert "kaput" in failed.body
+        assert ok.status == 200
+        assert gateway.stats.worker_errors == 1
+        assert gateway._pending == {}
+
+    def test_pool_exhausted_maps_to_503(self):
+        site = make_site([ExplodingServlet(lambda: PoolExhausted("pool dry"))])
+
+        async def drive():
+            async with AsyncGateway(site, workers=1) as gateway:
+                return await gateway.get("/boom?id=2")
+
+        response = asyncio.run(drive())
+        assert response.status == 503
+        assert "PoolExhausted" in response.body
+
+    def test_coalesced_waiters_receive_the_failure(self):
+        """Waiters riding a regeneration that fails get the error response
+        instead of waiting forever on a popped-but-never-delivered key."""
+        site = make_site([ExplodingServlet(lambda: RuntimeError("kaput"))])
+        results = []
+
+        async def drive():
+            async with AsyncGateway(site, workers=1) as gateway:
+                request = HttpRequest.from_url("/boom?id=3")
+                key = gateway.key_for(request)
+                for _ in range(3):
+                    gateway.submit_miss(key, lambda: request, results.append)
+                await gateway.join()
+                assert gateway._pending == {}
+                return gateway
+
+        gateway = asyncio.run(drive())
+        assert len(results) == 3
+        assert all(response.status == 500 for response in results)
+        assert gateway.stats.coalesced == 2
+
+
+class TestStopAlwaysTearsDown:
+    def test_drain_timeout_still_tears_down(self):
+        """A backlog that cannot drain in time is abandoned — stop()
+        returns with workers cancelled and the executor shut down,
+        never a half-alive gateway."""
+        site = make_site([SlowServlet(delay=0.4)])
+
+        async def drive():
+            gateway = AsyncGateway(site, workers=1)
+            await gateway.start()
+            request = HttpRequest.from_url("/slow?id=1")
+            gateway.submit_miss(gateway.key_for(request), lambda: request)
+            await gateway.stop(timeout=0.05)  # far shorter than the servlet
+            return gateway
+
+        gateway = asyncio.run(drive())
+        assert gateway._running is False
+        assert gateway._worker_tasks == []
+        assert gateway._background_tasks == []
+        # stop() after the timeout path is an idempotent no-op.
+        asyncio.run(gateway.stop())
